@@ -1,0 +1,53 @@
+// Shared AFT deployment fixture for the figure benchmarks: one storage
+// engine + dataset + cluster + FaaS platform + client + request runner.
+
+#ifndef BENCH_AFT_ENV_H_
+#define BENCH_AFT_ENV_H_
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/cluster/deployment.h"
+#include "src/workload/dataset.h"
+#include "src/workload/harness.h"
+
+namespace aft {
+namespace bench {
+
+template <typename EngineT>
+struct AftEnv {
+  AftEnv(Clock& clock_in, const WorkloadSpec& spec_in, ClusterOptions cluster_options = {},
+         FaasOptions faas_options = {})
+      : clock(clock_in), spec(spec_in), engine(clock_in), faas(clock_in, faas_options) {
+    (void)LoadAftDataset(engine, spec);
+    cluster = std::make_unique<ClusterDeployment>(engine, clock, cluster_options);
+    (void)cluster->Start();
+    client = std::make_unique<AftClient>(cluster->balancer(), clock);
+    plans = std::make_unique<TxnPlanGenerator>(spec);
+    runner = std::make_unique<AftRequestRunner>(faas, *client, clock, *plans);
+  }
+
+  ~AftEnv() {
+    if (cluster != nullptr) {
+      cluster->Stop();
+    }
+  }
+
+  HarnessResult Run(const HarnessOptions& options, ThroughputTimeline* timeline = nullptr) {
+    return RunClients(clock, *runner, options, timeline);
+  }
+
+  Clock& clock;
+  WorkloadSpec spec;
+  EngineT engine;
+  FaasPlatform faas;
+  std::unique_ptr<ClusterDeployment> cluster;
+  std::unique_ptr<AftClient> client;
+  std::unique_ptr<TxnPlanGenerator> plans;
+  std::unique_ptr<AftRequestRunner> runner;
+};
+
+}  // namespace bench
+}  // namespace aft
+
+#endif  // BENCH_AFT_ENV_H_

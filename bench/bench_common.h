@@ -1,0 +1,76 @@
+// Shared helpers for the paper-reproduction benchmarks.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation (§6) and prints the measured rows next to the paper's reported
+// numbers. Latencies are in SIMULATED milliseconds: the engines sleep
+// `latency * AFT_TIME_SCALE` of wall time (default 0.05, i.e. 20x faster
+// than real time) and all reported numbers are in simulated units, so the
+// scale does not change the results, only how long the bench takes.
+//
+// Knobs (environment variables):
+//   AFT_TIME_SCALE      wall seconds per simulated second (default 0.05)
+//   AFT_BENCH_REQUESTS  per-client request count override (default per bench)
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "src/common/clock.h"
+
+namespace aft {
+namespace bench {
+
+inline double GetEnvDouble(const char* name, double fallback) {
+  if (const char* env = std::getenv(name); env != nullptr) {
+    const double v = std::atof(env);
+    if (v > 0) {
+      return v;
+    }
+  }
+  return fallback;
+}
+
+inline long GetEnvLong(const char* name, long fallback) {
+  if (const char* env = std::getenv(name); env != nullptr) {
+    const long v = std::atol(env);
+    if (v > 0) {
+      return v;
+    }
+  }
+  return fallback;
+}
+
+// Like GetEnvLong but an explicit "0" is a valid setting.
+inline long GetEnvNonNegLong(const char* name, long fallback) {
+  if (const char* env = std::getenv(name); env != nullptr && env[0] != '\0') {
+    return std::atol(env);
+  }
+  return fallback;
+}
+
+// The bench clock: real time scaled down so simulated cloud latencies play
+// out 1/scale times faster. The defaults apply only to the FIRST call in the
+// process (latency benches use a small scale + precise spin sleeps;
+// throughput benches pass a larger scale and spin_us = 0 so hundreds of
+// client threads do not busy-wait on one another).
+inline RealClock& BenchClock(double default_scale = 0.05, long default_spin_us = 200) {
+  static RealClock* clock = new RealClock(
+      GetEnvDouble("AFT_TIME_SCALE", default_scale),
+      std::chrono::microseconds(GetEnvNonNegLong("AFT_SPIN_US", default_spin_us)));
+  return *clock;
+}
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void PrintNote(const std::string& note) { std::printf("  %s\n", note.c_str()); }
+
+}  // namespace bench
+}  // namespace aft
+
+#endif  // BENCH_BENCH_COMMON_H_

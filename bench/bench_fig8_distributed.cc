@@ -1,0 +1,81 @@
+// Figure 8: distributed scalability. Aggregate throughput as AFT nodes are
+// added, with a fixed number of closed-loop clients per node, over DynamoDB
+// and Redis, compared against the IDEAL slope (nodes x single-node
+// throughput).
+//
+// Paper shape: both deployments scale within 90% of ideal (8,000+ txn/s at
+// 640 clients over DynamoDB; more over Redis); the largest configuration
+// plateaus on the FaaS platform's concurrent-invocation limit, not on AFT.
+// This run uses fewer clients per node than the paper (the simulation host
+// has a single core) — the slope-vs-ideal comparison is the result.
+
+#include "bench/aft_env.h"
+#include "src/storage/sim_dynamo.h"
+#include "src/storage/sim_redis.h"
+
+namespace aft {
+namespace {
+
+using bench::AftEnv;
+using bench::BenchClock;
+using bench::GetEnvLong;
+using bench::PrintTitle;
+
+template <typename EngineT>
+void RunSweep(const char* label, size_t clients_per_node, long requests,
+              size_t faas_concurrency_limit) {
+  std::printf("\n-- AFT over %s (%zu clients per node) --\n", label, clients_per_node);
+  double single_node_tput = 0;
+  for (size_t nodes : {1, 2, 4, 6}) {
+    WorkloadSpec spec;
+    spec.num_keys = 1000;
+    spec.zipf_theta = 1.5;
+    ClusterOptions cluster_options;
+    cluster_options.num_nodes = nodes;
+    cluster_options.multicast_interval = Millis(1000);
+    cluster_options.start_background_threads = true;
+    FaasOptions faas_options;
+    faas_options.concurrency_limit = faas_concurrency_limit;
+    AftEnv<EngineT> env(BenchClock(), spec, cluster_options, faas_options);
+
+    HarnessOptions harness;
+    harness.num_clients = nodes * clients_per_node;
+    harness.requests_per_client = static_cast<size_t>(requests);
+    harness.check_anomalies = false;
+    const HarnessResult result = env.Run(harness);
+    if (nodes == 1) {
+      single_node_tput = result.throughput_tps;
+    }
+    const double ideal = single_node_tput * static_cast<double>(nodes);
+    std::printf("  %zu node%s (%3zu clients)   %8.1f txn/s   ideal %8.1f   (%5.1f%% of ideal)\n",
+                nodes, nodes == 1 ? " " : "s", harness.num_clients, result.throughput_tps,
+                ideal, ideal > 0 ? 100.0 * result.throughput_tps / ideal : 100.0);
+  }
+}
+
+}  // namespace
+}  // namespace aft
+
+int main() {
+  using namespace aft;
+  using namespace aft::bench;
+
+  BenchClock(/*default_scale=*/1.0, /*default_spin_us=*/0);
+  const size_t clients_per_node =
+      static_cast<size_t>(GetEnvLong("AFT_BENCH_CLIENTS_PER_NODE", 16));
+  const long requests = GetEnvLong("AFT_BENCH_REQUESTS", 40);
+  // The largest configuration exceeds this limit, reproducing the paper's
+  // Lambda-concurrency plateau at the top end.
+  const size_t faas_limit = static_cast<size_t>(GetEnvLong("AFT_BENCH_FAAS_LIMIT", 150));
+
+  PrintTitle("Figure 8: distributed scalability vs ideal slope (Zipf 1.5)");
+  std::printf("  FaaS concurrent-invocation limit: %zu\n", faas_limit);
+  RunSweep<SimDynamo>("DynamoDB", clients_per_node, requests, faas_limit);
+  RunSweep<SimRedis>("Redis", clients_per_node, requests, faas_limit);
+
+  PrintTitle("Shape checks");
+  std::printf("  expected: throughput within ~90%% of ideal as nodes are added;\n");
+  std::printf("  expected: the largest configuration is capped by the FaaS concurrency "
+              "limit, not AFT.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Microbenchmarks (google-benchmark) for AFT's hot-path primitives: the
+// Algorithm 1 version-selection loop, supersedence checks, record codecs,
+// the key version index and the Zipf sampler. These quantify the per-op CPU
+// cost that underlies the node service-time model.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/zipf.h"
+#include "src/core/read_algorithm.h"
+
+namespace aft {
+namespace {
+
+CommitRecordPtr MakeRecord(Rng& rng, int64_t ts, std::vector<std::string> keys) {
+  return std::make_shared<const CommitRecord>(CommitRecord{TxnId(ts, Uuid::Random(rng)), keys});
+}
+
+// Algorithm 1 with a configurable number of versions per key and read-set size.
+void BM_AtomicReadSelect(benchmark::State& state) {
+  const int versions = static_cast<int>(state.range(0));
+  const int read_set_size = static_cast<int>(state.range(1));
+  Rng rng(1);
+  KeyVersionIndex index;
+  CommitSetCache commits;
+  // `versions` committed versions of the target key, each cowriting 3 keys.
+  for (int v = 1; v <= versions; ++v) {
+    auto record = MakeRecord(rng, v * 10,
+                             {"target", "a" + std::to_string(v % 5), "b" + std::to_string(v % 7)});
+    commits.Add(record);
+    index.AddCommit(*record);
+  }
+  std::unordered_map<std::string, ReadSetEntry> read_set;
+  for (int i = 0; i < read_set_size; ++i) {
+    auto record = MakeRecord(rng, 5, {"r" + std::to_string(i)});
+    commits.Add(record);
+    index.AddCommit(*record);
+    read_set["r" + std::to_string(i)] = ReadSetEntry{record->id, record};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectAtomicReadVersion("target", read_set, index, commits));
+  }
+}
+BENCHMARK(BM_AtomicReadSelect)->Args({1, 0})->Args({8, 4})->Args({64, 16})->Args({256, 64});
+
+void BM_IsTransactionSuperseded(benchmark::State& state) {
+  Rng rng(2);
+  KeyVersionIndex index;
+  std::vector<std::string> keys;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    keys.push_back("k" + std::to_string(i));
+  }
+  CommitRecord old_record{TxnId(10, Uuid::Random(rng)), keys};
+  index.AddCommit(old_record);
+  CommitRecord new_record{TxnId(20, Uuid::Random(rng)), keys};
+  index.AddCommit(new_record);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsTransactionSuperseded(old_record, index));
+  }
+}
+BENCHMARK(BM_IsTransactionSuperseded)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_CommitRecordRoundTrip(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::string> keys;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    keys.push_back("key" + std::to_string(i));
+  }
+  const CommitRecord record{TxnId(123456789, Uuid::Random(rng)), keys};
+  for (auto _ : state) {
+    const std::string bytes = record.Serialize();
+    benchmark::DoNotOptimize(CommitRecord::Deserialize(bytes));
+  }
+}
+BENCHMARK(BM_CommitRecordRoundTrip)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_VersionedValueRoundTrip(benchmark::State& state) {
+  Rng rng(4);
+  const VersionedValue value{TxnId(1, Uuid::Random(rng)),
+                             {"k1", "k2", "k3"},
+                             std::string(static_cast<size_t>(state.range(0)), 'x')};
+  for (auto _ : state) {
+    const std::string bytes = value.Serialize();
+    benchmark::DoNotOptimize(VersionedValue::Deserialize(bytes));
+  }
+}
+BENCHMARK(BM_VersionedValueRoundTrip)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_KeyVersionIndexAdd(benchmark::State& state) {
+  Rng rng(5);
+  int64_t ts = 1;
+  KeyVersionIndex index;
+  for (auto _ : state) {
+    CommitRecord record{TxnId(ts++, Uuid::Random(rng)),
+                        {"a" + std::to_string(ts % 100), "b" + std::to_string(ts % 37)}};
+    index.AddCommit(record);
+  }
+}
+BENCHMARK(BM_KeyVersionIndexAdd);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(6);
+  ZipfSampler zipf(100000, static_cast<double>(state.range(0)) / 10.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(0)->Arg(10)->Arg(15)->Arg(20);
+
+}  // namespace
+}  // namespace aft
+
+BENCHMARK_MAIN();

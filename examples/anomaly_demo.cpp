@@ -1,0 +1,86 @@
+// Demonstrates WHY a fault-tolerance shim is needed: runs the same
+// concurrent workload twice — once writing directly to (simulated, eventually
+// consistent) DynamoDB, once through AFT — and audits every transaction for
+// read-your-write and fractured-read anomalies with the embedded-metadata
+// checker of §6.1.2.
+//
+//   $ ./build/examples/anomaly_demo
+
+#include <cstdio>
+
+#include "src/cluster/deployment.h"
+#include "src/storage/sim_dynamo.h"
+#include "src/workload/dataset.h"
+#include "src/workload/harness.h"
+
+using namespace aft;
+
+namespace {
+
+WorkloadSpec DemoSpec() {
+  WorkloadSpec spec;
+  spec.num_keys = 200;     // Small + hot: anomalies show up quickly.
+  spec.zipf_theta = 1.0;
+  spec.value_bytes = 512;
+  return spec;
+}
+
+HarnessOptions DemoHarness() {
+  HarnessOptions options;
+  options.num_clients = 8;
+  options.requests_per_client = 100;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  RealClock clock(0.02);  // 50x faster than real time.
+
+  std::printf("workload: %zu clients x %zu requests, 2 functions x (2 reads + 1 write)\n\n",
+              DemoHarness().num_clients, DemoHarness().requests_per_client);
+
+  // ---- Round 1: plain DynamoDB, no shim --------------------------------------
+  HarnessResult plain_result;
+  {
+    SimDynamo storage(clock);
+    (void)LoadPlainDataset(storage, DemoSpec());
+    FaasPlatform faas(clock);
+    TxnPlanGenerator plans(DemoSpec());
+    PlainRequestRunner runner(faas, storage, clock, plans);
+    plain_result = RunClients(clock, runner, DemoHarness());
+  }
+  std::printf("PLAIN   : %4llu txns, %3llu read-your-write anomalies, %3llu fractured reads\n",
+              static_cast<unsigned long long>(plain_result.completed),
+              static_cast<unsigned long long>(plain_result.ryw_anomalies),
+              static_cast<unsigned long long>(plain_result.fr_anomalies));
+
+  // ---- Round 2: the same workload through AFT --------------------------------
+  HarnessResult aft_result;
+  {
+    SimDynamo storage(clock);
+    (void)LoadAftDataset(storage, DemoSpec());
+    ClusterOptions cluster_options;
+    cluster_options.num_nodes = 2;
+    ClusterDeployment cluster(storage, clock, cluster_options);
+    if (!cluster.Start().ok()) {
+      return 1;
+    }
+    FaasPlatform faas(clock);
+    AftClient client(cluster.balancer(), clock);
+    TxnPlanGenerator plans(DemoSpec());
+    AftRequestRunner runner(faas, client, clock, plans);
+    aft_result = RunClients(clock, runner, DemoHarness());
+    cluster.Stop();
+  }
+  std::printf("WITH AFT: %4llu txns, %3llu read-your-write anomalies, %3llu fractured reads\n",
+              static_cast<unsigned long long>(aft_result.completed),
+              static_cast<unsigned long long>(aft_result.ryw_anomalies),
+              static_cast<unsigned long long>(aft_result.fr_anomalies));
+
+  const bool ok = aft_result.ryw_anomalies == 0 && aft_result.fr_anomalies == 0 &&
+                  (plain_result.ryw_anomalies + plain_result.fr_anomalies) > 0;
+  std::printf("\n%s\n", ok ? "AFT eliminated every anomaly the plain deployment exhibited."
+                           : "UNEXPECTED: check the configuration.");
+  return ok ? 0 : 1;
+}

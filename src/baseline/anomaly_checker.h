@@ -1,0 +1,87 @@
+// Consistency-anomaly detection (Table 2).
+//
+// When running WITHOUT AFT, the paper detects anomalies "by embedding the
+// same metadata aft uses — a timestamp, a UUID, and a cowritten key set —
+// into the key-value pairs" (§6.1.2). The baseline clients in this library
+// do exactly that (reusing the VersionedValue codec), log every read/write
+// observation in program order, and this checker classifies each finished
+// transaction:
+//
+//  * Read-Your-Write (RYW) anomaly — the transaction wrote a key and a later
+//    read of that key observed some other transaction's version.
+//  * Fractured Read (FR) anomaly — the read set violates the Atomic Readset
+//    definition (Definition 1): some read version k_t was cowritten with a
+//    key l that this transaction read at an older version. Repeatable-read
+//    violations are counted here too, as in the paper ("these encompass
+//    repeatable read anomalies").
+
+#ifndef SRC_BASELINE_ANOMALY_CHECKER_H_
+#define SRC_BASELINE_ANOMALY_CHECKER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/records.h"
+#include "src/core/txn_id.h"
+
+namespace aft {
+
+// One observed read: the version (writer ID) and cowritten set decoded from
+// the stored metadata. A read of a key that was never written has a Null
+// version and an empty cowritten set.
+struct ReadObservation {
+  std::string key;
+  TxnId version;
+  std::shared_ptr<const std::vector<std::string>> cowritten;
+};
+
+// Program-ordered log of one transaction's operations.
+struct TxnLog {
+  TxnId self;
+
+  struct Event {
+    enum class Kind { kRead, kWrite };
+    Kind kind;
+    std::string key;
+    ReadObservation read;  // Set for kRead.
+  };
+  std::vector<Event> events;
+
+  void AddRead(ReadObservation obs) {
+    events.push_back(Event{Event::Kind::kRead, obs.key, std::move(obs)});
+  }
+  void AddWrite(std::string key) {
+    events.push_back(Event{Event::Kind::kWrite, std::move(key), ReadObservation{}});
+  }
+};
+
+struct AnomalyVerdict {
+  bool ryw_anomaly = false;
+  bool fr_anomaly = false;
+};
+
+// Classifies one transaction's log.
+AnomalyVerdict CheckTransaction(const TxnLog& log);
+
+// Aggregates verdicts across a run (one row of Table 2).
+struct AnomalyCounters {
+  std::atomic<uint64_t> transactions{0};
+  std::atomic<uint64_t> ryw_anomalies{0};
+  std::atomic<uint64_t> fr_anomalies{0};
+
+  void Accumulate(const AnomalyVerdict& verdict) {
+    transactions.fetch_add(1, std::memory_order_relaxed);
+    if (verdict.ryw_anomaly) {
+      ryw_anomalies.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (verdict.fr_anomaly) {
+      fr_anomalies.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+};
+
+}  // namespace aft
+
+#endif  // SRC_BASELINE_ANOMALY_CHECKER_H_

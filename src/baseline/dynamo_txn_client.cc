@@ -1,0 +1,79 @@
+#include "src/baseline/dynamo_txn_client.h"
+
+#include <algorithm>
+
+#include "src/baseline/plain_client.h"
+#include "src/storage/sim_engine_base.h"
+
+namespace aft {
+
+DynamoTxnTransaction::DynamoTxnTransaction(SimDynamo& dynamo, Clock& clock,
+                                           std::vector<std::string> declared_write_set,
+                                           DynamoTxnRetryPolicy retry)
+    : dynamo_(dynamo),
+      clock_(clock),
+      id_(clock.WallTimeMicros(), Uuid::Random(ThreadLocalRng())),
+      declared_write_set_(std::move(declared_write_set)),
+      retry_(retry) {
+  log_.self = id_;
+}
+
+Duration DynamoTxnTransaction::BackoffFor(int attempt) const {
+  Duration backoff = retry_.base_backoff * (1LL << std::min(attempt, 8));
+  return std::min(backoff, retry_.max_backoff);
+}
+
+Result<std::vector<std::optional<std::string>>> DynamoTxnTransaction::ReadTxn(
+    std::span<const std::string> keys) {
+  for (int attempt = 0; attempt <= retry_.max_retries; ++attempt) {
+    auto result = dynamo_.TransactGet(keys);
+    if (result.ok()) {
+      std::vector<std::optional<std::string>> payloads;
+      payloads.reserve(keys.size());
+      for (size_t i = 0; i < keys.size(); ++i) {
+        const auto& raw = result.value()[i];
+        log_.AddRead(DecodeObservation(keys[i], raw));
+        if (raw.has_value()) {
+          auto decoded = VersionedValue::Deserialize(*raw);
+          payloads.push_back(decoded.ok() ? std::optional<std::string>(std::move(decoded->payload))
+                                          : raw);
+        } else {
+          payloads.push_back(std::nullopt);
+        }
+      }
+      return payloads;
+    }
+    if (!result.status().IsAborted()) {
+      return result.status();
+    }
+    ++conflict_retries_;
+    clock_.SleepFor(BackoffFor(attempt));
+  }
+  return Status::Aborted("TransactGetItems retries exhausted");
+}
+
+Status DynamoTxnTransaction::WriteTxn(std::span<const WriteOp> user_ops) {
+  std::vector<WriteOp> encoded;
+  encoded.reserve(user_ops.size());
+  for (const WriteOp& op : user_ops) {
+    VersionedValue value{id_, declared_write_set_, op.value};
+    encoded.push_back(WriteOp{op.key, value.Serialize()});
+  }
+  for (int attempt = 0; attempt <= retry_.max_retries; ++attempt) {
+    Status status = dynamo_.TransactWrite(encoded);
+    if (status.ok()) {
+      for (const WriteOp& op : user_ops) {
+        log_.AddWrite(op.key);
+      }
+      return Status::Ok();
+    }
+    if (!status.IsAborted()) {
+      return status;
+    }
+    ++conflict_retries_;
+    clock_.SleepFor(BackoffFor(attempt));
+  }
+  return Status::Aborted("TransactWriteItems retries exhausted");
+}
+
+}  // namespace aft

@@ -1,0 +1,61 @@
+// DynamoDB transaction-mode baseline (§6.1.2, [13]).
+//
+// DynamoDB transactions are serializable but restricted: each transaction is
+// a single API call and is either read-only or write-only, so a logical
+// request spanning functions cannot be covered by one transaction. The
+// paper adapts the 2-function workload as: function 1 does a 2-read
+// transaction; function 2 does a 2-read transaction followed by a 2-write
+// transaction. Conflicts abort proactively and the client retries with
+// backoff (reported latencies include retries).
+
+#ifndef SRC_BASELINE_DYNAMO_TXN_CLIENT_H_
+#define SRC_BASELINE_DYNAMO_TXN_CLIENT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/baseline/anomaly_checker.h"
+#include "src/common/clock.h"
+#include "src/storage/sim_dynamo.h"
+
+namespace aft {
+
+struct DynamoTxnRetryPolicy {
+  int max_retries = 10;
+  Duration base_backoff = Millis(4);  // Doubled per attempt, capped below.
+  Duration max_backoff = Millis(64);
+};
+
+class DynamoTxnTransaction {
+ public:
+  DynamoTxnTransaction(SimDynamo& dynamo, Clock& clock,
+                       std::vector<std::string> declared_write_set,
+                       DynamoTxnRetryPolicy retry = {});
+
+  // One TransactGetItems call (with conflict retries); logs observations.
+  Result<std::vector<std::optional<std::string>>> ReadTxn(std::span<const std::string> keys);
+
+  // One TransactWriteItems call (with conflict retries) installing all
+  // updates atomically; logs writes.
+  Status WriteTxn(std::span<const WriteOp> user_ops);
+
+  const TxnLog& log() const { return log_; }
+  const TxnId& id() const { return id_; }
+  int conflict_retries() const { return conflict_retries_; }
+
+ private:
+  Duration BackoffFor(int attempt) const;
+
+  SimDynamo& dynamo_;
+  Clock& clock_;
+  const TxnId id_;
+  const std::vector<std::string> declared_write_set_;
+  const DynamoTxnRetryPolicy retry_;
+  TxnLog log_;
+  int conflict_retries_ = 0;
+};
+
+}  // namespace aft
+
+#endif  // SRC_BASELINE_DYNAMO_TXN_CLIENT_H_

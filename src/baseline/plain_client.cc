@@ -1,0 +1,56 @@
+#include "src/baseline/plain_client.h"
+
+#include "src/common/rng.h"
+#include "src/storage/sim_engine_base.h"
+
+namespace aft {
+
+ReadObservation DecodeObservation(const std::string& key, const std::optional<std::string>& raw) {
+  ReadObservation obs;
+  obs.key = key;
+  if (!raw.has_value()) {
+    return obs;  // NULL observation.
+  }
+  auto decoded = VersionedValue::Deserialize(*raw);
+  if (!decoded.ok()) {
+    return obs;
+  }
+  obs.version = decoded->writer;
+  obs.cowritten = std::make_shared<const std::vector<std::string>>(std::move(decoded->cowritten));
+  return obs;
+}
+
+PlainTransaction::PlainTransaction(StorageEngine& storage, Clock& clock,
+                                   std::vector<std::string> declared_write_set)
+    : storage_(storage),
+      id_(clock.WallTimeMicros(), Uuid::Random(ThreadLocalRng())),
+      declared_write_set_(std::move(declared_write_set)) {
+  log_.self = id_;
+}
+
+Result<std::optional<std::string>> PlainTransaction::Get(const std::string& key) {
+  auto raw = storage_.Get(key);
+  std::optional<std::string> value;
+  if (raw.ok()) {
+    value = std::move(raw).value();
+  } else if (!raw.status().IsNotFound()) {
+    return raw.status();
+  }
+  ReadObservation obs = DecodeObservation(key, value);
+  std::optional<std::string> payload;
+  if (value.has_value()) {
+    auto decoded = VersionedValue::Deserialize(*value);
+    payload = decoded.ok() ? std::move(decoded->payload) : std::move(*value);
+  }
+  log_.AddRead(std::move(obs));
+  return payload;
+}
+
+Status PlainTransaction::Put(const std::string& key, std::string payload) {
+  VersionedValue value{id_, declared_write_set_, std::move(payload)};
+  AFT_RETURN_IF_ERROR(storage_.Put(key, value.Serialize()));
+  log_.AddWrite(key);
+  return Status::Ok();
+}
+
+}  // namespace aft

@@ -1,0 +1,54 @@
+// Baseline clients: what a serverless application does WITHOUT AFT.
+//
+// `PlainTransaction` writes straight to the storage engine as its functions
+// execute — no buffering, no commit point, no atomicity. Each stored value
+// embeds the writer's ID and cowritten key set (the paper's ~70 extra bytes,
+// §6.1.2) so the anomaly checker can audit what concurrent transactions
+// actually observed.
+
+#ifndef SRC_BASELINE_PLAIN_CLIENT_H_
+#define SRC_BASELINE_PLAIN_CLIENT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/baseline/anomaly_checker.h"
+#include "src/common/clock.h"
+#include "src/core/records.h"
+#include "src/storage/storage_engine.h"
+
+namespace aft {
+
+// Decodes a raw stored value into a read observation for `key`. A missing
+// value yields a NULL observation; a value without valid embedded metadata
+// (not written by our harness) also yields NULL.
+ReadObservation DecodeObservation(const std::string& key, const std::optional<std::string>& raw);
+
+class PlainTransaction {
+ public:
+  // `declared_write_set` is the set of keys this request intends to write —
+  // needed up front because cowritten metadata is embedded at write time.
+  PlainTransaction(StorageEngine& storage, Clock& clock,
+                   std::vector<std::string> declared_write_set);
+
+  // Reads `key` directly from storage; returns the user payload.
+  Result<std::optional<std::string>> Get(const std::string& key);
+
+  // Writes `key` directly to storage (immediately visible — this is the
+  // fractional-execution hazard AFT exists to prevent).
+  Status Put(const std::string& key, std::string payload);
+
+  const TxnLog& log() const { return log_; }
+  const TxnId& id() const { return id_; }
+
+ private:
+  StorageEngine& storage_;
+  const TxnId id_;
+  const std::vector<std::string> declared_write_set_;
+  TxnLog log_;
+};
+
+}  // namespace aft
+
+#endif  // SRC_BASELINE_PLAIN_CLIENT_H_

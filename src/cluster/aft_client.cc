@@ -1,0 +1,90 @@
+#include "src/cluster/aft_client.h"
+
+#include "src/storage/sim_engine_base.h"
+
+namespace aft {
+
+AftClient::AftClient(LoadBalancer& balancer, Clock& clock, AftClientOptions options)
+    : balancer_(balancer), clock_(clock), options_(options) {}
+
+void AftClient::ChargeHop(uint64_t bytes) {
+  const Duration d = options_.network_hop.Sample(ThreadLocalRng(), bytes);
+  if (d > Duration::zero()) {
+    clock_.SleepFor(d);
+  }
+}
+
+Status AftClient::CheckSession(const TxnSession& session) const {
+  if (!session.valid()) {
+    return Status::InvalidArgument("invalid transaction session");
+  }
+  if (!session.node->alive()) {
+    return Status::Unavailable("aft node serving this transaction is down");
+  }
+  return Status::Ok();
+}
+
+Result<TxnSession> AftClient::StartTransaction() {
+  AftNode* node = balancer_.Pick();
+  if (node == nullptr) {
+    return Status::Unavailable("no live aft nodes");
+  }
+  ChargeHop();
+  AFT_ASSIGN_OR_RETURN(Uuid txid, node->StartTransaction());
+  return TxnSession{node, txid};
+}
+
+Status AftClient::Resume(const TxnSession& session) {
+  AFT_RETURN_IF_ERROR(CheckSession(session));
+  ChargeHop();
+  return session.node->AdoptTransaction(session.txid);
+}
+
+Result<std::optional<std::string>> AftClient::Get(const TxnSession& session,
+                                                  const std::string& key) {
+  AFT_RETURN_IF_ERROR(CheckSession(session));
+  ChargeHop(key.size());
+  return session.node->Get(session.txid, key);
+}
+
+Result<AftNode::VersionedRead> AftClient::GetVersioned(const TxnSession& session,
+                                                       const std::string& key) {
+  AFT_RETURN_IF_ERROR(CheckSession(session));
+  ChargeHop(key.size());
+  return session.node->GetVersioned(session.txid, key);
+}
+
+Status AftClient::Put(const TxnSession& session, const std::string& key, std::string value) {
+  AFT_RETURN_IF_ERROR(CheckSession(session));
+  ChargeHop(key.size() + value.size());
+  return session.node->Put(session.txid, key, std::move(value));
+}
+
+Status AftClient::PutBatch(const TxnSession& session, std::span<const WriteOp> ops) {
+  AFT_RETURN_IF_ERROR(CheckSession(session));
+  uint64_t bytes = 0;
+  for (const WriteOp& op : ops) {
+    bytes += op.key.size() + op.value.size();
+  }
+  // One network round trip for the whole batch; buffering server-side is
+  // memory-speed.
+  ChargeHop(bytes);
+  for (const WriteOp& op : ops) {
+    AFT_RETURN_IF_ERROR(session.node->Put(session.txid, op.key, op.value));
+  }
+  return Status::Ok();
+}
+
+Result<TxnId> AftClient::Commit(const TxnSession& session) {
+  AFT_RETURN_IF_ERROR(CheckSession(session));
+  ChargeHop();
+  return session.node->CommitTransaction(session.txid);
+}
+
+Status AftClient::Abort(const TxnSession& session) {
+  AFT_RETURN_IF_ERROR(CheckSession(session));
+  ChargeHop();
+  return session.node->AbortTransaction(session.txid);
+}
+
+}  // namespace aft

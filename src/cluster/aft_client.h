@@ -1,0 +1,73 @@
+// Client-side view of an AFT deployment.
+//
+// A FaaS function talks to AFT over the network; this client charges a
+// per-API-call network hop (part of the ~6ms fixed overhead the paper
+// attributes to "shipping data to aft", §6.1.1) and pins each transaction to
+// the node the load balancer chose at StartTransaction.
+
+#ifndef SRC_CLUSTER_AFT_CLIENT_H_
+#define SRC_CLUSTER_AFT_CLIENT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/load_balancer.h"
+#include "src/common/latency.h"
+#include "src/core/aft_node.h"
+
+namespace aft {
+
+struct AftClientOptions {
+  // One request/response hop between the function and the AFT node (same
+  // AZ: sub-millisecond).
+  LatencyModel network_hop = LatencyModel(0.5, 0.3, 0.15, 0.01);
+};
+
+// A transaction session: which node serves the transaction, plus its UUID.
+// Sessions are small value types that flow between the functions of one
+// logical request (the "distributed client session" of §2.2).
+struct TxnSession {
+  AftNode* node = nullptr;
+  Uuid txid;
+
+  bool valid() const { return node != nullptr; }
+};
+
+class AftClient {
+ public:
+  AftClient(LoadBalancer& balancer, Clock& clock, AftClientOptions options = {});
+
+  // Begins a transaction on the next node in round-robin order.
+  Result<TxnSession> StartTransaction();
+
+  // Re-attaches to a transaction after a function handoff or retry (§3.3.1:
+  // a retried function "can use the same transaction ID to continue").
+  Status Resume(const TxnSession& session);
+
+  Result<std::optional<std::string>> Get(const TxnSession& session, const std::string& key);
+
+  // Read with version metadata (used by the evaluation harness).
+  Result<AftNode::VersionedRead> GetVersioned(const TxnSession& session, const std::string& key);
+
+  Status Put(const TxnSession& session, const std::string& key, std::string value);
+
+  // Ships a whole set of updates in ONE request to the shim ("the client
+  // sends a single batch", §6.1.1, the "Aft Batch" configuration).
+  Status PutBatch(const TxnSession& session, std::span<const WriteOp> ops);
+
+  Result<TxnId> Commit(const TxnSession& session);
+  Status Abort(const TxnSession& session);
+
+ private:
+  void ChargeHop(uint64_t bytes = 0);
+  Status CheckSession(const TxnSession& session) const;
+
+  LoadBalancer& balancer_;
+  Clock& clock_;
+  const AftClientOptions options_;
+};
+
+}  // namespace aft
+
+#endif  // SRC_CLUSTER_AFT_CLIENT_H_

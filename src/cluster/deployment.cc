@@ -1,0 +1,82 @@
+#include "src/cluster/deployment.h"
+
+namespace aft {
+
+ClusterDeployment::ClusterDeployment(StorageEngine& storage, Clock& clock, ClusterOptions options)
+    : storage_(storage),
+      clock_(clock),
+      options_(std::move(options)),
+      bus_(clock, options_.multicast_interval),
+      fault_manager_(clock, storage, balancer_, bus_, options_.fault_manager) {
+  fault_manager_.SetNodeFactory([this](const std::string& node_id) { return CreateNode(node_id); });
+}
+
+ClusterDeployment::~ClusterDeployment() { Stop(); }
+
+AftNode* ClusterDeployment::CreateNode(const std::string& node_id) {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  nodes_.push_back(std::make_unique<AftNode>(node_id, storage_, clock_, options_.node_options));
+  return nodes_.back().get();
+}
+
+Status ClusterDeployment::Start() {
+  for (size_t i = 0; i < options_.num_nodes; ++i) {
+    AftNode* node = AddNode();
+    if (node == nullptr) {
+      return Status::Internal("failed to create node");
+    }
+  }
+  started_ = true;
+  if (options_.start_background_threads) {
+    bus_.Start();
+    fault_manager_.Start();
+  }
+  return Status::Ok();
+}
+
+AftNode* ClusterDeployment::AddNode() {
+  std::string node_id;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    node_id = "aft-" + std::to_string(next_node_number_++);
+  }
+  AftNode* node = CreateNode(node_id);
+  if (!node->Start().ok()) {
+    return nullptr;
+  }
+  bus_.RegisterNode(node);
+  fault_manager_.Manage(node);
+  balancer_.AddNode(node);
+  return node;
+}
+
+void ClusterDeployment::KillNode(size_t index) {
+  AftNode* victim = node(index);
+  if (victim != nullptr) {
+    victim->Kill();
+  }
+}
+
+void ClusterDeployment::Stop() {
+  if (!started_) {
+    return;
+  }
+  started_ = false;
+  fault_manager_.Stop();
+  bus_.Stop();
+}
+
+AftNode* ClusterDeployment::node(size_t index) {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  if (index >= nodes_.size()) {
+    return nullptr;
+  }
+  return nodes_[index].get();
+}
+
+size_t ClusterDeployment::node_count() const {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  return nodes_.size();
+}
+
+}  // namespace aft

@@ -1,0 +1,78 @@
+// Assembles a complete AFT deployment: N nodes over one shared storage
+// engine, the commit multicast bus, the fault manager, and a round-robin
+// load balancer — the in-process equivalent of the paper's Kubernetes
+// deployment (§4.3, Figure 1).
+
+#ifndef SRC_CLUSTER_DEPLOYMENT_H_
+#define SRC_CLUSTER_DEPLOYMENT_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/cluster/fault_manager.h"
+#include "src/cluster/load_balancer.h"
+#include "src/cluster/multicast_bus.h"
+#include "src/core/aft_node.h"
+
+namespace aft {
+
+struct ClusterOptions {
+  size_t num_nodes = 1;
+  AftNodeOptions node_options;
+  Duration multicast_interval = Millis(1000);
+  FaultManagerOptions fault_manager;
+  // When true, Start() launches the bus / fault-manager / per-node
+  // background threads; tests that drive rounds manually leave this off.
+  bool start_background_threads = true;
+};
+
+class ClusterDeployment {
+ public:
+  ClusterDeployment(StorageEngine& storage, Clock& clock, ClusterOptions options = {});
+  ~ClusterDeployment();
+
+  ClusterDeployment(const ClusterDeployment&) = delete;
+  ClusterDeployment& operator=(const ClusterDeployment&) = delete;
+
+  // Boots all nodes (bootstrap from the commit set) and background services.
+  Status Start();
+  void Stop();
+
+  // Adds one more node to the running cluster (manual scale-out; the paper
+  // leaves the autoscaling *policy* pluggable and out of scope, §4.3).
+  AftNode* AddNode();
+
+  // Simulates the failure of node `index` (§6.7).
+  void KillNode(size_t index);
+
+  LoadBalancer& balancer() { return balancer_; }
+  MulticastBus& bus() { return bus_; }
+  FaultManager& fault_manager() { return fault_manager_; }
+  Clock& clock() { return clock_; }
+  StorageEngine& storage() { return storage_; }
+
+  AftNode* node(size_t index);
+  size_t node_count() const;
+
+ private:
+  AftNode* CreateNode(const std::string& node_id);
+
+  StorageEngine& storage_;
+  Clock& clock_;
+  const ClusterOptions options_;
+
+  LoadBalancer balancer_;
+  MulticastBus bus_;
+  FaultManager fault_manager_;
+
+  mutable std::mutex nodes_mu_;
+  std::vector<std::unique_ptr<AftNode>> nodes_;
+  size_t next_node_number_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace aft
+
+#endif  // SRC_CLUSTER_DEPLOYMENT_H_

@@ -1,0 +1,347 @@
+#include "src/cluster/fault_manager.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/storage/sim_engine_base.h"
+
+namespace aft {
+
+FaultManager::FaultManager(Clock& clock, StorageEngine& storage, LoadBalancer& balancer,
+                           MulticastBus& bus, FaultManagerOptions options)
+    : clock_(clock),
+      storage_(storage),
+      balancer_(balancer),
+      bus_(bus),
+      options_(options),
+      delete_pool_(options.delete_pool_threads) {
+  bus_.SetFaultManagerSink(
+      [this](const std::vector<CommitRecordPtr>& records) { IngestCommits(records); });
+}
+
+FaultManager::~FaultManager() { Stop(); }
+
+void FaultManager::Manage(AftNode* node) {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  if (std::find(managed_nodes_.begin(), managed_nodes_.end(), node) == managed_nodes_.end()) {
+    managed_nodes_.push_back(node);
+  }
+}
+
+void FaultManager::Decommission(AftNode* node) {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  managed_nodes_.erase(std::remove(managed_nodes_.begin(), managed_nodes_.end(), node),
+                       managed_nodes_.end());
+  handled_failures_.insert(node->node_id());
+}
+
+void FaultManager::SetNodeFactory(NodeFactory factory) {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  factory_ = std::move(factory);
+}
+
+std::vector<AftNode*> FaultManager::ManagedNodes() const {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  return managed_nodes_;
+}
+
+void FaultManager::IngestCommits(const std::vector<CommitRecordPtr>& records) {
+  for (const auto& record : records) {
+    if (commits_.Add(record)) {
+      index_.AddCommit(*record);
+      stats_.records_ingested.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(known_writers_mu_);
+      known_writers_.insert(record->id.uuid);
+    }
+  }
+}
+
+size_t FaultManager::RunLivenessScanOnce() {
+  auto keys = storage_.List(kCommitPrefix);
+  if (!keys.ok()) {
+    return 0;
+  }
+  size_t recovered = 0;
+  std::vector<CommitRecordPtr> discovered;
+  const int64_t now_micros = clock_.WallTimeMicros();
+  const int64_t grace_micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(options_.liveness_grace).count();
+  for (const std::string& storage_key : keys.value()) {
+    const TxnId id = TxnIdFromCommitStorageKey(storage_key);
+    if (commits_.Contains(id) || commits_.HasLocallyDeleted(id)) {
+      continue;
+    }
+    if (id.timestamp > now_micros - grace_micros) {
+      continue;  // Fresh commit, presumably still in flight to the gossip.
+    }
+    // Bulk maintenance read: the scan is a background streaming pass.
+    auto bytes = MaintenanceRead(storage_, storage_key);
+    if (!bytes.ok()) {
+      continue;  // Deleted concurrently.
+    }
+    auto record = CommitRecord::Deserialize(bytes.value());
+    if (!record.ok()) {
+      AFT_LOG(Warn) << "fault manager: corrupt commit record at " << storage_key;
+      continue;
+    }
+    auto ptr = std::make_shared<const CommitRecord>(std::move(record).value());
+    if (commits_.Add(ptr)) {
+      index_.AddCommit(*ptr);
+      {
+        std::lock_guard<std::mutex> lock(known_writers_mu_);
+        known_writers_.insert(ptr->id.uuid);
+      }
+      discovered.push_back(std::move(ptr));
+      ++recovered;
+    }
+  }
+  if (!discovered.empty()) {
+    // §4.2: data committed by a node that died before broadcasting must
+    // still become visible everywhere.
+    for (AftNode* node : ManagedNodes()) {
+      if (node->alive()) {
+        node->ApplyRemoteCommits(discovered);
+      }
+    }
+    stats_.missed_commits_recovered.fetch_add(discovered.size(), std::memory_order_relaxed);
+  }
+  return recovered;
+}
+
+size_t FaultManager::RunGlobalGcOnce() {
+  if (!options_.enable_global_gc) {
+    return 0;
+  }
+  stats_.gc_rounds.fetch_add(1, std::memory_order_relaxed);
+  std::vector<CommitRecordPtr> snapshot = commits_.Snapshot();
+  // Oldest first (§5.2.1 mitigation).
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const CommitRecordPtr& a, const CommitRecordPtr& b) { return a->id < b->id; });
+  const std::vector<AftNode*> nodes = ManagedNodes();
+  std::vector<CommitRecordPtr> victims;
+  for (const auto& record : snapshot) {
+    if (victims.size() >= options_.gc_max_per_round) {
+      break;
+    }
+    if (!IsTransactionSuperseded(*record, index_)) {
+      continue;
+    }
+    // §5.2: delete only if every node has dropped the transaction locally
+    // (and thus no running transaction can still read from it).
+    const bool all_agree = std::all_of(nodes.begin(), nodes.end(), [&](AftNode* node) {
+      return node->CanGloballyDelete(record->id);
+    });
+    if (!all_agree) {
+      continue;
+    }
+    // Remove from our own view first so the liveness scan does not
+    // resurrect the record while the deletion is in flight.
+    index_.RemoveCommit(*record);
+    commits_.Remove(record->id);
+    victims.push_back(record);
+  }
+  if (victims.empty()) {
+    return 0;
+  }
+  // One pool task per round: the expensive storage deletes run on dedicated
+  // cores (§5.2) and are batched aggressively — per-transaction delete
+  // calls would cap the deletion rate far below the commit rate.
+  delete_pool_.Submit([this, victims, nodes] {
+    std::vector<std::string> victim_keys;
+    uint64_t version_count = 0;
+    for (const auto& record : victims) {
+      if (record->packed()) {
+        for (uint32_t i = 0; i < record->segment_count; ++i) {
+          victim_keys.push_back(SegmentStorageKey(record->id.uuid, i));
+        }
+        version_count += record->write_set.size();
+      } else {
+        for (const std::string& key : record->write_set) {
+          victim_keys.push_back(VersionStorageKey(key, record->id.uuid));
+          ++version_count;
+        }
+      }
+      victim_keys.push_back(CommitStorageKey(record->id));
+    }
+    (void)storage_.BatchDelete(victim_keys);
+    for (const auto& record : victims) {
+      commits_.ForgetLocallyDeleted(record->id);
+      for (AftNode* node : nodes) {
+        node->AcknowledgeGlobalDelete(record->id);
+      }
+    }
+    // Drop deleted writers from the orphan whitelist: if a transient storage
+    // error left a straggler version behind, the orphan sweep can now reap
+    // it (its commit record is gone, so nothing will ever reference it).
+    {
+      std::lock_guard<std::mutex> lock(known_writers_mu_);
+      for (const auto& record : victims) {
+        known_writers_.erase(record->id.uuid);
+      }
+    }
+    stats_.txns_deleted.fetch_add(victims.size(), std::memory_order_relaxed);
+    stats_.versions_deleted.fetch_add(version_count, std::memory_order_relaxed);
+  });
+  return victims.size();
+}
+
+size_t FaultManager::RunOrphanSweepOnce() {
+  auto version_keys = storage_.List(kVersionPrefix);
+  if (!version_keys.ok()) {
+    return 0;
+  }
+  // Packed-layout segments are orphan candidates too.
+  if (auto segment_keys = storage_.List(kSegmentPrefix); segment_keys.ok()) {
+    version_keys->insert(version_keys->end(), segment_keys->begin(), segment_keys->end());
+  }
+  const TimePoint now = clock_.Now();
+  // Snapshot the whitelist under a short lock: holding known_writers_mu_ for
+  // the whole sweep would block commit ingestion (and thus gossip).
+  std::unordered_set<Uuid> known;
+  {
+    std::lock_guard<std::mutex> lock(known_writers_mu_);
+    known = known_writers_;
+  }
+  std::unordered_map<std::string, TimePoint> still_present;
+  std::vector<std::string> victims;
+  for (const std::string& storage_key : *version_keys) {
+    Uuid writer;
+    if (storage_key.compare(0, 2, kSegmentPrefix) == 0) {
+      writer = WriterFromSegmentStorageKey(storage_key);
+    } else {
+      // "v/<key>/<uuid>" — the writer UUID is the final path segment.
+      const size_t slash = storage_key.rfind('/');
+      if (slash == std::string::npos) {
+        continue;
+      }
+      writer = Uuid::Parse(storage_key.substr(slash + 1));
+    }
+    if (writer.IsNil() || known.contains(writer)) {
+      continue;  // Committed (or commit seen at some point): not an orphan.
+    }
+    auto it = orphan_candidates_.find(storage_key);
+    const TimePoint first_seen = it == orphan_candidates_.end() ? now : it->second;
+    if (now - first_seen >= options_.orphan_grace) {
+      victims.push_back(storage_key);
+    } else {
+      still_present.emplace(storage_key, first_seen);
+    }
+  }
+  orphan_candidates_ = std::move(still_present);
+  if (!victims.empty()) {
+    (void)storage_.BatchDelete(victims);
+    stats_.orphans_deleted.fetch_add(victims.size(), std::memory_order_relaxed);
+  }
+  return victims.size();
+}
+
+void FaultManager::CheckForFailuresOnce() {
+  std::vector<AftNode*> dead;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    for (AftNode* node : managed_nodes_) {
+      if (!node->alive() && !handled_failures_.contains(node->node_id())) {
+        handled_failures_.insert(node->node_id());
+        dead.push_back(node);
+      }
+    }
+  }
+  for (AftNode* node : dead) {
+    stats_.failures_detected.fetch_add(1, std::memory_order_relaxed);
+    AFT_LOG(Info) << "fault manager: node " << node->node_id() << " failed";
+    balancer_.RemoveNode(node);
+    bus_.UnregisterNode(node);
+    if (options_.enable_node_replacement) {
+      const std::string failed_id = node->node_id();
+      std::lock_guard<std::mutex> lock(replacements_mu_);
+      replacement_threads_.emplace_back([this, failed_id] { ReplaceNode(failed_id); });
+    }
+  }
+}
+
+void FaultManager::ReplaceNode(const std::string& failed_id) {
+  NodeFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    factory = factory_;
+  }
+  if (!factory) {
+    AFT_LOG(Warn) << "fault manager: no node factory; cannot replace " << failed_id;
+    return;
+  }
+  // Declaring the failure takes a few seconds (heartbeat timeouts)...
+  clock_.SleepFor(options_.failure_detection_delay);
+  AftNode* replacement = factory(failed_id + "-r");
+  if (replacement == nullptr) {
+    return;
+  }
+  // ...and the replacement spends ~45s downloading its container before it
+  // can bootstrap (§6.7). Standby VMs are assumed pre-allocated, so no EC2
+  // spin-up time is charged.
+  clock_.SleepFor(options_.container_download_time);
+  if (!replacement->Start().ok()) {
+    AFT_LOG(Warn) << "fault manager: replacement for " << failed_id << " failed to start";
+    return;
+  }
+  Manage(replacement);
+  bus_.RegisterNode(replacement);
+  balancer_.AddNode(replacement);
+  stats_.nodes_replaced.fetch_add(1, std::memory_order_relaxed);
+  AFT_LOG(Info) << "fault manager: node " << replacement->node_id() << " joined, replacing "
+                << failed_id;
+}
+
+void FaultManager::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void FaultManager::Stop() {
+  if (running_.exchange(false)) {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+  std::vector<std::thread> replacements;
+  {
+    std::lock_guard<std::mutex> lock(replacements_mu_);
+    replacements.swap(replacement_threads_);
+  }
+  for (auto& t : replacements) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  delete_pool_.Wait();
+}
+
+void FaultManager::Loop() {
+  TimePoint last_scan = clock_.Now();
+  TimePoint last_gc = last_scan;
+  TimePoint last_orphan_sweep = last_scan;
+  while (running_.load()) {
+    clock_.SleepFor(options_.detection_interval);
+    if (!running_.load()) {
+      return;
+    }
+    CheckForFailuresOnce();
+    const TimePoint now = clock_.Now();
+    if (now - last_gc >= options_.gc_interval) {
+      last_gc = now;
+      RunGlobalGcOnce();
+    }
+    if (now - last_scan >= options_.scan_interval) {
+      last_scan = now;
+      RunLivenessScanOnce();
+    }
+    if (now - last_orphan_sweep >= options_.orphan_sweep_interval) {
+      last_orphan_sweep = now;
+      RunOrphanSweepOnce();
+    }
+  }
+}
+
+}  // namespace aft

@@ -1,0 +1,97 @@
+#include "src/cluster/multicast_bus.h"
+
+#include <algorithm>
+
+namespace aft {
+
+MulticastBus::MulticastBus(Clock& clock, Duration interval) : clock_(clock), interval_(interval) {}
+
+MulticastBus::~MulticastBus() { Stop(); }
+
+void MulticastBus::RegisterNode(AftNode* node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::find(nodes_.begin(), nodes_.end(), node) == nodes_.end()) {
+    nodes_.push_back(node);
+  }
+}
+
+void MulticastBus::UnregisterNode(AftNode* node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), node), nodes_.end());
+}
+
+void MulticastBus::SetFaultManagerSink(FaultManagerSink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_manager_sink_ = std::move(sink);
+}
+
+void MulticastBus::RunOnce() {
+  std::vector<AftNode*> nodes;
+  FaultManagerSink sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nodes = nodes_;
+    sink = fault_manager_sink_;
+  }
+  stats_.rounds.fetch_add(1, std::memory_order_relaxed);
+  const bool prune = pruning_enabled_.load();
+  for (AftNode* sender : nodes) {
+    if (!sender->alive()) {
+      continue;  // A dead node cannot gossip; the fault manager's storage
+                 // scan recovers anything it committed but never broadcast.
+    }
+    std::vector<CommitRecordPtr> pruned;
+    std::vector<CommitRecordPtr> unpruned;
+    sender->DrainRecentCommits(prune ? &pruned : nullptr, &unpruned);
+    if (unpruned.empty()) {
+      continue;
+    }
+    if (sink) {
+      sink(unpruned);
+      stats_.records_to_fault_manager.fetch_add(unpruned.size(), std::memory_order_relaxed);
+    }
+    const std::vector<CommitRecordPtr>& outgoing = prune ? pruned : unpruned;
+    stats_.records_broadcast.fetch_add(outgoing.size(), std::memory_order_relaxed);
+    stats_.records_pruned.fetch_add(unpruned.size() - outgoing.size(),
+                                    std::memory_order_relaxed);
+    if (outgoing.empty()) {
+      continue;
+    }
+    for (AftNode* receiver : nodes) {
+      if (receiver != sender && receiver->alive()) {
+        receiver->ApplyRemoteCommits(outgoing);
+      }
+    }
+  }
+}
+
+void MulticastBus::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MulticastBus::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  // Final drain so no committed record is stranded in a node's pending list.
+  RunOnce();
+}
+
+void MulticastBus::Loop() {
+  while (running_.load()) {
+    clock_.SleepFor(interval_);
+    if (!running_.load()) {
+      return;
+    }
+    RunOnce();
+  }
+}
+
+}  // namespace aft

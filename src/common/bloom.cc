@@ -1,0 +1,94 @@
+#include "src/common/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/common/serde.h"
+
+namespace aft {
+namespace {
+
+// 64-bit FNV-1a.
+uint64_t Fnv1a(const std::string& item, uint64_t seed) {
+  uint64_t hash = 1469598103934665603ULL ^ seed;
+  for (const char c : item) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(size_t bits, int hashes)
+    : hashes_(std::clamp(hashes, 1, 16)), words_((std::max<size_t>(bits, 64) + 63) / 64, 0) {}
+
+std::pair<uint64_t, uint64_t> BloomFilter::HashPair(const std::string& item) const {
+  // Kirsch-Mitzenmacher double hashing: h_i = h1 + i*h2.
+  return {Fnv1a(item, 0x9e3779b97f4a7c15ULL), Fnv1a(item, 0xc2b2ae3d27d4eb4fULL) | 1};
+}
+
+void BloomFilter::Add(const std::string& item) {
+  const auto [h1, h2] = HashPair(item);
+  const uint64_t bits = words_.size() * 64;
+  for (int i = 0; i < hashes_; ++i) {
+    const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % bits;
+    words_[bit / 64] |= (1ULL << (bit % 64));
+  }
+}
+
+bool BloomFilter::MightContain(const std::string& item) const {
+  const auto [h1, h2] = HashPair(item);
+  const uint64_t bits = words_.size() * 64;
+  for (int i = 0; i < hashes_; ++i) {
+    const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % bits;
+    if ((words_[bit / 64] & (1ULL << (bit % 64))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string BloomFilter::Serialize() const {
+  BinaryWriter w;
+  w.PutU8(0xBF);
+  w.PutU8(static_cast<uint8_t>(hashes_));
+  w.PutU32(static_cast<uint32_t>(words_.size()));
+  for (const uint64_t word : words_) {
+    w.PutU64(word);
+  }
+  return std::move(w).TakeData();
+}
+
+BloomFilter BloomFilter::Deserialize(const std::string& bytes, bool* ok) {
+  BinaryReader r(bytes);
+  uint8_t tag = 0;
+  uint8_t hashes = 0;
+  uint32_t word_count = 0;
+  if (ok != nullptr) {
+    *ok = false;
+  }
+  if (!r.GetU8(&tag) || tag != 0xBF || !r.GetU8(&hashes) || !r.GetU32(&word_count) ||
+      word_count == 0 || word_count > (1u << 20)) {
+    return BloomFilter();
+  }
+  BloomFilter filter(static_cast<size_t>(word_count) * 64, hashes);
+  for (uint32_t i = 0; i < word_count; ++i) {
+    if (!r.GetU64(&filter.words_[i])) {
+      return BloomFilter();
+    }
+  }
+  if (ok != nullptr) {
+    *ok = true;
+  }
+  return filter;
+}
+
+double BloomFilter::EstimatedFalsePositiveRate(size_t n) const {
+  const double m = static_cast<double>(bit_count());
+  const double k = static_cast<double>(hashes_);
+  return std::pow(1.0 - std::exp(-k * static_cast<double>(n) / m), k);
+}
+
+}  // namespace aft

@@ -1,0 +1,49 @@
+// A simple Bloom filter over strings.
+//
+// Used by RAMP-Hybrid (Bailis et al., SIGMOD'14), which attaches a Bloom
+// filter of the transaction's write set to every version instead of the full
+// key list — constant-ish metadata with one-sided error: membership queries
+// can yield false POSITIVES (forcing a spurious second read round) but never
+// false negatives (which would break read atomicity).
+
+#ifndef SRC_COMMON_BLOOM_H_
+#define SRC_COMMON_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aft {
+
+class BloomFilter {
+ public:
+  // `bits` is rounded up to a multiple of 64; `hashes` in [1, 16].
+  explicit BloomFilter(size_t bits = 256, int hashes = 4);
+
+  // Reconstructs a filter from Serialize() output (empty filter on corrupt
+  // input — conservative: an empty filter reports nothing present, which for
+  // RAMP-Hybrid means "no sibling", so callers must only deserialize bytes
+  // they produced; Deserialize validates the header for that reason).
+  static BloomFilter Deserialize(const std::string& bytes, bool* ok = nullptr);
+
+  void Add(const std::string& item);
+  bool MightContain(const std::string& item) const;
+
+  std::string Serialize() const;
+
+  size_t bit_count() const { return words_.size() * 64; }
+  int hash_count() const { return hashes_; }
+
+  // Expected false-positive rate given `n` inserted items.
+  double EstimatedFalsePositiveRate(size_t n) const;
+
+ private:
+  std::pair<uint64_t, uint64_t> HashPair(const std::string& item) const;
+
+  int hashes_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace aft
+
+#endif  // SRC_COMMON_BLOOM_H_

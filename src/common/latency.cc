@@ -1,0 +1,35 @@
+#include "src/common/latency.h"
+
+#include <cmath>
+
+namespace aft {
+
+double SampleStandardNormal(Rng& rng) {
+  // Marsaglia polar method; loop runs ~1.27 iterations on average.
+  while (true) {
+    const double u = 2.0 * rng.NextDouble() - 1.0;
+    const double v = 2.0 * rng.NextDouble() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+Duration LatencyModel::Sample(Rng& rng, uint64_t bytes) const {
+  if (is_zero()) {
+    return Duration::zero();
+  }
+  double ms = median_ms_;
+  if (sigma_ > 0.0 && median_ms_ > 0.0) {
+    // exp(log(median) + sigma * Z): the median of the lognormal is median_ms_.
+    ms = median_ms_ * std::exp(sigma_ * SampleStandardNormal(rng));
+  }
+  ms += per_kb_ms_ * (static_cast<double>(bytes) / 1024.0);
+  if (ms < floor_ms_) {
+    ms = floor_ms_;
+  }
+  return std::chrono::duration_cast<Duration>(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace aft

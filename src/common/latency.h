@@ -1,0 +1,57 @@
+// Latency injection for simulated cloud services.
+//
+// Cloud storage latencies are well modelled by lognormal distributions with a
+// heavy right tail (S3 especially; see [9, 40] in the paper). Each simulated
+// engine owns a `LatencyProfile` mapping operation classes to `LatencyModel`s
+// and charges a sample against the configured `Clock` on every call.
+
+#ifndef SRC_COMMON_LATENCY_H_
+#define SRC_COMMON_LATENCY_H_
+
+#include <cstdint>
+
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+
+namespace aft {
+
+// One latency distribution: lognormal(mu, sigma) + a constant floor, where mu
+// is expressed as a *median* in milliseconds for readability. A per-kilobyte
+// transfer cost models payload-size sensitivity.
+class LatencyModel {
+ public:
+  constexpr LatencyModel() = default;
+
+  // `median_ms`: median of the lognormal; `sigma`: log-space standard
+  // deviation (0 = deterministic); `floor_ms`: hard lower bound;
+  // `per_kb_ms`: additional deterministic cost per KiB of payload.
+  constexpr LatencyModel(double median_ms, double sigma, double floor_ms = 0.0,
+                         double per_kb_ms = 0.0)
+      : median_ms_(median_ms), sigma_(sigma), floor_ms_(floor_ms), per_kb_ms_(per_kb_ms) {}
+
+  static constexpr LatencyModel Zero() { return LatencyModel(0, 0, 0, 0); }
+
+  // Draws one latency for a payload of `bytes`.
+  Duration Sample(Rng& rng, uint64_t bytes = 0) const;
+
+  double median_ms() const { return median_ms_; }
+  bool is_zero() const { return median_ms_ == 0 && floor_ms_ == 0 && per_kb_ms_ == 0; }
+
+  // Returns a copy scaled by `factor` (used to derive batch-op costs).
+  constexpr LatencyModel Scaled(double factor) const {
+    return LatencyModel(median_ms_ * factor, sigma_, floor_ms_ * factor, per_kb_ms_ * factor);
+  }
+
+ private:
+  double median_ms_ = 0.0;
+  double sigma_ = 0.0;
+  double floor_ms_ = 0.0;
+  double per_kb_ms_ = 0.0;
+};
+
+// Samples a standard normal using the ratio-of-uniforms-free polar method.
+double SampleStandardNormal(Rng& rng);
+
+}  // namespace aft
+
+#endif  // SRC_COMMON_LATENCY_H_

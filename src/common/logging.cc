@@ -1,0 +1,51 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace aft {
+namespace {
+
+std::atomic<int> g_level{[] {
+  if (const char* env = std::getenv("AFT_LOG_LEVEL"); env != nullptr) {
+    return std::atoi(env);
+  }
+  return 1;  // Warnings and errors by default.
+}()};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace internal {
+
+bool LogEnabled(LogLevel level) { return static_cast<int>(level) <= g_level.load(); }
+
+void LogLine(LogLevel level, const std::string& file, int line, const std::string& message) {
+  static std::mutex mu;
+  // Trim the path to the basename for readability.
+  const size_t slash = file.find_last_of('/');
+  const std::string base = slash == std::string::npos ? file : file.substr(slash + 1);
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base.c_str(), line, message.c_str());
+}
+
+}  // namespace internal
+}  // namespace aft

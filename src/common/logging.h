@@ -1,0 +1,54 @@
+// Minimal leveled logging.
+//
+// The simulation produces little steady-state log output; this is deliberately
+// tiny. Level is controlled by `SetLogLevel` or the AFT_LOG_LEVEL environment
+// variable (0 = error only ... 3 = debug). Output goes to stderr and is
+// serialized across threads.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace aft {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+bool LogEnabled(LogLevel level);
+void LogLine(LogLevel level, const std::string& file, int line, const std::string& message);
+
+// Stream collector used by the AFT_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::string file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace aft
+
+#define AFT_LOG(level)                                                      \
+  if (!::aft::internal::LogEnabled(::aft::LogLevel::k##level)) {            \
+  } else                                                                    \
+    ::aft::internal::LogMessage(::aft::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,140 @@
+// Minimal binary serialization for AFT records.
+//
+// AFT persists commit records and versioned values into storage engines that
+// only understand byte strings. This module provides a small, explicit
+// little-endian writer/reader pair — no reflection, no allocation tricks —
+// with length-prefixed strings and containers.
+
+#ifndef SRC_COMMON_SERDE_H_
+#define SRC_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace aft {
+
+// Appends fixed-width integers and length-prefixed byte strings to a buffer.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void PutU32(uint32_t v) {
+    char tmp[4];
+    std::memcpy(tmp, &v, 4);
+    buf_.append(tmp, 4);
+  }
+
+  void PutU64(uint64_t v) {
+    char tmp[8];
+    std::memcpy(tmp, &v, 8);
+    buf_.append(tmp, 8);
+  }
+
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    buf_.append(s);
+  }
+
+  void PutStringVector(const std::vector<std::string>& v) {
+    PutU32(static_cast<uint32_t>(v.size()));
+    for (const auto& s : v) {
+      PutString(s);
+    }
+  }
+
+  const std::string& data() const& { return buf_; }
+  std::string TakeData() && { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+// Reads values written by BinaryWriter. All getters return false (and leave
+// the output untouched) on truncated input; callers surface that as a
+// corruption status.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& data) : data_(data) {}
+
+  bool GetU8(uint8_t* out) {
+    if (pos_ + 1 > data_.size()) {
+      return false;
+    }
+    *out = static_cast<uint8_t>(data_[pos_]);
+    pos_ += 1;
+    return true;
+  }
+
+  bool GetU32(uint32_t* out) {
+    if (pos_ + 4 > data_.size()) {
+      return false;
+    }
+    std::memcpy(out, data_.data() + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+
+  bool GetU64(uint64_t* out) {
+    if (pos_ + 8 > data_.size()) {
+      return false;
+    }
+    std::memcpy(out, data_.data() + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+
+  bool GetI64(int64_t* out) {
+    uint64_t u = 0;
+    if (!GetU64(&u)) {
+      return false;
+    }
+    *out = static_cast<int64_t>(u);
+    return true;
+  }
+
+  bool GetString(std::string* out) {
+    uint32_t len = 0;
+    if (!GetU32(&len) || pos_ + len > data_.size()) {
+      return false;
+    }
+    out->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool GetStringVector(std::vector<std::string>* out) {
+    uint32_t count = 0;
+    if (!GetU32(&count)) {
+      return false;
+    }
+    out->clear();
+    out->reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string s;
+      if (!GetString(&s)) {
+        return false;
+      }
+      out->push_back(std::move(s));
+    }
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace aft
+
+#endif  // SRC_COMMON_SERDE_H_

@@ -1,0 +1,119 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace aft {
+
+std::string LatencySummary::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.2fms min=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms", count,
+                mean_ms, min_ms, median_ms, p95_ms, p99_ms, max_ms);
+  return std::string(buf);
+}
+
+void LatencyRecorder::Record(Duration d) { RecordMillis(ToMillis(d)); }
+
+void LatencyRecorder::RecordMillis(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_ms_.push_back(ms);
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  std::vector<double> theirs;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    theirs = other.samples_ms_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_ms_.insert(samples_ms_.end(), theirs.begin(), theirs.end());
+}
+
+size_t LatencyRecorder::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_ms_.size();
+}
+
+void LatencyRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_ms_.clear();
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+LatencySummary LatencyRecorder::Summarize() const {
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples = samples_ms_;
+  }
+  LatencySummary s;
+  s.count = samples.size();
+  if (samples.empty()) {
+    return s;
+  }
+  s.mean_ms = std::accumulate(samples.begin(), samples.end(), 0.0) /
+              static_cast<double>(samples.size());
+  s.min_ms = *std::min_element(samples.begin(), samples.end());
+  s.max_ms = *std::max_element(samples.begin(), samples.end());
+  s.median_ms = Percentile(samples, 50);
+  s.p95_ms = Percentile(samples, 95);
+  s.p99_ms = Percentile(samples, 99);
+  return s;
+}
+
+ThroughputTimeline::ThroughputTimeline(Clock& clock, Duration window)
+    : clock_(clock), window_(window) {}
+
+void ThroughputTimeline::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  start_ = clock_.Now();
+  buckets_.clear();
+  total_ = 0;
+}
+
+void ThroughputTimeline::RecordEvent() {
+  const TimePoint now = clock_.Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (now < start_) {
+    return;
+  }
+  const size_t idx = static_cast<size_t>((now - start_) / window_);
+  if (idx >= buckets_.size()) {
+    buckets_.resize(idx + 1, 0);
+  }
+  ++buckets_[idx];
+  ++total_;
+}
+
+std::vector<ThroughputTimeline::Row> ThroughputTimeline::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Row> rows;
+  rows.reserve(buckets_.size());
+  const double window_sec = ToMillis(window_) / 1000.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    rows.push_back(Row{static_cast<double>(i) * window_sec,
+                       static_cast<double>(buckets_[i]) / window_sec});
+  }
+  return rows;
+}
+
+uint64_t ThroughputTimeline::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace aft

@@ -1,0 +1,90 @@
+// Measurement utilities for the benchmark harness.
+//
+// `LatencyRecorder` collects latency samples (thread-safe) and reports the
+// percentiles the paper plots (median / p99). `ThroughputTimeline` buckets
+// completion events into fixed windows for the time-series figures (Fig 9,
+// Fig 10).
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace aft {
+
+// Summary statistics over a set of latency samples, in simulated ms.
+struct LatencySummary {
+  size_t count = 0;
+  double mean_ms = 0;
+  double min_ms = 0;
+  double median_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+
+  std::string ToString() const;
+};
+
+// Thread-safe sample sink.
+class LatencyRecorder {
+ public:
+  LatencyRecorder() = default;
+
+  void Record(Duration d);
+  void RecordMillis(double ms);
+
+  // Merges another recorder's samples into this one.
+  void Merge(const LatencyRecorder& other);
+
+  LatencySummary Summarize() const;
+  size_t count() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_ms_;
+};
+
+// Computes the p-th percentile (0 <= p <= 100) by nearest-rank on a copy.
+double Percentile(std::vector<double> samples, double p);
+
+// Buckets events into fixed-width windows of simulated time; `Report`
+// produces (window start sec, events/sec) rows.
+class ThroughputTimeline {
+ public:
+  // `window` is the bucket width.
+  ThroughputTimeline(Clock& clock, Duration window = Millis(1000));
+
+  // Marks the experiment start; events before Start are dropped.
+  void Start();
+
+  // Records one completion event at the current simulated time.
+  void RecordEvent();
+
+  struct Row {
+    double window_start_sec;
+    double events_per_sec;
+  };
+  std::vector<Row> Report() const;
+
+  // Total events recorded since Start().
+  uint64_t total() const;
+
+ private:
+  Clock& clock_;
+  const Duration window_;
+  mutable std::mutex mu_;
+  TimePoint start_{};
+  std::vector<uint64_t> buckets_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace aft
+
+#endif  // SRC_COMMON_STATS_H_

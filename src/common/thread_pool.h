@@ -1,0 +1,57 @@
+// A bounded worker pool with a FIFO queue.
+//
+// Used by the FaaS platform simulator (worker slots model the provider's
+// concurrent-invocation limit) and by background deletion in the global GC.
+
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aft {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  // Drains nothing: pending tasks that have not started are dropped, running
+  // tasks are joined.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; returns false after Shutdown().
+  bool Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and all workers are idle.
+  void Wait();
+
+  // Stops accepting tasks and joins workers after running tasks finish.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace aft
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,64 @@
+// Service-capacity model for a simulated server process.
+//
+// A real AFT node runs on a fixed-size VM (4 physical cores in the paper's
+// c5.2xlarge deployment); request processing — deserialization, metadata
+// bookkeeping, 4KB payload copies — consumes CPU, which is what makes a
+// single node's throughput plateau as clients are added (§6.5.1). This
+// throttle models that: each unit of work must hold one of `cores` virtual
+// cores for a sampled service time. Throughput caps at cores/service_time
+// and queueing delay rises smoothly as utilization approaches 1.
+
+#ifndef SRC_COMMON_THROTTLE_H_
+#define SRC_COMMON_THROTTLE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "src/common/clock.h"
+#include "src/common/latency.h"
+#include "src/common/rng.h"
+
+namespace aft {
+
+class ServiceThrottle {
+ public:
+  // `cores` == 0 disables the throttle entirely.
+  ServiceThrottle(Clock& clock, size_t cores, LatencyModel service_time)
+      : clock_(clock), cores_(cores), service_time_(service_time) {}
+
+  bool enabled() const { return cores_ > 0 && !service_time_.is_zero(); }
+
+  // Occupies one core for `units` service-time samples.
+  void Charge(Rng& rng, double units = 1.0) {
+    if (!enabled() || units <= 0) {
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return busy_ < cores_; });
+      ++busy_;
+    }
+    const Duration d = service_time_.Sample(rng);
+    const auto scaled = std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double, std::nano>(static_cast<double>(d.count()) * units));
+    clock_.SleepFor(scaled);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --busy_;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  Clock& clock_;
+  const size_t cores_;
+  const LatencyModel service_time_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t busy_ = 0;
+};
+
+}  // namespace aft
+
+#endif  // SRC_COMMON_THROTTLE_H_

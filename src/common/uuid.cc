@@ -1,0 +1,39 @@
+#include "src/common/uuid.h"
+
+#include <cstdio>
+
+#include "src/common/rng.h"
+
+namespace aft {
+
+Uuid Uuid::Random(Rng& rng) {
+  uint64_t hi = rng();
+  uint64_t lo = rng();
+  // Stamp RFC 4122 version (4) and variant (10) bits so the string form is a
+  // legal v4 UUID; the ordering semantics do not depend on this.
+  hi = (hi & 0xffffffffffff0fffULL) | 0x0000000000004000ULL;
+  lo = (lo & 0x3fffffffffffffffULL) | 0x8000000000000000ULL;
+  return Uuid(hi, lo);
+}
+
+std::string Uuid::ToString() const {
+  char buf[37];
+  std::snprintf(buf, sizeof(buf), "%08x-%04x-%04x-%04x-%012llx",
+                static_cast<uint32_t>(hi_ >> 32), static_cast<uint32_t>((hi_ >> 16) & 0xffff),
+                static_cast<uint32_t>(hi_ & 0xffff), static_cast<uint32_t>(lo_ >> 48),
+                static_cast<unsigned long long>(lo_ & 0xffffffffffffULL));
+  return std::string(buf);
+}
+
+Uuid Uuid::Parse(const std::string& text) {
+  unsigned int a = 0, b = 0, c = 0, d = 0;
+  unsigned long long e = 0;
+  if (std::sscanf(text.c_str(), "%8x-%4x-%4x-%4x-%12llx", &a, &b, &c, &d, &e) != 5) {
+    return Uuid();
+  }
+  const uint64_t hi = (static_cast<uint64_t>(a) << 32) | (static_cast<uint64_t>(b) << 16) | c;
+  const uint64_t lo = (static_cast<uint64_t>(d) << 48) | e;
+  return Uuid(hi, lo);
+}
+
+}  // namespace aft

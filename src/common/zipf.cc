@@ -1,0 +1,60 @@
+#include "src/common/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aft {
+namespace {
+
+// Helper for numerically stable (exp(x*log(b)) - 1) / x style expressions.
+// Computes (pow(b, x) - 1) / x with a series fallback near x == 0.
+double PowHalf(double b, double x) {
+  const double log_b = std::log(b);
+  if (std::abs(x * log_b) < 1e-8) {
+    // pow(b,x) - 1 ~= x*log(b) * (1 + x*log(b)/2)
+    return log_b * (1.0 + x * log_b / 2.0);
+  }
+  return (std::pow(b, x) - 1.0) / x;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta) : n_(std::max<uint64_t>(n, 1)), theta_(theta) {
+  assert(theta >= 0.0);
+  h_integral_x1_ = H(1.5) - 1.0;
+  h_integral_n_ = H(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta_));
+}
+
+// H is the integral of the hat function h(x) = x^-theta:
+//   H(x) = (x^(1-theta) - 1) / (1-theta)   for theta != 1
+//   H(x) = log(x)                          for theta == 1
+// Written with PowHalf for stability as theta -> 1.
+double ZipfSampler::H(double x) const { return PowHalf(x, 1.0 - theta_); }
+
+double ZipfSampler::HInverse(double x) const {
+  const double t = x * (1.0 - theta_);
+  if (std::abs(t) < 1e-8) {
+    return std::exp(x);
+  }
+  return std::pow(1.0 + t, 1.0 / (1.0 - theta_));
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (theta_ == 0.0 || n_ == 1) {
+    return rng.Below(n_);
+  }
+  while (true) {
+    const double u = h_integral_n_ + rng.NextDouble() * (h_integral_x1_ - h_integral_n_);
+    const double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    k = std::clamp(k, 1.0, static_cast<double>(n_));
+    const uint64_t rank = static_cast<uint64_t>(k);
+    // Accept k with probability proportional to the true mass vs. the hat.
+    if (k - x <= s_ || u >= H(k + 0.5) - std::pow(k, -theta_)) {
+      return rank - 1;  // 0-based rank.
+    }
+  }
+}
+
+}  // namespace aft

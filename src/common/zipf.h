@@ -1,0 +1,45 @@
+// Zipfian key sampling.
+//
+// The paper's workloads draw keys from Zipf distributions with coefficients
+// 1.0 (light), 1.5 (moderate) and 2.0 (heavy contention) over datasets of
+// 1,000 or 100,000 keys (§6.1.2, §6.2). This sampler uses the
+// rejection-inversion method of Hörmann & Derflinger, which is O(1) per
+// sample for any exponent > 0 and needs no O(n) setup table.
+
+#ifndef SRC_COMMON_ZIPF_H_
+#define SRC_COMMON_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace aft {
+
+// Samples ranks in [0, n) with P(rank = k) proportional to 1 / (k+1)^theta.
+class ZipfSampler {
+ public:
+  // `n` must be >= 1. `theta` is the Zipf coefficient; theta = 0 degenerates
+  // to uniform sampling.
+  ZipfSampler(uint64_t n, double theta);
+
+  // Draws one rank using the supplied generator (callers own per-thread RNGs).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_;
+};
+
+}  // namespace aft
+
+#endif  // SRC_COMMON_ZIPF_H_

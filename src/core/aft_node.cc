@@ -1,0 +1,593 @@
+#include "src/core/aft_node.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/storage/sim_engine_base.h"
+
+namespace aft {
+
+AftNode::AftNode(std::string node_id, StorageEngine& storage, Clock& clock, AftNodeOptions options)
+    : node_id_(std::move(node_id)),
+      storage_(storage),
+      clock_(clock),
+      options_(std::move(options)),
+      data_cache_(options_.data_cache_bytes),
+      throttle_(clock, options_.service_cores,
+                options_.service_time.Scaled(storage.client_cpu_factor())) {}
+
+AftNode::~AftNode() {
+  stop_background_.store(true);
+  if (background_.joinable()) {
+    background_.join();
+  }
+}
+
+Status AftNode::Start() {
+  AFT_RETURN_IF_ERROR(CheckAlive());
+  // Bootstrap: warm the metadata cache with the newest commit records in the
+  // Transaction Commit Set (§3.1). The zero-padded key encoding makes the
+  // listing time-ordered, so the tail of the list is the newest.
+  AFT_ASSIGN_OR_RETURN(std::vector<std::string> commit_keys, storage_.List(kCommitPrefix));
+  const size_t limit = options_.bootstrap_commit_limit;
+  const size_t start = commit_keys.size() > limit ? commit_keys.size() - limit : 0;
+  size_t loaded = 0;
+  for (size_t i = start; i < commit_keys.size(); ++i) {
+    // Bulk read: warming the metadata cache is a streaming scan; per-request
+    // point latencies would mis-model it, and the wall-clock cost of warmup
+    // is charged explicitly where it matters (the §6.7 replacement delay).
+    auto bytes = MaintenanceRead(storage_, commit_keys[i]);
+    if (!bytes.ok()) {
+      continue;  // Deleted by the global GC between List and Get.
+    }
+    auto record = CommitRecord::Deserialize(bytes.value());
+    if (!record.ok()) {
+      AFT_LOG(Warn) << node_id_ << ": skipping corrupt commit record " << commit_keys[i];
+      continue;
+    }
+    auto ptr = std::make_shared<const CommitRecord>(std::move(record).value());
+    if (commits_.Add(ptr)) {
+      index_.AddCommit(*ptr);
+      ++loaded;
+    }
+  }
+  AFT_LOG(Info) << node_id_ << ": bootstrapped " << loaded << " commit records";
+  if (options_.enable_background_threads && !background_.joinable()) {
+    background_ = std::thread([this] { BackgroundLoop(); });
+  }
+  return Status::Ok();
+}
+
+void AftNode::Kill() {
+  alive_.store(false, std::memory_order_release);
+  stop_background_.store(true);
+}
+
+Status AftNode::CheckAlive() const {
+  if (!alive()) {
+    return Status::Unavailable("aft node " + node_id_ + " is down");
+  }
+  return Status::Ok();
+}
+
+bool AftNode::MaybeCrash(CrashPoint point) {
+  if (options_.crash_hook && options_.crash_hook(point)) {
+    AFT_LOG(Warn) << node_id_ << ": injected crash";
+    Kill();
+    return true;
+  }
+  return false;
+}
+
+Result<Uuid> AftNode::StartTransaction() {
+  AFT_RETURN_IF_ERROR(CheckAlive());
+  const Uuid txid = Uuid::Random(ThreadLocalRng());
+  auto txn = std::make_shared<TransactionState>(txid, clock_.Now());
+  {
+    std::lock_guard<std::mutex> lock(txns_mu_);
+    txns_.emplace(txid, std::move(txn));
+  }
+  stats_.txns_started.fetch_add(1, std::memory_order_relaxed);
+  return txid;
+}
+
+Status AftNode::AdoptTransaction(const Uuid& txid) {
+  AFT_RETURN_IF_ERROR(CheckAlive());
+  std::lock_guard<std::mutex> lock(txns_mu_);
+  if (!txns_.contains(txid)) {
+    txns_.emplace(txid, std::make_shared<TransactionState>(txid, clock_.Now()));
+    stats_.txns_started.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::Ok();
+}
+
+Result<AftNode::TxnPtr> AftNode::FindTransaction(const Uuid& txid) {
+  std::lock_guard<std::mutex> lock(txns_mu_);
+  auto it = txns_.find(txid);
+  if (it == txns_.end()) {
+    return Status::FailedPrecondition("unknown transaction " + txid.ToString());
+  }
+  return it->second;
+}
+
+Status AftNode::Put(const Uuid& txid, const std::string& key, std::string value) {
+  AFT_RETURN_IF_ERROR(CheckAlive());
+  if (key.empty() || key.find('/') != std::string::npos) {
+    return Status::InvalidArgument("keys must be non-empty and must not contain '/'");
+  }
+  throttle_.Charge(ThreadLocalRng());
+  AFT_ASSIGN_OR_RETURN(TxnPtr txn, FindTransaction(txid));
+  std::lock_guard<std::mutex> lock(txn->mu);
+  if (txn->status != TxnStatus::kRunning) {
+    return Status::FailedPrecondition("transaction is not running");
+  }
+  // buffered_bytes counts DIRTY (unspilled) payload only; spilled entries
+  // already live in storage and stop counting against the threshold.
+  auto it = txn->write_buffer.find(key);
+  if (it != txn->write_buffer.end()) {
+    if (txn->dirty.contains(key)) {
+      txn->buffered_bytes -= it->second.size();
+    }
+    it->second = std::move(value);
+  } else {
+    it = txn->write_buffer.emplace(key, std::move(value)).first;
+  }
+  txn->buffered_bytes += it->second.size();
+  txn->dirty.insert(key);
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+
+  // §3.3: a saturated Atomic Write Buffer proactively writes intermediary
+  // data to storage; it stays invisible until the commit record lands.
+  if (txn->buffered_bytes > options_.spill_threshold_bytes && !txn->dirty.empty()) {
+    stats_.spills.fetch_add(1, std::memory_order_relaxed);
+    // Spilled versions carry a zero timestamp (the commit timestamp is not
+    // yet known); the authoritative metadata is the commit record.
+    AFT_RETURN_IF_ERROR(FlushVersions(*txn, TxnId(0, txid)));
+    txn->buffered_bytes = 0;  // Spilled payloads no longer count against the threshold.
+  }
+  return Status::Ok();
+}
+
+Status AftNode::FlushVersions(TransactionState& txn, const TxnId& writer_id) {
+  if (txn.dirty.empty()) {
+    return Status::Ok();
+  }
+  if (options_.packed_layout) {
+    // One segment object holds every dirty payload; locators go into the
+    // commit record (§8 data layout). A rewritten key's stale locator from
+    // an earlier spill is replaced.
+    std::string segment;
+    std::vector<VersionLocator> fresh;
+    for (const auto& [key, payload] : txn.write_buffer) {
+      if (!txn.dirty.contains(key)) {
+        continue;
+      }
+      fresh.push_back(VersionLocator{key, txn.next_segment_index,
+                                     static_cast<uint32_t>(segment.size()),
+                                     static_cast<uint32_t>(payload.size())});
+      segment += payload;
+    }
+    AFT_RETURN_IF_ERROR(storage_.Put(SegmentStorageKey(txn.uuid, txn.next_segment_index),
+                                     segment));
+    for (const VersionLocator& locator : fresh) {
+      std::erase_if(txn.packed_locators,
+                    [&](const VersionLocator& old) { return old.key == locator.key; });
+      txn.packed_locators.push_back(locator);
+    }
+    ++txn.next_segment_index;
+  } else {
+    // Key-per-version layout: the cowritten set is the transaction's full
+    // write set so far; for the final (commit-time) flush this is the
+    // complete, authoritative set.
+    std::vector<std::string> write_set;
+    write_set.reserve(txn.write_buffer.size());
+    for (const auto& [key, payload] : txn.write_buffer) {
+      write_set.push_back(key);
+    }
+    std::vector<WriteOp> ops;
+    ops.reserve(txn.dirty.size());
+    for (const auto& [key, payload] : txn.write_buffer) {
+      if (!txn.dirty.contains(key)) {
+        continue;
+      }
+      VersionedValue value{writer_id, write_set, payload};
+      ops.push_back(WriteOp{VersionStorageKey(key, txn.uuid), value.Serialize()});
+    }
+    AFT_RETURN_IF_ERROR(storage_.BatchPut(ops));
+  }
+  for (const auto& [key, payload] : txn.write_buffer) {
+    if (txn.dirty.contains(key)) {
+      txn.spilled.insert(key);
+    }
+  }
+  txn.dirty.clear();
+  return Status::Ok();
+}
+
+Result<std::optional<std::string>> AftNode::Get(const Uuid& txid, const std::string& key) {
+  AFT_ASSIGN_OR_RETURN(VersionedRead read, GetVersioned(txid, key));
+  return std::move(read.value);
+}
+
+Result<AftNode::VersionedRead> AftNode::GetVersioned(const Uuid& txid, const std::string& key) {
+  AFT_RETURN_IF_ERROR(CheckAlive());
+  throttle_.Charge(ThreadLocalRng());
+  AFT_ASSIGN_OR_RETURN(TxnPtr txn, FindTransaction(txid));
+  std::lock_guard<std::mutex> lock(txn->mu);
+  if (txn->status != TxnStatus::kRunning) {
+    return Status::FailedPrecondition("transaction is not running");
+  }
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+
+  // Read-your-writes (§3.5): data in the transaction's own write buffer is
+  // returned immediately and bypasses Algorithm 1 (buffered data has no
+  // commit timestamp yet, so it cannot participate).
+  if (auto it = txn->write_buffer.find(key); it != txn->write_buffer.end()) {
+    return VersionedRead{it->second, TxnId(0, txid), nullptr};
+  }
+
+  const AtomicReadChoice choice = SelectAtomicReadVersion(key, txn->read_set, index_, commits_);
+  switch (choice.kind) {
+    case AtomicReadChoice::Kind::kNullVersion:
+      stats_.null_reads.fetch_add(1, std::memory_order_relaxed);
+      return VersionedRead{std::nullopt, TxnId::Null(), nullptr};
+    case AtomicReadChoice::Kind::kNoValidVersion:
+      // §3.6: no version of `key` is compatible with what the transaction
+      // already read; the client must abort and retry.
+      stats_.read_aborts.fetch_add(1, std::memory_order_relaxed);
+      return Status::Aborted("no valid version of '" + key + "' for this read set");
+    case AtomicReadChoice::Kind::kVersion:
+      break;
+  }
+
+  AFT_ASSIGN_OR_RETURN(std::string payload,
+                       ReadVersionPayload(key, choice.version, choice.record));
+  txn->read_set[key] = ReadSetEntry{choice.version, choice.record};
+  if (txn->reads_from.insert(choice.version).second) {
+    read_pins_.Pin(choice.version);
+  }
+  return VersionedRead{std::move(payload), choice.version, choice.record};
+}
+
+Result<std::string> AftNode::ReadVersionPayload(const std::string& key, const TxnId& version,
+                                                const CommitRecordPtr& record) {
+  // The cache key identifies the (key, writer) version in either layout.
+  const std::string version_key = VersionStorageKey(key, version.uuid);
+  if (auto cached = data_cache_.Get(version_key); cached.has_value()) {
+    return std::move(*cached);
+  }
+  Status last = Status::Internal("unreachable");
+  for (int attempt = 0; attempt <= options_.storage_read_retries; ++attempt) {
+    if (record != nullptr && record->packed()) {
+      // Packed layout: ranged GET of the payload slice out of the segment.
+      const VersionLocator* locator = record->FindLocator(key);
+      if (locator == nullptr) {
+        return Status::Internal("packed commit record has no locator for '" + key + "'");
+      }
+      auto bytes = storage_.GetRange(SegmentStorageKey(version.uuid, locator->segment_index),
+                                     locator->offset, locator->length);
+      if (bytes.ok()) {
+        data_cache_.Put(version_key, bytes.value());
+        return std::move(bytes).value();
+      }
+      last = bytes.status();
+    } else {
+      auto bytes = storage_.Get(version_key);
+      if (bytes.ok()) {
+        auto value = VersionedValue::Deserialize(bytes.value());
+        if (!value.ok()) {
+          return value.status();
+        }
+        data_cache_.Put(version_key, value->payload);
+        return std::move(value->payload);
+      }
+      last = bytes.status();
+    }
+    if (!last.IsNotFound()) {
+      return last;
+    }
+    clock_.SleepFor(options_.storage_read_backoff);
+  }
+  // The metadata said this version exists but storage cannot produce it —
+  // either the global GC raced us (§5.2.1) or visibility lagged far beyond
+  // our retry budget. Either way the transaction must retry.
+  return Status::Aborted("version " + version_key + " unreadable: " + last.ToString());
+}
+
+Status AftNode::AbortTransaction(const Uuid& txid) {
+  AFT_RETURN_IF_ERROR(CheckAlive());
+  AFT_ASSIGN_OR_RETURN(TxnPtr txn, FindTransaction(txid));
+  {
+    std::lock_guard<std::mutex> lock(txn->mu);
+    if (txn->status == TxnStatus::kCommitted || txn->status == TxnStatus::kCommitting) {
+      return Status::FailedPrecondition("transaction already committed/committing");
+    }
+    txn->status = TxnStatus::kAborted;
+    // §3.3: updates are simply deleted from the Atomic Write Buffer; nothing
+    // was visible. Spilled intermediary versions are deleted from storage —
+    // they were never referenced by any commit record.
+    if (!txn->spilled.empty()) {
+      std::vector<std::string> spilled_keys;
+      if (options_.packed_layout) {
+        for (uint32_t i = 0; i < txn->next_segment_index; ++i) {
+          spilled_keys.push_back(SegmentStorageKey(txn->uuid, i));
+        }
+      } else {
+        spilled_keys.reserve(txn->spilled.size());
+        for (const std::string& key : txn->spilled) {
+          spilled_keys.push_back(VersionStorageKey(key, txn->uuid));
+        }
+      }
+      (void)storage_.BatchDelete(spilled_keys);
+    }
+    txn->write_buffer.clear();
+    txn->dirty.clear();
+    txn->spilled.clear();
+    UnpinReads(*txn);
+    txn->reads_from.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(txns_mu_);
+    txns_.erase(txid);
+  }
+  stats_.txns_aborted.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
+  AFT_RETURN_IF_ERROR(CheckAlive());
+  // Idempotence for retried commits (§3.1): a transaction's updates are
+  // persisted exactly once.
+  {
+    std::lock_guard<std::mutex> lock(committed_mu_);
+    if (auto it = committed_uuids_.find(txid); it != committed_uuids_.end()) {
+      return it->second;
+    }
+  }
+  AFT_ASSIGN_OR_RETURN(TxnPtr txn, FindTransaction(txid));
+  // Commit-side processing (batch assembly, serialization of the whole
+  // update set) costs about two operation units of node CPU.
+  throttle_.Charge(ThreadLocalRng(), 2.0);
+  std::unique_lock<std::mutex> lock(txn->mu);
+  if (txn->status != TxnStatus::kRunning) {
+    return Status::FailedPrecondition("transaction is not running");
+  }
+  txn->status = TxnStatus::kCommitting;
+
+  // Assign the commit timestamp from the local system clock (§3.1).
+  const TxnId commit_id(clock_.WallTimeMicros(), txid);
+  txn->commit_id = commit_id;
+
+  if (MaybeCrash(CrashPoint::kBeforeDataWrite)) {
+    return Status::Unavailable("node crashed");
+  }
+
+  // Write-ordering protocol step 1 (§3.3): persist all of the transaction's
+  // key versions (automatically batched where the engine supports it).
+  Status flushed = FlushVersions(*txn, commit_id);
+  if (!flushed.ok()) {
+    txn->status = TxnStatus::kRunning;  // Let the client retry or abort.
+    return flushed;
+  }
+
+  if (MaybeCrash(CrashPoint::kAfterDataWrite)) {
+    // Data is durable but the commit record is not: the transaction is NOT
+    // committed; its versions are invisible orphans the GC will reap.
+    return Status::Unavailable("node crashed");
+  }
+
+  // Step 2: persist the commit record to the Transaction Commit Set. Only
+  // now does the transaction become visible.
+  auto record = std::make_shared<const CommitRecord>(CommitRecord{
+      commit_id,
+      [&] {
+        std::vector<std::string> keys;
+        keys.reserve(txn->write_buffer.size());
+        for (const auto& [key, payload] : txn->write_buffer) {
+          keys.push_back(key);
+        }
+        return keys;
+      }(),
+      options_.packed_layout ? txn->next_segment_index : 0,
+      options_.packed_layout ? txn->packed_locators : std::vector<VersionLocator>{}});
+  Status committed = storage_.Put(CommitStorageKey(commit_id), record->Serialize());
+  if (!committed.ok()) {
+    txn->status = TxnStatus::kRunning;
+    return committed;
+  }
+
+  if (MaybeCrash(CrashPoint::kAfterCommitWrite)) {
+    // The commit record is durable, so the transaction IS committed even
+    // though this node dies before acknowledging: the fault manager's
+    // commit-set scan will surface it to the surviving nodes (§4.2).
+    return Status::Unavailable("node crashed");
+  }
+
+  // Step 3: update local caches and make the data visible locally.
+  if (commits_.Add(record)) {
+    index_.AddCommit(*record);
+  }
+  for (const auto& [key, payload] : txn->write_buffer) {
+    data_cache_.Put(VersionStorageKey(key, txid), payload);
+  }
+  commits_.NoteLocalCommit(commit_id);
+  {
+    std::lock_guard<std::mutex> block(broadcast_mu_);
+    pending_broadcast_.push_back(record);
+  }
+  txn->status = TxnStatus::kCommitted;
+  UnpinReads(*txn);
+  txn->reads_from.clear();
+  lock.unlock();
+
+  {
+    std::lock_guard<std::mutex> clock_guard(committed_mu_);
+    committed_uuids_[txid] = commit_id;
+    committed_order_.push_back(txid);
+    if (committed_order_.size() > options_.committed_uuid_memory) {
+      committed_uuids_.erase(committed_order_[committed_next_evict_]);
+      ++committed_next_evict_;
+      if (committed_next_evict_ > options_.committed_uuid_memory) {
+        committed_order_.erase(committed_order_.begin(),
+                               committed_order_.begin() +
+                                   static_cast<long>(committed_next_evict_));
+        committed_next_evict_ = 0;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> tlock(txns_mu_);
+    txns_.erase(txid);
+  }
+  stats_.txns_committed.fetch_add(1, std::memory_order_relaxed);
+  return commit_id;
+}
+
+void AftNode::DrainRecentCommits(std::vector<CommitRecordPtr>* pruned,
+                                 std::vector<CommitRecordPtr>* unpruned) {
+  std::vector<CommitRecordPtr> drained;
+  {
+    std::lock_guard<std::mutex> lock(broadcast_mu_);
+    drained.swap(pending_broadcast_);
+  }
+  if (unpruned != nullptr) {
+    unpruned->insert(unpruned->end(), drained.begin(), drained.end());
+  }
+  if (pruned != nullptr) {
+    // §4.1: locally superseded transactions are omitted from the multicast.
+    for (auto& record : drained) {
+      if (!IsTransactionSuperseded(*record, index_)) {
+        pruned->push_back(std::move(record));
+      }
+    }
+  }
+}
+
+void AftNode::ApplyRemoteCommits(const std::vector<CommitRecordPtr>& records) {
+  if (!alive()) {
+    return;
+  }
+  for (const auto& record : records) {
+    if (commits_.Contains(record->id)) {
+      continue;
+    }
+    // §4.1: a received transaction already superseded by local state is not
+    // merged into the metadata cache.
+    if (IsTransactionSuperseded(*record, index_)) {
+      stats_.remote_commits_skipped_superseded.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (commits_.Add(record)) {
+      index_.AddCommit(*record);
+      stats_.remote_commits_applied.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool AftNode::AnyRunningTransactionReadsFrom(const TxnId& id) {
+  return read_pins_.IsPinned(id);
+}
+
+void AftNode::UnpinReads(const TransactionState& txn) {
+  for (const TxnId& id : txn.reads_from) {
+    read_pins_.Unpin(id);
+  }
+}
+
+size_t AftNode::RunLocalGcOnce() {
+  if (!alive()) {
+    return 0;
+  }
+  // §5.1: remove a committed transaction's metadata when (a) it is
+  // superseded and (b) no currently-executing transaction has read from its
+  // write set. Oldest transactions are collected first, which mitigates the
+  // missing-versions pitfall of §5.2.1.
+  std::vector<CommitRecordPtr> snapshot = commits_.Snapshot();
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const CommitRecordPtr& a, const CommitRecordPtr& b) { return a->id < b->id; });
+  // Records still pending broadcast must reach the bus / fault manager first.
+  std::unordered_set<TxnId> pending;
+  {
+    std::lock_guard<std::mutex> lock(broadcast_mu_);
+    for (const auto& record : pending_broadcast_) {
+      pending.insert(record->id);
+    }
+  }
+  size_t removed = 0;
+  for (const auto& record : snapshot) {
+    if (removed >= options_.local_gc_max_per_sweep) {
+      break;
+    }
+    if (pending.contains(record->id)) {
+      continue;
+    }
+    if (!IsTransactionSuperseded(*record, index_)) {
+      continue;
+    }
+    if (AnyRunningTransactionReadsFrom(record->id)) {
+      continue;
+    }
+    // Remove from the index first so Algorithm 1 stops offering these
+    // versions, then drop the record and evict cached data.
+    index_.RemoveCommit(*record);
+    commits_.Remove(record->id);
+    for (const std::string& key : record->write_set) {
+      data_cache_.Erase(VersionStorageKey(key, record->id.uuid));
+    }
+    ++removed;
+  }
+  stats_.gc_records_removed.fetch_add(removed, std::memory_order_relaxed);
+  return removed;
+}
+
+bool AftNode::HasLocallyDeleted(const TxnId& id) const {
+  return commits_.HasLocallyDeleted(id);
+}
+
+void AftNode::AcknowledgeGlobalDelete(const TxnId& id) { commits_.ForgetLocallyDeleted(id); }
+
+bool AftNode::CanGloballyDelete(const TxnId& id) {
+  if (!alive()) {
+    // A dead node serves no reads; it cannot block deletion.
+    return true;
+  }
+  return !commits_.Contains(id) && !AnyRunningTransactionReadsFrom(id);
+}
+
+size_t AftNode::RunningTransactionCount() const {
+  std::lock_guard<std::mutex> lock(txns_mu_);
+  return txns_.size();
+}
+
+size_t AftNode::SweepTimedOutTransactions() {
+  const TimePoint now = clock_.Now();
+  std::vector<Uuid> expired;
+  {
+    std::lock_guard<std::mutex> lock(txns_mu_);
+    for (const auto& [uuid, txn] : txns_) {
+      if (now - txn->start_time > options_.txn_timeout) {
+        expired.push_back(uuid);
+      }
+    }
+  }
+  size_t aborted = 0;
+  for (const Uuid& uuid : expired) {
+    if (AbortTransaction(uuid).ok()) {
+      ++aborted;
+    }
+  }
+  return aborted;
+}
+
+void AftNode::BackgroundLoop() {
+  while (!stop_background_.load()) {
+    clock_.SleepFor(options_.local_gc_interval);
+    if (stop_background_.load() || !alive()) {
+      return;
+    }
+    RunLocalGcOnce();
+    SweepTimedOutTransactions();
+  }
+}
+
+}  // namespace aft

@@ -1,0 +1,264 @@
+// An AFT node: the fault-tolerance shim of the paper (§3).
+//
+// Each node is composed of a transaction manager, an Atomic Write Buffer and
+// local metadata/data caches, and sits in front of a shared storage engine.
+// All operations of one transaction are served by one node; nodes never
+// coordinate on the critical path (§4) — they learn about each other's
+// commits via the multicast hooks at the bottom of this interface, which the
+// cluster layer (src/cluster) drives.
+
+#ifndef SRC_CORE_AFT_NODE_H_
+#define SRC_CORE_AFT_NODE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/common/throttle.h"
+#include "src/core/commit_set_cache.h"
+#include "src/core/data_cache.h"
+#include "src/core/key_version_index.h"
+#include "src/core/read_algorithm.h"
+#include "src/core/read_pin_table.h"
+#include "src/core/records.h"
+#include "src/core/transaction.h"
+#include "src/core/txn_id.h"
+#include "src/storage/storage_engine.h"
+
+namespace aft {
+
+// Deterministic crash points used by fault-injection tests to kill a node at
+// the worst possible moments of the commit protocol (§3.3.1).
+enum class CrashPoint {
+  kBeforeDataWrite,
+  kAfterDataWrite,    // Data persisted, commit record NOT yet written.
+  kAfterCommitWrite,  // Commit record persisted, local caches NOT updated.
+};
+
+struct AftNodeOptions {
+  // Data cache budget; 0 disables read caching (the "No Caching" bars of
+  // Figure 4).
+  uint64_t data_cache_bytes = 64ull * 1024 * 1024;
+
+  // Write-buffer spill threshold (§3.3: a saturated Atomic Write Buffer
+  // proactively writes intermediary data to storage).
+  uint64_t spill_threshold_bytes = 4ull * 1024 * 1024;
+
+  // Packed (log-structured) data layout — the §8 "Efficient Data Layout"
+  // future work: a commit writes ONE segment object holding all payloads
+  // plus per-key locators in the commit record; readers use ranged GETs.
+  // Built for S3, whose per-object costs dominate the key-per-version
+  // layout; works over any engine.
+  bool packed_layout = false;
+
+  // Running transactions older than this are aborted by the sweeper
+  // ("its transaction will be aborted after a timeout", §3.3.1).
+  Duration txn_timeout = std::chrono::seconds(60);
+
+  // Background local-GC sweep period (§5.1) and per-sweep cap.
+  Duration local_gc_interval = Millis(1000);
+  size_t local_gc_max_per_sweep = 4096;
+  bool enable_background_threads = false;
+
+  // How many of the newest commit records to load when bootstrapping the
+  // metadata cache from the Transaction Commit Set (§3.1).
+  size_t bootstrap_commit_limit = 100000;
+
+  // Retries for fetching a version payload that the metadata says exists.
+  int storage_read_retries = 4;
+  Duration storage_read_backoff = Millis(2);
+
+  // Node service capacity (§6.5.1): each API operation occupies one of
+  // `service_cores` virtual cores for one sample of `service_time`. This is
+  // what caps a single node's throughput (the paper's 4-core c5.2xlarge
+  // plateaus around 600-900 txn/s). Set service_cores = 0 to disable.
+  // The base is scaled by the engine's client_cpu_factor() — DynamoDB's
+  // HTTPS/JSON client burns more node CPU per op than Redis' RESP.
+  size_t service_cores = 4;
+  LatencyModel service_time = LatencyModel(0.5, 0.2, 0.15);
+
+  // How many (uuid -> commit id) entries to remember for idempotent commit
+  // retries.
+  size_t committed_uuid_memory = 65536;
+
+  // Fault-injection hook: return true to crash the node at this point.
+  std::function<bool(CrashPoint)> crash_hook;
+};
+
+// Cumulative statistics for one node.
+struct AftNodeStats {
+  std::atomic<uint64_t> txns_started{0};
+  std::atomic<uint64_t> txns_committed{0};
+  std::atomic<uint64_t> txns_aborted{0};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> null_reads{0};
+  std::atomic<uint64_t> read_aborts{0};   // kNoValidVersion outcomes.
+  std::atomic<uint64_t> spills{0};
+  std::atomic<uint64_t> gc_records_removed{0};
+  std::atomic<uint64_t> remote_commits_applied{0};
+  std::atomic<uint64_t> remote_commits_skipped_superseded{0};
+};
+
+class AftNode {
+ public:
+  AftNode(std::string node_id, StorageEngine& storage, Clock& clock, AftNodeOptions options = {});
+  ~AftNode();
+
+  AftNode(const AftNode&) = delete;
+  AftNode& operator=(const AftNode&) = delete;
+
+  // Warms the metadata cache from the Transaction Commit Set in storage;
+  // called on node start / recovery (§3.1). Also starts background threads
+  // when enabled.
+  Status Start();
+
+  // Simulates a node failure: all subsequent API calls fail with
+  // kUnavailable and background threads stop. In-flight transactions that
+  // had not committed are lost (§3.3.1).
+  void Kill();
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+
+  // ---- Table 1 API ----------------------------------------------------------
+  // Begins a transaction and returns its UUID. The commit timestamp (and so
+  // the total-order TxnId) is assigned at commit.
+  Result<Uuid> StartTransaction();
+
+  // Continues a transaction after a function failure using the same ID
+  // (§3.3.1) — registers `txid` if this node has never seen it.
+  Status AdoptTransaction(const Uuid& txid);
+
+  // Reads `key`. Returns nullopt for the NULL version (key absent under the
+  // transaction's snapshot); kAborted when no valid version exists and the
+  // transaction must retry (§3.6).
+  Result<std::optional<std::string>> Get(const Uuid& txid, const std::string& key);
+
+  // Like Get, but also reports WHICH version was read — used by the
+  // evaluation harness to validate read atomicity with the same anomaly
+  // checker that audits the baselines (Table 2).
+  struct VersionedRead {
+    std::optional<std::string> value;
+    // Null for NULL-version reads; TxnId(0, txid) for reads served from the
+    // transaction's own write buffer.
+    TxnId version;
+    CommitRecordPtr record;  // The version's commit record; may be nullptr.
+  };
+  Result<VersionedRead> GetVersioned(const Uuid& txid, const std::string& key);
+
+  // Buffers an update. Keys must be non-empty and must not contain '/'.
+  Status Put(const Uuid& txid, const std::string& key, std::string value);
+
+  // Discards the transaction's buffered updates (and any spilled ones).
+  Status AbortTransaction(const Uuid& txid);
+
+  // Atomically persists the transaction's updates (write-ordering protocol,
+  // §3.3) and returns the commit ID. Acknowledged only after all data AND
+  // the commit record are durable. Idempotent for recently committed UUIDs.
+  Result<TxnId> CommitTransaction(const Uuid& txid);
+
+  // ---- Multicast hooks (driven by src/cluster, §4) --------------------------
+  // Drains transactions committed locally since the last call. `pruned` gets
+  // the supersedence-filtered list for node-to-node multicast (§4.1);
+  // `unpruned` the full list for the fault manager (§4.2).
+  void DrainRecentCommits(std::vector<CommitRecordPtr>* pruned,
+                          std::vector<CommitRecordPtr>* unpruned);
+
+  // Merges commit records learned from a peer or the fault manager; locally
+  // superseded records are skipped (§4.1).
+  void ApplyRemoteCommits(const std::vector<CommitRecordPtr>& records);
+
+  // ---- Garbage collection (§5) ----------------------------------------------
+  // One local metadata GC sweep; returns the number of records removed.
+  size_t RunLocalGcOnce();
+
+  // Global-GC protocol: has this node locally dropped `id`'s metadata?
+  bool HasLocallyDeleted(const TxnId& id) const;
+  // Global GC committed the deletion; forget the tombstone.
+  void AcknowledgeGlobalDelete(const TxnId& id);
+  // The safety predicate the global GC needs from each node before deleting
+  // `id`'s data: this node holds no metadata for it and no running
+  // transaction has read from it. Subsumes "locally deleted" and also covers
+  // records this node pruned on receipt and so never cached.
+  bool CanGloballyDelete(const TxnId& id);
+
+  // Aborts running transactions older than options.txn_timeout.
+  size_t SweepTimedOutTransactions();
+
+  // ---- Introspection ---------------------------------------------------------
+  const std::string& node_id() const { return node_id_; }
+  const AftNodeStats& stats() const { return stats_; }
+  // Number of currently open (uncommitted, unaborted) transactions — used by
+  // the autoscaler to drain a node before decommissioning it.
+  size_t RunningTransactionCount() const;
+  const DataCache& data_cache() const { return data_cache_; }
+  size_t CommitSetSize() const { return commits_.size(); }
+  size_t KeyVersionCount() const { return index_.TotalVersionCount(); }
+  StorageEngine& storage() { return storage_; }
+  bool IsSuperseded(const CommitRecord& record) const {
+    return IsTransactionSuperseded(record, index_);
+  }
+
+ private:
+  using TxnPtr = std::shared_ptr<TransactionState>;
+
+  Status CheckAlive() const;
+  Result<TxnPtr> FindTransaction(const Uuid& txid);
+  // Writes the buffer's dirty entries to storage as version objects.
+  Status FlushVersions(TransactionState& txn, const TxnId& writer_id);
+  // Fetches a version payload through the data cache with bounded retries.
+  // `record` supplies the locators needed for the packed layout.
+  Result<std::string> ReadVersionPayload(const std::string& key, const TxnId& version,
+                                         const CommitRecordPtr& record);
+  // True when some running transaction has read from `id` (GC guard, §5.1).
+  // O(1) via the read pin table.
+  bool AnyRunningTransactionReadsFrom(const TxnId& id);
+  // Releases the transaction's read pins (commit/abort epilogue).
+  void UnpinReads(const TransactionState& txn);
+  void BackgroundLoop();
+  bool MaybeCrash(CrashPoint point);
+
+  const std::string node_id_;
+  StorageEngine& storage_;
+  Clock& clock_;
+  const AftNodeOptions options_;
+
+  std::atomic<bool> alive_{true};
+  std::atomic<bool> stop_background_{false};
+  std::thread background_;
+
+  // Transaction table.
+  mutable std::mutex txns_mu_;
+  std::unordered_map<Uuid, TxnPtr> txns_;
+
+  // Idempotent-commit memory: uuid -> commit id, bounded FIFO.
+  std::mutex committed_mu_;
+  std::unordered_map<Uuid, TxnId> committed_uuids_;
+  std::vector<Uuid> committed_order_;
+  size_t committed_next_evict_ = 0;
+
+  // Metadata + data caches.
+  CommitSetCache commits_;
+  KeyVersionIndex index_;
+  DataCache data_cache_;
+  ServiceThrottle throttle_;
+  ReadPinTable read_pins_;
+
+  // Recently committed records not yet drained for broadcast; guarded by
+  // broadcast_mu_. Local GC will not drop records still pending broadcast.
+  std::mutex broadcast_mu_;
+  std::vector<CommitRecordPtr> pending_broadcast_;
+
+  AftNodeStats stats_;
+};
+
+}  // namespace aft
+
+#endif  // SRC_CORE_AFT_NODE_H_

@@ -1,0 +1,65 @@
+// Local cache of committed-transaction metadata (the Commit Set Cache, §3.1).
+//
+// Maps transaction IDs to their commit records. Records are shared_ptr so a
+// running transaction can pin the cowritten sets of versions it has read even
+// if the GC drops them from the cache concurrently. Also tracks the list of
+// transactions committed locally since the last multicast round (§4) and the
+// set of locally GC-deleted transaction IDs the global GC asks about (§5.2).
+
+#ifndef SRC_CORE_COMMIT_SET_CACHE_H_
+#define SRC_CORE_COMMIT_SET_CACHE_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/records.h"
+#include "src/core/txn_id.h"
+
+namespace aft {
+
+using CommitRecordPtr = std::shared_ptr<const CommitRecord>;
+
+class CommitSetCache {
+ public:
+  CommitSetCache() = default;
+
+  // Inserts a record; returns false if it was already present.
+  bool Add(CommitRecordPtr record);
+
+  // Removes a record (local metadata GC). The ID is remembered in the
+  // locally-deleted set until the global GC acknowledges it.
+  void Remove(const TxnId& id);
+
+  CommitRecordPtr Lookup(const TxnId& id) const;
+  bool Contains(const TxnId& id) const;
+
+  // All currently cached records (GC sweep iterates this snapshot).
+  std::vector<CommitRecordPtr> Snapshot() const;
+
+  // ---- Multicast bookkeeping (§4) -----------------------------------------
+  // Appends to the recently-committed list consumed by the broadcast thread.
+  void NoteLocalCommit(const TxnId& id);
+  // Drains and returns the recently-committed IDs.
+  std::vector<TxnId> TakeRecentCommits();
+
+  // ---- Global GC bookkeeping (§5.2) ----------------------------------------
+  bool HasLocallyDeleted(const TxnId& id) const;
+  // The global GC confirmed deletion; we can forget the tombstone.
+  void ForgetLocallyDeleted(const TxnId& id);
+  size_t LocallyDeletedCount() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<TxnId, CommitRecordPtr> records_;
+  std::vector<TxnId> recent_commits_;
+  std::unordered_set<TxnId> locally_deleted_;
+};
+
+}  // namespace aft
+
+#endif  // SRC_CORE_COMMIT_SET_CACHE_H_

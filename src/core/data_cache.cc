@@ -1,0 +1,75 @@
+#include "src/core/data_cache.h"
+
+namespace aft {
+
+DataCache::DataCache(uint64_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
+
+std::optional<std::string> DataCache::Get(const std::string& version_key) {
+  if (!enabled()) {
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(version_key);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  // Move to front (most recently used).
+  lru_.splice(lru_.begin(), lru_, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->payload;
+}
+
+void DataCache::Put(const std::string& version_key, std::string payload) {
+  if (!enabled() || payload.size() > capacity_bytes_) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(version_key);
+  if (it != index_.end()) {
+    used_bytes_ -= it->second->payload.size();
+    it->second->payload = std::move(payload);
+    used_bytes_ += it->second->payload.size();
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{version_key, std::move(payload)});
+    index_[version_key] = lru_.begin();
+    used_bytes_ += lru_.front().payload.size();
+  }
+  EvictOverBudgetLocked();
+}
+
+void DataCache::Erase(const std::string& version_key) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(version_key);
+  if (it == index_.end()) {
+    return;
+  }
+  used_bytes_ -= it->second->payload.size();
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void DataCache::EvictOverBudgetLocked() {
+  while (used_bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_bytes_ -= victim.payload.size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+uint64_t DataCache::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_bytes_;
+}
+
+size_t DataCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace aft

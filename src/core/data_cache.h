@@ -1,0 +1,61 @@
+// Node-local data cache (§3.1, evaluated in §6.2).
+//
+// Caches the *payloads* of a subset of the key versions present in the
+// metadata cache, keyed by version storage key. Since key versions are
+// immutable (AFT never overwrites), cache entries can never be stale — the
+// only policy question is eviction, which is LRU by byte budget.
+
+#ifndef SRC_CORE_DATA_CACHE_H_
+#define SRC_CORE_DATA_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace aft {
+
+class DataCache {
+ public:
+  // `capacity_bytes` == 0 disables caching entirely.
+  explicit DataCache(uint64_t capacity_bytes);
+
+  // Returns the cached payload and refreshes recency.
+  std::optional<std::string> Get(const std::string& version_key);
+
+  // Inserts (or refreshes) an entry, evicting LRU entries over budget.
+  void Put(const std::string& version_key, std::string payload);
+
+  // Drops an entry (used when GC deletes the underlying version).
+  void Erase(const std::string& version_key);
+
+  bool enabled() const { return capacity_bytes_ > 0; }
+  uint64_t size_bytes() const;
+  size_t entry_count() const;
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string payload;
+  };
+
+  void EvictOverBudgetLocked();
+
+  const uint64_t capacity_bytes_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // Front == most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t used_bytes_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace aft
+
+#endif  // SRC_CORE_DATA_CACHE_H_

@@ -1,0 +1,75 @@
+#include "src/core/key_version_index.h"
+
+#include <mutex>
+
+namespace aft {
+
+void KeyVersionIndex::AddCommit(const CommitRecord& record) {
+  std::unique_lock lock(mu_);
+  for (const std::string& key : record.write_set) {
+    versions_[key].insert(record.id);
+  }
+}
+
+void KeyVersionIndex::RemoveCommit(const CommitRecord& record) {
+  std::unique_lock lock(mu_);
+  for (const std::string& key : record.write_set) {
+    auto it = versions_.find(key);
+    if (it == versions_.end()) {
+      continue;
+    }
+    it->second.erase(record.id);
+    if (it->second.empty()) {
+      versions_.erase(it);
+    }
+  }
+}
+
+TxnId KeyVersionIndex::LatestVersion(const std::string& key) const {
+  std::shared_lock lock(mu_);
+  auto it = versions_.find(key);
+  if (it == versions_.end() || it->second.empty()) {
+    return TxnId::Null();
+  }
+  return *it->second.rbegin();
+}
+
+std::vector<TxnId> KeyVersionIndex::CandidatesAtLeast(const std::string& key,
+                                                      const TxnId& lower) const {
+  std::shared_lock lock(mu_);
+  std::vector<TxnId> out;
+  auto it = versions_.find(key);
+  if (it == versions_.end()) {
+    return out;
+  }
+  // Newest first (Algorithm 1 iterates in reverse timestamp order).
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    if (!lower.IsNull() && *rit < lower) {
+      break;
+    }
+    out.push_back(*rit);
+  }
+  return out;
+}
+
+bool KeyVersionIndex::Contains(const std::string& key, const TxnId& id) const {
+  std::shared_lock lock(mu_);
+  auto it = versions_.find(key);
+  return it != versions_.end() && it->second.contains(id);
+}
+
+size_t KeyVersionIndex::TotalVersionCount() const {
+  std::shared_lock lock(mu_);
+  size_t total = 0;
+  for (const auto& [key, set] : versions_) {
+    total += set.size();
+  }
+  return total;
+}
+
+size_t KeyVersionIndex::KeyCount() const {
+  std::shared_lock lock(mu_);
+  return versions_.size();
+}
+
+}  // namespace aft

@@ -1,0 +1,49 @@
+// In-memory index from each key to the recently committed versions of that
+// key (§3.1). Backs Algorithm 1's candidate enumeration and Algorithm 2's
+// latest-version lookups. Thread-safe; read-mostly (shared_mutex).
+
+#ifndef SRC_CORE_KEY_VERSION_INDEX_H_
+#define SRC_CORE_KEY_VERSION_INDEX_H_
+
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/records.h"
+#include "src/core/txn_id.h"
+
+namespace aft {
+
+class KeyVersionIndex {
+ public:
+  KeyVersionIndex() = default;
+
+  // Registers every key version written by the committed transaction.
+  void AddCommit(const CommitRecord& record);
+
+  // Removes the transaction's versions (local metadata GC, §5.1).
+  void RemoveCommit(const CommitRecord& record);
+
+  // The newest committed version of `key`, or Null() if none is known.
+  TxnId LatestVersion(const std::string& key) const;
+
+  // All known versions of `key` with ID >= `lower`, newest first — the
+  // candidate list of Algorithm 1 line 11.
+  std::vector<TxnId> CandidatesAtLeast(const std::string& key, const TxnId& lower) const;
+
+  // True if `id` is still indexed for `key`.
+  bool Contains(const std::string& key, const TxnId& id) const;
+
+  size_t TotalVersionCount() const;
+  size_t KeyCount() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, std::set<TxnId>> versions_;
+};
+
+}  // namespace aft
+
+#endif  // SRC_CORE_KEY_VERSION_INDEX_H_

@@ -1,0 +1,60 @@
+// Algorithm 1 (AtomicRead version selection) and Algorithm 2 (transaction
+// supersedence) from the paper.
+
+#ifndef SRC_CORE_READ_ALGORITHM_H_
+#define SRC_CORE_READ_ALGORITHM_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/core/commit_set_cache.h"
+#include "src/core/key_version_index.h"
+#include "src/core/transaction.h"
+
+namespace aft {
+
+// Outcome of Algorithm 1 for a requested key.
+struct AtomicReadChoice {
+  enum class Kind {
+    // A concrete committed version was selected.
+    kVersion,
+    // No version of the key is compatible *and* nothing in R requires one:
+    // the read observes the NULL version (key absent as of the snapshot).
+    kNullVersion,
+    // R requires a version at least as new as `lower`, but no valid version
+    // exists (e.g. conflicting cowrites, or the data was garbage collected).
+    // The transaction must abort and retry (§3.6, §5.2.1).
+    kNoValidVersion,
+  };
+
+  Kind kind = Kind::kNullVersion;
+  TxnId version;           // Set when kind == kVersion.
+  CommitRecordPtr record;  // The chosen version's commit record (pinned).
+};
+
+// Runs Algorithm 1: picks the newest committed version of `key` such that
+// read_set ∪ {k_version} is still an Atomic Readset (Definition 1).
+//
+//  * Lines 3-5: `lower` = max id over entries l_i in R with k ∈ l_i.cowritten
+//    — we must return k_j with j >= lower (case 1 of Theorem 1).
+//  * Lines 13-23: walk candidates newest-first; a candidate k_t is invalid if
+//    some cowritten key l of T_t was read in R at a version older than t
+//    (case 2 — we should have been given l_t earlier).
+//
+// Candidates whose commit record has been concurrently GC'd from `commits`
+// are skipped (they cannot be validated); this can only make reads staler,
+// never incorrect.
+AtomicReadChoice SelectAtomicReadVersion(
+    const std::string& key, const std::unordered_map<std::string, ReadSetEntry>& read_set,
+    const KeyVersionIndex& index, const CommitSetCache& commits);
+
+// Algorithm 2, generalized: T is superseded iff every key in its write set
+// has a committed version strictly newer than T. (The paper's formulation
+// `latest == i -> not superseded` assumes T is already merged into the local
+// index; this form is equivalent there and also correct for records received
+// via multicast that were never merged.)
+bool IsTransactionSuperseded(const CommitRecord& record, const KeyVersionIndex& index);
+
+}  // namespace aft
+
+#endif  // SRC_CORE_READ_ALGORITHM_H_

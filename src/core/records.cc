@@ -1,0 +1,122 @@
+#include "src/core/records.h"
+
+#include "src/common/serde.h"
+
+namespace aft {
+namespace {
+
+constexpr uint8_t kCommitRecordTag = 0xC1;
+constexpr uint8_t kVersionedValueTag = 0xD2;
+
+}  // namespace
+
+std::string VersionStorageKey(const std::string& key, const Uuid& writer) {
+  std::string out(kVersionPrefix);
+  out += key;
+  out += '/';
+  out += writer.ToString();
+  return out;
+}
+
+std::string CommitStorageKey(const TxnId& id) { return std::string(kCommitPrefix) + id.Encode(); }
+
+TxnId TxnIdFromCommitStorageKey(const std::string& storage_key) {
+  const size_t prefix_len = sizeof(kCommitPrefix) - 1;
+  if (storage_key.size() <= prefix_len) {
+    return TxnId();
+  }
+  return TxnId::Decode(storage_key.substr(prefix_len));
+}
+
+std::string SegmentStorageKey(const Uuid& writer, uint32_t index) {
+  return std::string(kSegmentPrefix) + writer.ToString() + "." + std::to_string(index);
+}
+
+Uuid WriterFromSegmentStorageKey(const std::string& storage_key) {
+  const size_t prefix_len = sizeof(kSegmentPrefix) - 1;
+  const size_t dot = storage_key.rfind('.');
+  if (storage_key.compare(0, prefix_len, kSegmentPrefix) != 0 || dot == std::string::npos) {
+    return Uuid();
+  }
+  return Uuid::Parse(storage_key.substr(prefix_len, dot - prefix_len));
+}
+
+const VersionLocator* CommitRecord::FindLocator(const std::string& key) const {
+  for (const VersionLocator& locator : locators) {
+    if (locator.key == key) {
+      return &locator;
+    }
+  }
+  return nullptr;
+}
+
+std::string CommitRecord::Serialize() const {
+  BinaryWriter w;
+  w.PutU8(kCommitRecordTag);
+  w.PutI64(id.timestamp);
+  w.PutU64(id.uuid.hi());
+  w.PutU64(id.uuid.lo());
+  w.PutStringVector(write_set);
+  w.PutU32(segment_count);
+  w.PutU32(static_cast<uint32_t>(locators.size()));
+  for (const VersionLocator& locator : locators) {
+    w.PutString(locator.key);
+    w.PutU32(locator.segment_index);
+    w.PutU32(locator.offset);
+    w.PutU32(locator.length);
+  }
+  return std::move(w).TakeData();
+}
+
+Result<CommitRecord> CommitRecord::Deserialize(const std::string& bytes) {
+  BinaryReader r(bytes);
+  uint8_t tag = 0;
+  CommitRecord record;
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+  uint32_t locator_count = 0;
+  if (!r.GetU8(&tag) || tag != kCommitRecordTag || !r.GetI64(&record.id.timestamp) ||
+      !r.GetU64(&hi) || !r.GetU64(&lo) || !r.GetStringVector(&record.write_set) ||
+      !r.GetU32(&record.segment_count) || !r.GetU32(&locator_count)) {
+    return Status::Internal("corrupt commit record");
+  }
+  record.locators.reserve(locator_count);
+  for (uint32_t i = 0; i < locator_count; ++i) {
+    VersionLocator locator;
+    if (!r.GetString(&locator.key) || !r.GetU32(&locator.segment_index) ||
+        !r.GetU32(&locator.offset) || !r.GetU32(&locator.length)) {
+      return Status::Internal("corrupt commit record locator");
+    }
+    record.locators.push_back(std::move(locator));
+  }
+  record.id.uuid = Uuid(hi, lo);
+  return record;
+}
+
+std::string VersionedValue::Serialize() const {
+  BinaryWriter w;
+  w.PutU8(kVersionedValueTag);
+  w.PutI64(writer.timestamp);
+  w.PutU64(writer.uuid.hi());
+  w.PutU64(writer.uuid.lo());
+  w.PutStringVector(cowritten);
+  w.PutString(payload);
+  return std::move(w).TakeData();
+}
+
+Result<VersionedValue> VersionedValue::Deserialize(const std::string& bytes) {
+  BinaryReader r(bytes);
+  uint8_t tag = 0;
+  VersionedValue v;
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+  if (!r.GetU8(&tag) || tag != kVersionedValueTag || !r.GetI64(&v.writer.timestamp) ||
+      !r.GetU64(&hi) || !r.GetU64(&lo) || !r.GetStringVector(&v.cowritten) ||
+      !r.GetString(&v.payload)) {
+    return Status::Internal("corrupt versioned value");
+  }
+  v.writer.uuid = Uuid(hi, lo);
+  return v;
+}
+
+}  // namespace aft

@@ -1,0 +1,92 @@
+// Persistent record formats and the storage key layout.
+//
+// AFT persists two kinds of records (§3.3):
+//
+//  * key versions   — "v/<user key>/<uuid>". Each transaction's update of a
+//                     key goes to a unique storage key (never overwritten),
+//                     so concurrent AFT nodes cannot clobber each other. The
+//                     stored bytes are a `VersionedValue`: the payload plus
+//                     the writing transaction's ID and cowritten-key set.
+//  * commit records — "c/<zero-padded ts>_<uuid>" in the Transaction Commit
+//                     Set. Written strictly AFTER all of the transaction's
+//                     key versions are durable; its presence is what makes
+//                     the transaction's updates visible.
+//
+// The version key uses only the UUID (not the commit timestamp) because
+// saturated write buffers may spill versions to storage *before* the commit
+// timestamp is assigned (§3.3).
+
+#ifndef SRC_CORE_RECORDS_H_
+#define SRC_CORE_RECORDS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/txn_id.h"
+
+namespace aft {
+
+// Storage key prefixes.
+inline constexpr char kVersionPrefix[] = "v/";
+inline constexpr char kCommitPrefix[] = "c/";
+inline constexpr char kSegmentPrefix[] = "s/";
+
+// "v/<key>/<uuid>".
+std::string VersionStorageKey(const std::string& key, const Uuid& writer);
+
+// "s/<uuid>.<index>" — one PACKED SEGMENT holding many payloads of one
+// transaction (the log-structured layout of §8: S3 is slow for many small
+// objects, so a commit can write a single segment object plus locators in
+// the commit record; readers use ranged GETs).
+std::string SegmentStorageKey(const Uuid& writer, uint32_t index);
+
+// Extracts the writer UUID from a segment storage key (nil on mismatch).
+Uuid WriterFromSegmentStorageKey(const std::string& storage_key);
+
+// "c/<encoded txn id>".
+std::string CommitStorageKey(const TxnId& id);
+
+// Extracts the transaction ID back out of a commit storage key.
+TxnId TxnIdFromCommitStorageKey(const std::string& storage_key);
+
+// Where a payload lives inside a packed segment.
+struct VersionLocator {
+  std::string key;
+  uint32_t segment_index = 0;  // Which of the transaction's segments.
+  uint32_t offset = 0;
+  uint32_t length = 0;
+};
+
+// A committed transaction: its ID and write set (key names; the versions are
+// implied — every version in a transaction carries the transaction's ID).
+// The cowritten set of any version ki equals Ti's write set (§3.2).
+//
+// With the packed layout, the record additionally carries the number of
+// segment objects and a locator per key; `packed()` distinguishes layouts.
+struct CommitRecord {
+  TxnId id;
+  std::vector<std::string> write_set;
+  uint32_t segment_count = 0;
+  std::vector<VersionLocator> locators;
+
+  bool packed() const { return segment_count > 0; }
+  const VersionLocator* FindLocator(const std::string& key) const;
+
+  std::string Serialize() const;
+  static Result<CommitRecord> Deserialize(const std::string& bytes);
+};
+
+// One stored key version: payload plus the metadata Algorithm 1 needs.
+struct VersionedValue {
+  TxnId writer;                        // Assigned at commit; zero while spilled.
+  std::vector<std::string> cowritten;  // == writer's write set.
+  std::string payload;
+
+  std::string Serialize() const;
+  static Result<VersionedValue> Deserialize(const std::string& bytes);
+};
+
+}  // namespace aft
+
+#endif  // SRC_CORE_RECORDS_H_

@@ -1,0 +1,82 @@
+// Per-transaction state held by an AFT node.
+//
+// A transaction (one logical request, possibly spanning several FaaS
+// functions) is identified by its UUID while running; the commit timestamp —
+// and thus the full TxnId — is assigned at commit time (§3.1). The state
+// bundles the Atomic Write Buffer with the dynamically constructed atomic
+// read set that Algorithm 1 maintains.
+
+#ifndef SRC_CORE_TRANSACTION_H_
+#define SRC_CORE_TRANSACTION_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/clock.h"
+#include "src/common/uuid.h"
+#include "src/core/commit_set_cache.h"
+#include "src/core/txn_id.h"
+
+namespace aft {
+
+enum class TxnStatus {
+  kRunning,
+  kCommitting,
+  kCommitted,
+  kAborted,
+};
+
+// One entry of the transaction's read set R: the version of a key it read,
+// with the commit record pinned so the cowritten set stays available even if
+// the metadata GC concurrently drops it from the node's cache.
+struct ReadSetEntry {
+  TxnId version;
+  CommitRecordPtr record;
+};
+
+struct TransactionState {
+  explicit TransactionState(Uuid id, TimePoint start) : uuid(id), start_time(start) {}
+
+  const Uuid uuid;
+  const TimePoint start_time;
+
+  // Guards everything below. Ops of one transaction are logically sequential
+  // (a linear composition of functions), but retries after failures can
+  // briefly overlap with the original attempt.
+  std::mutex mu;
+
+  TxnStatus status = TxnStatus::kRunning;
+
+  // ---- Atomic Write Buffer (§3.3) -----------------------------------------
+  // key -> payload. `dirty` tracks entries not yet spilled to storage;
+  // `spilled` keys already have their version object persisted (invisible
+  // until the commit record lands).
+  std::map<std::string, std::string> write_buffer;
+  std::unordered_set<std::string> dirty;
+  std::unordered_set<std::string> spilled;
+  uint64_t buffered_bytes = 0;
+
+  // Packed layout (§8): segments written so far (spills + commit) and the
+  // locator of each key's payload within them. A key rewritten after a
+  // spill gets a fresh locator in a later segment.
+  uint32_t next_segment_index = 0;
+  std::vector<VersionLocator> packed_locators;
+
+  // ---- Atomic read set R (§3.4) --------------------------------------------
+  // Only non-NULL reads enter R, exactly as in Algorithm 1.
+  std::unordered_map<std::string, ReadSetEntry> read_set;
+
+  // Transactions whose versions we have read — the local GC must not drop
+  // their metadata while we run (§5.1).
+  std::unordered_set<TxnId> reads_from;
+
+  // Set at commit.
+  TxnId commit_id;
+};
+
+}  // namespace aft
+
+#endif  // SRC_CORE_TRANSACTION_H_

@@ -1,0 +1,25 @@
+#include "src/core/txn_id.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aft {
+
+std::string TxnId::Encode() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%020lld_", static_cast<long long>(timestamp));
+  return std::string(buf) + uuid.ToString();
+}
+
+TxnId TxnId::Decode(const std::string& text) {
+  const size_t sep = text.find('_');
+  if (sep == std::string::npos) {
+    return TxnId();
+  }
+  TxnId id;
+  id.timestamp = std::strtoll(text.substr(0, sep).c_str(), nullptr, 10);
+  id.uuid = Uuid::Parse(text.substr(sep + 1));
+  return id;
+}
+
+}  // namespace aft

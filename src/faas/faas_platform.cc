@@ -1,0 +1,88 @@
+#include "src/faas/faas_platform.h"
+
+#include "src/storage/sim_engine_base.h"
+
+namespace aft {
+namespace {
+
+bool IsInfrastructureFailure(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kInternal:
+    case StatusCode::kTimeout:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+FaasPlatform::FaasPlatform(Clock& clock, FaasOptions options)
+    : clock_(clock), options_(options) {}
+
+void FaasPlatform::AcquireSlot() {
+  std::unique_lock<std::mutex> lock(slots_mu_);
+  slots_cv_.wait(lock, [this] { return used_slots_ < options_.concurrency_limit; });
+  ++used_slots_;
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaasPlatform::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    --used_slots_;
+  }
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  slots_cv_.notify_one();
+}
+
+Status FaasPlatform::InvokeOne(const FaasFunction& function) {
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      stats_.retries.fetch_add(1, std::memory_order_relaxed);
+      clock_.SleepFor(options_.retry_backoff);
+    }
+    AcquireSlot();
+    stats_.invocations.fetch_add(1, std::memory_order_relaxed);
+    Rng& rng = ThreadLocalRng();
+    // Dispatch cost: warm start, or a cold start when a new container must
+    // be provisioned for this execution.
+    if (options_.cold_start_probability > 0 && rng.Bernoulli(options_.cold_start_probability)) {
+      stats_.cold_starts.fetch_add(1, std::memory_order_relaxed);
+      clock_.SleepFor(options_.cold_start.Sample(rng));
+    } else {
+      clock_.SleepFor(options_.invocation_overhead.Sample(rng));
+    }
+    // Injected crash: the function dies partway through. We model the crash
+    // as happening BEFORE the body runs to completion — for AFT workloads
+    // the interesting case (partial writes) lives inside the body itself,
+    // which uses its own crash points.
+    if (options_.crash_probability > 0 && rng.Bernoulli(options_.crash_probability)) {
+      stats_.crashes_injected.fetch_add(1, std::memory_order_relaxed);
+      ReleaseSlot();
+      last = Status::Unavailable("function execution crashed");
+      continue;
+    }
+    last = function(attempt);
+    ReleaseSlot();
+    if (!IsInfrastructureFailure(last)) {
+      return last;
+    }
+  }
+  stats_.exhausted_retries.fetch_add(1, std::memory_order_relaxed);
+  return last;
+}
+
+Status FaasPlatform::InvokeChain(const std::vector<FaasFunction>& functions) {
+  for (const FaasFunction& function : functions) {
+    Status status = InvokeOne(function);
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace aft

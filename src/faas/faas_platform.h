@@ -1,0 +1,102 @@
+// Simulated Functions-as-a-Service platform (the compute layer AFT sits
+// under — AWS Lambda in the paper's evaluation).
+//
+// What the evaluation depends on and what is modelled here:
+//  * per-invocation overhead (scheduling + dispatch of a warm function) and
+//    optional cold starts;
+//  * a platform-wide concurrent-execution limit — the cause of the Figure 8
+//    throughput plateau at 640 clients;
+//  * retry-based fault tolerance: failed functions are re-invoked, giving
+//    at-least-once execution (§1, §3.3.1) — idempotence must come from the
+//    application/AFT, not the platform;
+//  * linear composition: one logical request spans several functions, each
+//    potentially on a different machine, sharing only the values the
+//    application passes along (for AFT workloads: the transaction session).
+
+#ifndef SRC_FAAS_FAAS_PLATFORM_H_
+#define SRC_FAAS_FAAS_PLATFORM_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/latency.h"
+#include "src/common/status.h"
+
+namespace aft {
+
+struct FaasOptions {
+  // Warm-invocation dispatch overhead per function (trigger + scheduling +
+  // runtime entry; calibrated against the paper's end-to-end numbers).
+  LatencyModel invocation_overhead = LatencyModel(16.0, 0.28, 7.0);
+  // Cold starts: probability and cost. Zero by default so latency benches
+  // are stable; the fault-tolerance bench turns them on.
+  double cold_start_probability = 0.0;
+  LatencyModel cold_start = LatencyModel(180.0, 0.4, 80.0);
+
+  // Concurrent execution limit across the whole platform (AWS Lambda's
+  // account-level cap). Invocations beyond it queue.
+  size_t concurrency_limit = 1000;
+
+  // Infrastructure-failure injection: probability that any single function
+  // execution crashes (before completing) and must be retried.
+  double crash_probability = 0.0;
+
+  // Retry policy for crashed functions (at-least-once execution).
+  int max_retries = 3;
+  Duration retry_backoff = Millis(20);
+};
+
+struct FaasStats {
+  std::atomic<uint64_t> invocations{0};
+  std::atomic<uint64_t> crashes_injected{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> cold_starts{0};
+  std::atomic<uint64_t> exhausted_retries{0};
+};
+
+// A function body. Invoked with the (0-based) attempt number; returning a
+// non-OK status of kind kUnavailable/kInternal/kTimeout counts as an
+// infrastructure failure and is retried; anything else propagates to the
+// chain's caller (e.g. kAborted from an AFT read).
+using FaasFunction = std::function<Status(int attempt)>;
+
+class FaasPlatform {
+ public:
+  FaasPlatform(Clock& clock, FaasOptions options = {});
+
+  // Synchronously executes a linear composition of functions as one logical
+  // request. Each function acquires a concurrency slot, pays invocation
+  // overhead, runs, and may be retried on (injected or returned)
+  // infrastructure failures. Stops at the first non-retryable error.
+  Status InvokeChain(const std::vector<FaasFunction>& functions);
+
+  // Convenience for a single function.
+  Status Invoke(const FaasFunction& function) { return InvokeChain({function}); }
+
+  const FaasStats& stats() const { return stats_; }
+  size_t in_flight() const { return in_flight_.load(); }
+
+ private:
+  Status InvokeOne(const FaasFunction& function);
+  void AcquireSlot();
+  void ReleaseSlot();
+
+  Clock& clock_;
+  const FaasOptions options_;
+
+  std::mutex slots_mu_;
+  std::condition_variable slots_cv_;
+  size_t used_slots_ = 0;
+  std::atomic<size_t> in_flight_{0};
+
+  FaasStats stats_;
+};
+
+}  // namespace aft
+
+#endif  // SRC_FAAS_FAAS_PLATFORM_H_

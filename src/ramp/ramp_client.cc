@@ -1,0 +1,233 @@
+#include "src/ramp/ramp_client.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/common/bloom.h"
+
+namespace aft {
+namespace {
+
+// Two staggered parallel rounds: PREPARE every version (built by
+// `make_version`), then COMMIT every key.
+Status TwoRoundWrite(RampStore& store, const std::vector<std::pair<std::string, std::string>>& ordered,
+                     int64_t timestamp,
+                     const std::function<RampVersion(const std::string& key,
+                                                     const std::string& value)>& make_version) {
+  Status status = Status::Ok();
+  store.StaggeredRound(ordered.size(), [&](size_t i) {
+    Status prepared = store.Prepare(make_version(ordered[i].first, ordered[i].second),
+                                    ordered[i].first);
+    if (!prepared.ok()) {
+      status = prepared;
+    }
+  });
+  AFT_RETURN_IF_ERROR(status);
+  store.StaggeredRound(ordered.size(), [&](size_t i) {
+    Status committed = store.Commit(ordered[i].first, timestamp);
+    if (!committed.ok()) {
+      status = committed;
+    }
+  });
+  return status;
+}
+
+}  // namespace
+
+int64_t NextRampTimestamp() {
+  static std::atomic<int64_t> global_timestamp{1};
+  return global_timestamp.fetch_add(1, std::memory_order_relaxed);
+}
+
+RampFastClient::RampFastClient(RampStore& store) : store_(store) {}
+
+Result<int64_t> RampFastClient::WriteTransaction(
+    const std::map<std::string, std::string>& writes) {
+  if (writes.empty()) {
+    return Status::InvalidArgument("empty write transaction");
+  }
+  stats_.write_txns.fetch_add(1, std::memory_order_relaxed);
+  const int64_t timestamp = NextRampTimestamp();
+  std::vector<std::string> write_set;
+  write_set.reserve(writes.size());
+  for (const auto& [key, value] : writes) {
+    write_set.push_back(key);
+  }
+  const std::vector<std::pair<std::string, std::string>> ordered(writes.begin(), writes.end());
+  AFT_RETURN_IF_ERROR(TwoRoundWrite(store_, ordered, timestamp,
+                                    [&](const std::string&, const std::string& value) {
+                                      return RampVersion{timestamp, write_set, "", value};
+                                    }));
+  return timestamp;
+}
+
+Result<std::vector<RampVersion>> RampFastClient::ReadTransaction(
+    const std::vector<std::string>& keys) {
+  stats_.read_txns.fetch_add(1, std::memory_order_relaxed);
+  // Round 1 (parallel): GetLatest for the declared read set.
+  store_.ChargeParallelRound(keys.size());
+  std::vector<RampVersion> result;
+  result.reserve(keys.size());
+  for (const std::string& key : keys) {
+    AFT_ASSIGN_OR_RETURN(RampVersion version, store_.GetLatest(key));
+    result.push_back(std::move(version));
+  }
+  // Compute v_latest: for each declared key, the highest timestamp among the
+  // observed versions whose write sets include it (RAMP-F lines 15-19).
+  std::vector<int64_t> required(keys.size(), 0);
+  for (const RampVersion& observed : result) {
+    if (observed.IsBottom()) {
+      continue;
+    }
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const auto& ws = observed.write_set;
+      if (std::find(ws.begin(), ws.end(), keys[i]) != ws.end()) {
+        required[i] = std::max(required[i], observed.timestamp);
+      }
+    }
+  }
+  // Round 2 (parallel): fetch the EXACT version for every key whose observed
+  // version is older than required. Prepared-but-uncommitted versions are
+  // valid here — their writer's commit is concurrent, and returning them is
+  // what makes the read set atomic.
+  std::vector<size_t> repairs;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (required[i] > result[i].timestamp) {
+      repairs.push_back(i);
+    }
+  }
+  store_.ChargeParallelRound(repairs.size());
+  for (size_t index : repairs) {
+    AFT_ASSIGN_OR_RETURN(RampVersion version, store_.GetVersion(keys[index], required[index]));
+    result[index] = std::move(version);
+    stats_.second_round_fetches.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+// ---- RAMP-Small ---------------------------------------------------------------
+
+RampSmallClient::RampSmallClient(RampStore& store) : store_(store) {}
+
+Result<int64_t> RampSmallClient::WriteTransaction(
+    const std::map<std::string, std::string>& writes) {
+  if (writes.empty()) {
+    return Status::InvalidArgument("empty write transaction");
+  }
+  stats_.write_txns.fetch_add(1, std::memory_order_relaxed);
+  const int64_t timestamp = NextRampTimestamp();
+  const std::vector<std::pair<std::string, std::string>> ordered(writes.begin(), writes.end());
+  // RAMP-Small versions carry no metadata beyond the timestamp.
+  AFT_RETURN_IF_ERROR(TwoRoundWrite(store_, ordered, timestamp,
+                                    [&](const std::string&, const std::string& value) {
+                                      return RampVersion{timestamp, {}, "", value};
+                                    }));
+  return timestamp;
+}
+
+Result<std::vector<RampVersion>> RampSmallClient::ReadTransaction(
+    const std::vector<std::string>& keys) {
+  stats_.read_txns.fetch_add(1, std::memory_order_relaxed);
+  // Round 1 (parallel): collect the latest COMMITTED timestamp per key.
+  store_.ChargeParallelRound(keys.size());
+  std::vector<int64_t> ts_set;
+  ts_set.reserve(keys.size());
+  for (const std::string& key : keys) {
+    AFT_ASSIGN_OR_RETURN(RampVersion latest, store_.GetLatest(key));
+    if (!latest.IsBottom()) {
+      ts_set.push_back(latest.timestamp);
+    }
+  }
+  // Round 2 (parallel, ALWAYS): fetch, per key, the newest version whose
+  // timestamp is in the observed set — sibling versions prepared by the
+  // same transactions are matched by timestamp alone.
+  store_.ChargeParallelRound(keys.size());
+  std::vector<RampVersion> result;
+  result.reserve(keys.size());
+  for (const std::string& key : keys) {
+    AFT_ASSIGN_OR_RETURN(RampVersion version, store_.GetByTimestampSet(key, ts_set));
+    stats_.second_round_fetches.fetch_add(1, std::memory_order_relaxed);
+    result.push_back(std::move(version));
+  }
+  return result;
+}
+
+// ---- RAMP-Hybrid --------------------------------------------------------------
+
+RampHybridClient::RampHybridClient(RampStore& store, size_t bloom_bits, int bloom_hashes)
+    : store_(store), bloom_bits_(bloom_bits), bloom_hashes_(bloom_hashes) {}
+
+Result<int64_t> RampHybridClient::WriteTransaction(
+    const std::map<std::string, std::string>& writes) {
+  if (writes.empty()) {
+    return Status::InvalidArgument("empty write transaction");
+  }
+  stats_.write_txns.fetch_add(1, std::memory_order_relaxed);
+  const int64_t timestamp = NextRampTimestamp();
+  BloomFilter filter(bloom_bits_, bloom_hashes_);
+  for (const auto& [key, value] : writes) {
+    filter.Add(key);
+  }
+  const std::string bloom = filter.Serialize();
+  const std::vector<std::pair<std::string, std::string>> ordered(writes.begin(), writes.end());
+  AFT_RETURN_IF_ERROR(TwoRoundWrite(store_, ordered, timestamp,
+                                    [&](const std::string&, const std::string& value) {
+                                      return RampVersion{timestamp, {}, bloom, value};
+                                    }));
+  return timestamp;
+}
+
+Result<std::vector<RampVersion>> RampHybridClient::ReadTransaction(
+    const std::vector<std::string>& keys) {
+  stats_.read_txns.fetch_add(1, std::memory_order_relaxed);
+  // Round 1 (parallel): GetLatest for the declared read set.
+  store_.ChargeParallelRound(keys.size());
+  std::vector<RampVersion> result;
+  result.reserve(keys.size());
+  for (const std::string& key : keys) {
+    AFT_ASSIGN_OR_RETURN(RampVersion version, store_.GetLatest(key));
+    result.push_back(std::move(version));
+  }
+  // Sibling detection via Bloom membership: key i may have a missing sibling
+  // if some OTHER observed version is newer and its filter (possibly
+  // falsely) claims it wrote key i.
+  std::vector<int64_t> ts_set;
+  std::vector<size_t> flagged;
+  for (const RampVersion& observed : result) {
+    if (!observed.IsBottom()) {
+      ts_set.push_back(observed.timestamp);
+    }
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    bool needs_second_round = false;
+    for (const RampVersion& observed : result) {
+      if (observed.IsBottom() || observed.timestamp <= result[i].timestamp ||
+          observed.bloom.empty()) {
+        continue;
+      }
+      bool ok = false;
+      BloomFilter filter = BloomFilter::Deserialize(observed.bloom, &ok);
+      if (ok && filter.MightContain(keys[i])) {
+        needs_second_round = true;
+        break;
+      }
+    }
+    if (needs_second_round) {
+      flagged.push_back(i);
+    }
+  }
+  // Round 2 (parallel, flagged keys only): RAMP-Small style timestamp-set
+  // fetch — naturally tolerant of Bloom false positives (no matching
+  // version simply leaves the round-1 result in place).
+  store_.ChargeParallelRound(flagged.size());
+  for (size_t index : flagged) {
+    AFT_ASSIGN_OR_RETURN(RampVersion version, store_.GetByTimestampSet(keys[index], ts_set));
+    if (!version.IsBottom() && version.timestamp > result[index].timestamp) {
+      result[index] = std::move(version);
+    }
+    stats_.second_round_fetches.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+}  // namespace aft

@@ -1,0 +1,109 @@
+// RAMP-Fast client (Bailis et al., SIGMOD'14 — [4] in the AFT paper).
+//
+// RAMP-Fast provides read atomic isolation with PRE-DECLARED read and write
+// sets over the sharded store in ramp_store.h:
+//
+//  * Write transactions run two parallel rounds: PREPARE every version (with
+//    the full write set as metadata), then COMMIT every key. A reader that
+//    observes any committed version can always repair to the cowritten
+//    versions because prepared versions are already durable.
+//  * Read transactions run one parallel round of GetLatest over the DECLARED
+//    read set; the metadata is examined to compute, per key, the highest
+//    timestamp among observed cowrites (v_latest), and a second parallel
+//    round fetches the exact missing versions. Unlike AFT, RAMP *repairs*
+//    mismatches forward — it never returns stale data relative to what it
+//    saw, and it never aborts — but it requires the full read set up front
+//    and shard-resident protocol logic (the two assumptions AFT drops, §2.2).
+//
+// This implementation exists as the paper's conceptual baseline: the
+// ramp_comparison bench quantifies the §3.6 trade-off (AFT's interactive
+// reads can be staler and occasionally abort; RAMP's one-shot reads are
+// fresher but pre-declared and storage-invasive).
+
+#ifndef SRC_RAMP_RAMP_CLIENT_H_
+#define SRC_RAMP_RAMP_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/ramp/ramp_store.h"
+
+namespace aft {
+
+struct RampClientStats {
+  std::atomic<uint64_t> write_txns{0};
+  std::atomic<uint64_t> read_txns{0};
+  std::atomic<uint64_t> second_round_fetches{0};  // Versions repaired in round 2.
+};
+
+// Shared timestamp source for all RAMP client variants: unique per
+// client-transaction and totally ordered (a real client combines a local
+// clock and a client id; a process-wide counter gives the same uniqueness
+// in-process).
+int64_t NextRampTimestamp();
+
+class RampFastClient {
+ public:
+  explicit RampFastClient(RampStore& store);
+
+  // Atomically installs `writes` (two parallel rounds). Returns the
+  // transaction timestamp.
+  Result<int64_t> WriteTransaction(const std::map<std::string, std::string>& writes);
+
+  // Reads the DECLARED `keys` as an atomic set (1-2 parallel rounds). The
+  // result vector is aligned with `keys`; bottom versions have timestamp 0.
+  Result<std::vector<RampVersion>> ReadTransaction(const std::vector<std::string>& keys);
+
+  const RampClientStats& stats() const { return stats_; }
+
+ private:
+  RampStore& store_;
+  RampClientStats stats_;
+};
+
+// RAMP-Small: constant metadata (timestamps only). Reads ALWAYS take two
+// rounds: round 1 collects the latest committed timestamp of every declared
+// key; round 2 asks each shard for the newest version whose timestamp is in
+// that set. Cheapest metadata, always 2 RTT.
+class RampSmallClient {
+ public:
+  explicit RampSmallClient(RampStore& store);
+
+  Result<int64_t> WriteTransaction(const std::map<std::string, std::string>& writes);
+  Result<std::vector<RampVersion>> ReadTransaction(const std::vector<std::string>& keys);
+
+  const RampClientStats& stats() const { return stats_; }
+
+ private:
+  RampStore& store_;
+  RampClientStats stats_;
+};
+
+// RAMP-Hybrid: versions carry a BLOOM FILTER of the write set. Reads detect
+// potential siblings via filter membership (false positives possible, false
+// negatives impossible) and fall back to a RAMP-Small style timestamp-set
+// round for the flagged keys only. Metadata between Small and Fast; second
+// rounds only when (possibly spuriously) needed.
+class RampHybridClient {
+ public:
+  // `bloom_bits`/`bloom_hashes` size the per-version filter.
+  explicit RampHybridClient(RampStore& store, size_t bloom_bits = 256, int bloom_hashes = 4);
+
+  Result<int64_t> WriteTransaction(const std::map<std::string, std::string>& writes);
+  Result<std::vector<RampVersion>> ReadTransaction(const std::vector<std::string>& keys);
+
+  const RampClientStats& stats() const { return stats_; }
+
+ private:
+  RampStore& store_;
+  const size_t bloom_bits_;
+  const int bloom_hashes_;
+  RampClientStats stats_;
+};
+
+}  // namespace aft
+
+#endif  // SRC_RAMP_RAMP_CLIENT_H_

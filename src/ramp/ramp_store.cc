@@ -1,0 +1,140 @@
+#include "src/ramp/ramp_store.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/storage/sim_engine_base.h"
+
+namespace aft {
+
+RampStore::RampStore(Clock& clock, RampStoreOptions options) : clock_(clock), options_(options) {
+  const size_t n = std::max<size_t>(options_.num_shards, 1);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+size_t RampStore::ShardOf(const std::string& key) const {
+  return std::hash<std::string>{}(key) % shards_.size();
+}
+
+RampStore::Shard& RampStore::ShardForKey(const std::string& key) {
+  return *shards_[ShardOf(key)];
+}
+
+const RampStore::Shard& RampStore::ShardForKey(const std::string& key) const {
+  return *shards_[ShardOf(key)];
+}
+
+void RampStore::ChargeParallelRound(size_t ops_in_round) {
+  if (ops_in_round == 0) {
+    return;
+  }
+  // Parallel fan-out: the round costs the slowest of its ops.
+  Duration max_latency = Duration::zero();
+  for (size_t i = 0; i < ops_in_round; ++i) {
+    max_latency = std::max(max_latency, options_.op_latency.Sample(ThreadLocalRng()));
+  }
+  if (max_latency > Duration::zero()) {
+    clock_.SleepFor(max_latency);
+  }
+}
+
+void RampStore::StaggeredRound(size_t ops_in_round,
+                               const std::function<void(size_t)>& apply_op) {
+  if (ops_in_round == 0) {
+    return;
+  }
+  std::vector<std::pair<Duration, size_t>> arrivals;
+  arrivals.reserve(ops_in_round);
+  for (size_t i = 0; i < ops_in_round; ++i) {
+    arrivals.emplace_back(options_.op_latency.Sample(ThreadLocalRng()), i);
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  Duration elapsed = Duration::zero();
+  for (const auto& [arrival, index] : arrivals) {
+    if (arrival > elapsed) {
+      clock_.SleepFor(arrival - elapsed);
+      elapsed = arrival;
+    }
+    apply_op(index);
+  }
+}
+
+Status RampStore::Prepare(const RampVersion& version, const std::string& key) {
+  Shard& shard = ShardForKey(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  KeyState& state = shard.keys[key];
+  state.versions[version.timestamp] = version;
+  // Bounded history: prune the oldest versions below last_commit.
+  while (state.versions.size() > options_.max_versions_per_key) {
+    auto oldest = state.versions.begin();
+    if (oldest->first >= state.last_commit) {
+      break;  // Never prune the committed frontier or newer.
+    }
+    state.versions.erase(oldest);
+  }
+  return Status::Ok();
+}
+
+Status RampStore::Commit(const std::string& key, int64_t timestamp) {
+  Shard& shard = ShardForKey(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  KeyState& state = shard.keys[key];
+  state.last_commit = std::max(state.last_commit, timestamp);
+  return Status::Ok();
+}
+
+Result<RampVersion> RampStore::GetLatest(const std::string& key) {
+  const Shard& shard = ShardForKey(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.keys.find(key);
+  if (it == shard.keys.end() || it->second.last_commit == 0) {
+    return RampVersion{};  // Bottom.
+  }
+  auto version_it = it->second.versions.find(it->second.last_commit);
+  if (version_it == it->second.versions.end()) {
+    return Status::Internal("lastCommit points at a pruned version");
+  }
+  return version_it->second;
+}
+
+Result<RampVersion> RampStore::GetVersion(const std::string& key, int64_t timestamp) {
+  const Shard& shard = ShardForKey(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.keys.find(key);
+  if (it == shard.keys.end()) {
+    return Status::NotFound(key);
+  }
+  auto version_it = it->second.versions.find(timestamp);
+  if (version_it == it->second.versions.end()) {
+    return Status::NotFound(key + "@" + std::to_string(timestamp));
+  }
+  return version_it->second;
+}
+
+Result<RampVersion> RampStore::GetByTimestampSet(const std::string& key,
+                                                 const std::vector<int64_t>& ts_set) {
+  const Shard& shard = ShardForKey(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.keys.find(key);
+  if (it == shard.keys.end()) {
+    return RampVersion{};
+  }
+  for (auto rit = it->second.versions.rbegin(); rit != it->second.versions.rend(); ++rit) {
+    if (std::find(ts_set.begin(), ts_set.end(), rit->first) != ts_set.end()) {
+      return rit->second;
+    }
+  }
+  return RampVersion{};
+}
+
+size_t RampStore::VersionCountForTest(const std::string& key) const {
+  const Shard& shard = ShardForKey(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.keys.find(key);
+  return it == shard.keys.end() ? 0 : it->second.versions.size();
+}
+
+}  // namespace aft

@@ -1,0 +1,118 @@
+// The storage substrate the original RAMP protocols assume (Bailis et al.,
+// SIGMOD'14 — reference [4] of the AFT paper): LINEARIZABLE, UNREPLICATED,
+// SHARD-PARTITIONED storage where each shard is the sole source of truth for
+// its keys and participates in the protocol (it stores prepared-but-
+// uncommitted versions and serves version-specific reads). This is exactly
+// the design AFT relaxes (§2.2): it limits read locality/scalability and is
+// incompatible with commodity shared cloud storage.
+//
+// Shards speak the RAMP server protocol:
+//   Prepare(version)            — durably stage a version (timestamp-keyed).
+//   Commit(key, ts)             — advance the key's lastCommit to ts.
+//   GetLatest(key)              — newest committed version + metadata.
+//   GetVersion(key, ts)         — a SPECIFIC version (RAMP-Fast round 2);
+//                                 prepared-but-uncommitted versions are
+//                                 legal to return here, by design.
+//
+// Multi-shard rounds execute in parallel in RAMP; `ParallelRound` models
+// that by charging the slowest sampled latency of the round once.
+
+#ifndef SRC_RAMP_RAMP_STORE_H_
+#define SRC_RAMP_RAMP_STORE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/latency.h"
+#include "src/common/status.h"
+
+namespace aft {
+
+// One RAMP version: value + the transaction timestamp + per-algorithm
+// metadata: RAMP-Fast attaches the full write set; RAMP-Hybrid a Bloom
+// filter of it; RAMP-Small nothing but the timestamp.
+struct RampVersion {
+  int64_t timestamp = 0;  // 0 == the bottom version (key absent).
+  std::vector<std::string> write_set;  // RAMP-Fast.
+  std::string bloom;                   // RAMP-Hybrid (serialized BloomFilter).
+  std::string value;
+
+  bool IsBottom() const { return timestamp == 0; }
+};
+
+struct RampStoreOptions {
+  size_t num_shards = 4;
+  // Per-operation latency of one shard round trip (linearizable stores are
+  // Dynamo-class KVs in the RAMP evaluation).
+  LatencyModel op_latency = LatencyModel(4.0, 0.3, 1.2, 0.02);
+  // Versions retained per key (older prepared/committed versions are pruned;
+  // RAMP's own GC keeps a bounded history).
+  size_t max_versions_per_key = 16;
+};
+
+class RampStore {
+ public:
+  RampStore(Clock& clock, RampStoreOptions options = {});
+
+  size_t ShardOf(const std::string& key) const;
+  size_t num_shards() const { return shards_.size(); }
+
+  // ---- Server protocol --------------------------------------------------------
+  // State transitions only: LATENCY IS NOT CHARGED HERE. RAMP rounds are
+  // parallel fan-outs, so the client charges each round once via
+  // ChargeParallelRound (a single op is ChargeParallelRound(1)).
+  Status Prepare(const RampVersion& version, const std::string& key);
+  Status Commit(const std::string& key, int64_t timestamp);
+  // Newest COMMITTED version (bottom if none).
+  Result<RampVersion> GetLatest(const std::string& key);
+  // Specific version by timestamp; may legally return a prepared version.
+  Result<RampVersion> GetVersion(const std::string& key, int64_t timestamp);
+  // RAMP-Small / RAMP-Hybrid round 2: the newest version of `key` whose
+  // timestamp is in `ts_set` (bottom if none matches). Tolerates Bloom
+  // false positives by construction.
+  Result<RampVersion> GetByTimestampSet(const std::string& key,
+                                        const std::vector<int64_t>& ts_set);
+
+  // ---- Parallel round helpers --------------------------------------------------
+  // Charges the latency of `ops_in_round` parallel shard operations: one
+  // sample per op, sleep the maximum. Returns immediately for 0 ops.
+  void ChargeParallelRound(size_t ops_in_round);
+
+  // Like ChargeParallelRound, but APPLIES each op at its own sampled arrival
+  // time (ops land on different shards at different instants — exactly the
+  // window in which RAMP readers observe partial commits and must repair).
+  // `apply_op` is invoked once per op index, in arrival order.
+  void StaggeredRound(size_t ops_in_round, const std::function<void(size_t)>& apply_op);
+
+  // Zero-latency structural queries for tests.
+  size_t VersionCountForTest(const std::string& key) const;
+
+ private:
+  struct KeyState {
+    // timestamp -> version (prepared and committed both live here).
+    std::map<int64_t, RampVersion> versions;
+    int64_t last_commit = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, KeyState> keys;
+  };
+
+  Shard& ShardForKey(const std::string& key);
+  const Shard& ShardForKey(const std::string& key) const;
+
+  Clock& clock_;
+  const RampStoreOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace aft
+
+#endif  // SRC_RAMP_RAMP_STORE_H_

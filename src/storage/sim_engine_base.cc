@@ -1,0 +1,201 @@
+#include "src/storage/sim_engine_base.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+namespace aft {
+
+Rng& ThreadLocalRng() {
+  static std::atomic<uint64_t> counter{0x2545f4914f6cdd1dULL};
+  thread_local Rng rng(counter.fetch_add(0x9e3779b97f4a7c15ULL));
+  return rng;
+}
+
+Result<std::string> MaintenanceRead(StorageEngine& storage, const std::string& key) {
+  if (auto* sim = dynamic_cast<SimEngineBase*>(&storage); sim != nullptr) {
+    auto value = sim->PeekLatest(key);
+    if (!value.has_value()) {
+      return Status::NotFound(key);
+    }
+    return std::move(*value);
+  }
+  return storage.Get(key);
+}
+
+SimEngineBase::SimEngineBase(std::string name, Clock& clock, EngineLatencyProfile profile,
+                             StalenessModel staleness, size_t map_shards)
+    : clock_(clock),
+      profile_(profile),
+      staleness_(staleness),
+      map_(map_shards),
+      name_(std::move(name)) {}
+
+void SimEngineBase::Charge(const LatencyModel& model, uint64_t bytes) {
+  const Duration d = model.Sample(ThreadLocalRng(), bytes);
+  if (d > Duration::zero()) {
+    clock_.SleepFor(d);
+  }
+}
+
+bool SimEngineBase::ShouldFail() {
+  const double p = fault_probability_.load(std::memory_order_relaxed);
+  if (p > 0 && ThreadLocalRng().Bernoulli(p)) {
+    counters_.transient_faults.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+TimePoint SimEngineBase::SampleReadAsOf(const std::string& key) {
+  const TimePoint now = clock_.Now();
+  if (staleness_.IsConsistent()) {
+    return now;
+  }
+  Rng& rng = ThreadLocalRng();
+  if (!rng.Bernoulli(staleness_.stale_probability)) {
+    return now;
+  }
+  if (!map_.HasHistory(key)) {
+    // New-key PUTs are read-after-write consistent; only overwrites go stale.
+    return now;
+  }
+  // Exponential staleness with the configured mean.
+  const double mean_ms = ToMillis(staleness_.mean_staleness);
+  const double sample_ms = -mean_ms * std::log(1.0 - rng.NextDouble());
+  const auto staleness = std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double, std::milli>(sample_ms));
+  counters_.stale_reads.fetch_add(1, std::memory_order_relaxed);
+  return now - staleness;
+}
+
+Result<std::string> SimEngineBase::Get(const std::string& key) {
+  counters_.gets.fetch_add(1, std::memory_order_relaxed);
+  counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
+  Charge(profile_.get);
+  if (ShouldFail()) {
+    return Status::Unavailable("transient storage error (injected)");
+  }
+  const TimePoint as_of = SampleReadAsOf(key);
+  std::optional<std::string> value = map_.Get(key, as_of);
+  if (!value.has_value()) {
+    return Status::NotFound(key);
+  }
+  counters_.bytes_read.fetch_add(value->size(), std::memory_order_relaxed);
+  return std::move(*value);
+}
+
+Result<std::string> SimEngineBase::GetRange(const std::string& key, uint64_t offset,
+                                            uint64_t length) {
+  counters_.gets.fetch_add(1, std::memory_order_relaxed);
+  counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
+  Charge(profile_.get, length);
+  if (ShouldFail()) {
+    return Status::Unavailable("transient storage error (injected)");
+  }
+  const TimePoint as_of = SampleReadAsOf(key);
+  std::optional<std::string> value = map_.Get(key, as_of);
+  if (!value.has_value()) {
+    return Status::NotFound(key);
+  }
+  if (offset > value->size()) {
+    return Status::InvalidArgument("range offset beyond object size");
+  }
+  counters_.bytes_read.fetch_add(std::min<uint64_t>(length, value->size() - offset),
+                                 std::memory_order_relaxed);
+  return value->substr(offset, length);
+}
+
+Status SimEngineBase::Put(const std::string& key, const std::string& value) {
+  counters_.puts.fetch_add(1, std::memory_order_relaxed);
+  counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_written.fetch_add(value.size(), std::memory_order_relaxed);
+  Charge(profile_.put, value.size());
+  if (ShouldFail()) {
+    return Status::Unavailable("transient storage error (injected)");
+  }
+  map_.Put(key, value, clock_.Now());
+  return Status::Ok();
+}
+
+Status SimEngineBase::BatchPut(std::span<const WriteOp> ops) {
+  if (ops.empty()) {
+    return Status::Ok();
+  }
+  if (!SupportsBatchPut()) {
+    // Engines without a batch API degrade to sequential writes, charging
+    // full per-op latency for each — exactly what a client library would do.
+    for (const WriteOp& op : ops) {
+      AFT_RETURN_IF_ERROR(Put(op.key, op.value));
+    }
+    return Status::Ok();
+  }
+  // Chunk by the engine's batch limit (25 for DynamoDB's BatchWriteItem).
+  const size_t limit = MaxBatchSize();
+  for (size_t start = 0; start < ops.size(); start += limit) {
+    const size_t count = std::min(limit, ops.size() - start);
+    counters_.batch_puts.fetch_add(1, std::memory_order_relaxed);
+    counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
+    uint64_t bytes = 0;
+    for (size_t i = start; i < start + count; ++i) {
+      bytes += ops[i].value.size();
+    }
+    counters_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+    Charge(profile_.batch_base, bytes);
+    for (size_t i = 0; i < count; ++i) {
+      Charge(profile_.batch_per_item);
+    }
+    if (ShouldFail()) {
+      return Status::Unavailable("transient storage error (injected)");
+    }
+    const TimePoint now = clock_.Now();
+    for (size_t i = start; i < start + count; ++i) {
+      map_.Put(ops[i].key, ops[i].value, now);
+    }
+  }
+  return Status::Ok();
+}
+
+Status SimEngineBase::Delete(const std::string& key) {
+  counters_.deletes.fetch_add(1, std::memory_order_relaxed);
+  counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
+  Charge(profile_.erase);
+  if (ShouldFail()) {
+    return Status::Unavailable("transient storage error (injected)");
+  }
+  map_.Delete(key, clock_.Now());
+  return Status::Ok();
+}
+
+Status SimEngineBase::BatchDelete(std::span<const std::string> keys) {
+  if (keys.empty()) {
+    return Status::Ok();
+  }
+  if (!SupportsBatchPut()) {
+    for (const std::string& key : keys) {
+      AFT_RETURN_IF_ERROR(Delete(key));
+    }
+    return Status::Ok();
+  }
+  const size_t limit = MaxBatchSize();
+  for (size_t start = 0; start < keys.size(); start += limit) {
+    const size_t count = std::min(limit, keys.size() - start);
+    counters_.deletes.fetch_add(count, std::memory_order_relaxed);
+    counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
+    Charge(profile_.batch_base);
+    const TimePoint now = clock_.Now();
+    for (size_t i = start; i < start + count; ++i) {
+      map_.Delete(keys[i], now);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> SimEngineBase::List(const std::string& prefix) {
+  counters_.lists.fetch_add(1, std::memory_order_relaxed);
+  counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
+  Charge(profile_.list);
+  return map_.List(prefix);
+}
+
+}  // namespace aft

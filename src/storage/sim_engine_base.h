@@ -1,0 +1,103 @@
+// Shared machinery for the simulated cloud storage engines: latency charging,
+// staleness sampling, counters, and the versioned backing map.
+
+#ifndef SRC_STORAGE_SIM_ENGINE_BASE_H_
+#define SRC_STORAGE_SIM_ENGINE_BASE_H_
+
+#include <atomic>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/latency.h"
+#include "src/common/rng.h"
+#include "src/storage/storage_engine.h"
+#include "src/storage/versioned_map.h"
+
+namespace aft {
+
+// Latency models per operation class. Batched writes cost
+// `batch_base + batch_per_item * n` (sampled jointly).
+struct EngineLatencyProfile {
+  LatencyModel get;
+  LatencyModel put;
+  LatencyModel erase;
+  LatencyModel list;
+  LatencyModel batch_base;
+  LatencyModel batch_per_item;
+};
+
+// Returns the calling thread's private generator, seeded once per thread.
+Rng& ThreadLocalRng();
+
+// Bulk maintenance read: bypasses latency charging on the simulated engines
+// (falls back to a regular Get otherwise). Used by off-critical-path
+// streaming scans — node bootstrap and the fault manager's commit-set scan —
+// whose cost is either irrelevant to any measurement or modelled explicitly
+// (the §6.7 cache-warm delay).
+Result<std::string> MaintenanceRead(StorageEngine& storage, const std::string& key);
+
+class SimEngineBase : public StorageEngine {
+ public:
+  SimEngineBase(std::string name, Clock& clock, EngineLatencyProfile profile,
+                StalenessModel staleness, size_t map_shards);
+
+  // Transient-fault injection: every subsequent operation independently
+  // fails with `probability` (HTTP 500 / throttling). Reads fail after
+  // charging latency; writes fail BEFORE mutating state (the conservative
+  // model — a request that failed after applying behaves like a success
+  // whose ack was lost, which AFT's idempotent retries already cover).
+  void InjectTransientFaults(double probability) {
+    fault_probability_.store(probability, std::memory_order_relaxed);
+  }
+
+  Result<std::string> Get(const std::string& key) override;
+  // Native ranged read: charges the get latency for `length` bytes only.
+  Result<std::string> GetRange(const std::string& key, uint64_t offset,
+                               uint64_t length) override;
+  Status Put(const std::string& key, const std::string& value) override;
+  Status BatchPut(std::span<const WriteOp> ops) override;
+  Status Delete(const std::string& key) override;
+  Status BatchDelete(std::span<const std::string> keys) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+
+  std::string_view name() const override { return name_; }
+  const StorageCounters& counters() const override { return counters_; }
+
+  // Maintenance hooks for dataset loading and tests: bypass latency,
+  // staleness and counters entirely.
+  std::optional<std::string> PeekLatest(const std::string& key) const {
+    return map_.GetLatest(key);
+  }
+  void DirectPut(const std::string& key, const std::string& value) {
+    map_.Put(key, value, clock_.Now());
+  }
+  size_t ApproximateKeyCount() const { return map_.ApproximateKeyCount(); }
+
+  Clock& clock() { return clock_; }
+
+ protected:
+  // Sleeps for one sample of `model` with the given payload size.
+  void Charge(const LatencyModel& model, uint64_t bytes = 0);
+
+  // The timestamp this read observes the store at: `Now()` for consistent
+  // engines / fresh reads, an earlier instant for stale reads. Staleness is
+  // only applied to keys that have been overwritten (see VersionedMap).
+  TimePoint SampleReadAsOf(const std::string& key);
+
+  // Rolls the transient-fault die; true == this operation fails.
+  bool ShouldFail();
+
+  Clock& clock_;
+  const EngineLatencyProfile profile_;
+  const StalenessModel staleness_;
+  VersionedMap map_;
+  StorageCounters counters_;
+
+ private:
+  const std::string name_;
+  std::atomic<double> fault_probability_{0.0};
+};
+
+}  // namespace aft
+
+#endif  // SRC_STORAGE_SIM_ENGINE_BASE_H_

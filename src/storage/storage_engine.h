@@ -1,0 +1,109 @@
+// Abstract storage engine interface.
+//
+// AFT's only assumption about the storage layer is that updates are durable
+// once acknowledged (§3.1); it explicitly does NOT rely on the engine for
+// consistency or immediate visibility. The simulated engines below therefore
+// expose the weakest practical semantics of their real counterparts:
+//
+//  * `SimS3`      — object store; slow, high-variance, no batching; overwrite
+//                   PUTs are eventually consistent (2020-era S3 semantics).
+//  * `SimDynamo`  — KV store; batch writes up to 25 items; eventually
+//                   consistent reads for overwritten items; an optional
+//                   serializable transaction mode with conflict aborts.
+//  * `SimRedis`   — sharded in-memory store; linearizable per shard; MSET
+//                   only within one shard.
+
+#ifndef SRC_STORAGE_STORAGE_ENGINE_H_
+#define SRC_STORAGE_STORAGE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace aft {
+
+// A single write in a batch.
+struct WriteOp {
+  std::string key;
+  std::string value;
+};
+
+// Cumulative operation counters, readable while the engine is in use.
+struct StorageCounters {
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> puts{0};
+  std::atomic<uint64_t> batch_puts{0};
+  std::atomic<uint64_t> deletes{0};
+  std::atomic<uint64_t> lists{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> api_calls{0};
+  std::atomic<uint64_t> stale_reads{0};
+  std::atomic<uint64_t> transient_faults{0};
+};
+
+// Thread-safe storage engine. All calls block for the engine's simulated
+// latency before returning.
+class StorageEngine {
+ public:
+  virtual ~StorageEngine() = default;
+
+  // Reads the value of `key`. Returns kNotFound if the key does not exist
+  // (or is not yet visible to this read under the engine's consistency
+  // model).
+  virtual Result<std::string> Get(const std::string& key) = 0;
+
+  // Ranged read: `length` bytes starting at `offset` (S3's Range header).
+  // The default fetches the whole object and slices — engines with native
+  // range support override this to charge only the bytes transferred.
+  virtual Result<std::string> GetRange(const std::string& key, uint64_t offset, uint64_t length);
+
+  // Durably writes `key = value`, overwriting any previous value.
+  virtual Status Put(const std::string& key, const std::string& value) = 0;
+
+  // Writes a set of keys. Engines with native batch support (DynamoDB)
+  // charge one batched API call per MaxBatchSize() chunk; engines without
+  // (S3, cluster-mode Redis across shards) degrade to sequential puts.
+  // The batch is NOT atomic — exactly like BatchWriteItem.
+  virtual Status BatchPut(std::span<const WriteOp> ops) = 0;
+
+  // Deletes `key`. Deleting a missing key is OK (idempotent).
+  virtual Status Delete(const std::string& key) = 0;
+
+  // Deletes many keys; may be batched like BatchPut.
+  virtual Status BatchDelete(std::span<const std::string> keys) = 0;
+
+  // Returns all live keys with the given prefix, in lexicographic order.
+  virtual Result<std::vector<std::string>> List(const std::string& prefix) = 0;
+
+  // Engine identification / capabilities.
+  virtual std::string_view name() const = 0;
+  virtual bool SupportsBatchPut() const = 0;
+  virtual size_t MaxBatchSize() const = 0;
+
+  // Relative CPU cost of this engine's client library per request, as seen
+  // by the process issuing the IO (an AFT node). Redis' RESP protocol is the
+  // baseline (1.0); HTTPS + JSON marshalling (DynamoDB) and XML object
+  // protocols (S3) cost considerably more. This drives the engine-dependent
+  // single-node throughput ceilings of §6.5.1.
+  virtual double client_cpu_factor() const { return 1.0; }
+
+  virtual const StorageCounters& counters() const = 0;
+};
+
+inline Result<std::string> StorageEngine::GetRange(const std::string& key, uint64_t offset,
+                                                   uint64_t length) {
+  AFT_ASSIGN_OR_RETURN(std::string whole, Get(key));
+  if (offset > whole.size()) {
+    return Status::InvalidArgument("range offset beyond object size");
+  }
+  return whole.substr(offset, length);
+}
+
+}  // namespace aft
+
+#endif  // SRC_STORAGE_STORAGE_ENGINE_H_

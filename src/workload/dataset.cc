@@ -1,0 +1,45 @@
+#include "src/workload/dataset.h"
+
+#include "src/core/records.h"
+#include "src/storage/sim_engine_base.h"
+
+namespace aft {
+namespace {
+
+// Writes through DirectPut when the engine is one of ours.
+void StoreDirect(StorageEngine& storage, const std::string& key, const std::string& value) {
+  if (auto* sim = dynamic_cast<SimEngineBase*>(&storage); sim != nullptr) {
+    sim->DirectPut(key, value);
+  } else {
+    (void)storage.Put(key, value);
+  }
+}
+
+}  // namespace
+
+Status LoadAftDataset(StorageEngine& storage, const WorkloadSpec& spec) {
+  Rng rng(0xDA7A5EEDULL);
+  for (uint64_t rank = 0; rank < spec.num_keys; ++rank) {
+    const std::string key = KeyForRank(rank);
+    const TxnId writer(1, Uuid::Random(rng));
+    const std::vector<std::string> write_set{key};
+    VersionedValue value{writer, write_set, MakePayload(spec, rank)};
+    StoreDirect(storage, VersionStorageKey(key, writer.uuid), value.Serialize());
+    CommitRecord record{writer, write_set};
+    StoreDirect(storage, CommitStorageKey(writer), record.Serialize());
+  }
+  return Status::Ok();
+}
+
+Status LoadPlainDataset(StorageEngine& storage, const WorkloadSpec& spec) {
+  Rng rng(0xDA7A5EEDULL);
+  for (uint64_t rank = 0; rank < spec.num_keys; ++rank) {
+    const std::string key = KeyForRank(rank);
+    const TxnId writer(1, Uuid::Random(rng));
+    VersionedValue value{writer, {key}, MakePayload(spec, rank)};
+    StoreDirect(storage, key, value.Serialize());
+  }
+  return Status::Ok();
+}
+
+}  // namespace aft

@@ -1,0 +1,28 @@
+// Dataset pre-loading.
+//
+// Every experiment starts from a fully populated dataset (e.g. 1,000 or
+// 100,000 keys of 4 KB, §6.1.2/§6.2). Loading is maintenance work, not part
+// of any measurement, so it goes through the engines' zero-latency
+// DirectPut hook when available and falls back to regular puts otherwise.
+
+#ifndef SRC_WORKLOAD_DATASET_H_
+#define SRC_WORKLOAD_DATASET_H_
+
+#include "src/common/status.h"
+#include "src/storage/storage_engine.h"
+#include "src/workload/workload.h"
+
+namespace aft {
+
+// Loads the dataset in AFT's on-storage format: one key version plus one
+// single-key commit record per key (all with timestamp 1, so any workload
+// commit supersedes them). AFT nodes pick these up when they bootstrap.
+Status LoadAftDataset(StorageEngine& storage, const WorkloadSpec& spec);
+
+// Loads the dataset in the baselines' format: the user key maps directly to
+// a metadata-embedding VersionedValue.
+Status LoadPlainDataset(StorageEngine& storage, const WorkloadSpec& spec);
+
+}  // namespace aft
+
+#endif  // SRC_WORKLOAD_DATASET_H_

@@ -1,0 +1,198 @@
+#include "src/workload/runners.h"
+
+#include "src/storage/sim_engine_base.h"
+
+namespace aft {
+namespace {
+
+// Builds the observation for a versioned AFT read.
+ReadObservation ObservationFrom(const std::string& key, const AftNode::VersionedRead& read) {
+  ReadObservation obs;
+  obs.key = key;
+  obs.version = read.version;
+  if (read.record != nullptr) {
+    // Alias the record's write set; the shared_ptr keeps the record alive.
+    obs.cowritten = std::shared_ptr<const std::vector<std::string>>(read.record,
+                                                                    &read.record->write_set);
+  }
+  return obs;
+}
+
+}  // namespace
+
+// ---- AftRequestRunner ---------------------------------------------------------
+
+AftRequestRunner::AftRequestRunner(FaasPlatform& faas, AftClient& client, Clock& clock,
+                                   const TxnPlanGenerator& plans, RunnerRetryPolicy retry)
+    : faas_(faas), client_(client), clock_(clock), plans_(plans), retry_(retry) {}
+
+Status AftRequestRunner::RunAttempt(Rng& rng, TxnLog* log) {
+  const TxnPlan plan = plans_.Generate(rng);
+  AFT_ASSIGN_OR_RETURN(TxnSession session, client_.StartTransaction());
+  log->events.clear();
+  log->self = TxnId(0, session.txid);
+
+  std::vector<FaasFunction> chain;
+  chain.reserve(plan.functions.size());
+  for (size_t f = 0; f < plan.functions.size(); ++f) {
+    chain.push_back([this, &plan, &session, &rng, log, f](int attempt) -> Status {
+      // A retried function continues the SAME transaction (§3.3.1); its
+      // re-issued puts are idempotent upserts into the write buffer. Events
+      // are staged locally and appended only on success so that a crashed
+      // attempt leaves no trace in the audit log.
+      if (attempt > 0) {
+        AFT_RETURN_IF_ERROR(client_.Resume(session));
+      }
+      std::vector<TxnLog::Event> staged;
+      std::vector<WriteOp> batched;
+      for (const OpPlan& op : plan.functions[f]) {
+        if (op.is_read) {
+          AFT_ASSIGN_OR_RETURN(AftNode::VersionedRead read,
+                               client_.GetVersioned(session, op.key));
+          staged.push_back(TxnLog::Event{TxnLog::Event::Kind::kRead, op.key,
+                                         ObservationFrom(op.key, read)});
+        } else {
+          std::string payload = MakePayload(plans_.spec(), rng());
+          if (batch_writes_) {
+            batched.push_back(WriteOp{op.key, std::move(payload)});
+          } else {
+            AFT_RETURN_IF_ERROR(client_.Put(session, op.key, std::move(payload)));
+          }
+          staged.push_back(TxnLog::Event{TxnLog::Event::Kind::kWrite, op.key, ReadObservation{}});
+        }
+      }
+      if (!batched.empty()) {
+        AFT_RETURN_IF_ERROR(client_.PutBatch(session, batched));
+      }
+      log->events.insert(log->events.end(), std::make_move_iterator(staged.begin()),
+                         std::make_move_iterator(staged.end()));
+      return Status::Ok();
+    });
+  }
+
+  Status chain_status = faas_.InvokeChain(chain);
+  if (!chain_status.ok()) {
+    (void)client_.Abort(session);  // Best effort; the timeout sweeper also reaps.
+    return chain_status;
+  }
+  auto committed = client_.Commit(session);
+  if (!committed.ok()) {
+    return committed.status();
+  }
+  return Status::Ok();
+}
+
+Status AftRequestRunner::RunOnce(Rng& rng, TxnLog* log) {
+  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+  Status last = Status::Internal("unreachable");
+  for (int attempt = 0; attempt <= retry_.max_request_retries; ++attempt) {
+    if (attempt > 0) {
+      counters_.request_retries.fetch_add(1, std::memory_order_relaxed);
+      // Back off before redoing the whole transaction (fresh ID).
+      clock_.SleepFor(retry_.retry_backoff);
+    }
+    last = RunAttempt(rng, log);
+    if (last.ok()) {
+      return last;
+    }
+    // Aborts (no valid version / conflicts) and node failures are retried
+    // from scratch; anything else is a hard failure.
+    if (!last.IsAborted() && !last.IsUnavailable()) {
+      break;
+    }
+  }
+  counters_.failures.fetch_add(1, std::memory_order_relaxed);
+  return last;
+}
+
+// ---- PlainRequestRunner ---------------------------------------------------------
+
+PlainRequestRunner::PlainRequestRunner(FaasPlatform& faas, StorageEngine& storage, Clock& clock,
+                                       const TxnPlanGenerator& plans)
+    : faas_(faas), storage_(storage), clock_(clock), plans_(plans) {}
+
+Status PlainRequestRunner::RunOnce(Rng& rng, TxnLog* log) {
+  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+  const TxnPlan plan = plans_.Generate(rng);
+  PlainTransaction txn(storage_, clock_, plan.write_set);
+
+  std::vector<FaasFunction> chain;
+  chain.reserve(plan.functions.size());
+  for (size_t f = 0; f < plan.functions.size(); ++f) {
+    chain.push_back([this, &plan, &txn, &rng, f](int) -> Status {
+      // No session to resume and no rollback: a retried plain function just
+      // re-runs, re-exposing whatever it already wrote — the fractional
+      // execution hazard of §1.
+      for (const OpPlan& op : plan.functions[f]) {
+        if (op.is_read) {
+          AFT_RETURN_IF_ERROR(txn.Get(op.key).status());
+        } else {
+          AFT_RETURN_IF_ERROR(txn.Put(op.key, MakePayload(plans_.spec(), rng())));
+        }
+      }
+      return Status::Ok();
+    });
+  }
+  Status status = faas_.InvokeChain(chain);
+  if (!status.ok()) {
+    counters_.failures.fetch_add(1, std::memory_order_relaxed);
+    return status;
+  }
+  *log = txn.log();
+  return Status::Ok();
+}
+
+// ---- DynamoTxnRequestRunner -----------------------------------------------------
+
+DynamoTxnRequestRunner::DynamoTxnRequestRunner(FaasPlatform& faas, SimDynamo& dynamo, Clock& clock,
+                                               const TxnPlanGenerator& plans,
+                                               RunnerRetryPolicy retry)
+    : faas_(faas), dynamo_(dynamo), clock_(clock), plans_(plans), retry_(retry) {}
+
+Status DynamoTxnRequestRunner::RunOnce(Rng& rng, TxnLog* log) {
+  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+  const TxnPlan plan = plans_.Generate(rng);
+  DynamoTxnTransaction txn(dynamo_, clock_, plan.write_set);
+
+  // §6.1.2 workload adaptation: each function's reads form one read-only
+  // transaction; ALL of the request's writes are grouped into a single
+  // write-only transaction issued by the last function, which is the most
+  // favourable grouping for DynamoDB's model (RYW anomalies disappear; reads
+  // split across functions can still fracture).
+  std::vector<FaasFunction> chain;
+  chain.reserve(plan.functions.size());
+  for (size_t f = 0; f < plan.functions.size(); ++f) {
+    const bool last = (f + 1 == plan.functions.size());
+    chain.push_back([this, &plan, &txn, &rng, f, last](int) -> Status {
+      std::vector<std::string> read_keys;
+      for (const OpPlan& op : plan.functions[f]) {
+        if (op.is_read) {
+          read_keys.push_back(op.key);
+        }
+      }
+      if (!read_keys.empty()) {
+        AFT_RETURN_IF_ERROR(txn.ReadTxn(read_keys).status());
+      }
+      if (last) {
+        std::vector<WriteOp> writes;
+        writes.reserve(plan.write_set.size());
+        for (const std::string& key : plan.write_set) {
+          writes.push_back(WriteOp{key, MakePayload(plans_.spec(), rng())});
+        }
+        if (!writes.empty()) {
+          AFT_RETURN_IF_ERROR(txn.WriteTxn(writes));
+        }
+      }
+      return Status::Ok();
+    });
+  }
+  Status status = faas_.InvokeChain(chain);
+  if (!status.ok()) {
+    counters_.failures.fetch_add(1, std::memory_order_relaxed);
+    return status;
+  }
+  *log = txn.log();
+  return Status::Ok();
+}
+
+}  // namespace aft

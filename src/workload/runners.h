@@ -1,0 +1,117 @@
+// Request runners: execute one logical request (a FaaS function chain) in
+// each of the three system configurations the paper evaluates —
+//
+//  * AftRequestRunner      — functions talk to AFT (Table 1 API);
+//  * PlainRequestRunner    — functions write straight to storage ("Plain");
+//  * DynamoTxnRequestRunner— the DynamoDB transaction-mode adaptation.
+//
+// All runners return the transaction's observation log so the harness can
+// audit anomalies uniformly (Table 2). Runners are thread-safe; per-request
+// state lives on the caller's stack and in the caller's RNG.
+
+#ifndef SRC_WORKLOAD_RUNNERS_H_
+#define SRC_WORKLOAD_RUNNERS_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "src/baseline/anomaly_checker.h"
+#include "src/baseline/dynamo_txn_client.h"
+#include "src/baseline/plain_client.h"
+#include "src/cluster/aft_client.h"
+#include "src/faas/faas_platform.h"
+#include "src/workload/workload.h"
+
+namespace aft {
+
+// Interface the harness drives.
+class RequestRunner {
+ public:
+  virtual ~RequestRunner() = default;
+
+  // Executes one logical request to completion (including any internal
+  // retries); fills `log` with what was observed. Returns non-OK only when
+  // the request ultimately failed. Datasets are pre-loaded separately
+  // (src/workload/dataset.h).
+  virtual Status RunOnce(Rng& rng, TxnLog* log) = 0;
+};
+
+struct RunnerRetryPolicy {
+  // Whole-request retries (new transaction) after aborts / node failures.
+  int max_request_retries = 16;
+  Duration retry_backoff = Millis(10);
+};
+
+struct RunnerCounters {
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> request_retries{0};
+  std::atomic<uint64_t> failures{0};
+};
+
+// ---- AFT --------------------------------------------------------------------
+class AftRequestRunner : public RequestRunner {
+ public:
+  AftRequestRunner(FaasPlatform& faas, AftClient& client, Clock& clock,
+                   const TxnPlanGenerator& plans, RunnerRetryPolicy retry = {});
+
+  Status RunOnce(Rng& rng, TxnLog* log) override;
+
+  // When true, each function ships its writes to the shim as one batched
+  // request (the "Aft Batch" client of §6.1.1). Per-op by default.
+  void set_batch_writes(bool batch) { batch_writes_ = batch; }
+
+  const RunnerCounters& counters() const { return counters_; }
+
+ private:
+  Status RunAttempt(Rng& rng, TxnLog* log);
+
+  FaasPlatform& faas_;
+  AftClient& client_;
+  Clock& clock_;
+  const TxnPlanGenerator& plans_;
+  const RunnerRetryPolicy retry_;
+  bool batch_writes_ = false;
+  RunnerCounters counters_;
+};
+
+// ---- Plain storage ------------------------------------------------------------
+class PlainRequestRunner : public RequestRunner {
+ public:
+  PlainRequestRunner(FaasPlatform& faas, StorageEngine& storage, Clock& clock,
+                     const TxnPlanGenerator& plans);
+
+  Status RunOnce(Rng& rng, TxnLog* log) override;
+
+  const RunnerCounters& counters() const { return counters_; }
+
+ private:
+  FaasPlatform& faas_;
+  StorageEngine& storage_;
+  Clock& clock_;
+  const TxnPlanGenerator& plans_;
+  RunnerCounters counters_;
+};
+
+// ---- DynamoDB transaction mode -------------------------------------------------
+class DynamoTxnRequestRunner : public RequestRunner {
+ public:
+  DynamoTxnRequestRunner(FaasPlatform& faas, SimDynamo& dynamo, Clock& clock,
+                         const TxnPlanGenerator& plans, RunnerRetryPolicy retry = {});
+
+  Status RunOnce(Rng& rng, TxnLog* log) override;
+
+  const RunnerCounters& counters() const { return counters_; }
+
+ private:
+  FaasPlatform& faas_;
+  SimDynamo& dynamo_;
+  Clock& clock_;
+  const TxnPlanGenerator& plans_;
+  const RunnerRetryPolicy retry_;
+  RunnerCounters counters_;
+};
+
+}  // namespace aft
+
+#endif  // SRC_WORKLOAD_RUNNERS_H_

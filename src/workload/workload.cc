@@ -1,0 +1,53 @@
+#include "src/workload/workload.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace aft {
+
+std::string KeyForRank(uint64_t rank) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "key%08llu", static_cast<unsigned long long>(rank));
+  return std::string(buf);
+}
+
+std::string MakePayload(const WorkloadSpec& spec, uint64_t salt) {
+  std::string payload;
+  payload.reserve(spec.value_bytes);
+  // Cheap deterministic filler; the salt makes payloads distinguishable so
+  // tests can assert which version they read.
+  uint64_t state = salt * 0x9e3779b97f4a7c15ULL + 1;
+  while (payload.size() < spec.value_bytes) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    payload.push_back(static_cast<char>('a' + ((state >> 33) % 26)));
+  }
+  return payload;
+}
+
+TxnPlan TxnPlanGenerator::Generate(Rng& rng) const {
+  TxnPlan plan;
+  plan.functions.resize(spec_.num_functions);
+  for (size_t f = 0; f < spec_.num_functions; ++f) {
+    auto& ops = plan.functions[f];
+    ops.reserve(spec_.reads_per_function + spec_.writes_per_function);
+    for (size_t r = 0; r < spec_.reads_per_function; ++r) {
+      ops.push_back(OpPlan{true, KeyForRank(zipf_.Sample(rng))});
+    }
+    for (size_t w = 0; w < spec_.writes_per_function; ++w) {
+      ops.push_back(OpPlan{false, KeyForRank(zipf_.Sample(rng))});
+    }
+  }
+  for (const auto& ops : plan.functions) {
+    for (const auto& op : ops) {
+      if (!op.is_read) {
+        plan.write_set.push_back(op.key);
+      }
+    }
+  }
+  std::sort(plan.write_set.begin(), plan.write_set.end());
+  plan.write_set.erase(std::unique(plan.write_set.begin(), plan.write_set.end()),
+                       plan.write_set.end());
+  return plan;
+}
+
+}  // namespace aft

@@ -1,0 +1,196 @@
+// Tests for the autoscaling policy and mechanism (§4.3 / §8 future work).
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/autoscaler.h"
+#include "src/storage/sim_dynamo.h"
+
+namespace aft {
+namespace {
+
+SimDynamoOptions InstantDynamo() {
+  SimDynamoOptions options;
+  options.profile = EngineLatencyProfile{LatencyModel::Zero(), LatencyModel::Zero(),
+                                         LatencyModel::Zero(), LatencyModel::Zero(),
+                                         LatencyModel::Zero(), LatencyModel::Zero()};
+  options.staleness = StalenessModel{};
+  options.txn_call = LatencyModel::Zero();
+  return options;
+}
+
+// ---- Policy ---------------------------------------------------------------------
+
+TEST(ThresholdPolicyTest, ScalesUpWhenOverThreshold) {
+  ThresholdPolicy policy(ThresholdPolicyOptions{100.0, 0.75, 0.30});
+  AutoscalingPolicy::Observation obs;
+  obs.live_nodes = 2;
+  obs.aggregate_tps = 180;  // 90% of 2x100 capacity.
+  EXPECT_GT(policy.DesiredNodes(obs), 2u);
+}
+
+TEST(ThresholdPolicyTest, ScalesDownWhenUnderThreshold) {
+  ThresholdPolicy policy(ThresholdPolicyOptions{100.0, 0.75, 0.30});
+  AutoscalingPolicy::Observation obs;
+  obs.live_nodes = 4;
+  obs.aggregate_tps = 80;  // 20% utilization.
+  EXPECT_EQ(policy.DesiredNodes(obs), 3u);
+}
+
+TEST(ThresholdPolicyTest, HoldsInTheDeadband) {
+  ThresholdPolicy policy(ThresholdPolicyOptions{100.0, 0.75, 0.30});
+  AutoscalingPolicy::Observation obs;
+  obs.live_nodes = 3;
+  obs.aggregate_tps = 150;  // 50% utilization.
+  EXPECT_EQ(policy.DesiredNodes(obs), 3u);
+}
+
+TEST(ThresholdPolicyTest, NeverGoesBelowOneNode) {
+  ThresholdPolicy policy;
+  AutoscalingPolicy::Observation obs;
+  obs.live_nodes = 1;
+  obs.aggregate_tps = 0;
+  EXPECT_EQ(policy.DesiredNodes(obs), 1u);
+}
+
+TEST(ThresholdPolicyTest, SizesFleetProportionallyToLoad) {
+  ThresholdPolicy policy(ThresholdPolicyOptions{100.0, 0.8, 0.3});
+  AutoscalingPolicy::Observation obs;
+  obs.live_nodes = 1;
+  obs.aggregate_tps = 400;  // Needs ceil(400 / 80) = 5 nodes.
+  EXPECT_EQ(policy.DesiredNodes(obs), 5u);
+}
+
+// ---- Mechanism --------------------------------------------------------------------
+
+class AutoscalerTest : public ::testing::Test {
+ protected:
+  AutoscalerTest() : storage_(clock_, InstantDynamo()) {}
+
+  void CommitN(AftNode& node, int n) {
+    for (int i = 0; i < n; ++i) {
+      auto txid = node.StartTransaction();
+      ASSERT_TRUE(node.Put(*txid, "k" + std::to_string(i % 7), "v").ok());
+      ASSERT_TRUE(node.CommitTransaction(*txid).ok());
+    }
+  }
+
+  SimClock clock_;
+  SimDynamo storage_;
+};
+
+TEST_F(AutoscalerTest, ScalesUpUnderLoad) {
+  ClusterOptions cluster_options;
+  cluster_options.num_nodes = 1;
+  cluster_options.start_background_threads = false;
+  ClusterDeployment cluster(storage_, clock_, cluster_options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  AutoscalerOptions options;
+  options.cooldown = Duration::zero();
+  Autoscaler autoscaler(cluster, clock_,
+                        std::make_unique<ThresholdPolicy>(ThresholdPolicyOptions{
+                            /*per_node_capacity_tps=*/100, 0.75, 0.30}),
+                        options);
+  EXPECT_EQ(autoscaler.RunOnce(), 0);  // Priming call.
+
+  // Generate 200 commits over 1 simulated second: 200 tps >> 75 tps target.
+  CommitN(*cluster.node(0), 200);
+  clock_.Advance(Millis(1000));
+  EXPECT_EQ(autoscaler.RunOnce(), 1);
+  EXPECT_EQ(cluster.balancer().LiveNodes().size(), 2u);
+  EXPECT_EQ(autoscaler.stats().scale_ups.load(), 1u);
+}
+
+TEST_F(AutoscalerTest, ScalesDownWhenIdleAndDrainsGracefully) {
+  ClusterOptions cluster_options;
+  cluster_options.num_nodes = 3;
+  cluster_options.start_background_threads = false;
+  ClusterDeployment cluster(storage_, clock_, cluster_options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  // The node about to be decommissioned holds committed state the cluster
+  // must not lose.
+  CommitN(*cluster.node(2), 3);
+  auto txid = cluster.node(2)->StartTransaction();
+  ASSERT_TRUE(cluster.node(2)->Put(*txid, "draining", "ok").ok());
+
+  AutoscalerOptions options;
+  options.cooldown = Duration::zero();
+  options.drain_timeout = std::chrono::hours(24);  // Drain must wait for us.
+  Autoscaler autoscaler(cluster, clock_,
+                        std::make_unique<ThresholdPolicy>(ThresholdPolicyOptions{100, 0.75, 0.30}),
+                        options);
+  (void)autoscaler.RunOnce();  // Prime.
+  clock_.Advance(Millis(1000));
+
+  // Nearly idle: scale down. Run the autoscaler on its own thread; it must
+  // block in the drain loop until the open transaction finishes. We observe
+  // the drain phase via the balancer (the victim is deregistered first).
+  std::atomic<int> delta{0};
+  std::thread scaler([&] { delta.store(autoscaler.RunOnce()); });
+  while (cluster.balancer().LiveNodes().size() != 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(cluster.node(2)->alive()) << "victim must stay up until drained";
+  ASSERT_TRUE(cluster.node(2)->CommitTransaction(*txid).ok());
+  scaler.join();
+  EXPECT_EQ(delta.load(), -1);
+
+  EXPECT_EQ(cluster.balancer().LiveNodes().size(), 2u);
+  EXPECT_FALSE(cluster.node(2)->alive());
+  // Planned removal: not a failure, no replacement.
+  cluster.fault_manager().CheckForFailuresOnce();
+  cluster.fault_manager().Stop();
+  EXPECT_EQ(cluster.fault_manager().stats().failures_detected.load(), 0u);
+  // The drained node's last commit reached its peers via the final gossip.
+  auto reader = cluster.node(0)->StartTransaction();
+  auto value = cluster.node(0)->Get(*reader, "draining");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->value(), "ok");
+}
+
+TEST_F(AutoscalerTest, CooldownLimitsActionRate) {
+  ClusterOptions cluster_options;
+  cluster_options.num_nodes = 1;
+  cluster_options.start_background_threads = false;
+  ClusterDeployment cluster(storage_, clock_, cluster_options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  AutoscalerOptions options;
+  options.cooldown = Millis(10000);
+  Autoscaler autoscaler(cluster, clock_,
+                        std::make_unique<ThresholdPolicy>(ThresholdPolicyOptions{100, 0.75, 0.3}),
+                        options);
+  (void)autoscaler.RunOnce();
+  CommitN(*cluster.node(0), 200);
+  clock_.Advance(Millis(1000));
+  EXPECT_EQ(autoscaler.RunOnce(), 1);
+  // Still hot, but inside the cooldown window: no further action.
+  CommitN(*cluster.node(0), 200);
+  clock_.Advance(Millis(1000));
+  EXPECT_EQ(autoscaler.RunOnce(), 0);
+  EXPECT_EQ(autoscaler.stats().scale_ups.load(), 1u);
+}
+
+TEST_F(AutoscalerTest, RespectsMaxNodes) {
+  ClusterOptions cluster_options;
+  cluster_options.num_nodes = 2;
+  cluster_options.start_background_threads = false;
+  ClusterDeployment cluster(storage_, clock_, cluster_options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  AutoscalerOptions options;
+  options.cooldown = Duration::zero();
+  options.max_nodes = 2;
+  Autoscaler autoscaler(cluster, clock_,
+                        std::make_unique<ThresholdPolicy>(ThresholdPolicyOptions{10, 0.5, 0.1}),
+                        options);
+  (void)autoscaler.RunOnce();
+  CommitN(*cluster.node(0), 500);
+  clock_.Advance(Millis(1000));
+  EXPECT_EQ(autoscaler.RunOnce(), 0) << "already at max_nodes";
+  EXPECT_EQ(cluster.balancer().LiveNodes().size(), 2u);
+}
+
+}  // namespace
+}  // namespace aft

@@ -1,0 +1,223 @@
+// Tests for the baseline clients and the anomaly checker.
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/anomaly_checker.h"
+#include "src/baseline/dynamo_txn_client.h"
+#include "src/baseline/plain_client.h"
+#include "src/storage/sim_dynamo.h"
+
+namespace aft {
+namespace {
+
+SimDynamoOptions InstantDynamo() {
+  SimDynamoOptions options;
+  options.profile = EngineLatencyProfile{LatencyModel::Zero(), LatencyModel::Zero(),
+                                         LatencyModel::Zero(), LatencyModel::Zero(),
+                                         LatencyModel::Zero(), LatencyModel::Zero()};
+  options.staleness = StalenessModel{};
+  options.txn_call = LatencyModel::Zero();
+  return options;
+}
+
+// ---- Anomaly checker unit tests -----------------------------------------------------
+
+TxnId Id(int64_t ts) {
+  static Rng rng(55);
+  return TxnId(ts, Uuid::Random(rng));
+}
+
+ReadObservation Obs(const std::string& key, const TxnId& version,
+                    std::vector<std::string> cowritten) {
+  return ReadObservation{key, version,
+                         std::make_shared<const std::vector<std::string>>(std::move(cowritten))};
+}
+
+TEST(AnomalyCheckerTest, CleanLogPasses) {
+  TxnLog log;
+  log.self = Id(100);
+  const TxnId writer = Id(50);
+  log.AddRead(Obs("k", writer, {"k", "l"}));
+  log.AddRead(Obs("l", writer, {"k", "l"}));
+  log.AddWrite("m");
+  const AnomalyVerdict verdict = CheckTransaction(log);
+  EXPECT_FALSE(verdict.ryw_anomaly);
+  EXPECT_FALSE(verdict.fr_anomaly);
+}
+
+TEST(AnomalyCheckerTest, ReadingOwnWriteIsClean) {
+  TxnLog log;
+  log.self = Id(100);
+  log.AddWrite("k");
+  log.AddRead(Obs("k", log.self, {"k"}));
+  EXPECT_FALSE(CheckTransaction(log).ryw_anomaly);
+}
+
+TEST(AnomalyCheckerTest, ReadAfterWriteObservingOtherVersionIsRyw) {
+  TxnLog log;
+  log.self = Id(100);
+  log.AddWrite("k");
+  log.AddRead(Obs("k", Id(200), {"k"}));  // Someone else's version.
+  EXPECT_TRUE(CheckTransaction(log).ryw_anomaly);
+}
+
+TEST(AnomalyCheckerTest, ReadAfterWriteObservingNullIsRyw) {
+  TxnLog log;
+  log.self = Id(100);
+  log.AddWrite("k");
+  log.AddRead(ReadObservation{"k", TxnId::Null(), nullptr});  // Write not visible.
+  EXPECT_TRUE(CheckTransaction(log).ryw_anomaly);
+}
+
+TEST(AnomalyCheckerTest, ReadBeforeWriteIsNotRyw) {
+  TxnLog log;
+  log.self = Id(100);
+  log.AddRead(Obs("k", Id(50), {"k"}));
+  log.AddWrite("k");
+  EXPECT_FALSE(CheckTransaction(log).ryw_anomaly);
+}
+
+TEST(AnomalyCheckerTest, FracturedReadIsDetected) {
+  // T60 wrote {k,l}; we saw k from T60 but l from older T40.
+  TxnLog log;
+  log.self = Id(100);
+  log.AddRead(Obs("k", Id(60), {"k", "l"}));
+  log.AddRead(Obs("l", Id(40), {"l"}));
+  EXPECT_TRUE(CheckTransaction(log).fr_anomaly);
+}
+
+TEST(AnomalyCheckerTest, FracturedReadDetectedRegardlessOfOrder) {
+  TxnLog log;
+  log.self = Id(100);
+  log.AddRead(Obs("l", Id(40), {"l"}));
+  log.AddRead(Obs("k", Id(60), {"k", "l"}));
+  EXPECT_TRUE(CheckTransaction(log).fr_anomaly);
+}
+
+TEST(AnomalyCheckerTest, NewerCowrittenReadIsNotFractured) {
+  // Reading l NEWER than the cowritten constraint is fine (j >= i).
+  TxnLog log;
+  log.self = Id(100);
+  log.AddRead(Obs("k", Id(60), {"k", "l"}));
+  log.AddRead(Obs("l", Id(80), {"l"}));
+  EXPECT_FALSE(CheckTransaction(log).fr_anomaly);
+}
+
+TEST(AnomalyCheckerTest, RepeatableReadViolationCountsAsFractured) {
+  TxnLog log;
+  log.self = Id(100);
+  log.AddRead(Obs("k", Id(40), {"k"}));
+  log.AddRead(Obs("k", Id(60), {"k"}));
+  EXPECT_TRUE(CheckTransaction(log).fr_anomaly);
+}
+
+TEST(AnomalyCheckerTest, NullReadsDoNotFracture) {
+  TxnLog log;
+  log.self = Id(100);
+  log.AddRead(Obs("k", Id(60), {"k", "l"}));
+  log.AddRead(ReadObservation{"l", TxnId::Null(), nullptr});
+  EXPECT_FALSE(CheckTransaction(log).fr_anomaly);
+}
+
+TEST(AnomalyCheckerTest, CountersAccumulate) {
+  AnomalyCounters counters;
+  counters.Accumulate(AnomalyVerdict{true, false});
+  counters.Accumulate(AnomalyVerdict{false, true});
+  counters.Accumulate(AnomalyVerdict{false, false});
+  EXPECT_EQ(counters.transactions.load(), 3u);
+  EXPECT_EQ(counters.ryw_anomalies.load(), 1u);
+  EXPECT_EQ(counters.fr_anomalies.load(), 1u);
+}
+
+// ---- PlainTransaction -----------------------------------------------------------------
+
+TEST(PlainClientTest, PutEmbedsMetadataAndGetDecodesIt) {
+  SimClock clock;
+  SimDynamo storage(clock, InstantDynamo());
+  PlainTransaction writer(storage, clock, {"k", "l"});
+  ASSERT_TRUE(writer.Put("k", "payload-k").ok());
+
+  PlainTransaction reader(storage, clock, {});
+  auto value = reader.Get("k");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->value(), "payload-k");
+  ASSERT_EQ(reader.log().events.size(), 1u);
+  const ReadObservation& obs = reader.log().events[0].read;
+  EXPECT_EQ(obs.version, writer.id());
+  ASSERT_NE(obs.cowritten, nullptr);
+  EXPECT_EQ(*obs.cowritten, (std::vector<std::string>{"k", "l"}));
+}
+
+TEST(PlainClientTest, MissingKeyIsNullObservation) {
+  SimClock clock;
+  SimDynamo storage(clock, InstantDynamo());
+  PlainTransaction txn(storage, clock, {});
+  auto value = txn.Get("missing");
+  ASSERT_TRUE(value.ok());
+  EXPECT_FALSE(value->has_value());
+  EXPECT_TRUE(txn.log().events[0].read.version.IsNull());
+}
+
+TEST(PlainClientTest, DecodeObservationToleratesForeignBytes) {
+  const ReadObservation obs = DecodeObservation("k", std::optional<std::string>("raw-bytes"));
+  EXPECT_TRUE(obs.version.IsNull());
+  EXPECT_EQ(obs.key, "k");
+}
+
+TEST(PlainClientTest, WritesAreImmediatelyVisibleToOthers) {
+  // This is precisely the fractional-execution hazard: no commit point.
+  SimClock clock;
+  SimDynamo storage(clock, InstantDynamo());
+  PlainTransaction writer(storage, clock, {"k", "l"});
+  ASSERT_TRUE(writer.Put("k", "half").ok());
+  // l not yet written — another client already sees the partial state.
+  PlainTransaction reader(storage, clock, {});
+  EXPECT_TRUE(reader.Get("k")->has_value());
+  EXPECT_FALSE(reader.Get("l")->has_value());
+}
+
+// ---- DynamoTxnTransaction --------------------------------------------------------------
+
+TEST(DynamoTxnClientTest, WriteTxnInstallsAtomicallyAndReadsDecode) {
+  SimClock clock;
+  SimDynamo storage(clock, InstantDynamo());
+  DynamoTxnTransaction writer(storage, clock, {"x", "y"});
+  std::vector<WriteOp> ops{{"x", "1"}, {"y", "2"}};
+  ASSERT_TRUE(writer.WriteTxn(ops).ok());
+
+  DynamoTxnTransaction reader(storage, clock, {});
+  std::vector<std::string> keys{"x", "y"};
+  auto values = reader.ReadTxn(keys);
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(values->at(0).value(), "1");
+  EXPECT_EQ(values->at(1).value(), "2");
+  EXPECT_EQ(reader.log().events.size(), 2u);
+  EXPECT_EQ(reader.log().events[0].read.version, writer.id());
+}
+
+TEST(DynamoTxnClientTest, ConflictsAreRetriedWithBackoff) {
+  RealClock clock(1.0);
+  SimDynamoOptions options = InstantDynamo();
+  options.txn_call = LatencyModel(15.0, 0.0, 15.0);
+  SimDynamo storage(clock, options);
+  // Two threads hammer the same key; both must eventually succeed thanks to
+  // the client-side retry loop.
+  std::atomic<int> successes{0};
+  std::atomic<int> retries{0};
+  auto worker = [&] {
+    DynamoTxnTransaction txn(storage, clock, {"hot"});
+    std::vector<WriteOp> ops{{"hot", "v"}};
+    if (txn.WriteTxn(ops).ok()) {
+      successes.fetch_add(1);
+    }
+    retries.fetch_add(txn.conflict_retries());
+  };
+  std::thread a(worker);
+  std::thread b(worker);
+  a.join();
+  b.join();
+  EXPECT_EQ(successes.load(), 2);
+}
+
+}  // namespace
+}  // namespace aft

@@ -1,0 +1,235 @@
+// Unit tests for the key version index, commit set cache and data cache.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/core/commit_set_cache.h"
+#include "src/core/data_cache.h"
+#include "src/core/key_version_index.h"
+
+namespace aft {
+namespace {
+
+TxnId MakeId(int64_t ts) {
+  static Rng rng(101);
+  return TxnId(ts, Uuid::Random(rng));
+}
+
+CommitRecordPtr MakeRecord(int64_t ts, std::vector<std::string> keys) {
+  return std::make_shared<const CommitRecord>(CommitRecord{MakeId(ts), std::move(keys)});
+}
+
+// ---- KeyVersionIndex ----------------------------------------------------------
+
+TEST(KeyVersionIndexTest, LatestVersionTracksNewest) {
+  KeyVersionIndex index;
+  EXPECT_TRUE(index.LatestVersion("k").IsNull());
+  auto r1 = MakeRecord(10, {"k"});
+  auto r2 = MakeRecord(20, {"k", "l"});
+  index.AddCommit(*r1);
+  index.AddCommit(*r2);
+  EXPECT_EQ(index.LatestVersion("k"), r2->id);
+  EXPECT_EQ(index.LatestVersion("l"), r2->id);
+}
+
+TEST(KeyVersionIndexTest, CandidatesNewestFirstRespectingLowerBound) {
+  KeyVersionIndex index;
+  auto r1 = MakeRecord(10, {"k"});
+  auto r2 = MakeRecord(20, {"k"});
+  auto r3 = MakeRecord(30, {"k"});
+  index.AddCommit(*r1);
+  index.AddCommit(*r2);
+  index.AddCommit(*r3);
+
+  auto all = index.CandidatesAtLeast("k", TxnId::Null());
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], r3->id);
+  EXPECT_EQ(all[2], r1->id);
+
+  auto bounded = index.CandidatesAtLeast("k", r2->id);
+  ASSERT_EQ(bounded.size(), 2u);
+  EXPECT_EQ(bounded[0], r3->id);
+  EXPECT_EQ(bounded[1], r2->id);
+}
+
+TEST(KeyVersionIndexTest, RemoveCommitDropsVersions) {
+  KeyVersionIndex index;
+  auto r1 = MakeRecord(10, {"k", "l"});
+  auto r2 = MakeRecord(20, {"k"});
+  index.AddCommit(*r1);
+  index.AddCommit(*r2);
+  index.RemoveCommit(*r1);
+  EXPECT_EQ(index.LatestVersion("k"), r2->id);
+  EXPECT_TRUE(index.LatestVersion("l").IsNull());
+  EXPECT_FALSE(index.Contains("k", r1->id));
+  EXPECT_TRUE(index.Contains("k", r2->id));
+}
+
+TEST(KeyVersionIndexTest, CountsAreAccurate) {
+  KeyVersionIndex index;
+  index.AddCommit(*MakeRecord(10, {"a", "b"}));
+  index.AddCommit(*MakeRecord(20, {"b", "c"}));
+  EXPECT_EQ(index.KeyCount(), 3u);
+  EXPECT_EQ(index.TotalVersionCount(), 4u);
+}
+
+TEST(KeyVersionIndexTest, ConcurrentReadersAndWriters) {
+  KeyVersionIndex index;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 1; i <= 500; ++i) {
+      index.AddCommit(*MakeRecord(i, {"hot"}));
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      (void)index.LatestVersion("hot");
+      (void)index.CandidatesAtLeast("hot", TxnId::Null());
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(index.TotalVersionCount(), 500u);
+}
+
+// ---- CommitSetCache --------------------------------------------------------------
+
+TEST(CommitSetCacheTest, AddLookupRemove) {
+  CommitSetCache cache;
+  auto record = MakeRecord(10, {"k"});
+  EXPECT_TRUE(cache.Add(record));
+  EXPECT_FALSE(cache.Add(record));  // Duplicate.
+  EXPECT_TRUE(cache.Contains(record->id));
+  EXPECT_EQ(cache.Lookup(record->id), record);
+  cache.Remove(record->id);
+  EXPECT_FALSE(cache.Contains(record->id));
+  EXPECT_EQ(cache.Lookup(record->id), nullptr);
+}
+
+TEST(CommitSetCacheTest, RemoveRemembersLocallyDeleted) {
+  CommitSetCache cache;
+  auto record = MakeRecord(10, {"k"});
+  cache.Add(record);
+  EXPECT_FALSE(cache.HasLocallyDeleted(record->id));
+  cache.Remove(record->id);
+  EXPECT_TRUE(cache.HasLocallyDeleted(record->id));
+  cache.ForgetLocallyDeleted(record->id);
+  EXPECT_FALSE(cache.HasLocallyDeleted(record->id));
+}
+
+TEST(CommitSetCacheTest, RemovingUnknownIdIsNotADeletion) {
+  CommitSetCache cache;
+  const TxnId id = MakeId(99);
+  cache.Remove(id);
+  EXPECT_FALSE(cache.HasLocallyDeleted(id));
+}
+
+TEST(CommitSetCacheTest, RecentCommitsDrainOnce) {
+  CommitSetCache cache;
+  auto r1 = MakeRecord(10, {"a"});
+  auto r2 = MakeRecord(20, {"b"});
+  cache.Add(r1);
+  cache.Add(r2);
+  cache.NoteLocalCommit(r1->id);
+  cache.NoteLocalCommit(r2->id);
+  auto drained = cache.TakeRecentCommits();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_TRUE(cache.TakeRecentCommits().empty());
+}
+
+TEST(CommitSetCacheTest, SnapshotReflectsContents) {
+  CommitSetCache cache;
+  cache.Add(MakeRecord(10, {"a"}));
+  cache.Add(MakeRecord(20, {"b"}));
+  EXPECT_EQ(cache.Snapshot().size(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(CommitSetCacheTest, PinnedRecordSurvivesRemoval) {
+  CommitSetCache cache;
+  auto record = MakeRecord(10, {"k"});
+  cache.Add(record);
+  CommitRecordPtr pinned = cache.Lookup(record->id);
+  cache.Remove(record->id);
+  // A running transaction holding the pointer can still read the metadata.
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->write_set, std::vector<std::string>{"k"});
+}
+
+// ---- DataCache --------------------------------------------------------------------
+
+TEST(DataCacheTest, DisabledCacheStoresNothing) {
+  DataCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Put("k", "payload");
+  EXPECT_FALSE(cache.Get("k").has_value());
+}
+
+TEST(DataCacheTest, PutGetErase) {
+  DataCache cache(1 << 20);
+  cache.Put("k", "payload");
+  EXPECT_EQ(cache.Get("k").value(), "payload");
+  cache.Erase("k");
+  EXPECT_FALSE(cache.Get("k").has_value());
+}
+
+TEST(DataCacheTest, HitAndMissCountersWork) {
+  DataCache cache(1 << 20);
+  cache.Put("k", "v");
+  (void)cache.Get("k");
+  (void)cache.Get("missing");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(DataCacheTest, EvictsLruWhenOverBudget) {
+  DataCache cache(10);  // Tiny: holds at most 2 x 5-byte entries.
+  cache.Put("a", "11111");
+  cache.Put("b", "22222");
+  (void)cache.Get("a");   // Touch a: b becomes LRU.
+  cache.Put("c", "33333");  // Evicts b.
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_LE(cache.size_bytes(), 10u);
+}
+
+TEST(DataCacheTest, OversizedEntryIsRejected) {
+  DataCache cache(4);
+  cache.Put("k", "too large for the cache");
+  EXPECT_FALSE(cache.Get("k").has_value());
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST(DataCacheTest, OverwriteUpdatesBytes) {
+  DataCache cache(100);
+  cache.Put("k", "aaaa");
+  cache.Put("k", "bb");
+  EXPECT_EQ(cache.Get("k").value(), "bb");
+  EXPECT_EQ(cache.size_bytes(), 2u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(DataCacheTest, ConcurrentAccessIsSafe) {
+  DataCache cache(1 << 16);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 1000; ++i) {
+        const std::string key = "k" + std::to_string((t * 1000 + i) % 64);
+        cache.Put(key, std::string(32, 'x'));
+        (void)cache.Get(key);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_LE(cache.size_bytes(), 1u << 16);
+}
+
+}  // namespace
+}  // namespace aft

@@ -1,0 +1,168 @@
+// Tests for the simulated FaaS platform: dispatch, chains, concurrency
+// limits, retries and failure injection.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/faas/faas_platform.h"
+
+namespace aft {
+namespace {
+
+FaasOptions InstantFaas() {
+  FaasOptions options;
+  options.invocation_overhead = LatencyModel::Zero();
+  options.cold_start_probability = 0;
+  options.retry_backoff = Duration::zero();
+  return options;
+}
+
+TEST(FaasTest, InvokeRunsFunction) {
+  SimClock clock;
+  FaasPlatform faas(clock, InstantFaas());
+  bool ran = false;
+  EXPECT_TRUE(faas.Invoke([&](int) {
+    ran = true;
+    return Status::Ok();
+  }).ok());
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(faas.stats().invocations.load(), 1u);
+}
+
+TEST(FaasTest, ChainRunsInOrderAndStopsOnError) {
+  SimClock clock;
+  FaasPlatform faas(clock, InstantFaas());
+  std::vector<int> order;
+  Status status = faas.InvokeChain({
+      [&](int) {
+        order.push_back(1);
+        return Status::Ok();
+      },
+      [&](int) {
+        order.push_back(2);
+        return Status::Aborted("stop here");
+      },
+      [&](int) {
+        order.push_back(3);
+        return Status::Ok();
+      },
+  });
+  EXPECT_TRUE(status.IsAborted());
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(FaasTest, InvocationOverheadIsCharged) {
+  SimClock clock;
+  FaasOptions options = InstantFaas();
+  options.invocation_overhead = LatencyModel(10.0, 0.0, 10.0);
+  FaasPlatform faas(clock, options);
+  const TimePoint before = clock.Now();
+  (void)faas.InvokeChain({[](int) { return Status::Ok(); }, [](int) { return Status::Ok(); }});
+  EXPECT_GE(clock.Now() - before, Millis(20));
+}
+
+TEST(FaasTest, InfrastructureFailuresAreRetried) {
+  SimClock clock;
+  FaasPlatform faas(clock, InstantFaas());
+  int attempts = 0;
+  Status status = faas.Invoke([&](int attempt) {
+    ++attempts;
+    EXPECT_EQ(attempt, attempts - 1);
+    if (attempts < 3) {
+      return Status::Unavailable("flaky");
+    }
+    return Status::Ok();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(faas.stats().retries.load(), 2u);
+}
+
+TEST(FaasTest, ApplicationErrorsAreNotRetried) {
+  SimClock clock;
+  FaasPlatform faas(clock, InstantFaas());
+  int attempts = 0;
+  Status status = faas.Invoke([&](int) {
+    ++attempts;
+    return Status::Aborted("app-level");
+  });
+  EXPECT_TRUE(status.IsAborted());
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(FaasTest, RetriesExhaustEventually) {
+  SimClock clock;
+  FaasOptions options = InstantFaas();
+  options.max_retries = 2;
+  FaasPlatform faas(clock, options);
+  int attempts = 0;
+  Status status = faas.Invoke([&](int) {
+    ++attempts;
+    return Status::Unavailable("always down");
+  });
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_EQ(attempts, 3);  // 1 initial + 2 retries.
+  EXPECT_EQ(faas.stats().exhausted_retries.load(), 1u);
+}
+
+TEST(FaasTest, InjectedCrashesAreRetriedToSuccess) {
+  SimClock clock;
+  FaasOptions options = InstantFaas();
+  options.crash_probability = 0.5;
+  options.max_retries = 100;
+  FaasPlatform faas(clock, options);
+  int completions = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (faas.Invoke([&](int) { return Status::Ok(); }).ok()) {
+      ++completions;
+    }
+  }
+  EXPECT_EQ(completions, 50);
+  EXPECT_GT(faas.stats().crashes_injected.load(), 0u);
+}
+
+TEST(FaasTest, ConcurrencyLimitIsEnforced) {
+  RealClock clock(1.0);
+  FaasOptions options = InstantFaas();
+  options.concurrency_limit = 2;
+  FaasPlatform faas(clock, options);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 6; ++i) {
+    threads.emplace_back([&] {
+      (void)faas.Invoke([&](int) {
+        const int now = concurrent.fetch_add(1) + 1;
+        int expected = max_concurrent.load();
+        while (now > expected && !max_concurrent.compare_exchange_weak(expected, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        concurrent.fetch_sub(1);
+        return Status::Ok();
+      });
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_LE(max_concurrent.load(), 2);
+  EXPECT_EQ(faas.stats().invocations.load(), 6u);
+}
+
+TEST(FaasTest, ColdStartsAreCountedAndCharged) {
+  SimClock clock;
+  FaasOptions options = InstantFaas();
+  options.cold_start_probability = 1.0;
+  options.cold_start = LatencyModel(100.0, 0.0, 100.0);
+  FaasPlatform faas(clock, options);
+  const TimePoint before = clock.Now();
+  (void)faas.Invoke([](int) { return Status::Ok(); });
+  EXPECT_GE(clock.Now() - before, Millis(100));
+  EXPECT_EQ(faas.stats().cold_starts.load(), 1u);
+}
+
+}  // namespace
+}  // namespace aft

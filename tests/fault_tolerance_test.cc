@@ -1,0 +1,333 @@
+// Fault-tolerance property tests: crash injection at every point of the
+// commit protocol, recovery invariants, orphan collection, and end-to-end
+// exactly-once behaviour under randomized failures.
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/deployment.h"
+#include "src/storage/sim_dynamo.h"
+#include "src/workload/dataset.h"
+#include "src/workload/harness.h"
+
+namespace aft {
+namespace {
+
+SimDynamoOptions InstantDynamo() {
+  SimDynamoOptions options;
+  options.profile = EngineLatencyProfile{LatencyModel::Zero(), LatencyModel::Zero(),
+                                         LatencyModel::Zero(), LatencyModel::Zero(),
+                                         LatencyModel::Zero(), LatencyModel::Zero()};
+  options.staleness = StalenessModel{};
+  options.txn_call = LatencyModel::Zero();
+  return options;
+}
+
+// Randomized crash-point property: for every transaction, either ALL of its
+// writes are visible after recovery or NONE are, and acked commits are
+// always visible. Parameterized over RNG seeds.
+class CrashRecoveryPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrashRecoveryPropertyTest, AckedAllOrNothingAlwaysHolds) {
+  SimClock clock;
+  SimDynamo storage(clock, InstantDynamo());
+  Rng rng(9000 + GetParam());
+
+  struct Outcome {
+    std::string key_a;
+    std::string key_b;
+    std::string value;
+    bool acked = false;
+    bool commit_record_persisted = false;
+  };
+  std::vector<Outcome> outcomes;
+
+  for (int i = 0; i < 40; ++i) {
+    // Each iteration: a fresh node (previous one may have crashed) running
+    // one 2-key transaction with a randomly armed crash point.
+    const int crash_roll = static_cast<int>(rng.Below(4));  // 3 points + no crash.
+    AftNodeOptions options;
+    options.service_cores = 0;
+    options.crash_hook = [crash_roll](CrashPoint point) {
+      return static_cast<int>(point) == crash_roll;
+    };
+    AftNode node("n" + std::to_string(i), storage, clock, options);
+    ASSERT_TRUE(node.Start().ok());
+
+    Outcome outcome;
+    outcome.key_a = "a" + std::to_string(i);
+    outcome.key_b = "b" + std::to_string(i);
+    outcome.value = "v" + std::to_string(i);
+    auto txid = node.StartTransaction();
+    ASSERT_TRUE(txid.ok());
+    ASSERT_TRUE(node.Put(*txid, outcome.key_a, outcome.value).ok());
+    ASSERT_TRUE(node.Put(*txid, outcome.key_b, outcome.value).ok());
+    auto committed = node.CommitTransaction(*txid);
+    outcome.acked = committed.ok();
+    // Ground truth from storage: did the commit record make it out?
+    auto commit_keys = storage.List(kCommitPrefix);
+    ASSERT_TRUE(commit_keys.ok());
+    outcome.commit_record_persisted = false;
+    for (const auto& key : commit_keys.value()) {
+      if (TxnIdFromCommitStorageKey(key).uuid == *txid) {
+        outcome.commit_record_persisted = true;
+        break;
+      }
+    }
+    outcomes.push_back(outcome);
+  }
+
+  // Recovery: a brand-new node bootstraps purely from storage.
+  AftNodeOptions recovery_options;
+  recovery_options.service_cores = 0;
+  AftNode recovered("recovery", storage, clock, recovery_options);
+  ASSERT_TRUE(recovered.Start().ok());
+
+  for (const Outcome& outcome : outcomes) {
+    auto txid = recovered.StartTransaction();
+    ASSERT_TRUE(txid.ok());
+    auto a = recovered.Get(*txid, outcome.key_a);
+    auto b = recovered.Get(*txid, outcome.key_b);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    (void)recovered.AbortTransaction(*txid);
+
+    const bool a_visible = a->has_value();
+    const bool b_visible = b->has_value();
+    EXPECT_EQ(a_visible, b_visible) << "fractional execution exposed for " << outcome.key_a;
+    if (outcome.acked) {
+      EXPECT_TRUE(a_visible) << "acked commit lost: " << outcome.key_a;
+      EXPECT_EQ(a->value(), outcome.value);
+    }
+    // Commit record persisted == transaction committed, acked or not (§3.3.1).
+    EXPECT_EQ(a_visible, outcome.commit_record_persisted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashRecoveryPropertyTest, ::testing::Range(0, 6));
+
+// ---- Orphan collection ------------------------------------------------------------
+
+TEST(OrphanSweepTest, OrphanedVersionsAreReapedAfterGrace) {
+  SimClock clock;
+  SimDynamo storage(clock, InstantDynamo());
+  ClusterOptions options;
+  options.num_nodes = 1;
+  options.start_background_threads = false;
+  options.fault_manager.orphan_grace = Millis(500);
+  // The dying node: crashes after writing data, before the commit record.
+  options.node_options.crash_hook = [](CrashPoint point) {
+    return point == CrashPoint::kAfterDataWrite;
+  };
+  ClusterDeployment cluster(storage, clock, options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  auto txid = cluster.node(0)->StartTransaction();
+  ASSERT_TRUE(cluster.node(0)->Put(*txid, "torn", "x").ok());
+  EXPECT_TRUE(cluster.node(0)->CommitTransaction(*txid).status().IsUnavailable());
+  ASSERT_EQ(storage.List(kVersionPrefix)->size(), 1u);
+
+  // First sweep: candidate noted, nothing deleted (grace not elapsed).
+  EXPECT_EQ(cluster.fault_manager().RunOrphanSweepOnce(), 0u);
+  clock.Advance(Millis(1000));
+  // After the grace period the orphan is reaped.
+  EXPECT_EQ(cluster.fault_manager().RunOrphanSweepOnce(), 1u);
+  EXPECT_TRUE(storage.List(kVersionPrefix)->empty());
+  EXPECT_EQ(cluster.fault_manager().stats().orphans_deleted.load(), 1u);
+}
+
+TEST(OrphanSweepTest, CommittedVersionsAreNeverReaped) {
+  SimClock clock;
+  SimDynamo storage(clock, InstantDynamo());
+  ClusterOptions options;
+  options.num_nodes = 1;
+  options.start_background_threads = false;
+  options.fault_manager.orphan_grace = Millis(1);
+  ClusterDeployment cluster(storage, clock, options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  auto txid = cluster.node(0)->StartTransaction();
+  ASSERT_TRUE(cluster.node(0)->Put(*txid, "safe", "x").ok());
+  ASSERT_TRUE(cluster.node(0)->CommitTransaction(*txid).ok());
+  cluster.bus().RunOnce();  // Fault manager learns the commit.
+  clock.Advance(Millis(100));
+  EXPECT_EQ(cluster.fault_manager().RunOrphanSweepOnce(), 0u);
+  EXPECT_EQ(storage.List(kVersionPrefix)->size(), 1u);
+}
+
+TEST(OrphanSweepTest, UncommittedButRecentVersionsSurviveViaGrace) {
+  // A slow transaction's spilled buffer must not be reaped mid-flight.
+  SimClock clock;
+  SimDynamo storage(clock, InstantDynamo());
+  ClusterOptions options;
+  options.num_nodes = 1;
+  options.start_background_threads = false;
+  options.fault_manager.orphan_grace = Millis(10000);
+  options.node_options.spill_threshold_bytes = 8;
+  ClusterDeployment cluster(storage, clock, options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  auto txid = cluster.node(0)->StartTransaction();
+  ASSERT_TRUE(cluster.node(0)->Put(*txid, "slow", "spilled-payload").ok());
+  ASSERT_EQ(storage.List(kVersionPrefix)->size(), 1u);  // Spilled pre-commit.
+  EXPECT_EQ(cluster.fault_manager().RunOrphanSweepOnce(), 0u);
+  clock.Advance(Millis(100));
+  EXPECT_EQ(cluster.fault_manager().RunOrphanSweepOnce(), 0u);
+  // The transaction eventually commits; its data must still be there.
+  ASSERT_TRUE(cluster.node(0)->CommitTransaction(*txid).ok());
+  auto reader = cluster.node(0)->StartTransaction();
+  EXPECT_EQ(cluster.node(0)->Get(*reader, "slow")->value(), "spilled-payload");
+}
+
+// ---- End-to-end exactly-once under randomized failures -----------------------------
+
+class CrashyFaasStressTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CrashyFaasStressTest, StillYieldsZeroAnomalies) {
+  const bool packed_layout = GetParam();
+  RealClock clock(0.002);  // 500x real time; everything below is zero-latency.
+  SimDynamo storage(clock, InstantDynamo());
+  WorkloadSpec spec;
+  spec.num_keys = 40;
+  spec.zipf_theta = 1.2;
+  spec.value_bytes = 64;
+  (void)LoadAftDataset(storage, spec);
+
+  ClusterOptions cluster_options;
+  cluster_options.num_nodes = 3;
+  cluster_options.multicast_interval = Millis(50);
+  cluster_options.start_background_threads = true;
+  cluster_options.node_options.service_cores = 0;
+  cluster_options.node_options.enable_background_threads = true;
+  cluster_options.node_options.local_gc_interval = Millis(50);
+  cluster_options.node_options.packed_layout = packed_layout;
+  cluster_options.fault_manager.gc_interval = Millis(50);
+  cluster_options.fault_manager.scan_interval = Millis(100);
+  ClusterDeployment cluster(storage, clock, cluster_options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  FaasOptions faas_options;
+  faas_options.invocation_overhead = LatencyModel(1.0, 0.1, 0.5);
+  faas_options.crash_probability = 0.1;
+  faas_options.max_retries = 20;
+  faas_options.retry_backoff = Millis(1);
+  FaasPlatform faas(clock, faas_options);
+  AftClientOptions client_options;
+  client_options.network_hop = LatencyModel(0.2, 0.1, 0.1);
+  AftClient client(cluster.balancer(), clock, client_options);
+  TxnPlanGenerator plans(spec);
+  AftRequestRunner runner(faas, client, clock, plans);
+
+  HarnessOptions harness;
+  harness.num_clients = 6;
+  harness.requests_per_client = 40;
+  const HarnessResult result = RunClients(clock, runner, harness);
+  cluster.Stop();
+
+  EXPECT_EQ(result.completed, 240u);
+  EXPECT_EQ(result.ryw_anomalies, 0u);
+  EXPECT_EQ(result.fr_anomalies, 0u);
+  EXPECT_GT(faas.stats().crashes_injected.load(), 0u);
+  // Gossip + GC actually ran.
+  EXPECT_GT(cluster.bus().stats().rounds.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, CrashyFaasStressTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& param_info) {
+                           return param_info.param ? "PackedLayout" : "KeyPerVersion";
+                         });
+
+// Flaky STORAGE: every engine op can fail transiently (throttling / 500s).
+// The retry stack — storage-read retries in the node, FaaS function retries,
+// whole-request retries in the runner — must absorb them with zero anomalies.
+TEST(ExactlyOnceStressTest, TransientStorageFaultsAreAbsorbed) {
+  RealClock clock(0.002);
+  SimDynamo storage(clock, InstantDynamo());
+  WorkloadSpec spec;
+  spec.num_keys = 40;
+  spec.zipf_theta = 1.0;
+  spec.value_bytes = 64;
+  (void)LoadAftDataset(storage, spec);
+  storage.InjectTransientFaults(0.05);  // 5% of ALL storage ops fail.
+
+  ClusterOptions cluster_options;
+  cluster_options.num_nodes = 2;
+  cluster_options.multicast_interval = Millis(50);
+  cluster_options.start_background_threads = true;
+  cluster_options.node_options.service_cores = 0;
+  ClusterDeployment cluster(storage, clock, cluster_options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  FaasOptions faas_options;
+  faas_options.invocation_overhead = LatencyModel(1.0, 0.1, 0.5);
+  faas_options.max_retries = 20;
+  faas_options.retry_backoff = Millis(1);
+  FaasPlatform faas(clock, faas_options);
+  AftClientOptions client_options;
+  client_options.network_hop = LatencyModel(0.2, 0.1, 0.1);
+  AftClient client(cluster.balancer(), clock, client_options);
+  TxnPlanGenerator plans(spec);
+  RunnerRetryPolicy retry;
+  retry.max_request_retries = 64;
+  retry.retry_backoff = Millis(1);
+  AftRequestRunner runner(faas, client, clock, plans, retry);
+
+  HarnessOptions harness;
+  harness.num_clients = 4;
+  harness.requests_per_client = 40;
+  const HarnessResult result = RunClients(clock, runner, harness);
+  cluster.Stop();
+
+  EXPECT_EQ(result.completed, 160u);
+  EXPECT_EQ(result.ryw_anomalies, 0u);
+  EXPECT_EQ(result.fr_anomalies, 0u);
+  EXPECT_GT(storage.counters().transient_faults.load(), 0u);
+}
+
+// Kill a node DURING a multi-client run: every request still completes (via
+// failover) and no anomaly ever surfaces.
+TEST(ExactlyOnceStressTest, NodeDeathMidRunIsInvisibleToCorrectness) {
+  RealClock clock(0.002);
+  SimDynamo storage(clock, InstantDynamo());
+  WorkloadSpec spec;
+  spec.num_keys = 40;
+  spec.zipf_theta = 1.0;
+  spec.value_bytes = 64;
+  (void)LoadAftDataset(storage, spec);
+
+  ClusterOptions cluster_options;
+  cluster_options.num_nodes = 3;
+  cluster_options.multicast_interval = Millis(50);
+  cluster_options.start_background_threads = true;
+  cluster_options.node_options.service_cores = 0;
+  cluster_options.fault_manager.enable_node_replacement = false;
+  ClusterDeployment cluster(storage, clock, cluster_options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  FaasOptions faas_options;
+  faas_options.invocation_overhead = LatencyModel(1.0, 0.1, 0.5);
+  FaasPlatform faas(clock, faas_options);
+  AftClientOptions client_options;
+  client_options.network_hop = LatencyModel(0.2, 0.1, 0.1);
+  AftClient client(cluster.balancer(), clock, client_options);
+  TxnPlanGenerator plans(spec);
+  AftRequestRunner runner(faas, client, clock, plans);
+
+  std::thread assassin([&] {
+    clock.SleepFor(Millis(300));
+    cluster.KillNode(0);
+  });
+  HarnessOptions harness;
+  harness.num_clients = 6;
+  harness.requests_per_client = 50;
+  const HarnessResult result = RunClients(clock, runner, harness);
+  assassin.join();
+  cluster.Stop();
+
+  EXPECT_EQ(result.completed + result.failed, 300u);
+  EXPECT_EQ(result.failed, 0u) << "whole-request retries must absorb the node death";
+  EXPECT_EQ(result.ryw_anomalies, 0u);
+  EXPECT_EQ(result.fr_anomalies, 0u);
+}
+
+}  // namespace
+}  // namespace aft

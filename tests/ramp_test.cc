@@ -1,0 +1,234 @@
+// Tests for the RAMP-Fast baseline: store semantics, the two-round write /
+// repair-read protocol, and side-by-side behavioural comparisons with AFT
+// that reproduce the paper's §2.2 / §3.6 discussion.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/core/aft_node.h"
+#include "src/ramp/ramp_client.h"
+#include "src/storage/sim_dynamo.h"
+
+namespace aft {
+namespace {
+
+RampStoreOptions InstantRamp() {
+  RampStoreOptions options;
+  options.op_latency = LatencyModel::Zero();
+  // Zero-latency concurrency tests can burn through many versions between a
+  // reader's two rounds; keep enough history that exact-timestamp fetches
+  // never miss due to pruning.
+  options.max_versions_per_key = 1 << 20;
+  return options;
+}
+
+// ---- Store ------------------------------------------------------------------------
+
+TEST(RampStoreTest, BottomForUnknownKeys) {
+  SimClock clock;
+  RampStore store(clock, InstantRamp());
+  auto latest = store.GetLatest("nope");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_TRUE(latest->IsBottom());
+}
+
+TEST(RampStoreTest, PreparedVersionsAreInvisibleUntilCommit) {
+  SimClock clock;
+  RampStore store(clock, InstantRamp());
+  ASSERT_TRUE(store.Prepare(RampVersion{10, {"k"}, "", "v"}, "k").ok());
+  EXPECT_TRUE(store.GetLatest("k")->IsBottom());
+  // But version-specific reads CAN see them (RAMP round 2 relies on this).
+  EXPECT_EQ(store.GetVersion("k", 10)->value, "v");
+  ASSERT_TRUE(store.Commit("k", 10).ok());
+  EXPECT_EQ(store.GetLatest("k")->value, "v");
+}
+
+TEST(RampStoreTest, LastCommitNeverRegresses) {
+  SimClock clock;
+  RampStore store(clock, InstantRamp());
+  ASSERT_TRUE(store.Prepare(RampVersion{20, {"k"}, "", "new"}, "k").ok());
+  ASSERT_TRUE(store.Prepare(RampVersion{10, {"k"}, "", "old"}, "k").ok());
+  ASSERT_TRUE(store.Commit("k", 20).ok());
+  ASSERT_TRUE(store.Commit("k", 10).ok());  // Late, out-of-order commit.
+  EXPECT_EQ(store.GetLatest("k")->value, "new");
+}
+
+TEST(RampStoreTest, VersionHistoryIsBounded) {
+  SimClock clock;
+  RampStoreOptions options = InstantRamp();
+  options.max_versions_per_key = 4;
+  RampStore store(clock, options);
+  for (int64_t ts = 1; ts <= 20; ++ts) {
+    ASSERT_TRUE(store.Prepare(RampVersion{ts, {"k"}, "", "v"}, "k").ok());
+    ASSERT_TRUE(store.Commit("k", ts).ok());
+  }
+  EXPECT_LE(store.VersionCountForTest("k"), 5u);
+  EXPECT_EQ(store.GetLatest("k")->timestamp, 20);
+}
+
+TEST(RampStoreTest, KeysArePartitionedAcrossShards) {
+  SimClock clock;
+  RampStoreOptions options = InstantRamp();
+  options.num_shards = 4;
+  RampStore store(clock, options);
+  std::set<size_t> shards;
+  for (int i = 0; i < 64; ++i) {
+    shards.insert(store.ShardOf("key" + std::to_string(i)));
+  }
+  EXPECT_EQ(shards.size(), 4u);
+}
+
+// ---- RAMP-Fast client -----------------------------------------------------------------
+
+TEST(RampFastTest, WriteThenReadRoundTrips) {
+  SimClock clock;
+  RampStore store(clock, InstantRamp());
+  RampFastClient client(store);
+  ASSERT_TRUE(client.WriteTransaction({{"x", "1"}, {"y", "2"}}).ok());
+  auto result = client.ReadTransaction({"x", "y"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[0].value, "1");
+  EXPECT_EQ((*result)[1].value, "2");
+}
+
+TEST(RampFastTest, ReadSetIsAlwaysAtomic) {
+  SimClock clock;
+  RampStore store(clock, InstantRamp());
+  RampFastClient client(store);
+  ASSERT_TRUE(client.WriteTransaction({{"x", "a1"}, {"y", "a1"}}).ok());
+  ASSERT_TRUE(client.WriteTransaction({{"x", "a2"}, {"y", "a2"}}).ok());
+  auto result = client.ReadTransaction({"x", "y"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[0].value, (*result)[1].value) << "fractured RAMP read";
+  EXPECT_EQ((*result)[0].timestamp, (*result)[1].timestamp);
+}
+
+// The defining RAMP behaviour: when round 1 observes a mismatch, round 2
+// REPAIRS FORWARD by fetching the exact (possibly prepared-only) version —
+// where AFT would have returned the older compatible version instead (§3.6).
+TEST(RampFastTest, RepairsForwardFromPreparedVersions) {
+  SimClock clock;
+  RampStore store(clock, InstantRamp());
+  RampFastClient client(store);
+  ASSERT_TRUE(client.WriteTransaction({{"x", "old"}, {"y", "old"}}).ok());
+
+  // A writer that prepared everywhere but committed only x so far.
+  const int64_t ts = 1'000'000;
+  ASSERT_TRUE(store.Prepare(RampVersion{ts, {"x", "y"}, "", "new"}, "x").ok());
+  ASSERT_TRUE(store.Prepare(RampVersion{ts, {"x", "y"}, "", "new"}, "y").ok());
+  ASSERT_TRUE(store.Commit("x", ts).ok());
+  // y's commit has not arrived: GetLatest(y) still returns "old".
+
+  auto result = client.ReadTransaction({"x", "y"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[0].value, "new");
+  EXPECT_EQ((*result)[1].value, "new") << "round 2 must repair y forward to ts";
+  EXPECT_EQ(client.stats().second_round_fetches.load(), 1u);
+}
+
+TEST(RampFastTest, DisjointKeysNeedNoSecondRound) {
+  SimClock clock;
+  RampStore store(clock, InstantRamp());
+  RampFastClient client(store);
+  ASSERT_TRUE(client.WriteTransaction({{"x", "1"}}).ok());
+  ASSERT_TRUE(client.WriteTransaction({{"y", "2"}}).ok());
+  ASSERT_TRUE(client.ReadTransaction({"x", "y"}).ok());
+  EXPECT_EQ(client.stats().second_round_fetches.load(), 0u);
+}
+
+TEST(RampFastTest, ConcurrentWritersNeverFractureReaders) {
+  SimClock clock;
+  RampStore store(clock, InstantRamp());
+  RampFastClient writer_client(store);
+  RampFastClient reader_client(store);
+  ASSERT_TRUE(writer_client.WriteTransaction({{"x", "0"}, {"y", "0"}}).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int i = 1;
+    while (!stop.load()) {
+      (void)writer_client.WriteTransaction(
+          {{"x", std::to_string(i)}, {"y", std::to_string(i)}});
+      ++i;
+    }
+  });
+  for (int i = 0; i < 500; ++i) {
+    auto result = reader_client.ReadTransaction({"x", "y"});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ((*result)[0].value, (*result)[1].value)
+        << "fractured read under concurrency";
+  }
+  stop.store(true);
+  writer.join();
+}
+
+// ---- RAMP vs AFT: the §3.6 trade-off ----------------------------------------------------
+//
+// Same history, same reads. RAMP (pre-declared read sets) repairs forward
+// and returns the NEWEST atomic pair; AFT (interactive reads, first k then
+// l) must return the older compatible version of l. Both are valid Read
+// Atomic outcomes — AFT trades freshness for not needing declared read sets.
+TEST(RampVsAftTest, InteractiveReadsAreStalerThanDeclaredReads) {
+  SimClock clock;
+
+  // RAMP side.
+  RampStore ramp_store(clock, InstantRamp());
+  RampFastClient ramp(ramp_store);
+  ASSERT_TRUE(ramp.WriteTransaction({{"l", "v1"}}).ok());
+  ASSERT_TRUE(ramp.WriteTransaction({{"k", "v2"}, {"l", "v2"}}).ok());
+
+  // AFT side, same logical history.
+  SimDynamoOptions dynamo_options;
+  dynamo_options.profile = EngineLatencyProfile{LatencyModel::Zero(), LatencyModel::Zero(),
+                                                LatencyModel::Zero(), LatencyModel::Zero(),
+                                                LatencyModel::Zero(), LatencyModel::Zero()};
+  dynamo_options.staleness = StalenessModel{};
+  dynamo_options.txn_call = LatencyModel::Zero();
+  SimDynamo dynamo(clock, dynamo_options);
+  AftNode node("n0", dynamo, clock);
+  ASSERT_TRUE(node.Start().ok());
+  {
+    auto t1 = node.StartTransaction();
+    ASSERT_TRUE(node.Put(*t1, "l", "v1").ok());
+    ASSERT_TRUE(node.CommitTransaction(*t1).ok());
+  }
+
+  // An AFT reader starts and reads l BEFORE the {k,l} transaction commits —
+  // the interactive-session scenario of §3.6.
+  auto reader = node.StartTransaction();
+  EXPECT_EQ(node.Get(*reader, "l")->value(), "v1");
+  {
+    auto t2 = node.StartTransaction();
+    ASSERT_TRUE(node.Put(*t2, "k", "v2").ok());
+    ASSERT_TRUE(node.Put(*t2, "l", "v2").ok());
+    ASSERT_TRUE(node.CommitTransaction(*t2).ok());
+  }
+  // AFT: k@v2 would conflict with l@v1, so the reader observes NULL for k
+  // (the pre-k snapshot) — STALER than RAMP, but atomic.
+  auto aft_k = node.Get(*reader, "k");
+  ASSERT_TRUE(aft_k.ok());
+  EXPECT_FALSE(aft_k->has_value());
+
+  // RAMP: the declared {k,l} read arrives after both commits and returns the
+  // fresh atomic pair.
+  auto ramp_result = ramp.ReadTransaction({"k", "l"});
+  ASSERT_TRUE(ramp_result.ok());
+  EXPECT_EQ((*ramp_result)[0].value, "v2");
+  EXPECT_EQ((*ramp_result)[1].value, "v2");
+}
+
+TEST(RampVsAftTest, RampChargesParallelRounds) {
+  SimClock clock;
+  RampStoreOptions options;
+  options.op_latency = LatencyModel(5.0, 0.0, 5.0);  // Deterministic 5ms.
+  RampStore store(clock, options);
+  RampFastClient client(store);
+  const TimePoint before = clock.Now();
+  ASSERT_TRUE(client.WriteTransaction({{"a", "1"}, {"b", "2"}, {"c", "3"}}).ok());
+  // Two parallel rounds of 5ms each — NOT 6 sequential ops.
+  EXPECT_EQ(clock.Now() - before, Millis(10));
+}
+
+}  // namespace
+}  // namespace aft

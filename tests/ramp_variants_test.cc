@@ -1,0 +1,222 @@
+// Tests for the Bloom filter and the RAMP-Small / RAMP-Hybrid variants.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/bloom.h"
+#include "src/ramp/ramp_client.h"
+
+namespace aft {
+namespace {
+
+RampStoreOptions InstantRamp() {
+  RampStoreOptions options;
+  options.op_latency = LatencyModel::Zero();
+  // Zero-latency concurrency tests can burn through many versions between a
+  // reader's two rounds; keep enough history that exact-timestamp fetches
+  // never miss due to pruning.
+  options.max_versions_per_key = 1 << 20;
+  return options;
+}
+
+// ---- BloomFilter ------------------------------------------------------------------
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(512, 4);
+  for (int i = 0; i < 40; ++i) {
+    filter.Add("key" + std::to_string(i));
+  }
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_TRUE(filter.MightContain("key" + std::to_string(i)));
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateIsReasonable) {
+  BloomFilter filter(1024, 4);
+  for (int i = 0; i < 50; ++i) {
+    filter.Add("present" + std::to_string(i));
+  }
+  int false_positives = 0;
+  constexpr int kProbes = 2000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (filter.MightContain("absent" + std::to_string(i))) {
+      ++false_positives;
+    }
+  }
+  // Analytic rate for m=1024, k=4, n=50 is ~0.1%; allow generous slack.
+  EXPECT_LT(static_cast<double>(false_positives) / kProbes, 0.05);
+  EXPECT_LT(filter.EstimatedFalsePositiveRate(50), 0.01);
+}
+
+TEST(BloomFilterTest, SerializeRoundTrips) {
+  BloomFilter filter(256, 3);
+  filter.Add("alpha");
+  filter.Add("beta");
+  bool ok = false;
+  BloomFilter decoded = BloomFilter::Deserialize(filter.Serialize(), &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_TRUE(decoded.MightContain("alpha"));
+  EXPECT_TRUE(decoded.MightContain("beta"));
+  EXPECT_EQ(decoded.hash_count(), 3);
+  EXPECT_EQ(decoded.bit_count(), 256u);
+}
+
+TEST(BloomFilterTest, DeserializeRejectsGarbage) {
+  bool ok = true;
+  (void)BloomFilter::Deserialize("garbage", &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(BloomFilterTest, EmptyFilterContainsNothing) {
+  BloomFilter filter;
+  EXPECT_FALSE(filter.MightContain("anything"));
+}
+
+// ---- RAMP store timestamp-set reads --------------------------------------------------
+
+TEST(RampStoreTest, GetByTimestampSetPicksNewestMatch) {
+  SimClock clock;
+  RampStore store(clock, InstantRamp());
+  for (int64_t ts : {10, 20, 30}) {
+    ASSERT_TRUE(store.Prepare(RampVersion{ts, {}, "", "v" + std::to_string(ts)}, "k").ok());
+  }
+  auto version = store.GetByTimestampSet("k", {10, 20, 999});
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(version->value, "v20");
+  // No timestamps match: bottom.
+  EXPECT_TRUE(store.GetByTimestampSet("k", {77})->IsBottom());
+  EXPECT_TRUE(store.GetByTimestampSet("missing", {10})->IsBottom());
+}
+
+// ---- RAMP-Small / RAMP-Hybrid correctness (shared across variants) ---------------------
+
+template <typename ClientT>
+class RampVariantTest : public ::testing::Test {
+ protected:
+  RampVariantTest() : store_(clock_, InstantRamp()), client_(store_) {}
+
+  SimClock clock_;
+  RampStore store_;
+  ClientT client_;
+};
+
+using Variants = ::testing::Types<RampSmallClient, RampHybridClient>;
+TYPED_TEST_SUITE(RampVariantTest, Variants);
+
+TYPED_TEST(RampVariantTest, WriteThenReadRoundTrips) {
+  ASSERT_TRUE(this->client_.WriteTransaction({{"x", "1"}, {"y", "2"}}).ok());
+  auto result = this->client_.ReadTransaction({"x", "y"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[0].value, "1");
+  EXPECT_EQ((*result)[1].value, "2");
+}
+
+TYPED_TEST(RampVariantTest, ReadSetIsAtomicAfterOverwrites) {
+  ASSERT_TRUE(this->client_.WriteTransaction({{"x", "a1"}, {"y", "a1"}}).ok());
+  ASSERT_TRUE(this->client_.WriteTransaction({{"x", "a2"}, {"y", "a2"}}).ok());
+  auto result = this->client_.ReadTransaction({"x", "y"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[0].value, (*result)[1].value);
+}
+
+TYPED_TEST(RampVariantTest, RepairsAcrossPartialCommit) {
+  ASSERT_TRUE(this->client_.WriteTransaction({{"x", "old"}, {"y", "old"}}).ok());
+  // A writer committed x but not yet y (same mechanics as the Fast test,
+  // but metadata is variant-specific, so build it through the client).
+  const int64_t ts = NextRampTimestamp();
+  // Build variant metadata by writing through a scratch one-key txn to learn
+  // nothing — instead craft versions manually with both metadata kinds set,
+  // which every variant tolerates.
+  BloomFilter filter(256, 4);
+  filter.Add("x");
+  filter.Add("y");
+  RampVersion vx{ts, {"x", "y"}, filter.Serialize(), "new"};
+  RampVersion vy{ts, {"x", "y"}, filter.Serialize(), "new"};
+  ASSERT_TRUE(this->store_.Prepare(vx, "x").ok());
+  ASSERT_TRUE(this->store_.Prepare(vy, "y").ok());
+  ASSERT_TRUE(this->store_.Commit("x", ts).ok());
+  // y's commit is still in flight.
+  auto result = this->client_.ReadTransaction({"x", "y"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[0].value, "new");
+  EXPECT_EQ((*result)[1].value, "new") << "round 2 must repair y forward";
+}
+
+TYPED_TEST(RampVariantTest, ConcurrentWritersNeverFractureReaders) {
+  ASSERT_TRUE(this->client_.WriteTransaction({{"x", "0"}, {"y", "0"}}).ok());
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int i = 1;
+    while (!stop.load()) {
+      (void)this->client_.WriteTransaction(
+          {{"x", std::to_string(i)}, {"y", std::to_string(i)}});
+      ++i;
+    }
+  });
+  for (int i = 0; i < 300; ++i) {
+    auto result = this->client_.ReadTransaction({"x", "y"});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ((*result)[0].value, (*result)[1].value) << "fractured read";
+  }
+  stop.store(true);
+  writer.join();
+}
+
+// ---- Variant-specific behaviour ---------------------------------------------------------
+
+TEST(RampSmallTest, AlwaysTwoRounds) {
+  SimClock clock;
+  RampStoreOptions options;
+  options.op_latency = LatencyModel(5.0, 0.0, 5.0);
+  RampStore store(clock, options);
+  RampSmallClient client(store);
+  ASSERT_TRUE(client.WriteTransaction({{"a", "1"}, {"b", "2"}}).ok());
+  const TimePoint before = clock.Now();
+  ASSERT_TRUE(client.ReadTransaction({"a", "b"}).ok());
+  EXPECT_EQ(clock.Now() - before, Millis(10)) << "RAMP-Small reads are always 2 rounds";
+}
+
+TEST(RampHybridTest, DisjointKeysUsuallyOneRound) {
+  SimClock clock;
+  RampStore store(clock, InstantRamp());
+  RampHybridClient client(store, /*bloom_bits=*/1024, /*bloom_hashes=*/4);
+  ASSERT_TRUE(client.WriteTransaction({{"a", "1"}}).ok());
+  ASSERT_TRUE(client.WriteTransaction({{"b", "2"}}).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(client.ReadTransaction({"a", "b"}).ok());
+  }
+  // With disjoint single-key writers and a roomy filter, second rounds are
+  // (almost always) skipped — allow a few false positives.
+  EXPECT_LT(client.stats().second_round_fetches.load(), 10u);
+}
+
+TEST(RampSmallTest, VersionsCarryNoMetadata) {
+  SimClock clock;
+  RampStore store(clock, InstantRamp());
+  RampSmallClient client(store);
+  ASSERT_TRUE(client.WriteTransaction({{"k", "v"}}).ok());
+  auto version = store.GetLatest("k");
+  ASSERT_TRUE(version.ok());
+  EXPECT_TRUE(version->write_set.empty());
+  EXPECT_TRUE(version->bloom.empty());
+}
+
+TEST(RampHybridTest, VersionsCarryBloomNotKeyList) {
+  SimClock clock;
+  RampStore store(clock, InstantRamp());
+  RampHybridClient client(store);
+  ASSERT_TRUE(client.WriteTransaction({{"k", "v"}, {"l", "w"}}).ok());
+  auto version = store.GetLatest("k");
+  ASSERT_TRUE(version.ok());
+  EXPECT_TRUE(version->write_set.empty());
+  ASSERT_FALSE(version->bloom.empty());
+  bool ok = false;
+  BloomFilter filter = BloomFilter::Deserialize(version->bloom, &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_TRUE(filter.MightContain("k"));
+  EXPECT_TRUE(filter.MightContain("l"));
+}
+
+}  // namespace
+}  // namespace aft

@@ -1,0 +1,396 @@
+// Unit tests for the simulated storage engines.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/storage/sim_dynamo.h"
+#include "src/storage/sim_engine_base.h"
+#include "src/storage/sim_redis.h"
+#include "src/storage/sim_s3.h"
+#include "src/storage/versioned_map.h"
+
+namespace aft {
+namespace {
+
+// Zero-latency profiles keep protocol tests instantaneous.
+EngineLatencyProfile ZeroProfile() {
+  return EngineLatencyProfile{LatencyModel::Zero(), LatencyModel::Zero(), LatencyModel::Zero(),
+                              LatencyModel::Zero(), LatencyModel::Zero(), LatencyModel::Zero()};
+}
+
+SimDynamoOptions FastDynamo() {
+  SimDynamoOptions options;
+  options.profile = ZeroProfile();
+  options.staleness = StalenessModel{};
+  options.txn_call = LatencyModel::Zero();
+  return options;
+}
+
+SimS3Options FastS3() {
+  SimS3Options options;
+  options.profile = ZeroProfile();
+  options.staleness = StalenessModel{};
+  return options;
+}
+
+SimRedisOptions FastRedis() {
+  SimRedisOptions options;
+  options.profile = ZeroProfile();
+  return options;
+}
+
+// ---- VersionedMap ----------------------------------------------------------------
+
+TEST(VersionedMapTest, PutGetLatest) {
+  VersionedMap map;
+  map.Put("a", "1", TimePoint(Millis(10)));
+  EXPECT_EQ(map.GetLatest("a").value(), "1");
+  EXPECT_FALSE(map.GetLatest("b").has_value());
+}
+
+TEST(VersionedMapTest, HistoricalReadsObserveOldValues) {
+  VersionedMap map;
+  map.Put("a", "v1", TimePoint(Millis(10)));
+  map.Put("a", "v2", TimePoint(Millis(20)));
+  bool stale = false;
+  EXPECT_EQ(map.Get("a", TimePoint(Millis(15)), &stale).value(), "v1");
+  EXPECT_TRUE(stale);
+  EXPECT_EQ(map.Get("a", TimePoint(Millis(25)), &stale).value(), "v2");
+  EXPECT_FALSE(stale);
+  // Before creation: invisible.
+  EXPECT_FALSE(map.Get("a", TimePoint(Millis(5))).has_value());
+}
+
+TEST(VersionedMapTest, DeleteWritesTombstone) {
+  VersionedMap map;
+  map.Put("a", "v1", TimePoint(Millis(10)));
+  map.Delete("a", TimePoint(Millis(20)));
+  EXPECT_FALSE(map.GetLatest("a").has_value());
+  // A sufficiently stale read still sees the pre-delete value.
+  EXPECT_EQ(map.Get("a", TimePoint(Millis(15))).value(), "v1");
+}
+
+TEST(VersionedMapTest, ListReturnsSortedLiveKeysWithPrefix) {
+  VersionedMap map;
+  const TimePoint t(Millis(1));
+  map.Put("p/b", "1", t);
+  map.Put("p/a", "1", t);
+  map.Put("q/z", "1", t);
+  map.Put("p/c", "1", t);
+  map.Delete("p/c", TimePoint(Millis(2)));
+  EXPECT_EQ(map.List("p/"), (std::vector<std::string>{"p/a", "p/b"}));
+  EXPECT_EQ(map.List(""), (std::vector<std::string>{"p/a", "p/b", "q/z"}));
+}
+
+TEST(VersionedMapTest, HistoryDepthIsBounded) {
+  VersionedMap map(4, /*history_depth=*/3);
+  for (int i = 0; i < 10; ++i) {
+    map.Put("a", std::to_string(i), TimePoint(Millis(i)));
+  }
+  // Entries older than the retained window are gone: a very stale read now
+  // observes the oldest retained entry rather than the true historical one.
+  EXPECT_EQ(map.GetLatest("a").value(), "9");
+  EXPECT_TRUE(map.HasHistory("a"));
+}
+
+TEST(VersionedMapTest, FullyTombstonedKeysDisappear) {
+  VersionedMap map(4, 1);
+  map.Put("a", "1", TimePoint(Millis(1)));
+  map.Delete("a", TimePoint(Millis(2)));
+  EXPECT_EQ(map.ApproximateKeyCount(), 0u);
+}
+
+// ---- Engine basics (parameterized over all three engines) -------------------------
+
+enum class EngineKind { kS3, kDynamo, kRedis };
+
+class EngineTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  EngineTest() {
+    switch (GetParam()) {
+      case EngineKind::kS3:
+        engine_ = std::make_unique<SimS3>(clock_, FastS3());
+        break;
+      case EngineKind::kDynamo:
+        engine_ = std::make_unique<SimDynamo>(clock_, FastDynamo());
+        break;
+      case EngineKind::kRedis:
+        engine_ = std::make_unique<SimRedis>(clock_, FastRedis());
+        break;
+    }
+  }
+
+  SimClock clock_;
+  std::unique_ptr<StorageEngine> engine_;
+};
+
+TEST_P(EngineTest, GetMissingKeyIsNotFound) {
+  auto result = engine_->Get("nope");
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST_P(EngineTest, PutThenGetRoundTrips) {
+  ASSERT_TRUE(engine_->Put("k", "value").ok());
+  auto result = engine_->Get("k");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, "value");
+}
+
+TEST_P(EngineTest, OverwriteReplacesValue) {
+  ASSERT_TRUE(engine_->Put("k", "v1").ok());
+  ASSERT_TRUE(engine_->Put("k", "v2").ok());
+  EXPECT_EQ(*engine_->Get("k"), "v2");
+}
+
+TEST_P(EngineTest, DeleteRemovesKeyAndIsIdempotent) {
+  ASSERT_TRUE(engine_->Put("k", "v").ok());
+  ASSERT_TRUE(engine_->Delete("k").ok());
+  EXPECT_TRUE(engine_->Get("k").status().IsNotFound());
+  EXPECT_TRUE(engine_->Delete("k").ok());
+}
+
+TEST_P(EngineTest, BatchPutWritesAllKeys) {
+  std::vector<WriteOp> ops;
+  for (int i = 0; i < 60; ++i) {  // More than one DynamoDB batch chunk.
+    ops.push_back(WriteOp{"key" + std::to_string(i), "v" + std::to_string(i)});
+  }
+  ASSERT_TRUE(engine_->BatchPut(ops).ok());
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_EQ(*engine_->Get("key" + std::to_string(i)), "v" + std::to_string(i));
+  }
+}
+
+TEST_P(EngineTest, BatchDeleteRemovesAllKeys) {
+  std::vector<WriteOp> ops;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 30; ++i) {
+    ops.push_back(WriteOp{"key" + std::to_string(i), "v"});
+    keys.push_back("key" + std::to_string(i));
+  }
+  ASSERT_TRUE(engine_->BatchPut(ops).ok());
+  ASSERT_TRUE(engine_->BatchDelete(keys).ok());
+  for (const auto& key : keys) {
+    EXPECT_TRUE(engine_->Get(key).status().IsNotFound());
+  }
+}
+
+TEST_P(EngineTest, ListFiltersByPrefix) {
+  ASSERT_TRUE(engine_->Put("a/1", "v").ok());
+  ASSERT_TRUE(engine_->Put("a/2", "v").ok());
+  ASSERT_TRUE(engine_->Put("b/1", "v").ok());
+  auto result = engine_->List("a/");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (std::vector<std::string>{"a/1", "a/2"}));
+}
+
+TEST_P(EngineTest, CountersTrackOperations) {
+  (void)engine_->Put("k", "v");
+  (void)engine_->Get("k");
+  (void)engine_->Get("missing");
+  EXPECT_EQ(engine_->counters().puts.load(), 1u);
+  EXPECT_EQ(engine_->counters().gets.load(), 2u);
+  EXPECT_GT(engine_->counters().bytes_written.load(), 0u);
+}
+
+TEST_P(EngineTest, ConcurrentWritersDoNotCorrupt) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "k" + std::to_string(i % 17);
+        (void)engine_->Put(key, "t" + std::to_string(t));
+        (void)engine_->Get(key);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  // Every key holds a valid value written by some thread.
+  for (int i = 0; i < 17; ++i) {
+    auto result = engine_->Get("k" + std::to_string(i));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->substr(0, 1), "t");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EngineTest,
+                         ::testing::Values(EngineKind::kS3, EngineKind::kDynamo,
+                                           EngineKind::kRedis),
+                         [](const ::testing::TestParamInfo<EngineKind>& param_info) {
+                           switch (param_info.param) {
+                             case EngineKind::kS3:
+                               return "S3";
+                             case EngineKind::kDynamo:
+                               return "Dynamo";
+                             case EngineKind::kRedis:
+                               return "Redis";
+                           }
+                           return "Unknown";
+                         });
+
+// ---- Engine-specific behaviour ------------------------------------------------------
+
+TEST(SimS3Test, HasNoBatchSupport) {
+  SimClock clock;
+  SimS3 s3(clock, FastS3());
+  EXPECT_FALSE(s3.SupportsBatchPut());
+  std::vector<WriteOp> ops{{"a", "1"}, {"b", "2"}};
+  ASSERT_TRUE(s3.BatchPut(ops).ok());
+  // Degraded to two sequential puts — no batch API call was made.
+  EXPECT_EQ(s3.counters().puts.load(), 2u);
+  EXPECT_EQ(s3.counters().batch_puts.load(), 0u);
+}
+
+TEST(SimS3Test, LatencyIsChargedToClock) {
+  SimClock clock;
+  SimS3Options options;  // Default (non-zero) latency profile.
+  SimS3 s3(clock, options);
+  const TimePoint before = clock.Now();
+  (void)s3.Put("k", "v");
+  EXPECT_GT(clock.Now(), before);  // The put slept on the simulated clock.
+}
+
+TEST(SimS3Test, StaleReadsHappenOnOverwrittenKeys) {
+  SimClock clock;
+  SimS3Options options = FastS3();
+  options.staleness = StalenessModel{1.0, Millis(8)};  // Every read samples staleness.
+  SimS3 s3(clock, options);
+  ASSERT_TRUE(s3.Put("k", "v1").ok());
+  clock.Advance(Millis(10));
+  ASSERT_TRUE(s3.Put("k", "v2").ok());
+  clock.Advance(Millis(10));
+  // Reads at t=20 with mean-8ms staleness frequently observe the t=0 value.
+  int observed_old = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto result = s3.Get("k");
+    if (result.ok() && *result == "v1") {
+      ++observed_old;
+    }
+  }
+  EXPECT_GT(observed_old, 0);
+  EXPECT_GT(s3.counters().stale_reads.load(), 0u);
+}
+
+TEST(SimS3Test, NewKeysAreReadAfterWriteConsistent) {
+  SimClock clock;
+  SimS3Options options = FastS3();
+  options.staleness = StalenessModel{1.0, Millis(1000)};
+  SimS3 s3(clock, options);
+  // Never-overwritten keys are exempt from staleness (2020 S3 semantics).
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "new" + std::to_string(i);
+    ASSERT_TRUE(s3.Put(key, "v").ok());
+    auto result = s3.Get(key);
+    ASSERT_TRUE(result.ok()) << key;
+    EXPECT_EQ(*result, "v");
+  }
+}
+
+TEST(SimDynamoTest, BatchRespectsChunkLimit) {
+  SimClock clock;
+  SimDynamo dynamo(clock, FastDynamo());
+  EXPECT_TRUE(dynamo.SupportsBatchPut());
+  EXPECT_EQ(dynamo.MaxBatchSize(), 25u);
+  std::vector<WriteOp> ops;
+  for (int i = 0; i < 60; ++i) {
+    ops.push_back(WriteOp{"k" + std::to_string(i), "v"});
+  }
+  ASSERT_TRUE(dynamo.BatchPut(ops).ok());
+  EXPECT_EQ(dynamo.counters().batch_puts.load(), 3u);  // 25 + 25 + 10.
+  EXPECT_EQ(dynamo.counters().puts.load(), 0u);
+}
+
+TEST(SimDynamoTest, TransactWriteThenTransactGet) {
+  SimClock clock;
+  SimDynamo dynamo(clock, FastDynamo());
+  std::vector<WriteOp> ops{{"x", "1"}, {"y", "2"}};
+  ASSERT_TRUE(dynamo.TransactWrite(ops).ok());
+  std::vector<std::string> keys{"x", "y", "z"};
+  auto result = dynamo.TransactGet(keys);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->at(0).value(), "1");
+  EXPECT_EQ(result->at(1).value(), "2");
+  EXPECT_FALSE(result->at(2).has_value());
+}
+
+TEST(SimDynamoTest, ConflictingTransactionsAbort) {
+  // Use a real clock with non-zero transaction latency so the lock window is
+  // wide enough for two threads to collide.
+  RealClock clock(1.0);
+  SimDynamoOptions options = FastDynamo();
+  options.txn_call = LatencyModel(20.0, 0.0, 20.0);
+  SimDynamo dynamo(clock, options);
+  std::atomic<int> conflicts{0};
+  std::atomic<int> successes{0};
+  auto worker = [&] {
+    std::vector<WriteOp> ops{{"hot", "v"}};
+    Status status = dynamo.TransactWrite(ops);
+    if (status.IsAborted()) {
+      conflicts.fetch_add(1);
+    } else if (status.ok()) {
+      successes.fetch_add(1);
+    }
+  };
+  std::thread a(worker);
+  std::thread b(worker);
+  a.join();
+  b.join();
+  EXPECT_EQ(successes.load() + conflicts.load(), 2);
+  EXPECT_GE(successes.load(), 1);
+  EXPECT_EQ(dynamo.txn_counters().txn_conflicts.load(),
+            static_cast<uint64_t>(conflicts.load()));
+}
+
+TEST(SimRedisTest, MSetWithinShardSucceeds) {
+  SimClock clock;
+  SimRedisOptions options = FastRedis();
+  options.num_shards = 2;
+  SimRedis redis(clock, options);
+  // Find two keys on the same shard.
+  std::vector<std::string> same_shard;
+  for (int i = 0; same_shard.size() < 2 && i < 100; ++i) {
+    std::string key = "k" + std::to_string(i);
+    if (redis.ShardOf(key) == 0) {
+      same_shard.push_back(key);
+    }
+  }
+  ASSERT_EQ(same_shard.size(), 2u);
+  std::vector<WriteOp> ops{{same_shard[0], "a"}, {same_shard[1], "b"}};
+  ASSERT_TRUE(redis.MSet(ops).ok());
+  EXPECT_EQ(*redis.Get(same_shard[0]), "a");
+  EXPECT_EQ(*redis.Get(same_shard[1]), "b");
+}
+
+TEST(SimRedisTest, MSetAcrossShardsIsCrossslot) {
+  SimClock clock;
+  SimRedisOptions options = FastRedis();
+  options.num_shards = 2;
+  SimRedis redis(clock, options);
+  std::string shard0;
+  std::string shard1;
+  for (int i = 0; (shard0.empty() || shard1.empty()) && i < 100; ++i) {
+    std::string key = "k" + std::to_string(i);
+    (redis.ShardOf(key) == 0 ? shard0 : shard1) = key;
+  }
+  std::vector<WriteOp> ops{{shard0, "a"}, {shard1, "b"}};
+  EXPECT_EQ(redis.MSet(ops).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimRedisTest, ReadsAreNeverStale) {
+  SimClock clock;
+  SimRedis redis(clock, FastRedis());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(redis.Put("k", std::to_string(i)).ok());
+    EXPECT_EQ(*redis.Get("k"), std::to_string(i));
+  }
+  EXPECT_EQ(redis.counters().stale_reads.load(), 0u);
+}
+
+}  // namespace
+}  // namespace aft
