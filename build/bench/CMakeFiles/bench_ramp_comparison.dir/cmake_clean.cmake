@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ramp_comparison.dir/bench_ramp_comparison.cc.o"
+  "CMakeFiles/bench_ramp_comparison.dir/bench_ramp_comparison.cc.o.d"
+  "bench_ramp_comparison"
+  "bench_ramp_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ramp_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscaling.dir/autoscaling.cpp.o"
+  "CMakeFiles/autoscaling.dir/autoscaling.cpp.o.d"
+  "autoscaling"
+  "autoscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

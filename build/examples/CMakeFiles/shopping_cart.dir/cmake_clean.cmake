@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shopping_cart.dir/shopping_cart.cpp.o"
+  "CMakeFiles/shopping_cart.dir/shopping_cart.cpp.o.d"
+  "shopping_cart"
+  "shopping_cart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shopping_cart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/anomaly_checker.cc" "src/baseline/CMakeFiles/aft_baseline.dir/anomaly_checker.cc.o" "gcc" "src/baseline/CMakeFiles/aft_baseline.dir/anomaly_checker.cc.o.d"
+  "/root/repo/src/baseline/dynamo_txn_client.cc" "src/baseline/CMakeFiles/aft_baseline.dir/dynamo_txn_client.cc.o" "gcc" "src/baseline/CMakeFiles/aft_baseline.dir/dynamo_txn_client.cc.o.d"
+  "/root/repo/src/baseline/plain_client.cc" "src/baseline/CMakeFiles/aft_baseline.dir/plain_client.cc.o" "gcc" "src/baseline/CMakeFiles/aft_baseline.dir/plain_client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aft_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aft_baseline.dir/anomaly_checker.cc.o"
+  "CMakeFiles/aft_baseline.dir/anomaly_checker.cc.o.d"
+  "CMakeFiles/aft_baseline.dir/dynamo_txn_client.cc.o"
+  "CMakeFiles/aft_baseline.dir/dynamo_txn_client.cc.o.d"
+  "CMakeFiles/aft_baseline.dir/plain_client.cc.o"
+  "CMakeFiles/aft_baseline.dir/plain_client.cc.o.d"
+  "libaft_baseline.a"
+  "libaft_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aft_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

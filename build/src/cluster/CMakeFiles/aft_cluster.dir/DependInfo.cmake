@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/aft_client.cc" "src/cluster/CMakeFiles/aft_cluster.dir/aft_client.cc.o" "gcc" "src/cluster/CMakeFiles/aft_cluster.dir/aft_client.cc.o.d"
+  "/root/repo/src/cluster/autoscaler.cc" "src/cluster/CMakeFiles/aft_cluster.dir/autoscaler.cc.o" "gcc" "src/cluster/CMakeFiles/aft_cluster.dir/autoscaler.cc.o.d"
+  "/root/repo/src/cluster/deployment.cc" "src/cluster/CMakeFiles/aft_cluster.dir/deployment.cc.o" "gcc" "src/cluster/CMakeFiles/aft_cluster.dir/deployment.cc.o.d"
+  "/root/repo/src/cluster/fault_manager.cc" "src/cluster/CMakeFiles/aft_cluster.dir/fault_manager.cc.o" "gcc" "src/cluster/CMakeFiles/aft_cluster.dir/fault_manager.cc.o.d"
+  "/root/repo/src/cluster/load_balancer.cc" "src/cluster/CMakeFiles/aft_cluster.dir/load_balancer.cc.o" "gcc" "src/cluster/CMakeFiles/aft_cluster.dir/load_balancer.cc.o.d"
+  "/root/repo/src/cluster/multicast_bus.cc" "src/cluster/CMakeFiles/aft_cluster.dir/multicast_bus.cc.o" "gcc" "src/cluster/CMakeFiles/aft_cluster.dir/multicast_bus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aft_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aft_cluster.dir/aft_client.cc.o"
+  "CMakeFiles/aft_cluster.dir/aft_client.cc.o.d"
+  "CMakeFiles/aft_cluster.dir/autoscaler.cc.o"
+  "CMakeFiles/aft_cluster.dir/autoscaler.cc.o.d"
+  "CMakeFiles/aft_cluster.dir/deployment.cc.o"
+  "CMakeFiles/aft_cluster.dir/deployment.cc.o.d"
+  "CMakeFiles/aft_cluster.dir/fault_manager.cc.o"
+  "CMakeFiles/aft_cluster.dir/fault_manager.cc.o.d"
+  "CMakeFiles/aft_cluster.dir/load_balancer.cc.o"
+  "CMakeFiles/aft_cluster.dir/load_balancer.cc.o.d"
+  "CMakeFiles/aft_cluster.dir/multicast_bus.cc.o"
+  "CMakeFiles/aft_cluster.dir/multicast_bus.cc.o.d"
+  "libaft_cluster.a"
+  "libaft_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aft_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aft_common.dir/bloom.cc.o"
+  "CMakeFiles/aft_common.dir/bloom.cc.o.d"
+  "CMakeFiles/aft_common.dir/clock.cc.o"
+  "CMakeFiles/aft_common.dir/clock.cc.o.d"
+  "CMakeFiles/aft_common.dir/latency.cc.o"
+  "CMakeFiles/aft_common.dir/latency.cc.o.d"
+  "CMakeFiles/aft_common.dir/logging.cc.o"
+  "CMakeFiles/aft_common.dir/logging.cc.o.d"
+  "CMakeFiles/aft_common.dir/stats.cc.o"
+  "CMakeFiles/aft_common.dir/stats.cc.o.d"
+  "CMakeFiles/aft_common.dir/status.cc.o"
+  "CMakeFiles/aft_common.dir/status.cc.o.d"
+  "CMakeFiles/aft_common.dir/thread_pool.cc.o"
+  "CMakeFiles/aft_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/aft_common.dir/uuid.cc.o"
+  "CMakeFiles/aft_common.dir/uuid.cc.o.d"
+  "CMakeFiles/aft_common.dir/zipf.cc.o"
+  "CMakeFiles/aft_common.dir/zipf.cc.o.d"
+  "libaft_common.a"
+  "libaft_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aft_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

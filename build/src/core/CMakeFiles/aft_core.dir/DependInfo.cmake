@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aft_node.cc" "src/core/CMakeFiles/aft_core.dir/aft_node.cc.o" "gcc" "src/core/CMakeFiles/aft_core.dir/aft_node.cc.o.d"
+  "/root/repo/src/core/commit_set_cache.cc" "src/core/CMakeFiles/aft_core.dir/commit_set_cache.cc.o" "gcc" "src/core/CMakeFiles/aft_core.dir/commit_set_cache.cc.o.d"
+  "/root/repo/src/core/data_cache.cc" "src/core/CMakeFiles/aft_core.dir/data_cache.cc.o" "gcc" "src/core/CMakeFiles/aft_core.dir/data_cache.cc.o.d"
+  "/root/repo/src/core/key_version_index.cc" "src/core/CMakeFiles/aft_core.dir/key_version_index.cc.o" "gcc" "src/core/CMakeFiles/aft_core.dir/key_version_index.cc.o.d"
+  "/root/repo/src/core/read_algorithm.cc" "src/core/CMakeFiles/aft_core.dir/read_algorithm.cc.o" "gcc" "src/core/CMakeFiles/aft_core.dir/read_algorithm.cc.o.d"
+  "/root/repo/src/core/records.cc" "src/core/CMakeFiles/aft_core.dir/records.cc.o" "gcc" "src/core/CMakeFiles/aft_core.dir/records.cc.o.d"
+  "/root/repo/src/core/txn_id.cc" "src/core/CMakeFiles/aft_core.dir/txn_id.cc.o" "gcc" "src/core/CMakeFiles/aft_core.dir/txn_id.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aft_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

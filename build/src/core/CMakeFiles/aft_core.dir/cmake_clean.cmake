@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aft_core.dir/aft_node.cc.o"
+  "CMakeFiles/aft_core.dir/aft_node.cc.o.d"
+  "CMakeFiles/aft_core.dir/commit_set_cache.cc.o"
+  "CMakeFiles/aft_core.dir/commit_set_cache.cc.o.d"
+  "CMakeFiles/aft_core.dir/data_cache.cc.o"
+  "CMakeFiles/aft_core.dir/data_cache.cc.o.d"
+  "CMakeFiles/aft_core.dir/key_version_index.cc.o"
+  "CMakeFiles/aft_core.dir/key_version_index.cc.o.d"
+  "CMakeFiles/aft_core.dir/read_algorithm.cc.o"
+  "CMakeFiles/aft_core.dir/read_algorithm.cc.o.d"
+  "CMakeFiles/aft_core.dir/records.cc.o"
+  "CMakeFiles/aft_core.dir/records.cc.o.d"
+  "CMakeFiles/aft_core.dir/txn_id.cc.o"
+  "CMakeFiles/aft_core.dir/txn_id.cc.o.d"
+  "libaft_core.a"
+  "libaft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaft_core.a"
+)

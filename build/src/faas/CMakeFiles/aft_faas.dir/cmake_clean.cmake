@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aft_faas.dir/faas_platform.cc.o"
+  "CMakeFiles/aft_faas.dir/faas_platform.cc.o.d"
+  "libaft_faas.a"
+  "libaft_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aft_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

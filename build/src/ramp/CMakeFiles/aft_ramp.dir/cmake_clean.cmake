@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aft_ramp.dir/ramp_client.cc.o"
+  "CMakeFiles/aft_ramp.dir/ramp_client.cc.o.d"
+  "CMakeFiles/aft_ramp.dir/ramp_store.cc.o"
+  "CMakeFiles/aft_ramp.dir/ramp_store.cc.o.d"
+  "libaft_ramp.a"
+  "libaft_ramp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aft_ramp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/sim_dynamo.cc" "src/storage/CMakeFiles/aft_storage.dir/sim_dynamo.cc.o" "gcc" "src/storage/CMakeFiles/aft_storage.dir/sim_dynamo.cc.o.d"
+  "/root/repo/src/storage/sim_engine_base.cc" "src/storage/CMakeFiles/aft_storage.dir/sim_engine_base.cc.o" "gcc" "src/storage/CMakeFiles/aft_storage.dir/sim_engine_base.cc.o.d"
+  "/root/repo/src/storage/sim_redis.cc" "src/storage/CMakeFiles/aft_storage.dir/sim_redis.cc.o" "gcc" "src/storage/CMakeFiles/aft_storage.dir/sim_redis.cc.o.d"
+  "/root/repo/src/storage/versioned_map.cc" "src/storage/CMakeFiles/aft_storage.dir/versioned_map.cc.o" "gcc" "src/storage/CMakeFiles/aft_storage.dir/versioned_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aft_storage.dir/sim_dynamo.cc.o"
+  "CMakeFiles/aft_storage.dir/sim_dynamo.cc.o.d"
+  "CMakeFiles/aft_storage.dir/sim_engine_base.cc.o"
+  "CMakeFiles/aft_storage.dir/sim_engine_base.cc.o.d"
+  "CMakeFiles/aft_storage.dir/sim_redis.cc.o"
+  "CMakeFiles/aft_storage.dir/sim_redis.cc.o.d"
+  "CMakeFiles/aft_storage.dir/versioned_map.cc.o"
+  "CMakeFiles/aft_storage.dir/versioned_map.cc.o.d"
+  "libaft_storage.a"
+  "libaft_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aft_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aft_workload.dir/dataset.cc.o"
+  "CMakeFiles/aft_workload.dir/dataset.cc.o.d"
+  "CMakeFiles/aft_workload.dir/harness.cc.o"
+  "CMakeFiles/aft_workload.dir/harness.cc.o.d"
+  "CMakeFiles/aft_workload.dir/runners.cc.o"
+  "CMakeFiles/aft_workload.dir/runners.cc.o.d"
+  "CMakeFiles/aft_workload.dir/workload.cc.o"
+  "CMakeFiles/aft_workload.dir/workload.cc.o.d"
+  "libaft_workload.a"
+  "libaft_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aft_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aft_engine_matrix_test.cc" "tests/CMakeFiles/aft_engine_matrix_test.dir/aft_engine_matrix_test.cc.o" "gcc" "tests/CMakeFiles/aft_engine_matrix_test.dir/aft_engine_matrix_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/aft_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/aft_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/aft_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/ramp/CMakeFiles/aft_ramp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/faas/CMakeFiles/aft_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aft_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

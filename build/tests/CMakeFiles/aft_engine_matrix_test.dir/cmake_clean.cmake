@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aft_engine_matrix_test.dir/aft_engine_matrix_test.cc.o"
+  "CMakeFiles/aft_engine_matrix_test.dir/aft_engine_matrix_test.cc.o.d"
+  "aft_engine_matrix_test"
+  "aft_engine_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aft_engine_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aft_node_test.dir/aft_node_test.cc.o"
+  "CMakeFiles/aft_node_test.dir/aft_node_test.cc.o.d"
+  "aft_node_test"
+  "aft_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aft_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

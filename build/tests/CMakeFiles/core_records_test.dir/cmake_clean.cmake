@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_records_test.dir/core_records_test.cc.o"
+  "CMakeFiles/core_records_test.dir/core_records_test.cc.o.d"
+  "core_records_test"
+  "core_records_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_records_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packed_layout_test.dir/packed_layout_test.cc.o"
+  "CMakeFiles/packed_layout_test.dir/packed_layout_test.cc.o.d"
+  "packed_layout_test"
+  "packed_layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packed_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

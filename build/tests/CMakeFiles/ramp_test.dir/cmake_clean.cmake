@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramp_test.dir/ramp_test.cc.o"
+  "CMakeFiles/ramp_test.dir/ramp_test.cc.o.d"
+  "ramp_test"
+  "ramp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

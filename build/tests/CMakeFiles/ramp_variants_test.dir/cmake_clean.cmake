@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramp_variants_test.dir/ramp_variants_test.cc.o"
+  "CMakeFiles/ramp_variants_test.dir/ramp_variants_test.cc.o.d"
+  "ramp_variants_test"
+  "ramp_variants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramp_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

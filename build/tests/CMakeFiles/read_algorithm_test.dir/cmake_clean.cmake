@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_algorithm_test.dir/read_algorithm_test.cc.o"
+  "CMakeFiles/read_algorithm_test.dir/read_algorithm_test.cc.o.d"
+  "read_algorithm_test"
+  "read_algorithm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_algorithm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
