@@ -14,7 +14,7 @@ ClusterDeployment::ClusterDeployment(StorageEngine& storage, Clock& clock, Clust
 ClusterDeployment::~ClusterDeployment() { Stop(); }
 
 AftNode* ClusterDeployment::CreateNode(const std::string& node_id) {
-  std::lock_guard<std::mutex> lock(nodes_mu_);
+  MutexLock lock(nodes_mu_);
   nodes_.push_back(std::make_unique<AftNode>(node_id, storage_, clock_, options_.node_options));
   return nodes_.back().get();
 }
@@ -26,7 +26,7 @@ Status ClusterDeployment::Start() {
       return Status::Internal("failed to create node");
     }
   }
-  started_ = true;
+  started_.store(true, std::memory_order_release);
   if (options_.start_background_threads) {
     bus_.Start();
     fault_manager_.Start();
@@ -37,7 +37,7 @@ Status ClusterDeployment::Start() {
 AftNode* ClusterDeployment::AddNode() {
   std::string node_id;
   {
-    std::lock_guard<std::mutex> lock(nodes_mu_);
+    MutexLock lock(nodes_mu_);
     node_id = "aft-" + std::to_string(next_node_number_++);
   }
   AftNode* node = CreateNode(node_id);
@@ -58,16 +58,15 @@ void ClusterDeployment::KillNode(size_t index) {
 }
 
 void ClusterDeployment::Stop() {
-  if (!started_) {
+  if (!started_.exchange(false)) {
     return;
   }
-  started_ = false;
   fault_manager_.Stop();
   bus_.Stop();
 }
 
 AftNode* ClusterDeployment::node(size_t index) {
-  std::lock_guard<std::mutex> lock(nodes_mu_);
+  MutexLock lock(nodes_mu_);
   if (index >= nodes_.size()) {
     return nullptr;
   }
@@ -75,7 +74,7 @@ AftNode* ClusterDeployment::node(size_t index) {
 }
 
 size_t ClusterDeployment::node_count() const {
-  std::lock_guard<std::mutex> lock(nodes_mu_);
+  MutexLock lock(nodes_mu_);
   return nodes_.size();
 }
 

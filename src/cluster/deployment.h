@@ -6,8 +6,8 @@
 #ifndef SRC_CLUSTER_DEPLOYMENT_H_
 #define SRC_CLUSTER_DEPLOYMENT_H_
 
+#include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -67,10 +67,12 @@ class ClusterDeployment {
   MulticastBus bus_;
   FaultManager fault_manager_;
 
-  mutable std::mutex nodes_mu_;
-  std::vector<std::unique_ptr<AftNode>> nodes_;
-  size_t next_node_number_ = 0;
-  bool started_ = false;
+  mutable Mutex nodes_mu_;
+  std::vector<std::unique_ptr<AftNode>> nodes_ GUARDED_BY(nodes_mu_);
+  size_t next_node_number_ GUARDED_BY(nodes_mu_) = 0;
+  // Stop() can race Start() (destructor vs. a starting thread); atomic so
+  // the started flag itself is never a data race.
+  std::atomic<bool> started_{false};
 };
 
 }  // namespace aft

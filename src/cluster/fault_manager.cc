@@ -22,26 +22,26 @@ FaultManager::FaultManager(Clock& clock, StorageEngine& storage, LoadBalancer& b
 FaultManager::~FaultManager() { Stop(); }
 
 void FaultManager::Manage(AftNode* node) {
-  std::lock_guard<std::mutex> lock(nodes_mu_);
+  MutexLock lock(nodes_mu_);
   if (std::find(managed_nodes_.begin(), managed_nodes_.end(), node) == managed_nodes_.end()) {
     managed_nodes_.push_back(node);
   }
 }
 
 void FaultManager::Decommission(AftNode* node) {
-  std::lock_guard<std::mutex> lock(nodes_mu_);
+  MutexLock lock(nodes_mu_);
   managed_nodes_.erase(std::remove(managed_nodes_.begin(), managed_nodes_.end(), node),
                        managed_nodes_.end());
   handled_failures_.insert(node->node_id());
 }
 
 void FaultManager::SetNodeFactory(NodeFactory factory) {
-  std::lock_guard<std::mutex> lock(nodes_mu_);
+  MutexLock lock(nodes_mu_);
   factory_ = std::move(factory);
 }
 
 std::vector<AftNode*> FaultManager::ManagedNodes() const {
-  std::lock_guard<std::mutex> lock(nodes_mu_);
+  MutexLock lock(nodes_mu_);
   return managed_nodes_;
 }
 
@@ -50,7 +50,7 @@ void FaultManager::IngestCommits(const std::vector<CommitRecordPtr>& records) {
     if (commits_.Add(record)) {
       index_.AddCommit(*record);
       stats_.records_ingested.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(known_writers_mu_);
+      MutexLock lock(known_writers_mu_);
       known_writers_.insert(record->id.uuid);
     }
   }
@@ -88,7 +88,7 @@ size_t FaultManager::RunLivenessScanOnce() {
     if (commits_.Add(ptr)) {
       index_.AddCommit(*ptr);
       {
-        std::lock_guard<std::mutex> lock(known_writers_mu_);
+        MutexLock lock(known_writers_mu_);
         known_writers_.insert(ptr->id.uuid);
       }
       discovered.push_back(std::move(ptr));
@@ -174,7 +174,7 @@ size_t FaultManager::RunGlobalGcOnce() {
     // error left a straggler version behind, the orphan sweep can now reap
     // it (its commit record is gone, so nothing will ever reference it).
     {
-      std::lock_guard<std::mutex> lock(known_writers_mu_);
+      MutexLock lock(known_writers_mu_);
       for (const auto& record : victims) {
         known_writers_.erase(record->id.uuid);
       }
@@ -195,12 +195,16 @@ size_t FaultManager::RunOrphanSweepOnce() {
     version_keys->insert(version_keys->end(), segment_keys->begin(), segment_keys->end());
   }
   const TimePoint now = clock_.Now();
-  // Snapshot the whitelist under a short lock: holding known_writers_mu_ for
-  // the whole sweep would block commit ingestion (and thus gossip).
+  // Snapshot the whitelist AND the candidate table under a short lock:
+  // holding known_writers_mu_ for the whole sweep would block commit
+  // ingestion (and thus gossip). The candidate table was previously read and
+  // replaced with no lock at all, racing concurrent sweeps.
   std::unordered_set<Uuid> known;
+  std::unordered_map<std::string, TimePoint> candidates;
   {
-    std::lock_guard<std::mutex> lock(known_writers_mu_);
+    MutexLock lock(known_writers_mu_);
     known = known_writers_;
+    candidates = orphan_candidates_;
   }
   std::unordered_map<std::string, TimePoint> still_present;
   std::vector<std::string> victims;
@@ -219,15 +223,18 @@ size_t FaultManager::RunOrphanSweepOnce() {
     if (writer.IsNil() || known.contains(writer)) {
       continue;  // Committed (or commit seen at some point): not an orphan.
     }
-    auto it = orphan_candidates_.find(storage_key);
-    const TimePoint first_seen = it == orphan_candidates_.end() ? now : it->second;
+    auto it = candidates.find(storage_key);
+    const TimePoint first_seen = it == candidates.end() ? now : it->second;
     if (now - first_seen >= options_.orphan_grace) {
       victims.push_back(storage_key);
     } else {
       still_present.emplace(storage_key, first_seen);
     }
   }
-  orphan_candidates_ = std::move(still_present);
+  {
+    MutexLock lock(known_writers_mu_);
+    orphan_candidates_ = std::move(still_present);
+  }
   if (!victims.empty()) {
     (void)storage_.BatchDelete(victims);
     stats_.orphans_deleted.fetch_add(victims.size(), std::memory_order_relaxed);
@@ -238,7 +245,7 @@ size_t FaultManager::RunOrphanSweepOnce() {
 void FaultManager::CheckForFailuresOnce() {
   std::vector<AftNode*> dead;
   {
-    std::lock_guard<std::mutex> lock(nodes_mu_);
+    MutexLock lock(nodes_mu_);
     for (AftNode* node : managed_nodes_) {
       if (!node->alive() && !handled_failures_.contains(node->node_id())) {
         handled_failures_.insert(node->node_id());
@@ -253,7 +260,7 @@ void FaultManager::CheckForFailuresOnce() {
     bus_.UnregisterNode(node);
     if (options_.enable_node_replacement) {
       const std::string failed_id = node->node_id();
-      std::lock_guard<std::mutex> lock(replacements_mu_);
+      MutexLock lock(replacements_mu_);
       replacement_threads_.emplace_back([this, failed_id] { ReplaceNode(failed_id); });
     }
   }
@@ -262,7 +269,7 @@ void FaultManager::CheckForFailuresOnce() {
 void FaultManager::ReplaceNode(const std::string& failed_id) {
   NodeFactory factory;
   {
-    std::lock_guard<std::mutex> lock(nodes_mu_);
+    MutexLock lock(nodes_mu_);
     factory = factory_;
   }
   if (!factory) {
@@ -307,7 +314,7 @@ void FaultManager::Stop() {
   }
   std::vector<std::thread> replacements;
   {
-    std::lock_guard<std::mutex> lock(replacements_mu_);
+    MutexLock lock(replacements_mu_);
     replacements.swap(replacement_threads_);
   }
   for (auto& t : replacements) {

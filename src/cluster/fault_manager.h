@@ -25,7 +25,6 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -33,6 +32,7 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/mutex.h"
 #include "src/common/thread_pool.h"
 #include "src/cluster/load_balancer.h"
 #include "src/cluster/multicast_bus.h"
@@ -147,21 +147,21 @@ class FaultManager {
 
   // Writer UUIDs of every commit record ever seen (including ones whose
   // data the GC already deleted) — the orphan sweep's whitelist.
-  mutable std::mutex known_writers_mu_;
-  std::unordered_set<Uuid> known_writers_;
+  mutable Mutex known_writers_mu_;
+  std::unordered_set<Uuid> known_writers_ GUARDED_BY(known_writers_mu_);
   // Orphan candidates: version storage key -> when first seen.
-  std::unordered_map<std::string, TimePoint> orphan_candidates_;
+  std::unordered_map<std::string, TimePoint> orphan_candidates_ GUARDED_BY(known_writers_mu_);
 
-  mutable std::mutex nodes_mu_;
-  std::vector<AftNode*> managed_nodes_;
-  std::unordered_set<std::string> handled_failures_;
-  NodeFactory factory_;
+  mutable Mutex nodes_mu_;
+  std::vector<AftNode*> managed_nodes_ GUARDED_BY(nodes_mu_);
+  std::unordered_set<std::string> handled_failures_ GUARDED_BY(nodes_mu_);
+  NodeFactory factory_ GUARDED_BY(nodes_mu_);
 
   ThreadPool delete_pool_;
   std::atomic<bool> running_{false};
   std::thread thread_;
-  std::mutex replacements_mu_;
-  std::vector<std::thread> replacement_threads_;
+  Mutex replacements_mu_;
+  std::vector<std::thread> replacement_threads_ GUARDED_BY(replacements_mu_);
 
   FaultManagerStats stats_;
 };

@@ -1,24 +1,23 @@
 #include "src/cluster/load_balancer.h"
 
 #include <algorithm>
-#include <mutex>
 
 namespace aft {
 
 void LoadBalancer::AddNode(AftNode* node) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   if (std::find(nodes_.begin(), nodes_.end(), node) == nodes_.end()) {
     nodes_.push_back(node);
   }
 }
 
 void LoadBalancer::RemoveNode(AftNode* node) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), node), nodes_.end());
 }
 
 AftNode* LoadBalancer::Pick() {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   if (nodes_.empty()) {
     return nullptr;
   }
@@ -33,7 +32,7 @@ AftNode* LoadBalancer::Pick() {
 }
 
 std::vector<AftNode*> LoadBalancer::LiveNodes() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::vector<AftNode*> out;
   for (AftNode* node : nodes_) {
     if (node->alive()) {
@@ -44,7 +43,7 @@ std::vector<AftNode*> LoadBalancer::LiveNodes() const {
 }
 
 size_t LoadBalancer::NodeCount() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return nodes_.size();
 }
 

@@ -9,9 +9,9 @@
 #define SRC_CLUSTER_LOAD_BALANCER_H_
 
 #include <atomic>
-#include <shared_mutex>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/core/aft_node.h"
 
 namespace aft {
@@ -31,8 +31,8 @@ class LoadBalancer {
   size_t NodeCount() const;
 
  private:
-  mutable std::shared_mutex mu_;
-  std::vector<AftNode*> nodes_;
+  mutable SharedMutex mu_;
+  std::vector<AftNode*> nodes_ GUARDED_BY(mu_);
   std::atomic<uint64_t> next_{0};
 };
 

@@ -9,19 +9,19 @@ MulticastBus::MulticastBus(Clock& clock, Duration interval) : clock_(clock), int
 MulticastBus::~MulticastBus() { Stop(); }
 
 void MulticastBus::RegisterNode(AftNode* node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (std::find(nodes_.begin(), nodes_.end(), node) == nodes_.end()) {
     nodes_.push_back(node);
   }
 }
 
 void MulticastBus::UnregisterNode(AftNode* node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), node), nodes_.end());
 }
 
 void MulticastBus::SetFaultManagerSink(FaultManagerSink sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fault_manager_sink_ = std::move(sink);
 }
 
@@ -29,7 +29,7 @@ void MulticastBus::RunOnce() {
   std::vector<AftNode*> nodes;
   FaultManagerSink sink;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     nodes = nodes_;
     sink = fault_manager_sink_;
   }

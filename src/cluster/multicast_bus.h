@@ -12,11 +12,11 @@
 
 #include <atomic>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/mutex.h"
 #include "src/core/aft_node.h"
 
 namespace aft {
@@ -62,9 +62,9 @@ class MulticastBus {
 
   Clock& clock_;
   const Duration interval_;
-  std::mutex mu_;
-  std::vector<AftNode*> nodes_;
-  FaultManagerSink fault_manager_sink_;
+  Mutex mu_;
+  std::vector<AftNode*> nodes_ GUARDED_BY(mu_);
+  FaultManagerSink fault_manager_sink_ GUARDED_BY(mu_);
   std::atomic<bool> pruning_enabled_{true};
   std::atomic<bool> running_{false};
   std::thread thread_;

@@ -76,7 +76,7 @@ RealClock& RealClock::Default() {
 }
 
 TimePoint SimClock::Now() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return now_;
 }
 
@@ -84,25 +84,25 @@ void SimClock::SleepFor(Duration d) {
   if (d <= Duration::zero()) {
     return;
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const TimePoint deadline = now_ + d;
   auto it = sleepers_.insert(deadline);
   while (now_ < deadline) {
     if (auto_advance_.load() && *sleepers_.begin() == deadline) {
       // We are the earliest sleeper: virtual time jumps to our deadline.
       now_ = deadline;
-      cv_.notify_all();
+      cv_.NotifyAll();
       break;
     }
-    cv_.wait(lock);
+    cv_.Wait(lock);
   }
   sleepers_.erase(it);
   // Our wakeup may have made another thread the earliest sleeper.
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 int64_t SimClock::WallTimeMicros() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const int64_t base = std::chrono::duration_cast<std::chrono::microseconds>(now_).count();
   // Units are microseconds of virtual time. A global sequence number keeps
   // timestamps strictly increasing across ties at the same virtual instant
@@ -118,9 +118,9 @@ void SimClock::Advance(Duration d) {
   if (d < Duration::zero()) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   now_ += d;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 }  // namespace aft

@@ -13,10 +13,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <set>
+
+#include "src/common/mutex.h"
 
 namespace aft {
 
@@ -107,12 +107,12 @@ class SimClock : public Clock {
   void set_auto_advance(bool v) { auto_advance_.store(v); }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  TimePoint now_{Duration::zero()};
+  Mutex mu_;
+  CondVar cv_;
+  TimePoint now_ GUARDED_BY(mu_){Duration::zero()};
   // Deadlines of currently sleeping threads; the earliest sleeper is allowed
   // to advance virtual time when auto-advance is enabled.
-  std::multiset<TimePoint> sleepers_;
+  std::multiset<TimePoint> sleepers_ GUARDED_BY(mu_);
   std::atomic<bool> auto_advance_{true};
   // Monotonic counter folded into WallTimeMicros so that two commits at the
   // same virtual instant still get distinct, ordered timestamps.

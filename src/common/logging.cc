@@ -3,7 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+#include "src/common/mutex.h"
 
 namespace aft {
 namespace {
@@ -39,11 +39,11 @@ namespace internal {
 bool LogEnabled(LogLevel level) { return static_cast<int>(level) <= g_level.load(); }
 
 void LogLine(LogLevel level, const std::string& file, int line, const std::string& message) {
-  static std::mutex mu;
+  static Mutex mu;
   // Trim the path to the basename for readability.
   const size_t slash = file.find_last_of('/');
   const std::string base = slash == std::string::npos ? file : file.substr(slash + 1);
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base.c_str(), line, message.c_str());
 }
 

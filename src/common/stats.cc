@@ -18,27 +18,27 @@ std::string LatencySummary::ToString() const {
 void LatencyRecorder::Record(Duration d) { RecordMillis(ToMillis(d)); }
 
 void LatencyRecorder::RecordMillis(double ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   samples_ms_.push_back(ms);
 }
 
 void LatencyRecorder::Merge(const LatencyRecorder& other) {
   std::vector<double> theirs;
   {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    MutexLock lock(other.mu_);
     theirs = other.samples_ms_;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   samples_ms_.insert(samples_ms_.end(), theirs.begin(), theirs.end());
 }
 
 size_t LatencyRecorder::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return samples_ms_.size();
 }
 
 void LatencyRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   samples_ms_.clear();
 }
 
@@ -57,7 +57,7 @@ double Percentile(std::vector<double> samples, double p) {
 LatencySummary LatencyRecorder::Summarize() const {
   std::vector<double> samples;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     samples = samples_ms_;
   }
   LatencySummary s;
@@ -79,7 +79,7 @@ ThroughputTimeline::ThroughputTimeline(Clock& clock, Duration window)
     : clock_(clock), window_(window) {}
 
 void ThroughputTimeline::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   start_ = clock_.Now();
   buckets_.clear();
   total_ = 0;
@@ -87,7 +87,7 @@ void ThroughputTimeline::Start() {
 
 void ThroughputTimeline::RecordEvent() {
   const TimePoint now = clock_.Now();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (now < start_) {
     return;
   }
@@ -100,7 +100,7 @@ void ThroughputTimeline::RecordEvent() {
 }
 
 std::vector<ThroughputTimeline::Row> ThroughputTimeline::Report() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Row> rows;
   rows.reserve(buckets_.size());
   const double window_sec = ToMillis(window_) / 1000.0;
@@ -112,7 +112,7 @@ std::vector<ThroughputTimeline::Row> ThroughputTimeline::Report() const {
 }
 
 uint64_t ThroughputTimeline::total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_;
 }
 

@@ -9,11 +9,11 @@
 #define SRC_COMMON_STATS_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/mutex.h"
 
 namespace aft {
 
@@ -47,8 +47,8 @@ class LatencyRecorder {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> samples_ms_;
+  mutable Mutex mu_;
+  std::vector<double> samples_ms_ GUARDED_BY(mu_);
 };
 
 // Computes the p-th percentile (0 <= p <= 100) by nearest-rank on a copy.
@@ -79,10 +79,10 @@ class ThroughputTimeline {
  private:
   Clock& clock_;
   const Duration window_;
-  mutable std::mutex mu_;
-  TimePoint start_{};
-  std::vector<uint64_t> buckets_;
-  uint64_t total_ = 0;
+  mutable Mutex mu_;
+  TimePoint start_ GUARDED_BY(mu_){};
+  std::vector<uint64_t> buckets_ GUARDED_BY(mu_);
+  uint64_t total_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace aft

@@ -1,0 +1,77 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// The standard macro set from the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), expanding to
+// attributes under Clang and to nothing elsewhere — GCC compiles the
+// annotated tree unchanged. Build with -Wthread-safety (wired up by the
+// AFT_THREAD_SAFETY_ANALYSIS CMake option) to have the compiler verify the
+// locking discipline these macros declare.
+
+#ifndef SRC_COMMON_THREAD_ANNOTATIONS_H_
+#define SRC_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define AFT_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define AFT_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+// A type that acts as a capability (a mutex class).
+#define CAPABILITY(x) AFT_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+// An RAII type that acquires a capability at construction and releases it at
+// destruction.
+#define SCOPED_CAPABILITY AFT_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+// The data member is protected by the given capability.
+#define GUARDED_BY(x) AFT_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+// The data *pointed to* by the member is protected by the given capability.
+#define PT_GUARDED_BY(x) AFT_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+// Lock-ordering declarations.
+#define ACQUIRED_BEFORE(...) AFT_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) AFT_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+// The function must be called with the given capabilities held (and does not
+// acquire/release them itself).
+#define REQUIRES(...) \
+  AFT_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  AFT_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability and holds it on return.
+#define ACQUIRE(...) AFT_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  AFT_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+// The function releases the capability (which must be held on entry).
+#define RELEASE(...) AFT_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  AFT_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  AFT_THREAD_ANNOTATION_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+
+// The function attempts the acquisition; the first argument is the return
+// value that means success.
+#define TRY_ACQUIRE(...) \
+  AFT_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  AFT_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_shared_capability(__VA_ARGS__))
+
+// The function must NOT be called with the given capabilities held (guards
+// against self-deadlock on non-reentrant mutexes).
+#define EXCLUDES(...) AFT_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+// The function asserts (at runtime) that the capability is held.
+#define ASSERT_CAPABILITY(x) AFT_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  AFT_THREAD_ANNOTATION_ATTRIBUTE__(assert_shared_capability(x))
+
+// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) AFT_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+// Escape hatch for code the analysis cannot follow.
+#define NO_THREAD_SAFETY_ANALYSIS AFT_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // SRC_COMMON_THREAD_ANNOTATIONS_H_

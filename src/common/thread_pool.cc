@@ -16,31 +16,33 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
       return false;
     }
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return true;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!(queue_.empty() && active_ == 0)) {
+    idle_cv_.Wait(lock);
+  }
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
       return;
     }
     shutdown_ = true;
     queue_.clear();
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& w : workers_) {
     if (w.joinable()) {
       w.join();
@@ -49,7 +51,7 @@ void ThreadPool::Shutdown() {
 }
 
 size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -57,8 +59,10 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) {
+        work_cv_.Wait(lock);
+      }
       if (shutdown_) {
         return;
       }
@@ -68,10 +72,10 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
       if (queue_.empty() && active_ == 0) {
-        idle_cv_.notify_all();
+        idle_cv_.NotifyAll();
       }
     }
   }

@@ -11,12 +11,11 @@
 #ifndef SRC_COMMON_THROTTLE_H_
 #define SRC_COMMON_THROTTLE_H_
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 
 #include "src/common/clock.h"
 #include "src/common/latency.h"
+#include "src/common/mutex.h"
 #include "src/common/rng.h"
 
 namespace aft {
@@ -35,8 +34,10 @@ class ServiceThrottle {
       return;
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return busy_ < cores_; });
+      MutexLock lock(mu_);
+      while (busy_ >= cores_) {
+        cv_.Wait(lock);
+      }
       ++busy_;
     }
     const Duration d = service_time_.Sample(rng);
@@ -44,19 +45,19 @@ class ServiceThrottle {
         std::chrono::duration<double, std::nano>(static_cast<double>(d.count()) * units));
     clock_.SleepFor(scaled);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --busy_;
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
  private:
   Clock& clock_;
   const size_t cores_;
   const LatencyModel service_time_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t busy_ = 0;
+  Mutex mu_;
+  CondVar cv_;
+  size_t busy_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace aft

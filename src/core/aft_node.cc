@@ -84,7 +84,7 @@ Result<Uuid> AftNode::StartTransaction() {
   const Uuid txid = Uuid::Random(ThreadLocalRng());
   auto txn = std::make_shared<TransactionState>(txid, clock_.Now());
   {
-    std::lock_guard<std::mutex> lock(txns_mu_);
+    MutexLock lock(txns_mu_);
     txns_.emplace(txid, std::move(txn));
   }
   stats_.txns_started.fetch_add(1, std::memory_order_relaxed);
@@ -93,7 +93,7 @@ Result<Uuid> AftNode::StartTransaction() {
 
 Status AftNode::AdoptTransaction(const Uuid& txid) {
   AFT_RETURN_IF_ERROR(CheckAlive());
-  std::lock_guard<std::mutex> lock(txns_mu_);
+  MutexLock lock(txns_mu_);
   if (!txns_.contains(txid)) {
     txns_.emplace(txid, std::make_shared<TransactionState>(txid, clock_.Now()));
     stats_.txns_started.fetch_add(1, std::memory_order_relaxed);
@@ -102,7 +102,7 @@ Status AftNode::AdoptTransaction(const Uuid& txid) {
 }
 
 Result<AftNode::TxnPtr> AftNode::FindTransaction(const Uuid& txid) {
-  std::lock_guard<std::mutex> lock(txns_mu_);
+  MutexLock lock(txns_mu_);
   auto it = txns_.find(txid);
   if (it == txns_.end()) {
     return Status::FailedPrecondition("unknown transaction " + txid.ToString());
@@ -117,7 +117,7 @@ Status AftNode::Put(const Uuid& txid, const std::string& key, std::string value)
   }
   throttle_.Charge(ThreadLocalRng());
   AFT_ASSIGN_OR_RETURN(TxnPtr txn, FindTransaction(txid));
-  std::lock_guard<std::mutex> lock(txn->mu);
+  MutexLock lock(txn->mu);
   if (txn->status != TxnStatus::kRunning) {
     return Status::FailedPrecondition("transaction is not running");
   }
@@ -213,7 +213,7 @@ Result<AftNode::VersionedRead> AftNode::GetVersioned(const Uuid& txid, const std
   AFT_RETURN_IF_ERROR(CheckAlive());
   throttle_.Charge(ThreadLocalRng());
   AFT_ASSIGN_OR_RETURN(TxnPtr txn, FindTransaction(txid));
-  std::lock_guard<std::mutex> lock(txn->mu);
+  MutexLock lock(txn->mu);
   if (txn->status != TxnStatus::kRunning) {
     return Status::FailedPrecondition("transaction is not running");
   }
@@ -298,7 +298,7 @@ Status AftNode::AbortTransaction(const Uuid& txid) {
   AFT_RETURN_IF_ERROR(CheckAlive());
   AFT_ASSIGN_OR_RETURN(TxnPtr txn, FindTransaction(txid));
   {
-    std::lock_guard<std::mutex> lock(txn->mu);
+    MutexLock lock(txn->mu);
     if (txn->status == TxnStatus::kCommitted || txn->status == TxnStatus::kCommitting) {
       return Status::FailedPrecondition("transaction already committed/committing");
     }
@@ -327,7 +327,7 @@ Status AftNode::AbortTransaction(const Uuid& txid) {
     txn->reads_from.clear();
   }
   {
-    std::lock_guard<std::mutex> lock(txns_mu_);
+    MutexLock lock(txns_mu_);
     txns_.erase(txid);
   }
   stats_.txns_aborted.fetch_add(1, std::memory_order_relaxed);
@@ -339,7 +339,7 @@ Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
   // Idempotence for retried commits (§3.1): a transaction's updates are
   // persisted exactly once.
   {
-    std::lock_guard<std::mutex> lock(committed_mu_);
+    MutexLock lock(committed_mu_);
     if (auto it = committed_uuids_.find(txid); it != committed_uuids_.end()) {
       return it->second;
     }
@@ -348,7 +348,7 @@ Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
   // Commit-side processing (batch assembly, serialization of the whole
   // update set) costs about two operation units of node CPU.
   throttle_.Charge(ThreadLocalRng(), 2.0);
-  std::unique_lock<std::mutex> lock(txn->mu);
+  MutexLock lock(txn->mu);
   if (txn->status != TxnStatus::kRunning) {
     return Status::FailedPrecondition("transaction is not running");
   }
@@ -378,16 +378,13 @@ Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
 
   // Step 2: persist the commit record to the Transaction Commit Set. Only
   // now does the transaction become visible.
+  std::vector<std::string> write_set_keys;
+  write_set_keys.reserve(txn->write_buffer.size());
+  for (const auto& [key, payload] : txn->write_buffer) {
+    write_set_keys.push_back(key);
+  }
   auto record = std::make_shared<const CommitRecord>(CommitRecord{
-      commit_id,
-      [&] {
-        std::vector<std::string> keys;
-        keys.reserve(txn->write_buffer.size());
-        for (const auto& [key, payload] : txn->write_buffer) {
-          keys.push_back(key);
-        }
-        return keys;
-      }(),
+      commit_id, std::move(write_set_keys),
       options_.packed_layout ? txn->next_segment_index : 0,
       options_.packed_layout ? txn->packed_locators : std::vector<VersionLocator>{}});
   Status committed = storage_.Put(CommitStorageKey(commit_id), record->Serialize());
@@ -412,16 +409,16 @@ Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
   }
   commits_.NoteLocalCommit(commit_id);
   {
-    std::lock_guard<std::mutex> block(broadcast_mu_);
+    MutexLock block(broadcast_mu_);
     pending_broadcast_.push_back(record);
   }
   txn->status = TxnStatus::kCommitted;
   UnpinReads(*txn);
   txn->reads_from.clear();
-  lock.unlock();
+  lock.Unlock();
 
   {
-    std::lock_guard<std::mutex> clock_guard(committed_mu_);
+    MutexLock clock_guard(committed_mu_);
     committed_uuids_[txid] = commit_id;
     committed_order_.push_back(txid);
     if (committed_order_.size() > options_.committed_uuid_memory) {
@@ -436,7 +433,7 @@ Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
     }
   }
   {
-    std::lock_guard<std::mutex> tlock(txns_mu_);
+    MutexLock tlock(txns_mu_);
     txns_.erase(txid);
   }
   stats_.txns_committed.fetch_add(1, std::memory_order_relaxed);
@@ -447,7 +444,7 @@ void AftNode::DrainRecentCommits(std::vector<CommitRecordPtr>* pruned,
                                  std::vector<CommitRecordPtr>* unpruned) {
   std::vector<CommitRecordPtr> drained;
   {
-    std::lock_guard<std::mutex> lock(broadcast_mu_);
+    MutexLock lock(broadcast_mu_);
     drained.swap(pending_broadcast_);
   }
   if (unpruned != nullptr) {
@@ -508,7 +505,7 @@ size_t AftNode::RunLocalGcOnce() {
   // Records still pending broadcast must reach the bus / fault manager first.
   std::unordered_set<TxnId> pending;
   {
-    std::lock_guard<std::mutex> lock(broadcast_mu_);
+    MutexLock lock(broadcast_mu_);
     for (const auto& record : pending_broadcast_) {
       pending.insert(record->id);
     }
@@ -555,7 +552,7 @@ bool AftNode::CanGloballyDelete(const TxnId& id) {
 }
 
 size_t AftNode::RunningTransactionCount() const {
-  std::lock_guard<std::mutex> lock(txns_mu_);
+  MutexLock lock(txns_mu_);
   return txns_.size();
 }
 
@@ -563,7 +560,7 @@ size_t AftNode::SweepTimedOutTransactions() {
   const TimePoint now = clock_.Now();
   std::vector<Uuid> expired;
   {
-    std::lock_guard<std::mutex> lock(txns_mu_);
+    MutexLock lock(txns_mu_);
     for (const auto& [uuid, txn] : txns_) {
       if (now - txn->start_time > options_.txn_timeout) {
         expired.push_back(uuid);

@@ -13,7 +13,6 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -21,6 +20,7 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/common/throttle.h"
 #include "src/core/commit_set_cache.h"
@@ -212,7 +212,7 @@ class AftNode {
   Status CheckAlive() const;
   Result<TxnPtr> FindTransaction(const Uuid& txid);
   // Writes the buffer's dirty entries to storage as version objects.
-  Status FlushVersions(TransactionState& txn, const TxnId& writer_id);
+  Status FlushVersions(TransactionState& txn, const TxnId& writer_id) REQUIRES(txn.mu);
   // Fetches a version payload through the data cache with bounded retries.
   // `record` supplies the locators needed for the packed layout.
   Result<std::string> ReadVersionPayload(const std::string& key, const TxnId& version,
@@ -221,7 +221,7 @@ class AftNode {
   // O(1) via the read pin table.
   bool AnyRunningTransactionReadsFrom(const TxnId& id);
   // Releases the transaction's read pins (commit/abort epilogue).
-  void UnpinReads(const TransactionState& txn);
+  void UnpinReads(const TransactionState& txn) REQUIRES(txn.mu);
   void BackgroundLoop();
   bool MaybeCrash(CrashPoint point);
 
@@ -235,14 +235,14 @@ class AftNode {
   std::thread background_;
 
   // Transaction table.
-  mutable std::mutex txns_mu_;
-  std::unordered_map<Uuid, TxnPtr> txns_;
+  mutable Mutex txns_mu_;
+  std::unordered_map<Uuid, TxnPtr> txns_ GUARDED_BY(txns_mu_);
 
   // Idempotent-commit memory: uuid -> commit id, bounded FIFO.
-  std::mutex committed_mu_;
-  std::unordered_map<Uuid, TxnId> committed_uuids_;
-  std::vector<Uuid> committed_order_;
-  size_t committed_next_evict_ = 0;
+  Mutex committed_mu_;
+  std::unordered_map<Uuid, TxnId> committed_uuids_ GUARDED_BY(committed_mu_);
+  std::vector<Uuid> committed_order_ GUARDED_BY(committed_mu_);
+  size_t committed_next_evict_ GUARDED_BY(committed_mu_) = 0;
 
   // Metadata + data caches.
   CommitSetCache commits_;
@@ -253,8 +253,8 @@ class AftNode {
 
   // Recently committed records not yet drained for broadcast; guarded by
   // broadcast_mu_. Local GC will not drop records still pending broadcast.
-  std::mutex broadcast_mu_;
-  std::vector<CommitRecordPtr> pending_broadcast_;
+  Mutex broadcast_mu_;
+  std::vector<CommitRecordPtr> pending_broadcast_ GUARDED_BY(broadcast_mu_);
 
   AftNodeStats stats_;
 };

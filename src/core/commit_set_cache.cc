@@ -1,35 +1,34 @@
 #include "src/core/commit_set_cache.h"
 
-#include <mutex>
 
 namespace aft {
 
 bool CommitSetCache::Add(CommitRecordPtr record) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   const TxnId id = record->id;
   return records_.emplace(id, std::move(record)).second;
 }
 
 void CommitSetCache::Remove(const TxnId& id) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   if (records_.erase(id) > 0) {
     locally_deleted_.insert(id);
   }
 }
 
 CommitRecordPtr CommitSetCache::Lookup(const TxnId& id) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = records_.find(id);
   return it == records_.end() ? nullptr : it->second;
 }
 
 bool CommitSetCache::Contains(const TxnId& id) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return records_.contains(id);
 }
 
 std::vector<CommitRecordPtr> CommitSetCache::Snapshot() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::vector<CommitRecordPtr> out;
   out.reserve(records_.size());
   for (const auto& [id, record] : records_) {
@@ -39,34 +38,34 @@ std::vector<CommitRecordPtr> CommitSetCache::Snapshot() const {
 }
 
 void CommitSetCache::NoteLocalCommit(const TxnId& id) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   recent_commits_.push_back(id);
 }
 
 std::vector<TxnId> CommitSetCache::TakeRecentCommits() {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   std::vector<TxnId> out;
   out.swap(recent_commits_);
   return out;
 }
 
 bool CommitSetCache::HasLocallyDeleted(const TxnId& id) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return locally_deleted_.contains(id);
 }
 
 void CommitSetCache::ForgetLocallyDeleted(const TxnId& id) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   locally_deleted_.erase(id);
 }
 
 size_t CommitSetCache::LocallyDeletedCount() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return locally_deleted_.size();
 }
 
 size_t CommitSetCache::size() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return records_.size();
 }
 

@@ -10,11 +10,11 @@
 #define SRC_CORE_COMMIT_SET_CACHE_H_
 
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/core/records.h"
 #include "src/core/txn_id.h"
 
@@ -54,10 +54,10 @@ class CommitSetCache {
   size_t size() const;
 
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<TxnId, CommitRecordPtr> records_;
-  std::vector<TxnId> recent_commits_;
-  std::unordered_set<TxnId> locally_deleted_;
+  mutable SharedMutex mu_;
+  std::unordered_map<TxnId, CommitRecordPtr> records_ GUARDED_BY(mu_);
+  std::vector<TxnId> recent_commits_ GUARDED_BY(mu_);
+  std::unordered_set<TxnId> locally_deleted_ GUARDED_BY(mu_);
 };
 
 }  // namespace aft

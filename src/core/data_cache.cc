@@ -8,7 +8,7 @@ std::optional<std::string> DataCache::Get(const std::string& version_key) {
   if (!enabled()) {
     return std::nullopt;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(version_key);
   if (it == index_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -24,7 +24,7 @@ void DataCache::Put(const std::string& version_key, std::string payload) {
   if (!enabled() || payload.size() > capacity_bytes_) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(version_key);
   if (it != index_.end()) {
     used_bytes_ -= it->second->payload.size();
@@ -43,7 +43,7 @@ void DataCache::Erase(const std::string& version_key) {
   if (!enabled()) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(version_key);
   if (it == index_.end()) {
     return;
@@ -63,12 +63,12 @@ void DataCache::EvictOverBudgetLocked() {
 }
 
 uint64_t DataCache::size_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return used_bytes_;
 }
 
 size_t DataCache::entry_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lru_.size();
 }
 

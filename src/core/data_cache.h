@@ -11,10 +11,11 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+
+#include "src/common/mutex.h"
 
 namespace aft {
 
@@ -45,13 +46,13 @@ class DataCache {
     std::string payload;
   };
 
-  void EvictOverBudgetLocked();
+  void EvictOverBudgetLocked() REQUIRES(mu_);
 
   const uint64_t capacity_bytes_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // Front == most recently used.
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  uint64_t used_bytes_ = 0;
+  mutable Mutex mu_;
+  std::list<Entry> lru_ GUARDED_BY(mu_);  // Front == most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_ GUARDED_BY(mu_);
+  uint64_t used_bytes_ GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
 };

@@ -1,18 +1,17 @@
 #include "src/core/key_version_index.h"
 
-#include <mutex>
 
 namespace aft {
 
 void KeyVersionIndex::AddCommit(const CommitRecord& record) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   for (const std::string& key : record.write_set) {
     versions_[key].insert(record.id);
   }
 }
 
 void KeyVersionIndex::RemoveCommit(const CommitRecord& record) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   for (const std::string& key : record.write_set) {
     auto it = versions_.find(key);
     if (it == versions_.end()) {
@@ -26,7 +25,7 @@ void KeyVersionIndex::RemoveCommit(const CommitRecord& record) {
 }
 
 TxnId KeyVersionIndex::LatestVersion(const std::string& key) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = versions_.find(key);
   if (it == versions_.end() || it->second.empty()) {
     return TxnId::Null();
@@ -36,7 +35,7 @@ TxnId KeyVersionIndex::LatestVersion(const std::string& key) const {
 
 std::vector<TxnId> KeyVersionIndex::CandidatesAtLeast(const std::string& key,
                                                       const TxnId& lower) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::vector<TxnId> out;
   auto it = versions_.find(key);
   if (it == versions_.end()) {
@@ -53,13 +52,13 @@ std::vector<TxnId> KeyVersionIndex::CandidatesAtLeast(const std::string& key,
 }
 
 bool KeyVersionIndex::Contains(const std::string& key, const TxnId& id) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = versions_.find(key);
   return it != versions_.end() && it->second.contains(id);
 }
 
 size_t KeyVersionIndex::TotalVersionCount() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   size_t total = 0;
   for (const auto& [key, set] : versions_) {
     total += set.size();
@@ -68,7 +67,7 @@ size_t KeyVersionIndex::TotalVersionCount() const {
 }
 
 size_t KeyVersionIndex::KeyCount() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return versions_.size();
 }
 

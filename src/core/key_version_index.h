@@ -6,11 +6,11 @@
 #define SRC_CORE_KEY_VERSION_INDEX_H_
 
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/core/records.h"
 #include "src/core/txn_id.h"
 
@@ -40,8 +40,8 @@ class KeyVersionIndex {
   size_t KeyCount() const;
 
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, std::set<TxnId>> versions_;
+  mutable SharedMutex mu_;
+  std::unordered_map<std::string, std::set<TxnId>> versions_ GUARDED_BY(mu_);
 };
 
 }  // namespace aft

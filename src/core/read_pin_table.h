@@ -9,9 +9,9 @@
 #ifndef SRC_CORE_READ_PIN_TABLE_H_
 #define SRC_CORE_READ_PIN_TABLE_H_
 
-#include <mutex>
 #include <unordered_map>
 
+#include "src/common/mutex.h"
 #include "src/core/txn_id.h"
 
 namespace aft {
@@ -21,12 +21,12 @@ class ReadPinTable {
   ReadPinTable() = default;
 
   void Pin(const TxnId& id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++pins_[id];
   }
 
   void Unpin(const TxnId& id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = pins_.find(id);
     if (it == pins_.end()) {
       return;
@@ -37,18 +37,18 @@ class ReadPinTable {
   }
 
   bool IsPinned(const TxnId& id) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return pins_.contains(id);
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return pins_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<TxnId, int> pins_;
+  mutable Mutex mu_;
+  std::unordered_map<TxnId, int> pins_ GUARDED_BY(mu_);
 };
 
 }  // namespace aft

@@ -10,12 +10,12 @@
 #define SRC_CORE_TRANSACTION_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "src/common/clock.h"
+#include "src/common/mutex.h"
 #include "src/common/uuid.h"
 #include "src/core/commit_set_cache.h"
 #include "src/core/txn_id.h"
@@ -46,35 +46,35 @@ struct TransactionState {
   // Guards everything below. Ops of one transaction are logically sequential
   // (a linear composition of functions), but retries after failures can
   // briefly overlap with the original attempt.
-  std::mutex mu;
+  mutable Mutex mu;
 
-  TxnStatus status = TxnStatus::kRunning;
+  TxnStatus status GUARDED_BY(mu) = TxnStatus::kRunning;
 
   // ---- Atomic Write Buffer (§3.3) -----------------------------------------
   // key -> payload. `dirty` tracks entries not yet spilled to storage;
   // `spilled` keys already have their version object persisted (invisible
   // until the commit record lands).
-  std::map<std::string, std::string> write_buffer;
-  std::unordered_set<std::string> dirty;
-  std::unordered_set<std::string> spilled;
-  uint64_t buffered_bytes = 0;
+  std::map<std::string, std::string> write_buffer GUARDED_BY(mu);
+  std::unordered_set<std::string> dirty GUARDED_BY(mu);
+  std::unordered_set<std::string> spilled GUARDED_BY(mu);
+  uint64_t buffered_bytes GUARDED_BY(mu) = 0;
 
   // Packed layout (§8): segments written so far (spills + commit) and the
   // locator of each key's payload within them. A key rewritten after a
   // spill gets a fresh locator in a later segment.
-  uint32_t next_segment_index = 0;
-  std::vector<VersionLocator> packed_locators;
+  uint32_t next_segment_index GUARDED_BY(mu) = 0;
+  std::vector<VersionLocator> packed_locators GUARDED_BY(mu);
 
   // ---- Atomic read set R (§3.4) --------------------------------------------
   // Only non-NULL reads enter R, exactly as in Algorithm 1.
-  std::unordered_map<std::string, ReadSetEntry> read_set;
+  std::unordered_map<std::string, ReadSetEntry> read_set GUARDED_BY(mu);
 
   // Transactions whose versions we have read — the local GC must not drop
   // their metadata while we run (§5.1).
-  std::unordered_set<TxnId> reads_from;
+  std::unordered_set<TxnId> reads_from GUARDED_BY(mu);
 
   // Set at commit.
-  TxnId commit_id;
+  TxnId commit_id GUARDED_BY(mu);
 };
 
 }  // namespace aft

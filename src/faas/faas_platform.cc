@@ -22,19 +22,21 @@ FaasPlatform::FaasPlatform(Clock& clock, FaasOptions options)
     : clock_(clock), options_(options) {}
 
 void FaasPlatform::AcquireSlot() {
-  std::unique_lock<std::mutex> lock(slots_mu_);
-  slots_cv_.wait(lock, [this] { return used_slots_ < options_.concurrency_limit; });
+  MutexLock lock(slots_mu_);
+  while (used_slots_ >= options_.concurrency_limit) {
+    slots_cv_.Wait(lock);
+  }
   ++used_slots_;
   in_flight_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void FaasPlatform::ReleaseSlot() {
   {
-    std::lock_guard<std::mutex> lock(slots_mu_);
+    MutexLock lock(slots_mu_);
     --used_slots_;
   }
   in_flight_.fetch_sub(1, std::memory_order_relaxed);
-  slots_cv_.notify_one();
+  slots_cv_.NotifyOne();
 }
 
 Status FaasPlatform::InvokeOne(const FaasFunction& function) {

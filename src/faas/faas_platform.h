@@ -17,14 +17,13 @@
 #define SRC_FAAS_FAAS_PLATFORM_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/clock.h"
 #include "src/common/latency.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 
 namespace aft {
@@ -89,9 +88,9 @@ class FaasPlatform {
   Clock& clock_;
   const FaasOptions options_;
 
-  std::mutex slots_mu_;
-  std::condition_variable slots_cv_;
-  size_t used_slots_ = 0;
+  Mutex slots_mu_;
+  CondVar slots_cv_;
+  size_t used_slots_ GUARDED_BY(slots_mu_) = 0;
   std::atomic<size_t> in_flight_{0};
 
   FaasStats stats_;

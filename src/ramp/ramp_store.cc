@@ -64,7 +64,7 @@ void RampStore::StaggeredRound(size_t ops_in_round,
 
 Status RampStore::Prepare(const RampVersion& version, const std::string& key) {
   Shard& shard = ShardForKey(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   KeyState& state = shard.keys[key];
   state.versions[version.timestamp] = version;
   // Bounded history: prune the oldest versions below last_commit.
@@ -80,7 +80,7 @@ Status RampStore::Prepare(const RampVersion& version, const std::string& key) {
 
 Status RampStore::Commit(const std::string& key, int64_t timestamp) {
   Shard& shard = ShardForKey(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   KeyState& state = shard.keys[key];
   state.last_commit = std::max(state.last_commit, timestamp);
   return Status::Ok();
@@ -88,7 +88,7 @@ Status RampStore::Commit(const std::string& key, int64_t timestamp) {
 
 Result<RampVersion> RampStore::GetLatest(const std::string& key) {
   const Shard& shard = ShardForKey(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.keys.find(key);
   if (it == shard.keys.end() || it->second.last_commit == 0) {
     return RampVersion{};  // Bottom.
@@ -102,7 +102,7 @@ Result<RampVersion> RampStore::GetLatest(const std::string& key) {
 
 Result<RampVersion> RampStore::GetVersion(const std::string& key, int64_t timestamp) {
   const Shard& shard = ShardForKey(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.keys.find(key);
   if (it == shard.keys.end()) {
     return Status::NotFound(key);
@@ -117,7 +117,7 @@ Result<RampVersion> RampStore::GetVersion(const std::string& key, int64_t timest
 Result<RampVersion> RampStore::GetByTimestampSet(const std::string& key,
                                                  const std::vector<int64_t>& ts_set) {
   const Shard& shard = ShardForKey(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.keys.find(key);
   if (it == shard.keys.end()) {
     return RampVersion{};
@@ -132,7 +132,7 @@ Result<RampVersion> RampStore::GetByTimestampSet(const std::string& key,
 
 size_t RampStore::VersionCountForTest(const std::string& key) const {
   const Shard& shard = ShardForKey(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.keys.find(key);
   return it == shard.keys.end() ? 0 : it->second.versions.size();
 }

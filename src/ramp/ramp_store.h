@@ -23,7 +23,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -31,6 +30,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/latency.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 
 namespace aft {
@@ -101,8 +101,8 @@ class RampStore {
     int64_t last_commit = 0;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, KeyState> keys;
+    mutable Mutex mu;
+    std::unordered_map<std::string, KeyState> keys GUARDED_BY(mu);
   };
 
   Shard& ShardForKey(const std::string& key);

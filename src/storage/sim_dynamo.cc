@@ -5,7 +5,7 @@
 namespace aft {
 
 bool SimDynamo::TryLockAll(std::span<const std::string> keys) {
-  std::lock_guard<std::mutex> lock(lock_table_mu_);
+  MutexLock lock(lock_table_mu_);
   for (const std::string& key : keys) {
     if (locked_keys_.contains(key)) {
       return false;
@@ -18,7 +18,7 @@ bool SimDynamo::TryLockAll(std::span<const std::string> keys) {
 }
 
 void SimDynamo::UnlockAll(std::span<const std::string> keys) {
-  std::lock_guard<std::mutex> lock(lock_table_mu_);
+  MutexLock lock(lock_table_mu_);
   for (const std::string& key : keys) {
     locked_keys_.erase(key);
   }

@@ -15,13 +15,13 @@
 #ifndef SRC_STORAGE_SIM_DYNAMO_H_
 #define SRC_STORAGE_SIM_DYNAMO_H_
 
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/storage/sim_engine_base.h"
 
 namespace aft {
@@ -81,8 +81,8 @@ class SimDynamo final : public SimEngineBase {
 
   const LatencyModel txn_call_;
   DynamoTxnCounters txn_counters_;
-  std::mutex lock_table_mu_;
-  std::unordered_set<std::string> locked_keys_;
+  Mutex lock_table_mu_;
+  std::unordered_set<std::string> locked_keys_ GUARDED_BY(lock_table_mu_);
 };
 
 }  // namespace aft

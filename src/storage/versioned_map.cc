@@ -24,7 +24,7 @@ const VersionedMap::Shard& VersionedMap::ShardFor(const std::string& key) const 
 
 void VersionedMap::Put(const std::string& key, const std::string& value, TimePoint now) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto& history = shard.data[key];
   history.push_back(Entry{value, now});
   if (history.size() > history_depth_) {
@@ -35,7 +35,7 @@ void VersionedMap::Put(const std::string& key, const std::string& value, TimePoi
 std::optional<std::string> VersionedMap::Get(const std::string& key, TimePoint as_of,
                                              bool* was_stale) const {
   const Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.data.find(key);
   if (it == shard.data.end() || it->second.empty()) {
     return std::nullopt;
@@ -64,7 +64,7 @@ std::optional<std::string> VersionedMap::Get(const std::string& key, TimePoint a
 
 std::optional<std::string> VersionedMap::GetLatest(const std::string& key) const {
   const Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.data.find(key);
   if (it == shard.data.end() || it->second.empty()) {
     return std::nullopt;
@@ -74,7 +74,7 @@ std::optional<std::string> VersionedMap::GetLatest(const std::string& key) const
 
 void VersionedMap::Delete(const std::string& key, TimePoint now) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.data.find(key);
   if (it == shard.data.end()) {
     return;
@@ -95,7 +95,7 @@ void VersionedMap::Delete(const std::string& key, TimePoint now) {
 std::vector<std::string> VersionedMap::List(const std::string& prefix) const {
   std::vector<std::string> out;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     auto it = shard->data.lower_bound(prefix);
     for (; it != shard->data.end(); ++it) {
       if (it->first.compare(0, prefix.size(), prefix) != 0) {
@@ -112,7 +112,7 @@ std::vector<std::string> VersionedMap::List(const std::string& prefix) const {
 
 bool VersionedMap::HasHistory(const std::string& key) const {
   const Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.data.find(key);
   return it != shard.data.end() && it->second.size() > 1;
 }
@@ -120,7 +120,7 @@ bool VersionedMap::HasHistory(const std::string& key) const {
 size_t VersionedMap::ApproximateKeyCount() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->data.size();
   }
   return total;

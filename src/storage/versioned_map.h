@@ -13,12 +13,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/mutex.h"
 
 namespace aft {
 
@@ -72,8 +72,8 @@ class VersionedMap {
     TimePoint write_time;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::map<std::string, std::vector<Entry>> data;
+    mutable Mutex mu;
+    std::map<std::string, std::vector<Entry>> data GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const std::string& key);

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Concurrency-correctness gate for the AFT tree.
+#
+# Runs, in order:
+#   1. Thread Safety Analysis build (-Werror=thread-safety) — needs clang++.
+#   2. clang-tidy over src/ (bugprone-*, concurrency-*, ... per .clang-tidy).
+#   3. Full ctest suite under TSan          (AFT_SANITIZE=thread).
+#   4. Full ctest suite under ASan + UBSan  (AFT_SANITIZE=address).
+#
+# Stages whose toolchain is missing (no clang/clang-tidy) are SKIPPED with a
+# notice, not failed: GCC compiles the annotations as no-ops, so the sanitizer
+# stages still run everywhere. Exit status is non-zero iff an executed stage
+# fails.
+#
+# Usage: tools/check.sh [--quick]   (--quick: sanitizer stages build but run
+#                                    only the concurrency stress test)
+
+set -u
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAILURES=()
+SKIPS=()
+
+banner() { printf '\n==== %s ====\n' "$*"; }
+
+run_stage() {  # run_stage <name> <cmd...>
+  local name="$1"; shift
+  banner "$name"
+  if "$@"; then
+    echo "[PASS] $name"
+  else
+    echo "[FAIL] $name"
+    FAILURES+=("$name")
+  fi
+}
+
+ctest_args=(--output-on-failure -j "$JOBS")
+if [[ $QUICK -eq 1 ]]; then
+  ctest_args+=(-R concurrency_stress_test)
+fi
+
+# ---- 1. Thread Safety Analysis build ----------------------------------------
+if command -v clang++ >/dev/null 2>&1; then
+  run_stage "thread-safety analysis build (clang, -Werror=thread-safety)" \
+    bash -c "cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+               -DAFT_THREAD_SAFETY_ANALYSIS=ON > build-tsa-configure.log 2>&1 \
+             && cmake --build build-tsa -j $JOBS"
+else
+  SKIPS+=("thread-safety analysis (clang++ not installed; GCC builds the annotations as no-ops)")
+fi
+
+# ---- 2. clang-tidy over src/ -------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  run_stage "clang-tidy (src/)" bash -c '
+    cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null 2>&1 || exit 1
+    mapfile -t files < <(find src -name "*.cc")
+    clang-tidy -p build-tidy --quiet "${files[@]}"
+  '
+else
+  SKIPS+=("clang-tidy (not installed)")
+fi
+
+# ---- 3. TSan -----------------------------------------------------------------
+run_stage "build + ctest under ThreadSanitizer" bash -c "
+  cmake -B build-tsan -S . -DAFT_SANITIZE=thread > /dev/null \
+  && cmake --build build-tsan -j $JOBS > build-tsan/build.log 2>&1 \
+  && (cd build-tsan && TSAN_OPTIONS='halt_on_error=1 second_deadlock_stack=1' \
+      ctest ${ctest_args[*]})
+"
+
+# ---- 4. ASan + UBSan ---------------------------------------------------------
+run_stage "build + ctest under ASan+UBSan" bash -c "
+  cmake -B build-asan -S . -DAFT_SANITIZE=address > /dev/null \
+  && cmake --build build-asan -j $JOBS > build-asan/build.log 2>&1 \
+  && (cd build-asan && ASAN_OPTIONS='detect_leaks=1' UBSAN_OPTIONS='print_stacktrace=1' \
+      ctest ${ctest_args[*]})
+"
+
+# ---- Summary -----------------------------------------------------------------
+banner "summary"
+for s in "${SKIPS[@]:-}"; do [[ -n "$s" ]] && echo "[SKIP] $s"; done
+if [[ ${#FAILURES[@]} -gt 0 ]]; then
+  for f in "${FAILURES[@]}"; do echo "[FAIL] $f"; done
+  exit 1
+fi
+echo "all executed stages passed"

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# CI entry point mirroring .github/workflows/ci.yml for environments without
+# GitHub Actions. Runs the 3-way build/test matrix sequentially, then the
+# clang-tidy job when the toolchain is present.
+#
+#   matrix leg 1: RelWithDebInfo            (plain build, full ctest)
+#   matrix leg 2: AFT_SANITIZE=thread       (TSan, full ctest)
+#   matrix leg 3: AFT_SANITIZE=address      (ASan+UBSan, full ctest)
+
+set -u
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+rc=0
+
+leg() {  # leg <name> <build-dir> <extra cmake args...>
+  local name="$1" dir="$2"; shift 2
+  printf '\n==== CI leg: %s ====\n' "$name"
+  if cmake -B "$dir" -S . "$@" > /dev/null \
+     && cmake --build "$dir" -j "$JOBS" 2>&1 | tail -5 \
+     && (cd "$dir" && ctest --output-on-failure -j "$JOBS"); then
+    echo "[PASS] $name"
+  else
+    echo "[FAIL] $name"
+    rc=1
+  fi
+}
+
+leg "RelWithDebInfo" build-ci-rel -DCMAKE_BUILD_TYPE=RelWithDebInfo
+TSAN_OPTIONS='halt_on_error=1' \
+  leg "TSan" build-ci-tsan -DAFT_SANITIZE=thread
+ASAN_OPTIONS='detect_leaks=1' UBSAN_OPTIONS='print_stacktrace=1' \
+  leg "ASan+UBSan" build-ci-asan -DAFT_SANITIZE=address
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  printf '\n==== CI leg: clang-tidy ====\n'
+  cmake -B build-ci-rel -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  mapfile -t files < <(find src -name '*.cc')
+  if clang-tidy -p build-ci-rel --quiet "${files[@]}"; then
+    echo "[PASS] clang-tidy"
+  else
+    echo "[FAIL] clang-tidy"
+    rc=1
+  fi
+else
+  echo "[SKIP] clang-tidy (not installed)"
+fi
+
+exit $rc
