@@ -10,10 +10,13 @@
 // Knobs (environment variables):
 //   AFT_TIME_SCALE      wall seconds per simulated second (default 0.05)
 //   AFT_BENCH_REQUESTS  per-client request count override (default per bench)
+//   AFT_BENCH_JSON      append one JSON line per measured row to this file
+//                       (consumed by tools/bench.sh to build BENCH_results.json)
 
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -69,6 +72,30 @@ inline void PrintTitle(const std::string& title) {
 }
 
 inline void PrintNote(const std::string& note) { std::printf("  %s\n", note.c_str()); }
+
+// Machine-readable row sink. When AFT_BENCH_JSON names a file, every measured
+// row is appended to it as one JSON object per line; tools/bench.sh collects
+// the lines into BENCH_results.json. No-op when the variable is unset.
+inline void EmitJsonRow(const std::string& bench, const std::string& row,
+                        double p50_ms, double p99_ms, double throughput_tps,
+                        uint64_t completed) {
+  static std::FILE* sink = []() -> std::FILE* {
+    const char* path = std::getenv("AFT_BENCH_JSON");
+    if (path == nullptr || path[0] == '\0') {
+      return nullptr;
+    }
+    return std::fopen(path, "a");
+  }();
+  if (sink == nullptr) {
+    return;
+  }
+  std::fprintf(sink,
+               "{\"bench\":\"%s\",\"row\":\"%s\",\"p50_ms\":%.3f,"
+               "\"p99_ms\":%.3f,\"txn_per_s\":%.2f,\"completed\":%llu}\n",
+               bench.c_str(), row.c_str(), p50_ms, p99_ms, throughput_tps,
+               static_cast<unsigned long long>(completed));
+  std::fflush(sink);
+}
 
 }  // namespace bench
 }  // namespace aft

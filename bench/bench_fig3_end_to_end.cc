@@ -45,6 +45,8 @@ void PrintRow(const char* name, const HarnessResult& r, const PaperRef& paper,
       static_cast<unsigned long long>(r.ryw_anomalies),
       static_cast<unsigned long long>(r.fr_anomalies), paper.median, paper.p99,
       paper.ryw * scale, paper.fr * scale, consistency);
+  bench::EmitJsonRow("fig3_end_to_end", name, r.latency.median_ms, r.latency.p99_ms,
+                     r.throughput_tps, r.completed);
 }
 
 WorkloadSpec CanonicalSpec() {

@@ -51,6 +51,10 @@ std::vector<HarnessResult> RunSweep(const char* label, const PaperRow* paper,
     std::printf("  %2zu function%s  p50 %7.2f ms   p99 %8.2f ms   (paper: %5.1f / %5.1f)\n",
                 kLengths[i], kLengths[i] == 1 ? " " : "s", results.back().latency.median_ms,
                 results.back().latency.p99_ms, paper[i].median, paper[i].p99);
+    bench::EmitJsonRow("fig6_txn_length",
+                       std::string(label) + " " + std::to_string(kLengths[i]) + "f",
+                       results.back().latency.median_ms, results.back().latency.p99_ms,
+                       results.back().throughput_tps, results.back().completed);
   }
   return results;
 }

@@ -40,6 +40,10 @@ void RunSweep(const char* label, double paper_peak) {
     const HarnessResult result = env.Run(harness);
     std::printf("  %2zu clients   %7.1f txn/s   p50 %6.1f ms   p99 %7.1f ms\n", clients,
                 result.throughput_tps, result.latency.median_ms, result.latency.p99_ms);
+    bench::EmitJsonRow("fig7_single_node",
+                       std::string(label) + " " + std::to_string(clients) + "c",
+                       result.latency.median_ms, result.latency.p99_ms,
+                       result.throughput_tps, result.completed);
     last_tput = result.throughput_tps;
   }
   std::printf("  peak measured: %.0f txn/s\n", last_tput);

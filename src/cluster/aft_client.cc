@@ -54,6 +54,19 @@ Result<AftNode::VersionedRead> AftClient::GetVersioned(const TxnSession& session
   return session.node->GetVersioned(session.txid, key);
 }
 
+Result<std::vector<AftNode::VersionedRead>> AftClient::MultiGet(
+    const TxnSession& session, std::span<const std::string> keys) {
+  AFT_RETURN_IF_ERROR(CheckSession(session));
+  uint64_t bytes = 0;
+  for (const std::string& key : keys) {
+    bytes += key.size();
+  }
+  // One round trip for the whole batch (the response payload dominates the
+  // wire time either way; request fan-out happens inside the node).
+  ChargeHop(bytes);
+  return session.node->MultiGet(session.txid, keys);
+}
+
 Status AftClient::Put(const TxnSession& session, const std::string& key, std::string value) {
   AFT_RETURN_IF_ERROR(CheckSession(session));
   ChargeHop(key.size() + value.size());

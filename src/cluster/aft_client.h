@@ -50,6 +50,12 @@ class AftClient {
   // Read with version metadata (used by the evaluation harness).
   Result<AftNode::VersionedRead> GetVersioned(const TxnSession& session, const std::string& key);
 
+  // Multi-key read in ONE request to the shim: one network hop for the whole
+  // batch; the node plans Algorithm 1 across the keys and fetches the
+  // payloads concurrently (see AftNode::MultiGet). Results are positional.
+  Result<std::vector<AftNode::VersionedRead>> MultiGet(const TxnSession& session,
+                                                       std::span<const std::string> keys);
+
   Status Put(const TxnSession& session, const std::string& key, std::string value);
 
   // Ships a whole set of updates in ONE request to the shim ("the client

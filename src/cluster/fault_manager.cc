@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/io_executor.h"
 #include "src/common/logging.h"
 #include "src/storage/sim_engine_base.h"
 
@@ -61,11 +62,11 @@ size_t FaultManager::RunLivenessScanOnce() {
   if (!keys.ok()) {
     return 0;
   }
-  size_t recovered = 0;
-  std::vector<CommitRecordPtr> discovered;
   const int64_t now_micros = clock_.WallTimeMicros();
   const int64_t grace_micros =
       std::chrono::duration_cast<std::chrono::microseconds>(options_.liveness_grace).count();
+  // Phase 1 (in-memory, cheap): records in storage we have never heard of.
+  std::vector<std::string> candidates;
   for (const std::string& storage_key : keys.value()) {
     const TxnId id = TxnIdFromCommitStorageKey(storage_key);
     if (commits_.Contains(id) || commits_.HasLocallyDeleted(id)) {
@@ -74,17 +75,41 @@ size_t FaultManager::RunLivenessScanOnce() {
     if (id.timestamp > now_micros - grace_micros) {
       continue;  // Fresh commit, presumably still in flight to the gossip.
     }
-    // Bulk maintenance read: the scan is a background streaming pass.
-    auto bytes = MaintenanceRead(storage_, storage_key);
-    if (!bytes.ok()) {
-      continue;  // Deleted concurrently.
-    }
-    auto record = CommitRecord::Deserialize(bytes.value());
-    if (!record.ok()) {
-      AFT_LOG(Warn) << "fault manager: corrupt commit record at " << storage_key;
+    candidates.push_back(storage_key);
+  }
+  if (candidates.empty()) {
+    return 0;
+  }
+  // Phase 2: fetch + decode the candidates concurrently, capped so this
+  // background pass never crowds the commit path off the shared executor.
+  // Slots are disjoint per lane; a slot left null means the record was
+  // deleted concurrently (or is corrupt) and is simply skipped.
+  std::vector<CommitRecordPtr> fetched(candidates.size());
+  (void)IoExecutor::Shared().ParallelFor(
+      candidates.size(),
+      [&](size_t i) {
+        auto bytes = MaintenanceRead(storage_, candidates[i]);
+        if (!bytes.ok()) {
+          return Status::Ok();  // Deleted concurrently.
+        }
+        auto record = CommitRecord::Deserialize(bytes.value());
+        if (!record.ok()) {
+          AFT_LOG(Warn) << "fault manager: corrupt commit record at " << candidates[i];
+          return Status::Ok();
+        }
+        fetched[i] = std::make_shared<const CommitRecord>(std::move(record).value());
+        return Status::Ok();
+      },
+      options_.maintenance_parallelism);
+  // Phase 3 (serial): merge into the unpruned view. The caches are
+  // thread-safe, but merging on one thread keeps Add/AddCommit pairing
+  // trivially atomic per record.
+  size_t recovered = 0;
+  std::vector<CommitRecordPtr> discovered;
+  for (CommitRecordPtr& ptr : fetched) {
+    if (ptr == nullptr) {
       continue;
     }
-    auto ptr = std::make_shared<const CommitRecord>(std::move(record).value());
     if (commits_.Add(ptr)) {
       index_.AddCommit(*ptr);
       {
@@ -143,45 +168,60 @@ size_t FaultManager::RunGlobalGcOnce() {
   if (victims.empty()) {
     return 0;
   }
-  // One pool task per round: the expensive storage deletes run on dedicated
-  // cores (§5.2) and are batched aggressively — per-transaction delete
-  // calls would cap the deletion rate far below the commit rate.
-  delete_pool_.Submit([this, victims, nodes] {
-    std::vector<std::string> victim_keys;
-    uint64_t version_count = 0;
-    for (const auto& record : victims) {
-      if (record->packed()) {
-        for (uint32_t i = 0; i < record->segment_count; ++i) {
-          victim_keys.push_back(SegmentStorageKey(record->id.uuid, i));
+  // The expensive storage deletes run on the dedicated deletion cores
+  // (§5.2) and are batched aggressively — per-transaction delete calls
+  // would cap the deletion rate far below the commit rate. The round's
+  // victims are partitioned into up to maintenance_parallelism groups of
+  // WHOLE records, one pool task each, so every deletion core stays busy
+  // and each group's BatchDelete fans out further inside the engine.
+  // Every victim record already passed the all-nodes CanGloballyDelete
+  // vote above; splitting into groups never starts a delete before that
+  // consensus, and each group completes its own bookkeeping so no record's
+  // cleanup waits on another group's storage latency.
+  const size_t group_count =
+      std::min(victims.size(), std::max<size_t>(1, options_.maintenance_parallelism));
+  const size_t group_size = (victims.size() + group_count - 1) / group_count;
+  for (size_t begin = 0; begin < victims.size(); begin += group_size) {
+    const size_t end = std::min(victims.size(), begin + group_size);
+    std::vector<CommitRecordPtr> group(victims.begin() + begin, victims.begin() + end);
+    delete_pool_.Submit([this, group = std::move(group), nodes] {
+      std::vector<std::string> victim_keys;
+      uint64_t version_count = 0;
+      for (const auto& record : group) {
+        if (record->packed()) {
+          for (uint32_t i = 0; i < record->segment_count; ++i) {
+            victim_keys.push_back(SegmentStorageKey(record->id.uuid, i));
+          }
+          version_count += record->write_set.size();
+        } else {
+          for (const std::string& key : record->write_set) {
+            victim_keys.push_back(VersionStorageKey(key, record->id.uuid));
+            ++version_count;
+          }
         }
-        version_count += record->write_set.size();
-      } else {
-        for (const std::string& key : record->write_set) {
-          victim_keys.push_back(VersionStorageKey(key, record->id.uuid));
-          ++version_count;
+        victim_keys.push_back(CommitStorageKey(record->id));
+      }
+      (void)storage_.BatchDelete(victim_keys);
+      for (const auto& record : group) {
+        commits_.ForgetLocallyDeleted(record->id);
+        for (AftNode* node : nodes) {
+          node->AcknowledgeGlobalDelete(record->id);
         }
       }
-      victim_keys.push_back(CommitStorageKey(record->id));
-    }
-    (void)storage_.BatchDelete(victim_keys);
-    for (const auto& record : victims) {
-      commits_.ForgetLocallyDeleted(record->id);
-      for (AftNode* node : nodes) {
-        node->AcknowledgeGlobalDelete(record->id);
+      // Drop deleted writers from the orphan whitelist: if a transient
+      // storage error left a straggler version behind, the orphan sweep can
+      // now reap it (its commit record is gone, so nothing will ever
+      // reference it).
+      {
+        MutexLock lock(known_writers_mu_);
+        for (const auto& record : group) {
+          known_writers_.erase(record->id.uuid);
+        }
       }
-    }
-    // Drop deleted writers from the orphan whitelist: if a transient storage
-    // error left a straggler version behind, the orphan sweep can now reap
-    // it (its commit record is gone, so nothing will ever reference it).
-    {
-      MutexLock lock(known_writers_mu_);
-      for (const auto& record : victims) {
-        known_writers_.erase(record->id.uuid);
-      }
-    }
-    stats_.txns_deleted.fetch_add(victims.size(), std::memory_order_relaxed);
-    stats_.versions_deleted.fetch_add(version_count, std::memory_order_relaxed);
-  });
+      stats_.txns_deleted.fetch_add(group.size(), std::memory_order_relaxed);
+      stats_.versions_deleted.fetch_add(version_count, std::memory_order_relaxed);
+    });
+  }
   return victims.size();
 }
 

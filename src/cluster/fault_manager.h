@@ -54,6 +54,13 @@ struct FaultManagerOptions {
   // so deletion keeps pace with multi-node deployments committing >1500
   // txn/s — deletes are charged simulated storage latency like any client).
   size_t delete_pool_threads = 2;
+  // Fan-out cap for maintenance I/O on the shared IoExecutor: the liveness
+  // scan fetches its candidate commit records with at most this many
+  // concurrent lanes, and each global-GC round splits its victims into at
+  // most this many delete groups. Maintenance is off the critical path and
+  // must not crowd commit/read traffic off the executor, so this stays well
+  // below the executor width.
+  size_t maintenance_parallelism = 8;
 
   // Node health poll period and the modelled recovery delays (Figure 10).
   Duration detection_interval = Millis(1000);

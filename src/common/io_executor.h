@@ -1,0 +1,82 @@
+// A bounded executor for fanning one logical operation's blocking storage
+// I/O out over worker threads (§3.3: "all of the transaction's updates are
+// sent to storage in parallel").
+//
+// `ParallelFor(n, fn)` runs fn(0..n-1) concurrently and returns once EVERY
+// call has finished — it is the commit path's completion latch, so the
+// write-ordering protocol's barrier ("commit record only after every data
+// write succeeded") holds by construction.
+//
+// Design notes:
+//   - The caller PARTICIPATES: it drains the same work index as the pool
+//     workers and then waits on a per-call latch. Completion therefore never
+//     depends on pool capacity or even pool liveness — if the underlying
+//     `ThreadPool` has been shut down (`Submit` returns false; its
+//     destructor DROPS queued tasks), the caller simply runs every item
+//     inline. Commit paths must never rely on pool drain for correctness,
+//     and with this executor they never do.
+//   - Items are claimed from a shared atomic index, executed exactly once,
+//     and counted down on a per-call latch; helpers touch only per-call
+//     state kept alive by shared_ptr, so overlapping ParallelFor calls from
+//     many transactions share the pool safely.
+//   - No early exit on error: every item runs even if an earlier one failed
+//     (parallel writes already in flight cannot be recalled; stray versions
+//     are invisible without a commit record and are reaped by the orphan
+//     sweep). The FIRST error by item index is returned, which keeps the
+//     reported failure deterministic under interleaving.
+//   - Nesting is deadlock-free: a nested ParallelFor on a starved pool just
+//     degrades to the caller thread working alone.
+//
+// Lock ordering: fn must not hold any lock across a ParallelFor call that
+// fn itself acquires (the usual self-deadlock rule); the executor's own
+// internal mutex is a leaf and is never held while fn runs.
+
+#ifndef SRC_COMMON_IO_EXECUTOR_H_
+#define SRC_COMMON_IO_EXECUTOR_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+
+namespace aft {
+
+class IoExecutor {
+ public:
+  // Spawns `num_threads` helper workers. Helpers mostly sleep on simulated
+  // storage latency, so the width can comfortably exceed the hardware
+  // thread count.
+  explicit IoExecutor(size_t num_threads);
+
+  IoExecutor(const IoExecutor&) = delete;
+  IoExecutor& operator=(const IoExecutor&) = delete;
+
+  // Runs fn(0) .. fn(n-1), using up to `max_parallelism` concurrent lanes
+  // (0 = executor width; the calling thread always counts as one lane).
+  // Returns after ALL n calls have completed: OK if every call succeeded,
+  // otherwise the error of the failing call with the lowest index.
+  // n <= 1 runs entirely inline.
+  Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn,
+                     size_t max_parallelism = 0);
+
+  // Stops accepting helper work; in-flight items finish, queued helper
+  // tasks are dropped. ParallelFor remains correct afterwards (caller-only
+  // drain). Exposed for the shutdown-during-flush test.
+  void Shutdown();
+
+  size_t width() const { return pool_.num_threads(); }
+
+  // The process-wide executor shared by commit flush, multi-get reads and
+  // maintenance sweeps. Width: AFT_IO_THREADS env var, default 32.
+  // Intentionally leaked so late-exiting threads never race static
+  // destruction.
+  static IoExecutor& Shared();
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace aft
+
+#endif  // SRC_COMMON_IO_EXECUTOR_H_

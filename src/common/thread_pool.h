@@ -1,7 +1,15 @@
 // A bounded worker pool with a FIFO queue.
 //
 // Used by the FaaS platform simulator (worker slots model the provider's
-// concurrent-invocation limit) and by background deletion in the global GC.
+// concurrent-invocation limit), by background deletion in the global GC, and
+// as the lane pool behind IoExecutor.
+//
+// CONTRACT: destruction (and Shutdown) drops queued tasks that have not
+// started. Anything that must complete therefore may not rely on the pool
+// draining — either Wait() explicitly (the fault manager's delete pool) or
+// count completions on a per-call latch with the submitting thread
+// participating in the work (IoExecutor::ParallelFor, which the commit
+// flush runs on). See src/common/io_executor.h.
 
 #ifndef SRC_COMMON_THREAD_POOL_H_
 #define SRC_COMMON_THREAD_POOL_H_

@@ -2,10 +2,20 @@
 
 #include <algorithm>
 
+#include "src/common/io_executor.h"
 #include "src/common/logging.h"
 #include "src/storage/sim_engine_base.h"
 
 namespace aft {
+namespace {
+
+// A read's version selection is revalidated after the (unlocked) payload
+// fetch; concurrent operations on the same transaction can move the
+// selection, so the select-fetch-revalidate cycle retries a bounded number
+// of times before giving up with kAborted.
+constexpr int kReadStabilizeAttempts = 8;
+
+}  // namespace
 
 AftNode::AftNode(std::string node_id, StorageEngine& storage, Clock& clock, AftNodeOptions options)
     : node_id_(std::move(node_id)),
@@ -213,40 +223,225 @@ Result<AftNode::VersionedRead> AftNode::GetVersioned(const Uuid& txid, const std
   AFT_RETURN_IF_ERROR(CheckAlive());
   throttle_.Charge(ThreadLocalRng());
   AFT_ASSIGN_OR_RETURN(TxnPtr txn, FindTransaction(txid));
-  MutexLock lock(txn->mu);
-  if (txn->status != TxnStatus::kRunning) {
-    return Status::FailedPrecondition("transaction is not running");
-  }
-  stats_.reads.fetch_add(1, std::memory_order_relaxed);
 
-  // Read-your-writes (§3.5): data in the transaction's own write buffer is
-  // returned immediately and bypasses Algorithm 1 (buffered data has no
-  // commit timestamp yet, so it cannot participate).
-  if (auto it = txn->write_buffer.find(key); it != txn->write_buffer.end()) {
-    return VersionedRead{it->second, TxnId(0, txid), nullptr};
-  }
+  bool counted = false;
+  for (int attempt = 0; attempt < kReadStabilizeAttempts; ++attempt) {
+    TxnId target;
+    CommitRecordPtr record;
+    {
+      MutexLock lock(txn->mu);
+      if (txn->status != TxnStatus::kRunning) {
+        return Status::FailedPrecondition("transaction is not running");
+      }
+      if (!counted) {
+        stats_.reads.fetch_add(1, std::memory_order_relaxed);
+        counted = true;
+      }
 
-  const AtomicReadChoice choice = SelectAtomicReadVersion(key, txn->read_set, index_, commits_);
-  switch (choice.kind) {
-    case AtomicReadChoice::Kind::kNullVersion:
-      stats_.null_reads.fetch_add(1, std::memory_order_relaxed);
-      return VersionedRead{std::nullopt, TxnId::Null(), nullptr};
-    case AtomicReadChoice::Kind::kNoValidVersion:
-      // §3.6: no version of `key` is compatible with what the transaction
-      // already read; the client must abort and retry.
-      stats_.read_aborts.fetch_add(1, std::memory_order_relaxed);
-      return Status::Aborted("no valid version of '" + key + "' for this read set");
-    case AtomicReadChoice::Kind::kVersion:
-      break;
-  }
+      // Read-your-writes (§3.5): data in the transaction's own write buffer
+      // is returned immediately and bypasses Algorithm 1 (buffered data has
+      // no commit timestamp yet, so it cannot participate).
+      if (auto it = txn->write_buffer.find(key); it != txn->write_buffer.end()) {
+        return VersionedRead{it->second, TxnId(0, txid), nullptr};
+      }
 
-  AFT_ASSIGN_OR_RETURN(std::string payload,
-                       ReadVersionPayload(key, choice.version, choice.record));
-  txn->read_set[key] = ReadSetEntry{choice.version, choice.record};
-  if (txn->reads_from.insert(choice.version).second) {
-    read_pins_.Pin(choice.version);
+      const AtomicReadChoice choice =
+          SelectAtomicReadVersion(key, txn->read_set, index_, commits_);
+      switch (choice.kind) {
+        case AtomicReadChoice::Kind::kNullVersion:
+          stats_.null_reads.fetch_add(1, std::memory_order_relaxed);
+          return VersionedRead{std::nullopt, TxnId::Null(), nullptr};
+        case AtomicReadChoice::Kind::kNoValidVersion:
+          // §3.6: no version of `key` is compatible with what the
+          // transaction already read; the client must abort and retry.
+          stats_.read_aborts.fetch_add(1, std::memory_order_relaxed);
+          return Status::Aborted("no valid version of '" + key + "' for this read set");
+        case AtomicReadChoice::Kind::kVersion:
+          break;
+      }
+      // Pin the chosen version BEFORE releasing the lock: the local GC
+      // skips pinned transactions, so the version's metadata (and its
+      // record's cowritten set) stays valid across the unlocked fetch. A
+      // pin for a version that never gets installed is harmless — the
+      // commit/abort epilogue releases everything in reads_from.
+      if (txn->reads_from.insert(choice.version).second) {
+        read_pins_.Pin(choice.version);
+      }
+      target = choice.version;
+      record = choice.record;
+    }
+
+    // The storage fetch — retry backoff included — runs OUTSIDE txn->mu.
+    // Holding the transaction lock across blocking I/O stalled every other
+    // operation of the transaction (including the timeout sweeper's abort)
+    // for up to retries x backoff; with reads now fanned out concurrently
+    // it would also have been a lock-ordering hazard.
+    Result<std::string> payload = ReadVersionPayload(key, target, record);
+
+    MutexLock lock(txn->mu);
+    if (txn->status != TxnStatus::kRunning) {
+      return Status::FailedPrecondition("transaction is not running");
+    }
+    if (!payload.ok()) {
+      return payload.status();
+    }
+    // Revalidate: while unlocked, overlapping operations of this
+    // transaction (a function retry racing its original, §3.3.1) may have
+    // tightened the read set or buffered a write of this key. Install the
+    // entry only if Algorithm 1 still picks the fetched version.
+    if (auto it = txn->write_buffer.find(key); it != txn->write_buffer.end()) {
+      return VersionedRead{it->second, TxnId(0, txid), nullptr};
+    }
+    const AtomicReadChoice check = SelectAtomicReadVersion(key, txn->read_set, index_, commits_);
+    switch (check.kind) {
+      case AtomicReadChoice::Kind::kNullVersion:
+        stats_.null_reads.fetch_add(1, std::memory_order_relaxed);
+        return VersionedRead{std::nullopt, TxnId::Null(), nullptr};
+      case AtomicReadChoice::Kind::kNoValidVersion:
+        stats_.read_aborts.fetch_add(1, std::memory_order_relaxed);
+        return Status::Aborted("no valid version of '" + key + "' for this read set");
+      case AtomicReadChoice::Kind::kVersion:
+        if (check.version == target) {
+          txn->read_set[key] = ReadSetEntry{target, record};
+          return VersionedRead{std::move(payload).value(), target, record};
+        }
+        break;  // Selection moved while we fetched; fetch the new choice.
+    }
   }
-  return VersionedRead{std::move(payload), choice.version, choice.record};
+  return Status::Aborted("read of '" + key + "' did not stabilize");
+}
+
+Result<std::vector<AftNode::VersionedRead>> AftNode::MultiGet(
+    const Uuid& txid, std::span<const std::string> keys) {
+  AFT_RETURN_IF_ERROR(CheckAlive());
+  if (keys.empty()) {
+    return std::vector<VersionedRead>{};
+  }
+  // One shim request covering k keys: cheaper than k separate calls, but
+  // response assembly still scales with the batch.
+  throttle_.Charge(ThreadLocalRng(), 1.0 + 0.25 * static_cast<double>(keys.size() - 1));
+  AFT_ASSIGN_OR_RETURN(TxnPtr txn, FindTransaction(txid));
+
+  struct PlannedFetch {
+    size_t key_index;
+    TxnId version;
+    CommitRecordPtr record;
+  };
+
+  bool counted = false;
+  for (int attempt = 0; attempt < kReadStabilizeAttempts; ++attempt) {
+    std::vector<VersionedRead> out(keys.size());
+    std::vector<PlannedFetch> fetches;
+    std::vector<std::string> planned_keys;   // Keys going through Algorithm 1.
+    std::vector<TxnId> planned_versions;     // Chosen version per planned key (Null = null read).
+    std::vector<size_t> planned_index;       // Position of each planned key in `keys`.
+    uint64_t null_reads = 0;
+    {
+      MutexLock lock(txn->mu);
+      if (txn->status != TxnStatus::kRunning) {
+        return Status::FailedPrecondition("transaction is not running");
+      }
+      if (!counted) {
+        stats_.reads.fetch_add(keys.size(), std::memory_order_relaxed);
+        counted = true;
+      }
+      // Read-your-writes hits bypass Algorithm 1 (§3.5).
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (auto it = txn->write_buffer.find(keys[i]); it != txn->write_buffer.end()) {
+          out[i] = VersionedRead{it->second, TxnId(0, txid), nullptr};
+        } else {
+          planned_keys.push_back(keys[i]);
+          planned_index.push_back(i);
+        }
+      }
+      const std::vector<AtomicReadChoice> plan =
+          PlanAtomicMultiRead(planned_keys, txn->read_set, index_, commits_);
+      planned_versions.reserve(plan.size());
+      for (size_t j = 0; j < plan.size(); ++j) {
+        const AtomicReadChoice& choice = plan[j];
+        switch (choice.kind) {
+          case AtomicReadChoice::Kind::kNullVersion:
+            out[planned_index[j]] = VersionedRead{std::nullopt, TxnId::Null(), nullptr};
+            planned_versions.push_back(TxnId::Null());
+            ++null_reads;
+            break;
+          case AtomicReadChoice::Kind::kNoValidVersion:
+            stats_.read_aborts.fetch_add(1, std::memory_order_relaxed);
+            return Status::Aborted("no valid version of '" + planned_keys[j] +
+                                   "' for this read set");
+          case AtomicReadChoice::Kind::kVersion:
+            // Pin before unlocking — see GetVersioned.
+            if (txn->reads_from.insert(choice.version).second) {
+              read_pins_.Pin(choice.version);
+            }
+            planned_versions.push_back(choice.version);
+            fetches.push_back(PlannedFetch{planned_index[j], choice.version, choice.record});
+            break;
+        }
+      }
+    }
+
+    // Fetch every selected payload concurrently, outside txn->mu. Cache
+    // hits return immediately inside their lane; the misses together cost
+    // ~one storage-get latency sample instead of one per key.
+    std::vector<Result<std::string>> payloads(
+        fetches.size(), Result<std::string>(Status::Internal("fetch slot never filled")));
+    (void)IoExecutor::Shared().ParallelFor(fetches.size(), [&](size_t j) {
+      payloads[j] =
+          ReadVersionPayload(keys[fetches[j].key_index], fetches[j].version, fetches[j].record);
+      return Status::Ok();
+    });
+
+    MutexLock lock(txn->mu);
+    if (txn->status != TxnStatus::kRunning) {
+      return Status::FailedPrecondition("transaction is not running");
+    }
+    for (const Result<std::string>& payload : payloads) {
+      if (!payload.ok()) {
+        return payload.status();
+      }
+    }
+    // Revalidate the whole plan against the current read set (overlapping
+    // operations may have changed it while we fetched) and install
+    // all-or-nothing; on any drift, start the cycle over.
+    bool stable = true;
+    for (const std::string& key : planned_keys) {
+      if (txn->write_buffer.contains(key)) {
+        stable = false;  // A concurrent Put buffered this key; replan.
+        break;
+      }
+    }
+    if (stable) {
+      const std::vector<AtomicReadChoice> check =
+          PlanAtomicMultiRead(planned_keys, txn->read_set, index_, commits_);
+      for (size_t j = 0; j < check.size(); ++j) {
+        if (check[j].kind == AtomicReadChoice::Kind::kNoValidVersion) {
+          stats_.read_aborts.fetch_add(1, std::memory_order_relaxed);
+          return Status::Aborted("no valid version of '" + planned_keys[j] +
+                                 "' for this read set");
+        }
+        const TxnId now_chosen = check[j].kind == AtomicReadChoice::Kind::kVersion
+                                     ? check[j].version
+                                     : TxnId::Null();
+        if (now_chosen != planned_versions[j]) {
+          stable = false;
+          break;
+        }
+      }
+    }
+    if (!stable) {
+      continue;
+    }
+    for (size_t j = 0; j < fetches.size(); ++j) {
+      const PlannedFetch& fetch = fetches[j];
+      txn->read_set[keys[fetch.key_index]] = ReadSetEntry{fetch.version, fetch.record};
+      out[fetch.key_index] =
+          VersionedRead{std::move(payloads[j]).value(), fetch.version, fetch.record};
+    }
+    stats_.null_reads.fetch_add(null_reads, std::memory_order_relaxed);
+    return out;
+  }
+  return Status::Aborted("multi-key read did not stabilize");
 }
 
 Result<std::string> AftNode::ReadVersionPayload(const std::string& key, const TxnId& version,
@@ -362,8 +557,13 @@ Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
     return Status::Unavailable("node crashed");
   }
 
-  // Write-ordering protocol step 1 (§3.3): persist all of the transaction's
-  // key versions (automatically batched where the engine supports it).
+  // Write-ordering protocol step 1 (§3.3): persist ALL of the transaction's
+  // key versions — dispatched in parallel by the engine (batched where it
+  // has a batch API, concurrent per-key PUTs where it does not). BatchPut
+  // returns only after every write has completed (the IoExecutor's per-call
+  // latch, never the pool's drain), so a non-OK status here means the commit
+  // record must not be written: stray versions that did land are invisible
+  // orphans the sweep reaps.
   Status flushed = FlushVersions(*txn, commit_id);
   if (!flushed.ok()) {
     txn->status = TxnStatus::kRunning;  // Let the client retry or abort.

@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -152,6 +153,15 @@ class AftNode {
     CommitRecordPtr record;  // The version's commit record; may be nullptr.
   };
   Result<VersionedRead> GetVersioned(const Uuid& txid, const std::string& key);
+
+  // Table-1-style multi-key read: plans Algorithm 1 for every key in one
+  // pass (each selection folded into the read set the next key sees, so the
+  // batch equals the sequential composition), then fetches all cache-missing
+  // payloads concurrently on the shared IoExecutor. Results are positional.
+  // kNoValidVersion on ANY key aborts the whole call (kAborted), exactly
+  // like the sequential read (§3.6).
+  Result<std::vector<VersionedRead>> MultiGet(const Uuid& txid,
+                                              std::span<const std::string> keys);
 
   // Buffers an update. Keys must be non-empty and must not contain '/'.
   Status Put(const Uuid& txid, const std::string& key, std::string value);

@@ -63,6 +63,23 @@ AtomicReadChoice SelectAtomicReadVersion(
   return AtomicReadChoice{AtomicReadChoice::Kind::kNoValidVersion, TxnId::Null(), nullptr};
 }
 
+std::vector<AtomicReadChoice> PlanAtomicMultiRead(
+    std::span<const std::string> keys,
+    const std::unordered_map<std::string, ReadSetEntry>& read_set,
+    const KeyVersionIndex& index, const CommitSetCache& commits) {
+  std::vector<AtomicReadChoice> choices;
+  choices.reserve(keys.size());
+  std::unordered_map<std::string, ReadSetEntry> working = read_set;
+  for (const std::string& key : keys) {
+    AtomicReadChoice choice = SelectAtomicReadVersion(key, working, index, commits);
+    if (choice.kind == AtomicReadChoice::Kind::kVersion) {
+      working[key] = ReadSetEntry{choice.version, choice.record};
+    }
+    choices.push_back(std::move(choice));
+  }
+  return choices;
+}
+
 bool IsTransactionSuperseded(const CommitRecord& record, const KeyVersionIndex& index) {
   for (const std::string& key : record.write_set) {
     if (index.LatestVersion(key) <= record.id) {

@@ -4,8 +4,10 @@
 #ifndef SRC_CORE_READ_ALGORITHM_H_
 #define SRC_CORE_READ_ALGORITHM_H_
 
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/core/commit_set_cache.h"
 #include "src/core/key_version_index.h"
@@ -46,6 +48,19 @@ struct AtomicReadChoice {
 // never incorrect.
 AtomicReadChoice SelectAtomicReadVersion(
     const std::string& key, const std::unordered_map<std::string, ReadSetEntry>& read_set,
+    const KeyVersionIndex& index, const CommitSetCache& commits);
+
+// Runs Algorithm 1 for each key IN ORDER, folding every kVersion selection
+// into a working copy of the read set before the next key is planned: key
+// i+1 sees key i's choice exactly as if the reads had been issued
+// sequentially, so the whole batch is one valid Atomic Readset extension
+// (the multi-key read of Table 1). Returns one choice per key,
+// positionally; a kNoValidVersion entry means the batch — like its
+// sequential equivalent — must abort. The caller's `read_set` is not
+// modified (entries are installed only after the payloads are fetched).
+std::vector<AtomicReadChoice> PlanAtomicMultiRead(
+    std::span<const std::string> keys,
+    const std::unordered_map<std::string, ReadSetEntry>& read_set,
     const KeyVersionIndex& index, const CommitSetCache& commits);
 
 // Algorithm 2, generalized: T is superseded iff every key in its write set

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cmath>
 
+#include "src/common/io_executor.h"
+
 namespace aft {
 
 Rng& ThreadLocalRng() {
@@ -118,42 +120,63 @@ Status SimEngineBase::Put(const std::string& key, const std::string& value) {
   return Status::Ok();
 }
 
+std::vector<Result<std::string>> SimEngineBase::MultiGet(std::span<const std::string> keys) {
+  if (keys.size() <= 1) {
+    return StorageEngine::MultiGet(keys);
+  }
+  // Pre-size the result vector so the concurrent lanes write disjoint
+  // elements; the placeholder is unreachable (every index is filled).
+  std::vector<Result<std::string>> results(
+      keys.size(), Result<std::string>(Status::Internal("multi-get slot never filled")));
+  (void)IoExecutor::Shared().ParallelFor(keys.size(), [this, keys, &results](size_t i) {
+    results[i] = Get(keys[i]);
+    return Status::Ok();
+  });
+  return results;
+}
+
+Status SimEngineBase::PutBatchChunk(std::span<const WriteOp> chunk) {
+  counters_.batch_puts.fetch_add(1, std::memory_order_relaxed);
+  counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
+  uint64_t bytes = 0;
+  for (const WriteOp& op : chunk) {
+    bytes += op.value.size();
+  }
+  counters_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  Charge(profile_.batch_base, bytes);
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    Charge(profile_.batch_per_item);
+  }
+  if (ShouldFail()) {
+    return Status::Unavailable("transient storage error (injected)");
+  }
+  const TimePoint now = clock_.Now();
+  for (const WriteOp& op : chunk) {
+    map_.Put(op.key, op.value, now);
+  }
+  return Status::Ok();
+}
+
 Status SimEngineBase::BatchPut(std::span<const WriteOp> ops) {
   if (ops.empty()) {
     return Status::Ok();
   }
   if (!SupportsBatchPut()) {
-    // Engines without a batch API degrade to sequential writes, charging
-    // full per-op latency for each — exactly what a client library would do.
-    for (const WriteOp& op : ops) {
-      AFT_RETURN_IF_ERROR(Put(op.key, op.value));
-    }
-    return Status::Ok();
+    // No batch API: one PUT per key, dispatched concurrently (§3.3 — "all
+    // of the transaction's updates are sent to storage in parallel").
+    // `Put` stays the dispatch point so engine subclasses (and the fault
+    // injection in tests) intercept each op individually.
+    return IoExecutor::Shared().ParallelFor(
+        ops.size(), [this, ops](size_t i) { return Put(ops[i].key, ops[i].value); });
   }
-  // Chunk by the engine's batch limit (25 for DynamoDB's BatchWriteItem).
+  // Chunk by the engine's batch limit (25 for DynamoDB's BatchWriteItem)
+  // and issue the chunks concurrently.
   const size_t limit = MaxBatchSize();
-  for (size_t start = 0; start < ops.size(); start += limit) {
-    const size_t count = std::min(limit, ops.size() - start);
-    counters_.batch_puts.fetch_add(1, std::memory_order_relaxed);
-    counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
-    uint64_t bytes = 0;
-    for (size_t i = start; i < start + count; ++i) {
-      bytes += ops[i].value.size();
-    }
-    counters_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
-    Charge(profile_.batch_base, bytes);
-    for (size_t i = 0; i < count; ++i) {
-      Charge(profile_.batch_per_item);
-    }
-    if (ShouldFail()) {
-      return Status::Unavailable("transient storage error (injected)");
-    }
-    const TimePoint now = clock_.Now();
-    for (size_t i = start; i < start + count; ++i) {
-      map_.Put(ops[i].key, ops[i].value, now);
-    }
-  }
-  return Status::Ok();
+  const size_t chunks = (ops.size() + limit - 1) / limit;
+  return IoExecutor::Shared().ParallelFor(chunks, [this, ops, limit](size_t c) {
+    const size_t start = c * limit;
+    return PutBatchChunk(ops.subspan(start, std::min(limit, ops.size() - start)));
+  });
 }
 
 Status SimEngineBase::Delete(const std::string& key) {
@@ -167,28 +190,31 @@ Status SimEngineBase::Delete(const std::string& key) {
   return Status::Ok();
 }
 
+Status SimEngineBase::DeleteBatchChunk(std::span<const std::string> chunk) {
+  counters_.deletes.fetch_add(chunk.size(), std::memory_order_relaxed);
+  counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
+  Charge(profile_.batch_base);
+  const TimePoint now = clock_.Now();
+  for (const std::string& key : chunk) {
+    map_.Delete(key, now);
+  }
+  return Status::Ok();
+}
+
 Status SimEngineBase::BatchDelete(std::span<const std::string> keys) {
   if (keys.empty()) {
     return Status::Ok();
   }
   if (!SupportsBatchPut()) {
-    for (const std::string& key : keys) {
-      AFT_RETURN_IF_ERROR(Delete(key));
-    }
-    return Status::Ok();
+    return IoExecutor::Shared().ParallelFor(keys.size(),
+                                            [this, keys](size_t i) { return Delete(keys[i]); });
   }
   const size_t limit = MaxBatchSize();
-  for (size_t start = 0; start < keys.size(); start += limit) {
-    const size_t count = std::min(limit, keys.size() - start);
-    counters_.deletes.fetch_add(count, std::memory_order_relaxed);
-    counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
-    Charge(profile_.batch_base);
-    const TimePoint now = clock_.Now();
-    for (size_t i = start; i < start + count; ++i) {
-      map_.Delete(keys[i], now);
-    }
-  }
-  return Status::Ok();
+  const size_t chunks = (keys.size() + limit - 1) / limit;
+  return IoExecutor::Shared().ParallelFor(chunks, [this, keys, limit](size_t c) {
+    const size_t start = c * limit;
+    return DeleteBatchChunk(keys.subspan(start, std::min(limit, keys.size() - start)));
+  });
 }
 
 Result<std::vector<std::string>> SimEngineBase::List(const std::string& prefix) {

@@ -54,7 +54,16 @@ class SimEngineBase : public StorageEngine {
   // Native ranged read: charges the get latency for `length` bytes only.
   Result<std::string> GetRange(const std::string& key, uint64_t offset,
                                uint64_t length) override;
+  // Concurrent per-key Gets on the shared IoExecutor (a real client fans
+  // out parallel requests); k keys cost ~one get-latency sample, not k.
+  std::vector<Result<std::string>> MultiGet(std::span<const std::string> keys) override;
   Status Put(const std::string& key, const std::string& value) override;
+  // Multi-op writes dispatch concurrently on the shared IoExecutor: engines
+  // without a batch API issue per-key Puts in parallel, batch engines issue
+  // their MaxBatchSize() chunks in parallel. Like the real APIs, the batch
+  // is NOT atomic — every op is attempted even after one fails (in-flight
+  // parallel writes cannot be recalled) and the first error by op index is
+  // returned.
   Status BatchPut(std::span<const WriteOp> ops) override;
   Status Delete(const std::string& key) override;
   Status BatchDelete(std::span<const std::string> keys) override;
@@ -78,6 +87,10 @@ class SimEngineBase : public StorageEngine {
  protected:
   // Sleeps for one sample of `model` with the given payload size.
   void Charge(const LatencyModel& model, uint64_t bytes = 0);
+
+  // One batched API call covering `chunk` (size <= MaxBatchSize()).
+  Status PutBatchChunk(std::span<const WriteOp> chunk);
+  Status DeleteBatchChunk(std::span<const std::string> chunk);
 
   // The timestamp this read observes the store at: `Now()` for consistent
   // engines / fresh reads, an earlier instant for stale reads. Staleness is

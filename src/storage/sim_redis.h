@@ -5,8 +5,9 @@
 //  * linearizable within a shard, no guarantees across shards — reads are
 //    never stale, but multi-key operations are not atomic across shards;
 //  * MSET exists but "can only modify keys in a single shard", so a client
-//    writing arbitrary keys cannot batch: BatchPut degrades to sequential
-//    SETs (1 API call per write), exactly as the paper describes for AFT-R.
+//    writing arbitrary keys cannot batch: BatchPut degrades to one SET per
+//    write (1 API call each, issued concurrently), exactly as the paper
+//    describes for AFT-R.
 
 #ifndef SRC_STORAGE_SIM_REDIS_H_
 #define SRC_STORAGE_SIM_REDIS_H_

@@ -62,6 +62,14 @@ class StorageEngine {
   // range support override this to charge only the bytes transferred.
   virtual Result<std::string> GetRange(const std::string& key, uint64_t offset, uint64_t length);
 
+  // Reads many keys at once; returns one Result per key, positionally
+  // (missing keys are kNotFound entries, never a whole-call failure). The
+  // default issues sequential Gets; the simulated engines override it to
+  // dispatch the gets concurrently, the way real client libraries fan out
+  // parallel requests, so a k-key read costs ~one latency sample instead
+  // of k.
+  virtual std::vector<Result<std::string>> MultiGet(std::span<const std::string> keys);
+
   // Durably writes `key = value`, overwriting any previous value.
   virtual Status Put(const std::string& key, const std::string& value) = 0;
 
@@ -102,6 +110,16 @@ inline Result<std::string> StorageEngine::GetRange(const std::string& key, uint6
     return Status::InvalidArgument("range offset beyond object size");
   }
   return whole.substr(offset, length);
+}
+
+inline std::vector<Result<std::string>> StorageEngine::MultiGet(
+    std::span<const std::string> keys) {
+  std::vector<Result<std::string>> results;
+  results.reserve(keys.size());
+  for (const std::string& key : keys) {
+    results.push_back(Get(key));
+  }
+  return results;
 }
 
 }  // namespace aft

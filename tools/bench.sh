@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Benchmark runner: builds the headline paper benches, runs them with
+# machine-readable row output (AFT_BENCH_JSON), and assembles the rows into
+# BENCH_results.json — txn/s + p50/p99 per engine/config. Committed snapshots
+# of this file give the repo a perf trajectory across PRs:
+#
+#   BENCH_baseline.json   recorded BEFORE the parallel storage I/O layer
+#   BENCH_results.json    the current tree
+#
+# Usage: tools/bench.sh [--smoke] [--out FILE]
+#
+#   --smoke   tiny op counts + aggressive time scale; finishes in well under a
+#             minute and exists to catch parallel-I/O regressions that
+#             deadlock, crash, or serialize (each bench runs under `timeout`).
+#   --out     output path (default BENCH_results.json).
+#
+# Environment:
+#   AFT_BENCH_BUILD_DIR   build tree to (re)use             (default: build)
+#   AFT_BENCH_TIMEOUT     per-bench timeout in seconds      (default: 900;
+#                                                            smoke: 120)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_results.json
+SMOKE=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE=1 ;;
+    --out) OUT="$2"; shift ;;
+    *) echo "usage: tools/bench.sh [--smoke] [--out FILE]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+BUILD_DIR="${AFT_BENCH_BUILD_DIR:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+BENCHES=(bench_fig3_end_to_end bench_fig6_txn_length bench_fig7_single_node bench_parallel_io)
+
+if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+cmake --build "$BUILD_DIR" -j "$JOBS" --target "${BENCHES[@]}"
+
+ROWS="$(mktemp)"
+trap 'rm -f "$ROWS"' EXIT
+
+if [[ $SMOKE -eq 1 ]]; then
+  # Tiny runs: 3 requests per client, simulated latencies compressed 50x.
+  # Numbers are meaningless; the point is that every bench terminates and
+  # emits its rows (a deadlocked executor trips the timeout, a serialized
+  # one shows up as a CI-time regression).
+  export AFT_BENCH_REQUESTS=3
+  export AFT_TIME_SCALE=0.02
+  TIMEOUT="${AFT_BENCH_TIMEOUT:-120}"
+  MODE=smoke
+else
+  TIMEOUT="${AFT_BENCH_TIMEOUT:-900}"
+  MODE=full
+fi
+
+for bench in "${BENCHES[@]}"; do
+  echo
+  echo "==== running $bench (timeout ${TIMEOUT}s) ===="
+  AFT_BENCH_JSON="$ROWS" timeout "$TIMEOUT" "$BUILD_DIR/bench/$bench"
+done
+
+for bench in "${BENCHES[@]}"; do
+  row_bench="${bench#bench_}"
+  if ! grep -q "\"bench\":\"${row_bench}\"" "$ROWS"; then
+    echo "error: $bench emitted no rows" >&2
+    exit 1
+  fi
+done
+
+{
+  printf '{\n'
+  printf '  "mode": "%s",\n' "$MODE"
+  printf '  "generated_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  printf '  "results": [\n'
+  awk 'NR > 1 { printf ",\n" } { printf "    %s", $0 } END { printf "\n" }' "$ROWS"
+  printf '  ]\n'
+  printf '}\n'
+} > "$OUT"
+
+echo
+echo "wrote $OUT ($(grep -c '"bench"' "$OUT") rows, mode=$MODE)"
