@@ -1,0 +1,161 @@
+// Transport microbench: what does the real TCP boundary cost?
+//
+// Runs the same commit and MultiGet workloads twice — directly against an
+// AftNode (in-proc, the original call path) and through AftServiceServer +
+// RemoteAftClient over loopback TCP (framing, CRC, two socket hops per op) —
+// and reports p50/p99 per path. Storage latencies are zeroed so the rows
+// isolate pure shim + wire overhead, and all numbers here are WALL-CLOCK
+// milliseconds (the wire is real hardware; the simulated time scale does not
+// apply to it).
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/stats.h"
+#include "src/core/aft_node.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/storage/sim_dynamo.h"
+
+namespace aft {
+namespace {
+
+using bench::BenchClock;
+using bench::EmitJsonRow;
+using bench::GetEnvLong;
+using bench::PrintTitle;
+
+SimDynamoOptions InstantDynamo() {
+  SimDynamoOptions options;
+  options.profile = EngineLatencyProfile{LatencyModel::Zero(), LatencyModel::Zero(),
+                                         LatencyModel::Zero(), LatencyModel::Zero(),
+                                         LatencyModel::Zero(), LatencyModel::Zero()};
+  options.staleness = StalenessModel{};
+  options.txn_call = LatencyModel::Zero();
+  return options;
+}
+
+void Check(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench_net: %s: %s\n", what, s.ToString().c_str());
+    std::abort();
+  }
+}
+
+double WallMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string Key(size_t i) { return "net" + std::to_string(i); }
+
+// One commit (1 put) per iteration, in-proc.
+void RunInProcCommit(AftNode& node, long reps) {
+  LatencyRecorder lat;
+  for (long r = 0; r < reps; ++r) {
+    auto txid = node.StartTransaction();
+    Check(txid.status(), "StartTransaction");
+    Check(node.Put(*txid, Key(0), "v"), "Put");
+    const auto start = std::chrono::steady_clock::now();
+    Check(node.CommitTransaction(*txid).status(), "Commit");
+    lat.RecordMillis(WallMs(start));
+  }
+  const LatencySummary s = lat.Summarize();
+  std::printf("  in-proc commit        p50 %7.3f ms   p99 %7.3f ms\n", s.median_ms, s.p99_ms);
+  EmitJsonRow("net", "inproc commit", s.median_ms, s.p99_ms, 0.0, static_cast<uint64_t>(reps));
+}
+
+void RunTcpCommit(net::RemoteAftClient& client, long reps) {
+  LatencyRecorder lat;
+  for (long r = 0; r < reps; ++r) {
+    auto session = client.StartTransaction();
+    Check(session.status(), "StartTransaction");
+    Check(client.Put(*session, Key(0), "v"), "Put");
+    const auto start = std::chrono::steady_clock::now();
+    Check(client.Commit(*session).status(), "Commit");
+    lat.RecordMillis(WallMs(start));
+  }
+  const LatencySummary s = lat.Summarize();
+  std::printf("  loopback-TCP commit   p50 %7.3f ms   p99 %7.3f ms\n", s.median_ms, s.p99_ms);
+  EmitJsonRow("net", "tcp commit", s.median_ms, s.p99_ms, 0.0, static_cast<uint64_t>(reps));
+}
+
+// MultiGet fan-out: one request, `keys` keys, both paths.
+void RunMultiGet(AftNode& node, net::RemoteAftClient& client, size_t keys, long reps) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < keys; ++i) {
+    names.push_back(Key(i));
+  }
+  LatencyRecorder inproc;
+  for (long r = 0; r < reps; ++r) {
+    auto txid = node.StartTransaction();
+    Check(txid.status(), "StartTransaction");
+    const auto start = std::chrono::steady_clock::now();
+    Check(node.MultiGet(*txid, names).status(), "MultiGet");
+    inproc.RecordMillis(WallMs(start));
+    Check(node.AbortTransaction(*txid), "Abort");
+  }
+  LatencyRecorder tcp;
+  for (long r = 0; r < reps; ++r) {
+    auto session = client.StartTransaction();
+    Check(session.status(), "StartTransaction");
+    const auto start = std::chrono::steady_clock::now();
+    Check(client.MultiGet(*session, names).status(), "MultiGet");
+    tcp.RecordMillis(WallMs(start));
+    Check(client.Abort(*session), "Abort");
+  }
+  const LatencySummary si = inproc.Summarize();
+  const LatencySummary st = tcp.Summarize();
+  std::printf("  multiget %2zu keys      in-proc p50 %7.3f ms   tcp p50 %7.3f ms   tcp p99 %7.3f ms\n",
+              keys, si.median_ms, st.median_ms, st.p99_ms);
+  EmitJsonRow("net", "inproc multiget " + std::to_string(keys) + "k", si.median_ms, si.p99_ms,
+              0.0, static_cast<uint64_t>(reps));
+  EmitJsonRow("net", "tcp multiget " + std::to_string(keys) + "k", st.median_ms, st.p99_ms, 0.0,
+              static_cast<uint64_t>(reps));
+}
+
+}  // namespace
+}  // namespace aft
+
+int main() {
+  using namespace aft;
+
+  const long reps = bench::GetEnvLong("AFT_BENCH_REQUESTS", 500);
+  bench::PrintTitle("net transport overhead: in-proc vs loopback TCP (wall-clock ms)");
+  std::printf("  %ld requests per row\n", reps);
+
+  Clock& clock = bench::BenchClock();
+  SimDynamo storage(clock, InstantDynamo());
+  AftNodeOptions node_options;
+  node_options.service_cores = 0;  // Measure transport, not simulated CPU.
+  AftNode node("bench-net", storage, clock, node_options);
+  Check(node.Start(), "node Start");
+
+  net::AftServiceServer server(node);
+  Check(server.Start(), "server Start");
+  net::RemoteAftClient client({server.endpoint()});
+
+  // Seed the keys the MultiGet sweep reads.
+  {
+    auto txid = node.StartTransaction();
+    Check(txid.status(), "seed StartTransaction");
+    for (size_t i = 0; i < 10; ++i) {
+      Check(node.Put(*txid, Key(i), std::string(512, 's')), "seed Put");
+    }
+    Check(node.CommitTransaction(*txid).status(), "seed Commit");
+  }
+
+  RunInProcCommit(node, reps);
+  RunTcpCommit(client, reps);
+  for (size_t keys : {1, 5, 10}) {
+    RunMultiGet(node, client, keys, reps);
+  }
+
+  std::printf("\n  server: %llu requests over %llu connections\n",
+              static_cast<unsigned long long>(server.stats().requests_served.load()),
+              static_cast<unsigned long long>(server.stats().connections_accepted.load()));
+  server.Stop();
+  return 0;
+}

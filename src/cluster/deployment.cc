@@ -2,12 +2,24 @@
 
 namespace aft {
 
+namespace {
+
+std::unique_ptr<MulticastBus> MakeBus(ClusterTransport transport, Clock& clock,
+                                      Duration interval) {
+  if (transport == ClusterTransport::kTcp) {
+    return std::make_unique<net::TcpMulticastBus>(clock, interval);
+  }
+  return std::make_unique<InProcMulticastBus>(clock, interval);
+}
+
+}  // namespace
+
 ClusterDeployment::ClusterDeployment(StorageEngine& storage, Clock& clock, ClusterOptions options)
     : storage_(storage),
       clock_(clock),
       options_(std::move(options)),
-      bus_(clock, options_.multicast_interval),
-      fault_manager_(clock, storage, balancer_, bus_, options_.fault_manager) {
+      bus_(MakeBus(options_.transport, clock, options_.multicast_interval)),
+      fault_manager_(clock, storage, balancer_, *bus_, options_.fault_manager) {
   fault_manager_.SetNodeFactory([this](const std::string& node_id) { return CreateNode(node_id); });
 }
 
@@ -28,7 +40,7 @@ Status ClusterDeployment::Start() {
   }
   started_.store(true, std::memory_order_release);
   if (options_.start_background_threads) {
-    bus_.Start();
+    bus_->Start();
     fault_manager_.Start();
   }
   return Status::Ok();
@@ -44,7 +56,7 @@ AftNode* ClusterDeployment::AddNode() {
   if (!node->Start().ok()) {
     return nullptr;
   }
-  bus_.RegisterNode(node);
+  bus_->RegisterNode(node);
   fault_manager_.Manage(node);
   balancer_.AddNode(node);
   return node;
@@ -62,7 +74,14 @@ void ClusterDeployment::Stop() {
     return;
   }
   fault_manager_.Stop();
-  bus_.Stop();
+  bus_->Stop();
+}
+
+std::vector<net::NetEndpoint> ClusterDeployment::ServiceEndpoints() const {
+  if (options_.transport != ClusterTransport::kTcp) {
+    return {};
+  }
+  return static_cast<const net::TcpMulticastBus&>(*bus_).Endpoints();
 }
 
 AftNode* ClusterDeployment::node(size_t index) {

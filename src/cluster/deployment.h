@@ -15,14 +15,26 @@
 #include "src/cluster/load_balancer.h"
 #include "src/cluster/multicast_bus.h"
 #include "src/core/aft_node.h"
+#include "src/net/tcp_multicast_bus.h"
 
 namespace aft {
+
+// How records and requests move between the deployment's nodes:
+//   * kInProc — direct method calls on the shared heap (the original mode);
+//   * kTcp   — every node behind its own loopback AftServiceServer, commit
+//     multicast shipped as framed ApplyCommits RPCs (src/net). The same
+//     protocol logic runs in both; kTcp proves it survives a real socket.
+enum class ClusterTransport {
+  kInProc,
+  kTcp,
+};
 
 struct ClusterOptions {
   size_t num_nodes = 1;
   AftNodeOptions node_options;
   Duration multicast_interval = Millis(1000);
   FaultManagerOptions fault_manager;
+  ClusterTransport transport = ClusterTransport::kInProc;
   // When true, Start() launches the bus / fault-manager / per-node
   // background threads; tests that drive rounds manually leave this off.
   bool start_background_threads = true;
@@ -48,10 +60,15 @@ class ClusterDeployment {
   void KillNode(size_t index);
 
   LoadBalancer& balancer() { return balancer_; }
-  MulticastBus& bus() { return bus_; }
+  MulticastBus& bus() { return *bus_; }
   FaultManager& fault_manager() { return fault_manager_; }
   Clock& clock() { return clock_; }
   StorageEngine& storage() { return storage_; }
+  ClusterTransport transport() const { return options_.transport; }
+
+  // kTcp only: the loopback service endpoints of all nodes, in node order —
+  // what a RemoteAftClient connects to. Empty in kInProc mode.
+  std::vector<net::NetEndpoint> ServiceEndpoints() const;
 
   AftNode* node(size_t index);
   size_t node_count() const;
@@ -64,7 +81,8 @@ class ClusterDeployment {
   const ClusterOptions options_;
 
   LoadBalancer balancer_;
-  MulticastBus bus_;
+  // Constructed before fault_manager_ (which keeps a reference).
+  std::unique_ptr<MulticastBus> bus_;
   FaultManager fault_manager_;
 
   mutable Mutex nodes_mu_;

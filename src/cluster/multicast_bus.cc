@@ -4,28 +4,29 @@
 
 namespace aft {
 
-MulticastBus::MulticastBus(Clock& clock, Duration interval) : clock_(clock), interval_(interval) {}
+InProcMulticastBus::InProcMulticastBus(Clock& clock, Duration interval)
+    : MulticastBus(clock, interval) {}
 
-MulticastBus::~MulticastBus() { Stop(); }
+InProcMulticastBus::~InProcMulticastBus() { Stop(); }
 
-void MulticastBus::RegisterNode(AftNode* node) {
+void InProcMulticastBus::RegisterNode(AftNode* node) {
   MutexLock lock(mu_);
   if (std::find(nodes_.begin(), nodes_.end(), node) == nodes_.end()) {
     nodes_.push_back(node);
   }
 }
 
-void MulticastBus::UnregisterNode(AftNode* node) {
+void InProcMulticastBus::UnregisterNode(AftNode* node) {
   MutexLock lock(mu_);
   nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), node), nodes_.end());
 }
 
-void MulticastBus::SetFaultManagerSink(FaultManagerSink sink) {
+void InProcMulticastBus::SetFaultManagerSink(FaultManagerSink sink) {
   MutexLock lock(mu_);
   fault_manager_sink_ = std::move(sink);
 }
 
-void MulticastBus::RunOnce() {
+void InProcMulticastBus::RunOnce() {
   std::vector<AftNode*> nodes;
   FaultManagerSink sink;
   {
@@ -34,7 +35,7 @@ void MulticastBus::RunOnce() {
     sink = fault_manager_sink_;
   }
   stats_.rounds.fetch_add(1, std::memory_order_relaxed);
-  const bool prune = pruning_enabled_.load();
+  const bool prune = pruning_enabled();
   for (AftNode* sender : nodes) {
     if (!sender->alive()) {
       continue;  // A dead node cannot gossip; the fault manager's storage
@@ -62,35 +63,6 @@ void MulticastBus::RunOnce() {
         receiver->ApplyRemoteCommits(outgoing);
       }
     }
-  }
-}
-
-void MulticastBus::Start() {
-  bool expected = false;
-  if (!running_.compare_exchange_strong(expected, true)) {
-    return;
-  }
-  thread_ = std::thread([this] { Loop(); });
-}
-
-void MulticastBus::Stop() {
-  if (!running_.exchange(false)) {
-    return;
-  }
-  if (thread_.joinable()) {
-    thread_.join();
-  }
-  // Final drain so no committed record is stranded in a node's pending list.
-  RunOnce();
-}
-
-void MulticastBus::Loop() {
-  while (running_.load()) {
-    clock_.SleepFor(interval_);
-    if (!running_.load()) {
-      return;
-    }
-    RunOnce();
   }
 }
 

@@ -3,9 +3,17 @@
 // Every `interval` (1 second in the paper), each node's recently committed
 // transactions are gathered and broadcast to all peers, pruned of locally
 // superseded transactions (§4.1). The *unpruned* stream is forwarded to the
-// fault manager (§4.2). This is an in-process stand-in for the background
-// multicast thread each node runs in the real deployment; message and record
-// counters let the ablation bench quantify the pruning optimization.
+// fault manager (§4.2). Message and record counters let the ablation bench
+// quantify the pruning optimization.
+//
+// `MulticastBus` is the transport-neutral interface: the fault manager and
+// cluster tests drive gossip through it without caring how records move.
+// Two implementations exist:
+//   * `InProcMulticastBus` (below) — direct method calls, the original
+//     in-process stand-in;
+//   * `TcpMulticastBus` (src/net/tcp_multicast_bus.h) — real loopback TCP:
+//     records are framed, checksummed, and applied by each peer's service
+//     endpoint, so the protocol survives an actual socket boundary.
 
 #ifndef SRC_CLUSTER_MULTICAST_BUS_H_
 #define SRC_CLUSTER_MULTICAST_BUS_H_
@@ -26,49 +34,112 @@ struct MulticastStats {
   std::atomic<uint64_t> records_broadcast{0};
   std::atomic<uint64_t> records_pruned{0};
   std::atomic<uint64_t> records_to_fault_manager{0};
+  // Broadcast deliveries that failed in the transport (always 0 in-process;
+  // over TCP: peer connection refused/reset mid-gossip). Undelivered records
+  // are NOT retried by the bus — the fault manager's storage scan is the
+  // recovery path for anything gossip loses (§4.2).
+  std::atomic<uint64_t> delivery_errors{0};
 };
 
+// Transport-neutral gossip interface. Implementations own the membership
+// list; `Start`/`Stop` drive the shared background loop (one `RunOnce` per
+// `interval`), with `Stop` performing a final drain so no committed record is
+// stranded in a node's pending list.
+// Base methods are defined inline so transport implementations in other
+// libraries (src/net) depend only on this header, not on aft_cluster.
 class MulticastBus {
  public:
   using FaultManagerSink = std::function<void(const std::vector<CommitRecordPtr>&)>;
 
-  explicit MulticastBus(Clock& clock, Duration interval = Millis(1000));
-  ~MulticastBus();
+  MulticastBus(Clock& clock, Duration interval) : clock_(clock), interval_(interval) {}
+
+  virtual ~MulticastBus() {
+    // Concrete destructors are required to have called Stop() already (the
+    // final drain needs their RunOnce). If one forgot, still join the thread
+    // — without the drain — so we never destruct with a live loop.
+    if (running_.exchange(false) && thread_.joinable()) {
+      thread_.join();
+    }
+  }
 
   MulticastBus(const MulticastBus&) = delete;
   MulticastBus& operator=(const MulticastBus&) = delete;
 
-  void RegisterNode(AftNode* node);
-  void UnregisterNode(AftNode* node);
+  virtual void RegisterNode(AftNode* node) = 0;
+  virtual void UnregisterNode(AftNode* node) = 0;
 
   // Receives every committed transaction WITHOUT pruning (§4.2).
-  void SetFaultManagerSink(FaultManagerSink sink);
+  virtual void SetFaultManagerSink(FaultManagerSink sink) = 0;
+
+  // One gossip round: drain every node, forward unpruned records to the
+  // fault manager, deliver pruned records to all *other* nodes.
+  virtual void RunOnce() = 0;
 
   // Disables supersedence pruning (ablation bench).
   void set_pruning_enabled(bool enabled) { pruning_enabled_.store(enabled); }
 
-  // One gossip round: drain every node, forward unpruned records to the
-  // fault manager, deliver pruned records to all *other* nodes.
-  void RunOnce();
+  // Background driver. Concrete destructors MUST call Stop() before their
+  // members are torn down (the loop calls the virtual RunOnce).
+  void Start() {
+    bool expected = false;
+    if (!running_.compare_exchange_strong(expected, true)) {
+      return;
+    }
+    thread_ = std::thread([this] { Loop(); });
+  }
 
-  // Background driver.
-  void Start();
-  void Stop();
+  void Stop() {
+    if (!running_.exchange(false)) {
+      return;
+    }
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+    // Final drain so no committed record is stranded in a node's pending list.
+    RunOnce();
+  }
 
   const MulticastStats& stats() const { return stats_; }
 
- private:
-  void Loop();
+ protected:
+  bool pruning_enabled() const { return pruning_enabled_.load(); }
 
   Clock& clock_;
   const Duration interval_;
-  Mutex mu_;
-  std::vector<AftNode*> nodes_ GUARDED_BY(mu_);
-  FaultManagerSink fault_manager_sink_ GUARDED_BY(mu_);
+  MulticastStats stats_;
+
+ private:
+  void Loop() {
+    while (running_.load()) {
+      clock_.SleepFor(interval_);
+      if (!running_.load()) {
+        return;
+      }
+      RunOnce();
+    }
+  }
+
   std::atomic<bool> pruning_enabled_{true};
   std::atomic<bool> running_{false};
   std::thread thread_;
-  MulticastStats stats_;
+};
+
+// The original in-process implementation: peers exchange records by direct
+// method call on the shared heap.
+class InProcMulticastBus : public MulticastBus {
+ public:
+  explicit InProcMulticastBus(Clock& clock, Duration interval = Millis(1000));
+  ~InProcMulticastBus() override;
+
+  void RegisterNode(AftNode* node) override;
+  void UnregisterNode(AftNode* node) override;
+  void SetFaultManagerSink(FaultManagerSink sink) override;
+  void RunOnce() override;
+
+ private:
+  Mutex mu_;
+  std::vector<AftNode*> nodes_ GUARDED_BY(mu_);
+  FaultManagerSink fault_manager_sink_ GUARDED_BY(mu_);
 };
 
 }  // namespace aft

@@ -115,6 +115,12 @@ class BinaryReader {
     if (!GetU32(&count)) {
       return false;
     }
+    // Every element costs at least its 4-byte length prefix, so a count the
+    // remaining bytes cannot possibly back is corrupt (or hostile — the
+    // count may come off the wire; never reserve unbounded memory from it).
+    if (count > remaining() / 4) {
+      return false;
+    }
     out->clear();
     out->reserve(count);
     for (uint32_t i = 0; i < count; ++i) {

@@ -80,6 +80,12 @@ Result<CommitRecord> CommitRecord::Deserialize(const std::string& bytes) {
       !r.GetU32(&record.segment_count) || !r.GetU32(&locator_count)) {
     return Status::Internal("corrupt commit record");
   }
+  // A locator is a length-prefixed key plus three u32s (>= 16 bytes); records
+  // arrive over the gossip wire, so bound the reserve by what the remaining
+  // bytes could actually hold.
+  if (locator_count > r.remaining() / 16) {
+    return Status::Internal("corrupt commit record locator count");
+  }
   record.locators.reserve(locator_count);
   for (uint32_t i = 0; i < locator_count; ++i) {
     VersionLocator locator;

@@ -1,0 +1,223 @@
+#include "src/net/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace aft {
+namespace net {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+bool IsTransportError(const Status& status) {
+  return status.code() == StatusCode::kUnavailable || status.code() == StatusCode::kTimeout;
+}
+
+}  // namespace
+
+RemoteAftClient::RemoteAftClient(std::vector<NetEndpoint> endpoints,
+                                 RemoteAftClientOptions options)
+    : options_(options) {
+  channels_.reserve(endpoints.size());
+  for (NetEndpoint& endpoint : endpoints) {
+    channels_.push_back(std::make_unique<Channel>(std::move(endpoint)));
+  }
+}
+
+RemoteAftClient::~RemoteAftClient() = default;
+
+Result<std::string> RemoteAftClient::CallOnce(Channel& channel, MessageType type,
+                                              const std::string& request, Duration remaining) {
+  if (remaining <= Duration::zero()) {
+    return Status::Timeout("call deadline exceeded before attempt to " +
+                           channel.endpoint.ToString());
+  }
+  if (!channel.connected) {
+    const Duration dial_budget = std::min(remaining, options_.connect_timeout);
+    auto socket = TcpConnect(channel.endpoint, dial_budget);
+    if (!socket.ok()) {
+      return socket.status();
+    }
+    channel.socket = std::move(socket).value();
+    (void)channel.socket.SetNoDelay();
+    channel.connected = true;
+    if (channel.ever_connected) {
+      stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
+    }
+    channel.ever_connected = true;
+  }
+  (void)channel.socket.SetSendTimeout(remaining);
+  (void)channel.socket.SetRecvTimeout(remaining);
+  stats_.rpcs_sent.fetch_add(1, std::memory_order_relaxed);
+  const Status sent = WriteFrame(channel.socket, type, request);
+  Result<Frame> frame = sent.ok() ? ReadFrame(channel.socket) : Result<Frame>(sent);
+  if (frame.ok() && frame->type != ResponseType(type)) {
+    // A reply for the wrong request means the stream is out of sync; the
+    // only safe recovery is a fresh connection.
+    frame = Status::Unavailable(std::string("response type mismatch: expected ") +
+                                std::string(MessageTypeName(ResponseType(type))) + ", got " +
+                                std::string(MessageTypeName(frame->type)));
+  }
+  if (!frame.ok()) {
+    // Any failure mid-RPC leaves the stream unusable (a late reply would be
+    // matched to the wrong request): tear the pooled connection down so the
+    // next attempt re-dials.
+    channel.socket.Close();
+    channel.connected = false;
+    return frame.status();
+  }
+  return std::move(frame->payload);
+}
+
+Result<std::string> RemoteAftClient::Call(size_t endpoint, MessageType type,
+                                          const std::string& request) {
+  if (endpoint >= channels_.size()) {
+    return Status::InvalidArgument("endpoint index out of range");
+  }
+  Channel& channel = *channels_[endpoint];
+  const SteadyClock::time_point deadline = SteadyClock::now() + options_.call_timeout;
+  Duration backoff = options_.initial_backoff;
+  Status last = Status::Timeout("call budget exhausted before first attempt");
+  const int max_attempts = std::max(options_.max_attempts, 1);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      stats_.retries.fetch_add(1, std::memory_order_relaxed);
+    }
+    Result<std::string> payload = [&]() -> Result<std::string> {
+      const Duration remaining =
+          std::chrono::duration_cast<Duration>(deadline - SteadyClock::now());
+      MutexLock lock(channel.mu);
+      return CallOnce(channel, type, request, remaining);
+    }();
+    if (payload.ok() || !IsTransportError(payload.status())) {
+      return payload;
+    }
+    last = payload.status();
+    // Capped exponential backoff, but never sleep past the call deadline.
+    const Duration remaining = std::chrono::duration_cast<Duration>(deadline - SteadyClock::now());
+    if (remaining <= backoff) {
+      break;
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, options_.max_backoff);
+  }
+  return Status(last.code(),
+                "rpc to " + channel.endpoint.ToString() + " failed after retries: " + last.message());
+}
+
+Status RemoteAftClient::CheckSession(const RemoteTxnSession& session) const {
+  if (!session.valid()) {
+    return Status::InvalidArgument("invalid session: no transaction started");
+  }
+  if (session.endpoint >= channels_.size()) {
+    return Status::InvalidArgument("invalid session: endpoint index out of range");
+  }
+  return Status::Ok();
+}
+
+Result<RemoteTxnSession> RemoteAftClient::StartTransaction() {
+  if (channels_.empty()) {
+    return Status::FailedPrecondition("no endpoints configured");
+  }
+  const size_t endpoint = next_endpoint_.fetch_add(1, std::memory_order_relaxed) % channels_.size();
+  AFT_ASSIGN_OR_RETURN(std::string payload,
+                       Call(endpoint, MessageType::kStartTxn, StartTxnRequest{}.Serialize()));
+  AFT_ASSIGN_OR_RETURN(StartTxnResponse response, StartTxnResponse::Deserialize(payload));
+  RemoteTxnSession session;
+  session.endpoint = endpoint;
+  session.txid = response.txid;
+  session.started = true;
+  return session;
+}
+
+Status RemoteAftClient::Resume(const RemoteTxnSession& session) {
+  AFT_RETURN_IF_ERROR(CheckSession(session));
+  AdoptTxnRequest request;
+  request.txid = session.txid;
+  AFT_ASSIGN_OR_RETURN(std::string payload,
+                       Call(session.endpoint, MessageType::kAdoptTxn, request.Serialize()));
+  return DeserializeEmptyResponse(payload);
+}
+
+Result<std::optional<std::string>> RemoteAftClient::Get(const RemoteTxnSession& session,
+                                                        const std::string& key) {
+  AFT_ASSIGN_OR_RETURN(AftNode::VersionedRead read, GetVersioned(session, key));
+  return std::move(read.value);
+}
+
+Result<AftNode::VersionedRead> RemoteAftClient::GetVersioned(const RemoteTxnSession& session,
+                                                             const std::string& key) {
+  AFT_RETURN_IF_ERROR(CheckSession(session));
+  GetRequest request;
+  request.txid = session.txid;
+  request.key = key;
+  AFT_ASSIGN_OR_RETURN(std::string payload,
+                       Call(session.endpoint, MessageType::kGet, request.Serialize()));
+  AFT_ASSIGN_OR_RETURN(GetResponse response, GetResponse::Deserialize(payload));
+  return std::move(response.read);
+}
+
+Result<std::vector<AftNode::VersionedRead>> RemoteAftClient::MultiGet(
+    const RemoteTxnSession& session, std::span<const std::string> keys) {
+  AFT_RETURN_IF_ERROR(CheckSession(session));
+  MultiGetRequest request;
+  request.txid = session.txid;
+  request.keys.assign(keys.begin(), keys.end());
+  AFT_ASSIGN_OR_RETURN(std::string payload,
+                       Call(session.endpoint, MessageType::kMultiGet, request.Serialize()));
+  AFT_ASSIGN_OR_RETURN(MultiGetResponse response, MultiGetResponse::Deserialize(payload));
+  return std::move(response.reads);
+}
+
+Status RemoteAftClient::Put(const RemoteTxnSession& session, const std::string& key,
+                            std::string value) {
+  AFT_RETURN_IF_ERROR(CheckSession(session));
+  PutRequest request;
+  request.txid = session.txid;
+  request.key = key;
+  request.value = std::move(value);
+  AFT_ASSIGN_OR_RETURN(std::string payload,
+                       Call(session.endpoint, MessageType::kPut, request.Serialize()));
+  return DeserializeEmptyResponse(payload);
+}
+
+Status RemoteAftClient::PutBatch(const RemoteTxnSession& session, std::span<const WriteOp> ops) {
+  AFT_RETURN_IF_ERROR(CheckSession(session));
+  PutBatchRequest request;
+  request.txid = session.txid;
+  request.ops.assign(ops.begin(), ops.end());
+  AFT_ASSIGN_OR_RETURN(std::string payload,
+                       Call(session.endpoint, MessageType::kPutBatch, request.Serialize()));
+  return DeserializeEmptyResponse(payload);
+}
+
+Result<TxnId> RemoteAftClient::Commit(const RemoteTxnSession& session) {
+  AFT_RETURN_IF_ERROR(CheckSession(session));
+  CommitRequest request;
+  request.txid = session.txid;
+  AFT_ASSIGN_OR_RETURN(std::string payload,
+                       Call(session.endpoint, MessageType::kCommit, request.Serialize()));
+  AFT_ASSIGN_OR_RETURN(CommitResponse response, CommitResponse::Deserialize(payload));
+  return response.id;
+}
+
+Status RemoteAftClient::Abort(const RemoteTxnSession& session) {
+  AFT_RETURN_IF_ERROR(CheckSession(session));
+  AbortRequest request;
+  request.txid = session.txid;
+  AFT_ASSIGN_OR_RETURN(std::string payload,
+                       Call(session.endpoint, MessageType::kAbort, request.Serialize()));
+  return DeserializeEmptyResponse(payload);
+}
+
+Result<std::string> RemoteAftClient::Ping(size_t endpoint) {
+  AFT_ASSIGN_OR_RETURN(std::string payload,
+                       Call(endpoint, MessageType::kPing, PingRequest{}.Serialize()));
+  AFT_ASSIGN_OR_RETURN(PingResponse response, PingResponse::Deserialize(payload));
+  return std::move(response.node_id);
+}
+
+}  // namespace net
+}  // namespace aft

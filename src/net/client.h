@@ -1,0 +1,132 @@
+// RemoteAftClient: the AftClient surface over real TCP.
+//
+// Mirrors src/cluster/aft_client.h call-for-call — StartTransaction / Resume /
+// Get / GetVersioned / MultiGet / Put / PutBatch / Commit / Abort — but every
+// call is one framed request/response RPC against an `AftServiceServer`.
+// Transactions are pinned to the endpoint chosen (round-robin) at
+// StartTransaction, exactly as the in-proc client pins to a node.
+//
+// Failure handling:
+//   * per-call wall-clock deadline (`call_timeout`) enforced with real time —
+//     the wire is real hardware, so no SimClock here;
+//   * connect + capped exponential backoff (initial_backoff doubling up to
+//     max_backoff) across at most `max_attempts` tries per call;
+//   * reconnect-on-EPIPE: a torn pooled connection (server restart, reset) is
+//     closed and re-dialed transparently on the next attempt. Retry happens
+//     only on TRANSPORT errors (kUnavailable / kTimeout from the socket
+//     layer); semantic statuses from the server (kAborted, kNotFound, ...)
+//     pass through verbatim. All AFT ops are safe to retry: Commit is
+//     idempotent on the server (committed-UUID dedup) and a replayed
+//     StartTransaction merely starts an extra txn that times out server-side.
+
+#ifndef SRC_NET_CLIENT_H_
+#define SRC_NET_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/core/aft_node.h"
+#include "src/net/frame.h"
+#include "src/net/message.h"
+#include "src/net/socket.h"
+
+namespace aft {
+namespace net {
+
+struct RemoteAftClientOptions {
+  Duration connect_timeout = std::chrono::seconds(2);
+  // Overall wall-clock budget for one API call, spanning every retry.
+  Duration call_timeout = std::chrono::seconds(10);
+  Duration initial_backoff = std::chrono::milliseconds(10);
+  Duration max_backoff = std::chrono::milliseconds(500);
+  int max_attempts = 4;
+};
+
+struct RemoteAftClientStats {
+  std::atomic<uint64_t> rpcs_sent{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> reconnects{0};
+};
+
+// A remote transaction session: which endpoint serves the transaction, plus
+// its UUID. Same value-type role as cluster::TxnSession.
+struct RemoteTxnSession {
+  size_t endpoint = 0;
+  Uuid txid;
+  bool started = false;
+
+  bool valid() const { return started; }
+};
+
+class RemoteAftClient {
+ public:
+  explicit RemoteAftClient(std::vector<NetEndpoint> endpoints,
+                           RemoteAftClientOptions options = {});
+  ~RemoteAftClient();
+
+  RemoteAftClient(const RemoteAftClient&) = delete;
+  RemoteAftClient& operator=(const RemoteAftClient&) = delete;
+
+  // Begins a transaction on the next endpoint in round-robin order.
+  Result<RemoteTxnSession> StartTransaction();
+
+  // Re-attaches to a transaction after a function handoff or retry (§3.3.1).
+  Status Resume(const RemoteTxnSession& session);
+
+  Result<std::optional<std::string>> Get(const RemoteTxnSession& session, const std::string& key);
+  Result<AftNode::VersionedRead> GetVersioned(const RemoteTxnSession& session,
+                                              const std::string& key);
+  Result<std::vector<AftNode::VersionedRead>> MultiGet(const RemoteTxnSession& session,
+                                                       std::span<const std::string> keys);
+
+  Status Put(const RemoteTxnSession& session, const std::string& key, std::string value);
+  Status PutBatch(const RemoteTxnSession& session, std::span<const WriteOp> ops);
+
+  Result<TxnId> Commit(const RemoteTxnSession& session);
+  Status Abort(const RemoteTxnSession& session);
+
+  // Liveness probe of one endpoint; returns the remote node id.
+  Result<std::string> Ping(size_t endpoint);
+
+  size_t endpoint_count() const { return channels_.size(); }
+  const RemoteAftClientStats& stats() const { return stats_; }
+
+ private:
+  // One pooled connection per endpoint; serialized under its own mutex so a
+  // session's request/response pairs can never interleave on the stream.
+  struct Channel {
+    explicit Channel(NetEndpoint ep) : endpoint(std::move(ep)) {}
+    const NetEndpoint endpoint;
+    Mutex mu;
+    Socket socket GUARDED_BY(mu);
+    bool connected GUARDED_BY(mu) = false;
+    // Distinguishes a first dial from a re-dial after a torn connection
+    // (only the latter counts as a reconnect in stats).
+    bool ever_connected GUARDED_BY(mu) = false;
+  };
+
+  // One RPC with connect/retry/backoff/deadline handling. Returns the raw
+  // response payload (status still encoded inside).
+  Result<std::string> Call(size_t endpoint, MessageType type, const std::string& request);
+  // One attempt on an (already locked) channel; transport errors tear the
+  // pooled connection down so the next attempt re-dials.
+  Result<std::string> CallOnce(Channel& channel, MessageType type, const std::string& request,
+                               Duration remaining) REQUIRES(channel.mu);
+  Status CheckSession(const RemoteTxnSession& session) const;
+
+  std::vector<std::unique_ptr<Channel>> channels_;
+  const RemoteAftClientOptions options_;
+  std::atomic<size_t> next_endpoint_{0};
+  RemoteAftClientStats stats_;
+};
+
+}  // namespace net
+}  // namespace aft
+
+#endif  // SRC_NET_CLIENT_H_

@@ -1,0 +1,166 @@
+#include "src/net/frame.h"
+
+#include <array>
+#include <cstring>
+
+#include "src/common/serde.h"
+
+namespace aft {
+namespace net {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+struct ParsedHeader {
+  uint8_t version = 0;
+  MessageType type = MessageType::kPing;
+  uint32_t payload_len = 0;
+  uint32_t crc = 0;
+};
+
+// Header-only validation; payload length/CRC are checked against the actual
+// payload by the caller once the bytes are in hand.
+Result<ParsedHeader> ParseHeader(std::string_view bytes) {
+  if (bytes.size() < kFrameHeaderSize) {
+    return Status::InvalidArgument("truncated frame header (" + std::to_string(bytes.size()) +
+                                   " of " + std::to_string(kFrameHeaderSize) + " bytes)");
+  }
+  uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data(), 4);
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  ParsedHeader header;
+  header.version = static_cast<uint8_t>(bytes[4]);
+  if (header.version != kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version " + std::to_string(header.version) +
+                                   " (this peer speaks " + std::to_string(kWireVersion) + ")");
+  }
+  header.type = static_cast<MessageType>(bytes[5]);
+  if (!IsKnownMessageType(header.type)) {
+    return Status::InvalidArgument("unknown message type " +
+                                   std::to_string(static_cast<int>(header.type)));
+  }
+  std::memcpy(&header.payload_len, bytes.data() + 8, 4);
+  if (header.payload_len > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload of " + std::to_string(header.payload_len) +
+                                   " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+                                   "-byte limit");
+  }
+  std::memcpy(&header.crc, bytes.data() + 12, 4);
+  return header;
+}
+
+}  // namespace
+
+bool IsKnownMessageType(MessageType type) {
+  const uint8_t base = static_cast<uint8_t>(RequestOf(type));
+  return base >= static_cast<uint8_t>(MessageType::kStartTxn) &&
+         base <= static_cast<uint8_t>(MessageType::kPing);
+}
+
+std::string_view MessageTypeName(MessageType type) {
+  switch (RequestOf(type)) {
+    case MessageType::kStartTxn:
+      return "StartTxn";
+    case MessageType::kAdoptTxn:
+      return "AdoptTxn";
+    case MessageType::kGet:
+      return "Get";
+    case MessageType::kMultiGet:
+      return "MultiGet";
+    case MessageType::kPut:
+      return "Put";
+    case MessageType::kPutBatch:
+      return "PutBatch";
+    case MessageType::kCommit:
+      return "Commit";
+    case MessageType::kAbort:
+      return "Abort";
+    case MessageType::kApplyCommits:
+      return "ApplyCommits";
+    case MessageType::kPing:
+      return "Ping";
+    default:
+      return "Unknown";
+  }
+}
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<uint8_t>(c)) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeFrame(MessageType type, std::string_view payload) {
+  BinaryWriter writer;
+  writer.PutU32(kFrameMagic);
+  writer.PutU8(kWireVersion);
+  writer.PutU8(static_cast<uint8_t>(type));
+  writer.PutU8(0);  // reserved
+  writer.PutU8(0);  // reserved
+  writer.PutU32(static_cast<uint32_t>(payload.size()));
+  writer.PutU32(Crc32(payload));
+  std::string bytes = std::move(writer).TakeData();
+  bytes.append(payload);
+  return bytes;
+}
+
+Result<Frame> DecodeFrame(std::string_view bytes) {
+  AFT_ASSIGN_OR_RETURN(ParsedHeader header, ParseHeader(bytes));
+  const std::string_view payload = bytes.substr(kFrameHeaderSize);
+  if (payload.size() < header.payload_len) {
+    return Status::InvalidArgument("truncated frame payload (" + std::to_string(payload.size()) +
+                                   " of " + std::to_string(header.payload_len) + " bytes)");
+  }
+  Frame frame;
+  frame.type = header.type;
+  frame.payload.assign(payload.data(), header.payload_len);
+  if (Crc32(frame.payload) != header.crc) {
+    return Status::InvalidArgument("frame CRC mismatch");
+  }
+  return frame;
+}
+
+Status WriteFrame(Socket& socket, MessageType type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload of " + std::to_string(payload.size()) +
+                                   " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+                                   "-byte limit");
+  }
+  return socket.SendAll(EncodeFrame(type, payload));
+}
+
+Result<Frame> ReadFrame(Socket& socket) {
+  char header_bytes[kFrameHeaderSize];
+  AFT_RETURN_IF_ERROR(socket.RecvAll(header_bytes, kFrameHeaderSize));
+  AFT_ASSIGN_OR_RETURN(ParsedHeader header,
+                       ParseHeader(std::string_view(header_bytes, kFrameHeaderSize)));
+  Frame frame;
+  frame.type = header.type;
+  frame.payload.resize(header.payload_len);
+  if (header.payload_len > 0) {
+    AFT_RETURN_IF_ERROR(socket.RecvAll(frame.payload.data(), header.payload_len));
+  }
+  if (Crc32(frame.payload) != header.crc) {
+    return Status::InvalidArgument("frame CRC mismatch");
+  }
+  return frame;
+}
+
+}  // namespace net
+}  // namespace aft

@@ -1,0 +1,103 @@
+// Length-prefixed, versioned, checksummed binary framing (wire protocol v1).
+//
+// Every message on an AFT connection — request, response, or commit
+// multicast — travels as one frame:
+//
+//     offset  size  field
+//     0       4     magic      0x41465431 ("AFT1", little-endian on the wire)
+//     4       1     version    kWireVersion; bump on incompatible change
+//     5       1     type       MessageType
+//     6       2     reserved   must be 0 (future flags)
+//     8       4     payload length (bytes; <= kMaxFramePayload)
+//     12      4     CRC-32 (IEEE 802.3) of the payload
+//     16      ...   payload (src/common/serde.h encoding, see message.h)
+//
+// Versioning rules:
+//   * The 16-byte header layout is frozen forever — a peer of ANY version can
+//     parse the header, decide the frame is not for it, and fail cleanly.
+//   * Payload encodings may only change together with a version bump; a
+//     receiver rejects frames whose version it does not speak
+//     (kInvalidArgument, "unsupported wire version").
+//   * Reserved header bytes must be written as zero and ignored on read, so
+//     a future version can assign them without breaking old parsers.
+//
+// A decode error means the byte stream can no longer be trusted: callers
+// must close the connection after surfacing the error (there is no way to
+// resynchronize a corrupt length-prefixed stream).
+
+#ifndef SRC_NET_FRAME_H_
+#define SRC_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/net/socket.h"
+
+namespace aft {
+namespace net {
+
+inline constexpr uint32_t kFrameMagic = 0x41465431u;  // "AFT1"
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 16;
+// Guard against hostile / corrupt length fields: never allocate more than
+// this for one frame. Large commits are chunked by the layers above.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;  // 64 MiB
+
+// One octet on the wire. Responses are `request | kResponseBit` so a client
+// can verify a reply matches what it asked for.
+inline constexpr uint8_t kResponseBit = 0x80;
+
+enum class MessageType : uint8_t {
+  kStartTxn = 1,
+  kAdoptTxn = 2,
+  kGet = 3,
+  kMultiGet = 4,
+  kPut = 5,
+  kPutBatch = 6,
+  kCommit = 7,
+  kAbort = 8,
+  kApplyCommits = 9,  // Inter-node commit multicast (§4.1).
+  kPing = 10,
+};
+
+inline MessageType ResponseType(MessageType request) {
+  return static_cast<MessageType>(static_cast<uint8_t>(request) | kResponseBit);
+}
+inline bool IsResponse(MessageType type) {
+  return (static_cast<uint8_t>(type) & kResponseBit) != 0;
+}
+inline MessageType RequestOf(MessageType response) {
+  return static_cast<MessageType>(static_cast<uint8_t>(response) & ~kResponseBit);
+}
+// True iff `type` (with the response bit stripped) names a known message.
+bool IsKnownMessageType(MessageType type);
+std::string_view MessageTypeName(MessageType type);
+
+// CRC-32 (IEEE reflected polynomial 0xEDB88320), the Ethernet/zip checksum.
+uint32_t Crc32(std::string_view data);
+
+struct Frame {
+  MessageType type = MessageType::kPing;
+  std::string payload;
+};
+
+// Builds the complete on-wire bytes (header + payload) for one frame.
+std::string EncodeFrame(MessageType type, std::string_view payload);
+
+// Parses one complete frame from an in-memory buffer. Rejects bad magic,
+// unsupported versions, oversized or truncated payloads, and CRC mismatches
+// with a descriptive error — never crashes, never reads past `bytes`.
+Result<Frame> DecodeFrame(std::string_view bytes);
+
+// Stream variants: write/read one frame over a connected socket. ReadFrame
+// returns kUnavailable when the peer closes cleanly between frames, and the
+// DecodeFrame errors above for torn or corrupt frames.
+Status WriteFrame(Socket& socket, MessageType type, std::string_view payload);
+Result<Frame> ReadFrame(Socket& socket);
+
+}  // namespace net
+}  // namespace aft
+
+#endif  // SRC_NET_FRAME_H_

@@ -1,0 +1,495 @@
+#include "src/net/message.h"
+
+namespace aft {
+namespace net {
+
+namespace {
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("malformed ") + what + " payload");
+}
+
+// Requires the reader to be fully consumed: trailing bytes mean the sender
+// and receiver disagree about the encoding, which must not pass silently.
+bool Finish(BinaryReader& reader) { return reader.AtEnd(); }
+
+}  // namespace
+
+// ---- Field helpers ---------------------------------------------------------
+
+void EncodeUuid(BinaryWriter& writer, const Uuid& id) {
+  writer.PutU64(id.hi());
+  writer.PutU64(id.lo());
+}
+
+bool DecodeUuid(BinaryReader& reader, Uuid* out) {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+  if (!reader.GetU64(&hi) || !reader.GetU64(&lo)) {
+    return false;
+  }
+  *out = Uuid(hi, lo);
+  return true;
+}
+
+void EncodeTxnId(BinaryWriter& writer, const TxnId& id) {
+  writer.PutI64(id.timestamp);
+  EncodeUuid(writer, id.uuid);
+}
+
+bool DecodeTxnId(BinaryReader& reader, TxnId* out) {
+  int64_t ts = 0;
+  Uuid uuid;
+  if (!reader.GetI64(&ts) || !DecodeUuid(reader, &uuid)) {
+    return false;
+  }
+  *out = TxnId(ts, uuid);
+  return true;
+}
+
+void EncodeStatus(BinaryWriter& writer, const Status& status) {
+  writer.PutU8(static_cast<uint8_t>(status.code()));
+  writer.PutString(status.message());
+}
+
+bool DecodeStatus(BinaryReader& reader, Status* out) {
+  uint8_t code = 0;
+  std::string message;
+  if (!reader.GetU8(&code) || !reader.GetString(&message)) {
+    return false;
+  }
+  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return false;
+  }
+  *out = Status(static_cast<StatusCode>(code), std::move(message));
+  return true;
+}
+
+void EncodeVersionedRead(BinaryWriter& writer, const AftNode::VersionedRead& read) {
+  writer.PutU8(read.value.has_value() ? 1 : 0);
+  if (read.value.has_value()) {
+    writer.PutString(*read.value);
+  }
+  EncodeTxnId(writer, read.version);
+  // The commit record rides along so harness-style clients can audit read
+  // atomicity remotely; absent for NULL-version and write-buffer reads.
+  writer.PutU8(read.record != nullptr ? 1 : 0);
+  if (read.record != nullptr) {
+    writer.PutString(read.record->Serialize());
+  }
+}
+
+bool DecodeVersionedRead(BinaryReader& reader, AftNode::VersionedRead* out) {
+  uint8_t has_value = 0;
+  if (!reader.GetU8(&has_value)) {
+    return false;
+  }
+  if (has_value) {
+    std::string value;
+    if (!reader.GetString(&value)) {
+      return false;
+    }
+    out->value = std::move(value);
+  } else {
+    out->value.reset();
+  }
+  if (!DecodeTxnId(reader, &out->version)) {
+    return false;
+  }
+  uint8_t has_record = 0;
+  if (!reader.GetU8(&has_record)) {
+    return false;
+  }
+  out->record = nullptr;
+  if (has_record) {
+    std::string bytes;
+    if (!reader.GetString(&bytes)) {
+      return false;
+    }
+    auto record = CommitRecord::Deserialize(bytes);
+    if (!record.ok()) {
+      return false;
+    }
+    out->record = std::make_shared<const CommitRecord>(std::move(record).value());
+  }
+  return true;
+}
+
+// ---- Requests --------------------------------------------------------------
+
+std::string StartTxnRequest::Serialize() const { return std::string(); }
+
+Result<StartTxnRequest> StartTxnRequest::Deserialize(const std::string& bytes) {
+  if (!bytes.empty()) {
+    return Malformed("StartTxn");
+  }
+  return StartTxnRequest{};
+}
+
+std::string AdoptTxnRequest::Serialize() const {
+  BinaryWriter writer;
+  EncodeUuid(writer, txid);
+  return std::move(writer).TakeData();
+}
+
+Result<AdoptTxnRequest> AdoptTxnRequest::Deserialize(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  AdoptTxnRequest request;
+  if (!DecodeUuid(reader, &request.txid) || !Finish(reader)) {
+    return Malformed("AdoptTxn");
+  }
+  return request;
+}
+
+std::string GetRequest::Serialize() const {
+  BinaryWriter writer;
+  EncodeUuid(writer, txid);
+  writer.PutString(key);
+  return std::move(writer).TakeData();
+}
+
+Result<GetRequest> GetRequest::Deserialize(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  GetRequest request;
+  if (!DecodeUuid(reader, &request.txid) || !reader.GetString(&request.key) || !Finish(reader)) {
+    return Malformed("Get");
+  }
+  return request;
+}
+
+std::string MultiGetRequest::Serialize() const {
+  BinaryWriter writer;
+  EncodeUuid(writer, txid);
+  writer.PutStringVector(keys);
+  return std::move(writer).TakeData();
+}
+
+Result<MultiGetRequest> MultiGetRequest::Deserialize(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  MultiGetRequest request;
+  if (!DecodeUuid(reader, &request.txid) || !reader.GetStringVector(&request.keys) ||
+      !Finish(reader)) {
+    return Malformed("MultiGet");
+  }
+  return request;
+}
+
+std::string PutRequest::Serialize() const {
+  BinaryWriter writer;
+  EncodeUuid(writer, txid);
+  writer.PutString(key);
+  writer.PutString(value);
+  return std::move(writer).TakeData();
+}
+
+Result<PutRequest> PutRequest::Deserialize(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  PutRequest request;
+  if (!DecodeUuid(reader, &request.txid) || !reader.GetString(&request.key) ||
+      !reader.GetString(&request.value) || !Finish(reader)) {
+    return Malformed("Put");
+  }
+  return request;
+}
+
+std::string PutBatchRequest::Serialize() const {
+  BinaryWriter writer;
+  EncodeUuid(writer, txid);
+  writer.PutU32(static_cast<uint32_t>(ops.size()));
+  for (const WriteOp& op : ops) {
+    writer.PutString(op.key);
+    writer.PutString(op.value);
+  }
+  return std::move(writer).TakeData();
+}
+
+Result<PutBatchRequest> PutBatchRequest::Deserialize(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  PutBatchRequest request;
+  uint32_t count = 0;
+  if (!DecodeUuid(reader, &request.txid) || !reader.GetU32(&count)) {
+    return Malformed("PutBatch");
+  }
+  // Each op carries two length-prefixed strings (>= 8 bytes); a count the
+  // remaining payload cannot back is corrupt — reject before reserving.
+  if (count > reader.remaining() / 8) {
+    return Malformed("PutBatch");
+  }
+  request.ops.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WriteOp op;
+    if (!reader.GetString(&op.key) || !reader.GetString(&op.value)) {
+      return Malformed("PutBatch");
+    }
+    request.ops.push_back(std::move(op));
+  }
+  if (!Finish(reader)) {
+    return Malformed("PutBatch");
+  }
+  return request;
+}
+
+std::string CommitRequest::Serialize() const {
+  BinaryWriter writer;
+  EncodeUuid(writer, txid);
+  return std::move(writer).TakeData();
+}
+
+Result<CommitRequest> CommitRequest::Deserialize(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  CommitRequest request;
+  if (!DecodeUuid(reader, &request.txid) || !Finish(reader)) {
+    return Malformed("Commit");
+  }
+  return request;
+}
+
+std::string AbortRequest::Serialize() const {
+  BinaryWriter writer;
+  EncodeUuid(writer, txid);
+  return std::move(writer).TakeData();
+}
+
+Result<AbortRequest> AbortRequest::Deserialize(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  AbortRequest request;
+  if (!DecodeUuid(reader, &request.txid) || !Finish(reader)) {
+    return Malformed("Abort");
+  }
+  return request;
+}
+
+std::string ApplyCommitsRequest::Serialize() const {
+  BinaryWriter writer;
+  writer.PutU32(static_cast<uint32_t>(records.size()));
+  for (const CommitRecordPtr& record : records) {
+    writer.PutString(record->Serialize());
+  }
+  return std::move(writer).TakeData();
+}
+
+Result<ApplyCommitsRequest> ApplyCommitsRequest::Deserialize(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  uint32_t count = 0;
+  if (!reader.GetU32(&count)) {
+    return Malformed("ApplyCommits");
+  }
+  if (count > reader.remaining() / 4) {  // >= one length prefix per record
+    return Malformed("ApplyCommits");
+  }
+  ApplyCommitsRequest request;
+  request.records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string record_bytes;
+    if (!reader.GetString(&record_bytes)) {
+      return Malformed("ApplyCommits");
+    }
+    auto record = CommitRecord::Deserialize(record_bytes);
+    if (!record.ok()) {
+      return record.status();
+    }
+    request.records.push_back(std::make_shared<const CommitRecord>(std::move(record).value()));
+  }
+  if (!Finish(reader)) {
+    return Malformed("ApplyCommits");
+  }
+  return request;
+}
+
+std::string PingRequest::Serialize() const { return std::string(); }
+
+Result<PingRequest> PingRequest::Deserialize(const std::string& bytes) {
+  if (!bytes.empty()) {
+    return Malformed("Ping");
+  }
+  return PingRequest{};
+}
+
+// ---- Responses -------------------------------------------------------------
+
+std::string StartTxnResponse::Serialize(const Status& status) const {
+  BinaryWriter writer;
+  EncodeStatus(writer, status);
+  if (status.ok()) {
+    EncodeUuid(writer, txid);
+  }
+  return std::move(writer).TakeData();
+}
+
+Result<StartTxnResponse> StartTxnResponse::Deserialize(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  Status status;
+  if (!DecodeStatus(reader, &status)) {
+    return Malformed("StartTxn response");
+  }
+  if (!status.ok()) {
+    return status;
+  }
+  StartTxnResponse response;
+  if (!DecodeUuid(reader, &response.txid) || !Finish(reader)) {
+    return Malformed("StartTxn response");
+  }
+  return response;
+}
+
+std::string GetResponse::Serialize(const Status& status) const {
+  BinaryWriter writer;
+  EncodeStatus(writer, status);
+  if (status.ok()) {
+    EncodeVersionedRead(writer, read);
+  }
+  return std::move(writer).TakeData();
+}
+
+Result<GetResponse> GetResponse::Deserialize(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  Status status;
+  if (!DecodeStatus(reader, &status)) {
+    return Malformed("Get response");
+  }
+  if (!status.ok()) {
+    return status;
+  }
+  GetResponse response;
+  if (!DecodeVersionedRead(reader, &response.read) || !Finish(reader)) {
+    return Malformed("Get response");
+  }
+  return response;
+}
+
+std::string MultiGetResponse::Serialize(const Status& status) const {
+  BinaryWriter writer;
+  EncodeStatus(writer, status);
+  if (status.ok()) {
+    writer.PutU32(static_cast<uint32_t>(reads.size()));
+    for (const AftNode::VersionedRead& read : reads) {
+      EncodeVersionedRead(writer, read);
+    }
+  }
+  return std::move(writer).TakeData();
+}
+
+Result<MultiGetResponse> MultiGetResponse::Deserialize(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  Status status;
+  if (!DecodeStatus(reader, &status)) {
+    return Malformed("MultiGet response");
+  }
+  if (!status.ok()) {
+    return status;
+  }
+  uint32_t count = 0;
+  if (!reader.GetU32(&count)) {
+    return Malformed("MultiGet response");
+  }
+  // A VersionedRead is at least two flag bytes plus a TxnId (26 bytes).
+  if (count > reader.remaining() / 26) {
+    return Malformed("MultiGet response");
+  }
+  MultiGetResponse response;
+  response.reads.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    AftNode::VersionedRead read;
+    if (!DecodeVersionedRead(reader, &read)) {
+      return Malformed("MultiGet response");
+    }
+    response.reads.push_back(std::move(read));
+  }
+  if (!Finish(reader)) {
+    return Malformed("MultiGet response");
+  }
+  return response;
+}
+
+std::string CommitResponse::Serialize(const Status& status) const {
+  BinaryWriter writer;
+  EncodeStatus(writer, status);
+  if (status.ok()) {
+    EncodeTxnId(writer, id);
+  }
+  return std::move(writer).TakeData();
+}
+
+Result<CommitResponse> CommitResponse::Deserialize(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  Status status;
+  if (!DecodeStatus(reader, &status)) {
+    return Malformed("Commit response");
+  }
+  if (!status.ok()) {
+    return status;
+  }
+  CommitResponse response;
+  if (!DecodeTxnId(reader, &response.id) || !Finish(reader)) {
+    return Malformed("Commit response");
+  }
+  return response;
+}
+
+std::string ApplyCommitsResponse::Serialize(const Status& status) const {
+  BinaryWriter writer;
+  EncodeStatus(writer, status);
+  if (status.ok()) {
+    writer.PutU64(applied);
+  }
+  return std::move(writer).TakeData();
+}
+
+Result<ApplyCommitsResponse> ApplyCommitsResponse::Deserialize(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  Status status;
+  if (!DecodeStatus(reader, &status)) {
+    return Malformed("ApplyCommits response");
+  }
+  if (!status.ok()) {
+    return status;
+  }
+  ApplyCommitsResponse response;
+  if (!reader.GetU64(&response.applied) || !Finish(reader)) {
+    return Malformed("ApplyCommits response");
+  }
+  return response;
+}
+
+std::string PingResponse::Serialize(const Status& status) const {
+  BinaryWriter writer;
+  EncodeStatus(writer, status);
+  if (status.ok()) {
+    writer.PutString(node_id);
+  }
+  return std::move(writer).TakeData();
+}
+
+Result<PingResponse> PingResponse::Deserialize(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  Status status;
+  if (!DecodeStatus(reader, &status)) {
+    return Malformed("Ping response");
+  }
+  if (!status.ok()) {
+    return status;
+  }
+  PingResponse response;
+  if (!reader.GetString(&response.node_id) || !Finish(reader)) {
+    return Malformed("Ping response");
+  }
+  return response;
+}
+
+std::string SerializeEmptyResponse(const Status& status) {
+  BinaryWriter writer;
+  EncodeStatus(writer, status);
+  return std::move(writer).TakeData();
+}
+
+Status DeserializeEmptyResponse(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  Status status;
+  if (!DecodeStatus(reader, &status) || !reader.AtEnd()) {
+    return Status::InvalidArgument("malformed status-only response payload");
+  }
+  return status;
+}
+
+}  // namespace net
+}  // namespace aft

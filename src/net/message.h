@@ -1,0 +1,159 @@
+// Wire payload encodings for the AFT service (frame.h carries these bytes).
+//
+// One struct per request/response, each with `Serialize()` and a static
+// `Deserialize` returning a `Status` on malformed input — the same explicit
+// serde style as `CommitRecord` (src/core/records.cc), built on
+// src/common/serde.h. Every decoder tolerates truncated and garbage bytes:
+// the wire robustness tests feed it both.
+//
+// Response payloads always begin with an encoded Status. A non-OK status
+// means the body is absent; the client surfaces the status verbatim, so
+// server-side semantic errors (kAborted from Algorithm 1, kUnavailable from
+// a killed node) travel losslessly across the wire.
+
+#ifndef SRC_NET_MESSAGE_H_
+#define SRC_NET_MESSAGE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/common/status.h"
+#include "src/common/uuid.h"
+#include "src/core/aft_node.h"
+#include "src/core/records.h"
+#include "src/core/txn_id.h"
+#include "src/storage/storage_engine.h"
+
+namespace aft {
+namespace net {
+
+// ---- Field-level helpers (shared by the structs and the bus) ---------------
+void EncodeUuid(BinaryWriter& writer, const Uuid& id);
+bool DecodeUuid(BinaryReader& reader, Uuid* out);
+void EncodeTxnId(BinaryWriter& writer, const TxnId& id);
+bool DecodeTxnId(BinaryReader& reader, TxnId* out);
+void EncodeStatus(BinaryWriter& writer, const Status& status);
+bool DecodeStatus(BinaryReader& reader, Status* out);
+void EncodeVersionedRead(BinaryWriter& writer, const AftNode::VersionedRead& read);
+bool DecodeVersionedRead(BinaryReader& reader, AftNode::VersionedRead* out);
+
+// ---- Requests --------------------------------------------------------------
+
+struct StartTxnRequest {
+  std::string Serialize() const;
+  static Result<StartTxnRequest> Deserialize(const std::string& bytes);
+};
+
+struct AdoptTxnRequest {
+  Uuid txid;
+  std::string Serialize() const;
+  static Result<AdoptTxnRequest> Deserialize(const std::string& bytes);
+};
+
+struct GetRequest {
+  Uuid txid;
+  std::string key;
+  std::string Serialize() const;
+  static Result<GetRequest> Deserialize(const std::string& bytes);
+};
+
+struct MultiGetRequest {
+  Uuid txid;
+  std::vector<std::string> keys;
+  std::string Serialize() const;
+  static Result<MultiGetRequest> Deserialize(const std::string& bytes);
+};
+
+struct PutRequest {
+  Uuid txid;
+  std::string key;
+  std::string value;
+  std::string Serialize() const;
+  static Result<PutRequest> Deserialize(const std::string& bytes);
+};
+
+struct PutBatchRequest {
+  Uuid txid;
+  std::vector<WriteOp> ops;
+  std::string Serialize() const;
+  static Result<PutBatchRequest> Deserialize(const std::string& bytes);
+};
+
+struct CommitRequest {
+  Uuid txid;
+  std::string Serialize() const;
+  static Result<CommitRequest> Deserialize(const std::string& bytes);
+};
+
+struct AbortRequest {
+  Uuid txid;
+  std::string Serialize() const;
+  static Result<AbortRequest> Deserialize(const std::string& bytes);
+};
+
+// Inter-node commit multicast (§4.1): a batch of commit records, each nested
+// as one length-prefixed `CommitRecord::Serialize()` blob.
+struct ApplyCommitsRequest {
+  std::vector<CommitRecordPtr> records;
+  std::string Serialize() const;
+  static Result<ApplyCommitsRequest> Deserialize(const std::string& bytes);
+};
+
+struct PingRequest {
+  std::string Serialize() const;
+  static Result<PingRequest> Deserialize(const std::string& bytes);
+};
+
+// ---- Responses -------------------------------------------------------------
+// Each Serialize() takes the call's Status; Deserialize returns the DECODED
+// status when the frame itself was well-formed (the body is engaged only on
+// OK) and a decode error Status when it was not.
+
+struct StartTxnResponse {
+  Uuid txid;
+  std::string Serialize(const Status& status) const;
+  static Result<StartTxnResponse> Deserialize(const std::string& bytes);
+};
+
+struct GetResponse {
+  AftNode::VersionedRead read;
+  std::string Serialize(const Status& status) const;
+  static Result<GetResponse> Deserialize(const std::string& bytes);
+};
+
+struct MultiGetResponse {
+  std::vector<AftNode::VersionedRead> reads;
+  std::string Serialize(const Status& status) const;
+  static Result<MultiGetResponse> Deserialize(const std::string& bytes);
+};
+
+struct CommitResponse {
+  TxnId id;
+  std::string Serialize(const Status& status) const;
+  static Result<CommitResponse> Deserialize(const std::string& bytes);
+};
+
+struct ApplyCommitsResponse {
+  uint64_t applied = 0;
+  std::string Serialize(const Status& status) const;
+  static Result<ApplyCommitsResponse> Deserialize(const std::string& bytes);
+};
+
+struct PingResponse {
+  std::string node_id;
+  std::string Serialize(const Status& status) const;
+  static Result<PingResponse> Deserialize(const std::string& bytes);
+};
+
+// Status-only reply (AdoptTxn, Put, PutBatch, Abort). `Deserialize` returns
+// the decoded status itself — kInternal with a "malformed" message on
+// garbage bytes.
+std::string SerializeEmptyResponse(const Status& status);
+Status DeserializeEmptyResponse(const std::string& bytes);
+
+}  // namespace net
+}  // namespace aft
+
+#endif  // SRC_NET_MESSAGE_H_

@@ -1,0 +1,271 @@
+#include "src/net/server.h"
+
+#include "src/common/logging.h"
+#include "src/net/message.h"
+
+namespace aft {
+namespace net {
+
+AftServiceServer::AftServiceServer(AftNode& node, AftServiceServerOptions options)
+    : node_(node), options_(options) {}
+
+AftServiceServer::~AftServiceServer() { Stop(); }
+
+Status AftServiceServer::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  auto listener = Listener::Bind(options_.port);
+  if (!listener.ok()) {
+    running_.store(false);
+    return listener.status();
+  }
+  listener_ = std::move(listener).value();
+  port_ = listener_.port();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void AftServiceServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  listener_.Close();
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    MutexLock lock(mu_);
+    connections.swap(connections_);
+  }
+  for (auto& conn : connections) {
+    conn->socket.Shutdown();
+  }
+  for (auto& conn : connections) {
+    if (conn->thread.joinable()) {
+      conn->thread.join();
+    }
+  }
+}
+
+void AftServiceServer::AbandonConnections() {
+  MutexLock lock(mu_);
+  for (auto& conn : connections_) {
+    if (!conn->done.load(std::memory_order_acquire)) {
+      conn->socket.Shutdown();
+    }
+  }
+}
+
+void AftServiceServer::ReapFinished() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    MutexLock lock(mu_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : finished) {
+    if (conn->thread.joinable()) {
+      conn->thread.join();
+    }
+  }
+}
+
+void AftServiceServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (!running_.load(std::memory_order_acquire)) {
+        return;  // Clean shutdown woke the accept.
+      }
+      continue;  // Transient (e.g. peer aborted the handshake).
+    }
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    ReapFinished();
+    auto conn = std::make_unique<Connection>();
+    conn->socket = std::move(accepted).value();
+    (void)conn->socket.SetSendTimeout(options_.send_timeout);
+    Connection* raw = conn.get();
+    {
+      MutexLock lock(mu_);
+      connections_.push_back(std::move(conn));
+    }
+    // The thread is created AFTER the connection is registered so Stop()
+    // cannot miss it; the handler only touches its own Connection fields.
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+  }
+}
+
+void AftServiceServer::ServeConnection(Connection* conn) {
+  while (running_.load(std::memory_order_acquire)) {
+    auto frame = ReadFrame(conn->socket);
+    if (!frame.ok()) {
+      // kUnavailable: peer hung up (normal). kInvalidArgument: stream-level
+      // corruption — the length prefix can no longer be trusted, so the only
+      // safe move is to drop the connection.
+      if (frame.status().code() == StatusCode::kInvalidArgument) {
+        stats_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+        AFT_LOG(Warn) << "aft server (" << node_.node_id()
+                      << "): dropping connection: " << frame.status().ToString();
+      }
+      break;
+    }
+    if (IsResponse(frame->type)) {
+      stats_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+      break;  // A client sending response frames is not speaking the protocol.
+    }
+    bool bad_frame = false;
+    const std::string response = HandleRequest(frame->type, frame->payload, &bad_frame);
+    if (bad_frame) {
+      stats_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+    }
+    stats_.requests_served.fetch_add(1, std::memory_order_relaxed);
+    if (!WriteFrame(conn->socket, ResponseType(frame->type), response).ok()) {
+      break;
+    }
+  }
+  // Send FIN now so the peer sees EOF immediately; the fd itself is closed
+  // when the Connection is reaped (Shutdown never races Close).
+  conn->socket.Shutdown();
+  conn->done.store(true, std::memory_order_release);
+}
+
+std::string AftServiceServer::HandleRequest(MessageType type, const std::string& payload,
+                                            bool* bad_frame) {
+  // A frame that passed CRC but fails request decoding is a protocol bug on
+  // the peer, not stream corruption: reply with the decode error and keep
+  // the connection (framing is still in sync).
+  switch (type) {
+    case MessageType::kStartTxn: {
+      auto request = StartTxnRequest::Deserialize(payload);
+      if (!request.ok()) {
+        *bad_frame = true;
+        return SerializeEmptyResponse(request.status());
+      }
+      auto txid = node_.StartTransaction();
+      StartTxnResponse response;
+      if (txid.ok()) {
+        response.txid = *txid;
+      }
+      return response.Serialize(txid.status());
+    }
+    case MessageType::kAdoptTxn: {
+      auto request = AdoptTxnRequest::Deserialize(payload);
+      if (!request.ok()) {
+        *bad_frame = true;
+        return SerializeEmptyResponse(request.status());
+      }
+      return SerializeEmptyResponse(node_.AdoptTransaction(request->txid));
+    }
+    case MessageType::kGet: {
+      auto request = GetRequest::Deserialize(payload);
+      if (!request.ok()) {
+        *bad_frame = true;
+        return SerializeEmptyResponse(request.status());
+      }
+      auto read = node_.GetVersioned(request->txid, request->key);
+      GetResponse response;
+      if (read.ok()) {
+        response.read = std::move(read).value();
+      }
+      return response.Serialize(read.status());
+    }
+    case MessageType::kMultiGet: {
+      auto request = MultiGetRequest::Deserialize(payload);
+      if (!request.ok()) {
+        *bad_frame = true;
+        return SerializeEmptyResponse(request.status());
+      }
+      auto reads = node_.MultiGet(request->txid, request->keys);
+      MultiGetResponse response;
+      if (reads.ok()) {
+        response.reads = std::move(reads).value();
+      }
+      return response.Serialize(reads.status());
+    }
+    case MessageType::kPut: {
+      auto request = PutRequest::Deserialize(payload);
+      if (!request.ok()) {
+        *bad_frame = true;
+        return SerializeEmptyResponse(request.status());
+      }
+      return SerializeEmptyResponse(
+          node_.Put(request->txid, request->key, std::move(request->value)));
+    }
+    case MessageType::kPutBatch: {
+      auto request = PutBatchRequest::Deserialize(payload);
+      if (!request.ok()) {
+        *bad_frame = true;
+        return SerializeEmptyResponse(request.status());
+      }
+      for (WriteOp& op : request->ops) {
+        const Status status = node_.Put(request->txid, op.key, std::move(op.value));
+        if (!status.ok()) {
+          return SerializeEmptyResponse(status);
+        }
+      }
+      return SerializeEmptyResponse(Status::Ok());
+    }
+    case MessageType::kCommit: {
+      auto request = CommitRequest::Deserialize(payload);
+      if (!request.ok()) {
+        *bad_frame = true;
+        return SerializeEmptyResponse(request.status());
+      }
+      auto id = node_.CommitTransaction(request->txid);
+      CommitResponse response;
+      if (id.ok()) {
+        response.id = *id;
+      }
+      return response.Serialize(id.status());
+    }
+    case MessageType::kAbort: {
+      auto request = AbortRequest::Deserialize(payload);
+      if (!request.ok()) {
+        *bad_frame = true;
+        return SerializeEmptyResponse(request.status());
+      }
+      return SerializeEmptyResponse(node_.AbortTransaction(request->txid));
+    }
+    case MessageType::kApplyCommits: {
+      auto request = ApplyCommitsRequest::Deserialize(payload);
+      if (!request.ok()) {
+        *bad_frame = true;
+        return SerializeEmptyResponse(request.status());
+      }
+      node_.ApplyRemoteCommits(request->records);
+      ApplyCommitsResponse response;
+      response.applied = request->records.size();
+      return response.Serialize(Status::Ok());
+    }
+    case MessageType::kPing: {
+      auto request = PingRequest::Deserialize(payload);
+      if (!request.ok()) {
+        *bad_frame = true;
+        return SerializeEmptyResponse(request.status());
+      }
+      PingResponse response;
+      response.node_id = node_.node_id();
+      const Status status = node_.alive()
+          ? Status::Ok()
+          : Status::Unavailable("aft node " + node_.node_id() + " is down");
+      return response.Serialize(status);
+    }
+    default:
+      *bad_frame = true;
+      return SerializeEmptyResponse(Status::InvalidArgument(
+          "unhandled message type " + std::to_string(static_cast<int>(type))));
+  }
+}
+
+}  // namespace net
+}  // namespace aft

@@ -1,0 +1,113 @@
+// The AFT service server: one shim node behind a real TCP socket (§4).
+//
+// A thread-per-connection loopback server hosting the full Table-1 API
+// (StartTransaction / Get / MultiGet / Put / PutBatch / Commit / Abort) plus
+// the inter-node ApplyCommits multicast endpoint and a Ping health check,
+// all against one local `AftNode`. This is the process boundary the paper's
+// deployment actually has: `RemoteAftClient` and `TcpMulticastBus` are its
+// two client populations.
+//
+// Shutdown protocol (no self-pipe needed): `Stop` calls shutdown(2) on the
+// listening socket — which wakes the blocked accept(2) — joins the accept
+// thread, then shutdown(2)s every live connection — which wakes their
+// blocked recv(2)s with EOF — and joins the handler threads. No thread is
+// ever detached, so TSan sees every exit.
+
+#ifndef SRC_NET_SERVER_H_
+#define SRC_NET_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/core/aft_node.h"
+#include "src/net/frame.h"
+#include "src/net/socket.h"
+
+namespace aft {
+namespace net {
+
+struct AftServiceServerOptions {
+  uint16_t port = 0;  // 0 = kernel-assigned ephemeral port.
+  // Connection-level send deadline: a client that stops draining its socket
+  // cannot wedge a handler thread forever. Reads are deadline-free — an idle
+  // connection is legal; Stop() wakes blocked readers via shutdown(2).
+  Duration send_timeout = std::chrono::seconds(30);
+};
+
+struct AftServiceServerStats {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> requests_served{0};
+  // Frames rejected before dispatch: bad magic/version/CRC, unknown type,
+  // oversized payload, undecodable request body.
+  std::atomic<uint64_t> bad_frames{0};
+};
+
+class AftServiceServer {
+ public:
+  explicit AftServiceServer(AftNode& node, AftServiceServerOptions options = {});
+  ~AftServiceServer();
+
+  AftServiceServer(const AftServiceServer&) = delete;
+  AftServiceServer& operator=(const AftServiceServer&) = delete;
+
+  // Binds and starts accepting. Idempotent failure: a dead port returns the
+  // bind error and leaves the server stopped.
+  Status Start();
+
+  // Clean shutdown: stops accepting, tears down live connections, joins all
+  // threads. Safe to call twice.
+  void Stop();
+
+  // Test-only crash simulation ("kill -9 between two frames"): shutdown(2)
+  // every live connection socket immediately WITHOUT joining handlers, so
+  // in-flight requests observe a torn connection exactly as if the process
+  // died. Callable from inside a handler (e.g. an AftNode crash hook).
+  void AbandonConnections();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port; valid after a successful Start.
+  uint16_t port() const { return port_; }
+  NetEndpoint endpoint() const { return NetEndpoint{"127.0.0.1", port_}; }
+  AftNode& node() { return node_; }
+  const AftServiceServerStats& stats() const { return stats_; }
+
+ private:
+  // One live connection. The handler thread owns the Socket; Stop and
+  // AbandonConnections only call Shutdown() on it (fd stays valid until the
+  // object dies after join), so there is no close/use race.
+  struct Connection {
+    Socket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* conn);
+  // Decodes + dispatches one request, returns the response payload (encoded
+  // status + body) or an error when the connection must be dropped.
+  std::string HandleRequest(MessageType type, const std::string& payload, bool* bad_frame);
+  // Joins finished handler threads (called opportunistically per accept).
+  void ReapFinished();
+
+  AftNode& node_;
+  const AftServiceServerOptions options_;
+  uint16_t port_ = 0;
+
+  std::atomic<bool> running_{false};
+  Listener listener_;
+  std::thread accept_thread_;
+
+  Mutex mu_;
+  std::vector<std::unique_ptr<Connection>> connections_ GUARDED_BY(mu_);
+
+  AftServiceServerStats stats_;
+};
+
+}  // namespace net
+}  // namespace aft
+
+#endif  // SRC_NET_SERVER_H_

@@ -1,0 +1,163 @@
+#include "src/net/tcp_multicast_bus.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/net/frame.h"
+#include "src/net/message.h"
+
+namespace aft {
+namespace net {
+
+TcpMulticastBus::TcpMulticastBus(Clock& clock, Duration interval, TcpMulticastBusOptions options)
+    : MulticastBus(clock, interval), options_(options) {}
+
+TcpMulticastBus::~TcpMulticastBus() { Stop(); }
+
+void TcpMulticastBus::RegisterNode(AftNode* node) {
+  MutexLock lock(mu_);
+  for (const auto& peer : peers_) {
+    if (peer->node == node) {
+      return;
+    }
+  }
+  auto peer = std::make_unique<Peer>(node);
+  peer->server = std::make_unique<AftServiceServer>(*node);
+  const Status started = peer->server->Start();
+  if (!started.ok()) {
+    AFT_LOG(Error) << "tcp bus: cannot serve node " << node->node_id() << ": "
+                   << started.ToString();
+    return;
+  }
+  AFT_LOG(Info) << "tcp bus: node " << node->node_id() << " serving on "
+                << peer->server->endpoint().ToString();
+  peers_.push_back(std::move(peer));
+}
+
+void TcpMulticastBus::UnregisterNode(AftNode* node) {
+  std::unique_ptr<Peer> removed;
+  {
+    MutexLock lock(mu_);
+    auto it = std::find_if(peers_.begin(), peers_.end(),
+                           [node](const auto& peer) { return peer->node == node; });
+    if (it == peers_.end()) {
+      return;
+    }
+    removed = std::move(*it);
+    peers_.erase(it);
+  }
+  removed->server->Stop();
+}
+
+void TcpMulticastBus::SetFaultManagerSink(FaultManagerSink sink) {
+  MutexLock lock(mu_);
+  fault_manager_sink_ = std::move(sink);
+}
+
+NetEndpoint TcpMulticastBus::EndpointOf(const AftNode* node) const {
+  MutexLock lock(mu_);
+  for (const auto& peer : peers_) {
+    if (peer->node == node) {
+      return peer->server->endpoint();
+    }
+  }
+  return NetEndpoint{};
+}
+
+std::vector<NetEndpoint> TcpMulticastBus::Endpoints() const {
+  MutexLock lock(mu_);
+  std::vector<NetEndpoint> endpoints;
+  endpoints.reserve(peers_.size());
+  for (const auto& peer : peers_) {
+    endpoints.push_back(peer->server->endpoint());
+  }
+  return endpoints;
+}
+
+void TcpMulticastBus::KillEndpoint(const AftNode* node) {
+  MutexLock lock(mu_);
+  for (auto& peer : peers_) {
+    if (peer->node == node) {
+      peer->server->Stop();
+      peer->socket.Close();
+      peer->connected = false;
+      return;
+    }
+  }
+}
+
+Status TcpMulticastBus::DeliverTo(Peer& peer, const std::string& request) {
+  if (!peer.connected) {
+    auto socket = TcpConnect(peer.server->endpoint(), options_.connect_timeout);
+    if (!socket.ok()) {
+      return socket.status();
+    }
+    peer.socket = std::move(socket).value();
+    (void)peer.socket.SetNoDelay();
+    (void)peer.socket.SetSendTimeout(options_.rpc_timeout);
+    (void)peer.socket.SetRecvTimeout(options_.rpc_timeout);
+    peer.connected = true;
+  }
+  Status status = WriteFrame(peer.socket, MessageType::kApplyCommits, request);
+  if (status.ok()) {
+    auto frame = ReadFrame(peer.socket);
+    if (!frame.ok()) {
+      status = frame.status();
+    } else if (frame->type != ResponseType(MessageType::kApplyCommits)) {
+      status = Status::Unavailable("gossip ack had wrong message type");
+    } else {
+      status = ApplyCommitsResponse::Deserialize(frame->payload).status();
+    }
+  }
+  if (!status.ok()) {
+    peer.socket.Close();
+    peer.connected = false;
+  }
+  return status;
+}
+
+void TcpMulticastBus::RunOnce() {
+  MutexLock lock(mu_);
+  stats_.rounds.fetch_add(1, std::memory_order_relaxed);
+  const bool prune = pruning_enabled();
+  for (auto& sender : peers_) {
+    if (!sender->node->alive()) {
+      continue;  // A dead node cannot gossip; the fault manager's storage
+                 // scan recovers anything it committed but never broadcast.
+    }
+    std::vector<CommitRecordPtr> pruned;
+    std::vector<CommitRecordPtr> unpruned;
+    sender->node->DrainRecentCommits(prune ? &pruned : nullptr, &unpruned);
+    if (unpruned.empty()) {
+      continue;
+    }
+    if (fault_manager_sink_) {
+      fault_manager_sink_(unpruned);
+      stats_.records_to_fault_manager.fetch_add(unpruned.size(), std::memory_order_relaxed);
+    }
+    std::vector<CommitRecordPtr>& outgoing = prune ? pruned : unpruned;
+    stats_.records_broadcast.fetch_add(outgoing.size(), std::memory_order_relaxed);
+    stats_.records_pruned.fetch_add(unpruned.size() - outgoing.size(),
+                                    std::memory_order_relaxed);
+    if (outgoing.empty()) {
+      continue;
+    }
+    ApplyCommitsRequest request;
+    request.records = std::move(outgoing);
+    const std::string payload = request.Serialize();
+    for (auto& receiver : peers_) {
+      if (receiver.get() == sender.get() || !receiver->node->alive()) {
+        continue;
+      }
+      const Status delivered = DeliverTo(*receiver, payload);
+      if (!delivered.ok()) {
+        stats_.delivery_errors.fetch_add(1, std::memory_order_relaxed);
+        AFT_LOG(Warn) << "tcp bus: delivery " << sender->node->node_id() << " -> "
+                      << receiver->node->node_id() << " failed: " << delivered.ToString();
+      }
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace aft

@@ -1,0 +1,89 @@
+// Commit-set multicast over real loopback TCP (§4.1).
+//
+// Same gossip protocol as `InProcMulticastBus` — drain each node's recent
+// commits, forward the unpruned stream to the fault manager, broadcast the
+// pruned stream to every peer — but delivery crosses an actual socket
+// boundary: each registered node gets its own `AftServiceServer`, and the bus
+// ships records to peers as framed, checksummed `ApplyCommits` RPCs against
+// those servers, awaiting the ack so a gossip round is deterministic.
+//
+// Failure model: a delivery that fails in the transport (connection refused /
+// reset / timeout) increments `stats().delivery_errors` and is NOT retried —
+// the fault manager's storage scan is the recovery path for anything gossip
+// loses, exactly as in the paper (§4.2). `KillEndpoint` tears one node's
+// server down without touching the node, simulating a machine whose network
+// died after acking a commit to its client.
+
+#ifndef SRC_NET_TCP_MULTICAST_BUS_H_
+#define SRC_NET_TCP_MULTICAST_BUS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/multicast_bus.h"
+#include "src/common/mutex.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/net/socket.h"
+
+namespace aft {
+namespace net {
+
+struct TcpMulticastBusOptions {
+  // Real-time budgets for one gossip delivery (loopback: generous).
+  Duration connect_timeout = std::chrono::seconds(2);
+  Duration rpc_timeout = std::chrono::seconds(10);
+};
+
+class TcpMulticastBus : public MulticastBus {
+ public:
+  explicit TcpMulticastBus(Clock& clock, Duration interval = Millis(1000),
+                           TcpMulticastBusOptions options = {});
+  ~TcpMulticastBus() override;
+
+  // Creates and starts an AftServiceServer for `node` on an ephemeral
+  // loopback port. Registration failure (no free port) is logged and the
+  // node is left unregistered.
+  void RegisterNode(AftNode* node) override;
+  void UnregisterNode(AftNode* node) override;
+  void SetFaultManagerSink(FaultManagerSink sink) override;
+  void RunOnce() override;
+
+  // The service endpoint for a registered node (port 0 if unknown). Clients
+  // (RemoteAftClient) connect here; so does peer gossip.
+  NetEndpoint EndpointOf(const AftNode* node) const;
+  // All registered service endpoints, in registration order.
+  std::vector<NetEndpoint> Endpoints() const;
+
+  // Test hook: stop `node`'s server (sockets die, port closes) WITHOUT
+  // unregistering the node — the network failed, not the bus membership.
+  void KillEndpoint(const AftNode* node);
+
+ private:
+  struct Peer {
+    explicit Peer(AftNode* n) : node(n) {}
+    AftNode* node;
+    std::unique_ptr<AftServiceServer> server;
+    // Pooled gossip connection TO this peer's server; re-dialed on error.
+    Socket socket;
+    bool connected = false;
+  };
+
+  // Sends one ApplyCommits RPC to `peer`'s server and awaits the ack.
+  Status DeliverTo(Peer& peer, const std::string& request) REQUIRES(mu_);
+
+  const TcpMulticastBusOptions options_;
+
+  // One lock serializes membership changes and gossip rounds: RunOnce holds
+  // it across deliveries so UnregisterNode can never free a peer mid-send.
+  // Register/unregister are rare control-plane events, so the coarse lock is
+  // never contended on the data path.
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Peer>> peers_ GUARDED_BY(mu_);
+  FaultManagerSink fault_manager_sink_ GUARDED_BY(mu_);
+};
+
+}  // namespace net
+}  // namespace aft
+
+#endif  // SRC_NET_TCP_MULTICAST_BUS_H_

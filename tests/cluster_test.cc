@@ -288,6 +288,62 @@ TEST_F(ClusterTest, FailureHandledOnlyOnce) {
   EXPECT_EQ(cluster.fault_manager().stats().nodes_replaced.load(), 1u);
 }
 
+// ---- Transport parity: in-proc vs loopback TCP ------------------------------------------------
+//
+// The same protocol tests run under both transports: the gossip/recovery
+// logic must not care whether records move by method call or over a real
+// socket (src/net).
+
+class ClusterTransportTest : public ClusterTest,
+                             public ::testing::WithParamInterface<ClusterTransport> {
+ protected:
+  ClusterOptions Manual(size_t nodes) {
+    ClusterOptions options = ManualCluster(nodes);
+    options.transport = GetParam();
+    return options;
+  }
+};
+
+TEST_P(ClusterTransportTest, CommitsPropagateViaGossip) {
+  ClusterDeployment cluster(storage_, clock_, Manual(3));
+  ASSERT_TRUE(cluster.Start().ok());
+  CommitVia(*cluster.node(0), "k", "gossip");
+  EXPECT_FALSE(ReadVia(*cluster.node(1), "k").has_value());
+  cluster.bus().RunOnce();
+  EXPECT_EQ(ReadVia(*cluster.node(1), "k").value(), "gossip");
+  EXPECT_EQ(ReadVia(*cluster.node(2), "k").value(), "gossip");
+}
+
+TEST_P(ClusterTransportTest, GossipPrunesSupersededRecords) {
+  ClusterDeployment cluster(storage_, clock_, Manual(2));
+  ASSERT_TRUE(cluster.Start().ok());
+  CommitVia(*cluster.node(0), "k", "old");
+  CommitVia(*cluster.node(0), "k", "new");
+  cluster.bus().RunOnce();
+  EXPECT_EQ(cluster.bus().stats().records_broadcast.load(), 1u);
+  EXPECT_EQ(cluster.bus().stats().records_pruned.load(), 1u);
+  EXPECT_EQ(cluster.bus().stats().records_to_fault_manager.load(), 2u);
+  EXPECT_EQ(ReadVia(*cluster.node(1), "k").value(), "new");
+}
+
+TEST_P(ClusterTransportTest, LivenessScanRecoversUnbroadcastCommits) {
+  ClusterDeployment cluster(storage_, clock_, Manual(2));
+  ASSERT_TRUE(cluster.Start().ok());
+  CommitVia(*cluster.node(0), "k", "acked");
+  cluster.KillNode(0);
+  cluster.bus().RunOnce();
+  EXPECT_FALSE(ReadVia(*cluster.node(1), "k").has_value());
+  clock_.Advance(std::chrono::seconds(5));
+  EXPECT_EQ(cluster.fault_manager().RunLivenessScanOnce(), 1u);
+  EXPECT_EQ(ReadVia(*cluster.node(1), "k").value(), "acked");
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, ClusterTransportTest,
+                         ::testing::Values(ClusterTransport::kInProc, ClusterTransport::kTcp),
+                         [](const ::testing::TestParamInfo<ClusterTransport>& info) {
+                           return info.param == ClusterTransport::kTcp ? "Tcp" : "InProc";
+                         });
+
 // ---- Full background deployment (threads on) -------------------------------------------------
 
 TEST(ClusterBackgroundTest, EndToEndWithBackgroundThreads) {

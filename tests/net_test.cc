@@ -1,0 +1,618 @@
+// Tests for the TCP transport (src/net): wire framing robustness, message
+// serde round-trips, the AFT service server + remote client over real
+// loopback sockets, fault injection (server killed mid-commit), and the
+// socket-based commit multicast with fault-manager recovery.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/cluster/deployment.h"
+#include "src/core/records.h"
+#include "src/net/client.h"
+#include "src/net/frame.h"
+#include "src/net/message.h"
+#include "src/net/server.h"
+#include "src/net/socket.h"
+#include "src/net/tcp_multicast_bus.h"
+#include "src/storage/sim_dynamo.h"
+
+namespace aft {
+namespace {
+
+using net::AftServiceServer;
+using net::AftServiceServerOptions;
+using net::DecodeFrame;
+using net::EncodeFrame;
+using net::Frame;
+using net::Listener;
+using net::MessageType;
+using net::NetEndpoint;
+using net::ReadFrame;
+using net::RemoteAftClient;
+using net::RemoteAftClientOptions;
+using net::Socket;
+using net::TcpConnect;
+using net::WriteFrame;
+
+SimDynamoOptions InstantDynamo() {
+  SimDynamoOptions options;
+  options.profile = EngineLatencyProfile{LatencyModel::Zero(), LatencyModel::Zero(),
+                                         LatencyModel::Zero(), LatencyModel::Zero(),
+                                         LatencyModel::Zero(), LatencyModel::Zero()};
+  options.staleness = StalenessModel{};
+  options.txn_call = LatencyModel::Zero();
+  return options;
+}
+
+// Client options tuned for tests: fail fast instead of the production-grade
+// ten-second budgets.
+RemoteAftClientOptions FastClient() {
+  RemoteAftClientOptions options;
+  options.connect_timeout = std::chrono::seconds(2);
+  options.call_timeout = std::chrono::seconds(5);
+  options.initial_backoff = std::chrono::milliseconds(1);
+  options.max_backoff = std::chrono::milliseconds(20);
+  options.max_attempts = 2;
+  return options;
+}
+
+// ---- Frame layer ------------------------------------------------------------
+
+TEST(FrameTest, Crc32MatchesKnownVector) {
+  // The canonical CRC-32 check value (IEEE 802.3, reflected 0xEDB88320).
+  EXPECT_EQ(net::Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(net::Crc32(""), 0x00000000u);
+}
+
+TEST(FrameTest, RoundTripsPayloads) {
+  const std::string payloads[] = {
+      "",
+      "hello",
+      std::string("\x00\x01\xff\x7f binary \x00", 14),
+      std::string(1 << 20, 'x'),
+  };
+  for (const std::string& payload : payloads) {
+    const std::string bytes = EncodeFrame(MessageType::kCommit, payload);
+    ASSERT_EQ(bytes.size(), net::kFrameHeaderSize + payload.size());
+    auto frame = DecodeFrame(bytes);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->type, MessageType::kCommit);
+    EXPECT_EQ(frame->payload, payload);
+  }
+}
+
+TEST(FrameTest, RejectsBadMagic) {
+  std::string bytes = EncodeFrame(MessageType::kGet, "payload");
+  bytes[0] ^= 0xff;
+  auto frame = DecodeFrame(bytes);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, RejectsUnsupportedVersion) {
+  std::string bytes = EncodeFrame(MessageType::kGet, "payload");
+  bytes[4] = 99;  // version field
+  auto frame = DecodeFrame(bytes);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, RejectsUnknownMessageType) {
+  std::string bytes = EncodeFrame(MessageType::kGet, "payload");
+  bytes[5] = 0x7f;  // type field: not a known request or response
+  auto frame = DecodeFrame(bytes);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, RejectsCorruptPayload) {
+  std::string bytes = EncodeFrame(MessageType::kPut, "checksummed-payload");
+  bytes[net::kFrameHeaderSize + 3] ^= 0x10;  // flip one payload bit
+  auto frame = DecodeFrame(bytes);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, RejectsOversizedLength) {
+  std::string bytes = EncodeFrame(MessageType::kPut, "small");
+  // Patch the length field (offset 8, little-endian) to a hostile value.
+  bytes[8] = bytes[9] = bytes[10] = bytes[11] = static_cast<char>(0xff);
+  auto frame = DecodeFrame(bytes);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, RejectsEveryTruncation) {
+  const std::string bytes = EncodeFrame(MessageType::kMultiGet, "truncate-me");
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto frame = DecodeFrame(std::string_view(bytes).substr(0, len));
+    EXPECT_FALSE(frame.ok()) << "prefix of length " << len << " decoded";
+  }
+}
+
+TEST(FrameTest, TruncatedFrameOverSocketIsAnError) {
+  auto listener = Listener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  auto writer = TcpConnect(NetEndpoint{"127.0.0.1", listener->port()}, std::chrono::seconds(2));
+  ASSERT_TRUE(writer.ok());
+  auto reader = listener->Accept();
+  ASSERT_TRUE(reader.ok());
+
+  // A valid frame cut off mid-payload, then EOF: the reader must surface an
+  // error, not hang or fabricate a short message.
+  const std::string bytes = EncodeFrame(MessageType::kPut, "this payload will be cut off");
+  ASSERT_TRUE(writer->SendAll(bytes.data(), bytes.size() - 10).ok());
+  writer->Close();
+  auto frame = ReadFrame(*reader);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+}
+
+// ---- Message serde ----------------------------------------------------------
+
+TEST(MessageTest, RequestsRoundTrip) {
+  const Uuid txid(0x1122334455667788ull, 0x99aabbccddeeff00ull);
+
+  net::GetRequest get;
+  get.txid = txid;
+  get.key = "user:42";
+  auto get2 = net::GetRequest::Deserialize(get.Serialize());
+  ASSERT_TRUE(get2.ok());
+  EXPECT_EQ(get2->txid, txid);
+  EXPECT_EQ(get2->key, "user:42");
+
+  net::MultiGetRequest mget;
+  mget.txid = txid;
+  mget.keys = {"a", "b", "c"};
+  auto mget2 = net::MultiGetRequest::Deserialize(mget.Serialize());
+  ASSERT_TRUE(mget2.ok());
+  EXPECT_EQ(mget2->keys, mget.keys);
+
+  net::PutRequest put;
+  put.txid = txid;
+  put.key = "k";
+  put.value = std::string("\x00\x01 binary \xff", 11);
+  auto put2 = net::PutRequest::Deserialize(put.Serialize());
+  ASSERT_TRUE(put2.ok());
+  EXPECT_EQ(put2->value, put.value);
+
+  net::PutBatchRequest batch;
+  batch.txid = txid;
+  batch.ops = {{"k1", "v1"}, {"k2", "v2"}};
+  auto batch2 = net::PutBatchRequest::Deserialize(batch.Serialize());
+  ASSERT_TRUE(batch2.ok());
+  ASSERT_EQ(batch2->ops.size(), 2u);
+  EXPECT_EQ(batch2->ops[1].key, "k2");
+  EXPECT_EQ(batch2->ops[1].value, "v2");
+}
+
+TEST(MessageTest, CommitRecordsRoundTripThroughApplyCommits) {
+  auto record = std::make_shared<CommitRecord>();
+  record->id = TxnId{1234567, Uuid(7, 9)};
+  record->write_set = {"alpha", "beta"};
+  record->segment_count = 1;
+  record->locators = {{"alpha", 0, 0, 5}, {"beta", 0, 5, 7}};
+
+  net::ApplyCommitsRequest request;
+  request.records = {record};
+  auto decoded = net::ApplyCommitsRequest::Deserialize(request.Serialize());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->records.size(), 1u);
+  const CommitRecord& out = *decoded->records[0];
+  EXPECT_EQ(out.id, record->id);
+  EXPECT_EQ(out.write_set, record->write_set);
+  ASSERT_EQ(out.locators.size(), 2u);
+  EXPECT_EQ(out.locators[1].key, "beta");
+  EXPECT_EQ(out.locators[1].length, 7u);
+}
+
+TEST(MessageTest, ResponsesCarryStatusVerbatim) {
+  net::CommitResponse commit;
+  commit.id = TxnId{42, Uuid(1, 2)};
+  auto ok = net::CommitResponse::Deserialize(commit.Serialize(Status::Ok()));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->id, commit.id);
+
+  auto aborted =
+      net::CommitResponse::Deserialize(net::CommitResponse{}.Serialize(Status::Aborted("lost")));
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(aborted.status().message(), "lost");
+
+  EXPECT_TRUE(net::DeserializeEmptyResponse(net::SerializeEmptyResponse(Status::Ok())).ok());
+  const Status not_found =
+      net::DeserializeEmptyResponse(net::SerializeEmptyResponse(Status::NotFound("missing")));
+  EXPECT_EQ(not_found.code(), StatusCode::kNotFound);
+}
+
+TEST(MessageTest, DecodersRejectGarbageAndTruncation) {
+  const std::string garbage = "this is not a serialized message at all....";
+  EXPECT_FALSE(net::GetRequest::Deserialize(garbage).ok());
+  EXPECT_FALSE(net::PutBatchRequest::Deserialize(garbage).ok());
+  EXPECT_FALSE(net::ApplyCommitsRequest::Deserialize(garbage).ok());
+  EXPECT_FALSE(net::CommitResponse::Deserialize(garbage).ok());
+
+  net::PutRequest put;
+  put.txid = Uuid(1, 2);
+  put.key = "k";
+  put.value = "value";
+  const std::string bytes = put.Serialize();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(net::PutRequest::Deserialize(bytes.substr(0, len)).ok());
+  }
+  // Trailing junk is rejected too (a frame is exactly one message).
+  EXPECT_FALSE(net::PutRequest::Deserialize(bytes + "junk").ok());
+}
+
+// A list count field is wire-controlled: a tiny payload claiming billions of
+// elements must be rejected up front, not answered with a multi-gigabyte
+// reserve() (memory DoS in production, minutes of shadow poisoning under
+// ASan). Each decoder bounds the count by the bytes that could back it.
+TEST(MessageTest, HostileListCountsAreRejectedWithoutAllocating) {
+  BinaryWriter hostile_batch;
+  net::EncodeUuid(hostile_batch, Uuid(1, 2));
+  hostile_batch.PutU32(0xffffffffu);  // four billion ops, zero bytes of data
+  EXPECT_FALSE(net::PutBatchRequest::Deserialize(hostile_batch.data()).ok());
+
+  BinaryWriter hostile_gossip;
+  hostile_gossip.PutU32(0xfffffffeu);
+  EXPECT_FALSE(net::ApplyCommitsRequest::Deserialize(hostile_gossip.data()).ok());
+
+  // Same for the string-vector primitive every record decoder leans on.
+  BinaryWriter hostile_vec;
+  hostile_vec.PutU32(0x80000000u);
+  BinaryReader reader(hostile_vec.data());
+  std::vector<std::string> out;
+  EXPECT_FALSE(reader.GetStringVector(&out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(out.capacity(), 0u);
+
+  // And for commit records (they travel inside kApplyCommits frames): forge a
+  // record whose locator count claims more than the payload holds.
+  CommitRecord record;
+  record.id = TxnId{1, Uuid(3, 4)};
+  record.write_set = {"k"};
+  std::string bytes = record.Serialize();
+  // Locator count is the last u32 before the (empty) locator list.
+  ASSERT_GE(bytes.size(), 4u);
+  bytes[bytes.size() - 4] = '\xff';
+  bytes[bytes.size() - 3] = '\xff';
+  bytes[bytes.size() - 2] = '\xff';
+  bytes[bytes.size() - 1] = '\xff';
+  EXPECT_FALSE(CommitRecord::Deserialize(bytes).ok());
+}
+
+// ---- Server + remote client over real sockets -------------------------------
+
+class NetServiceTest : public ::testing::Test {
+ protected:
+  NetServiceTest() : storage_(clock_, InstantDynamo()), node_("aft-0", storage_, clock_) {
+    EXPECT_TRUE(node_.Start().ok());
+  }
+
+  SimClock clock_;
+  SimDynamo storage_;
+  AftNode node_;
+};
+
+TEST_F(NetServiceTest, CommitReadCycleOverTcp) {
+  AftServiceServer server(node_);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+  RemoteAftClient client({server.endpoint()}, FastClient());
+
+  EXPECT_EQ(client.Ping(0).value_or("?"), "aft-0");
+
+  auto session = client.StartTransaction();
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  ASSERT_TRUE(client.Put(*session, "account:alice", "100").ok());
+  // Read-your-writes across the wire.
+  auto own = client.Get(*session, "account:alice");
+  ASSERT_TRUE(own.ok());
+  EXPECT_EQ(own->value(), "100");
+  auto committed = client.Commit(*session);
+  ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+
+  // A fresh transaction (fresh connection state server-side) sees the commit.
+  auto reader = client.StartTransaction();
+  ASSERT_TRUE(reader.ok());
+  auto read = client.Get(*reader, "account:alice");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->value(), "100");
+  EXPECT_TRUE(client.Abort(*reader).ok());
+  server.Stop();
+}
+
+TEST_F(NetServiceTest, MultiGetAndPutBatchOverTcp) {
+  AftServiceServer server(node_);
+  ASSERT_TRUE(server.Start().ok());
+  RemoteAftClient client({server.endpoint()}, FastClient());
+
+  auto writer = client.StartTransaction();
+  ASSERT_TRUE(writer.ok());
+  const WriteOp ops[] = {{"mk:1", "v1"}, {"mk:2", "v2"}, {"mk:3", "v3"}};
+  ASSERT_TRUE(client.PutBatch(*writer, ops).ok());
+  ASSERT_TRUE(client.Commit(*writer).ok());
+
+  auto reader = client.StartTransaction();
+  ASSERT_TRUE(reader.ok());
+  const std::string keys[] = {"mk:1", "mk:404", "mk:3"};
+  auto reads = client.MultiGet(*reader, keys);
+  ASSERT_TRUE(reads.ok()) << reads.status().ToString();
+  ASSERT_EQ(reads->size(), 3u);  // Positional, including the miss.
+  EXPECT_EQ((*reads)[0].value.value(), "v1");
+  EXPECT_FALSE((*reads)[1].value.has_value());
+  EXPECT_EQ((*reads)[2].value.value(), "v3");
+  EXPECT_TRUE(client.Abort(*reader).ok());
+  server.Stop();
+}
+
+TEST_F(NetServiceTest, SemanticErrorsTravelVerbatim) {
+  AftServiceServer server(node_);
+  ASSERT_TRUE(server.Start().ok());
+  RemoteAftClient client({server.endpoint()}, FastClient());
+
+  // Commit of a transaction the node has never seen: the server-side
+  // kFailedPrecondition must arrive unchanged, not as a transport error.
+  net::RemoteTxnSession forged;
+  forged.endpoint = 0;
+  forged.txid = Uuid(123, 456);
+  forged.started = true;
+  auto committed = client.Commit(forged);
+  ASSERT_FALSE(committed.ok());
+  EXPECT_EQ(committed.status().code(), StatusCode::kFailedPrecondition);
+  server.Stop();
+}
+
+TEST_F(NetServiceTest, GarbageBytesDoNotKillTheServer) {
+  AftServiceServer server(node_);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    auto raw = TcpConnect(server.endpoint(), std::chrono::seconds(2));
+    ASSERT_TRUE(raw.ok());
+    const std::string garbage = "GET / HTTP/1.1\r\nHost: not-aft\r\n\r\n";
+    ASSERT_TRUE(raw->SendAll(garbage).ok());
+    // The server drops the connection (the stream cannot be resynced).
+    char byte;
+    EXPECT_EQ(raw->RecvAll(&byte, 1).code(), StatusCode::kUnavailable);
+  }
+
+  // The server survives and serves well-formed clients.
+  RemoteAftClient client({server.endpoint()}, FastClient());
+  auto session = client.StartTransaction();
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(client.Put(*session, "k", "v").ok());
+  ASSERT_TRUE(client.Commit(*session).ok());
+  EXPECT_GE(server.stats().bad_frames.load(), 1u);
+  server.Stop();
+}
+
+TEST(NetClientTest, TimesOutOnSilentServer) {
+  auto listener = Listener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  // Accept the connection, then never reply.
+  std::thread sink([&listener] {
+    auto accepted = listener->Accept();
+    if (accepted.ok()) {
+      char buffer[256];
+      (void)accepted->RecvAll(buffer, sizeof(buffer));  // Swallow the request; EOF ends us.
+    }
+  });
+
+  RemoteAftClientOptions options = FastClient();
+  options.call_timeout = std::chrono::milliseconds(200);
+  options.max_attempts = 1;
+  RemoteAftClient client({NetEndpoint{"127.0.0.1", listener->port()}}, options);
+  auto pong = client.Ping(0);
+  ASSERT_FALSE(pong.ok());
+  EXPECT_EQ(pong.status().code(), StatusCode::kTimeout);
+
+  listener->Shutdown();
+  sink.join();
+}
+
+TEST_F(NetServiceTest, ClientReconnectsAfterServerRestart) {
+  auto first = std::make_unique<AftServiceServer>(node_);
+  ASSERT_TRUE(first->Start().ok());
+  const uint16_t port = first->port();
+  RemoteAftClient client({first->endpoint()}, FastClient());
+  EXPECT_TRUE(client.Ping(0).ok());
+
+  first->Stop();
+  first.reset();
+  // The pooled connection is now dead AND the port is closed: the call fails
+  // with a transport error after retries.
+  EXPECT_FALSE(client.Ping(0).ok());
+
+  // Same port, fresh server (simulates a restarted process). The client
+  // re-dials transparently.
+  AftServiceServerOptions options;
+  options.port = port;
+  AftServiceServer second(node_, options);
+  ASSERT_TRUE(second.Start().ok());
+  EXPECT_TRUE(client.Ping(0).ok());
+  EXPECT_GE(client.stats().reconnects.load(), 1u);
+  second.Stop();
+}
+
+// ---- Fault injection: server killed mid-commit ------------------------------
+//
+// The write-ordering invariant (§3.3): key versions are written BEFORE the
+// commit record, so a node that dies between the two must leave NO visible
+// dirty data — a second client reading after the crash sees nothing.
+
+TEST(NetFaultTest, ServerKilledMidCommitLeavesNoDirtyData) {
+  SimClock clock;
+  SimDynamo storage(clock, InstantDynamo());
+
+  AftServiceServer* server_hook = nullptr;
+  AftNodeOptions node_options;
+  // Crash AFTER the data write, BEFORE the commit record: the worst case for
+  // dirty reads. The hook also tears the TCP connection, exactly as a kill -9
+  // of the server process would.
+  node_options.crash_hook = [&server_hook](CrashPoint point) {
+    if (point == CrashPoint::kAfterDataWrite && server_hook != nullptr) {
+      server_hook->AbandonConnections();
+      return true;
+    }
+    return false;
+  };
+  AftNode node("aft-0", storage, clock, node_options);
+  ASSERT_TRUE(node.Start().ok());
+  AftServiceServer server(node);
+  ASSERT_TRUE(server.Start().ok());
+  server_hook = &server;
+
+  RemoteAftClientOptions options = FastClient();
+  options.call_timeout = std::chrono::seconds(2);
+  options.max_attempts = 1;
+  RemoteAftClient client({server.endpoint()}, options);
+
+  auto session = client.StartTransaction();
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(client.Put(*session, "k", "dirty").ok());
+  auto committed = client.Commit(*session);
+  // The client observes a failure — torn connection or the dying node's
+  // kUnavailable — NEVER a successful commit.
+  ASSERT_FALSE(committed.ok());
+  EXPECT_FALSE(node.alive());
+  server_hook = nullptr;
+  server.Stop();
+
+  // The data version reached storage (write-ordering step 1)...
+  EXPECT_TRUE(storage.Get(VersionStorageKey("k", session->txid)).ok());
+
+  // ...but a recovered node over the same storage serves NO value for "k":
+  // without a commit record the write never happened (step 2 was not reached).
+  AftNode recovered("aft-1", storage, clock);
+  ASSERT_TRUE(recovered.Start().ok());
+  AftServiceServer recovered_server(recovered);
+  ASSERT_TRUE(recovered_server.Start().ok());
+  RemoteAftClient reader({recovered_server.endpoint()}, FastClient());
+  auto reader_session = reader.StartTransaction();
+  ASSERT_TRUE(reader_session.ok());
+  auto read = reader.Get(*reader_session, "k");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_FALSE(read->has_value());
+  EXPECT_TRUE(reader.Abort(*reader_session).ok());
+  recovered_server.Stop();
+}
+
+// ---- TcpMulticastBus --------------------------------------------------------
+
+ClusterOptions TcpManualCluster(size_t nodes) {
+  ClusterOptions options;
+  options.num_nodes = nodes;
+  options.transport = ClusterTransport::kTcp;
+  options.start_background_threads = false;
+  return options;
+}
+
+class TcpBusTest : public ::testing::Test {
+ protected:
+  TcpBusTest() : storage_(clock_, InstantDynamo()) {}
+
+  TxnId CommitVia(AftNode& node, const std::string& key, const std::string& value) {
+    auto txid = node.StartTransaction();
+    EXPECT_TRUE(txid.ok());
+    EXPECT_TRUE(node.Put(*txid, key, value).ok());
+    auto committed = node.CommitTransaction(*txid);
+    EXPECT_TRUE(committed.ok());
+    return committed.ok() ? *committed : TxnId();
+  }
+
+  std::optional<std::string> ReadVia(AftNode& node, const std::string& key) {
+    auto txid = node.StartTransaction();
+    auto result = node.Get(*txid, key);
+    EXPECT_TRUE(result.ok());
+    (void)node.AbortTransaction(*txid);
+    return result.ok() ? *result : std::nullopt;
+  }
+
+  SimClock clock_;
+  SimDynamo storage_;
+};
+
+TEST_F(TcpBusTest, GossipDeliversCommitsOverSockets) {
+  ClusterDeployment cluster(storage_, clock_, TcpManualCluster(3));
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_EQ(cluster.ServiceEndpoints().size(), 3u);
+
+  CommitVia(*cluster.node(0), "k", "over-tcp");
+  EXPECT_FALSE(ReadVia(*cluster.node(1), "k").has_value());
+  cluster.bus().RunOnce();
+  EXPECT_EQ(ReadVia(*cluster.node(1), "k").value(), "over-tcp");
+  EXPECT_EQ(ReadVia(*cluster.node(2), "k").value(), "over-tcp");
+  EXPECT_EQ(cluster.bus().stats().delivery_errors.load(), 0u);
+  // Supersedence pruning runs over the socket path too.
+  CommitVia(*cluster.node(0), "p", "old");
+  CommitVia(*cluster.node(0), "p", "new");
+  cluster.bus().RunOnce();
+  EXPECT_EQ(cluster.bus().stats().records_pruned.load(), 1u);
+  EXPECT_EQ(ReadVia(*cluster.node(1), "p").value(), "new");
+}
+
+TEST_F(TcpBusTest, RemoteClientAgainstDeploymentEndpoints) {
+  ClusterDeployment cluster(storage_, clock_, TcpManualCluster(2));
+  ASSERT_TRUE(cluster.Start().ok());
+  RemoteAftClient client(cluster.ServiceEndpoints(), FastClient());
+
+  // Round-robin start: consecutive transactions land on different nodes, and
+  // the session stays pinned to its endpoint.
+  auto s0 = client.StartTransaction();
+  auto s1 = client.StartTransaction();
+  ASSERT_TRUE(s0.ok() && s1.ok());
+  EXPECT_NE(s0->endpoint, s1->endpoint);
+  ASSERT_TRUE(client.Put(*s0, "k", "from-remote").ok());
+  ASSERT_TRUE(client.Commit(*s0).ok());
+  EXPECT_TRUE(client.Abort(*s1).ok());
+
+  cluster.bus().RunOnce();
+  EXPECT_EQ(ReadVia(*cluster.node(0), "k").value(), "from-remote");
+  EXPECT_EQ(ReadVia(*cluster.node(1), "k").value(), "from-remote");
+}
+
+TEST_F(TcpBusTest, DeliveryFailuresAreCountedNotRetried) {
+  ClusterDeployment cluster(storage_, clock_, TcpManualCluster(2));
+  ASSERT_TRUE(cluster.Start().ok());
+  auto& bus = static_cast<net::TcpMulticastBus&>(cluster.bus());
+
+  // Receiver's socket dies (machine lost its network, node process fine).
+  bus.KillEndpoint(cluster.node(1));
+  CommitVia(*cluster.node(0), "k", "lost-on-the-wire");
+  cluster.bus().RunOnce();
+  EXPECT_GE(cluster.bus().stats().delivery_errors.load(), 1u);
+  // The bus does NOT retry: node 1 is missing the record (the fault
+  // manager's scan is the recovery path, exercised below).
+  EXPECT_FALSE(ReadVia(*cluster.node(1), "k").has_value());
+}
+
+// The kill-the-socket test: node 0 ACKs a commit to its client, then the
+// whole machine dies — process AND socket — before any gossip round. The
+// fault manager's liveness scan must recover the commit from storage (§4.2)
+// with the transport running over real sockets.
+TEST_F(TcpBusTest, KilledSocketCommitRecoveredFromStorage) {
+  ClusterOptions options = TcpManualCluster(2);
+  options.fault_manager.failure_detection_delay = Millis(10);
+  ClusterDeployment cluster(storage_, clock_, options);
+  ASSERT_TRUE(cluster.Start().ok());
+  auto& bus = static_cast<net::TcpMulticastBus&>(cluster.bus());
+
+  CommitVia(*cluster.node(0), "k", "acked");  // Client got its ACK.
+  bus.KillEndpoint(cluster.node(0));          // Socket gone...
+  cluster.KillNode(0);                        // ...process gone.
+
+  cluster.bus().RunOnce();  // Gossip cannot drain the dead node.
+  EXPECT_FALSE(ReadVia(*cluster.node(1), "k").has_value());
+
+  // The commit record is in storage; past the liveness grace window the scan
+  // finds it and notifies the survivors.
+  clock_.Advance(std::chrono::seconds(5));
+  EXPECT_EQ(cluster.fault_manager().RunLivenessScanOnce(), 1u);
+  EXPECT_EQ(ReadVia(*cluster.node(1), "k").value(), "acked");
+}
+
+}  // namespace
+}  // namespace aft
