@@ -1,15 +1,29 @@
 // Transport microbench: what does the real TCP boundary cost?
 //
-// Runs the same commit and MultiGet workloads twice — directly against an
-// AftNode (in-proc, the original call path) and through AftServiceServer +
-// RemoteAftClient over loopback TCP (framing, CRC, two socket hops per op) —
-// and reports p50/p99 per path. Storage latencies are zeroed so the rows
-// isolate pure shim + wire overhead, and all numbers here are WALL-CLOCK
-// milliseconds (the wire is real hardware; the simulated time scale does not
-// apply to it).
+// Part 1 (latency): runs the same commit and MultiGet workloads twice —
+// directly against an AftNode (in-proc, the original call path) and through
+// AftServiceServer + RemoteAftClient over loopback TCP (framing, CRC, two
+// socket hops per op) — and reports p50/p99 per path.
+//
+// Part 2 (throughput): closed-loop multi-client sweep at 1/4/16/64 client
+// threads against three transport configurations:
+//   * event    — epoll event-loop server, pooled + pipelined client;
+//   * thread   — thread-per-connection server, pooled + pipelined client;
+//   * baseline — thread-per-connection server, ONE connection, single-flight
+//                (the pre-pipelining transport; the acceptance yardstick).
+// Each row reports ops/sec plus per-op p50/p99.
+//
+// Storage latencies are zeroed so the rows isolate pure shim + wire overhead,
+// and all numbers here are WALL-CLOCK milliseconds (the wire is real
+// hardware; the simulated time scale does not apply to it).
+//
+// Knobs: AFT_BENCH_REQUESTS (latency reps), AFT_BENCH_TPUT_OPS (closed-loop
+// ops per client; defaults to min(AFT_BENCH_REQUESTS, 200) so --smoke stays
+// fast).
 
 #include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -116,6 +130,117 @@ void RunMultiGet(AftNode& node, net::RemoteAftClient& client, size_t keys, long 
               static_cast<uint64_t>(reps));
 }
 
+// ---------------------------------------------------------------------------
+// Closed-loop throughput sweep.
+
+struct TputConfig {
+  const char* name;                 // row label
+  net::ServerThreading threading;   // server side
+  size_t connections_per_endpoint;  // client pool width
+  size_t max_inflight;              // client pipelining depth
+};
+
+// One closed-loop run: `clients` threads, each issuing `ops_per_client`
+// operations back-to-back. Per-op latencies land in `lat`; *elapsed_ms gets
+// the wall clock of the whole run (threads started to threads joined).
+template <typename PerThreadFn>
+void RunClosedLoop(size_t clients, LatencyRecorder& lat, double* elapsed_ms, PerThreadFn fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&lat, c, &fn] { fn(c, lat); });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  *elapsed_ms = WallMs(start);
+}
+
+void RunThroughputConfig(AftNode& node, const TputConfig& cfg, long ops_per_client,
+                         const std::vector<std::string>& keys) {
+  net::AftServiceServerOptions server_options;
+  server_options.port = 0;
+  server_options.threading = cfg.threading;
+  net::AftServiceServer server(node, server_options);
+  Check(server.Start(), "tput server Start");
+
+  net::RemoteAftClientOptions client_options;
+  client_options.connections_per_endpoint = cfg.connections_per_endpoint;
+  client_options.max_inflight = cfg.max_inflight;
+  net::RemoteAftClient client({server.endpoint()}, client_options);
+
+  std::printf("  --- %s (server=%s, pool=%zu, inflight=%zu) ---\n", cfg.name,
+              cfg.threading == net::ServerThreading::kEventLoop ? "event-loop" : "thread-per-conn",
+              cfg.connections_per_endpoint, cfg.max_inflight);
+
+  for (size_t clients : {1u, 4u, 16u, 64u}) {
+    const uint64_t total_ops = static_cast<uint64_t>(clients) * ops_per_client;
+
+    // Commit workload: each op is one full transaction (start / put / commit).
+    double commit_ms = 0;
+    LatencyRecorder commit_lat;
+    RunClosedLoop(clients, commit_lat, &commit_ms, [&](size_t c, LatencyRecorder& lat) {
+      for (long r = 0; r < ops_per_client; ++r) {
+        const auto op_start = std::chrono::steady_clock::now();
+        auto session = client.StartTransaction();
+        Check(session.status(), "tput StartTransaction");
+        Check(client.Put(*session, Key(c % keys.size()), "v"), "tput Put");
+        Check(client.Commit(*session).status(), "tput Commit");
+        lat.RecordMillis(WallMs(op_start));
+      }
+    });
+    const double commit_ops_sec = total_ops / (commit_ms / 1000.0);
+    const LatencySummary cs = commit_lat.Summarize();
+    std::printf("  %-8s %2zu clients  commit   %9.0f ops/s   p50 %7.3f ms   p99 %7.3f ms\n",
+                cfg.name, clients, commit_ops_sec, cs.median_ms, cs.p99_ms);
+    EmitJsonRow("net", std::string("tput commit ") + cfg.name + " " + std::to_string(clients) + "c",
+                cs.median_ms, cs.p99_ms, commit_ops_sec, total_ops);
+
+    // MultiGet workload: one long-lived txn per client, MultiGet per op.
+    double mget_ms = 0;
+    LatencyRecorder mget_lat;
+    RunClosedLoop(clients, mget_lat, &mget_ms, [&](size_t, LatencyRecorder& lat) {
+      auto session = client.StartTransaction();
+      Check(session.status(), "tput mget StartTransaction");
+      for (long r = 0; r < ops_per_client; ++r) {
+        const auto op_start = std::chrono::steady_clock::now();
+        Check(client.MultiGet(*session, keys).status(), "tput MultiGet");
+        lat.RecordMillis(WallMs(op_start));
+      }
+      Check(client.Abort(*session), "tput mget Abort");
+    });
+    const double mget_ops_sec = total_ops / (mget_ms / 1000.0);
+    const LatencySummary ms = mget_lat.Summarize();
+    std::printf("  %-8s %2zu clients  multiget %9.0f ops/s   p50 %7.3f ms   p99 %7.3f ms\n",
+                cfg.name, clients, mget_ops_sec, ms.median_ms, ms.p99_ms);
+    EmitJsonRow("net",
+                std::string("tput multiget ") + cfg.name + " " + std::to_string(clients) + "c",
+                ms.median_ms, ms.p99_ms, mget_ops_sec, total_ops);
+  }
+
+  server.Stop();
+}
+
+void RunThroughputSweep(AftNode& node, long ops_per_client) {
+  PrintTitle("net closed-loop throughput: 1/4/16/64 clients (wall-clock)");
+  std::printf("  %ld ops per client per row\n", ops_per_client);
+
+  std::vector<std::string> keys;
+  for (size_t i = 0; i < 10; ++i) {
+    keys.push_back(Key(i));
+  }
+
+  const TputConfig kConfigs[] = {
+      {"event", net::ServerThreading::kEventLoop, 4, 32},
+      {"thread", net::ServerThreading::kThreadPerConn, 4, 32},
+      {"baseline", net::ServerThreading::kThreadPerConn, 1, 1},
+  };
+  for (const TputConfig& cfg : kConfigs) {
+    RunThroughputConfig(node, cfg, ops_per_client, keys);
+  }
+}
+
 }  // namespace
 }  // namespace aft
 
@@ -152,6 +277,10 @@ int main() {
   for (size_t keys : {1, 5, 10}) {
     RunMultiGet(node, client, keys, reps);
   }
+
+  const long tput_ops =
+      bench::GetEnvLong("AFT_BENCH_TPUT_OPS", reps < 200 ? reps : 200);
+  RunThroughputSweep(node, tput_ops);
 
   std::printf("\n  server: %llu requests over %llu connections\n",
               static_cast<unsigned long long>(server.stats().requests_served.load()),

@@ -5,9 +5,10 @@ namespace aft {
 namespace {
 
 std::unique_ptr<MulticastBus> MakeBus(ClusterTransport transport, Clock& clock,
-                                      Duration interval) {
+                                      Duration interval,
+                                      const net::TcpMulticastBusOptions& tcp_options) {
   if (transport == ClusterTransport::kTcp) {
-    return std::make_unique<net::TcpMulticastBus>(clock, interval);
+    return std::make_unique<net::TcpMulticastBus>(clock, interval, tcp_options);
   }
   return std::make_unique<InProcMulticastBus>(clock, interval);
 }
@@ -18,7 +19,8 @@ ClusterDeployment::ClusterDeployment(StorageEngine& storage, Clock& clock, Clust
     : storage_(storage),
       clock_(clock),
       options_(std::move(options)),
-      bus_(MakeBus(options_.transport, clock, options_.multicast_interval)),
+      bus_(MakeBus(options_.transport, clock, options_.multicast_interval,
+                   options_.tcp_options)),
       fault_manager_(clock, storage, balancer_, *bus_, options_.fault_manager) {
   fault_manager_.SetNodeFactory([this](const std::string& node_id) { return CreateNode(node_id); });
 }

@@ -35,6 +35,9 @@ struct ClusterOptions {
   Duration multicast_interval = Millis(1000);
   FaultManagerOptions fault_manager;
   ClusterTransport transport = ClusterTransport::kInProc;
+  // kTcp only: transport knobs for the per-node service servers and the
+  // gossip RPCs (threading model, timeouts, backpressure).
+  net::TcpMulticastBusOptions tcp_options;
   // When true, Start() launches the bus / fault-manager / per-node
   // background threads; tests that drive rounds manually leave this off.
   bool start_background_threads = true;

@@ -28,6 +28,8 @@ IoExecutor::IoExecutor(size_t num_threads) : pool_(num_threads) {}
 
 void IoExecutor::Shutdown() { pool_.Shutdown(); }
 
+bool IoExecutor::Submit(std::function<void()> task) { return pool_.Submit(std::move(task)); }
+
 IoExecutor& IoExecutor::Shared() {
   static IoExecutor* shared = new IoExecutor(SharedWidthFromEnv());
   return *shared;

@@ -60,6 +60,12 @@ class IoExecutor {
   Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn,
                      size_t max_parallelism = 0);
 
+  // Fire-and-forget: enqueues one task on the helper pool. Returns false when
+  // the pool has been shut down (the caller then runs the work inline — same
+  // never-rely-on-pool-drain contract as ParallelFor). Used by the event-loop
+  // server to hand decoded requests to worker lanes.
+  bool Submit(std::function<void()> task);
+
   // Stops accepting helper work; in-flight items finish, queued helper
   // tasks are dropped. ParallelFor remains correct afterwards (caller-only
   // drain). Exposed for the shutdown-during-flush test.

@@ -26,6 +26,7 @@
 #ifndef SRC_COMMON_MUTEX_H_
 #define SRC_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -76,6 +77,9 @@ class SCOPED_CAPABILITY MutexLock {
 
   // Early release (std::unique_lock semantics: the destructor then no-ops).
   void Unlock() RELEASE() { lock_.unlock(); }
+  // Re-acquire after an early release (the drop-lock-around-blocking-I/O
+  // idiom used by the pipelined client's reader).
+  void Lock() ACQUIRE() { lock_.lock(); }
 
  private:
   friend class CondVar;
@@ -117,6 +121,14 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  // Timed wait: returns false on timeout, true when notified. As with Wait,
+  // callers re-check their predicate in a while-loop either way. (Templated
+  // on the duration type because clock.h's Duration alias would be a circular
+  // include here.)
+  template <class Rep, class Period>
+  bool WaitFor(MutexLock& lock, std::chrono::duration<Rep, Period> d) {
+    return cv_.wait_for(lock.lock_, d) == std::cv_status::no_timeout;
+  }
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

@@ -1,72 +1,87 @@
 #include "src/core/commit_set_cache.h"
 
-
 namespace aft {
 
 bool CommitSetCache::Add(CommitRecordPtr record) {
-  WriterMutexLock lock(mu_);
   const TxnId id = record->id;
-  return records_.emplace(id, std::move(record)).second;
+  Shard& shard = ShardFor(id);
+  WriterMutexLock lock(shard.mu);
+  return shard.records.emplace(id, std::move(record)).second;
 }
 
 void CommitSetCache::Remove(const TxnId& id) {
-  WriterMutexLock lock(mu_);
-  if (records_.erase(id) > 0) {
-    locally_deleted_.insert(id);
+  Shard& shard = ShardFor(id);
+  WriterMutexLock lock(shard.mu);
+  if (shard.records.erase(id) > 0) {
+    shard.locally_deleted.insert(id);
   }
 }
 
 CommitRecordPtr CommitSetCache::Lookup(const TxnId& id) const {
-  ReaderMutexLock lock(mu_);
-  auto it = records_.find(id);
-  return it == records_.end() ? nullptr : it->second;
+  const Shard& shard = ShardFor(id);
+  ReaderMutexLock lock(shard.mu);
+  auto it = shard.records.find(id);
+  return it == shard.records.end() ? nullptr : it->second;
 }
 
 bool CommitSetCache::Contains(const TxnId& id) const {
-  ReaderMutexLock lock(mu_);
-  return records_.contains(id);
+  const Shard& shard = ShardFor(id);
+  ReaderMutexLock lock(shard.mu);
+  return shard.records.contains(id);
 }
 
 std::vector<CommitRecordPtr> CommitSetCache::Snapshot() const {
-  ReaderMutexLock lock(mu_);
   std::vector<CommitRecordPtr> out;
-  out.reserve(records_.size());
-  for (const auto& [id, record] : records_) {
-    out.push_back(record);
+  for (const Shard& shard : shards_) {
+    ReaderMutexLock lock(shard.mu);
+    out.reserve(out.size() + shard.records.size());
+    for (const auto& [id, record] : shard.records) {
+      out.push_back(record);
+    }
   }
   return out;
 }
 
 void CommitSetCache::NoteLocalCommit(const TxnId& id) {
-  WriterMutexLock lock(mu_);
+  MutexLock lock(recent_mu_);
   recent_commits_.push_back(id);
 }
 
 std::vector<TxnId> CommitSetCache::TakeRecentCommits() {
-  WriterMutexLock lock(mu_);
+  MutexLock lock(recent_mu_);
   std::vector<TxnId> out;
   out.swap(recent_commits_);
   return out;
 }
 
 bool CommitSetCache::HasLocallyDeleted(const TxnId& id) const {
-  ReaderMutexLock lock(mu_);
-  return locally_deleted_.contains(id);
+  const Shard& shard = ShardFor(id);
+  ReaderMutexLock lock(shard.mu);
+  return shard.locally_deleted.contains(id);
 }
 
 void CommitSetCache::ForgetLocallyDeleted(const TxnId& id) {
-  WriterMutexLock lock(mu_);
-  locally_deleted_.erase(id);
+  Shard& shard = ShardFor(id);
+  WriterMutexLock lock(shard.mu);
+  shard.locally_deleted.erase(id);
 }
 
 size_t CommitSetCache::LocallyDeletedCount() const {
-  ReaderMutexLock lock(mu_);
-  return locally_deleted_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    ReaderMutexLock lock(shard.mu);
+    total += shard.locally_deleted.size();
+  }
+  return total;
 }
 
 size_t CommitSetCache::size() const {
-  ReaderMutexLock lock(mu_);
-  return records_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    ReaderMutexLock lock(shard.mu);
+    total += shard.records.size();
+  }
+  return total;
 }
 
 }  // namespace aft

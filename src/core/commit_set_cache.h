@@ -5,10 +5,21 @@
 // if the GC drops them from the cache concurrently. Also tracks the list of
 // transactions committed locally since the last multicast round (§4) and the
 // set of locally GC-deleted transaction IDs the global GC asks about (§5.2).
+//
+// Concurrency: the record map and the locally-deleted set are split into K
+// lock-striped shards hashed by TxnId, so the per-key lookups Algorithm 1
+// issues on every read no longer serialize on one global lock against the
+// commit path's inserts. The visibility contract is unchanged: callers only
+// Add() a record AFTER its commit record has persisted in storage (§3.3's
+// write-ordering barrier / §3.4), so a transaction becomes visible in this
+// index — on whichever shard it hashes to — only once it is durable.
+// The recent-commits list is a plain append/drain queue with its own mutex
+// (two uncontended points: one writer per commit, one drain per gossip tick).
 
 #ifndef SRC_CORE_COMMIT_SET_CACHE_H_
 #define SRC_CORE_COMMIT_SET_CACHE_H_
 
+#include <array>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -24,6 +35,10 @@ using CommitRecordPtr = std::shared_ptr<const CommitRecord>;
 
 class CommitSetCache {
  public:
+  // Shard count: enough stripes that 16+ service threads rarely collide,
+  // small enough that Snapshot()/size() sweeps stay cheap.
+  static constexpr size_t kNumShards = 16;
+
   CommitSetCache() = default;
 
   // Inserts a record; returns false if it was already present.
@@ -36,7 +51,10 @@ class CommitSetCache {
   CommitRecordPtr Lookup(const TxnId& id) const;
   bool Contains(const TxnId& id) const;
 
-  // All currently cached records (GC sweep iterates this snapshot).
+  // All currently cached records (GC sweep iterates this snapshot). Shards
+  // are snapshotted one at a time: the result is a union of per-shard
+  // consistent views, which is all the GC/liveness sweeps ever needed (the
+  // old single-lock snapshot raced concurrent Add/Remove the same way).
   std::vector<CommitRecordPtr> Snapshot() const;
 
   // ---- Multicast bookkeeping (§4) -----------------------------------------
@@ -54,10 +72,21 @@ class CommitSetCache {
   size_t size() const;
 
  private:
-  mutable SharedMutex mu_;
-  std::unordered_map<TxnId, CommitRecordPtr> records_ GUARDED_BY(mu_);
-  std::vector<TxnId> recent_commits_ GUARDED_BY(mu_);
-  std::unordered_set<TxnId> locally_deleted_ GUARDED_BY(mu_);
+  struct Shard {
+    mutable SharedMutex mu;
+    std::unordered_map<TxnId, CommitRecordPtr> records GUARDED_BY(mu);
+    std::unordered_set<TxnId> locally_deleted GUARDED_BY(mu);
+  };
+
+  Shard& ShardFor(const TxnId& id) { return shards_[std::hash<TxnId>{}(id) % kNumShards]; }
+  const Shard& ShardFor(const TxnId& id) const {
+    return shards_[std::hash<TxnId>{}(id) % kNumShards];
+  }
+
+  std::array<Shard, kNumShards> shards_;
+
+  mutable Mutex recent_mu_;
+  std::vector<TxnId> recent_commits_ GUARDED_BY(recent_mu_);
 };
 
 }  // namespace aft

@@ -9,9 +9,12 @@
 //   aft-server: node aft-0 (dynamodb) listening on 127.0.0.1:7654
 //
 // Flags:
-//   --port N       listen port (default 7654; 0 = kernel-assigned, printed)
-//   --engine E     dynamo | redis (default dynamo)
-//   --node-id ID   node identifier used in commit records (default aft-0)
+//   --port N        listen port (default 7654; 0 = kernel-assigned, printed)
+//   --engine E      dynamo | redis (default dynamo)
+//   --node-id ID    node identifier used in commit records (default aft-0)
+//   --threading M   thread | event (default: AFT_NET_THREADING env var, then
+//                   event) — thread-per-connection vs. epoll event loop; see
+//                   docs/PROTOCOLS.md "Server concurrency model"
 //
 // SIGINT / SIGTERM trigger a clean shutdown: stop accepting, drain handler
 // threads, stop the node's background sweeps, exit 0.
@@ -40,7 +43,9 @@ void HandleSignal(int) { g_shutdown = 1; }
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--port N] [--engine dynamo|redis] [--node-id ID]\n", argv0);
+               "usage: %s [--port N] [--engine dynamo|redis] [--node-id ID] "
+               "[--threading thread|event]\n",
+               argv0);
 }
 
 }  // namespace
@@ -51,6 +56,7 @@ int main(int argc, char** argv) {
   uint16_t port = 7654;
   std::string engine = "dynamo";
   std::string node_id = "aft-0";
+  net::ServerThreading threading = net::DefaultServerThreading();
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -70,6 +76,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) { Usage(argv[0]); return 2; }
       node_id = v;
+    } else if (arg == "--threading") {
+      const char* v = next();
+      if (v != nullptr && std::strcmp(v, "thread") == 0) {
+        threading = net::ServerThreading::kThreadPerConn;
+      } else if (v != nullptr && std::strcmp(v, "event") == 0) {
+        threading = net::ServerThreading::kEventLoop;
+      } else {
+        Usage(argv[0]);
+        return 2;
+      }
     } else {
       Usage(argv[0]);
       return arg == "--help" ? 0 : 2;
@@ -92,14 +108,16 @@ int main(int argc, char** argv) {
 
   net::AftServiceServerOptions server_options;
   server_options.port = port;
+  server_options.threading = threading;
   net::AftServiceServer server(node, server_options);
   const Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "aft-server: %s\n", started.ToString().c_str());
     return 1;
   }
-  std::printf("aft-server: node %s (%s) listening on %s\n", node_id.c_str(), engine.c_str(),
-              server.endpoint().ToString().c_str());
+  std::printf("aft-server: node %s (%s) listening on %s (%s mode)\n", node_id.c_str(),
+              engine.c_str(), server.endpoint().ToString().c_str(),
+              threading == net::ServerThreading::kEventLoop ? "event-loop" : "thread-per-conn");
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string_view>
 #include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "src/common/io_executor.h"
 
 namespace aft {
 namespace net {
@@ -15,28 +20,123 @@ bool IsTransportError(const Status& status) {
   return status.code() == StatusCode::kUnavailable || status.code() == StatusCode::kTimeout;
 }
 
+Duration TimeLeft(SteadyClock::time_point deadline) {
+  return std::chrono::duration_cast<Duration>(deadline - SteadyClock::now());
+}
+
 }  // namespace
+
+Duration BackoffWithJitter(Duration initial_backoff, Duration max_backoff, int attempt,
+                           Rng& rng) {
+  if (initial_backoff <= Duration::zero() || max_backoff <= Duration::zero()) {
+    return Duration::zero();
+  }
+  // Grow the ceiling multiplicatively, stopping at the cap (also prevents
+  // overflow for large attempt counts).
+  Duration ceiling = initial_backoff;
+  for (int i = 0; i < attempt && ceiling < max_backoff; ++i) {
+    ceiling *= 2;
+  }
+  ceiling = std::min(ceiling, max_backoff);
+  // Full jitter: uniform over [0, ceiling] — decorrelates the retry storms
+  // of many clients that failed at the same instant.
+  return Duration(rng.Below(static_cast<uint64_t>(ceiling.count()) + 1));
+}
 
 RemoteAftClient::RemoteAftClient(std::vector<NetEndpoint> endpoints,
                                  RemoteAftClientOptions options)
-    : options_(options) {
-  channels_.reserve(endpoints.size());
+    : options_(options), rng_(options.jitter_seed) {
+  const size_t width = std::max<size_t>(options_.connections_per_endpoint, 1);
+  pools_.reserve(endpoints.size());
   for (NetEndpoint& endpoint : endpoints) {
-    channels_.push_back(std::make_unique<Channel>(std::move(endpoint)));
+    EndpointPool pool;
+    pool.channels.reserve(width);
+    for (size_t i = 0; i < width; ++i) {
+      pool.channels.push_back(std::make_unique<Channel>(endpoint));
+    }
+    pools_.push_back(std::move(pool));
   }
 }
 
 RemoteAftClient::~RemoteAftClient() = default;
 
+size_t RemoteAftClient::StripeForThisThread() const {
+  // Stable per thread, so one caller's request/response pairs reuse one warm
+  // connection while concurrent threads spread over the pool.
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+void RemoteAftClient::FailChannelLocked(Channel& channel, const Status& status) {
+  // Shutdown, not Close: the reader may be blocked in recv on this fd, and a
+  // sender may be mid-write. shutdown(2) wakes both; the fd is recycled by
+  // the next dialer once the reader has drained out.
+  channel.socket.Shutdown();
+  channel.connected = false;
+  for (auto& waiter : channel.waiters) {
+    if (!waiter->done) {
+      waiter->status = status;
+      waiter->done = true;
+    }
+  }
+  channel.waiters.clear();
+  channel.cv.NotifyAll();
+}
+
+void RemoteAftClient::RunReader(Channel& channel, MutexLock& lock,
+                                const std::shared_ptr<Waiter>& own,
+                                const SteadyClock::time_point deadline) {
+  while (channel.connected && !own->done && !channel.waiters.empty()) {
+    const Duration left = TimeLeft(deadline);
+    if (left <= Duration::zero()) {
+      return;  // Caller abandons its slot; a follower takes the reader role.
+    }
+    // FIFO matching: the head of the queue owns the next response frame.
+    const std::shared_ptr<Waiter> front = channel.waiters.front();
+    (void)channel.socket.SetRecvTimeout(left);
+    lock.Unlock();
+    Result<Frame> frame = ReadFrame(channel.socket);
+    lock.Lock();
+    if (!channel.connected) {
+      return;  // Torn down while we read; every waiter already failed.
+    }
+    if (frame.ok() && frame->type != ResponseType(front->expected)) {
+      // A reply of the wrong type means the stream is out of sync; the only
+      // safe recovery is a fresh connection.
+      frame = Status::Unavailable(std::string("response type mismatch: expected ") +
+                                  std::string(MessageTypeName(ResponseType(front->expected))) +
+                                  ", got " + std::string(MessageTypeName(frame->type)));
+    }
+    if (!frame.ok()) {
+      FailChannelLocked(channel, frame.status());
+      return;
+    }
+    channel.waiters.pop_front();
+    // An abandoned head still consumed its response (keeping the stream in
+    // sync); the payload just has no one left to read it.
+    front->response = std::move(frame->payload);
+    front->done = true;
+    channel.cv.NotifyAll();
+  }
+}
+
 Result<std::string> RemoteAftClient::CallOnce(Channel& channel, MessageType type,
                                               const std::string& request, Duration remaining) {
-  if (remaining <= Duration::zero()) {
-    return Status::Timeout("call deadline exceeded before attempt to " +
-                           channel.endpoint.ToString());
-  }
-  if (!channel.connected) {
-    const Duration dial_budget = std::min(remaining, options_.connect_timeout);
-    auto socket = TcpConnect(channel.endpoint, dial_budget);
+  const SteadyClock::time_point deadline = SteadyClock::now() + remaining;
+  MutexLock lock(channel.mu);
+  // 1. Ensure a live connection. A reader may still be draining a torn
+  //    stream; the fd can only be closed + re-dialed once it has exited.
+  while (!channel.connected) {
+    const Duration left = TimeLeft(deadline);
+    if (left <= Duration::zero()) {
+      return Status::Timeout("call deadline exceeded before attempt to " +
+                             channel.endpoint.ToString());
+    }
+    if (channel.reader_active) {
+      channel.cv.WaitFor(lock, left);
+      continue;
+    }
+    channel.socket.Close();
+    auto socket = TcpConnect(channel.endpoint, std::min(left, options_.connect_timeout));
     if (!socket.ok()) {
       return socket.status();
     }
@@ -48,60 +148,101 @@ Result<std::string> RemoteAftClient::CallOnce(Channel& channel, MessageType type
     }
     channel.ever_connected = true;
   }
-  (void)channel.socket.SetSendTimeout(remaining);
-  (void)channel.socket.SetRecvTimeout(remaining);
+  // 2. Bounded pipelining: wait for an in-flight slot.
+  const size_t max_inflight = std::max<size_t>(options_.max_inflight, 1);
+  while (channel.connected && channel.waiters.size() >= max_inflight) {
+    const Duration left = TimeLeft(deadline);
+    if (left <= Duration::zero()) {
+      return Status::Timeout("call deadline exceeded awaiting pipeline slot to " +
+                             channel.endpoint.ToString());
+    }
+    channel.cv.WaitFor(lock, left);
+  }
+  if (!channel.connected) {
+    return Status::Unavailable("connection to " + channel.endpoint.ToString() +
+                               " torn down while awaiting pipeline slot");
+  }
+  // 3. Send. WriteFrame runs under the lock, so the send order and the
+  //    waiter-queue order are the same order — the FIFO invariant.
+  const Duration send_left = TimeLeft(deadline);
+  if (send_left <= Duration::zero()) {
+    return Status::Timeout("call deadline exceeded before send to " +
+                           channel.endpoint.ToString());
+  }
+  (void)channel.socket.SetSendTimeout(send_left);
   stats_.rpcs_sent.fetch_add(1, std::memory_order_relaxed);
   const Status sent = WriteFrame(channel.socket, type, request);
-  Result<Frame> frame = sent.ok() ? ReadFrame(channel.socket) : Result<Frame>(sent);
-  if (frame.ok() && frame->type != ResponseType(type)) {
-    // A reply for the wrong request means the stream is out of sync; the
-    // only safe recovery is a fresh connection.
-    frame = Status::Unavailable(std::string("response type mismatch: expected ") +
-                                std::string(MessageTypeName(ResponseType(type))) + ", got " +
-                                std::string(MessageTypeName(frame->type)));
+  if (!sent.ok()) {
+    // A partial send leaves the stream unframed: fail everything in flight.
+    FailChannelLocked(channel, sent);
+    return sent;
   }
-  if (!frame.ok()) {
-    // Any failure mid-RPC leaves the stream unusable (a late reply would be
-    // matched to the wrong request): tear the pooled connection down so the
-    // next attempt re-dials.
-    channel.socket.Close();
-    channel.connected = false;
-    return frame.status();
+  auto waiter = std::make_shared<Waiter>();
+  waiter->expected = type;
+  channel.waiters.push_back(waiter);
+  // 4. Wait for our response: become the reader when the role is free,
+  //    otherwise follow until notified (or our deadline expires).
+  while (!waiter->done) {
+    if (!channel.reader_active) {
+      channel.reader_active = true;
+      RunReader(channel, lock, waiter, deadline);
+      channel.reader_active = false;
+      channel.cv.NotifyAll();
+      continue;
+    }
+    const Duration left = TimeLeft(deadline);
+    if (left <= Duration::zero()) {
+      // Abandon in place: the slot stays queued so the reader still matches
+      // our (late) response to it and the stream stays in sync.
+      waiter->abandoned = true;
+      return Status::Timeout("call deadline exceeded awaiting response from " +
+                             channel.endpoint.ToString());
+    }
+    channel.cv.WaitFor(lock, left);
   }
-  return std::move(frame->payload);
+  if (!waiter->status.ok()) {
+    return waiter->status;
+  }
+  return std::move(waiter->response);
 }
 
 Result<std::string> RemoteAftClient::Call(size_t endpoint, MessageType type,
                                           const std::string& request) {
-  if (endpoint >= channels_.size()) {
+  return CallOnStripe(endpoint, StripeForThisThread(), type, request);
+}
+
+Result<std::string> RemoteAftClient::CallOnStripe(size_t endpoint, size_t stripe,
+                                                  MessageType type, const std::string& request) {
+  if (endpoint >= pools_.size()) {
     return Status::InvalidArgument("endpoint index out of range");
   }
-  Channel& channel = *channels_[endpoint];
+  EndpointPool& pool = pools_[endpoint];
+  Channel& channel = *pool.channels[stripe % pool.channels.size()];
   const SteadyClock::time_point deadline = SteadyClock::now() + options_.call_timeout;
-  Duration backoff = options_.initial_backoff;
   Status last = Status::Timeout("call budget exhausted before first attempt");
   const int max_attempts = std::max(options_.max_attempts, 1);
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt > 0) {
       stats_.retries.fetch_add(1, std::memory_order_relaxed);
     }
-    Result<std::string> payload = [&]() -> Result<std::string> {
-      const Duration remaining =
-          std::chrono::duration_cast<Duration>(deadline - SteadyClock::now());
-      MutexLock lock(channel.mu);
-      return CallOnce(channel, type, request, remaining);
-    }();
+    Result<std::string> payload =
+        CallOnce(channel, type, request, TimeLeft(deadline));
     if (payload.ok() || !IsTransportError(payload.status())) {
       return payload;
     }
     last = payload.status();
-    // Capped exponential backoff, but never sleep past the call deadline.
-    const Duration remaining = std::chrono::duration_cast<Duration>(deadline - SteadyClock::now());
-    if (remaining <= backoff) {
+    // Full-jitter capped exponential backoff, never sleeping past the
+    // call deadline.
+    const Duration sleep = [&] {
+      MutexLock lock(rng_mu_);
+      return BackoffWithJitter(options_.initial_backoff, options_.max_backoff, attempt, rng_);
+    }();
+    if (TimeLeft(deadline) <= sleep) {
       break;
     }
-    std::this_thread::sleep_for(backoff);
-    backoff = std::min(backoff * 2, options_.max_backoff);
+    if (sleep > Duration::zero()) {
+      std::this_thread::sleep_for(sleep);
+    }
   }
   return Status(last.code(),
                 "rpc to " + channel.endpoint.ToString() + " failed after retries: " + last.message());
@@ -111,17 +252,17 @@ Status RemoteAftClient::CheckSession(const RemoteTxnSession& session) const {
   if (!session.valid()) {
     return Status::InvalidArgument("invalid session: no transaction started");
   }
-  if (session.endpoint >= channels_.size()) {
+  if (session.endpoint >= pools_.size()) {
     return Status::InvalidArgument("invalid session: endpoint index out of range");
   }
   return Status::Ok();
 }
 
 Result<RemoteTxnSession> RemoteAftClient::StartTransaction() {
-  if (channels_.empty()) {
+  if (pools_.empty()) {
     return Status::FailedPrecondition("no endpoints configured");
   }
-  const size_t endpoint = next_endpoint_.fetch_add(1, std::memory_order_relaxed) % channels_.size();
+  const size_t endpoint = next_endpoint_.fetch_add(1, std::memory_order_relaxed) % pools_.size();
   AFT_ASSIGN_OR_RETURN(std::string payload,
                        Call(endpoint, MessageType::kStartTxn, StartTxnRequest{}.Serialize()));
   AFT_ASSIGN_OR_RETURN(StartTxnResponse response, StartTxnResponse::Deserialize(payload));
@@ -162,13 +303,54 @@ Result<AftNode::VersionedRead> RemoteAftClient::GetVersioned(const RemoteTxnSess
 Result<std::vector<AftNode::VersionedRead>> RemoteAftClient::MultiGet(
     const RemoteTxnSession& session, std::span<const std::string> keys) {
   AFT_RETURN_IF_ERROR(CheckSession(session));
-  MultiGetRequest request;
-  request.txid = session.txid;
-  request.keys.assign(keys.begin(), keys.end());
-  AFT_ASSIGN_OR_RETURN(std::string payload,
-                       Call(session.endpoint, MessageType::kMultiGet, request.Serialize()));
-  AFT_ASSIGN_OR_RETURN(MultiGetResponse response, MultiGetResponse::Deserialize(payload));
-  return std::move(response.reads);
+  const size_t pool_width = pools_[session.endpoint].channels.size();
+  const size_t min_chunk = std::max<size_t>(options_.fanout_min_chunk, 1);
+  const size_t num_chunks = std::min(pool_width, keys.size() / min_chunk);
+  if (num_chunks < 2) {
+    MultiGetRequest request;
+    request.txid = session.txid;
+    request.keys.assign(keys.begin(), keys.end());
+    AFT_ASSIGN_OR_RETURN(std::string payload,
+                         Call(session.endpoint, MessageType::kMultiGet, request.Serialize()));
+    AFT_ASSIGN_OR_RETURN(MultiGetResponse response, MultiGetResponse::Deserialize(payload));
+    return std::move(response.reads);
+  }
+  // Fan the batch out over distinct pool stripes. Chunked reads on one txn
+  // are an interleaving of sequential MultiGets: the server folds each chunk
+  // into the txn's read set under the txn lock, so the union carries the same
+  // Algorithm-1 atomicity guarantee as one monolithic call (see header).
+  stats_.fanouts.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::pair<size_t, size_t>> ranges;  // {offset, length}
+  const size_t base = keys.size() / num_chunks;
+  const size_t extra = keys.size() % num_chunks;
+  for (size_t c = 0, off = 0; c < num_chunks; ++c) {
+    const size_t len = base + (c < extra ? 1 : 0);
+    ranges.emplace_back(off, len);
+    off += len;
+  }
+  std::vector<AftNode::VersionedRead> reads(keys.size());
+  const size_t stripe0 = StripeForThisThread();
+  const Status status = IoExecutor::Shared().ParallelFor(
+      num_chunks, [&](size_t c) -> Status {
+        const auto [off, len] = ranges[c];
+        MultiGetRequest request;
+        request.txid = session.txid;
+        request.keys.assign(keys.begin() + off, keys.begin() + off + len);
+        AFT_ASSIGN_OR_RETURN(
+            std::string payload,
+            CallOnStripe(session.endpoint, stripe0 + c, MessageType::kMultiGet,
+                         request.Serialize()));
+        AFT_ASSIGN_OR_RETURN(MultiGetResponse response, MultiGetResponse::Deserialize(payload));
+        if (response.reads.size() != len) {
+          return Status::Internal("multiget chunk returned " +
+                                  std::to_string(response.reads.size()) + " reads for " +
+                                  std::to_string(len) + " keys");
+        }
+        std::move(response.reads.begin(), response.reads.end(), reads.begin() + off);
+        return Status::Ok();
+      });
+  AFT_RETURN_IF_ERROR(status);
+  return reads;
 }
 
 Status RemoteAftClient::Put(const RemoteTxnSession& session, const std::string& key,
@@ -185,12 +367,55 @@ Status RemoteAftClient::Put(const RemoteTxnSession& session, const std::string& 
 
 Status RemoteAftClient::PutBatch(const RemoteTxnSession& session, std::span<const WriteOp> ops) {
   AFT_RETURN_IF_ERROR(CheckSession(session));
-  PutBatchRequest request;
-  request.txid = session.txid;
-  request.ops.assign(ops.begin(), ops.end());
-  AFT_ASSIGN_OR_RETURN(std::string payload,
-                       Call(session.endpoint, MessageType::kPutBatch, request.Serialize()));
-  return DeserializeEmptyResponse(payload);
+  const size_t pool_width = pools_[session.endpoint].channels.size();
+  const size_t min_chunk = std::max<size_t>(options_.fanout_min_chunk, 1);
+  size_t num_chunks = std::min(pool_width, ops.size() / min_chunk);
+  if (num_chunks >= 2) {
+    // Concurrent chunks lose the batch's internal ordering, which only
+    // matters when one key appears twice (last write would no longer
+    // deterministically win) — fall back to one call in that case.
+    std::unordered_set<std::string_view> seen;
+    seen.reserve(ops.size());
+    for (const WriteOp& op : ops) {
+      if (!seen.insert(op.key).second) {
+        num_chunks = 1;
+        break;
+      }
+    }
+  }
+  if (num_chunks < 2) {
+    PutBatchRequest request;
+    request.txid = session.txid;
+    request.ops.assign(ops.begin(), ops.end());
+    AFT_ASSIGN_OR_RETURN(std::string payload,
+                         Call(session.endpoint, MessageType::kPutBatch, request.Serialize()));
+    return DeserializeEmptyResponse(payload);
+  }
+  // Buffered writes land in the txn's private write set, so concurrent
+  // chunks of distinct keys commute; atomicity is decided at Commit, which
+  // still sees the union (same guarantee as the sequential loop the server
+  // runs for one big batch).
+  stats_.fanouts.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::pair<size_t, size_t>> ranges;
+  const size_t base = ops.size() / num_chunks;
+  const size_t extra = ops.size() % num_chunks;
+  for (size_t c = 0, off = 0; c < num_chunks; ++c) {
+    const size_t len = base + (c < extra ? 1 : 0);
+    ranges.emplace_back(off, len);
+    off += len;
+  }
+  const size_t stripe0 = StripeForThisThread();
+  return IoExecutor::Shared().ParallelFor(num_chunks, [&](size_t c) -> Status {
+    const auto [off, len] = ranges[c];
+    PutBatchRequest request;
+    request.txid = session.txid;
+    request.ops.assign(ops.begin() + off, ops.begin() + off + len);
+    AFT_ASSIGN_OR_RETURN(
+        std::string payload,
+        CallOnStripe(session.endpoint, stripe0 + c, MessageType::kPutBatch,
+                     request.Serialize()));
+    return DeserializeEmptyResponse(payload);
+  });
 }
 
 Result<TxnId> RemoteAftClient::Commit(const RemoteTxnSession& session) {

@@ -136,6 +136,23 @@ Result<Frame> DecodeFrame(std::string_view bytes) {
   return frame;
 }
 
+Result<size_t> DecodeFrameFromBuffer(std::string_view buffer, Frame* out) {
+  if (buffer.size() < kFrameHeaderSize) {
+    return static_cast<size_t>(0);
+  }
+  AFT_ASSIGN_OR_RETURN(ParsedHeader header, ParseHeader(buffer));
+  const size_t total = kFrameHeaderSize + header.payload_len;
+  if (buffer.size() < total) {
+    return static_cast<size_t>(0);
+  }
+  out->type = header.type;
+  out->payload.assign(buffer.data() + kFrameHeaderSize, header.payload_len);
+  if (Crc32(out->payload) != header.crc) {
+    return Status::InvalidArgument("frame CRC mismatch");
+  }
+  return total;
+}
+
 Status WriteFrame(Socket& socket, MessageType type, std::string_view payload) {
   if (payload.size() > kMaxFramePayload) {
     return Status::InvalidArgument("frame payload of " + std::to_string(payload.size()) +

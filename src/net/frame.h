@@ -91,6 +91,17 @@ std::string EncodeFrame(MessageType type, std::string_view payload);
 // with a descriptive error — never crashes, never reads past `bytes`.
 Result<Frame> DecodeFrame(std::string_view bytes);
 
+// Incremental variant for a streaming read buffer (the event-loop server
+// accumulates bytes as they arrive): examines the FRONT of `buffer` and
+//   * returns the byte count consumed (header + payload) with `*out` filled
+//     when a complete frame is present;
+//   * returns 0 when the buffer merely needs more bytes (nothing consumed);
+//   * returns the DecodeFrame errors for corrupt data — same contract: the
+//     stream cannot be resynchronized and must be dropped.
+// Header fields are validated as soon as the 16 header bytes are in hand, so
+// a hostile length field is rejected before any payload accumulates.
+Result<size_t> DecodeFrameFromBuffer(std::string_view buffer, Frame* out);
+
 // Stream variants: write/read one frame over a connected socket. ReadFrame
 // returns kUnavailable when the peer closes cleanly between frames, and the
 // DecodeFrame errors above for torn or corrupt frames.

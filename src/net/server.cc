@@ -1,10 +1,100 @@
 #include "src/net/server.h"
 
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+#include "src/common/io_executor.h"
 #include "src/common/logging.h"
 #include "src/net/message.h"
 
 namespace aft {
 namespace net {
+
+ServerThreading DefaultServerThreading() {
+  if (const char* env = std::getenv("AFT_NET_THREADING")) {
+    const std::string_view value(env);
+    if (value == "thread" || value == "thread_per_conn") {
+      return ServerThreading::kThreadPerConn;
+    }
+    if (value == "event" || value == "event_loop" || value == "epoll") {
+      return ServerThreading::kEventLoop;
+    }
+    AFT_LOG(Warn) << "unrecognized AFT_NET_THREADING value '" << value
+                  << "' (want 'thread' or 'event'); using event loop";
+  }
+  return ServerThreading::kEventLoop;
+}
+
+// One connection owned by an event loop. Field ownership is split two ways:
+//   * loop-thread-only (no lock): the socket fd for read/write/epoll_ctl, the
+//     read buffer, dispatch sequencing, and epoll interest bookkeeping;
+//   * `mu`-guarded: everything worker tasks touch — the response re-sequencing
+//     map and the outgoing byte buffer.
+// The only cross-thread socket operation is Shutdown(), which is race-free by
+// design (the fd cannot be closed underneath it: the last shared_ptr owner
+// closes it, and every toucher holds a shared_ptr).
+struct AftServiceServer::EventConnection {
+  Socket socket;
+  size_t loop_index = 0;
+
+  // ---- loop-thread-only ----
+  std::string inbuf;
+  uint64_t next_dispatch_seq = 0;  // seq assigned to the next decoded request
+  bool reads_paused = false;
+  bool want_write = false;  // partial write pending; EPOLLOUT wanted
+  uint32_t armed_events = EPOLLIN;
+
+  // Set once (under the loop's ownership or by loop exit); checked by worker
+  // tasks to skip flush-queue churn for dead connections.
+  std::atomic<bool> closed{false};
+
+  Mutex mu;
+  // Next seq to append to outbuf: responses leave in request order even when
+  // handlers finish out of order.
+  uint64_t next_send_seq GUARDED_BY(mu) = 0;
+  std::map<uint64_t, std::string> out_of_order GUARDED_BY(mu);
+  std::string outbuf GUARDED_BY(mu);
+  size_t outbuf_off GUARDED_BY(mu) = 0;
+};
+
+struct AftServiceServer::EventLoop {
+  int epoll_fd = -1;
+  int wake_fd = -1;  // eventfd; registered in epoll with data.ptr == nullptr
+  std::thread thread;
+  std::atomic<bool> stop{false};
+
+  Mutex mu;
+  std::vector<std::shared_ptr<EventConnection>> incoming GUARDED_BY(mu);
+  std::vector<std::shared_ptr<EventConnection>> flush_queue GUARDED_BY(mu);
+
+  // ---- loop-thread-only ----
+  std::unordered_map<int, std::shared_ptr<EventConnection>> conns;  // by fd
+  // Connections closed during the current event batch. Cleared only after the
+  // batch completes, so the raw data.ptr in already-fetched epoll events stays
+  // valid even when an earlier event in the same batch closed the connection.
+  std::vector<std::shared_ptr<EventConnection>> graveyard;
+
+  ~EventLoop() {
+    if (epoll_fd >= 0) {
+      ::close(epoll_fd);
+    }
+    if (wake_fd >= 0) {
+      ::close(wake_fd);
+    }
+  }
+
+  void Wake() {
+    const uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd, &one, sizeof(one));
+  }
+};
 
 AftServiceServer::AftServiceServer(AftNode& node, AftServiceServerOptions options)
     : node_(node), options_(options) {}
@@ -23,6 +113,17 @@ Status AftServiceServer::Start() {
   }
   listener_ = std::move(listener).value();
   port_ = listener_.port();
+  if (options_.threading == ServerThreading::kEventLoop) {
+    Status status = StartEventLoops();
+    if (!status.ok()) {
+      StopEventLoops();
+      workers_.reset();
+      loops_.clear();
+      listener_.Close();
+      running_.store(false);
+      return status;
+    }
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
 }
@@ -36,6 +137,24 @@ void AftServiceServer::Stop() {
     accept_thread_.join();
   }
   listener_.Close();
+  if (options_.threading == ServerThreading::kEventLoop) {
+    // Join the loops first (their exit path shuts every connection down, so
+    // blocked clients see EOF), then wait out in-flight worker tasks — they
+    // may still queue responses into dead connections, which is harmless.
+    // Only after that is it safe to drop the loop and connection objects.
+    StopEventLoops();
+    {
+      MutexLock lock(inflight_mu_);
+      while (inflight_ > 0) {
+        inflight_cv_.Wait(lock);
+      }
+    }
+    workers_.reset();  // All tasks done; joins the (now idle) worker threads.
+    loops_.clear();
+    MutexLock lock(mu_);
+    event_connections_.clear();
+    return;
+  }
   std::vector<std::unique_ptr<Connection>> connections;
   {
     MutexLock lock(mu_);
@@ -58,6 +177,12 @@ void AftServiceServer::AbandonConnections() {
       conn->socket.Shutdown();
     }
   }
+  // Event connections: shutdown(2) tears the stream under the loop — pending
+  // response sends fail with EPIPE and reads see EOF, so the loop closes the
+  // connection exactly as if the process had died mid-frame.
+  for (auto& conn : event_connections_) {
+    conn->socket.Shutdown();
+  }
 }
 
 void AftServiceServer::ReapFinished() {
@@ -72,6 +197,9 @@ void AftServiceServer::ReapFinished() {
         ++it;
       }
     }
+    std::erase_if(event_connections_, [](const std::shared_ptr<EventConnection>& conn) {
+      return conn->closed.load(std::memory_order_acquire);
+    });
   }
   for (auto& conn : finished) {
     if (conn->thread.joinable()) {
@@ -91,6 +219,10 @@ void AftServiceServer::AcceptLoop() {
     }
     stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
     ReapFinished();
+    if (options_.threading == ServerThreading::kEventLoop) {
+      AdoptEventConnection(std::move(accepted).value());
+      continue;
+    }
     auto conn = std::make_unique<Connection>();
     conn->socket = std::move(accepted).value();
     (void)conn->socket.SetSendTimeout(options_.send_timeout);
@@ -137,6 +269,370 @@ void AftServiceServer::ServeConnection(Connection* conn) {
   // when the Connection is reaped (Shutdown never races Close).
   conn->socket.Shutdown();
   conn->done.store(true, std::memory_order_release);
+}
+
+// ---- Event-loop mode --------------------------------------------------------
+
+Status AftServiceServer::StartEventLoops() {
+  workers_ = std::make_unique<IoExecutor>(
+      options_.num_workers > 0 ? options_.num_workers : 8);
+  size_t n = options_.num_event_loops;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) {
+      n = 1;
+    }
+    if (n > 8) {
+      n = 8;  // I/O loops saturate well before core count on this workload.
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    auto loop = std::make_unique<EventLoop>();
+    loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (loop->epoll_fd < 0) {
+      return Status::Internal(std::string("epoll_create1: ") + std::strerror(errno));
+    }
+    loop->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (loop->wake_fd < 0) {
+      return Status::Internal(std::string("eventfd: ") + std::strerror(errno));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = nullptr;  // Sentinel: "this readiness is the wake eventfd".
+    if (::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd, &ev) != 0) {
+      return Status::Internal(std::string("epoll_ctl(wake): ") + std::strerror(errno));
+    }
+    loops_.push_back(std::move(loop));
+  }
+  // Threads start only once every loop constructed, so a failure above never
+  // leaves a running thread behind.
+  for (auto& loop : loops_) {
+    loop->thread = std::thread([this, raw = loop.get()] { EventLoopMain(raw); });
+  }
+  return Status::Ok();
+}
+
+void AftServiceServer::StopEventLoops() {
+  for (auto& loop : loops_) {
+    loop->stop.store(true, std::memory_order_release);
+    loop->Wake();
+  }
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) {
+      loop->thread.join();
+    }
+  }
+}
+
+void AftServiceServer::AdoptEventConnection(Socket socket) {
+  (void)socket.SetNonBlocking(true);
+  auto conn = std::make_shared<EventConnection>();
+  conn->socket = std::move(socket);
+  conn->loop_index = next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+  {
+    MutexLock lock(mu_);
+    event_connections_.push_back(conn);
+  }
+  EventLoop* loop = loops_[conn->loop_index].get();
+  {
+    MutexLock lock(loop->mu);
+    loop->incoming.push_back(std::move(conn));
+  }
+  loop->Wake();
+}
+
+void AftServiceServer::EventLoopMain(EventLoop* loop) {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!loop->stop.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(loop->epoll_fd, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      AFT_LOG(Warn) << "aft server (" << node_.node_id()
+                    << "): epoll_wait failed: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.ptr == nullptr) {
+        uint64_t drained;
+        while (::read(loop->wake_fd, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      auto* raw = static_cast<EventConnection*>(events[i].data.ptr);
+      if (raw->closed.load(std::memory_order_acquire)) {
+        continue;  // Closed by an earlier event in this batch; in graveyard.
+      }
+      auto it = loop->conns.find(raw->socket.fd());
+      if (it == loop->conns.end()) {
+        continue;
+      }
+      const std::shared_ptr<EventConnection> conn = it->second;
+      if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+        HandleReadable(loop, conn);
+      }
+      if (!conn->closed.load(std::memory_order_acquire) &&
+          (events[i].events & EPOLLOUT) != 0) {
+        ServiceWritable(loop, conn);
+      }
+    }
+    // Control work handed over by the accept thread and worker tasks. The
+    // wake eventfd was drained above, so anything enqueued after the swap
+    // re-triggers epoll_wait immediately — no lost wakeups.
+    std::vector<std::shared_ptr<EventConnection>> incoming;
+    std::vector<std::shared_ptr<EventConnection>> flush;
+    {
+      MutexLock lock(loop->mu);
+      incoming.swap(loop->incoming);
+      flush.swap(loop->flush_queue);
+    }
+    for (auto& conn : incoming) {
+      const int fd = conn->socket.fd();
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.ptr = conn.get();
+      if (::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        conn->closed.store(true, std::memory_order_release);
+        conn->socket.Shutdown();
+        continue;
+      }
+      conn->armed_events = EPOLLIN;
+      loop->conns.emplace(fd, std::move(conn));
+    }
+    for (auto& conn : flush) {
+      ServiceWritable(loop, conn);
+    }
+    loop->graveyard.clear();
+  }
+  // Loop exit: tear every owned connection down so blocked peers see EOF.
+  // The fds close once the registry (and any in-flight worker task) drops
+  // the last shared_ptr.
+  for (auto& [fd, conn] : loop->conns) {
+    conn->closed.store(true, std::memory_order_release);
+    conn->socket.Shutdown();
+  }
+  loop->conns.clear();
+  loop->graveyard.clear();
+}
+
+void AftServiceServer::HandleReadable(EventLoop* loop,
+                                      const std::shared_ptr<EventConnection>& conn) {
+  if (conn->closed.load(std::memory_order_acquire) || conn->reads_paused) {
+    return;  // Stale readiness from earlier in the batch.
+  }
+  char buf[64 * 1024];
+  while (true) {
+    auto got = conn->socket.RecvSome(buf, sizeof(buf));
+    if (!got.ok()) {
+      if (got.status().code() == StatusCode::kTimeout) {
+        break;  // Drained; wait for the next readiness event.
+      }
+      if (got.status().code() != StatusCode::kUnavailable) {
+        AFT_LOG(Warn) << "aft server (" << node_.node_id()
+                      << "): dropping connection: " << got.status().ToString();
+      }
+      CloseEventConnection(loop, conn);
+      return;
+    }
+    conn->inbuf.append(buf, *got);
+  }
+  if (!ParseAndDispatch(conn)) {
+    CloseEventConnection(loop, conn);
+    return;
+  }
+  UpdateInterest(loop, conn);
+}
+
+void AftServiceServer::ServiceWritable(EventLoop* loop,
+                                       const std::shared_ptr<EventConnection>& conn) {
+  if (conn->closed.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (!FlushEventConnection(loop, conn)) {
+    CloseEventConnection(loop, conn);
+    return;
+  }
+  UpdateInterest(loop, conn);
+  // Draining the write backlog may have lifted backpressure; requests parked
+  // in the read buffer while paused must be pumped now — no EPOLLIN will fire
+  // for bytes we already hold.
+  if (!conn->reads_paused && !conn->inbuf.empty()) {
+    if (!ParseAndDispatch(conn)) {
+      CloseEventConnection(loop, conn);
+      return;
+    }
+    UpdateInterest(loop, conn);
+  }
+}
+
+bool AftServiceServer::ParseAndDispatch(const std::shared_ptr<EventConnection>& conn) {
+  size_t consumed = 0;
+  while (true) {
+    uint64_t sequenced;
+    {
+      MutexLock lock(conn->mu);
+      sequenced = conn->next_send_seq;
+    }
+    if (conn->next_dispatch_seq - sequenced >= options_.max_pipeline_depth) {
+      break;  // Pipeline full; UpdateInterest pauses reads until it drains.
+    }
+    Frame frame;
+    auto n = DecodeFrameFromBuffer(std::string_view(conn->inbuf).substr(consumed), &frame);
+    if (!n.ok()) {
+      stats_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+      AFT_LOG(Warn) << "aft server (" << node_.node_id()
+                    << "): dropping connection: " << n.status().ToString();
+      conn->inbuf.erase(0, consumed);
+      return false;
+    }
+    if (*n == 0) {
+      break;  // Need more bytes.
+    }
+    consumed += *n;
+    if (IsResponse(frame.type)) {
+      stats_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+      conn->inbuf.erase(0, consumed);
+      return false;  // A client sending response frames is off-protocol.
+    }
+    DispatchRequest(conn, conn->next_dispatch_seq++, frame.type, std::move(frame.payload));
+  }
+  conn->inbuf.erase(0, consumed);
+  return true;
+}
+
+void AftServiceServer::DispatchRequest(const std::shared_ptr<EventConnection>& conn,
+                                       uint64_t seq, MessageType type, std::string payload) {
+  {
+    MutexLock lock(inflight_mu_);
+    ++inflight_;
+  }
+  auto task = [this, conn, seq, type, payload = std::move(payload)]() mutable {
+    bool bad_frame = false;
+    const std::string response = HandleRequest(type, payload, &bad_frame);
+    if (bad_frame) {
+      stats_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+    }
+    stats_.requests_served.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(conn, seq, EncodeFrame(ResponseType(type), response));
+    MutexLock lock(inflight_mu_);
+    if (--inflight_ == 0) {
+      inflight_cv_.NotifyAll();
+    }
+  };
+  // Pool missing or shut down ⇒ run inline on the loop thread; slower but
+  // never lost. Same contract as IoExecutor::ParallelFor.
+  if (workers_ == nullptr || !workers_->Submit(task)) {
+    task();
+  }
+}
+
+void AftServiceServer::QueueResponse(const std::shared_ptr<EventConnection>& conn, uint64_t seq,
+                                     std::string bytes) {
+  bool appended = false;
+  {
+    MutexLock lock(conn->mu);
+    conn->out_of_order[seq] = std::move(bytes);
+    // Drain the run of consecutive ready responses into the wire buffer —
+    // this is the FIFO re-sequencing point.
+    while (true) {
+      auto it = conn->out_of_order.find(conn->next_send_seq);
+      if (it == conn->out_of_order.end()) {
+        break;
+      }
+      conn->outbuf.append(it->second);
+      conn->out_of_order.erase(it);
+      ++conn->next_send_seq;
+      appended = true;
+    }
+  }
+  if (!appended || conn->closed.load(std::memory_order_acquire)) {
+    return;
+  }
+  EventLoop* loop = loops_[conn->loop_index].get();
+  {
+    MutexLock lock(loop->mu);
+    loop->flush_queue.push_back(conn);
+  }
+  loop->Wake();
+}
+
+bool AftServiceServer::FlushEventConnection(EventLoop* /*loop*/,
+                                            const std::shared_ptr<EventConnection>& conn) {
+  MutexLock lock(conn->mu);
+  while (conn->outbuf_off < conn->outbuf.size()) {
+    auto sent = conn->socket.SendSome(conn->outbuf.data() + conn->outbuf_off,
+                                      conn->outbuf.size() - conn->outbuf_off);
+    if (!sent.ok()) {
+      if (sent.status().code() == StatusCode::kTimeout) {
+        break;  // Kernel buffer full; EPOLLOUT will resume us.
+      }
+      return false;
+    }
+    conn->outbuf_off += *sent;
+  }
+  if (conn->outbuf_off == conn->outbuf.size()) {
+    conn->outbuf.clear();
+    conn->outbuf_off = 0;
+    conn->want_write = false;
+  } else {
+    conn->want_write = true;
+  }
+  return true;
+}
+
+void AftServiceServer::UpdateInterest(EventLoop* loop,
+                                      const std::shared_ptr<EventConnection>& conn) {
+  if (conn->closed.load(std::memory_order_acquire)) {
+    return;
+  }
+  size_t pending_bytes;
+  uint64_t sequenced;
+  {
+    MutexLock lock(conn->mu);
+    pending_bytes = conn->outbuf.size() - conn->outbuf_off;
+    sequenced = conn->next_send_seq;
+  }
+  const uint64_t depth = conn->next_dispatch_seq - sequenced;
+  // Hysteresis: pause at the caps, resume at half — a connection hovering at
+  // the limit does not thrash epoll_ctl.
+  bool want_read;
+  if (conn->reads_paused) {
+    want_read = pending_bytes <= options_.max_write_buffer_bytes / 2 &&
+                depth <= options_.max_pipeline_depth / 2;
+  } else {
+    want_read = pending_bytes <= options_.max_write_buffer_bytes &&
+                depth < options_.max_pipeline_depth;
+  }
+  if (!want_read && !conn->reads_paused) {
+    stats_.backpressure_pauses.fetch_add(1, std::memory_order_relaxed);
+  }
+  conn->reads_paused = !want_read;
+  const uint32_t desired =
+      (want_read ? EPOLLIN : 0u) | (conn->want_write ? EPOLLOUT : 0u);
+  if (desired != conn->armed_events) {
+    epoll_event ev{};
+    ev.events = desired;
+    ev.data.ptr = conn.get();
+    (void)::epoll_ctl(loop->epoll_fd, EPOLL_CTL_MOD, conn->socket.fd(), &ev);
+    conn->armed_events = desired;
+  }
+}
+
+void AftServiceServer::CloseEventConnection(EventLoop* loop,
+                                            const std::shared_ptr<EventConnection>& conn) {
+  if (conn->closed.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  const int fd = conn->socket.fd();
+  (void)::epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  conn->socket.Shutdown();
+  auto it = loop->conns.find(fd);
+  if (it != loop->conns.end()) {
+    loop->graveyard.push_back(std::move(it->second));
+    loop->conns.erase(it);
+  }
 }
 
 std::string AftServiceServer::HandleRequest(MessageType type, const std::string& payload,

@@ -59,6 +59,18 @@ class Socket {
   // peer, never a legal message boundary.
   Status RecvAll(char* data, size_t len);
 
+  // Single-shot partial I/O for the non-blocking event loop. Both return the
+  // byte count actually moved (>= 1), or:
+  //   * kTimeout      — the operation would block (EAGAIN); try again after
+  //                     the next readiness event;
+  //   * kUnavailable  — orderly EOF (recv) or a dead peer;
+  //   * kInternal     — anything else.
+  Result<size_t> RecvSome(char* data, size_t len);
+  Result<size_t> SendSome(const char* data, size_t len);
+
+  // Switches the fd between blocking (the default) and non-blocking mode.
+  Status SetNonBlocking(bool enabled);
+
   // Per-operation deadlines. Duration::zero() disables the deadline.
   Status SetRecvTimeout(Duration d);
   Status SetSendTimeout(Duration d);

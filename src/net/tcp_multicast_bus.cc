@@ -1,7 +1,9 @@
 #include "src/net/tcp_multicast_bus.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "src/common/io_executor.h"
 #include "src/common/logging.h"
 #include "src/net/frame.h"
 #include "src/net/message.h"
@@ -21,8 +23,8 @@ void TcpMulticastBus::RegisterNode(AftNode* node) {
       return;
     }
   }
-  auto peer = std::make_unique<Peer>(node);
-  peer->server = std::make_unique<AftServiceServer>(*node);
+  auto peer = std::make_shared<Peer>(node);
+  peer->server = std::make_unique<AftServiceServer>(*node, options_.server_options);
   const Status started = peer->server->Start();
   if (!started.ok()) {
     AFT_LOG(Error) << "tcp bus: cannot serve node " << node->node_id() << ": "
@@ -35,7 +37,7 @@ void TcpMulticastBus::RegisterNode(AftNode* node) {
 }
 
 void TcpMulticastBus::UnregisterNode(AftNode* node) {
-  std::unique_ptr<Peer> removed;
+  std::shared_ptr<Peer> removed;
   {
     MutexLock lock(mu_);
     auto it = std::find_if(peers_.begin(), peers_.end(),
@@ -46,6 +48,8 @@ void TcpMulticastBus::UnregisterNode(AftNode* node) {
     removed = std::move(*it);
     peers_.erase(it);
   }
+  // A round that snapshotted the old list still holds the peer alive; its
+  // delivery either completes or fails cleanly against the stopped server.
   removed->server->Stop();
 }
 
@@ -75,18 +79,27 @@ std::vector<NetEndpoint> TcpMulticastBus::Endpoints() const {
 }
 
 void TcpMulticastBus::KillEndpoint(const AftNode* node) {
-  MutexLock lock(mu_);
-  for (auto& peer : peers_) {
-    if (peer->node == node) {
-      peer->server->Stop();
-      peer->socket.Close();
-      peer->connected = false;
-      return;
+  std::shared_ptr<Peer> peer;
+  {
+    MutexLock lock(mu_);
+    for (auto& candidate : peers_) {
+      if (candidate->node == node) {
+        peer = candidate;
+        break;
+      }
     }
   }
+  if (!peer) {
+    return;
+  }
+  peer->server->Stop();
+  MutexLock lock(peer->send_mu);
+  peer->socket.Close();
+  peer->connected = false;
 }
 
 Status TcpMulticastBus::DeliverTo(Peer& peer, const std::string& request) {
+  MutexLock lock(peer.send_mu);
   if (!peer.connected) {
     auto socket = TcpConnect(peer.server->endpoint(), options_.connect_timeout);
     if (!socket.ok()) {
@@ -117,10 +130,25 @@ Status TcpMulticastBus::DeliverTo(Peer& peer, const std::string& request) {
 }
 
 void TcpMulticastBus::RunOnce() {
-  MutexLock lock(mu_);
   stats_.rounds.fetch_add(1, std::memory_order_relaxed);
   const bool prune = pruning_enabled();
-  for (auto& sender : peers_) {
+  std::vector<std::shared_ptr<Peer>> peers;
+  FaultManagerSink sink;
+  {
+    MutexLock lock(mu_);
+    peers = peers_;
+    sink = fault_manager_sink_;
+  }
+  // Phase 1 — drain + prune, all in-memory. Each sender's stream is pruned
+  // against its OWN commit index (§4.1), so superseded transactions never
+  // reach the wire; the unpruned stream still goes to the fault manager,
+  // which must see every commit.
+  struct Outgoing {
+    Peer* sender;
+    std::vector<CommitRecordPtr> records;
+  };
+  std::vector<Outgoing> outgoing;
+  for (const auto& sender : peers) {
     if (!sender->node->alive()) {
       continue;  // A dead node cannot gossip; the fault manager's storage
                  // scan recovers anything it committed but never broadcast.
@@ -131,32 +159,63 @@ void TcpMulticastBus::RunOnce() {
     if (unpruned.empty()) {
       continue;
     }
-    if (fault_manager_sink_) {
-      fault_manager_sink_(unpruned);
+    if (sink) {
+      sink(unpruned);
       stats_.records_to_fault_manager.fetch_add(unpruned.size(), std::memory_order_relaxed);
     }
-    std::vector<CommitRecordPtr>& outgoing = prune ? pruned : unpruned;
-    stats_.records_broadcast.fetch_add(outgoing.size(), std::memory_order_relaxed);
-    stats_.records_pruned.fetch_add(unpruned.size() - outgoing.size(),
-                                    std::memory_order_relaxed);
-    if (outgoing.empty()) {
+    std::vector<CommitRecordPtr>& out = prune ? pruned : unpruned;
+    stats_.records_broadcast.fetch_add(out.size(), std::memory_order_relaxed);
+    stats_.records_pruned.fetch_add(unpruned.size() - out.size(), std::memory_order_relaxed);
+    if (!out.empty()) {
+      outgoing.push_back(Outgoing{sender.get(), std::move(out)});
+    }
+  }
+  if (outgoing.empty()) {
+    return;
+  }
+  // Phase 2 — coalesce per receiver: every other sender's pruned stream in
+  // one batched ApplyCommits frame, encoded once per receiver.
+  struct Delivery {
+    std::shared_ptr<Peer> receiver;
+    std::string payload;
+    size_t record_count = 0;
+  };
+  std::vector<Delivery> deliveries;
+  for (const auto& receiver : peers) {
+    if (!receiver->node->alive()) {
       continue;
     }
     ApplyCommitsRequest request;
-    request.records = std::move(outgoing);
-    const std::string payload = request.Serialize();
-    for (auto& receiver : peers_) {
-      if (receiver.get() == sender.get() || !receiver->node->alive()) {
+    for (const Outgoing& out : outgoing) {
+      if (out.sender == receiver.get()) {
         continue;
       }
-      const Status delivered = DeliverTo(*receiver, payload);
-      if (!delivered.ok()) {
-        stats_.delivery_errors.fetch_add(1, std::memory_order_relaxed);
-        AFT_LOG(Warn) << "tcp bus: delivery " << sender->node->node_id() << " -> "
-                      << receiver->node->node_id() << " failed: " << delivered.ToString();
-      }
+      request.records.insert(request.records.end(), out.records.begin(), out.records.end());
     }
+    if (request.records.empty()) {
+      continue;
+    }
+    deliveries.push_back(Delivery{receiver, request.Serialize(), request.records.size()});
   }
+  if (deliveries.empty()) {
+    return;
+  }
+  // Phase 3 — deliver to all receivers concurrently. A failed delivery is
+  // counted and NOT retried (the record set is not re-queued; §4.2's scan is
+  // the recovery path); the connection itself is re-dialed next round. The
+  // per-delivery error handling keeps one dead peer's timeout from ever
+  // serializing before — or aborting — the deliveries to healthy peers.
+  (void)IoExecutor::Shared().ParallelFor(deliveries.size(), [&](size_t i) -> Status {
+    Delivery& delivery = deliveries[i];
+    const Status delivered = DeliverTo(*delivery.receiver, delivery.payload);
+    if (!delivered.ok()) {
+      stats_.delivery_errors.fetch_add(1, std::memory_order_relaxed);
+      AFT_LOG(Warn) << "tcp bus: delivery of " << delivery.record_count << " records to "
+                    << delivery.receiver->node->node_id()
+                    << " failed: " << delivered.ToString();
+    }
+    return Status::Ok();
+  });
 }
 
 }  // namespace net

@@ -7,12 +7,21 @@
 // ships records to peers as framed, checksummed `ApplyCommits` RPCs against
 // those servers, awaiting the ack so a gossip round is deterministic.
 //
+// Round shape (RunOnce): drains and per-sender supersedence pruning run
+// first (cheap, in-memory — pruned txns never reach the wire, §4.1); then
+// every receiver's records are COALESCED into one batched ApplyCommits frame
+// (the union of all other senders' pruned streams), encoded once, and all
+// receivers are delivered to CONCURRENTLY on the shared IoExecutor. The
+// committer thread is never blocked behind a slow peer, and one dead peer
+// costs only its own timeout — never delays delivery to healthy peers.
+//
 // Failure model: a delivery that fails in the transport (connection refused /
 // reset / timeout) increments `stats().delivery_errors` and is NOT retried —
 // the fault manager's storage scan is the recovery path for anything gossip
-// loses, exactly as in the paper (§4.2). `KillEndpoint` tears one node's
-// server down without touching the node, simulating a machine whose network
-// died after acking a commit to its client.
+// loses, exactly as in the paper (§4.2). The failed peer's connection is
+// re-dialed on the next round. `KillEndpoint` tears one node's server down
+// without touching the node, simulating a machine whose network died after
+// acking a commit to its client.
 
 #ifndef SRC_NET_TCP_MULTICAST_BUS_H_
 #define SRC_NET_TCP_MULTICAST_BUS_H_
@@ -33,6 +42,9 @@ struct TcpMulticastBusOptions {
   // Real-time budgets for one gossip delivery (loopback: generous).
   Duration connect_timeout = std::chrono::seconds(2);
   Duration rpc_timeout = std::chrono::seconds(10);
+  // Options for the per-node AftServiceServers the bus hosts (threading
+  // model, backpressure knobs) — plumbed from the cluster deployment.
+  AftServiceServerOptions server_options;
 };
 
 class TcpMulticastBus : public MulticastBus {
@@ -65,21 +77,25 @@ class TcpMulticastBus : public MulticastBus {
     AftNode* node;
     std::unique_ptr<AftServiceServer> server;
     // Pooled gossip connection TO this peer's server; re-dialed on error.
-    Socket socket;
-    bool connected = false;
+    // Guarded by its own lock so concurrent deliveries to DIFFERENT peers
+    // never serialize on the membership lock.
+    Mutex send_mu;
+    Socket socket GUARDED_BY(send_mu);
+    bool connected GUARDED_BY(send_mu) = false;
   };
 
   // Sends one ApplyCommits RPC to `peer`'s server and awaits the ack.
-  Status DeliverTo(Peer& peer, const std::string& request) REQUIRES(mu_);
+  // Serialized per peer under peer.send_mu.
+  Status DeliverTo(Peer& peer, const std::string& request);
 
   const TcpMulticastBusOptions options_;
 
-  // One lock serializes membership changes and gossip rounds: RunOnce holds
-  // it across deliveries so UnregisterNode can never free a peer mid-send.
-  // Register/unregister are rare control-plane events, so the coarse lock is
-  // never contended on the data path.
+  // Guards membership and the sink only. Gossip rounds snapshot the peer list
+  // (shared_ptr) and run OUTSIDE this lock, so Register/Unregister/Kill are
+  // never blocked behind a slow delivery, and a peer removed mid-round stays
+  // alive until the round's deliveries finish.
   mutable Mutex mu_;
-  std::vector<std::unique_ptr<Peer>> peers_ GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<Peer>> peers_ GUARDED_BY(mu_);
   FaultManagerSink fault_manager_sink_ GUARDED_BY(mu_);
 };
 

@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <set>
 #include <thread>
 
+#include "src/common/rng.h"
 #include "src/cluster/deployment.h"
 #include "src/core/records.h"
 #include "src/net/client.h"
@@ -500,6 +503,219 @@ TEST(NetFaultTest, ServerKilledMidCommitLeavesNoDirtyData) {
   recovered_server.Stop();
 }
 
+// ---- Threading matrix: both server models, explicitly ------------------------
+//
+// The AFT_NET_THREADING env var flips the process-wide default (the CI matrix
+// dimension); these tests pin the mode per server so one binary always covers
+// BOTH models regardless of environment.
+
+class ThreadingMatrixTest : public ::testing::TestWithParam<net::ServerThreading> {
+ protected:
+  ThreadingMatrixTest() : storage_(clock_, InstantDynamo()), node_("aft-0", storage_, clock_) {
+    EXPECT_TRUE(node_.Start().ok());
+    server_options_.threading = GetParam();
+  }
+
+  SimClock clock_;
+  SimDynamo storage_;
+  AftNode node_;
+  AftServiceServerOptions server_options_;
+};
+
+TEST_P(ThreadingMatrixTest, CommitReadCycle) {
+  AftServiceServer server(node_, server_options_);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_EQ(server.threading(), GetParam());
+  RemoteAftClient client({server.endpoint()}, FastClient());
+
+  auto session = client.StartTransaction();
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  ASSERT_TRUE(client.Put(*session, "tm:k", "v").ok());
+  ASSERT_TRUE(client.Commit(*session).ok());
+  auto reader = client.StartTransaction();
+  ASSERT_TRUE(reader.ok());
+  auto read = client.Get(*reader, "tm:k");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->value(), "v");
+  EXPECT_TRUE(client.Abort(*reader).ok());
+  server.Stop();
+}
+
+// The pipelining contract at the wire level: N request frames written
+// back-to-back on ONE connection come back as N responses in request order,
+// even though (in event-loop mode) the handlers run concurrently on the
+// worker pool and finish in any order.
+TEST_P(ThreadingMatrixTest, PipelinedRequestsAnswerInOrder) {
+  AftServiceServer server(node_, server_options_);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Commit distinct values the pipelined Gets will read back.
+  constexpr size_t kDepth = 32;
+  auto writer = node_.StartTransaction();
+  ASSERT_TRUE(writer.ok());
+  for (size_t i = 0; i < kDepth; ++i) {
+    ASSERT_TRUE(node_.Put(*writer, "pipe:" + std::to_string(i), "value-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(node_.CommitTransaction(*writer).ok());
+
+  auto reader_txn = node_.StartTransaction();
+  ASSERT_TRUE(reader_txn.ok());
+
+  auto raw = TcpConnect(server.endpoint(), std::chrono::seconds(2));
+  ASSERT_TRUE(raw.ok());
+  // One syscall, kDepth frames: the whole pipeline is on the wire before the
+  // first response is read.
+  std::string burst;
+  for (size_t i = 0; i < kDepth; ++i) {
+    net::GetRequest request;
+    request.txid = *reader_txn;
+    request.key = "pipe:" + std::to_string(i);
+    burst += EncodeFrame(MessageType::kGet, request.Serialize());
+  }
+  ASSERT_TRUE(raw->SendAll(burst).ok());
+
+  for (size_t i = 0; i < kDepth; ++i) {
+    auto frame = ReadFrame(*raw);
+    ASSERT_TRUE(frame.ok()) << "response " << i << ": " << frame.status().ToString();
+    ASSERT_EQ(frame->type, net::ResponseType(MessageType::kGet));
+    auto response = net::GetResponse::Deserialize(frame->payload);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_TRUE(response->read.value.has_value());
+    EXPECT_EQ(*response->read.value, "value-" + std::to_string(i)) << "out of order at " << i;
+  }
+  ASSERT_TRUE(node_.AbortTransaction(*reader_txn).ok());
+  server.Stop();
+}
+
+// Overlapping client calls multiplexed onto ONE pooled connection: every call
+// succeeds and the server really saw a single connection (the pool did not
+// silently widen).
+TEST_P(ThreadingMatrixTest, ConcurrentCallersShareOneConnection) {
+  AftServiceServer server(node_, server_options_);
+  ASSERT_TRUE(server.Start().ok());
+  RemoteAftClientOptions options = FastClient();
+  options.connections_per_endpoint = 1;
+  options.max_inflight = 64;
+  RemoteAftClient client({server.endpoint()}, options);
+
+  constexpr size_t kThreads = 8;
+  constexpr int kOpsPerThread = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&client, &failures, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        auto session = client.StartTransaction();
+        if (!session.ok()) { ++failures; continue; }
+        const std::string key = "mux:" + std::to_string(t) + ":" + std::to_string(i);
+        if (!client.Put(*session, key, "v").ok() || !client.Commit(*session).ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.stats().connections_accepted.load(), 1u);
+  server.Stop();
+}
+
+// Mid-pipeline connection kill: calls in flight when the stream tears fail
+// with a TRANSPORT status (never a wrong answer, never a hang), and the same
+// client reconnects cleanly for subsequent calls.
+TEST_P(ThreadingMatrixTest, MidPipelineKillFailsOnlyInflightThenReconnects) {
+  AftServiceServer server(node_, server_options_);
+  ASSERT_TRUE(server.Start().ok());
+  RemoteAftClientOptions options = FastClient();
+  options.connections_per_endpoint = 1;
+  options.max_inflight = 64;
+  options.max_attempts = 1;  // No retries: a torn in-flight call must surface.
+  options.call_timeout = std::chrono::seconds(5);
+  RemoteAftClient client({server.endpoint()}, options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> ok_calls{0};
+  std::atomic<int> transport_failures{0};
+  std::atomic<int> wrong_failures{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto pong = client.Ping(0);
+        if (pong.ok()) {
+          ++ok_calls;
+        } else if (pong.status().code() == StatusCode::kUnavailable ||
+                   pong.status().code() == StatusCode::kTimeout) {
+          ++transport_failures;
+        } else {
+          ++wrong_failures;
+        }
+      }
+    });
+  }
+  // Let the pipeline fill, tear every connection, let traffic resume, repeat.
+  for (int kill = 0; kill < 3; ++kill) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    server.AbandonConnections();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  stop.store(true, std::memory_order_release);
+  for (auto& thread : threads) {
+    thread.join();
+  }
+
+  EXPECT_GT(ok_calls.load(), 0);
+  EXPECT_EQ(wrong_failures.load(), 0);  // Failures are transport-coded only.
+  // The SAME client object works after the kills (fresh dial on a live port).
+  EXPECT_TRUE(client.Ping(0).ok());
+  server.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, ThreadingMatrixTest,
+                         ::testing::Values(net::ServerThreading::kThreadPerConn,
+                                           net::ServerThreading::kEventLoop),
+                         [](const auto& info) {
+                           return info.param == net::ServerThreading::kEventLoop ? "EventLoop"
+                                                                                 : "ThreadPerConn";
+                         });
+
+// ---- Client backoff ---------------------------------------------------------
+
+TEST(BackoffTest, FullJitterStaysWithinExponentialCap) {
+  Rng rng(42);
+  const Duration initial = Millis(10);
+  const Duration cap = Millis(500);
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    // Expected ceiling: min(cap, initial * 2^attempt).
+    Duration ceiling = initial;
+    for (int i = 0; i < attempt && ceiling < cap; ++i) {
+      ceiling *= 2;
+    }
+    if (ceiling > cap) {
+      ceiling = cap;
+    }
+    for (int trial = 0; trial < 200; ++trial) {
+      const Duration d = net::BackoffWithJitter(initial, cap, attempt, rng);
+      EXPECT_GE(d.count(), 0) << "attempt " << attempt;
+      EXPECT_LE(d.count(), ceiling.count()) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(BackoffTest, JitterActuallyVaries) {
+  // Full jitter exists to de-synchronize retry stampedes; a degenerate
+  // implementation returning the ceiling (or zero) every time would pass the
+  // bounds test but defeat the point.
+  Rng rng(7);
+  std::set<Duration::rep> distinct;
+  for (int trial = 0; trial < 64; ++trial) {
+    distinct.insert(net::BackoffWithJitter(Millis(10), Millis(500), 4, rng).count());
+  }
+  EXPECT_GT(distinct.size(), 8u);
+}
+
 // ---- TcpMulticastBus --------------------------------------------------------
 
 ClusterOptions TcpManualCluster(size_t nodes) {
@@ -587,6 +803,26 @@ TEST_F(TcpBusTest, DeliveryFailuresAreCountedNotRetried) {
   // The bus does NOT retry: node 1 is missing the record (the fault
   // manager's scan is the recovery path, exercised below).
   EXPECT_FALSE(ReadVia(*cluster.node(1), "k").has_value());
+}
+
+// One dead peer must cost only its own delivery: in the SAME gossip round,
+// every healthy peer still receives the records (deliveries are concurrent
+// and independently error-handled — a refused/timed-out peer is never
+// serialized before, and never aborts, the others).
+TEST_F(TcpBusTest, DeadPeerDoesNotDelayHealthyDelivery) {
+  ClusterDeployment cluster(storage_, clock_, TcpManualCluster(3));
+  ASSERT_TRUE(cluster.Start().ok());
+  auto& bus = static_cast<net::TcpMulticastBus&>(cluster.bus());
+
+  bus.KillEndpoint(cluster.node(2));  // Node 2's network died; 0 and 1 are fine.
+  CommitVia(*cluster.node(0), "iso:k", "healthy-path");
+  cluster.bus().RunOnce();
+
+  // Same round: the healthy peer has the record, the dead one does not, and
+  // the failure is visible in stats for the NEXT round's re-dial to clear.
+  EXPECT_EQ(ReadVia(*cluster.node(1), "iso:k").value(), "healthy-path");
+  EXPECT_FALSE(ReadVia(*cluster.node(2), "iso:k").has_value());
+  EXPECT_GE(cluster.bus().stats().delivery_errors.load(), 1u);
 }
 
 // The kill-the-socket test: node 0 ACKs a commit to its client, then the

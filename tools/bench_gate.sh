@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Throughput regression gate over bench JSON files (tools/bench.sh output).
+#
+# Compares the closed-loop throughput rows ("tput ..." rows emitted by
+# bench_net) between a checked-in baseline and a fresh run, and fails when the
+# GEOMETRIC MEAN of the per-row ops/sec ratios drops more than the tolerance
+# below the baseline. Aggregating is deliberate: a real transport regression
+# (a serialized event loop, a single-flighted pipeline) craters most rows at
+# once, while short smoke runs on a loaded CI box routinely swing any single
+# row past any useful per-row bound. Rows only present on one side are ignored
+# (renames don't break the gate), but zero matching rows is an error — a gate
+# that silently compares nothing is worse than no gate.
+#
+# Usage: tools/bench_gate.sh BASELINE.json CURRENT.json [TOLERANCE]
+#
+#   TOLERANCE   allowed fractional regression of the geomean ratio, default
+#               0.30 (30%).
+
+set -euo pipefail
+
+if [[ $# -lt 2 || $# -gt 3 ]]; then
+  echo "usage: tools/bench_gate.sh BASELINE.json CURRENT.json [TOLERANCE]" >&2
+  exit 2
+fi
+BASELINE="$1"
+CURRENT="$2"
+TOLERANCE="${3:-0.30}"
+
+for f in "$BASELINE" "$CURRENT"; do
+  if [[ ! -f "$f" ]]; then
+    echo "bench_gate: no such file: $f" >&2
+    exit 2
+  fi
+done
+
+# One "<row>\t<ops/sec>" line per throughput row. The JSON is our own
+# one-object-per-line format (tools/bench.sh), so sed is sufficient and the
+# gate needs no JSON tooling on the CI image. The single-flight "baseline"
+# config rows are excluded: that config exists as the comparison yardstick
+# for the pipelined transport and its convoy behaviour makes its short-run
+# numbers swing far beyond any useful tolerance.
+extract() {
+  sed -nE 's/.*"row":"(tput [^"]*)".*"txn_per_s":([0-9.]+).*/\1\t\2/p' "$1" \
+    | grep -v ' baseline ' | sort
+}
+
+BASE_ROWS="$(mktemp)"
+CUR_ROWS="$(mktemp)"
+trap 'rm -f "$BASE_ROWS" "$CUR_ROWS"' EXIT
+extract "$BASELINE" > "$BASE_ROWS"
+extract "$CURRENT" > "$CUR_ROWS"
+
+join -t "$(printf '\t')" "$BASE_ROWS" "$CUR_ROWS" | awk -F '\t' -v tol="$TOLERANCE" '
+  {
+    base = $2 + 0; cur = $3 + 0;
+    if (base <= 0) { next }
+    ratio = cur / base;
+    n++;
+    log_sum += log(ratio);
+    printf "%-7s %-36s %10.0f -> %10.0f ops/s  (x%.2f)\n",
+           (ratio < 1 - tol ? "slow" : "ok"), $1, base, cur, ratio;
+  }
+  END {
+    if (n == 0) { print "bench_gate: no matching throughput rows between the two files" > "/dev/stderr"; exit 1 }
+    geomean = exp(log_sum / n);
+    floor = 1 - tol;
+    if (geomean < floor) {
+      printf "bench_gate: FAIL — geomean throughput ratio x%.2f is below x%.2f (%d rows)\n", geomean, floor, n > "/dev/stderr";
+      exit 1;
+    }
+    printf "bench_gate: PASS — geomean throughput ratio x%.2f over %d rows (floor x%.2f)\n", geomean, n, floor;
+  }
+'
