@@ -82,6 +82,23 @@ void RemoteAftClient::FailChannelLocked(Channel& channel, const Status& status) 
   channel.cv.NotifyAll();
 }
 
+void RemoteAftClient::FailChannelIfOrphanedLocked(Channel& channel) {
+  if (!channel.connected || channel.reader_active || channel.waiters.empty()) {
+    return;  // A reader is draining, or there is nothing queued to drain.
+  }
+  for (const auto& waiter : channel.waiters) {
+    if (!waiter->done && !waiter->abandoned) {
+      return;  // A live waiter remains; it will take the reader role.
+    }
+  }
+  // Every queued waiter's caller has returned. Nobody will ever read their
+  // responses, so the slots would stay occupied until max_inflight new calls
+  // wedge behind them. Tear the stream down; the next call re-dials clean.
+  FailChannelLocked(channel,
+                    Status::Unavailable("connection to " + channel.endpoint.ToString() +
+                                        " dropped: every in-flight call abandoned"));
+}
+
 void RemoteAftClient::RunReader(Channel& channel, MutexLock& lock,
                                 const std::shared_ptr<Waiter>& own,
                                 const SteadyClock::time_point deadline) {
@@ -183,20 +200,28 @@ Result<std::string> RemoteAftClient::CallOnce(Channel& channel, MessageType type
   // 4. Wait for our response: become the reader when the role is free,
   //    otherwise follow until notified (or our deadline expires).
   while (!waiter->done) {
-    if (!channel.reader_active) {
-      channel.reader_active = true;
-      RunReader(channel, lock, waiter, deadline);
-      channel.reader_active = false;
-      channel.cv.NotifyAll();
-      continue;
-    }
+    // Deadline first, BEFORE any claim on the reader role: an expired
+    // claimer would bounce straight off RunReader's own deadline check and
+    // spin claim/release forever with the mutex held, wedging the channel.
     const Duration left = TimeLeft(deadline);
     if (left <= Duration::zero()) {
       // Abandon in place: the slot stays queued so the reader still matches
       // our (late) response to it and the stream stays in sync.
       waiter->abandoned = true;
+      FailChannelIfOrphanedLocked(channel);
       return Status::Timeout("call deadline exceeded awaiting response from " +
                              channel.endpoint.ToString());
+    }
+    if (!channel.reader_active) {
+      channel.reader_active = true;
+      RunReader(channel, lock, waiter, deadline);
+      channel.reader_active = false;
+      // Our exit may leave only abandoned waiters behind (e.g. our own
+      // response arrived after a follower abandoned); nobody else will
+      // become the reader for them, so fail the channel now if so.
+      FailChannelIfOrphanedLocked(channel);
+      channel.cv.NotifyAll();
+      continue;
     }
     channel.cv.WaitFor(lock, left);
   }

@@ -187,6 +187,11 @@ class RemoteAftClient {
   // Fails every in-flight waiter and tears the connection down (Shutdown,
   // not Close — the reader may still be blocked in recv on the fd).
   void FailChannelLocked(Channel& channel, const Status& status) REQUIRES(channel.mu);
+  // Tears the channel down when nobody is left to drain it: no reader is
+  // active and every queued waiter has been abandoned. Without this the
+  // abandoned slots would stay occupied forever (the reader role is only
+  // ever taken by a thread that has a waiter queued), wedging the pipeline.
+  void FailChannelIfOrphanedLocked(Channel& channel) REQUIRES(channel.mu);
   // Reads responses off the socket, delivering to queue heads, until `own` is
   // done or the channel fails. Called with `lock` (on channel.mu) held and
   // reader_active set; drops the lock around each blocking ReadFrame.

@@ -325,7 +325,17 @@ void AftServiceServer::StopEventLoops() {
 }
 
 void AftServiceServer::AdoptEventConnection(Socket socket) {
-  (void)socket.SetNonBlocking(true);
+  const Status nonblocking = socket.SetNonBlocking(true);
+  if (!nonblocking.ok()) {
+    // A blocking socket would stall its whole loop thread — and every
+    // connection that loop owns — on the first recv/send. Refuse it; the fd
+    // closes when `socket` goes out of scope.
+    AFT_LOG(Warn) << "aft server (" << node_.node_id()
+                  << "): rejecting connection (cannot set non-blocking): "
+                  << nonblocking.ToString();
+    socket.Shutdown();
+    return;
+  }
   auto conn = std::make_shared<EventConnection>();
   conn->socket = std::move(socket);
   conn->loop_index = next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
@@ -370,6 +380,15 @@ void AftServiceServer::EventLoopMain(EventLoop* loop) {
         continue;
       }
       const std::shared_ptr<EventConnection> conn = it->second;
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0 && conn->reads_paused) {
+        // epoll reports error/hangup regardless of the armed interest mask,
+        // but a paused (backpressured) connection bounces off HandleReadable's
+        // reads_paused guard — the dead fd would level-trigger this loop hot
+        // until the flush path happened to fail it. The peer is gone either
+        // way; close it now.
+        CloseEventConnection(loop, conn);
+        continue;
+      }
       if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
         HandleReadable(loop, conn);
       }

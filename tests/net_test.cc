@@ -416,6 +416,63 @@ TEST(NetClientTest, TimesOutOnSilentServer) {
   sink.join();
 }
 
+TEST_F(NetServiceTest, PipelinedDeadlineExpiriesOnSilentServerAllReturnAndRecover) {
+  // Regression: a caller whose deadline expired while the reader role was
+  // free used to re-claim the role in a tight loop with the channel mutex
+  // held (RunReader bounces straight off its own TimeLeft check) — the call
+  // never returned and every other caller on the channel wedged behind the
+  // mutex. And once every in-flight caller had abandoned its slot, no reader
+  // was left to drain the queue, so the pipeline stayed occupied forever.
+  auto listener = Listener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  const uint16_t port = listener->port();
+  // Accept one connection and swallow its bytes forever, never replying.
+  std::thread sink([&listener] {
+    auto accepted = listener->Accept();
+    if (accepted.ok()) {
+      char byte;
+      while (accepted->RecvAll(&byte, 1).ok()) {
+      }
+    }
+  });
+
+  RemoteAftClientOptions options = FastClient();
+  options.call_timeout = std::chrono::milliseconds(300);
+  options.max_attempts = 1;
+  options.connections_per_endpoint = 1;  // Every caller shares one channel.
+  options.max_inflight = 8;
+  RemoteAftClient client({NetEndpoint{"127.0.0.1", port}}, options);
+
+  constexpr size_t kCallers = 6;
+  std::vector<Status> statuses(kCallers, Status::Ok());
+  std::vector<std::thread> callers;
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&client, &statuses, c] {
+      statuses[c] = client.Ping(0).status();
+    });
+  }
+  for (auto& t : callers) {
+    t.join();  // Pre-fix this hung: one spinner held the channel mutex.
+  }
+  for (const Status& status : statuses) {
+    ASSERT_FALSE(status.ok());
+    EXPECT_TRUE(status.code() == StatusCode::kTimeout ||
+                status.code() == StatusCode::kUnavailable)
+        << status.ToString();
+  }
+  listener->Shutdown();
+  sink.join();
+
+  // The abandoned slots must not wedge the channel: against a real server on
+  // the same port, the next call re-dials and succeeds on a clean stream.
+  AftServiceServerOptions server_options;
+  server_options.port = port;
+  AftServiceServer server(node_, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(client.Ping(0).ok());
+  server.Stop();
+}
+
 TEST_F(NetServiceTest, ClientReconnectsAfterServerRestart) {
   auto first = std::make_unique<AftServiceServer>(node_);
   ASSERT_TRUE(first->Start().ok());

@@ -52,9 +52,9 @@ if [[ $SMOKE -eq 1 ]]; then
   # one shows up as a CI-time regression).
   export AFT_BENCH_REQUESTS=3
   export AFT_TIME_SCALE=0.02
-  # Closed-loop throughput rows feed the bench_gate regression check, so give
-  # them slightly more ops than the latency rows — still sub-minute, but far
-  # less noisy than 3-op runs.
+  # Closed-loop throughput rows feed the bench_gate check (within-run
+  # pipelined-vs-baseline speedup), so give them slightly more ops than the
+  # latency rows — still sub-minute, but far less noisy than 3-op runs.
   export AFT_BENCH_TPUT_OPS=50
   TIMEOUT="${AFT_BENCH_TIMEOUT:-120}"
   MODE=smoke
