@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/histogram.h"
+
 #include "src/common/io_executor.h"
 #include "src/common/logging.h"
 #include "src/storage/sim_engine_base.h"
@@ -18,6 +20,34 @@ FaultManager::FaultManager(Clock& clock, StorageEngine& storage, LoadBalancer& b
       delete_pool_(options.delete_pool_threads) {
   bus_.SetFaultManagerSink(
       [this](const std::vector<CommitRecordPtr>& records) { IngestCommits(records); });
+  auto& reg = obs::MetricsRegistry::Global();
+  auto sweep = [&](const char* kind) {
+    return reg.GetHistogram("aft_fm_sweep_duration_ms",
+                            "Wall-clock duration of one maintenance sweep (ms)",
+                            DefaultLatencyBoundariesMs(), {{"sweep", kind}});
+  };
+  metrics_.liveness_scan_ms = sweep("liveness");
+  metrics_.gc_round_ms = sweep("gc");
+  metrics_.orphan_sweep_ms = sweep("orphan");
+  auto wrap = [&](const char* metric, const char* help, const std::atomic<uint64_t>& cell) {
+    metric_callbacks_.push_back(reg.RegisterCallback(
+        metric, help, obs::CallbackType::kCounter, {},
+        [&cell] { return static_cast<double>(cell.load(std::memory_order_relaxed)); }));
+  };
+  wrap("aft_fm_records_ingested_total", "Unpruned commit records ingested from gossip",
+       stats_.records_ingested);
+  wrap("aft_fm_missed_commits_recovered_total",
+       "Commits recovered by the storage scan that gossip never delivered",
+       stats_.missed_commits_recovered);
+  wrap("aft_fm_txns_deleted_total", "Transactions garbage-collected globally",
+       stats_.txns_deleted);
+  wrap("aft_fm_versions_deleted_total", "Key versions deleted by the global GC",
+       stats_.versions_deleted);
+  wrap("aft_fm_orphans_deleted_total", "Orphaned versions deleted by the sweep",
+       stats_.orphans_deleted);
+  wrap("aft_fm_gc_rounds_total", "Global GC rounds run", stats_.gc_rounds);
+  wrap("aft_fm_failures_detected_total", "Node failures detected", stats_.failures_detected);
+  wrap("aft_fm_nodes_replaced_total", "Dead nodes replaced", stats_.nodes_replaced);
 }
 
 FaultManager::~FaultManager() { Stop(); }
@@ -58,6 +88,7 @@ void FaultManager::IngestCommits(const std::vector<CommitRecordPtr>& records) {
 }
 
 size_t FaultManager::RunLivenessScanOnce() {
+  obs::ScopedHistogramTimer timer(metrics_.liveness_scan_ms);
   auto keys = storage_.List(kCommitPrefix);
   if (!keys.ok()) {
     return 0;
@@ -137,6 +168,7 @@ size_t FaultManager::RunGlobalGcOnce() {
   if (!options_.enable_global_gc) {
     return 0;
   }
+  obs::ScopedHistogramTimer timer(metrics_.gc_round_ms);
   stats_.gc_rounds.fetch_add(1, std::memory_order_relaxed);
   std::vector<CommitRecordPtr> snapshot = commits_.Snapshot();
   // Oldest first (§5.2.1 mitigation).
@@ -226,6 +258,7 @@ size_t FaultManager::RunGlobalGcOnce() {
 }
 
 size_t FaultManager::RunOrphanSweepOnce() {
+  obs::ScopedHistogramTimer timer(metrics_.orphan_sweep_ms);
   auto version_keys = storage_.List(kVersionPrefix);
   if (!version_keys.ok()) {
     return 0;

@@ -37,6 +37,7 @@
 #include "src/cluster/load_balancer.h"
 #include "src/cluster/multicast_bus.h"
 #include "src/core/aft_node.h"
+#include "src/obs/metrics.h"
 
 namespace aft {
 
@@ -171,6 +172,17 @@ class FaultManager {
   std::vector<std::thread> replacement_threads_ GUARDED_BY(replacements_mu_);
 
   FaultManagerStats stats_;
+
+  // Wall-clock duration of each maintenance sweep
+  // (aft_fm_sweep_duration_ms{sweep=liveness|gc|orphan}).
+  struct Instruments {
+    obs::Histogram* liveness_scan_ms = nullptr;
+    obs::Histogram* gc_round_ms = nullptr;
+    obs::Histogram* orphan_sweep_ms = nullptr;
+  };
+  Instruments metrics_;
+  // Callback counters wrapping `stats_` (read at exposition time).
+  std::vector<obs::ScopedMetricCallback> metric_callbacks_;
 };
 
 }  // namespace aft

@@ -29,7 +29,17 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+thread_local std::string t_log_context;
+
 }  // namespace
+
+LogScope::LogScope(std::string context) : previous_(std::move(t_log_context)) {
+  t_log_context = std::move(context);
+}
+
+LogScope::~LogScope() { t_log_context = std::move(previous_); }
+
+const std::string& LogScope::Current() { return t_log_context; }
 
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
@@ -43,8 +53,15 @@ void LogLine(LogLevel level, const std::string& file, int line, const std::strin
   // Trim the path to the basename for readability.
   const size_t slash = file.find_last_of('/');
   const std::string base = slash == std::string::npos ? file : file.substr(slash + 1);
+  const std::string& context = LogScope::Current();
   MutexLock lock(mu);
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base.c_str(), line, message.c_str());
+  if (context.empty()) {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base.c_str(), line,
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s %s:%d] [%s] %s\n", LevelName(level), base.c_str(), line,
+                 context.c_str(), message.c_str());
+  }
 }
 
 }  // namespace internal

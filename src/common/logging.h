@@ -4,6 +4,11 @@
 // tiny. Level is controlled by `SetLogLevel` or the AFT_LOG_LEVEL environment
 // variable (0 = error only ... 3 = debug). Output goes to stderr and is
 // serialized across threads.
+//
+// Context prefix: a `LogScope` on the stack tags every AFT_LOG line emitted
+// by the current thread with a context string (typically "node=A txn=...")
+// until it goes out of scope. Scopes nest; the innermost wins. With no scope
+// active the output format is unchanged.
 
 #ifndef SRC_COMMON_LOGGING_H_
 #define SRC_COMMON_LOGGING_H_
@@ -22,6 +27,23 @@ enum class LogLevel : int {
 
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// RAII thread-local log context. While alive, AFT_LOG lines from this thread
+// carry "[<context>]" after the file:line tag. Nested scopes shadow the outer
+// one; the destructor restores it.
+class LogScope {
+ public:
+  explicit LogScope(std::string context);
+  ~LogScope();
+  LogScope(const LogScope&) = delete;
+  LogScope& operator=(const LogScope&) = delete;
+
+  // The current thread's active context ("" when none).
+  static const std::string& Current();
+
+ private:
+  std::string previous_;
+};
 
 namespace internal {
 

@@ -24,7 +24,87 @@ AftNode::AftNode(std::string node_id, StorageEngine& storage, Clock& clock, AftN
       options_(std::move(options)),
       data_cache_(options_.data_cache_bytes),
       throttle_(clock, options_.service_cores,
-                options_.service_time.Scaled(storage.client_cpu_factor())) {}
+                options_.service_time.Scaled(storage.client_cpu_factor())) {
+  auto& reg = obs::MetricsRegistry::Global();
+  const obs::MetricLabels labels = {{"node", node_id_}};
+  metrics_.txns_started =
+      reg.GetCounter("aft_node_txns_started_total", "Transactions started", labels);
+  metrics_.txns_committed =
+      reg.GetCounter("aft_node_txns_committed_total", "Transactions committed", labels);
+  metrics_.txns_aborted =
+      reg.GetCounter("aft_node_txns_aborted_total", "Transactions aborted", labels);
+  metrics_.reads = reg.GetCounter("aft_node_reads_total", "Key reads served", labels);
+  metrics_.writes = reg.GetCounter("aft_node_writes_total", "Key writes buffered", labels);
+  metrics_.null_reads =
+      reg.GetCounter("aft_node_null_reads_total", "Reads observing the NULL version", labels);
+  metrics_.read_aborts = reg.GetCounter("aft_node_read_aborts_total",
+                                        "Reads aborted with kNoValidVersion (sec. 3.6)", labels);
+  metrics_.spills =
+      reg.GetCounter("aft_node_spills_total", "Atomic Write Buffer spills (sec. 3.3)", labels);
+  metrics_.gc_records_removed = reg.GetCounter(
+      "aft_node_gc_records_removed_total", "Commit records removed by local GC", labels);
+  metrics_.remote_commits_applied = reg.GetCounter(
+      "aft_node_remote_commits_applied_total", "Gossiped commit records merged", labels);
+  metrics_.remote_commits_skipped_superseded =
+      reg.GetCounter("aft_node_remote_commits_skipped_superseded_total",
+                     "Gossiped commit records dropped as superseded (sec. 4.1)", labels);
+  metrics_.commit_latency_ms =
+      reg.GetHistogram("aft_node_commit_latency_ms", "CommitTransaction wall latency (ms)",
+                       DefaultLatencyBoundariesMs(), labels);
+  metrics_.read_latency_ms =
+      reg.GetHistogram("aft_node_read_latency_ms", "GetVersioned/MultiGet wall latency (ms)",
+                       DefaultLatencyBoundariesMs(), labels);
+  metrics_.read_walk_depth = reg.GetHistogram(
+      "aft_node_read_walk_depth", "Algorithm-1 candidate versions examined per read",
+      ExponentialBoundaries(1, 2, 8), labels);
+
+  metric_callbacks_.push_back(reg.RegisterCallback(
+      "aft_node_data_cache_hits_total", "Data cache hits", obs::CallbackType::kCounter, labels,
+      [this] { return static_cast<double>(data_cache_.hits()); }));
+  metric_callbacks_.push_back(reg.RegisterCallback(
+      "aft_node_data_cache_misses_total", "Data cache misses", obs::CallbackType::kCounter,
+      labels, [this] { return static_cast<double>(data_cache_.misses()); }));
+  metric_callbacks_.push_back(reg.RegisterCallback(
+      "aft_commit_set_cache_lookup_hits_total", "Commit-set cache lookup hits",
+      obs::CallbackType::kCounter, labels,
+      [this] { return static_cast<double>(commits_.lookup_hits()); }));
+  metric_callbacks_.push_back(reg.RegisterCallback(
+      "aft_commit_set_cache_lookup_misses_total", "Commit-set cache lookup misses",
+      obs::CallbackType::kCounter, labels,
+      [this] { return static_cast<double>(commits_.lookup_misses()); }));
+  for (size_t shard = 0; shard < CommitSetCache::kNumShards; ++shard) {
+    obs::MetricLabels shard_labels = labels;
+    shard_labels.emplace_back("shard", std::to_string(shard));
+    metric_callbacks_.push_back(reg.RegisterCallback(
+        "aft_commit_set_cache_entries", "Commit records cached, per shard",
+        obs::CallbackType::kGauge, std::move(shard_labels),
+        [this, shard] { return static_cast<double>(commits_.ShardSize(shard)); }));
+  }
+  metric_callbacks_.push_back(reg.RegisterCallback(
+      "aft_node_write_buffer_bytes", "Dirty (unspilled) bytes buffered across running txns",
+      obs::CallbackType::kGauge, labels, [this] {
+        uint64_t total = 0;
+        MutexLock lock(txns_mu_);
+        for (const auto& [uuid, txn] : txns_) {
+          MutexLock txn_lock(txn->mu);
+          total += txn->buffered_bytes;
+        }
+        return static_cast<double>(total);
+      }));
+
+  baseline_.txns_started.value = metrics_.txns_started->Value();
+  baseline_.txns_committed.value = metrics_.txns_committed->Value();
+  baseline_.txns_aborted.value = metrics_.txns_aborted->Value();
+  baseline_.reads.value = metrics_.reads->Value();
+  baseline_.writes.value = metrics_.writes->Value();
+  baseline_.null_reads.value = metrics_.null_reads->Value();
+  baseline_.read_aborts.value = metrics_.read_aborts->Value();
+  baseline_.spills.value = metrics_.spills->Value();
+  baseline_.gc_records_removed.value = metrics_.gc_records_removed->Value();
+  baseline_.remote_commits_applied.value = metrics_.remote_commits_applied->Value();
+  baseline_.remote_commits_skipped_superseded.value =
+      metrics_.remote_commits_skipped_superseded->Value();
+}
 
 AftNode::~AftNode() {
   stop_background_.store(true);
@@ -90,14 +170,22 @@ bool AftNode::MaybeCrash(CrashPoint point) {
 }
 
 Result<Uuid> AftNode::StartTransaction() {
+  // Local callers sample here; wire callers pass the client-minted context
+  // through the overload so a transaction is sampled exactly once.
+  return StartTransaction(obs::Tracer::Global().StartTrace());
+}
+
+Result<Uuid> AftNode::StartTransaction(const obs::TraceContext& trace) {
   AFT_RETURN_IF_ERROR(CheckAlive());
+  obs::TraceSpan span(trace, "StartTxn", node_id_);
   const Uuid txid = Uuid::Random(ThreadLocalRng());
   auto txn = std::make_shared<TransactionState>(txid, clock_.Now());
+  txn->trace = trace;
   {
     MutexLock lock(txns_mu_);
     txns_.emplace(txid, std::move(txn));
   }
-  stats_.txns_started.fetch_add(1, std::memory_order_relaxed);
+  metrics_.txns_started->Increment();
   return txid;
 }
 
@@ -106,7 +194,7 @@ Status AftNode::AdoptTransaction(const Uuid& txid) {
   MutexLock lock(txns_mu_);
   if (!txns_.contains(txid)) {
     txns_.emplace(txid, std::make_shared<TransactionState>(txid, clock_.Now()));
-    stats_.txns_started.fetch_add(1, std::memory_order_relaxed);
+    metrics_.txns_started->Increment();
   }
   return Status::Ok();
 }
@@ -127,6 +215,7 @@ Status AftNode::Put(const Uuid& txid, const std::string& key, std::string value)
   }
   throttle_.Charge(ThreadLocalRng());
   AFT_ASSIGN_OR_RETURN(TxnPtr txn, FindTransaction(txid));
+  obs::TraceSpan span(txn->trace, "BufferWrite", node_id_);
   MutexLock lock(txn->mu);
   if (txn->status != TxnStatus::kRunning) {
     return Status::FailedPrecondition("transaction is not running");
@@ -144,12 +233,12 @@ Status AftNode::Put(const Uuid& txid, const std::string& key, std::string value)
   }
   txn->buffered_bytes += it->second.size();
   txn->dirty.insert(key);
-  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  metrics_.writes->Increment();
 
   // §3.3: a saturated Atomic Write Buffer proactively writes intermediary
   // data to storage; it stays invisible until the commit record lands.
   if (txn->buffered_bytes > options_.spill_threshold_bytes && !txn->dirty.empty()) {
-    stats_.spills.fetch_add(1, std::memory_order_relaxed);
+    metrics_.spills->Increment();
     // Spilled versions carry a zero timestamp (the commit timestamp is not
     // yet known); the authoritative metadata is the commit record.
     AFT_RETURN_IF_ERROR(FlushVersions(*txn, TxnId(0, txid)));
@@ -223,6 +312,8 @@ Result<AftNode::VersionedRead> AftNode::GetVersioned(const Uuid& txid, const std
   AFT_RETURN_IF_ERROR(CheckAlive());
   throttle_.Charge(ThreadLocalRng());
   AFT_ASSIGN_OR_RETURN(TxnPtr txn, FindTransaction(txid));
+  obs::ScopedHistogramTimer read_timer(metrics_.read_latency_ms);
+  obs::TraceSpan span(txn->trace, "AtomicRead", node_id_);
 
   bool counted = false;
   for (int attempt = 0; attempt < kReadStabilizeAttempts; ++attempt) {
@@ -234,7 +325,7 @@ Result<AftNode::VersionedRead> AftNode::GetVersioned(const Uuid& txid, const std
         return Status::FailedPrecondition("transaction is not running");
       }
       if (!counted) {
-        stats_.reads.fetch_add(1, std::memory_order_relaxed);
+        metrics_.reads->Increment();
         counted = true;
       }
 
@@ -247,14 +338,18 @@ Result<AftNode::VersionedRead> AftNode::GetVersioned(const Uuid& txid, const std
 
       const AtomicReadChoice choice =
           SelectAtomicReadVersion(key, txn->read_set, index_, commits_);
+      if (attempt == 0) {
+        metrics_.read_walk_depth->Observe(static_cast<double>(choice.candidates_examined));
+        span.AddArg("walk_depth", std::to_string(choice.candidates_examined));
+      }
       switch (choice.kind) {
         case AtomicReadChoice::Kind::kNullVersion:
-          stats_.null_reads.fetch_add(1, std::memory_order_relaxed);
+          metrics_.null_reads->Increment();
           return VersionedRead{std::nullopt, TxnId::Null(), nullptr};
         case AtomicReadChoice::Kind::kNoValidVersion:
           // §3.6: no version of `key` is compatible with what the
           // transaction already read; the client must abort and retry.
-          stats_.read_aborts.fetch_add(1, std::memory_order_relaxed);
+          metrics_.read_aborts->Increment();
           return Status::Aborted("no valid version of '" + key + "' for this read set");
         case AtomicReadChoice::Kind::kVersion:
           break;
@@ -295,10 +390,10 @@ Result<AftNode::VersionedRead> AftNode::GetVersioned(const Uuid& txid, const std
     const AtomicReadChoice check = SelectAtomicReadVersion(key, txn->read_set, index_, commits_);
     switch (check.kind) {
       case AtomicReadChoice::Kind::kNullVersion:
-        stats_.null_reads.fetch_add(1, std::memory_order_relaxed);
+        metrics_.null_reads->Increment();
         return VersionedRead{std::nullopt, TxnId::Null(), nullptr};
       case AtomicReadChoice::Kind::kNoValidVersion:
-        stats_.read_aborts.fetch_add(1, std::memory_order_relaxed);
+        metrics_.read_aborts->Increment();
         return Status::Aborted("no valid version of '" + key + "' for this read set");
       case AtomicReadChoice::Kind::kVersion:
         if (check.version == target) {
@@ -321,6 +416,8 @@ Result<std::vector<AftNode::VersionedRead>> AftNode::MultiGet(
   // response assembly still scales with the batch.
   throttle_.Charge(ThreadLocalRng(), 1.0 + 0.25 * static_cast<double>(keys.size() - 1));
   AFT_ASSIGN_OR_RETURN(TxnPtr txn, FindTransaction(txid));
+  obs::ScopedHistogramTimer read_timer(metrics_.read_latency_ms);
+  obs::TraceSpan span(txn->trace, "AtomicMultiRead", node_id_);
 
   struct PlannedFetch {
     size_t key_index;
@@ -342,7 +439,7 @@ Result<std::vector<AftNode::VersionedRead>> AftNode::MultiGet(
         return Status::FailedPrecondition("transaction is not running");
       }
       if (!counted) {
-        stats_.reads.fetch_add(keys.size(), std::memory_order_relaxed);
+        metrics_.reads->Increment(keys.size());
         counted = true;
       }
       // Read-your-writes hits bypass Algorithm 1 (§3.5).
@@ -359,6 +456,9 @@ Result<std::vector<AftNode::VersionedRead>> AftNode::MultiGet(
       planned_versions.reserve(plan.size());
       for (size_t j = 0; j < plan.size(); ++j) {
         const AtomicReadChoice& choice = plan[j];
+        if (attempt == 0) {
+          metrics_.read_walk_depth->Observe(static_cast<double>(choice.candidates_examined));
+        }
         switch (choice.kind) {
           case AtomicReadChoice::Kind::kNullVersion:
             out[planned_index[j]] = VersionedRead{std::nullopt, TxnId::Null(), nullptr};
@@ -366,7 +466,7 @@ Result<std::vector<AftNode::VersionedRead>> AftNode::MultiGet(
             ++null_reads;
             break;
           case AtomicReadChoice::Kind::kNoValidVersion:
-            stats_.read_aborts.fetch_add(1, std::memory_order_relaxed);
+            metrics_.read_aborts->Increment();
             return Status::Aborted("no valid version of '" + planned_keys[j] +
                                    "' for this read set");
           case AtomicReadChoice::Kind::kVersion:
@@ -416,7 +516,7 @@ Result<std::vector<AftNode::VersionedRead>> AftNode::MultiGet(
           PlanAtomicMultiRead(planned_keys, txn->read_set, index_, commits_);
       for (size_t j = 0; j < check.size(); ++j) {
         if (check[j].kind == AtomicReadChoice::Kind::kNoValidVersion) {
-          stats_.read_aborts.fetch_add(1, std::memory_order_relaxed);
+          metrics_.read_aborts->Increment();
           return Status::Aborted("no valid version of '" + planned_keys[j] +
                                  "' for this read set");
         }
@@ -438,7 +538,7 @@ Result<std::vector<AftNode::VersionedRead>> AftNode::MultiGet(
       out[fetch.key_index] =
           VersionedRead{std::move(payloads[j]).value(), fetch.version, fetch.record};
     }
-    stats_.null_reads.fetch_add(null_reads, std::memory_order_relaxed);
+    metrics_.null_reads->Increment(null_reads);
     return out;
   }
   return Status::Aborted("multi-key read did not stabilize");
@@ -525,12 +625,13 @@ Status AftNode::AbortTransaction(const Uuid& txid) {
     MutexLock lock(txns_mu_);
     txns_.erase(txid);
   }
-  stats_.txns_aborted.fetch_add(1, std::memory_order_relaxed);
+  metrics_.txns_aborted->Increment();
   return Status::Ok();
 }
 
 Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
   AFT_RETURN_IF_ERROR(CheckAlive());
+  const LogScope log_scope("node=" + node_id_ + " txn=" + txid.ToString());
   // Idempotence for retried commits (§3.1): a transaction's updates are
   // persisted exactly once.
   {
@@ -543,6 +644,8 @@ Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
   // Commit-side processing (batch assembly, serialization of the whole
   // update set) costs about two operation units of node CPU.
   throttle_.Charge(ThreadLocalRng(), 2.0);
+  obs::ScopedHistogramTimer commit_timer(metrics_.commit_latency_ms);
+  obs::TraceSpan commit_span(txn->trace, "Commit", node_id_);
   MutexLock lock(txn->mu);
   if (txn->status != TxnStatus::kRunning) {
     return Status::FailedPrecondition("transaction is not running");
@@ -564,7 +667,11 @@ Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
   // latch, never the pool's drain), so a non-OK status here means the commit
   // record must not be written: stray versions that did land are invisible
   // orphans the sweep reaps.
-  Status flushed = FlushVersions(*txn, commit_id);
+  Status flushed;
+  {
+    obs::TraceSpan flush_span(txn->trace, "CommitFlush", node_id_);
+    flushed = FlushVersions(*txn, commit_id);
+  }
   if (!flushed.ok()) {
     txn->status = TxnStatus::kRunning;  // Let the client retry or abort.
     return flushed;
@@ -587,7 +694,11 @@ Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
       commit_id, std::move(write_set_keys),
       options_.packed_layout ? txn->next_segment_index : 0,
       options_.packed_layout ? txn->packed_locators : std::vector<VersionLocator>{}});
-  Status committed = storage_.Put(CommitStorageKey(commit_id), record->Serialize());
+  Status committed;
+  {
+    obs::TraceSpan record_span(txn->trace, "CommitRecordWrite", node_id_);
+    committed = storage_.Put(CommitStorageKey(commit_id), record->Serialize());
+  }
   if (!committed.ok()) {
     txn->status = TxnStatus::kRunning;
     return committed;
@@ -611,6 +722,7 @@ Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
   {
     MutexLock block(broadcast_mu_);
     pending_broadcast_.push_back(record);
+    pending_broadcast_traces_.push_back(txn->trace);
   }
   txn->status = TxnStatus::kCommitted;
   UnpinReads(*txn);
@@ -636,16 +748,27 @@ Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
     MutexLock tlock(txns_mu_);
     txns_.erase(txid);
   }
-  stats_.txns_committed.fetch_add(1, std::memory_order_relaxed);
+  metrics_.txns_committed->Increment();
   return commit_id;
 }
 
 void AftNode::DrainRecentCommits(std::vector<CommitRecordPtr>* pruned,
-                                 std::vector<CommitRecordPtr>* unpruned) {
+                                 std::vector<CommitRecordPtr>* unpruned,
+                                 obs::TraceContext* trace) {
   std::vector<CommitRecordPtr> drained;
+  std::vector<obs::TraceContext> traces;
   {
     MutexLock lock(broadcast_mu_);
     drained.swap(pending_broadcast_);
+    traces.swap(pending_broadcast_traces_);
+  }
+  if (trace != nullptr) {
+    for (const obs::TraceContext& t : traces) {
+      if (t.sampled()) {
+        *trace = t;
+        break;
+      }
+    }
   }
   if (unpruned != nullptr) {
     unpruned->insert(unpruned->end(), drained.begin(), drained.end());
@@ -664,6 +787,7 @@ void AftNode::ApplyRemoteCommits(const std::vector<CommitRecordPtr>& records) {
   if (!alive()) {
     return;
   }
+  const LogScope log_scope("node=" + node_id_);
   for (const auto& record : records) {
     if (commits_.Contains(record->id)) {
       continue;
@@ -671,12 +795,12 @@ void AftNode::ApplyRemoteCommits(const std::vector<CommitRecordPtr>& records) {
     // §4.1: a received transaction already superseded by local state is not
     // merged into the metadata cache.
     if (IsTransactionSuperseded(*record, index_)) {
-      stats_.remote_commits_skipped_superseded.fetch_add(1, std::memory_order_relaxed);
+      metrics_.remote_commits_skipped_superseded->Increment();
       continue;
     }
     if (commits_.Add(record)) {
       index_.AddCommit(*record);
-      stats_.remote_commits_applied.fetch_add(1, std::memory_order_relaxed);
+      metrics_.remote_commits_applied->Increment();
     }
   }
 }
@@ -733,8 +857,28 @@ size_t AftNode::RunLocalGcOnce() {
     }
     ++removed;
   }
-  stats_.gc_records_removed.fetch_add(removed, std::memory_order_relaxed);
+  metrics_.gc_records_removed->Increment(removed);
   return removed;
+}
+
+AftNodeStats AftNode::stats() const {
+  AftNodeStats s;
+  s.txns_started.value = metrics_.txns_started->Value() - baseline_.txns_started.value;
+  s.txns_committed.value = metrics_.txns_committed->Value() - baseline_.txns_committed.value;
+  s.txns_aborted.value = metrics_.txns_aborted->Value() - baseline_.txns_aborted.value;
+  s.reads.value = metrics_.reads->Value() - baseline_.reads.value;
+  s.writes.value = metrics_.writes->Value() - baseline_.writes.value;
+  s.null_reads.value = metrics_.null_reads->Value() - baseline_.null_reads.value;
+  s.read_aborts.value = metrics_.read_aborts->Value() - baseline_.read_aborts.value;
+  s.spills.value = metrics_.spills->Value() - baseline_.spills.value;
+  s.gc_records_removed.value =
+      metrics_.gc_records_removed->Value() - baseline_.gc_records_removed.value;
+  s.remote_commits_applied.value =
+      metrics_.remote_commits_applied->Value() - baseline_.remote_commits_applied.value;
+  s.remote_commits_skipped_superseded.value =
+      metrics_.remote_commits_skipped_superseded->Value() -
+      baseline_.remote_commits_skipped_superseded.value;
+  return s;
 }
 
 bool AftNode::HasLocallyDeleted(const TxnId& id) const {

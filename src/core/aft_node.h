@@ -32,6 +32,8 @@
 #include "src/core/records.h"
 #include "src/core/transaction.h"
 #include "src/core/txn_id.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/storage/storage_engine.h"
 
 namespace aft {
@@ -94,19 +96,28 @@ struct AftNodeOptions {
   std::function<bool(CrashPoint)> crash_hook;
 };
 
-// Cumulative statistics for one node.
+// Point-in-time snapshot of one node's cumulative counters. The live values
+// are registry-backed instruments (the `aft_node_*` families of
+// docs/OBSERVABILITY.md, labeled by node id) exposed via kGetMetrics /
+// --metrics-port; `stats()` materializes them into this view. Each cell
+// mimics the former `std::atomic` field's `load()` so existing call sites
+// compile unchanged.
 struct AftNodeStats {
-  std::atomic<uint64_t> txns_started{0};
-  std::atomic<uint64_t> txns_committed{0};
-  std::atomic<uint64_t> txns_aborted{0};
-  std::atomic<uint64_t> reads{0};
-  std::atomic<uint64_t> writes{0};
-  std::atomic<uint64_t> null_reads{0};
-  std::atomic<uint64_t> read_aborts{0};   // kNoValidVersion outcomes.
-  std::atomic<uint64_t> spills{0};
-  std::atomic<uint64_t> gc_records_removed{0};
-  std::atomic<uint64_t> remote_commits_applied{0};
-  std::atomic<uint64_t> remote_commits_skipped_superseded{0};
+  struct Cell {
+    uint64_t value = 0;
+    uint64_t load(std::memory_order = std::memory_order_relaxed) const { return value; }
+  };
+  Cell txns_started;
+  Cell txns_committed;
+  Cell txns_aborted;
+  Cell reads;
+  Cell writes;
+  Cell null_reads;
+  Cell read_aborts;   // kNoValidVersion outcomes.
+  Cell spills;
+  Cell gc_records_removed;
+  Cell remote_commits_applied;
+  Cell remote_commits_skipped_superseded;
 };
 
 class AftNode {
@@ -130,8 +141,12 @@ class AftNode {
 
   // ---- Table 1 API ----------------------------------------------------------
   // Begins a transaction and returns its UUID. The commit timestamp (and so
-  // the total-order TxnId) is assigned at commit.
+  // the total-order TxnId) is assigned at commit. The no-argument form mints
+  // a fresh (possibly sampled) trace context; the other adopts one that
+  // arrived over the wire so client-side sampling decides once per
+  // transaction.
   Result<Uuid> StartTransaction();
+  Result<Uuid> StartTransaction(const obs::TraceContext& trace);
 
   // Continues a transaction after a function failure using the same ID
   // (§3.3.1) — registers `txid` if this node has never seen it.
@@ -177,9 +192,12 @@ class AftNode {
   // ---- Multicast hooks (driven by src/cluster, §4) --------------------------
   // Drains transactions committed locally since the last call. `pruned` gets
   // the supersedence-filtered list for node-to-node multicast (§4.1);
-  // `unpruned` the full list for the fault manager (§4.2).
+  // `unpruned` the full list for the fault manager (§4.2). When `trace` is
+  // non-null it receives the first sampled trace context among the drained
+  // commits (if any), so the gossip layer can stamp its broadcast frame.
   void DrainRecentCommits(std::vector<CommitRecordPtr>* pruned,
-                          std::vector<CommitRecordPtr>* unpruned);
+                          std::vector<CommitRecordPtr>* unpruned,
+                          obs::TraceContext* trace = nullptr);
 
   // Merges commit records learned from a peer or the fault manager; locally
   // superseded records are skipped (§4.1).
@@ -204,7 +222,8 @@ class AftNode {
 
   // ---- Introspection ---------------------------------------------------------
   const std::string& node_id() const { return node_id_; }
-  const AftNodeStats& stats() const { return stats_; }
+  // Snapshot of the node's registry-backed counters (see AftNodeStats).
+  AftNodeStats stats() const;
   // Number of currently open (uncommitted, unaborted) transactions — used by
   // the autoscaler to drain a node before decommissioning it.
   size_t RunningTransactionCount() const;
@@ -263,10 +282,40 @@ class AftNode {
 
   // Recently committed records not yet drained for broadcast; guarded by
   // broadcast_mu_. Local GC will not drop records still pending broadcast.
+  // pending_broadcast_traces_ carries each record's trace context (parallel
+  // vector) so a sampled transaction can be followed into the gossip round.
   Mutex broadcast_mu_;
   std::vector<CommitRecordPtr> pending_broadcast_ GUARDED_BY(broadcast_mu_);
+  std::vector<obs::TraceContext> pending_broadcast_traces_ GUARDED_BY(broadcast_mu_);
 
-  AftNodeStats stats_;
+  // Registry-backed instruments, looked up once at construction (labels:
+  // {node=node_id_}). Counters/histograms are owned by the global registry;
+  // callbacks_ keeps the point-in-time gauges (cache sizes, write-buffer
+  // bytes) registered for this node's lifetime.
+  struct Instruments {
+    obs::Counter* txns_started;
+    obs::Counter* txns_committed;
+    obs::Counter* txns_aborted;
+    obs::Counter* reads;
+    obs::Counter* writes;
+    obs::Counter* null_reads;
+    obs::Counter* read_aborts;
+    obs::Counter* spills;
+    obs::Counter* gc_records_removed;
+    obs::Counter* remote_commits_applied;
+    obs::Counter* remote_commits_skipped_superseded;
+    obs::Histogram* commit_latency_ms;
+    obs::Histogram* read_latency_ms;
+    obs::Histogram* read_walk_depth;
+  };
+  Instruments metrics_;
+  std::vector<obs::ScopedMetricCallback> metric_callbacks_;
+  // Registry counters are cumulative per (name, labels) for the process
+  // lifetime — a re-created node with the same id keeps counting up, which
+  // is what a scraper expects. stats() subtracts this construction-time
+  // baseline so the snapshot stays per-instance, as the old raw atomics
+  // were. (Two *concurrently live* nodes sharing an id would still blend.)
+  AftNodeStats baseline_;
 };
 
 }  // namespace aft

@@ -21,7 +21,12 @@ CommitRecordPtr CommitSetCache::Lookup(const TxnId& id) const {
   const Shard& shard = ShardFor(id);
   ReaderMutexLock lock(shard.mu);
   auto it = shard.records.find(id);
-  return it == shard.records.end() ? nullptr : it->second;
+  if (it == shard.records.end()) {
+    lookup_misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  lookup_hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
 }
 
 bool CommitSetCache::Contains(const TxnId& id) const {
@@ -82,6 +87,12 @@ size_t CommitSetCache::size() const {
     total += shard.records.size();
   }
   return total;
+}
+
+size_t CommitSetCache::ShardSize(size_t i) const {
+  const Shard& shard = shards_[i % kNumShards];
+  ReaderMutexLock lock(shard.mu);
+  return shard.records.size();
 }
 
 }  // namespace aft

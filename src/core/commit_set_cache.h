@@ -20,6 +20,7 @@
 #define SRC_CORE_COMMIT_SET_CACHE_H_
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -70,6 +71,14 @@ class CommitSetCache {
   size_t LocallyDeletedCount() const;
 
   size_t size() const;
+  // Records held by shard `i` (i < kNumShards) — exposed per shard so a
+  // scrape can spot skewed striping.
+  size_t ShardSize(size_t i) const;
+
+  // Lookup outcome counters (Algorithm 1's per-candidate probes): a hit
+  // returned a record, a miss found the id GC'd/absent.
+  uint64_t lookup_hits() const { return lookup_hits_.load(std::memory_order_relaxed); }
+  uint64_t lookup_misses() const { return lookup_misses_.load(std::memory_order_relaxed); }
 
  private:
   struct Shard {
@@ -84,6 +93,8 @@ class CommitSetCache {
   }
 
   std::array<Shard, kNumShards> shards_;
+  mutable std::atomic<uint64_t> lookup_hits_{0};
+  mutable std::atomic<uint64_t> lookup_misses_{0};
 
   mutable Mutex recent_mu_;
   std::vector<TxnId> recent_commits_ GUARDED_BY(recent_mu_);

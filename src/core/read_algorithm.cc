@@ -32,7 +32,9 @@ AtomicReadChoice SelectAtomicReadVersion(
   const std::vector<TxnId> candidates = index.CandidatesAtLeast(key, lower);
 
   // Lines 12-21: take the newest candidate that does not conflict with R.
+  uint32_t examined = 0;
   for (const TxnId& t : candidates) {
+    ++examined;
     CommitRecordPtr record = commits.Lookup(t);
     if (record == nullptr) {
       // Metadata GC'd between the index snapshot and now; we cannot check
@@ -50,7 +52,7 @@ AtomicReadChoice SelectAtomicReadVersion(
       }
     }
     if (valid) {
-      return AtomicReadChoice{AtomicReadChoice::Kind::kVersion, t, std::move(record)};
+      return AtomicReadChoice{AtomicReadChoice::Kind::kVersion, t, std::move(record), examined};
     }
   }
 
@@ -58,9 +60,11 @@ AtomicReadChoice SelectAtomicReadVersion(
   // NULL version is still consistent (a snapshot from before `key` existed);
   // otherwise the transaction cannot proceed.
   if (lower.IsNull()) {
-    return AtomicReadChoice{AtomicReadChoice::Kind::kNullVersion, TxnId::Null(), nullptr};
+    return AtomicReadChoice{AtomicReadChoice::Kind::kNullVersion, TxnId::Null(), nullptr,
+                            examined};
   }
-  return AtomicReadChoice{AtomicReadChoice::Kind::kNoValidVersion, TxnId::Null(), nullptr};
+  return AtomicReadChoice{AtomicReadChoice::Kind::kNoValidVersion, TxnId::Null(), nullptr,
+                          examined};
 }
 
 std::vector<AtomicReadChoice> PlanAtomicMultiRead(

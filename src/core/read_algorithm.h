@@ -32,6 +32,10 @@ struct AtomicReadChoice {
   Kind kind = Kind::kNullVersion;
   TxnId version;           // Set when kind == kVersion.
   CommitRecordPtr record;  // The chosen version's commit record (pinned).
+  // How many candidate versions the newest-first walk examined before
+  // settling (0 for read-set-pinned and NULL outcomes) — the Algorithm-1
+  // resolution depth exposed as aft_node_read_walk_depth.
+  uint32_t candidates_examined = 0;
 };
 
 // Runs Algorithm 1: picks the newest committed version of `key` such that

@@ -19,6 +19,7 @@
 #include "src/common/uuid.h"
 #include "src/core/commit_set_cache.h"
 #include "src/core/txn_id.h"
+#include "src/obs/trace.h"
 
 namespace aft {
 
@@ -42,6 +43,10 @@ struct TransactionState {
 
   const Uuid uuid;
   const TimePoint start_time;
+
+  // Lifecycle trace context (no-op unless the transaction was sampled at
+  // start). Immutable after construction, so readable without `mu`.
+  obs::TraceContext trace;
 
   // Guards everything below. Ops of one transaction are logically sequential
   // (a linear composition of functions), but retries after failures can

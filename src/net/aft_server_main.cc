@@ -15,6 +15,17 @@
 //   --threading M   thread | event (default: AFT_NET_THREADING env var, then
 //                   event) — thread-per-connection vs. epoll event loop; see
 //                   docs/PROTOCOLS.md "Server concurrency model"
+//   --metrics-port N  also serve plaintext HTTP on this port: GET /metrics
+//                   returns the Prometheus exposition of the process registry,
+//                   GET /traces the chrome://tracing JSON ring (0 = kernel-
+//                   assigned, printed; omit to disable)
+//   --trace-sample N  sample every Nth transaction into the lifecycle tracer
+//                   (default 0 = tracing off)
+//   --smoke-traffic N  self-test traffic: a background RemoteAftClient issues
+//                   N put/commit transactions against this server's own TCP
+//                   endpoint, paced ~10ms apart (default 0 = none). Gives a
+//                   metrics scraper something non-zero and monotone to watch;
+//                   used by the CI metrics smoke.
 //
 // SIGINT / SIGTERM trigger a clean shutdown: stop accepting, drain handler
 // threads, stop the node's background sweeps, exit 0.
@@ -29,7 +40,11 @@
 
 #include "src/common/clock.h"
 #include "src/core/aft_node.h"
+#include "src/net/client.h"
 #include "src/net/server.h"
+#include "src/obs/metrics.h"
+#include "src/obs/metrics_http.h"
+#include "src/obs/trace.h"
 #include "src/storage/sim_dynamo.h"
 #include "src/storage/sim_redis.h"
 
@@ -44,7 +59,8 @@ void HandleSignal(int) { g_shutdown = 1; }
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--engine dynamo|redis] [--node-id ID] "
-               "[--threading thread|event]\n",
+               "[--threading thread|event] [--metrics-port N] [--trace-sample N] "
+               "[--smoke-traffic N]\n",
                argv0);
 }
 
@@ -57,6 +73,9 @@ int main(int argc, char** argv) {
   std::string engine = "dynamo";
   std::string node_id = "aft-0";
   net::ServerThreading threading = net::DefaultServerThreading();
+  int metrics_port = -1;  // -1 = exporter disabled; 0 = kernel-assigned.
+  uint64_t trace_sample = 0;
+  uint64_t smoke_traffic = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -86,11 +105,25 @@ int main(int argc, char** argv) {
         Usage(argv[0]);
         return 2;
       }
+    } else if (arg == "--metrics-port") {
+      const char* v = next();
+      if (v == nullptr) { Usage(argv[0]); return 2; }
+      metrics_port = std::atoi(v);
+    } else if (arg == "--trace-sample") {
+      const char* v = next();
+      if (v == nullptr) { Usage(argv[0]); return 2; }
+      trace_sample = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--smoke-traffic") {
+      const char* v = next();
+      if (v == nullptr) { Usage(argv[0]); return 2; }
+      smoke_traffic = static_cast<uint64_t>(std::atoll(v));
     } else {
       Usage(argv[0]);
       return arg == "--help" ? 0 : 2;
     }
   }
+
+  obs::Tracer::Global().SetSampleEveryN(trace_sample);
 
   RealClock& clock = RealClock::Default();
   std::unique_ptr<StorageEngine> storage;
@@ -118,7 +151,40 @@ int main(int argc, char** argv) {
   std::printf("aft-server: node %s (%s) listening on %s (%s mode)\n", node_id.c_str(),
               engine.c_str(), server.endpoint().ToString().c_str(),
               threading == net::ServerThreading::kEventLoop ? "event-loop" : "thread-per-conn");
+
+  obs::MetricsHttpServer metrics_server(obs::MetricsRegistry::Global(), obs::Tracer::Global());
+  if (metrics_port >= 0) {
+    const Status metrics_started =
+        metrics_server.Start(static_cast<uint16_t>(metrics_port));
+    if (!metrics_started.ok()) {
+      std::fprintf(stderr, "aft-server: metrics exporter: %s\n",
+                   metrics_started.ToString().c_str());
+      server.Stop();
+      node.Kill();
+      return 1;
+    }
+    std::printf("aft-server: metrics on http://127.0.0.1:%u/metrics (traces on /traces)\n",
+                metrics_server.port());
+  }
   std::fflush(stdout);
+
+  // Optional self-test traffic: real wire traffic through the same TCP path
+  // an external client would use, paced so a scraper sees counters move.
+  std::thread smoke_thread;
+  if (smoke_traffic > 0) {
+    smoke_thread = std::thread([&server, smoke_traffic] {
+      net::RemoteAftClient client({server.endpoint()});
+      for (uint64_t i = 0; i < smoke_traffic && g_shutdown == 0; ++i) {
+        auto session = client.StartTransaction();
+        if (!session.ok()) {
+          continue;
+        }
+        (void)client.Put(*session, "smoke:" + std::to_string(i % 64), std::to_string(i));
+        (void)client.Commit(*session);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+  }
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
@@ -132,6 +198,10 @@ int main(int argc, char** argv) {
   std::printf("aft-server: shutting down (%llu connections, %llu requests)\n",
               static_cast<unsigned long long>(server.stats().connections_accepted.load()),
               static_cast<unsigned long long>(server.stats().requests_served.load()));
+  if (smoke_thread.joinable()) {
+    smoke_thread.join();
+  }
+  metrics_server.Stop();
   server.Stop();
   node.Kill();
   return 0;

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "src/common/histogram.h"
 #include "src/common/io_executor.h"
 
 namespace aft {
@@ -23,6 +24,27 @@ bool IsTransportError(const Status& status) {
 Duration TimeLeft(SteadyClock::time_point deadline) {
   return std::chrono::duration_cast<Duration>(deadline - SteadyClock::now());
 }
+
+// +1 on construction, -1 on destruction (the aft_net_client_rpcs_inflight
+// gauge); tolerates a null gauge.
+class ScopedGaugeDelta {
+ public:
+  explicit ScopedGaugeDelta(obs::Gauge* gauge) : gauge_(gauge) {
+    if (gauge_ != nullptr) {
+      gauge_->Add(1);
+    }
+  }
+  ~ScopedGaugeDelta() {
+    if (gauge_ != nullptr) {
+      gauge_->Sub(1);
+    }
+  }
+  ScopedGaugeDelta(const ScopedGaugeDelta&) = delete;
+  ScopedGaugeDelta& operator=(const ScopedGaugeDelta&) = delete;
+
+ private:
+  obs::Gauge* gauge_;
+};
 
 }  // namespace
 
@@ -55,6 +77,24 @@ RemoteAftClient::RemoteAftClient(std::vector<NetEndpoint> endpoints,
       pool.channels.push_back(std::make_unique<Channel>(endpoint));
     }
     pools_.push_back(std::move(pool));
+  }
+  auto& reg = obs::MetricsRegistry::Global();
+  metrics_.rpcs_sent = reg.GetCounter("aft_net_client_rpcs_sent_total", "RPC frames sent");
+  metrics_.retries = reg.GetCounter("aft_net_client_retries_total", "RPC attempts after the first");
+  metrics_.reconnects =
+      reg.GetCounter("aft_net_client_reconnects_total", "Pooled connections re-dialed");
+  metrics_.fanouts =
+      reg.GetCounter("aft_net_client_fanouts_total", "Batched calls split over pool stripes");
+  metrics_.inflight =
+      reg.GetGauge("aft_net_client_rpcs_inflight", "Client RPCs currently awaiting a response");
+  for (uint8_t t = 1; t < metrics_.rpc_latency.size(); ++t) {
+    const auto type = static_cast<MessageType>(t);
+    if (!IsKnownMessageType(type)) {
+      continue;
+    }
+    metrics_.rpc_latency[t] = reg.GetHistogram(
+        "aft_net_client_rpc_latency_ms", "Client-observed RPC latency incl. retries (ms)",
+        DefaultLatencyBoundariesMs(), {{"method", std::string(MessageTypeName(type))}});
   }
 }
 
@@ -137,7 +177,8 @@ void RemoteAftClient::RunReader(Channel& channel, MutexLock& lock,
 }
 
 Result<std::string> RemoteAftClient::CallOnce(Channel& channel, MessageType type,
-                                              const std::string& request, Duration remaining) {
+                                              const std::string& request, Duration remaining,
+                                              uint64_t trace_id) {
   const SteadyClock::time_point deadline = SteadyClock::now() + remaining;
   MutexLock lock(channel.mu);
   // 1. Ensure a live connection. A reader may still be draining a torn
@@ -162,6 +203,7 @@ Result<std::string> RemoteAftClient::CallOnce(Channel& channel, MessageType type
     channel.connected = true;
     if (channel.ever_connected) {
       stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
+      metrics_.reconnects->Increment();
     }
     channel.ever_connected = true;
   }
@@ -188,7 +230,8 @@ Result<std::string> RemoteAftClient::CallOnce(Channel& channel, MessageType type
   }
   (void)channel.socket.SetSendTimeout(send_left);
   stats_.rpcs_sent.fetch_add(1, std::memory_order_relaxed);
-  const Status sent = WriteFrame(channel.socket, type, request);
+  metrics_.rpcs_sent->Increment();
+  const Status sent = WriteFrame(channel.socket, type, request, trace_id);
   if (!sent.ok()) {
     // A partial send leaves the stream unframed: fail everything in flight.
     FailChannelLocked(channel, sent);
@@ -232,15 +275,20 @@ Result<std::string> RemoteAftClient::CallOnce(Channel& channel, MessageType type
 }
 
 Result<std::string> RemoteAftClient::Call(size_t endpoint, MessageType type,
-                                          const std::string& request) {
-  return CallOnStripe(endpoint, StripeForThisThread(), type, request);
+                                          const std::string& request, uint64_t trace_id) {
+  return CallOnStripe(endpoint, StripeForThisThread(), type, request, trace_id);
 }
 
 Result<std::string> RemoteAftClient::CallOnStripe(size_t endpoint, size_t stripe,
-                                                  MessageType type, const std::string& request) {
+                                                  MessageType type, const std::string& request,
+                                                  uint64_t trace_id) {
   if (endpoint >= pools_.size()) {
     return Status::InvalidArgument("endpoint index out of range");
   }
+  const uint8_t type_index = static_cast<uint8_t>(type);
+  obs::ScopedHistogramTimer latency(
+      type_index < metrics_.rpc_latency.size() ? metrics_.rpc_latency[type_index] : nullptr);
+  const ScopedGaugeDelta inflight(metrics_.inflight);
   EndpointPool& pool = pools_[endpoint];
   Channel& channel = *pool.channels[stripe % pool.channels.size()];
   const SteadyClock::time_point deadline = SteadyClock::now() + options_.call_timeout;
@@ -249,9 +297,10 @@ Result<std::string> RemoteAftClient::CallOnStripe(size_t endpoint, size_t stripe
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt > 0) {
       stats_.retries.fetch_add(1, std::memory_order_relaxed);
+      metrics_.retries->Increment();
     }
     Result<std::string> payload =
-        CallOnce(channel, type, request, TimeLeft(deadline));
+        CallOnce(channel, type, request, TimeLeft(deadline), trace_id);
     if (payload.ok() || !IsTransportError(payload.status())) {
       return payload;
     }
@@ -288,13 +337,19 @@ Result<RemoteTxnSession> RemoteAftClient::StartTransaction() {
     return Status::FailedPrecondition("no endpoints configured");
   }
   const size_t endpoint = next_endpoint_.fetch_add(1, std::memory_order_relaxed) % pools_.size();
+  // Mint the trace context on the client: the server adopts it in its
+  // StartTransaction handler, so the whole lifecycle shares one trace id.
+  const obs::TraceContext trace = obs::Tracer::Global().StartTrace();
+  obs::TraceSpan span(trace, "ClientStartTxn", "client");
   AFT_ASSIGN_OR_RETURN(std::string payload,
-                       Call(endpoint, MessageType::kStartTxn, StartTxnRequest{}.Serialize()));
+                       Call(endpoint, MessageType::kStartTxn, StartTxnRequest{}.Serialize(),
+                            trace.trace_id));
   AFT_ASSIGN_OR_RETURN(StartTxnResponse response, StartTxnResponse::Deserialize(payload));
   RemoteTxnSession session;
   session.endpoint = endpoint;
   session.txid = response.txid;
   session.started = true;
+  session.trace = trace;
   return session;
 }
 
@@ -303,7 +358,8 @@ Status RemoteAftClient::Resume(const RemoteTxnSession& session) {
   AdoptTxnRequest request;
   request.txid = session.txid;
   AFT_ASSIGN_OR_RETURN(std::string payload,
-                       Call(session.endpoint, MessageType::kAdoptTxn, request.Serialize()));
+                       Call(session.endpoint, MessageType::kAdoptTxn, request.Serialize(),
+                            session.trace.trace_id));
   return DeserializeEmptyResponse(payload);
 }
 
@@ -320,7 +376,8 @@ Result<AftNode::VersionedRead> RemoteAftClient::GetVersioned(const RemoteTxnSess
   request.txid = session.txid;
   request.key = key;
   AFT_ASSIGN_OR_RETURN(std::string payload,
-                       Call(session.endpoint, MessageType::kGet, request.Serialize()));
+                       Call(session.endpoint, MessageType::kGet, request.Serialize(),
+                            session.trace.trace_id));
   AFT_ASSIGN_OR_RETURN(GetResponse response, GetResponse::Deserialize(payload));
   return std::move(response.read);
 }
@@ -336,7 +393,8 @@ Result<std::vector<AftNode::VersionedRead>> RemoteAftClient::MultiGet(
     request.txid = session.txid;
     request.keys.assign(keys.begin(), keys.end());
     AFT_ASSIGN_OR_RETURN(std::string payload,
-                         Call(session.endpoint, MessageType::kMultiGet, request.Serialize()));
+                         Call(session.endpoint, MessageType::kMultiGet, request.Serialize(),
+                              session.trace.trace_id));
     AFT_ASSIGN_OR_RETURN(MultiGetResponse response, MultiGetResponse::Deserialize(payload));
     return std::move(response.reads);
   }
@@ -345,6 +403,7 @@ Result<std::vector<AftNode::VersionedRead>> RemoteAftClient::MultiGet(
   // into the txn's read set under the txn lock, so the union carries the same
   // Algorithm-1 atomicity guarantee as one monolithic call (see header).
   stats_.fanouts.fetch_add(1, std::memory_order_relaxed);
+  metrics_.fanouts->Increment();
   std::vector<std::pair<size_t, size_t>> ranges;  // {offset, length}
   const size_t base = keys.size() / num_chunks;
   const size_t extra = keys.size() % num_chunks;
@@ -364,7 +423,7 @@ Result<std::vector<AftNode::VersionedRead>> RemoteAftClient::MultiGet(
         AFT_ASSIGN_OR_RETURN(
             std::string payload,
             CallOnStripe(session.endpoint, stripe0 + c, MessageType::kMultiGet,
-                         request.Serialize()));
+                         request.Serialize(), session.trace.trace_id));
         AFT_ASSIGN_OR_RETURN(MultiGetResponse response, MultiGetResponse::Deserialize(payload));
         if (response.reads.size() != len) {
           return Status::Internal("multiget chunk returned " +
@@ -386,7 +445,8 @@ Status RemoteAftClient::Put(const RemoteTxnSession& session, const std::string& 
   request.key = key;
   request.value = std::move(value);
   AFT_ASSIGN_OR_RETURN(std::string payload,
-                       Call(session.endpoint, MessageType::kPut, request.Serialize()));
+                       Call(session.endpoint, MessageType::kPut, request.Serialize(),
+                            session.trace.trace_id));
   return DeserializeEmptyResponse(payload);
 }
 
@@ -413,7 +473,8 @@ Status RemoteAftClient::PutBatch(const RemoteTxnSession& session, std::span<cons
     request.txid = session.txid;
     request.ops.assign(ops.begin(), ops.end());
     AFT_ASSIGN_OR_RETURN(std::string payload,
-                         Call(session.endpoint, MessageType::kPutBatch, request.Serialize()));
+                         Call(session.endpoint, MessageType::kPutBatch, request.Serialize(),
+                              session.trace.trace_id));
     return DeserializeEmptyResponse(payload);
   }
   // Buffered writes land in the txn's private write set, so concurrent
@@ -421,6 +482,7 @@ Status RemoteAftClient::PutBatch(const RemoteTxnSession& session, std::span<cons
   // still sees the union (same guarantee as the sequential loop the server
   // runs for one big batch).
   stats_.fanouts.fetch_add(1, std::memory_order_relaxed);
+  metrics_.fanouts->Increment();
   std::vector<std::pair<size_t, size_t>> ranges;
   const size_t base = ops.size() / num_chunks;
   const size_t extra = ops.size() % num_chunks;
@@ -438,17 +500,19 @@ Status RemoteAftClient::PutBatch(const RemoteTxnSession& session, std::span<cons
     AFT_ASSIGN_OR_RETURN(
         std::string payload,
         CallOnStripe(session.endpoint, stripe0 + c, MessageType::kPutBatch,
-                     request.Serialize()));
+                     request.Serialize(), session.trace.trace_id));
     return DeserializeEmptyResponse(payload);
   });
 }
 
 Result<TxnId> RemoteAftClient::Commit(const RemoteTxnSession& session) {
   AFT_RETURN_IF_ERROR(CheckSession(session));
+  obs::TraceSpan span(session.trace, "ClientCommit", "client");
   CommitRequest request;
   request.txid = session.txid;
   AFT_ASSIGN_OR_RETURN(std::string payload,
-                       Call(session.endpoint, MessageType::kCommit, request.Serialize()));
+                       Call(session.endpoint, MessageType::kCommit, request.Serialize(),
+                            session.trace.trace_id));
   AFT_ASSIGN_OR_RETURN(CommitResponse response, CommitResponse::Deserialize(payload));
   return response.id;
 }
@@ -458,7 +522,8 @@ Status RemoteAftClient::Abort(const RemoteTxnSession& session) {
   AbortRequest request;
   request.txid = session.txid;
   AFT_ASSIGN_OR_RETURN(std::string payload,
-                       Call(session.endpoint, MessageType::kAbort, request.Serialize()));
+                       Call(session.endpoint, MessageType::kAbort, request.Serialize(),
+                            session.trace.trace_id));
   return DeserializeEmptyResponse(payload);
 }
 
@@ -467,6 +532,13 @@ Result<std::string> RemoteAftClient::Ping(size_t endpoint) {
                        Call(endpoint, MessageType::kPing, PingRequest{}.Serialize()));
   AFT_ASSIGN_OR_RETURN(PingResponse response, PingResponse::Deserialize(payload));
   return std::move(response.node_id);
+}
+
+Result<std::string> RemoteAftClient::GetMetrics(size_t endpoint) {
+  AFT_ASSIGN_OR_RETURN(std::string payload,
+                       Call(endpoint, MessageType::kGetMetrics, GetMetricsRequest{}.Serialize()));
+  AFT_ASSIGN_OR_RETURN(GetMetricsResponse response, GetMetricsResponse::Deserialize(payload));
+  return std::move(response.text);
 }
 
 }  // namespace net

@@ -44,6 +44,7 @@
 #ifndef SRC_NET_CLIENT_H_
 #define SRC_NET_CLIENT_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -59,6 +60,8 @@
 #include "src/net/frame.h"
 #include "src/net/message.h"
 #include "src/net/socket.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace aft {
 namespace net {
@@ -101,6 +104,9 @@ struct RemoteTxnSession {
   size_t endpoint = 0;
   Uuid txid;
   bool started = false;
+  // Client-minted trace context (0 = unsampled); travels on every frame of
+  // this transaction so the server-side lifecycle joins the client's trace.
+  obs::TraceContext trace;
 
   bool valid() const { return started; }
 };
@@ -134,6 +140,9 @@ class RemoteAftClient {
 
   // Liveness probe of one endpoint; returns the remote node id.
   Result<std::string> Ping(size_t endpoint);
+
+  // Prometheus exposition snapshot of the remote process's metrics registry.
+  Result<std::string> GetMetrics(size_t endpoint);
 
   size_t endpoint_count() const { return pools_.size(); }
   const RemoteAftClientStats& stats() const { return stats_; }
@@ -176,14 +185,15 @@ class RemoteAftClient {
   // One RPC with connect/retry/backoff/deadline handling against the calling
   // thread's pool stripe. Returns the raw response payload (status still
   // encoded inside).
-  Result<std::string> Call(size_t endpoint, MessageType type, const std::string& request);
+  Result<std::string> Call(size_t endpoint, MessageType type, const std::string& request,
+                           uint64_t trace_id = 0);
   // Same, but on an explicit stripe (fan-out issues chunks on distinct
   // stripes so they actually travel on different connections).
   Result<std::string> CallOnStripe(size_t endpoint, size_t stripe, MessageType type,
-                                   const std::string& request);
+                                   const std::string& request, uint64_t trace_id = 0);
   // One pipelined attempt on a channel: dial if needed, send, wait FIFO.
   Result<std::string> CallOnce(Channel& channel, MessageType type, const std::string& request,
-                               Duration remaining);
+                               Duration remaining, uint64_t trace_id);
   // Fails every in-flight waiter and tears the connection down (Shutdown,
   // not Close — the reader may still be blocked in recv on the fd).
   void FailChannelLocked(Channel& channel, const Status& status) REQUIRES(channel.mu);
@@ -207,6 +217,18 @@ class RemoteAftClient {
   Mutex rng_mu_;
   Rng rng_ GUARDED_BY(rng_mu_);
   RemoteAftClientStats stats_;
+
+  // Registry instruments mirroring `stats_` (plain counters, shared by every
+  // client in the process) plus per-method call latency and in-flight gauge.
+  struct Instruments {
+    obs::Counter* rpcs_sent = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* reconnects = nullptr;
+    obs::Counter* fanouts = nullptr;
+    obs::Gauge* inflight = nullptr;
+    std::array<obs::Histogram*, 16> rpc_latency{};
+  };
+  Instruments metrics_;
 };
 
 }  // namespace net

@@ -25,6 +25,7 @@ std::array<uint32_t, 256> BuildCrcTable() {
 struct ParsedHeader {
   uint8_t version = 0;
   MessageType type = MessageType::kPing;
+  uint8_t flags = 0;
   uint32_t payload_len = 0;
   uint32_t crc = 0;
 };
@@ -52,6 +53,9 @@ Result<ParsedHeader> ParseHeader(std::string_view bytes) {
     return Status::InvalidArgument("unknown message type " +
                                    std::to_string(static_cast<int>(header.type)));
   }
+  // Unknown flag bits are ignored on read (versioning rules); known ones are
+  // honored below when the payload is in hand.
+  header.flags = static_cast<uint8_t>(bytes[6]);
   std::memcpy(&header.payload_len, bytes.data() + 8, 4);
   if (header.payload_len > kMaxFramePayload) {
     return Status::InvalidArgument("frame payload of " + std::to_string(header.payload_len) +
@@ -62,12 +66,22 @@ Result<ParsedHeader> ParseHeader(std::string_view bytes) {
   return header;
 }
 
+// Pulls the 8-byte trace-id prefix off an already-CRC-verified payload.
+Status StripTracePrefix(Frame* frame) {
+  if (frame->payload.size() < sizeof(uint64_t)) {
+    return Status::InvalidArgument("trace-flagged frame shorter than its trace id");
+  }
+  std::memcpy(&frame->trace_id, frame->payload.data(), sizeof(uint64_t));
+  frame->payload.erase(0, sizeof(uint64_t));
+  return Status::Ok();
+}
+
 }  // namespace
 
 bool IsKnownMessageType(MessageType type) {
   const uint8_t base = static_cast<uint8_t>(RequestOf(type));
   return base >= static_cast<uint8_t>(MessageType::kStartTxn) &&
-         base <= static_cast<uint8_t>(MessageType::kPing);
+         base <= static_cast<uint8_t>(MessageType::kGetMetrics);
 }
 
 std::string_view MessageTypeName(MessageType type) {
@@ -92,6 +106,8 @@ std::string_view MessageTypeName(MessageType type) {
       return "ApplyCommits";
     case MessageType::kPing:
       return "Ping";
+    case MessageType::kGetMetrics:
+      return "GetMetrics";
     default:
       return "Unknown";
   }
@@ -106,13 +122,20 @@ uint32_t Crc32(std::string_view data) {
   return crc ^ 0xFFFFFFFFu;
 }
 
-std::string EncodeFrame(MessageType type, std::string_view payload) {
+std::string EncodeFrame(MessageType type, std::string_view payload, uint64_t trace_id) {
+  std::string traced_payload;
+  if (trace_id != 0) {
+    traced_payload.reserve(sizeof(uint64_t) + payload.size());
+    traced_payload.append(reinterpret_cast<const char*>(&trace_id), sizeof(uint64_t));
+    traced_payload.append(payload);
+    payload = traced_payload;
+  }
   BinaryWriter writer;
   writer.PutU32(kFrameMagic);
   writer.PutU8(kWireVersion);
   writer.PutU8(static_cast<uint8_t>(type));
-  writer.PutU8(0);  // reserved
-  writer.PutU8(0);  // reserved
+  writer.PutU8(trace_id != 0 ? kFrameFlagTraceContext : 0);  // flags
+  writer.PutU8(0);                                           // reserved
   writer.PutU32(static_cast<uint32_t>(payload.size()));
   writer.PutU32(Crc32(payload));
   std::string bytes = std::move(writer).TakeData();
@@ -133,6 +156,9 @@ Result<Frame> DecodeFrame(std::string_view bytes) {
   if (Crc32(frame.payload) != header.crc) {
     return Status::InvalidArgument("frame CRC mismatch");
   }
+  if ((header.flags & kFrameFlagTraceContext) != 0) {
+    AFT_RETURN_IF_ERROR(StripTracePrefix(&frame));
+  }
   return frame;
 }
 
@@ -146,20 +172,25 @@ Result<size_t> DecodeFrameFromBuffer(std::string_view buffer, Frame* out) {
     return static_cast<size_t>(0);
   }
   out->type = header.type;
+  out->trace_id = 0;
   out->payload.assign(buffer.data() + kFrameHeaderSize, header.payload_len);
   if (Crc32(out->payload) != header.crc) {
     return Status::InvalidArgument("frame CRC mismatch");
   }
+  if ((header.flags & kFrameFlagTraceContext) != 0) {
+    AFT_RETURN_IF_ERROR(StripTracePrefix(out));
+  }
   return total;
 }
 
-Status WriteFrame(Socket& socket, MessageType type, std::string_view payload) {
+Status WriteFrame(Socket& socket, MessageType type, std::string_view payload,
+                  uint64_t trace_id) {
   if (payload.size() > kMaxFramePayload) {
     return Status::InvalidArgument("frame payload of " + std::to_string(payload.size()) +
                                    " bytes exceeds the " + std::to_string(kMaxFramePayload) +
                                    "-byte limit");
   }
-  return socket.SendAll(EncodeFrame(type, payload));
+  return socket.SendAll(EncodeFrame(type, payload, trace_id));
 }
 
 Result<Frame> ReadFrame(Socket& socket) {
@@ -175,6 +206,9 @@ Result<Frame> ReadFrame(Socket& socket) {
   }
   if (Crc32(frame.payload) != header.crc) {
     return Status::InvalidArgument("frame CRC mismatch");
+  }
+  if ((header.flags & kFrameFlagTraceContext) != 0) {
+    AFT_RETURN_IF_ERROR(StripTracePrefix(&frame));
   }
   return frame;
 }

@@ -7,10 +7,18 @@
 //     0       4     magic      0x41465431 ("AFT1", little-endian on the wire)
 //     4       1     version    kWireVersion; bump on incompatible change
 //     5       1     type       MessageType
-//     6       2     reserved   must be 0 (future flags)
+//     6       1     flags      bit 0 = trace context present (see below);
+//                              other bits reserved, written 0, ignored on read
+//     7       1     reserved   must be 0 (future flags)
 //     8       4     payload length (bytes; <= kMaxFramePayload)
 //     12      4     CRC-32 (IEEE 802.3) of the payload
 //     16      ...   payload (src/common/serde.h encoding, see message.h)
+//
+// Trace context: when header flag bit 0 is set, the payload begins with an
+// 8-byte little-endian trace id (the sampled obs::TraceContext travelling
+// with the transaction) followed by the message encoding; the length and CRC
+// fields cover the prefixed payload. Decoders strip the prefix into
+// Frame::trace_id, so message deserializers never see it.
 //
 // Versioning rules:
 //   * The 16-byte header layout is frozen forever — a peer of ANY version can
@@ -49,6 +57,10 @@ inline constexpr uint32_t kMaxFramePayload = 64u << 20;  // 64 MiB
 // can verify a reply matches what it asked for.
 inline constexpr uint8_t kResponseBit = 0x80;
 
+// Header flags (offset 6). Senders must only set kFrameFlagTraceContext
+// toward peers known to speak it; both sides ship from this tree.
+inline constexpr uint8_t kFrameFlagTraceContext = 0x01;
+
 enum class MessageType : uint8_t {
   kStartTxn = 1,
   kAdoptTxn = 2,
@@ -60,6 +72,7 @@ enum class MessageType : uint8_t {
   kAbort = 8,
   kApplyCommits = 9,  // Inter-node commit multicast (§4.1).
   kPing = 10,
+  kGetMetrics = 11,   // Prometheus exposition snapshot of the node's registry.
 };
 
 inline MessageType ResponseType(MessageType request) {
@@ -81,10 +94,14 @@ uint32_t Crc32(std::string_view data);
 struct Frame {
   MessageType type = MessageType::kPing;
   std::string payload;
+  // Sampled trace id carried by the frame; 0 = no trace context on the wire.
+  uint64_t trace_id = 0;
 };
 
 // Builds the complete on-wire bytes (header + payload) for one frame.
-std::string EncodeFrame(MessageType type, std::string_view payload);
+// A non-zero `trace_id` sets kFrameFlagTraceContext and prefixes the payload
+// with the 8-byte id.
+std::string EncodeFrame(MessageType type, std::string_view payload, uint64_t trace_id = 0);
 
 // Parses one complete frame from an in-memory buffer. Rejects bad magic,
 // unsupported versions, oversized or truncated payloads, and CRC mismatches
@@ -105,7 +122,8 @@ Result<size_t> DecodeFrameFromBuffer(std::string_view buffer, Frame* out);
 // Stream variants: write/read one frame over a connected socket. ReadFrame
 // returns kUnavailable when the peer closes cleanly between frames, and the
 // DecodeFrame errors above for torn or corrupt frames.
-Status WriteFrame(Socket& socket, MessageType type, std::string_view payload);
+Status WriteFrame(Socket& socket, MessageType type, std::string_view payload,
+                  uint64_t trace_id = 0);
 Result<Frame> ReadFrame(Socket& socket);
 
 }  // namespace net

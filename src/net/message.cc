@@ -305,6 +305,15 @@ Result<PingRequest> PingRequest::Deserialize(const std::string& bytes) {
   return PingRequest{};
 }
 
+std::string GetMetricsRequest::Serialize() const { return std::string(); }
+
+Result<GetMetricsRequest> GetMetricsRequest::Deserialize(const std::string& bytes) {
+  if (!bytes.empty()) {
+    return Malformed("GetMetrics");
+  }
+  return GetMetricsRequest{};
+}
+
 // ---- Responses -------------------------------------------------------------
 
 std::string StartTxnResponse::Serialize(const Status& status) const {
@@ -472,6 +481,31 @@ Result<PingResponse> PingResponse::Deserialize(const std::string& bytes) {
   PingResponse response;
   if (!reader.GetString(&response.node_id) || !Finish(reader)) {
     return Malformed("Ping response");
+  }
+  return response;
+}
+
+std::string GetMetricsResponse::Serialize(const Status& status) const {
+  BinaryWriter writer;
+  EncodeStatus(writer, status);
+  if (status.ok()) {
+    writer.PutString(text);
+  }
+  return std::move(writer).TakeData();
+}
+
+Result<GetMetricsResponse> GetMetricsResponse::Deserialize(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  Status status;
+  if (!DecodeStatus(reader, &status)) {
+    return Malformed("GetMetrics response");
+  }
+  if (!status.ok()) {
+    return status;
+  }
+  GetMetricsResponse response;
+  if (!reader.GetString(&response.text) || !Finish(reader)) {
+    return Malformed("GetMetrics response");
   }
   return response;
 }

@@ -106,6 +106,13 @@ struct PingRequest {
   static Result<PingRequest> Deserialize(const std::string& bytes);
 };
 
+// Metrics scrape: the server answers with its registry's Prometheus text
+// exposition (see docs/OBSERVABILITY.md for the families).
+struct GetMetricsRequest {
+  std::string Serialize() const;
+  static Result<GetMetricsRequest> Deserialize(const std::string& bytes);
+};
+
 // ---- Responses -------------------------------------------------------------
 // Each Serialize() takes the call's Status; Deserialize returns the DECODED
 // status when the frame itself was well-formed (the body is engaged only on
@@ -145,6 +152,12 @@ struct PingResponse {
   std::string node_id;
   std::string Serialize(const Status& status) const;
   static Result<PingResponse> Deserialize(const std::string& bytes);
+};
+
+struct GetMetricsResponse {
+  std::string text;  // Prometheus exposition format 0.0.4.
+  std::string Serialize(const Status& status) const;
+  static Result<GetMetricsResponse> Deserialize(const std::string& bytes);
 };
 
 // Status-only reply (AdoptTxn, Put, PutBatch, Abort). `Deserialize` returns

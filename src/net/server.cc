@@ -10,9 +10,11 @@
 #include <map>
 #include <unordered_map>
 
+#include "src/common/histogram.h"
 #include "src/common/io_executor.h"
 #include "src/common/logging.h"
 #include "src/net/message.h"
+#include "src/obs/trace.h"
 
 namespace aft {
 namespace net {
@@ -96,8 +98,59 @@ struct AftServiceServer::EventLoop {
   }
 };
 
+namespace {
+
+// Counts one in-flight request for the lifetime of a HandleRequest call.
+class InflightGuard {
+ public:
+  explicit InflightGuard(std::atomic<uint64_t>& count) : count_(count) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~InflightGuard() { count_.fetch_sub(1, std::memory_order_relaxed); }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+
+ private:
+  std::atomic<uint64_t>& count_;
+};
+
+}  // namespace
+
 AftServiceServer::AftServiceServer(AftNode& node, AftServiceServerOptions options)
-    : node_(node), options_(options) {}
+    : node_(node), options_(options) {
+  auto& reg = obs::MetricsRegistry::Global();
+  const obs::MetricLabels labels = {{"node", node_.node_id()}};
+  for (uint8_t t = 1; t < rpc_latency_.size(); ++t) {
+    const auto type = static_cast<MessageType>(t);
+    if (!IsKnownMessageType(type)) {
+      continue;
+    }
+    obs::MetricLabels method_labels = labels;
+    method_labels.emplace_back("method", std::string(MessageTypeName(type)));
+    rpc_latency_[t] =
+        reg.GetHistogram("aft_net_rpc_latency_ms", "Server-side RPC service time (ms)",
+                         DefaultLatencyBoundariesMs(), std::move(method_labels));
+  }
+  auto wrap = [&](const char* metric, const char* help, const std::atomic<uint64_t>& cell) {
+    metric_callbacks_.push_back(reg.RegisterCallback(
+        metric, help, obs::CallbackType::kCounter, labels,
+        [&cell] { return static_cast<double>(cell.load(std::memory_order_relaxed)); }));
+  };
+  wrap("aft_net_connections_accepted_total", "TCP connections accepted",
+       stats_.connections_accepted);
+  wrap("aft_net_requests_served_total", "Requests dispatched to a handler",
+       stats_.requests_served);
+  wrap("aft_net_bad_frames_total", "Frames rejected before dispatch", stats_.bad_frames);
+  wrap("aft_net_backpressure_pauses_total", "Connections paused for backpressure",
+       stats_.backpressure_pauses);
+  wrap("aft_net_backpressure_resumes_total", "Paused connections re-armed after draining",
+       stats_.backpressure_resumes);
+  metric_callbacks_.push_back(reg.RegisterCallback(
+      "aft_net_requests_inflight", "Requests currently executing in a handler",
+      obs::CallbackType::kGauge, labels, [this] {
+        return static_cast<double>(requests_inflight_.load(std::memory_order_relaxed));
+      }));
+}
 
 AftServiceServer::~AftServiceServer() { Stop(); }
 
@@ -256,7 +309,8 @@ void AftServiceServer::ServeConnection(Connection* conn) {
       break;  // A client sending response frames is not speaking the protocol.
     }
     bool bad_frame = false;
-    const std::string response = HandleRequest(frame->type, frame->payload, &bad_frame);
+    const std::string response =
+        HandleRequest(frame->type, frame->payload, frame->trace_id, &bad_frame);
     if (bad_frame) {
       stats_.bad_frames.fetch_add(1, std::memory_order_relaxed);
     }
@@ -515,21 +569,23 @@ bool AftServiceServer::ParseAndDispatch(const std::shared_ptr<EventConnection>& 
       conn->inbuf.erase(0, consumed);
       return false;  // A client sending response frames is off-protocol.
     }
-    DispatchRequest(conn, conn->next_dispatch_seq++, frame.type, std::move(frame.payload));
+    DispatchRequest(conn, conn->next_dispatch_seq++, frame.type, std::move(frame.payload),
+                    frame.trace_id);
   }
   conn->inbuf.erase(0, consumed);
   return true;
 }
 
 void AftServiceServer::DispatchRequest(const std::shared_ptr<EventConnection>& conn,
-                                       uint64_t seq, MessageType type, std::string payload) {
+                                       uint64_t seq, MessageType type, std::string payload,
+                                       uint64_t trace_id) {
   {
     MutexLock lock(inflight_mu_);
     ++inflight_;
   }
-  auto task = [this, conn, seq, type, payload = std::move(payload)]() mutable {
+  auto task = [this, conn, seq, type, trace_id, payload = std::move(payload)]() mutable {
     bool bad_frame = false;
-    const std::string response = HandleRequest(type, payload, &bad_frame);
+    const std::string response = HandleRequest(type, payload, trace_id, &bad_frame);
     if (bad_frame) {
       stats_.bad_frames.fetch_add(1, std::memory_order_relaxed);
     }
@@ -626,6 +682,8 @@ void AftServiceServer::UpdateInterest(EventLoop* loop,
   }
   if (!want_read && !conn->reads_paused) {
     stats_.backpressure_pauses.fetch_add(1, std::memory_order_relaxed);
+  } else if (want_read && conn->reads_paused) {
+    stats_.backpressure_resumes.fetch_add(1, std::memory_order_relaxed);
   }
   conn->reads_paused = !want_read;
   const uint32_t desired =
@@ -655,7 +713,11 @@ void AftServiceServer::CloseEventConnection(EventLoop* loop,
 }
 
 std::string AftServiceServer::HandleRequest(MessageType type, const std::string& payload,
-                                            bool* bad_frame) {
+                                            uint64_t trace_id, bool* bad_frame) {
+  const InflightGuard inflight(requests_inflight_);
+  const uint8_t type_index = static_cast<uint8_t>(type);
+  obs::ScopedHistogramTimer rpc_timer(
+      type_index < rpc_latency_.size() ? rpc_latency_[type_index] : nullptr);
   // A frame that passed CRC but fails request decoding is a protocol bug on
   // the peer, not stream corruption: reply with the decode error and keep
   // the connection (framing is still in sync).
@@ -666,7 +728,9 @@ std::string AftServiceServer::HandleRequest(MessageType type, const std::string&
         *bad_frame = true;
         return SerializeEmptyResponse(request.status());
       }
-      auto txid = node_.StartTransaction();
+      // Adopt the client-minted trace context (0 = unsampled) so the
+      // transaction's server-side lifecycle joins the client's trace.
+      auto txid = node_.StartTransaction(obs::TraceContext{trace_id});
       StartTxnResponse response;
       if (txid.ok()) {
         response.txid = *txid;
@@ -757,9 +821,23 @@ std::string AftServiceServer::HandleRequest(MessageType type, const std::string&
         *bad_frame = true;
         return SerializeEmptyResponse(request.status());
       }
-      node_.ApplyRemoteCommits(request->records);
+      {
+        obs::TraceSpan span(obs::TraceContext{trace_id}, "RemoteApply", node_.node_id());
+        span.AddArg("records", std::to_string(request->records.size()));
+        node_.ApplyRemoteCommits(request->records);
+      }
       ApplyCommitsResponse response;
       response.applied = request->records.size();
+      return response.Serialize(Status::Ok());
+    }
+    case MessageType::kGetMetrics: {
+      auto request = GetMetricsRequest::Deserialize(payload);
+      if (!request.ok()) {
+        *bad_frame = true;
+        return SerializeEmptyResponse(request.status());
+      }
+      GetMetricsResponse response;
+      response.text = obs::MetricsRegistry::Global().Exposition();
       return response.Serialize(Status::Ok());
     }
     case MessageType::kPing: {

@@ -40,6 +40,7 @@
 #ifndef SRC_NET_SERVER_H_
 #define SRC_NET_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <memory>
@@ -51,6 +52,7 @@
 #include "src/common/mutex.h"
 #include "src/core/aft_node.h"
 #include "src/net/frame.h"
+#include "src/obs/metrics.h"
 #include "src/net/socket.h"
 
 namespace aft {
@@ -94,6 +96,9 @@ struct AftServiceServerStats {
   std::atomic<uint64_t> bad_frames{0};
   // kEventLoop: times a connection's reads were paused for backpressure.
   std::atomic<uint64_t> backpressure_pauses{0};
+  // kEventLoop: times a paused connection drained below the hysteresis
+  // threshold and had its reads re-armed.
+  std::atomic<uint64_t> backpressure_resumes{0};
 };
 
 class AftServiceServer {
@@ -148,7 +153,8 @@ class AftServiceServer {
   void ServeConnection(Connection* conn);
   // Decodes + dispatches one request, returns the response payload (encoded
   // status + body) or an error when the connection must be dropped.
-  std::string HandleRequest(MessageType type, const std::string& payload, bool* bad_frame);
+  std::string HandleRequest(MessageType type, const std::string& payload, uint64_t trace_id,
+                            bool* bad_frame);
   // Joins finished handler threads / reaps closed event connections (called
   // opportunistically per accept).
   void ReapFinished();
@@ -163,7 +169,7 @@ class AftServiceServer {
   void ServiceWritable(EventLoop* loop, const std::shared_ptr<EventConnection>& conn);
   bool ParseAndDispatch(const std::shared_ptr<EventConnection>& conn);
   void DispatchRequest(const std::shared_ptr<EventConnection>& conn, uint64_t seq,
-                       MessageType type, std::string payload);
+                       MessageType type, std::string payload, uint64_t trace_id);
   void QueueResponse(const std::shared_ptr<EventConnection>& conn, uint64_t seq,
                      std::string bytes);
   // Returns false when the connection died mid-flush.
@@ -198,6 +204,14 @@ class AftServiceServer {
   size_t inflight_ GUARDED_BY(inflight_mu_) = 0;
 
   AftServiceServerStats stats_;
+
+  // Per-method service latency (aft_net_rpc_latency_ms{node=,method=}),
+  // indexed by the request MessageType octet; nullptr for unknown types.
+  std::array<obs::Histogram*, 16> rpc_latency_{};
+  // Requests currently inside HandleRequest, both threading modes; exposed
+  // as the aft_net_requests_inflight gauge.
+  std::atomic<uint64_t> requests_inflight_{0};
+  std::vector<obs::ScopedMetricCallback> metric_callbacks_;
 };
 
 }  // namespace net

@@ -5,14 +5,28 @@
 
 #include "src/common/io_executor.h"
 #include "src/common/logging.h"
+#include "src/common/histogram.h"
 #include "src/net/frame.h"
 #include "src/net/message.h"
+#include "src/obs/trace.h"
 
 namespace aft {
 namespace net {
 
 TcpMulticastBus::TcpMulticastBus(Clock& clock, Duration interval, TcpMulticastBusOptions options)
-    : MulticastBus(clock, interval), options_(options) {}
+    : MulticastBus(clock, interval), options_(options) {
+  auto& reg = obs::MetricsRegistry::Global();
+  metrics_.rounds = reg.GetCounter("aft_gossip_rounds_total", "Gossip rounds run");
+  metrics_.records_broadcast =
+      reg.GetCounter("aft_gossip_records_broadcast_total", "Commit records put on the wire");
+  metrics_.records_pruned = reg.GetCounter(
+      "aft_gossip_records_pruned_total", "Commit records dropped by supersedence pruning");
+  metrics_.delivery_errors =
+      reg.GetCounter("aft_gossip_delivery_errors_total", "Gossip deliveries that failed");
+  metrics_.batch_records =
+      reg.GetHistogram("aft_gossip_batch_records", "Records per coalesced ApplyCommits frame",
+                       ExponentialBoundaries(1.0, 2.0, 12));
+}
 
 TcpMulticastBus::~TcpMulticastBus() { Stop(); }
 
@@ -98,7 +112,7 @@ void TcpMulticastBus::KillEndpoint(const AftNode* node) {
   peer->connected = false;
 }
 
-Status TcpMulticastBus::DeliverTo(Peer& peer, const std::string& request) {
+Status TcpMulticastBus::DeliverTo(Peer& peer, const std::string& request, uint64_t trace_id) {
   MutexLock lock(peer.send_mu);
   if (!peer.connected) {
     auto socket = TcpConnect(peer.server->endpoint(), options_.connect_timeout);
@@ -111,7 +125,7 @@ Status TcpMulticastBus::DeliverTo(Peer& peer, const std::string& request) {
     (void)peer.socket.SetRecvTimeout(options_.rpc_timeout);
     peer.connected = true;
   }
-  Status status = WriteFrame(peer.socket, MessageType::kApplyCommits, request);
+  Status status = WriteFrame(peer.socket, MessageType::kApplyCommits, request, trace_id);
   if (status.ok()) {
     auto frame = ReadFrame(peer.socket);
     if (!frame.ok()) {
@@ -131,6 +145,7 @@ Status TcpMulticastBus::DeliverTo(Peer& peer, const std::string& request) {
 
 void TcpMulticastBus::RunOnce() {
   stats_.rounds.fetch_add(1, std::memory_order_relaxed);
+  metrics_.rounds->Increment();
   const bool prune = pruning_enabled();
   std::vector<std::shared_ptr<Peer>> peers;
   FaultManagerSink sink;
@@ -146,6 +161,9 @@ void TcpMulticastBus::RunOnce() {
   struct Outgoing {
     Peer* sender;
     std::vector<CommitRecordPtr> records;
+    // First sampled trace among the drained commits (0 = none): carried on
+    // the coalesced frame so the remote apply joins the commit's trace.
+    obs::TraceContext trace;
   };
   std::vector<Outgoing> outgoing;
   for (const auto& sender : peers) {
@@ -155,7 +173,8 @@ void TcpMulticastBus::RunOnce() {
     }
     std::vector<CommitRecordPtr> pruned;
     std::vector<CommitRecordPtr> unpruned;
-    sender->node->DrainRecentCommits(prune ? &pruned : nullptr, &unpruned);
+    obs::TraceContext trace;
+    sender->node->DrainRecentCommits(prune ? &pruned : nullptr, &unpruned, &trace);
     if (unpruned.empty()) {
       continue;
     }
@@ -166,8 +185,10 @@ void TcpMulticastBus::RunOnce() {
     std::vector<CommitRecordPtr>& out = prune ? pruned : unpruned;
     stats_.records_broadcast.fetch_add(out.size(), std::memory_order_relaxed);
     stats_.records_pruned.fetch_add(unpruned.size() - out.size(), std::memory_order_relaxed);
+    metrics_.records_broadcast->Increment(out.size());
+    metrics_.records_pruned->Increment(unpruned.size() - out.size());
     if (!out.empty()) {
-      outgoing.push_back(Outgoing{sender.get(), std::move(out)});
+      outgoing.push_back(Outgoing{sender.get(), std::move(out), trace});
     }
   }
   if (outgoing.empty()) {
@@ -179,6 +200,7 @@ void TcpMulticastBus::RunOnce() {
     std::shared_ptr<Peer> receiver;
     std::string payload;
     size_t record_count = 0;
+    obs::TraceContext trace;
   };
   std::vector<Delivery> deliveries;
   for (const auto& receiver : peers) {
@@ -186,16 +208,21 @@ void TcpMulticastBus::RunOnce() {
       continue;
     }
     ApplyCommitsRequest request;
+    obs::TraceContext trace;
     for (const Outgoing& out : outgoing) {
       if (out.sender == receiver.get()) {
         continue;
       }
       request.records.insert(request.records.end(), out.records.begin(), out.records.end());
+      if (!trace.sampled()) {
+        trace = out.trace;
+      }
     }
     if (request.records.empty()) {
       continue;
     }
-    deliveries.push_back(Delivery{receiver, request.Serialize(), request.records.size()});
+    metrics_.batch_records->Observe(static_cast<double>(request.records.size()));
+    deliveries.push_back(Delivery{receiver, request.Serialize(), request.records.size(), trace});
   }
   if (deliveries.empty()) {
     return;
@@ -207,9 +234,18 @@ void TcpMulticastBus::RunOnce() {
   // serializing before — or aborting — the deliveries to healthy peers.
   (void)IoExecutor::Shared().ParallelFor(deliveries.size(), [&](size_t i) -> Status {
     Delivery& delivery = deliveries[i];
-    const Status delivered = DeliverTo(*delivery.receiver, delivery.payload);
+    obs::TraceSpan span(delivery.trace, "GossipBroadcast", delivery.receiver->node->node_id());
+    span.AddArg("records", std::to_string(delivery.record_count));
+    const Status delivered = DeliverTo(*delivery.receiver, delivery.payload,
+                                       delivery.trace.trace_id);
     if (!delivered.ok()) {
       stats_.delivery_errors.fetch_add(1, std::memory_order_relaxed);
+      metrics_.delivery_errors->Increment();
+      obs::MetricsRegistry::Global()
+          .GetCounter("aft_gossip_peer_delivery_errors_total",
+                      "Gossip deliveries that failed, by destination peer",
+                      {{"peer", delivery.receiver->node->node_id()}})
+          ->Increment();
       AFT_LOG(Warn) << "tcp bus: delivery of " << delivery.record_count << " records to "
                     << delivery.receiver->node->node_id()
                     << " failed: " << delivered.ToString();

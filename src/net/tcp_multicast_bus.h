@@ -34,6 +34,7 @@
 #include "src/net/client.h"
 #include "src/net/server.h"
 #include "src/net/socket.h"
+#include "src/obs/metrics.h"
 
 namespace aft {
 namespace net {
@@ -85,10 +86,22 @@ class TcpMulticastBus : public MulticastBus {
   };
 
   // Sends one ApplyCommits RPC to `peer`'s server and awaits the ack.
-  // Serialized per peer under peer.send_mu.
-  Status DeliverTo(Peer& peer, const std::string& request);
+  // Serialized per peer under peer.send_mu. A non-zero `trace_id` rides the
+  // frame header so the receiver's RemoteApply span joins the trace.
+  Status DeliverTo(Peer& peer, const std::string& request, uint64_t trace_id);
 
   const TcpMulticastBusOptions options_;
+
+  // Registry counters mirroring the base-class stats, plus the per-round
+  // coalesced batch size distribution.
+  struct Instruments {
+    obs::Counter* rounds = nullptr;
+    obs::Counter* records_broadcast = nullptr;
+    obs::Counter* records_pruned = nullptr;
+    obs::Counter* delivery_errors = nullptr;
+    obs::Histogram* batch_records = nullptr;
+  };
+  Instruments metrics_;
 
   // Guards membership and the sink only. Gossip rounds snapshot the peer list
   // (shared_ptr) and run OUTSIDE this lock, so Register/Unregister/Kill are

@@ -1,0 +1,129 @@
+#include "src/obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace aft {
+namespace obs {
+namespace {
+
+// JSON string escaping for the small set of characters our names/args can
+// reasonably contain.
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  MutexLock lock(mu_);
+  ring_.resize(capacity_);
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+TraceContext Tracer::StartTrace() {
+  const uint64_t n = sample_every_n_.load(std::memory_order_relaxed);
+  if (n == 0) {
+    return TraceContext{};
+  }
+  const uint64_t start = next_start_.fetch_add(1, std::memory_order_relaxed);
+  if (start % n != 0) {
+    return TraceContext{};
+  }
+  return TraceContext{next_trace_id_.fetch_add(1, std::memory_order_relaxed)};
+}
+
+void Tracer::Record(TraceEvent event) {
+  if (event.trace_id == 0) {
+    return;
+  }
+  total_recorded_.fetch_add(1, std::memory_order_relaxed);
+  MutexLock lock(mu_);
+  ring_[head_] = std::move(event);
+  head_ = (head_ + 1) % capacity_;
+  if (count_ < capacity_) {
+    ++count_;
+  }
+}
+
+uint64_t Tracer::NowMicros() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - epoch)
+                                   .count());
+}
+
+std::string Tracer::DumpJson() const {
+  MutexLock lock(mu_);
+  std::string out = "[";
+  bool first = true;
+  // Oldest event first: when the ring has wrapped, head_ points at it.
+  const size_t start = count_ == capacity_ ? head_ : 0;
+  for (size_t i = 0; i < count_; ++i) {
+    const TraceEvent& event = ring_[(start + i) % capacity_];
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"name\":\"%s\",\"cat\":\"aft\",\"ph\":\"X\",\"ts\":%" PRIu64
+                  ",\"dur\":%" PRIu64 ",\"pid\":1,\"tid\":\"%s\",\"args\":{\"trace_id\":%" PRIu64,
+                  EscapeJson(event.name).c_str(), event.start_us, event.dur_us,
+                  event.node.empty() ? "client" : EscapeJson(event.node).c_str(), event.trace_id);
+    out += buf;
+    for (const auto& [key, value] : event.args) {
+      out += ",\"" + EscapeJson(key) + "\":\"" + EscapeJson(value) + "\"";
+    }
+    out += "}}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+size_t Tracer::size() const {
+  MutexLock lock(mu_);
+  return count_;
+}
+
+void Tracer::Clear() {
+  MutexLock lock(mu_);
+  for (auto& slot : ring_) {
+    slot = TraceEvent{};
+  }
+  head_ = 0;
+  count_ = 0;
+}
+
+}  // namespace obs
+}  // namespace aft

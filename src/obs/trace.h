@@ -1,0 +1,160 @@
+// Sampled per-transaction lifecycle tracing (docs/OBSERVABILITY.md).
+//
+// A `TraceContext` is minted when a transaction starts (client side or, for
+// untraced callers, at the server). Sampling happens exactly once, at mint
+// time: a context is either sampled (its 64-bit id travels with the
+// transaction, including across the TCP wire via the frame trace flag — see
+// docs/PROTOCOLS.md) or it is a no-op and every span guard along the way
+// compiles down to two branches and no stores.
+//
+// Spans are recorded as *complete* events (chrome://tracing `ph:"X"`): the
+// RAII `TraceSpan` stamps a steady-clock start on construction and pushes one
+// event with a duration on destruction. Events land in a fixed-size ring
+// buffer owned by the process-wide `Tracer`; when the ring wraps, the oldest
+// events are overwritten (tracing never blocks or allocates on the hot path
+// beyond the args strings the caller chose to attach). `DumpJson()` renders
+// the ring as a chrome://tracing-compatible JSON array; load it at
+// chrome://tracing or https://ui.perfetto.dev.
+
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/mutex.h"
+
+namespace aft {
+namespace obs {
+
+// Propagated with a transaction. trace_id == 0 means "not sampled".
+struct TraceContext {
+  uint64_t trace_id = 0;
+
+  bool sampled() const { return trace_id != 0; }
+};
+
+// One completed span. Timestamps are microseconds on the process-wide steady
+// clock (`Tracer::NowMicros`), so events from different threads of one
+// process line up on a shared axis.
+struct TraceEvent {
+  uint64_t trace_id = 0;
+  std::string name;                                       // e.g. "CommitFlush"
+  std::string node;                                       // emitting node id ("" = client)
+  uint64_t start_us = 0;
+  uint64_t dur_us = 0;
+  std::vector<std::pair<std::string, std::string>> args;  // small, optional
+};
+
+class Tracer {
+ public:
+  // Ring capacity in events. Sized so a full cluster-test workload fits with
+  // room to spare while keeping the tracer's memory footprint bounded.
+  static constexpr size_t kDefaultCapacity = 8192;
+
+  explicit Tracer(size_t capacity = kDefaultCapacity);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // The process-wide tracer every span guard records into.
+  static Tracer& Global();
+
+  // Sample 1 in `n` new traces. n == 0 disables tracing (the default for
+  // library use; aft_server --trace-sample and tests turn it on). n == 1
+  // traces everything.
+  void SetSampleEveryN(uint64_t n) { sample_every_n_.store(n, std::memory_order_relaxed); }
+  uint64_t sample_every_n() const { return sample_every_n_.load(std::memory_order_relaxed); }
+
+  // Mints a context for a new transaction: sampled (non-zero id) for 1 in N
+  // starts, no-op otherwise.
+  TraceContext StartTrace();
+
+  // Appends a completed event (no-op when event.trace_id == 0). Overwrites
+  // the oldest event once the ring is full.
+  void Record(TraceEvent event);
+
+  // Microseconds since process start on the steady clock.
+  static uint64_t NowMicros();
+
+  // chrome://tracing JSON array of the ring's events, oldest first. Each
+  // event becomes {"name","cat","ph":"X","ts","dur","pid":1,"tid",...} with
+  // the trace id and caller args under "args".
+  std::string DumpJson() const;
+
+  // Events currently held (<= capacity).
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  // Total events ever recorded, including ones the ring has since overwritten.
+  uint64_t total_recorded() const { return total_recorded_.load(std::memory_order_relaxed); }
+
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  std::atomic<uint64_t> sample_every_n_{0};
+  std::atomic<uint64_t> next_start_{0};      // Start counter for 1-in-N sampling.
+  std::atomic<uint64_t> next_trace_id_{1};
+  std::atomic<uint64_t> total_recorded_{0};
+
+  mutable Mutex mu_;
+  std::vector<TraceEvent> ring_ GUARDED_BY(mu_);  // capacity_ slots.
+  size_t head_ GUARDED_BY(mu_) = 0;               // Next slot to write.
+  size_t count_ GUARDED_BY(mu_) = 0;              // Filled slots (<= capacity_).
+};
+
+// RAII span guard: stamps start on construction, records a complete event on
+// destruction. All methods are no-ops when the context is not sampled.
+class TraceSpan {
+ public:
+  TraceSpan(const TraceContext& ctx, std::string name, std::string node = "")
+      : trace_id_(ctx.trace_id) {
+    if (trace_id_ != 0) {
+      name_ = std::move(name);
+      node_ = std::move(node);
+      start_us_ = Tracer::NowMicros();
+    }
+  }
+  ~TraceSpan() { Finish(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Attaches a key/value to the eventual event (e.g. Algorithm-1 walk depth).
+  void AddArg(const std::string& key, std::string value) {
+    if (trace_id_ != 0) {
+      args_.emplace_back(key, std::move(value));
+    }
+  }
+
+  // Records the event now instead of at scope exit. Idempotent.
+  void Finish() {
+    if (trace_id_ == 0) {
+      return;
+    }
+    TraceEvent event;
+    event.trace_id = trace_id_;
+    event.name = std::move(name_);
+    event.node = std::move(node_);
+    event.start_us = start_us_;
+    event.dur_us = Tracer::NowMicros() - start_us_;
+    event.args = std::move(args_);
+    Tracer::Global().Record(std::move(event));
+    trace_id_ = 0;
+  }
+
+ private:
+  uint64_t trace_id_ = 0;
+  std::string name_;
+  std::string node_;
+  uint64_t start_us_ = 0;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+}  // namespace obs
+}  // namespace aft
+
+#endif  // SRC_OBS_TRACE_H_

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+
+#include "src/common/histogram.h"
 
 #include "src/common/io_executor.h"
 
@@ -31,10 +34,47 @@ SimEngineBase::SimEngineBase(std::string name, Clock& clock, EngineLatencyProfil
       profile_(profile),
       staleness_(staleness),
       map_(map_shards),
-      name_(std::move(name)) {}
+      name_(std::move(name)) {
+  auto& reg = obs::MetricsRegistry::Global();
+  const obs::MetricLabels labels = {{"engine", name_}};
+  auto latency = [&](const char* op, const char* help) {
+    obs::MetricLabels op_labels = labels;
+    op_labels.emplace_back("op", op);
+    return reg.GetHistogram("aft_storage_op_latency_ms", help, DefaultLatencyBoundariesMs(),
+                            std::move(op_labels));
+  };
+  op_latency_get_ = latency("get", "Charged storage latency per operation (ms)");
+  op_latency_put_ = latency("put", "Charged storage latency per operation (ms)");
+  op_latency_delete_ = latency("delete", "Charged storage latency per operation (ms)");
+  op_latency_list_ = latency("list", "Charged storage latency per operation (ms)");
+  op_latency_batch_ = latency("batch", "Charged storage latency per operation (ms)");
+  auto wrap = [&](const char* metric, const char* help, const std::atomic<uint64_t>& cell) {
+    metric_callbacks_.push_back(reg.RegisterCallback(
+        metric, help, obs::CallbackType::kCounter, labels,
+        [&cell] { return static_cast<double>(cell.load(std::memory_order_relaxed)); }));
+  };
+  wrap("aft_storage_gets_total", "Storage GET operations", counters_.gets);
+  wrap("aft_storage_puts_total", "Storage PUT operations", counters_.puts);
+  wrap("aft_storage_batch_puts_total", "Storage batched-write API calls", counters_.batch_puts);
+  wrap("aft_storage_deletes_total", "Storage DELETE operations", counters_.deletes);
+  wrap("aft_storage_lists_total", "Storage LIST operations", counters_.lists);
+  wrap("aft_storage_bytes_read_total", "Payload bytes read from storage", counters_.bytes_read);
+  wrap("aft_storage_bytes_written_total", "Payload bytes written to storage",
+       counters_.bytes_written);
+  wrap("aft_storage_api_calls_total", "Storage API requests issued", counters_.api_calls);
+  wrap("aft_storage_stale_reads_total", "Reads served from a stale snapshot",
+       counters_.stale_reads);
+  wrap("aft_storage_transient_faults_total", "Injected transient storage faults",
+       counters_.transient_faults);
+}
 
-void SimEngineBase::Charge(const LatencyModel& model, uint64_t bytes) {
+void SimEngineBase::Charge(const LatencyModel& model, uint64_t bytes, obs::Histogram* latency) {
   const Duration d = model.Sample(ThreadLocalRng(), bytes);
+  if (latency != nullptr) {
+    // Observe the charged (simulated) latency: in a simulation this IS the
+    // engine's per-op service time.
+    latency->Observe(std::chrono::duration<double, std::milli>(d).count());
+  }
   if (d > Duration::zero()) {
     clock_.SleepFor(d);
   }
@@ -74,7 +114,7 @@ TimePoint SimEngineBase::SampleReadAsOf(const std::string& key) {
 Result<std::string> SimEngineBase::Get(const std::string& key) {
   counters_.gets.fetch_add(1, std::memory_order_relaxed);
   counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
-  Charge(profile_.get);
+  Charge(profile_.get, 0, op_latency_get_);
   if (ShouldFail()) {
     return Status::Unavailable("transient storage error (injected)");
   }
@@ -91,7 +131,7 @@ Result<std::string> SimEngineBase::GetRange(const std::string& key, uint64_t off
                                             uint64_t length) {
   counters_.gets.fetch_add(1, std::memory_order_relaxed);
   counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
-  Charge(profile_.get, length);
+  Charge(profile_.get, length, op_latency_get_);
   if (ShouldFail()) {
     return Status::Unavailable("transient storage error (injected)");
   }
@@ -112,7 +152,7 @@ Status SimEngineBase::Put(const std::string& key, const std::string& value) {
   counters_.puts.fetch_add(1, std::memory_order_relaxed);
   counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
   counters_.bytes_written.fetch_add(value.size(), std::memory_order_relaxed);
-  Charge(profile_.put, value.size());
+  Charge(profile_.put, value.size(), op_latency_put_);
   if (ShouldFail()) {
     return Status::Unavailable("transient storage error (injected)");
   }
@@ -143,7 +183,7 @@ Status SimEngineBase::PutBatchChunk(std::span<const WriteOp> chunk) {
     bytes += op.value.size();
   }
   counters_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
-  Charge(profile_.batch_base, bytes);
+  Charge(profile_.batch_base, bytes, op_latency_batch_);
   for (size_t i = 0; i < chunk.size(); ++i) {
     Charge(profile_.batch_per_item);
   }
@@ -182,7 +222,7 @@ Status SimEngineBase::BatchPut(std::span<const WriteOp> ops) {
 Status SimEngineBase::Delete(const std::string& key) {
   counters_.deletes.fetch_add(1, std::memory_order_relaxed);
   counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
-  Charge(profile_.erase);
+  Charge(profile_.erase, 0, op_latency_delete_);
   if (ShouldFail()) {
     return Status::Unavailable("transient storage error (injected)");
   }
@@ -193,7 +233,7 @@ Status SimEngineBase::Delete(const std::string& key) {
 Status SimEngineBase::DeleteBatchChunk(std::span<const std::string> chunk) {
   counters_.deletes.fetch_add(chunk.size(), std::memory_order_relaxed);
   counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
-  Charge(profile_.batch_base);
+  Charge(profile_.batch_base, 0, op_latency_batch_);
   const TimePoint now = clock_.Now();
   for (const std::string& key : chunk) {
     map_.Delete(key, now);
@@ -220,7 +260,7 @@ Status SimEngineBase::BatchDelete(std::span<const std::string> keys) {
 Result<std::vector<std::string>> SimEngineBase::List(const std::string& prefix) {
   counters_.lists.fetch_add(1, std::memory_order_relaxed);
   counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
-  Charge(profile_.list);
+  Charge(profile_.list, 0, op_latency_list_);
   return map_.List(prefix);
 }
 

@@ -6,10 +6,12 @@
 
 #include <atomic>
 #include <string>
+#include <vector>
 
 #include "src/common/clock.h"
 #include "src/common/latency.h"
 #include "src/common/rng.h"
+#include "src/obs/metrics.h"
 #include "src/storage/storage_engine.h"
 #include "src/storage/versioned_map.h"
 
@@ -85,8 +87,19 @@ class SimEngineBase : public StorageEngine {
   Clock& clock() { return clock_; }
 
  protected:
-  // Sleeps for one sample of `model` with the given payload size.
-  void Charge(const LatencyModel& model, uint64_t bytes = 0);
+  // Sleeps for one sample of `model` with the given payload size. When
+  // `latency` is given, the sampled duration is also observed into that
+  // per-op histogram (aft_storage_op_latency_ms{engine=,op=}).
+  void Charge(const LatencyModel& model, uint64_t bytes = 0,
+              obs::Histogram* latency = nullptr);
+
+  // Per-op latency instruments (get/put/delete/list/batch), shared by every
+  // engine instance with the same name.
+  obs::Histogram* op_latency_get_ = nullptr;
+  obs::Histogram* op_latency_put_ = nullptr;
+  obs::Histogram* op_latency_delete_ = nullptr;
+  obs::Histogram* op_latency_list_ = nullptr;
+  obs::Histogram* op_latency_batch_ = nullptr;
 
   // One batched API call covering `chunk` (size <= MaxBatchSize()).
   Status PutBatchChunk(std::span<const WriteOp> chunk);
@@ -109,6 +122,9 @@ class SimEngineBase : public StorageEngine {
  private:
   const std::string name_;
   std::atomic<double> fault_probability_{0.0};
+  // Callback metrics wrapping `counters_` ({engine=name_} labels); values
+  // are read from this instance's atomics at exposition time.
+  std::vector<obs::ScopedMetricCallback> metric_callbacks_;
 };
 
 }  // namespace aft

@@ -32,6 +32,69 @@ leg() {  # leg <name> <build-dir> <extra cmake args...>
 }
 
 leg "RelWithDebInfo" build-ci-rel -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+# Metrics smoke: boot the real binary with the HTTP exporter on a
+# kernel-assigned port, drive real wire traffic through it
+# (--smoke-traffic), and scrape /metrics + /traces over bash's /dev/tcp
+# (the exporter answers one request per connection, Connection: close).
+# Asserts the key families are present and the commit counter is monotone.
+printf '\n==== CI leg: metrics smoke ====\n'
+smoke_log="$(mktemp)"
+build-ci-rel/src/net/aft_server --port 0 --metrics-port 0 --trace-sample 1 \
+  --smoke-traffic 1000 > "$smoke_log" 2>&1 &
+smoke_pid=$!
+mport=""
+for _ in $(seq 1 100); do
+  mport="$(sed -n 's#.*http://127\.0\.0\.1:\([0-9]*\)/metrics.*#\1#p' "$smoke_log")"
+  [ -n "$mport" ] && break
+  sleep 0.1
+done
+scrape() {  # scrape <path>
+  exec 3<>"/dev/tcp/127.0.0.1/$mport" || return 1
+  printf 'GET %s HTTP/1.1\r\nHost: ci\r\n\r\n' "$1" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+committed() {  # current value of the node's commit counter
+  scrape /metrics | sed -n 's/^aft_node_txns_committed_total{[^}]*} //p'
+}
+smoke_ok=1
+if [ -z "$mport" ]; then smoke_ok=0; fi
+if [ "$smoke_ok" = 1 ]; then
+  scrape /metrics > "$smoke_log.scrape"
+  for family in \
+      '^# TYPE aft_node_commit_latency_ms histogram' \
+      '^aft_node_data_cache_hits_total' \
+      '^aft_commit_set_cache_lookup_' \
+      '^aft_net_requests_inflight' \
+      '^aft_storage_api_calls_total' \
+      '^aft_gossip_\|^aft_net_rpc_latency_ms_bucket'; do
+    grep -q "$family" "$smoke_log.scrape" || { echo "  missing: $family"; smoke_ok=0; }
+  done
+  scrape /traces | grep -q '^\[' || smoke_ok=0
+  # Monotone under load: the commit counter must strictly increase.
+  before="$(committed)"
+  after="$before"
+  for _ in $(seq 1 50); do
+    sleep 0.2
+    after="$(committed)"
+    [ -n "$after" ] && [ "$after" -gt "${before:-0}" ] && break
+  done
+  if [ -z "$after" ] || [ "$after" -le "${before:-0}" ]; then
+    echo "  commit counter not monotone: before=$before after=$after"
+    smoke_ok=0
+  fi
+fi
+if [ "$smoke_ok" = 1 ]; then
+  echo "[PASS] metrics smoke"
+else
+  echo "[FAIL] metrics smoke"
+  sed 's/^/  server: /' "$smoke_log"
+  rc=1
+fi
+kill "$smoke_pid" 2>/dev/null; wait "$smoke_pid" 2>/dev/null
+rm -f "$smoke_log" "$smoke_log.scrape"
+
 TSAN_OPTIONS='halt_on_error=1' \
   leg "TSan" build-ci-tsan -DAFT_SANITIZE=thread
 ASAN_OPTIONS='detect_leaks=1' UBSAN_OPTIONS='print_stacktrace=1' \
