@@ -421,6 +421,7 @@ void AftServiceServer::EventLoopMain(EventLoop* loop) {
     for (int i = 0; i < n; ++i) {
       if (events[i].data.ptr == nullptr) {
         uint64_t drained;
+        // aftlint-allow(loop-blocking): wake_fd is a non-blocking eventfd; read drains and EAGAINs
         while (::read(loop->wake_fd, &drained, sizeof(drained)) > 0) {
         }
         continue;
@@ -542,6 +543,7 @@ void AftServiceServer::ServiceWritable(EventLoop* loop,
 
 bool AftServiceServer::ParseAndDispatch(const std::shared_ptr<EventConnection>& conn) {
   size_t consumed = 0;
+  // aftlint: hot
   while (true) {
     uint64_t sequenced;
     {
@@ -555,6 +557,7 @@ bool AftServiceServer::ParseAndDispatch(const std::shared_ptr<EventConnection>& 
     auto n = DecodeFrameFromBuffer(std::string_view(conn->inbuf).substr(consumed), &frame);
     if (!n.ok()) {
       stats_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+      // aftlint-allow(obs-hot-log): teardown path — logs once, then the connection dies
       AFT_LOG(Warn) << "aft server (" << node_.node_id()
                     << "): dropping connection: " << n.status().ToString();
       conn->inbuf.erase(0, consumed);
@@ -636,6 +639,7 @@ void AftServiceServer::QueueResponse(const std::shared_ptr<EventConnection>& con
 bool AftServiceServer::FlushEventConnection(EventLoop* /*loop*/,
                                             const std::shared_ptr<EventConnection>& conn) {
   MutexLock lock(conn->mu);
+  // aftlint: hot
   while (conn->outbuf_off < conn->outbuf.size()) {
     auto sent = conn->socket.SendSome(conn->outbuf.data() + conn->outbuf_off,
                                       conn->outbuf.size() - conn->outbuf_off);

@@ -1,0 +1,9 @@
+"""aftlint — repo-specific static analysis for the AFT codebase.
+
+Four invariant families, machine-checked (see docs/STATIC_ANALYSIS.md):
+lock-order acyclicity, decoder bounds, event-loop blocking, and
+observability discipline. Textual backend is the deterministic gate;
+libclang (when importable) only removes false positives.
+"""
+
+__all__ = ["config", "cpp", "findings", "source"]

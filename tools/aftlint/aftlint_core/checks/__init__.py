@@ -1,0 +1,45 @@
+"""Check registry: runner name -> entry point, plus the finding names each
+runner can emit (suppression comments and --checks use the emitted names)."""
+
+from __future__ import annotations
+
+from . import decoder_bounds, lock_order, loop_blocking, observability
+
+CHECKS = {
+    "lock-order": lock_order.run,
+    "decoder-bounds": decoder_bounds.run,
+    "loop-blocking": loop_blocking.run,
+    "observability": observability.run,
+}
+
+EMITTED = {
+    "lock-order": ["lock-order"],
+    "decoder-bounds": ["decoder-bounds"],
+    "loop-blocking": ["loop-blocking"],
+    "observability": ["obs-metric-name", "obs-rpc-coverage", "obs-hot-log"],
+}
+
+ALL_FINDING_NAMES = sorted(n for names in EMITTED.values() for n in names)
+
+
+def resolve_selection(requested: list[str]) -> tuple[list[str], set[str]]:
+    """Map user-requested names (runner or finding names) to
+    (runners to execute, finding names to keep)."""
+    runners: list[str] = []
+    keep: set[str] = set()
+    for req in requested:
+        if req in CHECKS:
+            runners.append(req)
+            keep.update(EMITTED[req])
+            continue
+        hit = [r for r, names in EMITTED.items() if req in names]
+        if not hit:
+            raise ValueError(
+                f"unknown check '{req}' (known: {', '.join(sorted(CHECKS))} "
+                f"/ {', '.join(ALL_FINDING_NAMES)})"
+            )
+        runners.append(hit[0])
+        keep.add(req)
+    # preserve registry order, dedupe
+    ordered = [r for r in CHECKS if r in runners]
+    return ordered, keep

@@ -1,0 +1,132 @@
+"""decoder-bounds: wire-controlled sizes must be clamped before they allocate.
+
+The PR-3 incident class: a decoder reads a count or length off the wire
+(`GetU32`/`GetU64`/`GetI64` into a local) and feeds it to `reserve`,
+`resize`, a `std::string`/`std::vector` sized constructor, or a loop bound
+without first clamping it against the bytes that could possibly back it
+(`remaining()`, the source buffer's `size()`, or a `kMax*` constant). A
+20-byte frame could demand a multi-GB allocation.
+
+Taint model (per function, deliberately dumb):
+
+  * SOURCE:   `reader.GetU32(&x)` (any Get{U32,U64,I64}) taints `x`.
+  * SANITIZE: any conditional mentioning the tainted variable together with a
+    comparison operator — `if (count > reader.remaining() / 4)`,
+    `if (len > kMaxFramePayload)` — untaints it from that point on. The
+    clamp's *adequacy* is not judged (that is what the fixture corpus and
+    review are for); its *presence* is what regressed in PR 3.
+  * SINK:     `.reserve(x)`, `.resize(x)`, `new T[x]`, `std::string(x, c)`,
+    and loop conditions `i < x` / `i <= x` reached while `x` is tainted.
+
+Only files listed in config.DECODER_FILES are scanned — the rule is about
+decoders, not every integer in the tree.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .. import config
+from ..cpp import extract_structure
+from ..findings import CheckContext
+
+CHECK = "decoder-bounds"
+
+_SOURCE_RE = re.compile(r"\bGet(?:U32|U64|I64)\s*\(\s*&\s*([A-Za-z_][\w.\->]*)\s*\)")
+_SANITIZE_RE_TMPL = r"(?:if|while|\?)\s*\([^;{{]*\b{var}\b[^;{{]*(?:[<>]=?|==|!=)"
+_BARE_CMP_TMPL = r"\b{var}\b\s*(?:[<>]=?|==|!=)|(?:[<>]=?|==|!=)\s*[^;]*\b{var}\b"
+_MIN_CLAMP_TMPL = r"(?:std::min|std::clamp)\s*[<(][^;]*\b{var}\b"
+
+_SINK_RES = [
+    (re.compile(r"(?:\.|->)(?:reserve|resize)\s*\(([^;]*)\)"), "unclamped wire-controlled size reaches {fn}"),
+    (re.compile(r"\bnew\s+[\w:<>]+\s*\[([^\]]*)\]"), "unclamped wire-controlled size reaches operator new[]"),
+    (re.compile(r"\bstd::(?:string|vector)\s*[\w<>:]*\s*\(([^;)]*),"), "unclamped wire-controlled size constructs a container"),
+]
+_LOOP_SINK_RE = re.compile(r"\bfor\s*\([^;{]*;([^;{]*);[^){]*\)")
+_WHILE_SINK_RE = re.compile(r"\bwhile\s*\(([^){]*)\)")
+
+
+def run(ctx: CheckContext) -> None:
+    for path, src in sorted(ctx.files.items()):
+        if not _in_scope(path):
+            continue
+        structure = extract_structure(src)
+        for fn in structure.functions:
+            _scan_function(ctx, path, src, fn)
+
+
+def _in_scope(path: str) -> bool:
+    if path.startswith("tools/aftlint/fixtures/"):
+        return True  # the self-test corpus opts in wholesale
+    return path in config.DECODER_FILES
+
+
+def _scan_function(ctx, path, src, fn) -> None:
+    body = src.masked[fn.body_start : fn.body_end + 1]
+    base = fn.body_start
+
+    tainted: dict[str, int] = {}  # var -> offset where tainted
+    sanitized: dict[str, int] = {}  # var -> offset where clamped
+
+    for m in _SOURCE_RE.finditer(body):
+        var = m.group(1).split("->")[-1].split(".")[-1]
+        if var not in tainted:
+            tainted[var] = m.end()
+
+    if not tainted:
+        return
+
+    for var, taint_off in tainted.items():
+        v = re.escape(var)
+        for pat in (
+            _SANITIZE_RE_TMPL.format(var=v),
+            _MIN_CLAMP_TMPL.format(var=v),
+        ):
+            sm = re.search(pat, body[taint_off:])
+            if sm:
+                prev = sanitized.get(var)
+                off = taint_off + sm.start()
+                if prev is None or off < prev:
+                    sanitized[var] = off
+
+    def is_hot(var: str, use_off: int) -> bool:
+        if var not in tainted or use_off < tainted[var]:
+            return False
+        clamp = sanitized.get(var)
+        return clamp is None or clamp > use_off
+
+    def report(off: int, message: str) -> None:
+        line = src.line_of(base + off)
+        if ctx.clang_refiner is not None and not ctx.clang_refiner.confirm_decoder_bounds(
+            path, line
+        ):
+            return
+        ctx.report(CHECK, path, line, message)
+
+    for sink_re, msg in _SINK_RES:
+        for m in sink_re.finditer(body):
+            arg = m.group(1)
+            for var in tainted:
+                if re.search(rf"\b{re.escape(var)}\b", arg) and is_hot(var, m.start()):
+                    fn_name = m.group(0).split("(")[0].strip().lstrip(".")
+                    report(
+                        m.start(),
+                        msg.format(fn=fn_name)
+                        + f": '{var}' was read off the wire and never clamped "
+                        f"against the remaining payload",
+                    )
+                    break
+
+    for loop_re in (_LOOP_SINK_RE, _WHILE_SINK_RE):
+        for m in loop_re.finditer(body):
+            cond = m.group(1)
+            cm = re.search(r"(?:<|<=)\s*([A-Za-z_]\w*)", cond)
+            if not cm:
+                continue
+            var = cm.group(1)
+            if is_hot(var, m.start()):
+                report(
+                    m.start(),
+                    f"loop bounded by wire-controlled '{var}' without a prior "
+                    f"clamp against the remaining payload",
+                )

@@ -1,0 +1,382 @@
+"""lock-order: prove the lock-acquisition graph acyclic, and derive it.
+
+Extracts every lock-acquisition site (`MutexLock` / `WriterMutexLock` /
+`ReaderMutexLock` RAII guards, plus `REQUIRES(...)` entry capabilities) from
+the file set, resolves each to a canonical lock identity
+(`Class::member`), and records an edge A -> B whenever B is acquired while
+A is held — directly in one function body, or via a call to a function that
+may (transitively) acquire B. Lambda bodies are analyzed as their own
+anonymous functions: code inside them runs on some thread, but not
+necessarily while the enclosing function's locks are held, so their
+acquisitions do not propagate into the enclosing function's may-acquire
+set.
+
+A cycle in the resulting graph is a potential deadlock and is reported as
+one finding per participating edge (anchored at the acquisition evidence).
+The acyclic graph, a GUARDED_BY roster, and a topological order are
+exported as artifacts so `docs/PROTOCOLS.md`'s lock table is generated from
+the code instead of asserted by hand (aftlint --update-docs).
+
+Known textual blind spots (why this is "dumb but total"): manual
+`mu.Lock()/Unlock()` pairs outside the RAII wrappers are not tracked (the
+wrappers are the repo convention; clang TSA covers the rest), and callees
+are resolved by simple name, which over-approximates — a false cycle is
+silenced with `// aftlint-allow(lock-order): reason` at the evidence site.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .. import config
+from ..cpp import (
+    IMPLICIT_RECV,
+    Function,
+    body_without_lambdas,
+    collect_member_types,
+    local_decl_types,
+    resolve_callees,
+    structure_of,
+)
+from ..findings import CheckContext
+from ..source import SourceFile
+
+CHECK = "lock-order"
+
+_ACQ_RE = re.compile(
+    r"\b(MutexLock|WriterMutexLock|ReaderMutexLock)\s+([A-Za-z_]\w*)\s*[({]\s*([^;{}]*?)\s*[)}]\s*;"
+)
+_UNLOCK_RE = re.compile(r"\b([A-Za-z_]\w*)\.Unlock\s*\(\s*\)")
+_RELOCK_RE = re.compile(r"\b([A-Za-z_]\w*)\.Lock\s*\(\s*\)")
+_CALL_RE = re.compile(r"(?:\b([A-Za-z_]\w*)\s*(->|\.)\s*)?\b([A-Za-z_]\w*)\s*\(")
+
+_CALL_NOISE = {
+    # keywords / operators that look like calls
+    "if", "for", "while", "switch", "return", "sizeof", "catch",
+    "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+    "decltype", "alignof", "noexcept", "assert", "defined",
+    # the lock wrappers themselves
+    "MutexLock", "WriterMutexLock", "ReaderMutexLock",
+    "Lock", "Unlock", "TryLock", "LockShared", "UnlockShared",
+}
+
+
+@dataclass
+class _AnalyzedFn:
+    fn_key: str  # unique key (path#qualified#line)
+    qualified: str
+    simple: str
+    class_ctx: str
+    path: str
+    # canonical lock id -> line of first direct acquisition (REQUIRES excluded)
+    direct_acquires: dict[str, int] = field(default_factory=dict)
+    # (held lock id, acquired lock id, line) intraprocedural edges
+    edges: list[tuple[str, str, int]] = field(default_factory=list)
+    # (held set frozen, callee simple name, receiver type or "", line)
+    calls: list[tuple[frozenset, str, str, int]] = field(default_factory=list)
+
+
+def _canonical(expr: str, class_ctx: str, types: dict[str, str], aliases: dict[str, str]) -> str:
+    expr = expr.strip()
+    expr = re.sub(r"^\*", "", expr)
+    expr = expr.replace("this->", "")
+    if expr in aliases:
+        return aliases[expr]
+    m = re.fullmatch(r"([A-Za-z_]\w*)\s*(?:->|\.)\s*([A-Za-z_]\w*)", expr)
+    if m:
+        obj, member = m.group(1), m.group(2)
+        obj_type = types.get(obj, "")
+        if obj_type:
+            return f"{obj_type}::{member}"
+        return aliases.get(f"{obj}->{member}", f"{obj}->{member}")
+    if re.fullmatch(r"[A-Za-z_]\w*", expr):
+        return f"{class_ctx}::{expr}" if class_ctx else expr
+    if re.fullmatch(r"[A-Za-z_]\w*::[A-Za-z_]\w*", expr):
+        return expr
+    return expr  # give up: the expression text is the identity
+
+
+def _analyze_region(
+    src: SourceFile,
+    path: str,
+    body: str,
+    body_off: int,
+    fn: Function,
+    class_ctx: str,
+    entry_locks: list[str],
+    types: dict[str, str],
+    out: _AnalyzedFn,
+) -> None:
+    """Scan one brace-balanced region, tracking RAII lock scopes."""
+    aliases = config.LOCK_ALIASES
+    # Active locks: list of dicts with depth, var, id, active flag.
+    active: list[dict] = [
+        {"depth": -1, "var": f"<entry{i}>", "id": lk, "on": True}
+        for i, lk in enumerate(entry_locks)
+    ]
+    depth = 0
+    i, n = 0, len(body)
+    stmt_start = 0
+
+    def held() -> list[str]:
+        return [a["id"] for a in active if a["on"]]
+
+    def process_stmt(stmt: str, off: int) -> None:
+        m = _ACQ_RE.search(stmt)
+        if m:
+            lock_id = _canonical(m.group(3), class_ctx, types, aliases)
+            line = src.line_of(body_off + off + m.start())
+            for h in held():
+                if h != lock_id:
+                    out.edges.append((h, lock_id, line))
+            if lock_id not in out.direct_acquires:
+                out.direct_acquires[lock_id] = line
+            active.append({"depth": depth, "var": m.group(2), "id": lock_id, "on": True})
+            return
+        um = _UNLOCK_RE.search(stmt)
+        if um:
+            for a in reversed(active):
+                if a["var"] == um.group(1):
+                    a["on"] = False
+                    break
+        rm = _RELOCK_RE.search(stmt)
+        if rm:
+            for a in reversed(active):
+                if a["var"] == rm.group(1):
+                    a["on"] = True
+                    break
+        # Call sites while holding at least one lock.
+        h = held()
+        if not h:
+            return
+        for cm in _CALL_RE.finditer(stmt):
+            recv, callee = cm.group(1), cm.group(3)
+            if callee in _CALL_NOISE:
+                continue
+            recv_type = types.get(recv, "") if recv else IMPLICIT_RECV
+            line = src.line_of(body_off + off + cm.start())
+            out.calls.append((frozenset(h), callee, recv_type, line))
+
+    while i < n:
+        ch = body[i]
+        if ch == "{":
+            process_stmt(body[stmt_start:i], stmt_start)
+            depth += 1
+            stmt_start = i + 1
+        elif ch == "}":
+            process_stmt(body[stmt_start:i], stmt_start)
+            depth -= 1
+            # A guard declared at depth d dies when its scope closes, i.e.
+            # when depth drops BELOW d; guards at the new current depth live.
+            active[:] = [a for a in active if a["depth"] <= depth]
+            stmt_start = i + 1
+        elif ch == ";":
+            process_stmt(body[stmt_start : i + 1], stmt_start)
+            stmt_start = i + 1
+        i += 1
+
+
+def run(ctx: CheckContext) -> None:
+    analyzed: list[_AnalyzedFn] = []
+    by_simple: dict[str, list[_AnalyzedFn]] = {}
+    by_qualified: dict[str, list[_AnalyzedFn]] = {}
+    members, unique_members = collect_member_types(ctx.files)
+
+    for path, src in sorted(ctx.files.items()):
+        if any(path.endswith(e) for e in config.LOCK_ORDER_EXCLUDE):
+            continue
+        structure = structure_of(src)
+        for fn in structure.functions:
+            body = body_without_lambdas(src, fn)
+            types = dict(unique_members)
+            types.update(members.get(fn.class_ctx, {}))
+            types.update(fn.params)
+            types.update(local_decl_types(body))
+            types.update(config.TYPE_HINTS)
+            entry = [
+                _canonical(e, fn.class_ctx, types, config.LOCK_ALIASES)
+                for e in (fn.requires or structure.decl_requires.get(fn.simple_name, []))
+            ]
+            rec = _AnalyzedFn(
+                fn_key=f"{path}#{fn.qualified_name}#{fn.start_line}",
+                qualified=fn.qualified_name,
+                simple=fn.simple_name,
+                class_ctx=fn.class_ctx,
+                path=path,
+            )
+            _analyze_region(src, path, body, fn.body_start, fn, fn.class_ctx, entry, types, rec)
+            # Lambda bodies: separate anonymous regions (no entry locks, no
+            # propagation into the enclosing function).
+            for a, b in fn.lambda_spans:
+                lam = _AnalyzedFn(
+                    fn_key=f"{path}#{fn.qualified_name}#lambda@{a}",
+                    qualified=f"{fn.qualified_name}::<lambda>",
+                    simple="<lambda>",
+                    class_ctx=fn.class_ctx,
+                    path=path,
+                )
+                _analyze_region(
+                    src, path, src.masked[a : b + 1], a, fn, fn.class_ctx, [], types, lam
+                )
+                analyzed.append(lam)
+                continue
+            analyzed.append(rec)
+            by_simple.setdefault(fn.simple_name, []).append(rec)
+            by_qualified.setdefault(fn.qualified_name, []).append(rec)
+
+    # ---- transitive may-acquire fixpoint ------------------------------------
+    may: dict[str, set[str]] = {a.fn_key: set(a.direct_acquires) for a in analyzed}
+    rec_by_key = {a.fn_key: a for a in analyzed}
+
+    def callees_of(rec: _AnalyzedFn, callee: str, recv_type: str) -> list[_AnalyzedFn]:
+        return resolve_callees(by_qualified, by_simple, callee, recv_type, rec.class_ctx)
+
+    changed = True
+    iterations = 0
+    while changed and iterations < 50:
+        changed = False
+        iterations += 1
+        for rec in analyzed:
+            acc = may[rec.fn_key]
+            before = len(acc)
+            for _, callee, recv_type, _ in rec.calls:
+                for target in callees_of(rec, callee, recv_type):
+                    acc |= may[target.fn_key]
+            if len(acc) != before:
+                changed = True
+
+    # ---- edges ---------------------------------------------------------------
+    edges: dict[tuple[str, str], list[tuple[str, int, str]]] = {}
+
+    def add_edge(a: str, b: str, path: str, line: int, why: str) -> None:
+        if a == b:
+            return  # simple-name over-approximation noise; TSA owns reentrancy
+        src = ctx.files.get(path)
+        if src is not None and src.is_allowed(CHECK, line):
+            return
+        edges.setdefault((a, b), []).append((path, line, why))
+
+    for rec in analyzed:
+        for a, b, line in rec.edges:
+            add_edge(a, b, rec.path, line, f"{rec.qualified} acquires while holding")
+        for held_set, callee, recv_type, line in rec.calls:
+            targets = callees_of(rec, callee, recv_type)
+            acquired: set[str] = set()
+            for t in targets:
+                acquired |= may[t.fn_key]
+            for h in held_set:
+                for b in acquired:
+                    add_edge(h, b, rec.path, line, f"{rec.qualified} -> {callee}()")
+
+    # ---- cycle detection -----------------------------------------------------
+    graph: dict[str, set[str]] = {}
+    for (a, b) in edges:
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+
+    cycle_edges = _edges_in_cycles(graph)
+    for (a, b) in sorted(cycle_edges):
+        sites = edges[(a, b)]
+        path, line, why = sites[0]
+        ctx.report(
+            CHECK,
+            path,
+            line,
+            f"lock-order cycle: edge {a} -> {b} participates in an "
+            f"acquisition cycle ({why}); see docs/PROTOCOLS.md lock order",
+        )
+
+    # ---- artifacts for the docs generator -----------------------------------
+    roster: list[tuple[str, str, str, int]] = []
+    for path, src in sorted(ctx.files.items()):
+        if not path.startswith("src/"):
+            continue
+        structure = structure_of(src)
+        roster.extend(
+            (cls, mutex, fld, line) for cls, mutex, fld, line in structure.guarded_fields
+        )
+    ctx.artifacts["lock_graph"] = {
+        "edges": {k: v for k, v in sorted(edges.items())},
+        "cyclic": bool(cycle_edges),
+        "order": _topo_order(graph) if not cycle_edges else [],
+        "roster": roster,
+    }
+
+
+def _edges_in_cycles(graph: dict[str, set[str]]) -> set[tuple[str, str]]:
+    """Edges that lie inside a strongly connected component (Tarjan)."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[set[str]] = []
+    counter = [0]
+
+    def strongconnect(v: str) -> None:
+        # Iterative Tarjan: recursion depth is unbounded on long chains.
+        work = [(v, iter(sorted(graph.get(v, ()))))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(graph.get(w, ())))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.add(w)
+                    if w == node:
+                        break
+                if len(scc) > 1:
+                    sccs.append(scc)
+
+    for v in sorted(graph):
+        if v not in index:
+            strongconnect(v)
+
+    bad: set[tuple[str, str]] = set()
+    for scc in sccs:
+        for a in scc:
+            for b in graph.get(a, ()):
+                if b in scc:
+                    bad.add((a, b))
+    return bad
+
+
+def _topo_order(graph: dict[str, set[str]]) -> list[str]:
+    indeg: dict[str, int] = {v: 0 for v in graph}
+    for v, outs in graph.items():
+        for w in outs:
+            indeg[w] = indeg.get(w, 0) + 1
+    ready = sorted(v for v, d in indeg.items() if d == 0)
+    order: list[str] = []
+    while ready:
+        v = ready.pop(0)
+        order.append(v)
+        for w in sorted(graph.get(v, ())):
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                ready.append(w)
+        ready.sort()
+    return order

@@ -1,0 +1,182 @@
+"""Observability discipline (PR-5 rules), three sub-checks:
+
+  * obs-metric-name   — every metric family name literal matches the
+    `aft_*` naming grammar from docs/OBSERVABILITY.md, and counters end in
+    `_total`. Any single-token string literal starting with "aft" is treated
+    as a family name, so names funneled through helper wrappers are covered
+    too; the counter-suffix rule applies where the registration kind is
+    visible at the call site (GetCounter / CallbackType::kCounter).
+  * obs-rpc-coverage  — the RPC dispatch switch handles every MessageType
+    enumerator, and the dispatch function opens a ScopedHistogramTimer
+    before the switch so every method's latency lands in
+    aft_net_rpc_latency_ms. A new RPC type cannot silently skip metrics.
+  * obs-hot-log       — no AFT_LOG inside a loop marked `// aftlint: hot`.
+    Logging takes a global mutex and formats a stream; on a hot loop that
+    is a throughput cliff. Teardown-path logs inside a hot loop carry
+    `// aftlint-allow(obs-hot-log): <reason>`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .. import config
+from ..findings import CheckContext
+from ..source import SourceFile, string_literals
+
+NAME_CHECK = "obs-metric-name"
+RPC_CHECK = "obs-rpc-coverage"
+HOT_CHECK = "obs-hot-log"
+
+_FAMILY_RE = re.compile(r"^aft[A-Za-z0-9_]*$")
+_GRAMMAR_RE = re.compile("^" + config.METRIC_NAME_RE + "$")
+
+
+def run(ctx: CheckContext) -> None:
+    enum_values: list[str] = []
+    enum_site: tuple[str, int] | None = None
+    for path, src in sorted(ctx.files.items()):
+        _check_metric_names(ctx, path, src)
+        _check_hot_loops(ctx, path, src)
+        m = re.search(
+            rf"enum\s+class\s+{config.RPC_DISPATCH['enum']}\b[^{{]*\{{([^}}]*)\}}", src.masked
+        )
+        if m:
+            enum_values = re.findall(r"\b(k[A-Z]\w*)\b", m.group(1))
+            enum_site = (path, src.line_of(m.start()))
+    if enum_values:
+        _check_rpc_coverage(ctx, enum_values, enum_site)
+
+
+def _check_metric_names(ctx: CheckContext, path: str, src: SourceFile) -> None:
+    for off, lit in string_literals(src.text):
+        if not _FAMILY_RE.match(lit) or lit == "aft":
+            continue
+        line = src.line_of(off)
+        if not _GRAMMAR_RE.match(lit):
+            ctx.report(
+                NAME_CHECK,
+                path,
+                line,
+                f"metric name '{lit}' violates the aft_* grammar "
+                f"(lower-case snake segments: {config.METRIC_NAME_RE})",
+            )
+            continue
+        # Counter-suffix rule, where the kind is visible near the literal.
+        window = src.text[max(0, off - 160) : off]
+        is_counter = bool(re.search(r"GetCounter\s*\(\s*$", window))
+        # Only look for the registration kind within the enclosing statement.
+        after = src.text[off : off + 240].split(";")[0]
+        if re.search(r"CallbackType::kCounter", after):
+            is_counter = True
+        if is_counter and not any(lit.endswith(s) for s in config.COUNTER_SUFFIXES):
+            ctx.report(
+                NAME_CHECK,
+                path,
+                line,
+                f"counter '{lit}' must end in _total (Prometheus counter convention)",
+            )
+        if not is_counter and lit.endswith("_total") and re.search(
+            r"(GetGauge|GetHistogram)\s*\(\s*$", window
+        ):
+            ctx.report(
+                NAME_CHECK,
+                path,
+                line,
+                f"'{lit}' ends in _total but is not registered as a counter",
+            )
+
+
+def _check_rpc_coverage(
+    ctx: CheckContext, enum_values: list[str], enum_site: tuple[str, int] | None
+) -> None:
+    handler = config.RPC_DISPATCH["handler"]
+    enum = config.RPC_DISPATCH["enum"]
+    timer = config.RPC_DISPATCH["timer"]
+    for path, src in sorted(ctx.files.items()):
+        text = src.masked
+        for m in re.finditer(rf"\b{handler}\s*\([^;{{]*\)[^;{{]*\{{", text):
+            body_start = m.end() - 1
+            body_end = _match_brace(text, body_start)
+            body = text[body_start:body_end]
+            sw = re.search(r"switch\s*\(", body)
+            if not sw:
+                continue
+            line = src.line_of(m.start())
+            handled = set(re.findall(rf"case\s+{enum}::(k[A-Z]\w*)", body))
+            for value in enum_values:
+                if value not in handled:
+                    ctx.report(
+                        RPC_CHECK,
+                        path,
+                        src.line_of(body_start + sw.start()),
+                        f"{handler} switch does not handle {enum}::{value}; every "
+                        f"RPC type must be dispatched (and timed) explicitly",
+                    )
+            if timer not in body[: sw.start()]:
+                ctx.report(
+                    RPC_CHECK,
+                    path,
+                    line,
+                    f"{handler} does not open a {timer} before dispatch; per-method "
+                    f"RPC latency would go unrecorded",
+                )
+            return  # one dispatch function per tree
+    if enum_site is not None:
+        path, line = enum_site
+        ctx.report(
+            RPC_CHECK,
+            path,
+            line,
+            f"found enum {enum} but no {handler} dispatch switch over it",
+        )
+
+
+def _check_hot_loops(ctx: CheckContext, path: str, src: SourceFile) -> None:
+    if not src.hot_marks:
+        return
+    lines = src.masked.split("\n")
+    line_offsets = [0]
+    for ln in lines:
+        line_offsets.append(line_offsets[-1] + len(ln) + 1)
+    for mark in sorted(src.hot_marks):
+        # The marker covers the next loop statement within the next 3 lines.
+        loop_off = None
+        for cand in range(mark, min(mark + 3, len(lines))):
+            seg = src.masked[line_offsets[cand - 1] : line_offsets[min(cand + 2, len(lines)) - 1]]
+            lm = re.search(r"\b(for|while|do)\b", seg)
+            if lm:
+                loop_off = line_offsets[cand - 1] + lm.start()
+                break
+        if loop_off is None:
+            ctx.report(
+                HOT_CHECK,
+                path,
+                mark,
+                "aftlint: hot marker is not followed by a loop statement",
+            )
+            continue
+        brace = src.masked.find("{", loop_off)
+        if brace < 0:
+            continue
+        end = _match_brace(src.masked, brace)
+        for am in re.finditer(r"\bAFT_LOG\s*\(", src.masked[brace:end]):
+            ctx.report(
+                HOT_CHECK,
+                path,
+                src.line_of(brace + am.start()),
+                "AFT_LOG inside a hot loop (// aftlint: hot): logging takes the "
+                "global log mutex and formats a stream on the hot path",
+            )
+
+
+def _match_brace(text: str, open_off: int) -> int:
+    depth = 0
+    for j in range(open_off, len(text)):
+        if text[j] == "{":
+            depth += 1
+        elif text[j] == "}":
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(text)

@@ -1,0 +1,124 @@
+"""Optional libclang refinement backend.
+
+Contract (enforced by construction): the clang backend may only REMOVE
+textual findings it can prove are false positives — it never adds any. So
+for every file set, findings(backend=auto) ⊆ findings(backend=text), and the
+CI gate is deterministic whether or not libclang is importable. On this
+basis `--backend auto` is safe everywhere: no environment can see MORE
+findings than the dumb textual scanner.
+
+Today the refiner implements one proof: `confirm_decoder_bounds(path, line)`
+re-locates the flagged sink on that line in the real AST (a member call to
+reserve/resize, an array-new, or a loop statement). If the AST shows no such
+sink there — the textual match was inside an #if 0 region, a macro body the
+scanner mis-attributed, or a template the build never instantiates — the
+finding is dropped. Any parse error, missing compile command, or libclang
+fault fails OPEN (the finding is kept).
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def make_refiner(repo_root: str, compile_commands: str | None):
+    """Return a refiner object, or None when libclang is unusable."""
+    try:
+        from clang import cindex  # noqa: F401
+    except Exception:
+        return None
+    try:
+        return _ClangRefiner(repo_root, compile_commands)
+    except Exception:
+        return None
+
+
+class _ClangRefiner:
+    _SINK_SPELLINGS = {"reserve", "resize"}
+
+    def __init__(self, repo_root: str, compile_commands: str | None):
+        from clang import cindex
+
+        self._cindex = cindex
+        self._repo_root = repo_root
+        self._index = cindex.Index.create()
+        self._tus: dict[str, object] = {}
+        self._db = None
+        cc_dir = None
+        if compile_commands:
+            cc_dir = os.path.dirname(os.path.abspath(compile_commands))
+        elif os.path.exists(os.path.join(repo_root, "build", "compile_commands.json")):
+            cc_dir = os.path.join(repo_root, "build")
+        if cc_dir:
+            try:
+                self._db = cindex.CompilationDatabase.fromDirectory(cc_dir)
+            except Exception:
+                self._db = None
+
+    def _args_for(self, abspath: str) -> list[str]:
+        if self._db is not None:
+            try:
+                cmds = self._db.getCompileCommands(abspath)
+                if cmds:
+                    args = list(cmds[0].arguments)[1:]  # drop the compiler
+                    # Drop the input/output file arguments.
+                    out = []
+                    skip = False
+                    for a in args:
+                        if skip:
+                            skip = False
+                            continue
+                        if a in ("-o", "-c"):
+                            skip = a == "-o"
+                            continue
+                        if a == abspath or a.endswith(os.path.basename(abspath)):
+                            continue
+                        out.append(a)
+                    return out
+            except Exception:
+                pass
+        return ["-std=c++20", f"-I{os.path.join(self._repo_root, 'src')}"]
+
+    def _tu(self, path: str):
+        if path in self._tus:
+            return self._tus[path]
+        abspath = os.path.join(self._repo_root, path)
+        tu = None
+        try:
+            tu = self._index.parse(abspath, args=self._args_for(abspath))
+        except Exception:
+            tu = None
+        self._tus[path] = tu
+        return tu
+
+    def confirm_decoder_bounds(self, path: str, line: int) -> bool:
+        """True = keep the textual finding; False = proven false positive."""
+        tu = self._tu(path)
+        if tu is None:
+            return True  # fail open
+        try:
+            ck = self._cindex.CursorKind
+            abspath = os.path.join(self._repo_root, path)
+            found_any_on_line = False
+            for cur in tu.cursor.walk_preorder():
+                loc = cur.location
+                if loc.file is None or loc.line != line:
+                    continue
+                if os.path.abspath(loc.file.name) != os.path.abspath(abspath):
+                    continue
+                found_any_on_line = True
+                if cur.kind == ck.CALL_EXPR and cur.spelling in self._SINK_SPELLINGS:
+                    return True
+                if cur.kind in (
+                    ck.CXX_NEW_EXPR,
+                    ck.FOR_STMT,
+                    ck.WHILE_STMT,
+                    ck.CALL_EXPR,
+                ):
+                    return True
+            # The AST has nodes on that line but none is a plausible sink:
+            # textual false positive, drop it. A line with NO nodes at all is
+            # ambiguous (headers parsed out of context) — fail open.
+            return not found_any_on_line
+        except Exception:
+            return True

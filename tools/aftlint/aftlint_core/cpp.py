@@ -1,0 +1,452 @@
+"""Deliberately-dumb-but-total structural scanner for the aftlint checkers.
+
+This is NOT a C++ parser. It is a brace-matching scanner over comment- and
+string-masked text that recovers just enough structure for the repo's
+invariant checks: which braces open a namespace / class / enum / lambda /
+control block / function body, each function's qualified name, parameter
+types, `REQUIRES(...)` annotations, and the spans of lambda bodies nested
+inside it. Where it cannot classify, it degrades to "plain block", which
+every checker treats as inert scope — unknown code is scanned, never
+skipped.
+
+The libclang backend (clang_backend.py), when available, re-derives the
+same facts from a real AST and is used to discard textual false positives;
+it never adds findings, so results degrade gracefully (and deterministically)
+to this scanner when libclang is absent.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .source import SourceFile
+
+CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "do", "else", "try",
+}
+NOT_A_FUNCTION_NAME = CONTROL_KEYWORDS | {
+    "return", "sizeof", "decltype", "alignof", "typeid", "noexcept",
+    "static_assert", "new", "delete", "throw", "void", "defined",
+    "assert", "co_return", "co_await",
+}
+
+# A qualified identifier directly followed by an open paren: candidate
+# function name in a preamble.
+_NAME_PAREN_RE = re.compile(r"([A-Za-z_~][\w]*(?:::[A-Za-z_~][\w]*)*)\s*\(")
+
+
+@dataclass
+class Block:
+    kind: str  # namespace | class | enum | lambda | control | function | block
+    name: str = ""  # class/namespace/function name when known
+    open_off: int = 0
+    close_off: int = 0  # offset of the matching '}'
+
+
+@dataclass
+class Function:
+    qualified_name: str  # e.g. "AftServiceServer::HandleReadable"
+    simple_name: str
+    class_ctx: str  # innermost enclosing/explicit class, "" for free functions
+    params: dict[str, str] = field(default_factory=dict)  # name -> base type
+    body_start: int = 0  # offset of the opening '{'
+    body_end: int = 0  # offset of the matching '}'
+    start_line: int = 0  # line of the opening '{'
+    requires: list[str] = field(default_factory=list)  # REQUIRES(...) args
+    preamble: str = ""
+    # Spans of lambda bodies nested anywhere inside (offset pairs, inclusive
+    # of braces). Checkers exclude these when reasoning about "code that runs
+    # on this function's thread".
+    lambda_spans: list[tuple[int, int]] = field(default_factory=list)
+
+
+@dataclass
+class FileStructure:
+    functions: list[Function] = field(default_factory=list)
+    # Declaration-site REQUIRES: simple name -> lock expressions. Picked up
+    # from prototypes ending in ';' (definitions carry their own).
+    decl_requires: dict[str, list[str]] = field(default_factory=dict)
+    # class name -> list of (mutex member, field name, line) from GUARDED_BY.
+    guarded_fields: list[tuple[str, str, str, int]] = field(default_factory=list)
+    # (class, member var, base type) harvested from data-member declarations,
+    # so checkers can type `foo_->Bar()` receivers in out-of-line methods.
+    members: list[tuple[str, str, str]] = field(default_factory=list)
+
+
+def _strip_preprocessor(preamble: str) -> str:
+    return "\n".join(
+        line for line in preamble.split("\n") if not line.lstrip().startswith("#")
+    )
+
+
+_LAMBDA_TAIL_RE = re.compile(
+    r"\]\s*(\([^()]*\))?\s*(?:mutable|noexcept|constexpr|\s|->\s*[\w:<>&*,\s]+)*$"
+)
+
+
+def classify_preamble(preamble: str) -> tuple[str, str]:
+    """Return (kind, name) for the block a '{' opens, given its preamble."""
+    p = _strip_preprocessor(preamble).strip()
+    if p.endswith("="):
+        return "block", ""  # braced initializer
+    m = re.search(r"\bnamespace\s+([\w:]*)\s*$", p)
+    if m is not None:
+        return "namespace", m.group(1)
+    if re.search(r"\bnamespace\s*$", p):
+        return "namespace", ""
+    if re.search(r"\benum\b", p) and "(" not in p.split("enum")[-1]:
+        return "enum", ""
+    m = re.search(r"\b(?:class|struct|union)\s+([A-Za-z_]\w*)\s*(?:final\s*)?(?::[^;{]*)?$", p)
+    if m is not None:
+        return "class", m.group(1)
+    if _LAMBDA_TAIL_RE.search(p) and "[" in p:
+        return "lambda", ""
+    if p.endswith(":") or not p:
+        return "block", ""  # case label / access specifier / bare scope
+    # Control statement: last name-paren group is a control keyword, or the
+    # preamble is a bare keyword (do/else/try).
+    last_word = re.findall(r"[A-Za-z_]\w*", p)
+    if last_word and last_word[-1] in CONTROL_KEYWORDS and p.rstrip().endswith(last_word[-1]):
+        return "control", last_word[-1]
+    names = _NAME_PAREN_RE.findall(p)
+    control = [n for n in names if n.split("::")[-1] in CONTROL_KEYWORDS]
+    if control and not re.search(r"\)\s*(?:const|noexcept|override|final|mutable|->|\w+\([^()]*\))*\s*$", p):
+        # `while (...)` / `if (...)` style: the paren group IS the condition.
+        if names and names[-1].split("::")[-1] in CONTROL_KEYWORDS:
+            return "control", names[-1]
+    for name in names:
+        simple = name.split("::")[-1]
+        if simple in NOT_A_FUNCTION_NAME:
+            continue
+        # Skip template-argument positions: `std::function<void()>`.
+        idx = p.find(name + "(")
+        if idx < 0:
+            idx = p.find(name)
+        if idx > 0 and p[:idx].rstrip().endswith("<"):
+            continue
+        if simple in CONTROL_KEYWORDS:
+            return "control", simple
+        return "function", name
+    if re.search(r"\boperator\b", p):
+        return "function", "operator?"
+    if names and all(n.split("::")[-1] in CONTROL_KEYWORDS for n in names):
+        return "control", names[-1]
+    return "block", ""
+
+
+def _paren_group_after(text: str, name_end: int) -> tuple[int, int] | None:
+    """Span of the balanced paren group starting at/after name_end."""
+    i = text.find("(", name_end)
+    if i < 0:
+        return None
+    depth = 0
+    for j in range(i, len(text)):
+        if text[j] == "(":
+            depth += 1
+        elif text[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return (i, j + 1)
+    return None
+
+
+_TYPE_STRIP_RE = re.compile(
+    r"\b(?:const|volatile|struct|class|typename|unsigned|signed|mutable)\b"
+)
+_SMART_PTR_RE = re.compile(r"(?:shared_ptr|unique_ptr|weak_ptr)\s*<\s*([\w:]+)")
+
+
+def base_type_of(decl: str) -> str:
+    """Best-effort base type of a parameter/local declaration fragment."""
+    decl = _TYPE_STRIP_RE.sub(" ", decl)
+    m = _SMART_PTR_RE.search(decl)
+    if m:
+        return m.group(1).split("::")[-1]
+    decl = re.sub(r"<[^<>]*>", "", decl)  # drop one level of template args
+    decl = decl.replace("*", " ").replace("&", " ")
+    tokens = re.findall(r"[\w:]+", decl)
+    if not tokens:
+        return ""
+    return tokens[0].split("::")[-1]
+
+
+def parse_params(paren_text: str) -> dict[str, str]:
+    """Map parameter name -> base type for a function's parameter list."""
+    inner = paren_text.strip()
+    if inner.startswith("("):
+        inner = inner[1:]
+    if inner.endswith(")"):
+        inner = inner[:-1]
+    params: dict[str, str] = {}
+    depth = 0
+    part = []
+    parts: list[str] = []
+    for ch in inner:
+        if ch in "<([":
+            depth += 1
+        elif ch in ">)]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(part))
+            part = []
+        else:
+            part.append(ch)
+    parts.append("".join(part))
+    for raw in parts:
+        raw = raw.split("=")[0].strip()
+        if not raw or raw == "void":
+            continue
+        m = re.search(r"([A-Za-z_]\w*)\s*$", raw)
+        if not m:
+            continue
+        name = m.group(1)
+        type_part = raw[: m.start()].strip()
+        if not type_part:
+            continue  # unnamed or type-only
+        params[name] = base_type_of(type_part)
+    return params
+
+
+def extract_structure(src: SourceFile) -> FileStructure:
+    """Walk the masked text and recover the structural facts."""
+    text = src.masked
+    result = FileStructure()
+    # ---- declaration-site REQUIRES + GUARDED_BY fields -----------------------
+    for m in re.finditer(r"\bREQUIRES\s*\(([^()]*)\)", text):
+        # Scan back for the declaring function's name-paren group.
+        head = text[: m.start()]
+        tail_start = max(head.rfind(";"), head.rfind("{"), head.rfind("}"))
+        decl = head[tail_start + 1 :]
+        names = _NAME_PAREN_RE.findall(decl)
+        names = [n for n in names if n.split("::")[-1] not in NOT_A_FUNCTION_NAME]
+        if names:
+            locks = [a.strip() for a in m.group(1).split(",") if a.strip()]
+            result.decl_requires.setdefault(names[0].split("::")[-1], []).extend(locks)
+
+    # ---- block walk ----------------------------------------------------------
+    stack: list[Block] = []
+    class_stack: list[str] = []
+    func_stack: list[Function] = []
+    last_stmt_end = 0  # offset just past the previous ; { or }
+    guarded_re = re.compile(r"([A-Za-z_]\w*)\s+GUARDED_BY\s*\(([^()]*)\)")
+
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch in ";":
+            seg = text[last_stmt_end:i]
+            for gm in guarded_re.finditer(seg):
+                cls = class_stack[-1] if class_stack else ""
+                line = src.line_of(last_stmt_end + gm.start())
+                result.guarded_fields.append((cls, gm.group(2).strip(), gm.group(1), line))
+            if class_stack and not func_stack:
+                hit = _parse_member_decl(seg)
+                if hit:
+                    result.members.append((class_stack[-1], hit[0], hit[1]))
+            last_stmt_end = i + 1
+            i += 1
+            continue
+        if ch == "{":
+            preamble = text[last_stmt_end:i]
+            kind, name = classify_preamble(preamble)
+            close = _matching_brace(text, i)
+            blk = Block(kind, name, i, close)
+            if kind == "class":
+                class_stack.append(name)
+            if kind == "enum":
+                # Opaque: skip the whole body (enumerator lists are not code).
+                last_stmt_end = close + 1
+                i = close + 1
+                continue
+            if kind == "lambda" and func_stack:
+                func_stack[-1].lambda_spans.append((i, close))
+            if kind == "function":
+                fn = _make_function(src, preamble, name, class_stack, i, close)
+                result.functions.append(fn)
+                func_stack.append(fn)
+            stack.append(blk)
+            last_stmt_end = i + 1
+            i += 1
+            continue
+        if ch == "}":
+            if stack:
+                blk = stack.pop()
+                if blk.kind == "class" and class_stack:
+                    class_stack.pop()
+                if blk.kind == "function" and func_stack:
+                    func_stack.pop()
+            last_stmt_end = i + 1
+            i += 1
+            continue
+        i += 1
+    return result
+
+
+def _make_function(
+    src: SourceFile,
+    preamble: str,
+    name: str,
+    class_stack: list[str],
+    open_off: int,
+    close_off: int,
+) -> Function:
+    p = _strip_preprocessor(preamble)
+    simple = name.split("::")[-1]
+    explicit_cls = name.split("::")[-2] if "::" in name else ""
+    cls = explicit_cls or (class_stack[-1] if class_stack else "")
+    qualified = f"{cls}::{simple}" if cls else simple
+    params: dict[str, str] = {}
+    span = None
+    idx = p.find(name + "(")
+    if idx < 0:
+        idx = p.find(name)
+    if idx >= 0:
+        span = _paren_group_after(p, idx + len(name) - 1)
+    if span:
+        params = parse_params(p[span[0] : span[1]])
+    requires = []
+    tail = p[span[1] :] if span else p
+    for rm in re.finditer(r"\bREQUIRES\s*\(([^()]*)\)", tail):
+        requires.extend(a.strip() for a in rm.group(1).split(",") if a.strip())
+    return Function(
+        qualified_name=qualified,
+        simple_name=simple,
+        class_ctx=cls,
+        params=params,
+        body_start=open_off,
+        body_end=close_off,
+        start_line=src.line_of(open_off),
+        requires=requires,
+        preamble=p.strip(),
+    )
+
+
+_MEMBER_RE = re.compile(
+    r"^(?:(?:mutable|static|constexpr|inline|const|volatile)\s+)*"
+    r"([A-Za-z_][\w:]*(?:<[\w:,\s<>*&]*>)?(?:\s*[*&])?)\s+([A-Za-z_]\w*)$"
+)
+_MEMBER_SKIP_RE = re.compile(r"^\s*(?:using|typedef|friend|template|return|operator)\b")
+
+
+def _parse_member_decl(seg: str) -> tuple[str, str] | None:
+    """(var, base type) for a class data-member declaration segment, or None."""
+    seg = re.sub(
+        r"\b(?:GUARDED_BY|PT_GUARDED_BY|ACQUIRED_BEFORE|ACQUIRED_AFTER)\s*\([^()]*\)", "", seg
+    )
+    seg = re.sub(r"^\s*(?:public|private|protected)\s*:", "", seg)
+    seg = seg.split("=")[0].split("{")[0].strip()
+    if not seg or "(" in seg or _MEMBER_SKIP_RE.match(seg):
+        return None
+    m = _MEMBER_RE.match(seg)
+    if not m:
+        return None
+    base = base_type_of(m.group(1))
+    if not base:
+        return None
+    return (m.group(2), base)
+
+
+def _matching_brace(text: str, open_off: int) -> int:
+    depth = 0
+    for j in range(open_off, len(text)):
+        if text[j] == "{":
+            depth += 1
+        elif text[j] == "}":
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(text) - 1
+
+
+def structure_of(src: SourceFile) -> FileStructure:
+    """Memoized extract_structure (checkers share one scan per file)."""
+    cached = getattr(src, "_structure", None)
+    if cached is None:
+        cached = extract_structure(src)
+        src._structure = cached
+    return cached
+
+
+def collect_member_types(
+    files: dict[str, SourceFile],
+) -> tuple[dict[str, dict[str, str]], dict[str, str]]:
+    """(class name -> {member var -> base type}, unambiguous flat fallback).
+
+    Classes live in headers, their methods in .cc files, so the map spans the
+    whole file set. The flat map types chained receivers (`peer->server->X()`:
+    `server` is not a member of the enclosing class) for member names that
+    mean exactly one type across every class — ambiguous names (`mu_`,
+    `stats_`) are excluded from it."""
+    out: dict[str, dict[str, str]] = {}
+    flat: dict[str, set[str]] = {}
+    for path in sorted(files):
+        for cls, var, base in structure_of(files[path]).members:
+            out.setdefault(cls, {})[var] = base
+            flat.setdefault(var, set()).add(base)
+    unique = {var: types.pop() for var, types in flat.items() if len(types) == 1}
+    return out, unique
+
+
+# Receiver-type marker for calls with no explicit receiver (implicit this or
+# free function).
+IMPLICIT_RECV = "<this>"
+
+# CondVar-protocol method names: several wrapper classes spell these
+# (CondVar::Wait, ThreadPool::Wait, ...), so a simple-name union across them
+# is guaranteed noise. They resolve only through a typed receiver.
+AMBIGUOUS_SIMPLE_NAMES = {"Wait", "WaitFor", "NotifyOne", "NotifyAll"}
+
+
+def resolve_callees(by_qualified, by_simple, callee: str, recv_type: str, class_ctx: str):
+    """Resolve a textual call site to candidate definitions.
+
+    recv_type semantics: "" = explicit receiver of unknown type;
+    IMPLICIT_RECV = no explicit receiver; anything else = the receiver's base
+    type, resolved strictly — a typed receiver whose method is not in the file
+    set resolves to nothing, NOT to everything sharing the name. The
+    simple-name union is gated on the repo convention that user functions are
+    PascalCase: unioning lowercase callees (size, load, empty, ...) across
+    unrelated classes is pure noise.
+    """
+    if recv_type and recv_type != IMPLICIT_RECV:
+        return by_qualified.get(f"{recv_type}::{callee}", [])
+    if recv_type == IMPLICIT_RECV and class_ctx:
+        hit = by_qualified.get(f"{class_ctx}::{callee}")
+        if hit:
+            return hit
+    if callee[:1].isupper() and callee not in AMBIGUOUS_SIMPLE_NAMES:
+        return by_simple.get(callee, [])
+    return []
+
+
+def body_without_lambdas(src: SourceFile, fn: Function) -> str:
+    """The function body with nested lambda bodies blanked (layout kept)."""
+    body = list(src.masked[fn.body_start : fn.body_end + 1])
+    for a, b in fn.lambda_spans:
+        for j in range(a + 1, b):  # keep the braces for scope tracking
+            rel = j - fn.body_start
+            if 0 <= rel < len(body) and body[rel] != "\n":
+                body[rel] = " "
+    return "".join(body)
+
+
+def local_decl_types(body: str) -> dict[str, str]:
+    """Best-effort name -> base-type map for locals declared in a body."""
+    out: dict[str, str] = {}
+    # `auto x = std::make_shared<T>(...)` / make_unique: the one auto form
+    # whose type is right there in the initializer.
+    for m in re.finditer(
+        r"\bauto\s+([a-z_]\w*)\s*=\s*std::make_(?:shared|unique)<\s*([\w:]+)", body
+    ):
+        out.setdefault(m.group(1), m.group(2).split("::")[-1])
+    # `Type* x = ...`, `Type& x = ...`, `Type x(` and smart-pointer locals.
+    for m in re.finditer(
+        r"\b(?:const\s+)?([A-Za-z_][\w:]*(?:<[\w:,\s<>*&]*>)?)\s*[*&]?\s+([a-z_]\w*)\s*[=({]",
+        body,
+    ):
+        type_text, var = m.group(1), m.group(2)
+        base = base_type_of(type_text)
+        if base and base not in ("auto", "return") and var not in out:
+            out[var] = base
+    return out

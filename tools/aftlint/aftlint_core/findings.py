@@ -1,0 +1,40 @@
+"""Finding model + suppression filtering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .source import SourceFile
+
+
+@dataclass
+class Finding:
+    check: str  # check name, e.g. "decoder-bounds"
+    path: str  # repo-relative path
+    line: int  # 1-based
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+    def key(self) -> tuple[str, str, int]:
+        return (self.check, self.path, self.line)
+
+
+@dataclass
+class CheckContext:
+    """Everything a checker gets: the file set and a place to put findings."""
+
+    files: dict[str, SourceFile]  # path -> SourceFile
+    findings: list[Finding] = field(default_factory=list)
+    # Set by the driver when a libclang refinement backend is active.
+    clang_refiner: object | None = None
+    # Extra per-run outputs (the lock-order checker parks its graph here so
+    # the docs generator can render it).
+    artifacts: dict[str, object] = field(default_factory=dict)
+
+    def report(self, check: str, path: str, line: int, message: str) -> None:
+        src = self.files.get(path)
+        if src is not None and src.is_allowed(check, line):
+            return
+        self.findings.append(Finding(check, path, line, message))

@@ -1,0 +1,164 @@
+"""Source-file model shared by every aftlint checker.
+
+A `SourceFile` holds three views of one C++ file:
+
+  * `text`    — the raw bytes, untouched;
+  * `masked`  — the same text with comments and string/char literals replaced
+    by spaces (length- and newline-preserving, so offsets and line numbers in
+    `masked` are valid in `text`);
+  * `comments` — every comment with its line number, which is where the
+    aftlint control comments live.
+
+Control comments (all line-anchored):
+
+  * `// aftlint-allow(<check>): <reason>`  — suppress findings of <check> on
+    this line or the line below (the reason is mandatory);
+  * `// aftlint-expect(<check>)`           — fixture corpus only: the
+    self-test asserts a finding of <check> on this exact line;
+  * `// aftlint: hot`                      — marks the NEXT loop statement as
+    a hot loop (no AFT_LOG allowed inside its body);
+  * `// aftlint: event-loop`               — marks the NEXT function as an
+    event-loop entry point for the loop-blocking check.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Comment:
+    line: int  # 1-based
+    text: str  # comment text without the // or /* */ delimiters, stripped
+
+
+@dataclass
+class SourceFile:
+    path: str  # repo-relative, forward slashes
+    text: str
+    masked: str = ""
+    comments: list[Comment] = field(default_factory=list)
+    # check name -> set of suppressed lines (the allow line and the next one).
+    allows: dict[str, set[int]] = field(default_factory=dict)
+    # check name -> list of lines where the fixture expects a finding.
+    expects: dict[str, list[int]] = field(default_factory=dict)
+    # lines carrying an `aftlint: hot` marker.
+    hot_marks: set[int] = field(default_factory=set)
+    # lines carrying an `aftlint: event-loop` marker.
+    entry_marks: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.masked, self.comments = mask_comments_and_strings(self.text)
+        self._parse_control_comments()
+
+    def _parse_control_comments(self) -> None:
+        allow_re = re.compile(r"aftlint-allow\(([\w\-, ]+)\)\s*:\s*\S")
+        expect_re = re.compile(r"aftlint-expect\(([\w\-, ]+)\)")
+        for comment in self.comments:
+            m = allow_re.search(comment.text)
+            if m:
+                for check in m.group(1).split(","):
+                    lines = self.allows.setdefault(check.strip(), set())
+                    lines.add(comment.line)
+                    lines.add(comment.line + 1)
+            m = expect_re.search(comment.text)
+            if m:
+                for check in m.group(1).split(","):
+                    self.expects.setdefault(check.strip(), []).append(comment.line)
+            stripped = comment.text.strip()
+            if re.fullmatch(r"aftlint:\s*hot", stripped):
+                self.hot_marks.add(comment.line)
+            if re.fullmatch(r"aftlint:\s*event-loop", stripped):
+                self.entry_marks.add(comment.line)
+
+    def line_of(self, offset: int) -> int:
+        return self.text.count("\n", 0, offset) + 1
+
+    def masked_lines(self) -> list[str]:
+        return self.masked.split("\n")
+
+    def is_allowed(self, check: str, line: int) -> bool:
+        return line in self.allows.get(check, ())
+
+
+def mask_comments_and_strings(text: str) -> tuple[str, list[Comment]]:
+    """Blank out comments and string/char literals, preserving layout.
+
+    Deliberately dumb and total: a hand-rolled scanner with no preprocessor
+    awareness. Raw strings (R"...( )...") are handled because test fixtures
+    use them; trigraphs and line-continued comments are not.
+    """
+    out = list(text)
+    comments: list[Comment] = []
+    i, n = 0, len(text)
+    line = 1
+
+    def blank(start: int, end: int) -> None:
+        for j in range(start, end):
+            if out[j] != "\n":
+                out[j] = " "
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            end = text.find("\n", i)
+            if end == -1:
+                end = n
+            comments.append(Comment(line, text[i + 2 : end].strip()))
+            blank(i, end)
+            i = end
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            comments.append(Comment(line, text[i + 2 : end - 2].strip()))
+            line += text.count("\n", i, end)
+            blank(i, end)
+            i = end
+            continue
+        if c == "R" and text[i : i + 2] == 'R"':
+            m = re.match(r'R"([^(\s]*)\(', text[i:])
+            if m:
+                terminator = ")" + m.group(1) + '"'
+                end = text.find(terminator, i + m.end())
+                end = n if end == -1 else end + len(terminator)
+                line += text.count("\n", i, end)
+                blank(i, end)
+                i = end
+                continue
+        if c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    break
+                j += 1
+            end = min(j + 1, n)
+            # Keep the quotes themselves so regexes can still see "a string
+            # literal starts here"; blank only the contents.
+            blank(i + 1, end - 1 if text[min(j, n - 1)] == quote else end)
+            line += text.count("\n", i, end)
+            i = end
+            continue
+        i += 1
+    return "".join(out), comments
+
+
+def string_literals(text: str) -> list[tuple[int, str]]:
+    """All double-quoted literal contents in raw text with their offsets.
+
+    Works on the RAW text (masking removes contents). Skips escaped quotes;
+    good enough for metric-name literals, which are plain identifiers.
+    """
+    result = []
+    for m in re.finditer(r'"((?:[^"\\\n]|\\.)*)"', text):
+        result.append((m.start(), m.group(1)))
+    return result

@@ -1,0 +1,29 @@
+// Fixture: the PR-3 bug class — wire-controlled sizes reaching allocations
+// and loop bounds without a clamp. Not compiled.
+
+bool BadReserve(BinaryReader& reader, std::vector<uint64_t>* out) {
+  uint32_t count = 0;
+  if (!reader.GetU32(&count)) {
+    return false;
+  }
+  out->reserve(count);  // aftlint-expect(decoder-bounds)
+  return true;
+}
+
+bool BadLoopBound(BinaryReader& reader) {
+  uint32_t entries = 0;
+  reader.GetU32(&entries);
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < entries; ++i) {  // aftlint-expect(decoder-bounds)
+    sum += i;
+  }
+  return sum > 0;
+}
+
+bool BadArrayNew(BinaryReader& reader) {
+  uint64_t len = 0;
+  reader.GetU64(&len);
+  char* buf = new char[len];  // aftlint-expect(decoder-bounds)
+  delete[] buf;
+  return true;
+}

@@ -1,0 +1,25 @@
+// Fixture: the repo's decoder-hardening idioms — clamp against the remaining
+// payload (or a constant) before the size is used. Zero findings expected.
+
+bool CleanClampedReserve(BinaryReader& reader, std::vector<uint64_t>* out) {
+  uint32_t count = 0;
+  if (!reader.GetU32(&count)) {
+    return false;
+  }
+  if (count > reader.remaining() / 8) {
+    return false;  // the src/common/serde.h idiom
+  }
+  out->reserve(count);
+  return true;
+}
+
+bool CleanMinClamp(BinaryReader& reader, std::string* out) {
+  uint64_t len = 0;
+  reader.GetU64(&len);
+  const uint64_t take = std::min<uint64_t>(len, kMaxFramePayload);
+  out->resize(take);
+  for (uint64_t i = 0; i < len; ++i) {  // len was clamped above: no finding
+    Consume(i);
+  }
+  return true;
+}

@@ -1,0 +1,26 @@
+// Fixture: nested acquisition in ONE direction only — a DAG, not a cycle.
+// Also exercises early release: Unlock() ends the hold, so the later
+// acquisition in ReleaseThenTake is not nested. Zero findings expected.
+
+class CleanNest {
+ public:
+  void OuterThenInner() {
+    MutexLock o(outer_mu_);
+    MutexLock i(inner_mu_);
+    Consume();
+  }
+
+  void InnerAlone() { MutexLock i(inner_mu_); }
+
+  void ReleaseThenTake() {
+    MutexLock i(inner_mu_);
+    i.Unlock();
+    MutexLock o(outer_mu_);  // not held together with inner_mu_: no edge
+  }
+
+  void Consume() {}
+
+ private:
+  Mutex outer_mu_;
+  Mutex inner_mu_;
+};

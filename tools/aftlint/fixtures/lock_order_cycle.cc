@@ -1,0 +1,42 @@
+// Fixture: deliberate lock-order cycles the lock-order check must flag.
+// Not compiled — scanned by aftlint --self-test only.
+
+// ---- intraprocedural ABBA ---------------------------------------------------
+
+class BadPair {
+ public:
+  void Forward() {
+    MutexLock l1(first_mu_);
+    MutexLock l2(second_mu_);  // aftlint-expect(lock-order)
+  }
+
+  void Backward() {
+    MutexLock l1(second_mu_);
+    MutexLock l2(first_mu_);  // aftlint-expect(lock-order)
+  }
+
+ private:
+  Mutex first_mu_;
+  Mutex second_mu_;
+};
+
+// ---- interprocedural: the second leg of the cycle hides behind a call ------
+
+class Interproc {
+ public:
+  void LockBoth() {
+    MutexLock g(gamma_mu_);
+    MutexLock d(delta_mu_);  // aftlint-expect(lock-order)
+  }
+
+  void CallsIntoGamma() { MutexLock g(gamma_mu_); }
+
+  void Cycle() {
+    MutexLock d(delta_mu_);
+    CallsIntoGamma();  // aftlint-expect(lock-order)
+  }
+
+ private:
+  Mutex gamma_mu_;
+  Mutex delta_mu_;
+};

@@ -1,0 +1,10 @@
+// Fixture: an annotated raw read on a non-blocking fd inside an event loop —
+// the suppression comment must silence the finding. Zero findings expected.
+
+// aftlint: event-loop
+void AllowedWakeDrain(int wake_fd) {
+  uint64_t drained;
+  // aftlint-allow(loop-blocking): wake_fd is a non-blocking eventfd
+  while (::read(wake_fd, &drained, sizeof(drained)) > 0) {
+  }
+}

@@ -1,0 +1,23 @@
+// Fixture: blocking calls reachable from an event-loop entry point, both
+// directly and through the textual call graph. Not compiled.
+
+// aftlint: event-loop
+void FixtureLoopMain(int epfd) {
+  while (Running()) {
+    int n = epoll_wait(epfd, Events(), 64, -1);  // the one legal blocking point
+    if (n < 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // aftlint-expect(loop-blocking)
+    DrainConnection();
+  }
+}
+
+void DrainConnection() {
+  RecvAll(Sock(), Buf(), 64);  // aftlint-expect(loop-blocking)
+}
+
+// Not reachable from any event-loop entry: blocking here is fine.
+void BackgroundFlusher() {
+  SendAll(Sock(), Buf(), 64);
+}

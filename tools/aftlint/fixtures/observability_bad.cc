@@ -1,0 +1,19 @@
+// Fixture: observability-discipline violations — bad metric names, counters
+// without _total, a _total non-counter, and a log inside a hot loop.
+// Not compiled.
+
+void RegisterBadMetrics(MetricsRegistry& reg) {
+  reg.GetCounter("aft_Bad_CamelName", "casing violates the grammar");  // aftlint-expect(obs-metric-name)
+  reg.GetCounter("aft_requests", "counter missing _total");  // aftlint-expect(obs-metric-name)
+  reg.GetGauge("aft_queue_depth_total", "gauge must not claim _total");  // aftlint-expect(obs-metric-name)
+  reg.RegisterCallback(
+      "aft_gossip_rounds",  // aftlint-expect(obs-metric-name)
+      "callback counter missing _total", obs::CallbackType::kCounter, Callback());
+}
+
+void HotLoopWithLog(int n) {
+  // aftlint: hot
+  for (int i = 0; i < n; ++i) {
+    AFT_LOG(Info) << "iteration " << i;  // aftlint-expect(obs-hot-log)
+  }
+}

@@ -1,0 +1,29 @@
+// Fixture: observability done right — grammar-conforming names, _total on
+// counters, hot loop with no logging (and one with an allowed teardown log).
+// Zero findings expected.
+
+void RegisterGoodMetrics(MetricsRegistry& reg) {
+  reg.GetCounter("aft_requests_total", "conforming counter");
+  reg.GetGauge("aft_queue_depth", "conforming gauge");
+  reg.GetHistogram("aft_rpc_latency_ms", "conforming histogram");
+  reg.RegisterCallback("aft_gossip_rounds_total", "conforming callback counter",
+                       obs::CallbackType::kCounter, Callback());
+}
+
+void QuietHotLoop(int n) {
+  uint64_t sum = 0;
+  // aftlint: hot
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<uint64_t>(i);
+  }
+  Publish(sum);
+}
+
+void HotLoopWithTeardownLog() {
+  // aftlint: hot
+  while (Pump()) {
+    // aftlint-allow(obs-hot-log): teardown path — logs once, then the loop exits
+    AFT_LOG(Warn) << "pump drained; shutting down";
+    Stop();
+  }
+}

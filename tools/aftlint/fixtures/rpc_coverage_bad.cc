@@ -1,0 +1,23 @@
+// Fixture: the RPC dispatch switch misses an enumerator and never opens the
+// latency timer — both must be flagged. This fixture owns the only
+// MessageType enum in the corpus. Not compiled.
+
+enum class MessageType : uint8_t {
+  kPing = 1,
+  kPong = 2,
+  kGoodbye = 3,
+};
+
+class FixtureServer {
+ public:
+  std::string HandleRequest(MessageType type) {  // aftlint-expect(obs-rpc-coverage)
+    switch (type) {  // aftlint-expect(obs-rpc-coverage)
+      case MessageType::kPing:
+        return "ping";
+      case MessageType::kPong:
+        return "pong";
+      default:
+        return "";
+    }
+  }
+};

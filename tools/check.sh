@@ -2,15 +2,20 @@
 # Concurrency-correctness gate for the AFT tree.
 #
 # Runs, in order:
-#   1. Thread Safety Analysis build (-Werror=thread-safety) — needs clang++.
-#   2. clang-tidy over src/ (bugprone-*, concurrency-*, ... per .clang-tidy).
-#   3. Full ctest suite under TSan          (AFT_SANITIZE=thread).
-#   4. Full ctest suite under ASan + UBSan  (AFT_SANITIZE=address).
+#   1. aftlint (tools/aftlint) — repo-specific invariants: lock order,
+#      decoder bounds, event-loop blocking, observability discipline.
+#      Pure-python text backend, so this stage runs everywhere.
+#   2. clang-format --check over the tree (via tools/format.sh --check).
+#   3. Thread Safety Analysis build (-Werror=thread-safety) — needs clang++.
+#   4. clang-tidy over src/, tests/, bench/, examples/ (per .clang-tidy),
+#      against the compile_commands.json the main build exports.
+#   5. Full ctest suite under TSan          (AFT_SANITIZE=thread).
+#   6. Full ctest suite under ASan + UBSan  (AFT_SANITIZE=address).
 #
-# Stages whose toolchain is missing (no clang/clang-tidy) are SKIPPED with a
-# notice, not failed: GCC compiles the annotations as no-ops, so the sanitizer
-# stages still run everywhere. Exit status is non-zero iff an executed stage
-# fails.
+# Stages whose toolchain is missing (no clang/clang-tidy/clang-format) are
+# SKIPPED with a notice, not failed: GCC compiles the annotations as no-ops,
+# so the aftlint and sanitizer stages still run everywhere. Exit status is
+# non-zero iff an executed stage fails.
 #
 # Usage: tools/check.sh [--quick]   (--quick: sanitizer stages build but run
 #                                    only the concurrency stress test)
@@ -43,7 +48,21 @@ if [[ $QUICK -eq 1 ]]; then
   ctest_args+=(-R concurrency_stress_test)
 fi
 
-# ---- 1. Thread Safety Analysis build ----------------------------------------
+# ---- 1. aftlint --------------------------------------------------------------
+if command -v python3 >/dev/null 2>&1; then
+  run_stage "aftlint (invariant checks + fixture self-test)" bash -c '
+    python3 tools/aftlint/aftlint.py --backend text --check-docs \
+    && python3 tools/aftlint/aftlint.py --self-test
+  '
+else
+  SKIPS+=("aftlint (python3 not installed)")
+fi
+
+# ---- 2. clang-format ---------------------------------------------------------
+# format.sh exits 0 with a [SKIP] notice when clang-format is absent.
+run_stage "clang-format --check" tools/format.sh --check
+
+# ---- 3. Thread Safety Analysis build ----------------------------------------
 if command -v clang++ >/dev/null 2>&1; then
   run_stage "thread-safety analysis build (clang, -Werror=thread-safety)" \
     bash -c "cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
@@ -53,18 +72,20 @@ else
   SKIPS+=("thread-safety analysis (clang++ not installed; GCC builds the annotations as no-ops)")
 fi
 
-# ---- 2. clang-tidy over src/ -------------------------------------------------
+# ---- 4. clang-tidy -----------------------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
-  run_stage "clang-tidy (src/)" bash -c '
-    cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null 2>&1 || exit 1
-    mapfile -t files < <(find src -name "*.cc")
-    clang-tidy -p build-tidy --quiet "${files[@]}"
+  run_stage "clang-tidy (src/ tests/ bench/ examples/)" bash -c '
+    # The main build exports compile_commands.json (CMakeLists sets
+    # CMAKE_EXPORT_COMPILE_COMMANDS globally); configure it if absent.
+    [[ -f build/compile_commands.json ]] || cmake -B build -S . > /dev/null 2>&1 || exit 1
+    mapfile -t files < <(find src tests bench examples -name "*.cc" -o -name "*.cpp")
+    clang-tidy -p build --quiet "${files[@]}"
   '
 else
   SKIPS+=("clang-tidy (not installed)")
 fi
 
-# ---- 3. TSan -----------------------------------------------------------------
+# ---- 5. TSan -----------------------------------------------------------------
 run_stage "build + ctest under ThreadSanitizer" bash -c "
   cmake -B build-tsan -S . -DAFT_SANITIZE=thread > /dev/null \
   && cmake --build build-tsan -j $JOBS > build-tsan/build.log 2>&1 \
@@ -72,7 +93,7 @@ run_stage "build + ctest under ThreadSanitizer" bash -c "
       ctest ${ctest_args[*]})
 "
 
-# ---- 4. ASan + UBSan ---------------------------------------------------------
+# ---- 6. ASan + UBSan ---------------------------------------------------------
 run_stage "build + ctest under ASan+UBSan" bash -c "
   cmake -B build-asan -S . -DAFT_SANITIZE=address > /dev/null \
   && cmake --build build-asan -j $JOBS > build-asan/build.log 2>&1 \

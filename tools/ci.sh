@@ -102,8 +102,8 @@ ASAN_OPTIONS='detect_leaks=1' UBSAN_OPTIONS='print_stacktrace=1' \
 
 if command -v clang-tidy >/dev/null 2>&1; then
   printf '\n==== CI leg: clang-tidy ====\n'
-  cmake -B build-ci-rel -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
-  mapfile -t files < <(find src -name '*.cc')
+  cmake -B build-ci-rel -S . > /dev/null   # compile commands export globally
+  mapfile -t files < <(find src tests bench examples -name '*.cc' -o -name '*.cpp')
   if clang-tidy -p build-ci-rel --quiet "${files[@]}"; then
     echo "[PASS] clang-tidy"
   else
@@ -112,6 +112,26 @@ if command -v clang-tidy >/dev/null 2>&1; then
   fi
 else
   echo "[SKIP] clang-tidy (not installed)"
+fi
+
+# aftlint: repo-specific invariant checks (mirrors the aftlint CI job).
+# Pure-python text backend, so this leg runs on every machine.
+printf '\n==== CI leg: aftlint ====\n'
+if python3 tools/aftlint/aftlint.py --self-test \
+   && python3 tools/aftlint/aftlint.py --backend text --check-docs; then
+  echo "[PASS] aftlint"
+else
+  echo "[FAIL] aftlint"
+  rc=1
+fi
+
+# clang-format gate; format.sh exits 0 with a notice when absent.
+printf '\n==== CI leg: clang-format ====\n'
+if tools/format.sh --check; then
+  echo "[PASS] clang-format"
+else
+  echo "[FAIL] clang-format"
+  rc=1
 fi
 
 exit $rc
