@@ -20,12 +20,44 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <new>
 #include <string>
 
 #include "src/common/clock.h"
 
 namespace aft {
 namespace bench {
+
+// ---- Allocations-per-op counter (opt-in) -----------------------------------
+// A bench binary that wants to report heap allocations per operation defines
+// AFT_BENCH_COUNT_ALLOCS before including this header. That compiles a
+// binary-wide replacement of the global operator new/delete (each bench is a
+// single translation unit, so the replacement is defined exactly once) which
+// bumps a thread-local counter while an AllocCountScope is armed on the
+// calling thread. Disarmed threads pay one thread-local branch per
+// allocation; binaries that do not define the macro are untouched.
+#ifdef AFT_BENCH_COUNT_ALLOCS
+namespace alloc_detail {
+inline thread_local uint64_t g_allocs = 0;
+inline thread_local bool g_armed = false;
+}  // namespace alloc_detail
+
+// Counts allocations made by THIS thread while in scope. Scopes do not nest
+// meaningfully (the counter keeps running; count() is a simple delta), which
+// is all the benches need.
+class AllocCountScope {
+ public:
+  AllocCountScope() : start_(alloc_detail::g_allocs) { alloc_detail::g_armed = true; }
+  ~AllocCountScope() { alloc_detail::g_armed = false; }
+  AllocCountScope(const AllocCountScope&) = delete;
+  AllocCountScope& operator=(const AllocCountScope&) = delete;
+
+  uint64_t count() const { return alloc_detail::g_allocs - start_; }
+
+ private:
+  uint64_t start_;
+};
+#endif  // AFT_BENCH_COUNT_ALLOCS
 
 inline double GetEnvDouble(const char* name, double fallback) {
   if (const char* env = std::getenv(name); env != nullptr) {
@@ -97,7 +129,76 @@ inline void EmitJsonRow(const std::string& bench, const std::string& row,
   std::fflush(sink);
 }
 
+// Like EmitJsonRow, with the measured allocations-per-operation attached as an
+// extra "allocs_per_txn" field (consumed by the tools/bench_gate.sh ceiling).
+inline void EmitJsonRowAllocs(const std::string& bench, const std::string& row,
+                              double p50_ms, double p99_ms, double throughput_tps,
+                              uint64_t completed, double allocs_per_txn) {
+  static std::FILE* sink = []() -> std::FILE* {
+    const char* path = std::getenv("AFT_BENCH_JSON");
+    if (path == nullptr || path[0] == '\0') {
+      return nullptr;
+    }
+    return std::fopen(path, "a");
+  }();
+  if (sink == nullptr) {
+    return;
+  }
+  std::fprintf(sink,
+               "{\"bench\":\"%s\",\"row\":\"%s\",\"p50_ms\":%.3f,"
+               "\"p99_ms\":%.3f,\"txn_per_s\":%.2f,\"completed\":%llu,"
+               "\"allocs_per_txn\":%.1f}\n",
+               bench.c_str(), row.c_str(), p50_ms, p99_ms, throughput_tps,
+               static_cast<unsigned long long>(completed), allocs_per_txn);
+  std::fflush(sink);
+}
+
 }  // namespace bench
 }  // namespace aft
+
+#ifdef AFT_BENCH_COUNT_ALLOCS
+// Global operator new/delete replacement backing AllocCountScope. Defined in
+// the header because every bench binary is one translation unit; the counter
+// must see EVERY allocation in the binary, including those inside libstdc++
+// container code, so this cannot live behind a function-call boundary.
+//
+// GCC cannot see that these replacements pair malloc with free and warns
+// about a mismatch at some inlined call sites; the pairing is by design.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+namespace aft_bench_alloc_impl {
+inline void* CountedAlloc(std::size_t size) {
+  if (aft::bench::alloc_detail::g_armed) {
+    ++aft::bench::alloc_detail::g_allocs;
+  }
+  return std::malloc(size != 0 ? size : 1);
+}
+}  // namespace aft_bench_alloc_impl
+
+void* operator new(std::size_t size) {
+  if (void* p = aft_bench_alloc_impl::CountedAlloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return aft_bench_alloc_impl::CountedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return aft_bench_alloc_impl::CountedAlloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+#endif  // AFT_BENCH_COUNT_ALLOCS
 
 #endif  // BENCH_BENCH_COMMON_H_

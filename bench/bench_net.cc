@@ -26,6 +26,8 @@
 #include <thread>
 #include <vector>
 
+// Count heap allocations on the measuring thread (allocs/txn columns).
+#define AFT_BENCH_COUNT_ALLOCS
 #include "bench/bench_common.h"
 #include "src/common/stats.h"
 #include "src/core/aft_node.h"
@@ -65,35 +67,74 @@ double WallMs(std::chrono::steady_clock::time_point start) {
 
 std::string Key(size_t i) { return "net" + std::to_string(i); }
 
-// One commit (1 put) per iteration, in-proc.
+// One commit (1 put) per iteration, in-proc. The alloc column counts heap
+// allocations made by the committing thread inside CommitTransaction — the
+// §3.3 commit path itself, the number the bench gate holds a ceiling on.
 void RunInProcCommit(AftNode& node, long reps) {
+  // Uncounted warmup: segment-freelist growth, version-index rehash and
+  // key-interner inserts are one-time costs, not per-commit costs — without
+  // this, short --smoke runs (3 reps) bill them to the measured
+  // transactions and the allocation-ceiling gate jitters.
+  for (long r = 0; r < 32; ++r) {
+    auto txid = node.StartTransaction();
+    Check(txid.status(), "StartTransaction");
+    Check(node.Put(*txid, Key(0), "v"), "Put");
+    Check(node.CommitTransaction(*txid).status(), "Commit");
+  }
   LatencyRecorder lat;
+  uint64_t commit_allocs = 0;
   for (long r = 0; r < reps; ++r) {
     auto txid = node.StartTransaction();
     Check(txid.status(), "StartTransaction");
     Check(node.Put(*txid, Key(0), "v"), "Put");
     const auto start = std::chrono::steady_clock::now();
-    Check(node.CommitTransaction(*txid).status(), "Commit");
+    {
+      bench::AllocCountScope allocs;
+      Check(node.CommitTransaction(*txid).status(), "Commit");
+      commit_allocs += allocs.count();
+    }
     lat.RecordMillis(WallMs(start));
   }
   const LatencySummary s = lat.Summarize();
-  std::printf("  in-proc commit        p50 %7.3f ms   p99 %7.3f ms\n", s.median_ms, s.p99_ms);
-  EmitJsonRow("net", "inproc commit", s.median_ms, s.p99_ms, 0.0, static_cast<uint64_t>(reps));
+  const double allocs_per_txn = static_cast<double>(commit_allocs) / reps;
+  std::printf("  in-proc commit        p50 %7.3f ms   p99 %7.3f ms   %6.1f allocs/txn\n",
+              s.median_ms, s.p99_ms, allocs_per_txn);
+  bench::EmitJsonRowAllocs("net", "inproc commit", s.median_ms, s.p99_ms, 0.0,
+                           static_cast<uint64_t>(reps), allocs_per_txn);
 }
 
+// Same workload over loopback TCP. The alloc column here is the CLIENT-side
+// cost of one commit RPC (serialize + frame + response decode); the server
+// side commits on its own threads and is covered by the in-proc row.
 void RunTcpCommit(net::RemoteAftClient& client, long reps) {
+  // Same uncounted warmup as the in-proc row: the client's first calls grow
+  // its scratch writers and connection-pool state.
+  for (long r = 0; r < 32; ++r) {
+    auto session = client.StartTransaction();
+    Check(session.status(), "StartTransaction");
+    Check(client.Put(*session, Key(0), "v"), "Put");
+    Check(client.Commit(*session).status(), "Commit");
+  }
   LatencyRecorder lat;
+  uint64_t commit_allocs = 0;
   for (long r = 0; r < reps; ++r) {
     auto session = client.StartTransaction();
     Check(session.status(), "StartTransaction");
     Check(client.Put(*session, Key(0), "v"), "Put");
     const auto start = std::chrono::steady_clock::now();
-    Check(client.Commit(*session).status(), "Commit");
+    {
+      bench::AllocCountScope allocs;
+      Check(client.Commit(*session).status(), "Commit");
+      commit_allocs += allocs.count();
+    }
     lat.RecordMillis(WallMs(start));
   }
   const LatencySummary s = lat.Summarize();
-  std::printf("  loopback-TCP commit   p50 %7.3f ms   p99 %7.3f ms\n", s.median_ms, s.p99_ms);
-  EmitJsonRow("net", "tcp commit", s.median_ms, s.p99_ms, 0.0, static_cast<uint64_t>(reps));
+  const double allocs_per_txn = static_cast<double>(commit_allocs) / reps;
+  std::printf("  loopback-TCP commit   p50 %7.3f ms   p99 %7.3f ms   %6.1f allocs/txn\n",
+              s.median_ms, s.p99_ms, allocs_per_txn);
+  bench::EmitJsonRowAllocs("net", "tcp commit", s.median_ms, s.p99_ms, 0.0,
+                           static_cast<uint64_t>(reps), allocs_per_txn);
 }
 
 // MultiGet fan-out: one request, `keys` keys, both paths.

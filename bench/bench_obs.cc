@@ -7,8 +7,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 
+// Count heap allocations on the measuring thread (allocs/op columns).
+#define AFT_BENCH_COUNT_ALLOCS
+#include "bench/bench_common.h"
 #include "src/common/histogram.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -97,7 +101,61 @@ void BM_Exposition(benchmark::State& state) {
 }
 BENCHMARK(BM_Exposition)->Arg(16)->Arg(64)->Arg(256);
 
+// Allocations per instrumentation event, measured directly (outside the
+// google-benchmark timing loop so the framework's own bookkeeping does not
+// pollute the count) and emitted as JSON rows for BENCH_results.json. A
+// counter increment and an unsampled span must be allocation-free; a sampled
+// span may allocate (it records into the tracer's ring).
+void ReportObsAllocRows() {
+  constexpr int kOps = 10000;
+  static obs::Counter counter;
+  double counter_allocs = 0;
+  {
+    bench::AllocCountScope allocs;
+    for (int i = 0; i < kOps; ++i) {
+      counter.Increment();
+    }
+    counter_allocs = static_cast<double>(allocs.count()) / kOps;
+  }
+  const obs::TraceContext unsampled{};
+  double unsampled_allocs = 0;
+  {
+    bench::AllocCountScope allocs;
+    for (int i = 0; i < kOps; ++i) {
+      obs::TraceSpan span(unsampled, "Commit", "aft-0");
+    }
+    unsampled_allocs = static_cast<double>(allocs.count()) / kOps;
+  }
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.SetSampleEveryN(1);
+  const obs::TraceContext sampled = tracer.StartTrace();
+  double sampled_allocs = 0;
+  {
+    bench::AllocCountScope allocs;
+    for (int i = 0; i < kOps; ++i) {
+      obs::TraceSpan span(sampled, "Commit", "aft-0");
+    }
+    sampled_allocs = static_cast<double>(allocs.count()) / kOps;
+  }
+  tracer.SetSampleEveryN(0);
+  tracer.Clear();
+  std::printf("obs allocs/op: counter %.2f, span unsampled %.2f, span sampled %.2f\n",
+              counter_allocs, unsampled_allocs, sampled_allocs);
+  bench::EmitJsonRowAllocs("obs", "counter increment", 0, 0, 0, kOps, counter_allocs);
+  bench::EmitJsonRowAllocs("obs", "span unsampled", 0, 0, 0, kOps, unsampled_allocs);
+  bench::EmitJsonRowAllocs("obs", "span sampled", 0, 0, 0, kOps, sampled_allocs);
+}
+
 }  // namespace
 }  // namespace aft
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  aft::ReportObsAllocRows();
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "src/common/arena.h"
+
+namespace aft {
+
+BufferPool::BufferPool(size_t max_pooled_segments)
+    : max_pooled_(max_pooled_segments > 0 ? max_pooled_segments : 1) {}
+
+BufferPool::~BufferPool() {
+  MutexLock lock(mu_);
+  for (char* segment : free_) {
+    delete[] segment;
+  }
+  free_.clear();
+}
+
+BufferPool& BufferPool::Global() {
+  // Leaked intentionally: SegmentBuffers in static-storage objects may
+  // release segments during process teardown, after a static pool would
+  // already be gone.
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+char* BufferPool::Acquire() {
+  {
+    MutexLock lock(mu_);
+    ++stats_.acquires;
+    if (!free_.empty()) {
+      ++stats_.pool_hits;
+      char* segment = free_.back();
+      free_.pop_back();
+      return segment;
+    }
+  }
+  return new char[kSegmentSize];
+}
+
+void BufferPool::Release(char* segment) {
+  std::vector<char*> overflow;
+  {
+    MutexLock lock(mu_);
+    free_.push_back(segment);
+    if (free_.size() > max_pooled_) {
+      // Hysteresis trim: drop to half the cap in one batch (mirrors the
+      // transport backpressure's pause-at-cap / resume-at-half shape), so a
+      // borderline workload does not free-and-reallocate one segment per op.
+      const size_t keep = max_pooled_ / 2;
+      overflow.assign(free_.begin() + keep, free_.end());
+      free_.resize(keep);
+      ++stats_.trims;
+    }
+  }
+  for (char* extra : overflow) {
+    delete[] extra;
+  }
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+size_t BufferPool::pooled() const {
+  MutexLock lock(mu_);
+  return free_.size();
+}
+
+}  // namespace aft

@@ -1,0 +1,62 @@
+// Hot key-string interning.
+//
+// The key-version index sees the same user keys on every commit; copying the
+// key string into the index per insert was pure hot-path allocation. The
+// interner stores each distinct key once (stable storage — views into it
+// never dangle while the interner lives) and hands out `std::string_view`
+// handles, so a re-seen key costs a hash lookup and zero allocations.
+//
+// NOT internally synchronized: callers own the locking (the key-version
+// index interns under its writer lock). Interned strings are never removed —
+// the population is bounded by the workload's live keyspace, which the
+// metadata cache already holds in full.
+
+#ifndef SRC_COMMON_INTERNER_H_
+#define SRC_COMMON_INTERNER_H_
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "src/common/pool_allocator.h"
+
+namespace aft {
+
+class KeyInterner {
+ public:
+  KeyInterner() = default;
+  KeyInterner(const KeyInterner&) = delete;
+  KeyInterner& operator=(const KeyInterner&) = delete;
+
+  // Returns a view of the canonical copy of `key`, inserting it on first use.
+  std::string_view Intern(std::string_view key) {
+    if (auto it = known_.find(key); it != known_.end()) {
+      return *it;
+    }
+    storage_.emplace_back(key);  // std::deque: element addresses are stable.
+    const std::string_view canonical = storage_.back();
+    known_.insert(canonical);
+    return canonical;
+  }
+
+  // The canonical view if `key` is already interned, empty view otherwise.
+  std::string_view Find(std::string_view key) const {
+    if (auto it = known_.find(key); it != known_.end()) {
+      return *it;
+    }
+    return {};
+  }
+
+  size_t size() const { return known_.size(); }
+
+ private:
+  std::deque<std::string> storage_;
+  std::unordered_set<std::string_view, std::hash<std::string_view>,
+                     std::equal_to<std::string_view>, PoolAllocator<std::string_view>>
+      known_;
+};
+
+}  // namespace aft
+
+#endif  // SRC_COMMON_INTERNER_H_

@@ -1,0 +1,136 @@
+// A recycling STL allocator carved from pooled arena segments.
+//
+// The commit pipeline's metadata containers (version maps, commit-set cache
+// shards, the data cache's LRU list and index, the idempotent-commit memory)
+// are node-based: every insert costs one operator-new without help. This
+// allocator gives each container a private `MemoryPool` that carves nodes
+// from the same fixed-size segments as the serde arena (src/common/arena.h,
+// `BufferPool::Global()`), and recycles freed nodes on per-size freelists —
+// so at steady state inserts and erases never touch the global allocator,
+// and a load spike's segments drain back through the buffer pool's
+// hysteresis trim instead of thrashing malloc.
+//
+// Concurrency: the pool locks internally (a leaf mutex), so one pool may be
+// shared by allocator copies used under different outer locks — including
+// shared_ptr control blocks (`std::allocate_shared`) whose final release
+// happens on whatever thread drops the last reference.
+//
+// Lifetime: allocator copies share the pool via shared_ptr; the pool lives
+// until the last container / control block holding a copy is gone. Blocks
+// larger than `kMaxPooledBytes` (unordered_map bucket arrays past a few
+// thousand entries) fall through to the global allocator.
+
+#ifndef SRC_COMMON_POOL_ALLOCATOR_H_
+#define SRC_COMMON_POOL_ALLOCATOR_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "src/common/arena.h"
+#include "src/common/mutex.h"
+
+namespace aft {
+
+class MemoryPool {
+ public:
+  // Blocks are rounded up to this granularity; one freelist per class.
+  static constexpr size_t kBlockAlign = 16;
+  // Largest block served from pool segments. Must fit in one segment.
+  static constexpr size_t kMaxPooledBytes = 4096;
+
+  MemoryPool() = default;
+  ~MemoryPool() {
+    for (char* segment : segments_) {
+      BufferPool::Global().Release(segment);
+    }
+  }
+
+  MemoryPool(const MemoryPool&) = delete;
+  MemoryPool& operator=(const MemoryPool&) = delete;
+
+  void* Allocate(size_t bytes) {
+    const size_t rounded = RoundUp(bytes);
+    if (rounded > kMaxPooledBytes) {
+      return ::operator new(bytes);
+    }
+    MutexLock lock(mu_);
+    const size_t cls = rounded / kBlockAlign;
+    if (free_lists_[cls] != nullptr) {
+      void* block = free_lists_[cls];
+      free_lists_[cls] = *static_cast<void**>(block);
+      return block;
+    }
+    if (bump_remaining_ < rounded) {
+      // The tail remainder of the old segment is abandoned (< kMaxPooledBytes
+      // per segment switch); the segment itself is recycled at destruction.
+      segments_.push_back(BufferPool::Global().Acquire());
+      bump_ = segments_.back();
+      bump_remaining_ = BufferPool::kSegmentSize;
+    }
+    void* block = bump_;
+    bump_ += rounded;
+    bump_remaining_ -= rounded;
+    return block;
+  }
+
+  void Free(void* block, size_t bytes) {
+    const size_t rounded = RoundUp(bytes);
+    if (rounded > kMaxPooledBytes) {
+      ::operator delete(block);
+      return;
+    }
+    MutexLock lock(mu_);
+    const size_t cls = rounded / kBlockAlign;
+    *static_cast<void**>(block) = free_lists_[cls];
+    free_lists_[cls] = block;
+  }
+
+ private:
+  static size_t RoundUp(size_t bytes) {
+    return bytes == 0 ? kBlockAlign : (bytes + kBlockAlign - 1) & ~(kBlockAlign - 1);
+  }
+
+  Mutex mu_;
+  void* free_lists_[kMaxPooledBytes / kBlockAlign + 1] GUARDED_BY(mu_) = {};
+  std::vector<char*> segments_ GUARDED_BY(mu_);
+  char* bump_ GUARDED_BY(mu_) = nullptr;
+  size_t bump_remaining_ GUARDED_BY(mu_) = 0;
+};
+
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+
+  PoolAllocator() : pool_(std::make_shared<MemoryPool>()) {}
+  explicit PoolAllocator(std::shared_ptr<MemoryPool> pool) : pool_(std::move(pool)) {}
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other) : pool_(other.pool()) {}  // NOLINT
+
+  T* allocate(size_t n) {
+    static_assert(alignof(T) <= MemoryPool::kBlockAlign,
+                  "over-aligned types need the global allocator");
+    return static_cast<T*>(pool_->Allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) { pool_->Free(p, n * sizeof(T)); }
+
+  const std::shared_ptr<MemoryPool>& pool() const { return pool_; }
+
+  template <typename U>
+  friend bool operator==(const PoolAllocator& a, const PoolAllocator<U>& b) {
+    return a.pool_ == b.pool();
+  }
+
+ private:
+  std::shared_ptr<MemoryPool> pool_;
+};
+
+}  // namespace aft
+
+#endif  // SRC_COMMON_POOL_ALLOCATOR_H_

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/status.h"
@@ -38,20 +39,32 @@ class BinaryWriter {
 
   void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
 
-  void PutString(const std::string& s) {
+  void PutString(std::string_view s) {
     PutU32(static_cast<uint32_t>(s.size()));
     buf_.append(s);
   }
 
-  void PutStringVector(const std::vector<std::string>& v) {
+  // Any sized range of string-view-convertible elements (std::vector,
+  // SmallVector, a keys view over a map) encodes identically.
+  template <typename Container>
+  void PutStringVector(const Container& v) {
     PutU32(static_cast<uint32_t>(v.size()));
     for (const auto& s : v) {
       PutString(s);
     }
   }
+  void PutStringVector(std::initializer_list<std::string_view> v) {
+    PutStringVector<std::initializer_list<std::string_view>>(v);
+  }
 
   const std::string& data() const& { return buf_; }
   std::string TakeData() && { return std::move(buf_); }
+  // Drops the content, keeps the capacity — scratch writers on the hot path
+  // are reused across operations without re-allocating.
+  void Clear() { buf_.clear(); }
+  // Pre-size the buffer: encoders that know their exact output size reserve
+  // once so the append path never re-allocates mid-record.
+  void Reserve(size_t bytes) { buf_.reserve(buf_.size() + bytes); }
 
  private:
   std::string buf_;
@@ -60,9 +73,15 @@ class BinaryWriter {
 // Reads values written by BinaryWriter. All getters return false (and leave
 // the output untouched) on truncated input; callers surface that as a
 // corruption status.
+//
+// The reader parses IN PLACE over the caller's bytes: it holds a view, never
+// a copy, and `GetStringView` hands out sub-views that alias the underlying
+// buffer. The buffer must outlive the reader and every view taken from it —
+// copy (GetString) at the boundary where a field outlives the frame (see
+// docs/PROTOCOLS.md, "Buffer ownership & zero-copy contract").
 class BinaryReader {
  public:
-  explicit BinaryReader(const std::string& data) : data_(data) {}
+  explicit BinaryReader(std::string_view data) : data_(data) {}
 
   bool GetU8(uint8_t* out) {
     if (pos_ + 1 > data_.size()) {
@@ -100,17 +119,31 @@ class BinaryReader {
     return true;
   }
 
-  bool GetString(std::string* out) {
+  // Zero-copy string read: the view aliases the reader's underlying buffer.
+  bool GetStringView(std::string_view* out) {
     uint32_t len = 0;
-    if (!GetU32(&len) || pos_ + len > data_.size()) {
+    if (!GetU32(&len) || len > remaining()) {
       return false;
     }
-    out->assign(data_.data() + pos_, len);
+    *out = data_.substr(pos_, len);
     pos_ += len;
     return true;
   }
 
-  bool GetStringVector(std::vector<std::string>* out) {
+  // Copying string read, for fields that outlive the frame buffer.
+  bool GetString(std::string* out) {
+    std::string_view s;
+    if (!GetStringView(&s)) {
+      return false;
+    }
+    out->assign(s.data(), s.size());
+    return true;
+  }
+
+  // `Container` is anything with clear/reserve/emplace_back over strings
+  // (std::vector<std::string>, SmallVector<std::string, N>).
+  template <typename Container>
+  bool GetStringVector(Container* out) {
     uint32_t count = 0;
     if (!GetU32(&count)) {
       return false;
@@ -123,12 +156,14 @@ class BinaryReader {
     }
     out->clear();
     out->reserve(count);
+    // One pass: bounds-check a view of each element, then construct the
+    // owned string directly in the vector slot (no intermediate string).
     for (uint32_t i = 0; i < count; ++i) {
-      std::string s;
-      if (!GetString(&s)) {
+      std::string_view s;
+      if (!GetStringView(&s)) {
         return false;
       }
-      out->push_back(std::move(s));
+      out->emplace_back(s);
     }
     return true;
   }
@@ -137,7 +172,7 @@ class BinaryReader {
   size_t remaining() const { return data_.size() - pos_; }
 
  private:
-  const std::string& data_;
+  std::string_view data_;
   size_t pos_ = 0;
 };
 

@@ -1,0 +1,212 @@
+// A vector with inline storage for its first N elements.
+//
+// The commit pipeline's per-transaction collections (batch write ops, per-key
+// version lists, version history entries) are almost always tiny — a handful
+// of keys per transaction. Keeping the first N elements inline means the hot
+// path never touches the heap for them; only a genuinely large transaction
+// spills to a heap buffer, after which the container behaves like a plain
+// std::vector (geometric growth, contiguous storage).
+//
+// Deliberately minimal: just the operations the commit path and its
+// neighbours need. Elements must be movable; moves of the container move
+// inline elements one by one (so iterators/pointers into a moved-from
+// SmallVector are invalidated, exactly like std::vector's small-string
+// cousins).
+
+#ifndef SRC_COMMON_SMALL_VECTOR_H_
+#define SRC_COMMON_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace aft {
+
+template <typename T, size_t N>
+class SmallVector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+  using reverse_iterator = std::reverse_iterator<iterator>;
+  using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+
+  SmallVector() = default;
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) {
+      push_back(v);
+    }
+  }
+
+  SmallVector(const SmallVector& other) { CopyFrom(other); }
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(std::move(other)); }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(std::initializer_list<T> init) {
+    clear();
+    reserve(init.size());
+    for (const T& v : init) {
+      push_back(v);
+    }
+    return *this;
+  }
+
+  ~SmallVector() { Destroy(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  reverse_iterator rbegin() { return reverse_iterator(end()); }
+  reverse_iterator rend() { return reverse_iterator(begin()); }
+  const_reverse_iterator rbegin() const { return const_reverse_iterator(end()); }
+  const_reverse_iterator rend() const { return const_reverse_iterator(begin()); }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void reserve(size_t n) {
+    if (n > capacity_) {
+      Grow(n);
+    }
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) {
+      Grow(capacity_ * 2);
+    }
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    --size_;
+    data_[size_].~T();
+  }
+
+  // Inserts before `pos`, shifting the tail right (sorted-insert support).
+  iterator insert(iterator pos, T v) {
+    const size_t at = static_cast<size_t>(pos - data_);
+    emplace_back(std::move(v));  // May reallocate; recompute the position.
+    pos = data_ + at;
+    std::rotate(pos, data_ + size_ - 1, data_ + size_);
+    return pos;
+  }
+
+  iterator erase(iterator pos) {
+    std::move(pos + 1, end(), pos);
+    pop_back();
+    return pos;
+  }
+
+  void clear() {
+    for (size_t i = 0; i < size_; ++i) {
+      data_[i].~T();
+    }
+    size_ = 0;
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  T* InlineData() { return std::launder(reinterpret_cast<T*>(inline_storage_)); }
+
+  bool IsInline() const { return data_ == const_cast<SmallVector*>(this)->InlineData(); }
+
+  void Grow(size_t n) {
+    const size_t new_cap = std::max(n, capacity_ * 2);
+    T* heap = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    for (size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(heap + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (!IsInline()) {
+      ::operator delete(data_);
+    }
+    data_ = heap;
+    capacity_ = new_cap;
+  }
+
+  void Destroy() {
+    clear();
+    if (!IsInline()) {
+      ::operator delete(data_);
+      data_ = InlineData();
+      capacity_ = N;
+    }
+  }
+
+  void CopyFrom(const SmallVector& other) {
+    reserve(other.size_);
+    for (size_t i = 0; i < other.size_; ++i) {
+      push_back(other.data_[i]);
+    }
+  }
+
+  void MoveFrom(SmallVector&& other) noexcept {
+    if (other.IsInline()) {
+      data_ = InlineData();
+      capacity_ = N;
+      size_ = 0;
+      for (size_t i = 0; i < other.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+        other.data_[i].~T();
+        ++size_;
+      }
+      other.size_ = 0;
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.InlineData();
+      other.capacity_ = N;
+      other.size_ = 0;
+    }
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = InlineData();
+  size_t capacity_ = N;
+  size_t size_ = 0;
+};
+
+}  // namespace aft
+
+#endif  // SRC_COMMON_SMALL_VECTOR_H_

@@ -17,12 +17,19 @@ Uuid Uuid::Random(Rng& rng) {
 }
 
 std::string Uuid::ToString() const {
-  char buf[37];
+  std::string out;
+  out.reserve(kStringLength);
+  AppendTo(out);
+  return out;
+}
+
+void Uuid::AppendTo(std::string& out) const {
+  char buf[kStringLength + 1];
   std::snprintf(buf, sizeof(buf), "%08x-%04x-%04x-%04x-%012llx",
                 static_cast<uint32_t>(hi_ >> 32), static_cast<uint32_t>((hi_ >> 16) & 0xffff),
                 static_cast<uint32_t>(hi_ & 0xffff), static_cast<uint32_t>(lo_ >> 48),
                 static_cast<unsigned long long>(lo_ & 0xffffffffffffULL));
-  return std::string(buf);
+  out.append(buf, kStringLength);
 }
 
 Uuid Uuid::Parse(const std::string& text) {

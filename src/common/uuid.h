@@ -38,6 +38,10 @@ class Uuid {
 
   // Canonical lowercase 8-4-4-4-12 hex representation.
   std::string ToString() const;
+  // The same 36 characters appended to `out` — storage-key builders reserve
+  // the full key once and append in place instead of concatenating temporaries.
+  static constexpr size_t kStringLength = 36;
+  void AppendTo(std::string& out) const;
 
   friend auto operator<=>(const Uuid& a, const Uuid& b) = default;
 

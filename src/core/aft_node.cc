@@ -1,9 +1,13 @@
 #include "src/core/aft_node.h"
 
 #include <algorithm>
+#include <optional>
+#include <ranges>
+#include <span>
 
 #include "src/common/io_executor.h"
 #include "src/common/logging.h"
+#include "src/common/small_vector.h"
 #include "src/storage/sim_engine_base.h"
 
 namespace aft {
@@ -247,7 +251,7 @@ Status AftNode::Put(const Uuid& txid, const std::string& key, std::string value)
   return Status::Ok();
 }
 
-Status AftNode::FlushVersions(TransactionState& txn, const TxnId& writer_id) {
+Status AftNode::FlushVersions(TransactionState& txn, const TxnId& writer_id, bool final_flush) {
   if (txn.dirty.empty()) {
     return Status::Ok();
   }
@@ -267,7 +271,7 @@ Status AftNode::FlushVersions(TransactionState& txn, const TxnId& writer_id) {
       segment += payload;
     }
     AFT_RETURN_IF_ERROR(storage_.Put(SegmentStorageKey(txn.uuid, txn.next_segment_index),
-                                     segment));
+                                     std::move(segment)));
     for (const VersionLocator& locator : fresh) {
       std::erase_if(txn.packed_locators,
                     [&](const VersionLocator& old) { return old.key == locator.key; });
@@ -277,26 +281,34 @@ Status AftNode::FlushVersions(TransactionState& txn, const TxnId& writer_id) {
   } else {
     // Key-per-version layout: the cowritten set is the transaction's full
     // write set so far; for the final (commit-time) flush this is the
-    // complete, authoritative set.
-    std::vector<std::string> write_set;
-    write_set.reserve(txn.write_buffer.size());
-    for (const auto& [key, payload] : txn.write_buffer) {
-      write_set.push_back(key);
-    }
-    std::vector<WriteOp> ops;
+    // complete, authoritative set. Encode it straight out of the write
+    // buffer's keys — no intermediate write-set vector, no VersionedValue
+    // materialization; each op is exactly two exact-sized strings (the
+    // version key and the serialized value) that move into the engine.
+    const auto cowritten = std::views::keys(txn.write_buffer);
+    const size_t value_base_bytes =
+        record_detail::kRecordHeaderBytes + EncodedStringVectorBytes(cowritten) + 4;
+    SmallVector<WriteOp, 8> ops;
     ops.reserve(txn.dirty.size());
     for (const auto& [key, payload] : txn.write_buffer) {
       if (!txn.dirty.contains(key)) {
         continue;
       }
-      VersionedValue value{writer_id, write_set, payload};
-      ops.push_back(WriteOp{VersionStorageKey(key, txn.uuid), value.Serialize()});
+      BinaryWriter w;
+      w.Reserve(value_base_bytes + payload.size());
+      EncodeVersionedValueFields(w, writer_id, cowritten, payload);
+      ops.push_back(WriteOp{VersionStorageKey(key, txn.uuid), std::move(w).TakeData()});
     }
-    AFT_RETURN_IF_ERROR(storage_.BatchPut(ops));
+    AFT_RETURN_IF_ERROR(storage_.BatchPutConsume(std::span<WriteOp>(ops.data(), ops.size())));
   }
-  for (const auto& [key, payload] : txn.write_buffer) {
-    if (txn.dirty.contains(key)) {
-      txn.spilled.insert(key);
+  // The spilled set exists so an abort can delete orphaned version objects;
+  // the commit-time (final) flush never aborts afterwards — its transaction
+  // is erased on every path — so skip the per-key bookkeeping inserts there.
+  if (!final_flush) {
+    for (const auto& [key, payload] : txn.write_buffer) {
+      if (txn.dirty.contains(key)) {
+        txn.spilled.insert(key);
+      }
     }
   }
   txn.dirty.clear();
@@ -631,7 +643,12 @@ Status AftNode::AbortTransaction(const Uuid& txid) {
 
 Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
   AFT_RETURN_IF_ERROR(CheckAlive());
-  const LogScope log_scope("node=" + node_id_ + " txn=" + txid.ToString());
+  // The scope string only decorates debug-level lines; skip the three
+  // concatenations per commit when debug logging is off.
+  std::optional<LogScope> log_scope;
+  if (internal::LogEnabled(LogLevel::kDebug)) {
+    log_scope.emplace("node=" + node_id_ + " txn=" + txid.ToString());
+  }
   // Idempotence for retried commits (§3.1): a transaction's updates are
   // persisted exactly once.
   {
@@ -670,7 +687,7 @@ Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
   Status flushed;
   {
     obs::TraceSpan flush_span(txn->trace, "CommitFlush", node_id_);
-    flushed = FlushVersions(*txn, commit_id);
+    flushed = FlushVersions(*txn, commit_id, /*final_flush=*/true);
   }
   if (!flushed.ok()) {
     txn->status = TxnStatus::kRunning;  // Let the client retry or abort.
@@ -690,10 +707,14 @@ Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
   for (const auto& [key, payload] : txn->write_buffer) {
     write_set_keys.push_back(key);
   }
-  auto record = std::make_shared<const CommitRecord>(CommitRecord{
-      commit_id, std::move(write_set_keys),
-      options_.packed_layout ? txn->next_segment_index : 0,
-      options_.packed_layout ? txn->packed_locators : std::vector<VersionLocator>{}});
+  // allocate_shared puts the record and its control block in one pooled
+  // block; the allocator (and thus the pool) lives inside the control block,
+  // so records released on gossip / fault-manager threads free safely.
+  auto record = std::allocate_shared<const CommitRecord>(
+      record_alloc_,
+      CommitRecord{commit_id, std::move(write_set_keys),
+                   options_.packed_layout ? txn->next_segment_index : 0,
+                   options_.packed_layout ? txn->packed_locators : std::vector<VersionLocator>{}});
   Status committed;
   {
     obs::TraceSpan record_span(txn->trace, "CommitRecordWrite", node_id_);
@@ -787,7 +808,10 @@ void AftNode::ApplyRemoteCommits(const std::vector<CommitRecordPtr>& records) {
   if (!alive()) {
     return;
   }
-  const LogScope log_scope("node=" + node_id_);
+  std::optional<LogScope> log_scope;
+  if (internal::LogEnabled(LogLevel::kDebug)) {
+    log_scope.emplace("node=" + node_id_);
+  }
   for (const auto& record : records) {
     if (commits_.Contains(record->id)) {
       continue;

@@ -22,6 +22,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/mutex.h"
+#include "src/common/pool_allocator.h"
 #include "src/common/status.h"
 #include "src/common/throttle.h"
 #include "src/core/commit_set_cache.h"
@@ -241,7 +242,12 @@ class AftNode {
   Status CheckAlive() const;
   Result<TxnPtr> FindTransaction(const Uuid& txid);
   // Writes the buffer's dirty entries to storage as version objects.
-  Status FlushVersions(TransactionState& txn, const TxnId& writer_id) REQUIRES(txn.mu);
+  // `final_flush` marks the commit-time flush: the spilled-key bookkeeping
+  // (only ever consumed by abort's cleanup) is skipped — any versions
+  // orphaned by a failed commit are left to the orphan sweep, which the
+  // write-ordering barrier already relies on for partial flush failures.
+  Status FlushVersions(TransactionState& txn, const TxnId& writer_id, bool final_flush = false)
+      REQUIRES(txn.mu);
   // Fetches a version payload through the data cache with bounded retries.
   // `record` supplies the locators needed for the packed layout.
   Result<std::string> ReadVersionPayload(const std::string& key, const TxnId& version,
@@ -267,11 +273,19 @@ class AftNode {
   mutable Mutex txns_mu_;
   std::unordered_map<Uuid, TxnPtr> txns_ GUARDED_BY(txns_mu_);
 
-  // Idempotent-commit memory: uuid -> commit id, bounded FIFO.
+  // Idempotent-commit memory: uuid -> commit id, bounded FIFO. Pooled nodes:
+  // the steady-state insert+evict churn recycles blocks instead of hitting
+  // the heap once per commit.
   Mutex committed_mu_;
-  std::unordered_map<Uuid, TxnId> committed_uuids_ GUARDED_BY(committed_mu_);
+  std::unordered_map<Uuid, TxnId, std::hash<Uuid>, std::equal_to<Uuid>,
+                     PoolAllocator<std::pair<const Uuid, TxnId>>>
+      committed_uuids_ GUARDED_BY(committed_mu_);
   std::vector<Uuid> committed_order_ GUARDED_BY(committed_mu_);
   size_t committed_next_evict_ GUARDED_BY(committed_mu_) = 0;
+  // Commit records are allocate_shared'd from this pool (object + control
+  // block in one recycled block); the pool is thread-safe, so records may be
+  // released from gossip / fault-manager threads.
+  PoolAllocator<CommitRecord> record_alloc_;
 
   // Metadata + data caches.
   CommitSetCache commits_;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/common/mutex.h"
+#include "src/common/pool_allocator.h"
 #include "src/core/records.h"
 #include "src/core/txn_id.h"
 
@@ -81,10 +82,16 @@ class CommitSetCache {
   uint64_t lookup_misses() const { return lookup_misses_.load(std::memory_order_relaxed); }
 
  private:
+  // Pooled nodes: every commit inserts (and GC later erases) one records
+  // entry, so at steady state the churn recycles pool blocks instead of
+  // allocating per commit.
   struct Shard {
     mutable SharedMutex mu;
-    std::unordered_map<TxnId, CommitRecordPtr> records GUARDED_BY(mu);
-    std::unordered_set<TxnId> locally_deleted GUARDED_BY(mu);
+    std::unordered_map<TxnId, CommitRecordPtr, std::hash<TxnId>, std::equal_to<TxnId>,
+                       PoolAllocator<std::pair<const TxnId, CommitRecordPtr>>>
+        records GUARDED_BY(mu);
+    std::unordered_set<TxnId, std::hash<TxnId>, std::equal_to<TxnId>, PoolAllocator<TxnId>>
+        locally_deleted GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const TxnId& id) { return shards_[std::hash<TxnId>{}(id) % kNumShards]; }

@@ -20,20 +20,20 @@ std::optional<std::string> DataCache::Get(const std::string& version_key) {
   return it->second->payload;
 }
 
-void DataCache::Put(const std::string& version_key, std::string payload) {
+void DataCache::Put(std::string version_key, std::string payload) {
   if (!enabled() || payload.size() > capacity_bytes_) {
     return;
   }
   MutexLock lock(mu_);
-  auto it = index_.find(version_key);
+  auto it = index_.find(std::string_view(version_key));
   if (it != index_.end()) {
     used_bytes_ -= it->second->payload.size();
     it->second->payload = std::move(payload);
     used_bytes_ += it->second->payload.size();
     lru_.splice(lru_.begin(), lru_, it->second);
   } else {
-    lru_.push_front(Entry{version_key, std::move(payload)});
-    index_[version_key] = lru_.begin();
+    lru_.push_front(Entry{std::move(version_key), std::move(payload)});
+    index_.emplace(std::string_view(lru_.front().key), lru_.begin());
     used_bytes_ += lru_.front().payload.size();
   }
   EvictOverBudgetLocked();
@@ -44,20 +44,22 @@ void DataCache::Erase(const std::string& version_key) {
     return;
   }
   MutexLock lock(mu_);
-  auto it = index_.find(version_key);
+  auto it = index_.find(std::string_view(version_key));
   if (it == index_.end()) {
     return;
   }
-  used_bytes_ -= it->second->payload.size();
-  lru_.erase(it->second);
+  const auto victim = it->second;
+  used_bytes_ -= victim->payload.size();
+  // Drop the index entry before the list node its key view aliases.
   index_.erase(it);
+  lru_.erase(victim);
 }
 
 void DataCache::EvictOverBudgetLocked() {
   while (used_bytes_ > capacity_bytes_ && !lru_.empty()) {
     const Entry& victim = lru_.back();
     used_bytes_ -= victim.payload.size();
-    index_.erase(victim.key);
+    index_.erase(std::string_view(victim.key));
     lru_.pop_back();
   }
 }

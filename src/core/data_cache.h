@@ -13,9 +13,11 @@
 #include <list>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "src/common/mutex.h"
+#include "src/common/pool_allocator.h"
 
 namespace aft {
 
@@ -28,7 +30,9 @@ class DataCache {
   std::optional<std::string> Get(const std::string& version_key);
 
   // Inserts (or refreshes) an entry, evicting LRU entries over budget.
-  void Put(const std::string& version_key, std::string payload);
+  // Both parameters move into the cache (the commit path hands over its
+  // exact-sized version key instead of having the cache copy it).
+  void Put(std::string version_key, std::string payload);
 
   // Drops an entry (used when GC deletes the underlying version).
   void Erase(const std::string& version_key);
@@ -45,13 +49,21 @@ class DataCache {
     std::string key;
     std::string payload;
   };
+  // List and index nodes recycle through pools; the index keys are views
+  // aliasing Entry::key (list nodes are address-stable, and splice never
+  // moves them), so each cached version stores its key exactly once.
+  using LruList = std::list<Entry, PoolAllocator<Entry>>;
+  using Index =
+      std::unordered_map<std::string_view, LruList::iterator, std::hash<std::string_view>,
+                         std::equal_to<std::string_view>,
+                         PoolAllocator<std::pair<const std::string_view, LruList::iterator>>>;
 
   void EvictOverBudgetLocked() REQUIRES(mu_);
 
   const uint64_t capacity_bytes_;
   mutable Mutex mu_;
-  std::list<Entry> lru_ GUARDED_BY(mu_);  // Front == most recently used.
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_ GUARDED_BY(mu_);
+  LruList lru_ GUARDED_BY(mu_);  // Front == most recently used.
+  Index index_ GUARDED_BY(mu_);
   uint64_t used_bytes_ GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

@@ -1,24 +1,39 @@
 #include "src/core/key_version_index.h"
 
+#include <algorithm>
 
 namespace aft {
 
 void KeyVersionIndex::AddCommit(const CommitRecord& record) {
   WriterMutexLock lock(mu_);
   for (const std::string& key : record.write_set) {
-    versions_[key].insert(record.id);
+    VersionList& list = versions_[interner_.Intern(key)];
+    if (list.empty() || list.back() < record.id) {
+      list.push_back(record.id);  // Common case: commit IDs arrive in order.
+      continue;
+    }
+    auto it = std::lower_bound(list.begin(), list.end(), record.id);
+    if (it != list.end() && *it == record.id) {
+      continue;  // Idempotent re-add (gossip duplicates).
+    }
+    list.insert(it, record.id);
   }
 }
 
 void KeyVersionIndex::RemoveCommit(const CommitRecord& record) {
   WriterMutexLock lock(mu_);
   for (const std::string& key : record.write_set) {
-    auto it = versions_.find(key);
+    auto it = versions_.find(std::string_view(key));
     if (it == versions_.end()) {
       continue;
     }
-    it->second.erase(record.id);
+    auto pos = std::lower_bound(it->second.begin(), it->second.end(), record.id);
+    if (pos != it->second.end() && *pos == record.id) {
+      it->second.erase(pos);
+    }
     if (it->second.empty()) {
+      // The interned key string stays behind (bounded by distinct key names);
+      // a later re-add of this key reuses it without allocating.
       versions_.erase(it);
     }
   }
@@ -26,42 +41,44 @@ void KeyVersionIndex::RemoveCommit(const CommitRecord& record) {
 
 TxnId KeyVersionIndex::LatestVersion(const std::string& key) const {
   ReaderMutexLock lock(mu_);
-  auto it = versions_.find(key);
+  auto it = versions_.find(std::string_view(key));
   if (it == versions_.end() || it->second.empty()) {
     return TxnId::Null();
   }
-  return *it->second.rbegin();
+  return it->second.back();
 }
 
 std::vector<TxnId> KeyVersionIndex::CandidatesAtLeast(const std::string& key,
                                                       const TxnId& lower) const {
   ReaderMutexLock lock(mu_);
   std::vector<TxnId> out;
-  auto it = versions_.find(key);
+  auto it = versions_.find(std::string_view(key));
   if (it == versions_.end()) {
     return out;
   }
-  // Newest first (Algorithm 1 iterates in reverse timestamp order).
-  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
-    if (!lower.IsNull() && *rit < lower) {
+  // Newest first (Algorithm 1 iterates in reverse timestamp order); the list
+  // is sorted ascending, so walk down from the upper end.
+  const VersionList& list = it->second;
+  for (size_t i = list.size(); i-- > 0;) {
+    if (!lower.IsNull() && list[i] < lower) {
       break;
     }
-    out.push_back(*rit);
+    out.push_back(list[i]);
   }
   return out;
 }
 
 bool KeyVersionIndex::Contains(const std::string& key, const TxnId& id) const {
   ReaderMutexLock lock(mu_);
-  auto it = versions_.find(key);
-  return it != versions_.end() && it->second.contains(id);
+  auto it = versions_.find(std::string_view(key));
+  return it != versions_.end() && std::binary_search(it->second.begin(), it->second.end(), id);
 }
 
 size_t KeyVersionIndex::TotalVersionCount() const {
   ReaderMutexLock lock(mu_);
   size_t total = 0;
-  for (const auto& [key, set] : versions_) {
-    total += set.size();
+  for (const auto& [key, list] : versions_) {
+    total += list.size();
   }
   return total;
 }

@@ -5,12 +5,15 @@
 #ifndef SRC_CORE_KEY_VERSION_INDEX_H_
 #define SRC_CORE_KEY_VERSION_INDEX_H_
 
-#include <set>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/interner.h"
 #include "src/common/mutex.h"
+#include "src/common/pool_allocator.h"
+#include "src/common/small_vector.h"
 #include "src/core/records.h"
 #include "src/core/txn_id.h"
 
@@ -40,8 +43,24 @@ class KeyVersionIndex {
   size_t KeyCount() const;
 
  private:
+  // Version lists are kept sorted ascending by TxnId. Commit timestamps are
+  // (mostly) monotone, so AddCommit is an amortized push_back; readers walk
+  // from the upper end for the newest-first candidate order. Up to four
+  // versions live inline in the map node — the common steady-state depth
+  // once GC is running.
+  using VersionList = SmallVector<TxnId, 4>;
+  using VersionMap =
+      std::unordered_map<std::string_view, VersionList, std::hash<std::string_view>,
+                         std::equal_to<std::string_view>,
+                         PoolAllocator<std::pair<const std::string_view, VersionList>>>;
+
   mutable SharedMutex mu_;
-  std::unordered_map<std::string, std::set<TxnId>> versions_ GUARDED_BY(mu_);
+  // Hot key names are interned once; every commit of the same key after the
+  // first allocates nothing for the map key. The interner only grows (its
+  // size is bounded by the workload's distinct key names), so views stay
+  // valid across RemoveCommit/AddCommit churn.
+  KeyInterner interner_ GUARDED_BY(mu_);
+  VersionMap versions_ GUARDED_BY(mu_);
 };
 
 }  // namespace aft

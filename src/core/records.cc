@@ -3,22 +3,27 @@
 #include "src/common/serde.h"
 
 namespace aft {
-namespace {
 
-constexpr uint8_t kCommitRecordTag = 0xC1;
-constexpr uint8_t kVersionedValueTag = 0xD2;
-
-}  // namespace
+using record_detail::kCommitRecordTag;
+using record_detail::kVersionedValueTag;
 
 std::string VersionStorageKey(const std::string& key, const Uuid& writer) {
-  std::string out(kVersionPrefix);
+  std::string out;
+  out.reserve(sizeof(kVersionPrefix) - 1 + key.size() + 1 + Uuid::kStringLength);
+  out += kVersionPrefix;
   out += key;
   out += '/';
-  out += writer.ToString();
+  writer.AppendTo(out);
   return out;
 }
 
-std::string CommitStorageKey(const TxnId& id) { return std::string(kCommitPrefix) + id.Encode(); }
+std::string CommitStorageKey(const TxnId& id) {
+  std::string out;
+  out.reserve(sizeof(kCommitPrefix) - 1 + TxnId::kEncodedLength);
+  out += kCommitPrefix;
+  id.EncodeTo(out);
+  return out;
+}
 
 TxnId TxnIdFromCommitStorageKey(const std::string& storage_key) {
   const size_t prefix_len = sizeof(kCommitPrefix) - 1;
@@ -51,24 +56,17 @@ const VersionLocator* CommitRecord::FindLocator(const std::string& key) const {
 }
 
 std::string CommitRecord::Serialize() const {
-  BinaryWriter w;
-  w.PutU8(kCommitRecordTag);
-  w.PutI64(id.timestamp);
-  w.PutU64(id.uuid.hi());
-  w.PutU64(id.uuid.lo());
-  w.PutStringVector(write_set);
-  w.PutU32(segment_count);
-  w.PutU32(static_cast<uint32_t>(locators.size()));
+  size_t bytes = record_detail::kRecordHeaderBytes + EncodedStringVectorBytes(write_set) + 4 + 4;
   for (const VersionLocator& locator : locators) {
-    w.PutString(locator.key);
-    w.PutU32(locator.segment_index);
-    w.PutU32(locator.offset);
-    w.PutU32(locator.length);
+    bytes += 4 + locator.key.size() + 12;
   }
+  BinaryWriter w;
+  w.Reserve(bytes);
+  EncodeCommitRecordFields(w, id, write_set, segment_count, locators);
   return std::move(w).TakeData();
 }
 
-Result<CommitRecord> CommitRecord::Deserialize(const std::string& bytes) {
+Result<CommitRecord> CommitRecord::Deserialize(std::string_view bytes) {
   BinaryReader r(bytes);
   uint8_t tag = 0;
   CommitRecord record;
@@ -101,16 +99,13 @@ Result<CommitRecord> CommitRecord::Deserialize(const std::string& bytes) {
 
 std::string VersionedValue::Serialize() const {
   BinaryWriter w;
-  w.PutU8(kVersionedValueTag);
-  w.PutI64(writer.timestamp);
-  w.PutU64(writer.uuid.hi());
-  w.PutU64(writer.uuid.lo());
-  w.PutStringVector(cowritten);
-  w.PutString(payload);
+  w.Reserve(record_detail::kRecordHeaderBytes + EncodedStringVectorBytes(cowritten) + 4 +
+            payload.size());
+  EncodeVersionedValueFields(w, writer, cowritten, payload);
   return std::move(w).TakeData();
 }
 
-Result<VersionedValue> VersionedValue::Deserialize(const std::string& bytes) {
+Result<VersionedValue> VersionedValue::Deserialize(std::string_view bytes) {
   BinaryReader r(bytes);
   uint8_t tag = 0;
   VersionedValue v;

@@ -20,8 +20,10 @@
 #define SRC_CORE_RECORDS_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/common/serde.h"
 #include "src/common/status.h"
 #include "src/core/txn_id.h"
 
@@ -74,7 +76,7 @@ struct CommitRecord {
   const VersionLocator* FindLocator(const std::string& key) const;
 
   std::string Serialize() const;
-  static Result<CommitRecord> Deserialize(const std::string& bytes);
+  static Result<CommitRecord> Deserialize(std::string_view bytes);
 };
 
 // One stored key version: payload plus the metadata Algorithm 1 needs.
@@ -84,8 +86,66 @@ struct VersionedValue {
   std::string payload;
 
   std::string Serialize() const;
-  static Result<VersionedValue> Deserialize(const std::string& bytes);
+  static Result<VersionedValue> Deserialize(std::string_view bytes);
 };
+
+// ---- Direct-field encoders (the allocation-free commit path) ---------------
+// Append the exact Serialize() byte sequences straight from the caller's
+// fields, without materializing a CommitRecord / VersionedValue first. The
+// struct Serialize() methods call these same bodies, so the two can never
+// diverge. Templates over the writer: both the flat BinaryWriter and the
+// segment-backed ArenaWriter (src/common/arena.h) instantiate them.
+
+namespace record_detail {
+inline constexpr uint8_t kCommitRecordTag = 0xC1;
+inline constexpr uint8_t kVersionedValueTag = 0xD2;
+// tag + timestamp + uuid hi + uuid lo.
+inline constexpr size_t kRecordHeaderBytes = 1 + 8 + 8 + 8;
+}  // namespace record_detail
+
+// Encoded size of a PutStringVector over `keys` — lets Serialize() reserve
+// the exact output size so the hot path allocates its buffer exactly once.
+template <typename Keys>
+size_t EncodedStringVectorBytes(const Keys& keys) {
+  size_t bytes = 4;
+  for (const auto& key : keys) {
+    bytes += 4 + std::string_view(key).size();
+  }
+  return bytes;
+}
+
+// `Keys` is any sized range of string-view-convertible elements: the stored
+// vector of a materialized record, or a keys view straight over the
+// transaction's write buffer (the allocation-free commit path encodes from
+// the buffer without building an intermediate vector).
+template <typename W, typename Keys>
+void EncodeCommitRecordFields(W& w, const TxnId& id, const Keys& write_set,
+                              uint32_t segment_count, const std::vector<VersionLocator>& locators) {
+  w.PutU8(record_detail::kCommitRecordTag);
+  w.PutI64(id.timestamp);
+  w.PutU64(id.uuid.hi());
+  w.PutU64(id.uuid.lo());
+  w.PutStringVector(write_set);
+  w.PutU32(segment_count);
+  w.PutU32(static_cast<uint32_t>(locators.size()));
+  for (const VersionLocator& locator : locators) {
+    w.PutString(locator.key);
+    w.PutU32(locator.segment_index);
+    w.PutU32(locator.offset);
+    w.PutU32(locator.length);
+  }
+}
+
+template <typename W, typename Keys>
+void EncodeVersionedValueFields(W& w, const TxnId& writer, const Keys& cowritten,
+                                std::string_view payload) {
+  w.PutU8(record_detail::kVersionedValueTag);
+  w.PutI64(writer.timestamp);
+  w.PutU64(writer.uuid.hi());
+  w.PutU64(writer.uuid.lo());
+  w.PutStringVector(cowritten);
+  w.PutString(payload);
+}
 
 }  // namespace aft
 

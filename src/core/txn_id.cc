@@ -6,9 +6,17 @@
 namespace aft {
 
 std::string TxnId::Encode() const {
-  char buf[64];
+  std::string out;
+  out.reserve(kEncodedLength);
+  EncodeTo(out);
+  return out;
+}
+
+void TxnId::EncodeTo(std::string& out) const {
+  char buf[32];
   std::snprintf(buf, sizeof(buf), "%020lld_", static_cast<long long>(timestamp));
-  return std::string(buf) + uuid.ToString();
+  out.append(buf);  // 21 chars for every real (non-negative) timestamp.
+  uuid.AppendTo(out);
 }
 
 TxnId TxnId::Decode(const std::string& text) {

@@ -36,6 +36,9 @@ struct TxnId {
   // "00000000000000001234_<uuid>": zero-padded so the string order equals
   // the ID order — commit records listed by prefix come back time-ordered.
   std::string Encode() const;
+  // The same characters appended to `out`; always kEncodedLength of them.
+  static constexpr size_t kEncodedLength = 20 + 1 + Uuid::kStringLength;
+  void EncodeTo(std::string& out) const;
   static TxnId Decode(const std::string& text);
 
   std::string ToString() const { return Encode(); }

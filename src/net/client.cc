@@ -46,6 +46,16 @@ class ScopedGaugeDelta {
   obs::Gauge* gauge_;
 };
 
+// Encodes the request into arena segments and seals the frame (header + CRC,
+// trace id baked in). Done ONCE per API call; Call re-sends the sealed frame
+// verbatim on every retry attempt.
+template <typename Request>
+Result<FrameBytes> SealRequest(MessageType type, const Request& request, uint64_t trace_id = 0) {
+  ArenaWriter writer;
+  request.SerializeTo(writer);
+  return SealFrame(type, std::move(writer).TakeBuffer(), trace_id);
+}
+
 }  // namespace
 
 Duration BackoffWithJitter(Duration initial_backoff, Duration max_backoff, int attempt,
@@ -176,9 +186,8 @@ void RemoteAftClient::RunReader(Channel& channel, MutexLock& lock,
   }
 }
 
-Result<std::string> RemoteAftClient::CallOnce(Channel& channel, MessageType type,
-                                              const std::string& request, Duration remaining,
-                                              uint64_t trace_id) {
+Result<std::string> RemoteAftClient::CallOnce(Channel& channel, const FrameBytes& request,
+                                              Duration remaining) {
   const SteadyClock::time_point deadline = SteadyClock::now() + remaining;
   MutexLock lock(channel.mu);
   // 1. Ensure a live connection. A reader may still be draining a torn
@@ -221,8 +230,10 @@ Result<std::string> RemoteAftClient::CallOnce(Channel& channel, MessageType type
     return Status::Unavailable("connection to " + channel.endpoint.ToString() +
                                " torn down while awaiting pipeline slot");
   }
-  // 3. Send. WriteFrame runs under the lock, so the send order and the
-  //    waiter-queue order are the same order — the FIFO invariant.
+  // 3. Send. The write runs under the lock, so the send order and the
+  //    waiter-queue order are the same order — the FIFO invariant. The frame
+  //    was sealed by the caller; this scatter-gathers its header + payload
+  //    segments into sendmsg without touching the bytes.
   const Duration send_left = TimeLeft(deadline);
   if (send_left <= Duration::zero()) {
     return Status::Timeout("call deadline exceeded before send to " +
@@ -231,14 +242,14 @@ Result<std::string> RemoteAftClient::CallOnce(Channel& channel, MessageType type
   (void)channel.socket.SetSendTimeout(send_left);
   stats_.rpcs_sent.fetch_add(1, std::memory_order_relaxed);
   metrics_.rpcs_sent->Increment();
-  const Status sent = WriteFrame(channel.socket, type, request, trace_id);
+  const Status sent = WriteFrameBytes(channel.socket, request);
   if (!sent.ok()) {
     // A partial send leaves the stream unframed: fail everything in flight.
     FailChannelLocked(channel, sent);
     return sent;
   }
   auto waiter = std::make_shared<Waiter>();
-  waiter->expected = type;
+  waiter->expected = request.type;
   channel.waiters.push_back(waiter);
   // 4. Wait for our response: become the reader when the role is free,
   //    otherwise follow until notified (or our deadline expires).
@@ -274,18 +285,16 @@ Result<std::string> RemoteAftClient::CallOnce(Channel& channel, MessageType type
   return std::move(waiter->response);
 }
 
-Result<std::string> RemoteAftClient::Call(size_t endpoint, MessageType type,
-                                          const std::string& request, uint64_t trace_id) {
-  return CallOnStripe(endpoint, StripeForThisThread(), type, request, trace_id);
+Result<std::string> RemoteAftClient::Call(size_t endpoint, const FrameBytes& request) {
+  return CallOnStripe(endpoint, StripeForThisThread(), request);
 }
 
 Result<std::string> RemoteAftClient::CallOnStripe(size_t endpoint, size_t stripe,
-                                                  MessageType type, const std::string& request,
-                                                  uint64_t trace_id) {
+                                                  const FrameBytes& request) {
   if (endpoint >= pools_.size()) {
     return Status::InvalidArgument("endpoint index out of range");
   }
-  const uint8_t type_index = static_cast<uint8_t>(type);
+  const uint8_t type_index = static_cast<uint8_t>(request.type);
   obs::ScopedHistogramTimer latency(
       type_index < metrics_.rpc_latency.size() ? metrics_.rpc_latency[type_index] : nullptr);
   const ScopedGaugeDelta inflight(metrics_.inflight);
@@ -299,8 +308,7 @@ Result<std::string> RemoteAftClient::CallOnStripe(size_t endpoint, size_t stripe
       stats_.retries.fetch_add(1, std::memory_order_relaxed);
       metrics_.retries->Increment();
     }
-    Result<std::string> payload =
-        CallOnce(channel, type, request, TimeLeft(deadline), trace_id);
+    Result<std::string> payload = CallOnce(channel, request, TimeLeft(deadline));
     if (payload.ok() || !IsTransportError(payload.status())) {
       return payload;
     }
@@ -341,9 +349,9 @@ Result<RemoteTxnSession> RemoteAftClient::StartTransaction() {
   // StartTransaction handler, so the whole lifecycle shares one trace id.
   const obs::TraceContext trace = obs::Tracer::Global().StartTrace();
   obs::TraceSpan span(trace, "ClientStartTxn", "client");
-  AFT_ASSIGN_OR_RETURN(std::string payload,
-                       Call(endpoint, MessageType::kStartTxn, StartTxnRequest{}.Serialize(),
-                            trace.trace_id));
+  AFT_ASSIGN_OR_RETURN(FrameBytes frame,
+                       SealRequest(MessageType::kStartTxn, StartTxnRequest{}, trace.trace_id));
+  AFT_ASSIGN_OR_RETURN(std::string payload, Call(endpoint, frame));
   AFT_ASSIGN_OR_RETURN(StartTxnResponse response, StartTxnResponse::Deserialize(payload));
   RemoteTxnSession session;
   session.endpoint = endpoint;
@@ -357,9 +365,9 @@ Status RemoteAftClient::Resume(const RemoteTxnSession& session) {
   AFT_RETURN_IF_ERROR(CheckSession(session));
   AdoptTxnRequest request;
   request.txid = session.txid;
-  AFT_ASSIGN_OR_RETURN(std::string payload,
-                       Call(session.endpoint, MessageType::kAdoptTxn, request.Serialize(),
-                            session.trace.trace_id));
+  AFT_ASSIGN_OR_RETURN(FrameBytes frame,
+                       SealRequest(MessageType::kAdoptTxn, request, session.trace.trace_id));
+  AFT_ASSIGN_OR_RETURN(std::string payload, Call(session.endpoint, frame));
   return DeserializeEmptyResponse(payload);
 }
 
@@ -375,9 +383,9 @@ Result<AftNode::VersionedRead> RemoteAftClient::GetVersioned(const RemoteTxnSess
   GetRequest request;
   request.txid = session.txid;
   request.key = key;
-  AFT_ASSIGN_OR_RETURN(std::string payload,
-                       Call(session.endpoint, MessageType::kGet, request.Serialize(),
-                            session.trace.trace_id));
+  AFT_ASSIGN_OR_RETURN(FrameBytes frame,
+                       SealRequest(MessageType::kGet, request, session.trace.trace_id));
+  AFT_ASSIGN_OR_RETURN(std::string payload, Call(session.endpoint, frame));
   AFT_ASSIGN_OR_RETURN(GetResponse response, GetResponse::Deserialize(payload));
   return std::move(response.read);
 }
@@ -392,9 +400,9 @@ Result<std::vector<AftNode::VersionedRead>> RemoteAftClient::MultiGet(
     MultiGetRequest request;
     request.txid = session.txid;
     request.keys.assign(keys.begin(), keys.end());
-    AFT_ASSIGN_OR_RETURN(std::string payload,
-                         Call(session.endpoint, MessageType::kMultiGet, request.Serialize(),
-                              session.trace.trace_id));
+    AFT_ASSIGN_OR_RETURN(FrameBytes frame,
+                         SealRequest(MessageType::kMultiGet, request, session.trace.trace_id));
+    AFT_ASSIGN_OR_RETURN(std::string payload, Call(session.endpoint, frame));
     AFT_ASSIGN_OR_RETURN(MultiGetResponse response, MultiGetResponse::Deserialize(payload));
     return std::move(response.reads);
   }
@@ -420,10 +428,10 @@ Result<std::vector<AftNode::VersionedRead>> RemoteAftClient::MultiGet(
         MultiGetRequest request;
         request.txid = session.txid;
         request.keys.assign(keys.begin() + off, keys.begin() + off + len);
-        AFT_ASSIGN_OR_RETURN(
-            std::string payload,
-            CallOnStripe(session.endpoint, stripe0 + c, MessageType::kMultiGet,
-                         request.Serialize(), session.trace.trace_id));
+        AFT_ASSIGN_OR_RETURN(FrameBytes frame, SealRequest(MessageType::kMultiGet, request,
+                                                           session.trace.trace_id));
+        AFT_ASSIGN_OR_RETURN(std::string payload,
+                             CallOnStripe(session.endpoint, stripe0 + c, frame));
         AFT_ASSIGN_OR_RETURN(MultiGetResponse response, MultiGetResponse::Deserialize(payload));
         if (response.reads.size() != len) {
           return Status::Internal("multiget chunk returned " +
@@ -444,9 +452,9 @@ Status RemoteAftClient::Put(const RemoteTxnSession& session, const std::string& 
   request.txid = session.txid;
   request.key = key;
   request.value = std::move(value);
-  AFT_ASSIGN_OR_RETURN(std::string payload,
-                       Call(session.endpoint, MessageType::kPut, request.Serialize(),
-                            session.trace.trace_id));
+  AFT_ASSIGN_OR_RETURN(FrameBytes frame,
+                       SealRequest(MessageType::kPut, request, session.trace.trace_id));
+  AFT_ASSIGN_OR_RETURN(std::string payload, Call(session.endpoint, frame));
   return DeserializeEmptyResponse(payload);
 }
 
@@ -472,9 +480,9 @@ Status RemoteAftClient::PutBatch(const RemoteTxnSession& session, std::span<cons
     PutBatchRequest request;
     request.txid = session.txid;
     request.ops.assign(ops.begin(), ops.end());
-    AFT_ASSIGN_OR_RETURN(std::string payload,
-                         Call(session.endpoint, MessageType::kPutBatch, request.Serialize(),
-                              session.trace.trace_id));
+    AFT_ASSIGN_OR_RETURN(FrameBytes frame,
+                         SealRequest(MessageType::kPutBatch, request, session.trace.trace_id));
+    AFT_ASSIGN_OR_RETURN(std::string payload, Call(session.endpoint, frame));
     return DeserializeEmptyResponse(payload);
   }
   // Buffered writes land in the txn's private write set, so concurrent
@@ -497,10 +505,9 @@ Status RemoteAftClient::PutBatch(const RemoteTxnSession& session, std::span<cons
     PutBatchRequest request;
     request.txid = session.txid;
     request.ops.assign(ops.begin() + off, ops.begin() + off + len);
-    AFT_ASSIGN_OR_RETURN(
-        std::string payload,
-        CallOnStripe(session.endpoint, stripe0 + c, MessageType::kPutBatch,
-                     request.Serialize(), session.trace.trace_id));
+    AFT_ASSIGN_OR_RETURN(FrameBytes frame, SealRequest(MessageType::kPutBatch, request,
+                                                       session.trace.trace_id));
+    AFT_ASSIGN_OR_RETURN(std::string payload, CallOnStripe(session.endpoint, stripe0 + c, frame));
     return DeserializeEmptyResponse(payload);
   });
 }
@@ -510,9 +517,9 @@ Result<TxnId> RemoteAftClient::Commit(const RemoteTxnSession& session) {
   obs::TraceSpan span(session.trace, "ClientCommit", "client");
   CommitRequest request;
   request.txid = session.txid;
-  AFT_ASSIGN_OR_RETURN(std::string payload,
-                       Call(session.endpoint, MessageType::kCommit, request.Serialize(),
-                            session.trace.trace_id));
+  AFT_ASSIGN_OR_RETURN(FrameBytes frame,
+                       SealRequest(MessageType::kCommit, request, session.trace.trace_id));
+  AFT_ASSIGN_OR_RETURN(std::string payload, Call(session.endpoint, frame));
   AFT_ASSIGN_OR_RETURN(CommitResponse response, CommitResponse::Deserialize(payload));
   return response.id;
 }
@@ -521,22 +528,22 @@ Status RemoteAftClient::Abort(const RemoteTxnSession& session) {
   AFT_RETURN_IF_ERROR(CheckSession(session));
   AbortRequest request;
   request.txid = session.txid;
-  AFT_ASSIGN_OR_RETURN(std::string payload,
-                       Call(session.endpoint, MessageType::kAbort, request.Serialize(),
-                            session.trace.trace_id));
+  AFT_ASSIGN_OR_RETURN(FrameBytes frame,
+                       SealRequest(MessageType::kAbort, request, session.trace.trace_id));
+  AFT_ASSIGN_OR_RETURN(std::string payload, Call(session.endpoint, frame));
   return DeserializeEmptyResponse(payload);
 }
 
 Result<std::string> RemoteAftClient::Ping(size_t endpoint) {
-  AFT_ASSIGN_OR_RETURN(std::string payload,
-                       Call(endpoint, MessageType::kPing, PingRequest{}.Serialize()));
+  AFT_ASSIGN_OR_RETURN(FrameBytes frame, SealRequest(MessageType::kPing, PingRequest{}));
+  AFT_ASSIGN_OR_RETURN(std::string payload, Call(endpoint, frame));
   AFT_ASSIGN_OR_RETURN(PingResponse response, PingResponse::Deserialize(payload));
   return std::move(response.node_id);
 }
 
 Result<std::string> RemoteAftClient::GetMetrics(size_t endpoint) {
-  AFT_ASSIGN_OR_RETURN(std::string payload,
-                       Call(endpoint, MessageType::kGetMetrics, GetMetricsRequest{}.Serialize()));
+  AFT_ASSIGN_OR_RETURN(FrameBytes frame, SealRequest(MessageType::kGetMetrics, GetMetricsRequest{}));
+  AFT_ASSIGN_OR_RETURN(std::string payload, Call(endpoint, frame));
   AFT_ASSIGN_OR_RETURN(GetMetricsResponse response, GetMetricsResponse::Deserialize(payload));
   return std::move(response.text);
 }

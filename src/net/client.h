@@ -183,17 +183,17 @@ class RemoteAftClient {
   };
 
   // One RPC with connect/retry/backoff/deadline handling against the calling
-  // thread's pool stripe. Returns the raw response payload (status still
+  // thread's pool stripe. Takes the request as a SEALED frame (header + CRC +
+  // arena payload, trace id baked in): sealed once per API call, the same
+  // immutable frame is re-sent verbatim on every retry — serialization and
+  // CRC never run twice. Returns the raw response payload (status still
   // encoded inside).
-  Result<std::string> Call(size_t endpoint, MessageType type, const std::string& request,
-                           uint64_t trace_id = 0);
+  Result<std::string> Call(size_t endpoint, const FrameBytes& request);
   // Same, but on an explicit stripe (fan-out issues chunks on distinct
   // stripes so they actually travel on different connections).
-  Result<std::string> CallOnStripe(size_t endpoint, size_t stripe, MessageType type,
-                                   const std::string& request, uint64_t trace_id = 0);
+  Result<std::string> CallOnStripe(size_t endpoint, size_t stripe, const FrameBytes& request);
   // One pipelined attempt on a channel: dial if needed, send, wait FIFO.
-  Result<std::string> CallOnce(Channel& channel, MessageType type, const std::string& request,
-                               Duration remaining, uint64_t trace_id);
+  Result<std::string> CallOnce(Channel& channel, const FrameBytes& request, Duration remaining);
   // Fails every in-flight waiter and tears the connection down (Shutdown,
   // not Close — the reader may still be blocked in recv on the fd).
   void FailChannelLocked(Channel& channel, const Status& status) REQUIRES(channel.mu);

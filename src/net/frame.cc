@@ -113,13 +113,21 @@ std::string_view MessageTypeName(MessageType type) {
   }
 }
 
-uint32_t Crc32(std::string_view data) {
+uint32_t Crc32Begin() { return 0xFFFFFFFFu; }
+
+uint32_t Crc32Feed(uint32_t state, const void* data, size_t len) {
   static const std::array<uint32_t, 256> kTable = BuildCrcTable();
-  uint32_t crc = 0xFFFFFFFFu;
-  for (const char c : data) {
-    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<uint8_t>(c)) & 0xFFu];
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    state = (state >> 8) ^ kTable[(state ^ bytes[i]) & 0xFFu];
   }
-  return crc ^ 0xFFFFFFFFu;
+  return state;
+}
+
+uint32_t Crc32End(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+uint32_t Crc32(std::string_view data) {
+  return Crc32End(Crc32Feed(Crc32Begin(), data.data(), data.size()));
 }
 
 std::string EncodeFrame(MessageType type, std::string_view payload, uint64_t trace_id) {
@@ -183,6 +191,69 @@ Result<size_t> DecodeFrameFromBuffer(std::string_view buffer, Frame* out) {
   return total;
 }
 
+Result<FrameBytes> SealFrame(MessageType type, SegmentBuffer payload, uint64_t trace_id) {
+  const size_t trace_len = trace_id != 0 ? sizeof(uint64_t) : 0;
+  const size_t wire_payload_len = trace_len + payload.size();
+  if (wire_payload_len > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload of " + std::to_string(wire_payload_len) +
+                                   " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+                                   "-byte limit");
+  }
+  // Length and CRC cover the trace prefix + payload, exactly as EncodeFrame.
+  uint32_t crc_state = Crc32Begin();
+  if (trace_len != 0) {
+    crc_state = Crc32Feed(crc_state, &trace_id, trace_len);
+  }
+  payload.ForEachSpan([&crc_state](const char* data, size_t len) {
+    crc_state = Crc32Feed(crc_state, data, len);
+  });
+  const uint32_t crc = Crc32End(crc_state);
+
+  FrameBytes frame;
+  frame.type = type;
+  const uint32_t magic = kFrameMagic;
+  std::memcpy(frame.head, &magic, 4);
+  frame.head[4] = static_cast<char>(kWireVersion);
+  frame.head[5] = static_cast<char>(type);
+  frame.head[6] = static_cast<char>(trace_len != 0 ? kFrameFlagTraceContext : 0);
+  frame.head[7] = 0;  // reserved
+  const uint32_t len32 = static_cast<uint32_t>(wire_payload_len);
+  std::memcpy(frame.head + 8, &len32, 4);
+  std::memcpy(frame.head + 12, &crc, 4);
+  frame.head_len = kFrameHeaderSize;
+  if (trace_len != 0) {
+    std::memcpy(frame.head + kFrameHeaderSize, &trace_id, trace_len);
+    frame.head_len += trace_len;
+  }
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+size_t FillFrameIovecs(const FrameBytes& frame, size_t skip, struct iovec* iov, size_t max_iov) {
+  size_t count = 0;
+  if (skip < frame.head_len && count < max_iov) {
+    iov[count].iov_base = const_cast<char*>(frame.head) + skip;
+    iov[count].iov_len = frame.head_len - skip;
+    ++count;
+    skip = 0;
+  } else {
+    skip -= frame.head_len;
+  }
+  const size_t spans = frame.payload.SpanCount();
+  for (size_t i = 0; i < spans && count < max_iov; ++i) {
+    const auto [data, len] = frame.payload.Span(i);
+    if (skip >= len) {
+      skip -= len;
+      continue;
+    }
+    iov[count].iov_base = const_cast<char*>(data) + skip;
+    iov[count].iov_len = len - skip;
+    ++count;
+    skip = 0;
+  }
+  return count;
+}
+
 Status WriteFrame(Socket& socket, MessageType type, std::string_view payload,
                   uint64_t trace_id) {
   if (payload.size() > kMaxFramePayload) {
@@ -191,6 +262,20 @@ Status WriteFrame(Socket& socket, MessageType type, std::string_view payload,
                                    "-byte limit");
   }
   return socket.SendAll(EncodeFrame(type, payload, trace_id));
+}
+
+Status WriteFrameBytes(Socket& socket, const FrameBytes& frame) {
+  size_t sent = 0;
+  const size_t total = frame.size();
+  while (sent < total) {
+    struct iovec iov[64];
+    const size_t count = FillFrameIovecs(frame, sent, iov, 64);
+    AFT_RETURN_IF_ERROR(socket.SendAllV(iov, count));
+    for (size_t i = 0; i < count; ++i) {
+      sent += iov[i].iov_len;
+    }
+  }
+  return Status::Ok();
 }
 
 Result<Frame> ReadFrame(Socket& socket) {

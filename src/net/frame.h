@@ -40,6 +40,7 @@
 #include <string>
 #include <string_view>
 
+#include "src/common/arena.h"
 #include "src/common/status.h"
 #include "src/net/socket.h"
 
@@ -91,6 +92,12 @@ std::string_view MessageTypeName(MessageType type);
 // CRC-32 (IEEE reflected polynomial 0xEDB88320), the Ethernet/zip checksum.
 uint32_t Crc32(std::string_view data);
 
+// Streaming variant for payloads held as segment chains: feed spans in order,
+// no coalescing. `Crc32End(Crc32Feed(Crc32Begin(), d, n))` == `Crc32({d,n})`.
+uint32_t Crc32Begin();
+uint32_t Crc32Feed(uint32_t state, const void* data, size_t len);
+uint32_t Crc32End(uint32_t state);
+
 struct Frame {
   MessageType type = MessageType::kPing;
   std::string payload;
@@ -102,6 +109,32 @@ struct Frame {
 // A non-zero `trace_id` sets kFrameFlagTraceContext and prefixes the payload
 // with the 8-byte id.
 std::string EncodeFrame(MessageType type, std::string_view payload, uint64_t trace_id = 0);
+
+// A sealed, ready-to-send frame in scatter-gather form: the 16-byte header
+// (plus the 8-byte trace-id prefix when present) lives inline in `head`, the
+// message payload stays in its arena segments. The bytes on the wire are
+// exactly EncodeFrame's — v1 receivers cannot tell the two apart — but
+// nothing is ever coalesced: senders walk head + payload spans via iovecs.
+// Sealing is the last time the payload may change; a sealed frame is
+// immutable and safe to send repeatedly (client retries reuse it verbatim).
+struct FrameBytes {
+  char head[kFrameHeaderSize + sizeof(uint64_t)] = {};
+  size_t head_len = 0;
+  MessageType type = MessageType::kPing;
+  SegmentBuffer payload;
+
+  size_t size() const { return head_len + payload.size(); }
+};
+
+// Seals `payload` into a frame: computes length + CRC over the (trace-prefixed)
+// payload with the streaming CRC and fills the inline head. Rejects payloads
+// over kMaxFramePayload.
+Result<FrameBytes> SealFrame(MessageType type, SegmentBuffer payload, uint64_t trace_id = 0);
+
+// Fills up to `max_iov` iovecs with the frame's bytes after skipping the
+// first `skip` bytes (partially-sent frames); returns the count filled.
+// The iovecs alias the frame — valid while the frame is alive.
+size_t FillFrameIovecs(const FrameBytes& frame, size_t skip, struct iovec* iov, size_t max_iov);
 
 // Parses one complete frame from an in-memory buffer. Rejects bad magic,
 // unsupported versions, oversized or truncated payloads, and CRC mismatches
@@ -124,6 +157,10 @@ Result<size_t> DecodeFrameFromBuffer(std::string_view buffer, Frame* out);
 // DecodeFrame errors above for torn or corrupt frames.
 Status WriteFrame(Socket& socket, MessageType type, std::string_view payload,
                   uint64_t trace_id = 0);
+// Scatter-gather write of a sealed frame: header + payload segments go out
+// via one writev-style call per IOV window, no coalescing copy. Blocking;
+// safe to call repeatedly with the same frame (retries).
+Status WriteFrameBytes(Socket& socket, const FrameBytes& frame);
 Result<Frame> ReadFrame(Socket& socket);
 
 }  // namespace net

@@ -13,14 +13,126 @@ Status Malformed(const char* what) {
 // and receiver disagree about the encoding, which must not pass silently.
 bool Finish(BinaryReader& reader) { return reader.AtEnd(); }
 
+// ---- Shared encode bodies --------------------------------------------------
+// One body per wire type, templated over the writer, instantiated for both
+// BinaryWriter (legacy flat string) and ArenaWriter (segments). Serialize()
+// and SerializeTo() below both run these, so their bytes cannot diverge —
+// the wire-compat golden tests pin the equality down.
+
+template <typename W>
+void AdoptTxnBody(W& w, const AdoptTxnRequest& r) {
+  EncodeUuid(w, r.txid);
+}
+
+template <typename W>
+void GetBody(W& w, const GetRequest& r) {
+  EncodeUuid(w, r.txid);
+  w.PutString(r.key);
+}
+
+template <typename W>
+void MultiGetBody(W& w, const MultiGetRequest& r) {
+  EncodeUuid(w, r.txid);
+  w.PutStringVector(r.keys);
+}
+
+template <typename W>
+void PutBody(W& w, const PutRequest& r) {
+  EncodeUuid(w, r.txid);
+  w.PutString(r.key);
+  w.PutString(r.value);
+}
+
+template <typename W>
+void PutBatchBody(W& w, const PutBatchRequest& r) {
+  EncodeUuid(w, r.txid);
+  w.PutU32(static_cast<uint32_t>(r.ops.size()));
+  for (const WriteOp& op : r.ops) {
+    w.PutString(op.key);
+    w.PutString(op.value);
+  }
+}
+
+template <typename W>
+void CommitBody(W& w, const CommitRequest& r) {
+  EncodeUuid(w, r.txid);
+}
+
+template <typename W>
+void AbortBody(W& w, const AbortRequest& r) {
+  EncodeUuid(w, r.txid);
+}
+
+template <typename W>
+void ApplyCommitsBody(W& w, const ApplyCommitsRequest& r) {
+  w.PutU32(static_cast<uint32_t>(r.records.size()));
+  for (const CommitRecordPtr& record : r.records) {
+    w.PutString(record->Serialize());
+  }
+}
+
+template <typename W>
+void StartTxnResponseBody(W& w, const StartTxnResponse& r, const Status& status) {
+  EncodeStatus(w, status);
+  if (status.ok()) {
+    EncodeUuid(w, r.txid);
+  }
+}
+
+template <typename W>
+void GetResponseBody(W& w, const GetResponse& r, const Status& status) {
+  EncodeStatus(w, status);
+  if (status.ok()) {
+    EncodeVersionedRead(w, r.read);
+  }
+}
+
+template <typename W>
+void MultiGetResponseBody(W& w, const MultiGetResponse& r, const Status& status) {
+  EncodeStatus(w, status);
+  if (status.ok()) {
+    w.PutU32(static_cast<uint32_t>(r.reads.size()));
+    for (const AftNode::VersionedRead& read : r.reads) {
+      EncodeVersionedRead(w, read);
+    }
+  }
+}
+
+template <typename W>
+void CommitResponseBody(W& w, const CommitResponse& r, const Status& status) {
+  EncodeStatus(w, status);
+  if (status.ok()) {
+    EncodeTxnId(w, r.id);
+  }
+}
+
+template <typename W>
+void ApplyCommitsResponseBody(W& w, const ApplyCommitsResponse& r, const Status& status) {
+  EncodeStatus(w, status);
+  if (status.ok()) {
+    w.PutU64(r.applied);
+  }
+}
+
+template <typename W>
+void PingResponseBody(W& w, const PingResponse& r, const Status& status) {
+  EncodeStatus(w, status);
+  if (status.ok()) {
+    w.PutString(r.node_id);
+  }
+}
+
+template <typename W>
+void GetMetricsResponseBody(W& w, const GetMetricsResponse& r, const Status& status) {
+  EncodeStatus(w, status);
+  if (status.ok()) {
+    w.PutString(r.text);
+  }
+}
+
 }  // namespace
 
 // ---- Field helpers ---------------------------------------------------------
-
-void EncodeUuid(BinaryWriter& writer, const Uuid& id) {
-  writer.PutU64(id.hi());
-  writer.PutU64(id.lo());
-}
 
 bool DecodeUuid(BinaryReader& reader, Uuid* out) {
   uint64_t hi = 0;
@@ -32,11 +144,6 @@ bool DecodeUuid(BinaryReader& reader, Uuid* out) {
   return true;
 }
 
-void EncodeTxnId(BinaryWriter& writer, const TxnId& id) {
-  writer.PutI64(id.timestamp);
-  EncodeUuid(writer, id.uuid);
-}
-
 bool DecodeTxnId(BinaryReader& reader, TxnId* out) {
   int64_t ts = 0;
   Uuid uuid;
@@ -45,11 +152,6 @@ bool DecodeTxnId(BinaryReader& reader, TxnId* out) {
   }
   *out = TxnId(ts, uuid);
   return true;
-}
-
-void EncodeStatus(BinaryWriter& writer, const Status& status) {
-  writer.PutU8(static_cast<uint8_t>(status.code()));
-  writer.PutString(status.message());
 }
 
 bool DecodeStatus(BinaryReader& reader, Status* out) {
@@ -63,20 +165,6 @@ bool DecodeStatus(BinaryReader& reader, Status* out) {
   }
   *out = Status(static_cast<StatusCode>(code), std::move(message));
   return true;
-}
-
-void EncodeVersionedRead(BinaryWriter& writer, const AftNode::VersionedRead& read) {
-  writer.PutU8(read.value.has_value() ? 1 : 0);
-  if (read.value.has_value()) {
-    writer.PutString(*read.value);
-  }
-  EncodeTxnId(writer, read.version);
-  // The commit record rides along so harness-style clients can audit read
-  // atomicity remotely; absent for NULL-version and write-buffer reads.
-  writer.PutU8(read.record != nullptr ? 1 : 0);
-  if (read.record != nullptr) {
-    writer.PutString(read.record->Serialize());
-  }
 }
 
 bool DecodeVersionedRead(BinaryReader& reader, AftNode::VersionedRead* out) {
@@ -102,8 +190,10 @@ bool DecodeVersionedRead(BinaryReader& reader, AftNode::VersionedRead* out) {
   }
   out->record = nullptr;
   if (has_record) {
-    std::string bytes;
-    if (!reader.GetString(&bytes)) {
+    // Parse the nested record in place over the enclosing payload — the
+    // CommitRecord's own fields copy out, the intermediate blob does not.
+    std::string_view bytes;
+    if (!reader.GetStringView(&bytes)) {
       return false;
     }
     auto record = CommitRecord::Deserialize(bytes);
@@ -118,8 +208,9 @@ bool DecodeVersionedRead(BinaryReader& reader, AftNode::VersionedRead* out) {
 // ---- Requests --------------------------------------------------------------
 
 std::string StartTxnRequest::Serialize() const { return std::string(); }
+void StartTxnRequest::SerializeTo(ArenaWriter&) const {}
 
-Result<StartTxnRequest> StartTxnRequest::Deserialize(const std::string& bytes) {
+Result<StartTxnRequest> StartTxnRequest::Deserialize(std::string_view bytes) {
   if (!bytes.empty()) {
     return Malformed("StartTxn");
   }
@@ -128,11 +219,12 @@ Result<StartTxnRequest> StartTxnRequest::Deserialize(const std::string& bytes) {
 
 std::string AdoptTxnRequest::Serialize() const {
   BinaryWriter writer;
-  EncodeUuid(writer, txid);
+  AdoptTxnBody(writer, *this);
   return std::move(writer).TakeData();
 }
+void AdoptTxnRequest::SerializeTo(ArenaWriter& writer) const { AdoptTxnBody(writer, *this); }
 
-Result<AdoptTxnRequest> AdoptTxnRequest::Deserialize(const std::string& bytes) {
+Result<AdoptTxnRequest> AdoptTxnRequest::Deserialize(std::string_view bytes) {
   BinaryReader reader(bytes);
   AdoptTxnRequest request;
   if (!DecodeUuid(reader, &request.txid) || !Finish(reader)) {
@@ -143,12 +235,12 @@ Result<AdoptTxnRequest> AdoptTxnRequest::Deserialize(const std::string& bytes) {
 
 std::string GetRequest::Serialize() const {
   BinaryWriter writer;
-  EncodeUuid(writer, txid);
-  writer.PutString(key);
+  GetBody(writer, *this);
   return std::move(writer).TakeData();
 }
+void GetRequest::SerializeTo(ArenaWriter& writer) const { GetBody(writer, *this); }
 
-Result<GetRequest> GetRequest::Deserialize(const std::string& bytes) {
+Result<GetRequest> GetRequest::Deserialize(std::string_view bytes) {
   BinaryReader reader(bytes);
   GetRequest request;
   if (!DecodeUuid(reader, &request.txid) || !reader.GetString(&request.key) || !Finish(reader)) {
@@ -159,12 +251,12 @@ Result<GetRequest> GetRequest::Deserialize(const std::string& bytes) {
 
 std::string MultiGetRequest::Serialize() const {
   BinaryWriter writer;
-  EncodeUuid(writer, txid);
-  writer.PutStringVector(keys);
+  MultiGetBody(writer, *this);
   return std::move(writer).TakeData();
 }
+void MultiGetRequest::SerializeTo(ArenaWriter& writer) const { MultiGetBody(writer, *this); }
 
-Result<MultiGetRequest> MultiGetRequest::Deserialize(const std::string& bytes) {
+Result<MultiGetRequest> MultiGetRequest::Deserialize(std::string_view bytes) {
   BinaryReader reader(bytes);
   MultiGetRequest request;
   if (!DecodeUuid(reader, &request.txid) || !reader.GetStringVector(&request.keys) ||
@@ -176,13 +268,12 @@ Result<MultiGetRequest> MultiGetRequest::Deserialize(const std::string& bytes) {
 
 std::string PutRequest::Serialize() const {
   BinaryWriter writer;
-  EncodeUuid(writer, txid);
-  writer.PutString(key);
-  writer.PutString(value);
+  PutBody(writer, *this);
   return std::move(writer).TakeData();
 }
+void PutRequest::SerializeTo(ArenaWriter& writer) const { PutBody(writer, *this); }
 
-Result<PutRequest> PutRequest::Deserialize(const std::string& bytes) {
+Result<PutRequest> PutRequest::Deserialize(std::string_view bytes) {
   BinaryReader reader(bytes);
   PutRequest request;
   if (!DecodeUuid(reader, &request.txid) || !reader.GetString(&request.key) ||
@@ -194,16 +285,12 @@ Result<PutRequest> PutRequest::Deserialize(const std::string& bytes) {
 
 std::string PutBatchRequest::Serialize() const {
   BinaryWriter writer;
-  EncodeUuid(writer, txid);
-  writer.PutU32(static_cast<uint32_t>(ops.size()));
-  for (const WriteOp& op : ops) {
-    writer.PutString(op.key);
-    writer.PutString(op.value);
-  }
+  PutBatchBody(writer, *this);
   return std::move(writer).TakeData();
 }
+void PutBatchRequest::SerializeTo(ArenaWriter& writer) const { PutBatchBody(writer, *this); }
 
-Result<PutBatchRequest> PutBatchRequest::Deserialize(const std::string& bytes) {
+Result<PutBatchRequest> PutBatchRequest::Deserialize(std::string_view bytes) {
   BinaryReader reader(bytes);
   PutBatchRequest request;
   uint32_t count = 0;
@@ -231,11 +318,12 @@ Result<PutBatchRequest> PutBatchRequest::Deserialize(const std::string& bytes) {
 
 std::string CommitRequest::Serialize() const {
   BinaryWriter writer;
-  EncodeUuid(writer, txid);
+  CommitBody(writer, *this);
   return std::move(writer).TakeData();
 }
+void CommitRequest::SerializeTo(ArenaWriter& writer) const { CommitBody(writer, *this); }
 
-Result<CommitRequest> CommitRequest::Deserialize(const std::string& bytes) {
+Result<CommitRequest> CommitRequest::Deserialize(std::string_view bytes) {
   BinaryReader reader(bytes);
   CommitRequest request;
   if (!DecodeUuid(reader, &request.txid) || !Finish(reader)) {
@@ -246,11 +334,12 @@ Result<CommitRequest> CommitRequest::Deserialize(const std::string& bytes) {
 
 std::string AbortRequest::Serialize() const {
   BinaryWriter writer;
-  EncodeUuid(writer, txid);
+  AbortBody(writer, *this);
   return std::move(writer).TakeData();
 }
+void AbortRequest::SerializeTo(ArenaWriter& writer) const { AbortBody(writer, *this); }
 
-Result<AbortRequest> AbortRequest::Deserialize(const std::string& bytes) {
+Result<AbortRequest> AbortRequest::Deserialize(std::string_view bytes) {
   BinaryReader reader(bytes);
   AbortRequest request;
   if (!DecodeUuid(reader, &request.txid) || !Finish(reader)) {
@@ -261,14 +350,14 @@ Result<AbortRequest> AbortRequest::Deserialize(const std::string& bytes) {
 
 std::string ApplyCommitsRequest::Serialize() const {
   BinaryWriter writer;
-  writer.PutU32(static_cast<uint32_t>(records.size()));
-  for (const CommitRecordPtr& record : records) {
-    writer.PutString(record->Serialize());
-  }
+  ApplyCommitsBody(writer, *this);
   return std::move(writer).TakeData();
 }
+void ApplyCommitsRequest::SerializeTo(ArenaWriter& writer) const {
+  ApplyCommitsBody(writer, *this);
+}
 
-Result<ApplyCommitsRequest> ApplyCommitsRequest::Deserialize(const std::string& bytes) {
+Result<ApplyCommitsRequest> ApplyCommitsRequest::Deserialize(std::string_view bytes) {
   BinaryReader reader(bytes);
   uint32_t count = 0;
   if (!reader.GetU32(&count)) {
@@ -280,8 +369,10 @@ Result<ApplyCommitsRequest> ApplyCommitsRequest::Deserialize(const std::string& 
   ApplyCommitsRequest request;
   request.records.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
-    std::string record_bytes;
-    if (!reader.GetString(&record_bytes)) {
+    // In-place nested parse: the record blob is bounds-checked as a view of
+    // the enclosing payload, never copied out first.
+    std::string_view record_bytes;
+    if (!reader.GetStringView(&record_bytes)) {
       return Malformed("ApplyCommits");
     }
     auto record = CommitRecord::Deserialize(record_bytes);
@@ -297,8 +388,9 @@ Result<ApplyCommitsRequest> ApplyCommitsRequest::Deserialize(const std::string& 
 }
 
 std::string PingRequest::Serialize() const { return std::string(); }
+void PingRequest::SerializeTo(ArenaWriter&) const {}
 
-Result<PingRequest> PingRequest::Deserialize(const std::string& bytes) {
+Result<PingRequest> PingRequest::Deserialize(std::string_view bytes) {
   if (!bytes.empty()) {
     return Malformed("Ping");
   }
@@ -306,8 +398,9 @@ Result<PingRequest> PingRequest::Deserialize(const std::string& bytes) {
 }
 
 std::string GetMetricsRequest::Serialize() const { return std::string(); }
+void GetMetricsRequest::SerializeTo(ArenaWriter&) const {}
 
-Result<GetMetricsRequest> GetMetricsRequest::Deserialize(const std::string& bytes) {
+Result<GetMetricsRequest> GetMetricsRequest::Deserialize(std::string_view bytes) {
   if (!bytes.empty()) {
     return Malformed("GetMetrics");
   }
@@ -318,14 +411,14 @@ Result<GetMetricsRequest> GetMetricsRequest::Deserialize(const std::string& byte
 
 std::string StartTxnResponse::Serialize(const Status& status) const {
   BinaryWriter writer;
-  EncodeStatus(writer, status);
-  if (status.ok()) {
-    EncodeUuid(writer, txid);
-  }
+  StartTxnResponseBody(writer, *this, status);
   return std::move(writer).TakeData();
 }
+void StartTxnResponse::SerializeTo(ArenaWriter& writer, const Status& status) const {
+  StartTxnResponseBody(writer, *this, status);
+}
 
-Result<StartTxnResponse> StartTxnResponse::Deserialize(const std::string& bytes) {
+Result<StartTxnResponse> StartTxnResponse::Deserialize(std::string_view bytes) {
   BinaryReader reader(bytes);
   Status status;
   if (!DecodeStatus(reader, &status)) {
@@ -343,14 +436,14 @@ Result<StartTxnResponse> StartTxnResponse::Deserialize(const std::string& bytes)
 
 std::string GetResponse::Serialize(const Status& status) const {
   BinaryWriter writer;
-  EncodeStatus(writer, status);
-  if (status.ok()) {
-    EncodeVersionedRead(writer, read);
-  }
+  GetResponseBody(writer, *this, status);
   return std::move(writer).TakeData();
 }
+void GetResponse::SerializeTo(ArenaWriter& writer, const Status& status) const {
+  GetResponseBody(writer, *this, status);
+}
 
-Result<GetResponse> GetResponse::Deserialize(const std::string& bytes) {
+Result<GetResponse> GetResponse::Deserialize(std::string_view bytes) {
   BinaryReader reader(bytes);
   Status status;
   if (!DecodeStatus(reader, &status)) {
@@ -368,17 +461,14 @@ Result<GetResponse> GetResponse::Deserialize(const std::string& bytes) {
 
 std::string MultiGetResponse::Serialize(const Status& status) const {
   BinaryWriter writer;
-  EncodeStatus(writer, status);
-  if (status.ok()) {
-    writer.PutU32(static_cast<uint32_t>(reads.size()));
-    for (const AftNode::VersionedRead& read : reads) {
-      EncodeVersionedRead(writer, read);
-    }
-  }
+  MultiGetResponseBody(writer, *this, status);
   return std::move(writer).TakeData();
 }
+void MultiGetResponse::SerializeTo(ArenaWriter& writer, const Status& status) const {
+  MultiGetResponseBody(writer, *this, status);
+}
 
-Result<MultiGetResponse> MultiGetResponse::Deserialize(const std::string& bytes) {
+Result<MultiGetResponse> MultiGetResponse::Deserialize(std::string_view bytes) {
   BinaryReader reader(bytes);
   Status status;
   if (!DecodeStatus(reader, &status)) {
@@ -412,14 +502,14 @@ Result<MultiGetResponse> MultiGetResponse::Deserialize(const std::string& bytes)
 
 std::string CommitResponse::Serialize(const Status& status) const {
   BinaryWriter writer;
-  EncodeStatus(writer, status);
-  if (status.ok()) {
-    EncodeTxnId(writer, id);
-  }
+  CommitResponseBody(writer, *this, status);
   return std::move(writer).TakeData();
 }
+void CommitResponse::SerializeTo(ArenaWriter& writer, const Status& status) const {
+  CommitResponseBody(writer, *this, status);
+}
 
-Result<CommitResponse> CommitResponse::Deserialize(const std::string& bytes) {
+Result<CommitResponse> CommitResponse::Deserialize(std::string_view bytes) {
   BinaryReader reader(bytes);
   Status status;
   if (!DecodeStatus(reader, &status)) {
@@ -437,14 +527,14 @@ Result<CommitResponse> CommitResponse::Deserialize(const std::string& bytes) {
 
 std::string ApplyCommitsResponse::Serialize(const Status& status) const {
   BinaryWriter writer;
-  EncodeStatus(writer, status);
-  if (status.ok()) {
-    writer.PutU64(applied);
-  }
+  ApplyCommitsResponseBody(writer, *this, status);
   return std::move(writer).TakeData();
 }
+void ApplyCommitsResponse::SerializeTo(ArenaWriter& writer, const Status& status) const {
+  ApplyCommitsResponseBody(writer, *this, status);
+}
 
-Result<ApplyCommitsResponse> ApplyCommitsResponse::Deserialize(const std::string& bytes) {
+Result<ApplyCommitsResponse> ApplyCommitsResponse::Deserialize(std::string_view bytes) {
   BinaryReader reader(bytes);
   Status status;
   if (!DecodeStatus(reader, &status)) {
@@ -462,14 +552,14 @@ Result<ApplyCommitsResponse> ApplyCommitsResponse::Deserialize(const std::string
 
 std::string PingResponse::Serialize(const Status& status) const {
   BinaryWriter writer;
-  EncodeStatus(writer, status);
-  if (status.ok()) {
-    writer.PutString(node_id);
-  }
+  PingResponseBody(writer, *this, status);
   return std::move(writer).TakeData();
 }
+void PingResponse::SerializeTo(ArenaWriter& writer, const Status& status) const {
+  PingResponseBody(writer, *this, status);
+}
 
-Result<PingResponse> PingResponse::Deserialize(const std::string& bytes) {
+Result<PingResponse> PingResponse::Deserialize(std::string_view bytes) {
   BinaryReader reader(bytes);
   Status status;
   if (!DecodeStatus(reader, &status)) {
@@ -487,14 +577,14 @@ Result<PingResponse> PingResponse::Deserialize(const std::string& bytes) {
 
 std::string GetMetricsResponse::Serialize(const Status& status) const {
   BinaryWriter writer;
-  EncodeStatus(writer, status);
-  if (status.ok()) {
-    writer.PutString(text);
-  }
+  GetMetricsResponseBody(writer, *this, status);
   return std::move(writer).TakeData();
 }
+void GetMetricsResponse::SerializeTo(ArenaWriter& writer, const Status& status) const {
+  GetMetricsResponseBody(writer, *this, status);
+}
 
-Result<GetMetricsResponse> GetMetricsResponse::Deserialize(const std::string& bytes) {
+Result<GetMetricsResponse> GetMetricsResponse::Deserialize(std::string_view bytes) {
   BinaryReader reader(bytes);
   Status status;
   if (!DecodeStatus(reader, &status)) {
@@ -516,7 +606,11 @@ std::string SerializeEmptyResponse(const Status& status) {
   return std::move(writer).TakeData();
 }
 
-Status DeserializeEmptyResponse(const std::string& bytes) {
+void SerializeEmptyResponseTo(ArenaWriter& writer, const Status& status) {
+  EncodeStatus(writer, status);
+}
+
+Status DeserializeEmptyResponse(std::string_view bytes) {
   BinaryReader reader(bytes);
   Status status;
   if (!DecodeStatus(reader, &status) || !reader.AtEnd()) {

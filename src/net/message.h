@@ -16,8 +16,10 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/serde.h"
 #include "src/common/status.h"
 #include "src/common/uuid.h"
@@ -30,40 +32,79 @@ namespace aft {
 namespace net {
 
 // ---- Field-level helpers (shared by the structs and the bus) ---------------
-void EncodeUuid(BinaryWriter& writer, const Uuid& id);
+// Encoders are templates over the writer so the legacy flat-string
+// `BinaryWriter` and the segment-emitting `ArenaWriter` run the SAME body —
+// the two paths are byte-identical by construction, which is what the wire
+// compatibility golden tests pin down.
+template <typename W>
+void EncodeUuid(W& writer, const Uuid& id) {
+  writer.PutU64(id.hi());
+  writer.PutU64(id.lo());
+}
 bool DecodeUuid(BinaryReader& reader, Uuid* out);
-void EncodeTxnId(BinaryWriter& writer, const TxnId& id);
+
+template <typename W>
+void EncodeTxnId(W& writer, const TxnId& id) {
+  writer.PutI64(id.timestamp);
+  EncodeUuid(writer, id.uuid);
+}
 bool DecodeTxnId(BinaryReader& reader, TxnId* out);
-void EncodeStatus(BinaryWriter& writer, const Status& status);
+
+template <typename W>
+void EncodeStatus(W& writer, const Status& status) {
+  writer.PutU8(static_cast<uint8_t>(status.code()));
+  writer.PutString(status.message());
+}
 bool DecodeStatus(BinaryReader& reader, Status* out);
-void EncodeVersionedRead(BinaryWriter& writer, const AftNode::VersionedRead& read);
+
+template <typename W>
+void EncodeVersionedRead(W& writer, const AftNode::VersionedRead& read) {
+  writer.PutU8(read.value.has_value() ? 1 : 0);
+  if (read.value.has_value()) {
+    writer.PutString(*read.value);
+  }
+  EncodeTxnId(writer, read.version);
+  // The commit record rides along so harness-style clients can audit read
+  // atomicity remotely; absent for NULL-version and write-buffer reads.
+  writer.PutU8(read.record != nullptr ? 1 : 0);
+  if (read.record != nullptr) {
+    writer.PutString(read.record->Serialize());
+  }
+}
 bool DecodeVersionedRead(BinaryReader& reader, AftNode::VersionedRead* out);
 
 // ---- Requests --------------------------------------------------------------
+// `Serialize()` returns the legacy flat string; `SerializeTo(ArenaWriter&)`
+// appends the identical bytes into arena segments (the transport hot path —
+// the frame layer sends the segments via writev, nothing is coalesced).
 
 struct StartTxnRequest {
   std::string Serialize() const;
-  static Result<StartTxnRequest> Deserialize(const std::string& bytes);
+  void SerializeTo(ArenaWriter& writer) const;
+  static Result<StartTxnRequest> Deserialize(std::string_view bytes);
 };
 
 struct AdoptTxnRequest {
   Uuid txid;
   std::string Serialize() const;
-  static Result<AdoptTxnRequest> Deserialize(const std::string& bytes);
+  void SerializeTo(ArenaWriter& writer) const;
+  static Result<AdoptTxnRequest> Deserialize(std::string_view bytes);
 };
 
 struct GetRequest {
   Uuid txid;
   std::string key;
   std::string Serialize() const;
-  static Result<GetRequest> Deserialize(const std::string& bytes);
+  void SerializeTo(ArenaWriter& writer) const;
+  static Result<GetRequest> Deserialize(std::string_view bytes);
 };
 
 struct MultiGetRequest {
   Uuid txid;
   std::vector<std::string> keys;
   std::string Serialize() const;
-  static Result<MultiGetRequest> Deserialize(const std::string& bytes);
+  void SerializeTo(ArenaWriter& writer) const;
+  static Result<MultiGetRequest> Deserialize(std::string_view bytes);
 };
 
 struct PutRequest {
@@ -71,26 +112,30 @@ struct PutRequest {
   std::string key;
   std::string value;
   std::string Serialize() const;
-  static Result<PutRequest> Deserialize(const std::string& bytes);
+  void SerializeTo(ArenaWriter& writer) const;
+  static Result<PutRequest> Deserialize(std::string_view bytes);
 };
 
 struct PutBatchRequest {
   Uuid txid;
   std::vector<WriteOp> ops;
   std::string Serialize() const;
-  static Result<PutBatchRequest> Deserialize(const std::string& bytes);
+  void SerializeTo(ArenaWriter& writer) const;
+  static Result<PutBatchRequest> Deserialize(std::string_view bytes);
 };
 
 struct CommitRequest {
   Uuid txid;
   std::string Serialize() const;
-  static Result<CommitRequest> Deserialize(const std::string& bytes);
+  void SerializeTo(ArenaWriter& writer) const;
+  static Result<CommitRequest> Deserialize(std::string_view bytes);
 };
 
 struct AbortRequest {
   Uuid txid;
   std::string Serialize() const;
-  static Result<AbortRequest> Deserialize(const std::string& bytes);
+  void SerializeTo(ArenaWriter& writer) const;
+  static Result<AbortRequest> Deserialize(std::string_view bytes);
 };
 
 // Inter-node commit multicast (§4.1): a batch of commit records, each nested
@@ -98,73 +143,84 @@ struct AbortRequest {
 struct ApplyCommitsRequest {
   std::vector<CommitRecordPtr> records;
   std::string Serialize() const;
-  static Result<ApplyCommitsRequest> Deserialize(const std::string& bytes);
+  void SerializeTo(ArenaWriter& writer) const;
+  static Result<ApplyCommitsRequest> Deserialize(std::string_view bytes);
 };
 
 struct PingRequest {
   std::string Serialize() const;
-  static Result<PingRequest> Deserialize(const std::string& bytes);
+  void SerializeTo(ArenaWriter& writer) const;
+  static Result<PingRequest> Deserialize(std::string_view bytes);
 };
 
 // Metrics scrape: the server answers with its registry's Prometheus text
 // exposition (see docs/OBSERVABILITY.md for the families).
 struct GetMetricsRequest {
   std::string Serialize() const;
-  static Result<GetMetricsRequest> Deserialize(const std::string& bytes);
+  void SerializeTo(ArenaWriter& writer) const;
+  static Result<GetMetricsRequest> Deserialize(std::string_view bytes);
 };
 
 // ---- Responses -------------------------------------------------------------
-// Each Serialize() takes the call's Status; Deserialize returns the DECODED
-// status when the frame itself was well-formed (the body is engaged only on
-// OK) and a decode error Status when it was not.
+// Each Serialize()/SerializeTo() takes the call's Status; Deserialize returns
+// the DECODED status when the frame itself was well-formed (the body is
+// engaged only on OK) and a decode error Status when it was not.
 
 struct StartTxnResponse {
   Uuid txid;
   std::string Serialize(const Status& status) const;
-  static Result<StartTxnResponse> Deserialize(const std::string& bytes);
+  void SerializeTo(ArenaWriter& writer, const Status& status) const;
+  static Result<StartTxnResponse> Deserialize(std::string_view bytes);
 };
 
 struct GetResponse {
   AftNode::VersionedRead read;
   std::string Serialize(const Status& status) const;
-  static Result<GetResponse> Deserialize(const std::string& bytes);
+  void SerializeTo(ArenaWriter& writer, const Status& status) const;
+  static Result<GetResponse> Deserialize(std::string_view bytes);
 };
 
 struct MultiGetResponse {
   std::vector<AftNode::VersionedRead> reads;
   std::string Serialize(const Status& status) const;
-  static Result<MultiGetResponse> Deserialize(const std::string& bytes);
+  void SerializeTo(ArenaWriter& writer, const Status& status) const;
+  static Result<MultiGetResponse> Deserialize(std::string_view bytes);
 };
 
 struct CommitResponse {
   TxnId id;
   std::string Serialize(const Status& status) const;
-  static Result<CommitResponse> Deserialize(const std::string& bytes);
+  void SerializeTo(ArenaWriter& writer, const Status& status) const;
+  static Result<CommitResponse> Deserialize(std::string_view bytes);
 };
 
 struct ApplyCommitsResponse {
   uint64_t applied = 0;
   std::string Serialize(const Status& status) const;
-  static Result<ApplyCommitsResponse> Deserialize(const std::string& bytes);
+  void SerializeTo(ArenaWriter& writer, const Status& status) const;
+  static Result<ApplyCommitsResponse> Deserialize(std::string_view bytes);
 };
 
 struct PingResponse {
   std::string node_id;
   std::string Serialize(const Status& status) const;
-  static Result<PingResponse> Deserialize(const std::string& bytes);
+  void SerializeTo(ArenaWriter& writer, const Status& status) const;
+  static Result<PingResponse> Deserialize(std::string_view bytes);
 };
 
 struct GetMetricsResponse {
   std::string text;  // Prometheus exposition format 0.0.4.
   std::string Serialize(const Status& status) const;
-  static Result<GetMetricsResponse> Deserialize(const std::string& bytes);
+  void SerializeTo(ArenaWriter& writer, const Status& status) const;
+  static Result<GetMetricsResponse> Deserialize(std::string_view bytes);
 };
 
 // Status-only reply (AdoptTxn, Put, PutBatch, Abort). `Deserialize` returns
 // the decoded status itself — kInternal with a "malformed" message on
 // garbage bytes.
 std::string SerializeEmptyResponse(const Status& status);
-Status DeserializeEmptyResponse(const std::string& bytes);
+void SerializeEmptyResponseTo(ArenaWriter& writer, const Status& status);
+Status DeserializeEmptyResponse(std::string_view bytes);
 
 }  // namespace net
 }  // namespace aft

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <map>
 #include <unordered_map>
 
@@ -58,12 +59,16 @@ struct AftServiceServer::EventConnection {
   std::atomic<bool> closed{false};
 
   Mutex mu;
-  // Next seq to append to outbuf: responses leave in request order even when
-  // handlers finish out of order.
+  // Next seq to enter the wire queue: responses leave in request order even
+  // when handlers finish out of order.
   uint64_t next_send_seq GUARDED_BY(mu) = 0;
-  std::map<uint64_t, std::string> out_of_order GUARDED_BY(mu);
-  std::string outbuf GUARDED_BY(mu);
-  size_t outbuf_off GUARDED_BY(mu) = 0;
+  std::map<uint64_t, FrameBytes> out_of_order GUARDED_BY(mu);
+  // Sealed response frames awaiting the socket. Frames keep their payload in
+  // arena segments end to end — the flush path gathers header + segments into
+  // one writev, so response bytes are never coalesced into a flat buffer.
+  std::deque<FrameBytes> outq GUARDED_BY(mu);
+  size_t outq_off GUARDED_BY(mu) = 0;   // bytes of outq.front() already sent
+  size_t out_bytes GUARDED_BY(mu) = 0;  // total un-sent bytes across outq
 };
 
 struct AftServiceServer::EventLoop {
@@ -309,13 +314,14 @@ void AftServiceServer::ServeConnection(Connection* conn) {
       break;  // A client sending response frames is not speaking the protocol.
     }
     bool bad_frame = false;
-    const std::string response =
-        HandleRequest(frame->type, frame->payload, frame->trace_id, &bad_frame);
+    ArenaWriter response;
+    HandleRequest(frame->type, frame->payload, frame->trace_id, &bad_frame, response);
     if (bad_frame) {
       stats_.bad_frames.fetch_add(1, std::memory_order_relaxed);
     }
     stats_.requests_served.fetch_add(1, std::memory_order_relaxed);
-    if (!WriteFrame(conn->socket, ResponseType(frame->type), response).ok()) {
+    auto sealed = SealFrame(ResponseType(frame->type), std::move(response).TakeBuffer());
+    if (!sealed.ok() || !WriteFrameBytes(conn->socket, *sealed).ok()) {
       break;
     }
   }
@@ -588,12 +594,17 @@ void AftServiceServer::DispatchRequest(const std::shared_ptr<EventConnection>& c
   }
   auto task = [this, conn, seq, type, trace_id, payload = std::move(payload)]() mutable {
     bool bad_frame = false;
-    const std::string response = HandleRequest(type, payload, trace_id, &bad_frame);
+    ArenaWriter response;
+    HandleRequest(type, payload, trace_id, &bad_frame, response);
     if (bad_frame) {
       stats_.bad_frames.fetch_add(1, std::memory_order_relaxed);
     }
     stats_.requests_served.fetch_add(1, std::memory_order_relaxed);
-    QueueResponse(conn, seq, EncodeFrame(ResponseType(type), response));
+    // Seal can only fail on a >64 MiB response, which no handler produces;
+    // ship an empty-payload frame of the right type if it ever does, so the
+    // sequencing chain never stalls waiting on a hole.
+    auto sealed = SealFrame(ResponseType(type), std::move(response).TakeBuffer());
+    QueueResponse(conn, seq, sealed.ok() ? std::move(*sealed) : FrameBytes());
     MutexLock lock(inflight_mu_);
     if (--inflight_ == 0) {
       inflight_cv_.NotifyAll();
@@ -607,19 +618,21 @@ void AftServiceServer::DispatchRequest(const std::shared_ptr<EventConnection>& c
 }
 
 void AftServiceServer::QueueResponse(const std::shared_ptr<EventConnection>& conn, uint64_t seq,
-                                     std::string bytes) {
+                                     FrameBytes frame) {
   bool appended = false;
   {
     MutexLock lock(conn->mu);
-    conn->out_of_order[seq] = std::move(bytes);
-    // Drain the run of consecutive ready responses into the wire buffer —
-    // this is the FIFO re-sequencing point.
+    conn->out_of_order[seq] = std::move(frame);
+    // Drain the run of consecutive ready responses into the wire queue —
+    // this is the FIFO re-sequencing point. Frames MOVE (header + segment
+    // pointers); no response byte is copied here.
     while (true) {
       auto it = conn->out_of_order.find(conn->next_send_seq);
       if (it == conn->out_of_order.end()) {
         break;
       }
-      conn->outbuf.append(it->second);
+      conn->out_bytes += it->second.size();
+      conn->outq.push_back(std::move(it->second));
       conn->out_of_order.erase(it);
       ++conn->next_send_seq;
       appended = true;
@@ -640,24 +653,35 @@ bool AftServiceServer::FlushEventConnection(EventLoop* /*loop*/,
                                             const std::shared_ptr<EventConnection>& conn) {
   MutexLock lock(conn->mu);
   // aftlint: hot
-  while (conn->outbuf_off < conn->outbuf.size()) {
-    auto sent = conn->socket.SendSome(conn->outbuf.data() + conn->outbuf_off,
-                                      conn->outbuf.size() - conn->outbuf_off);
+  while (!conn->outq.empty()) {
+    // Gather up to 64 spans across the queued frames into one writev: each
+    // frame contributes its header block plus its payload segments, straight
+    // from the arena — no coalescing copy on the way out.
+    struct iovec iov[64];
+    size_t count = 0;
+    size_t skip = conn->outq_off;
+    for (const FrameBytes& frame : conn->outq) {
+      if (count >= 64) {
+        break;
+      }
+      count += FillFrameIovecs(frame, skip, iov + count, 64 - count);
+      skip = 0;
+    }
+    auto sent = conn->socket.SendSomeV(iov, count);
     if (!sent.ok()) {
       if (sent.status().code() == StatusCode::kTimeout) {
         break;  // Kernel buffer full; EPOLLOUT will resume us.
       }
       return false;
     }
-    conn->outbuf_off += *sent;
+    conn->out_bytes -= *sent;
+    conn->outq_off += *sent;
+    while (!conn->outq.empty() && conn->outq_off >= conn->outq.front().size()) {
+      conn->outq_off -= conn->outq.front().size();
+      conn->outq.pop_front();  // Frame done; its segments return to the pool.
+    }
   }
-  if (conn->outbuf_off == conn->outbuf.size()) {
-    conn->outbuf.clear();
-    conn->outbuf_off = 0;
-    conn->want_write = false;
-  } else {
-    conn->want_write = true;
-  }
+  conn->want_write = !conn->outq.empty();
   return true;
 }
 
@@ -670,7 +694,7 @@ void AftServiceServer::UpdateInterest(EventLoop* loop,
   uint64_t sequenced;
   {
     MutexLock lock(conn->mu);
-    pending_bytes = conn->outbuf.size() - conn->outbuf_off;
+    pending_bytes = conn->out_bytes;
     sequenced = conn->next_send_seq;
   }
   const uint64_t depth = conn->next_dispatch_seq - sequenced;
@@ -716,8 +740,8 @@ void AftServiceServer::CloseEventConnection(EventLoop* loop,
   }
 }
 
-std::string AftServiceServer::HandleRequest(MessageType type, const std::string& payload,
-                                            uint64_t trace_id, bool* bad_frame) {
+void AftServiceServer::HandleRequest(MessageType type, const std::string& payload,
+                                     uint64_t trace_id, bool* bad_frame, ArenaWriter& out) {
   const InflightGuard inflight(requests_inflight_);
   const uint8_t type_index = static_cast<uint8_t>(type);
   obs::ScopedHistogramTimer rpc_timer(
@@ -730,7 +754,8 @@ std::string AftServiceServer::HandleRequest(MessageType type, const std::string&
       auto request = StartTxnRequest::Deserialize(payload);
       if (!request.ok()) {
         *bad_frame = true;
-        return SerializeEmptyResponse(request.status());
+        SerializeEmptyResponseTo(out, request.status());
+        return;
       }
       // Adopt the client-minted trace context (0 = unsampled) so the
       // transaction's server-side lifecycle joins the client's trace.
@@ -739,91 +764,108 @@ std::string AftServiceServer::HandleRequest(MessageType type, const std::string&
       if (txid.ok()) {
         response.txid = *txid;
       }
-      return response.Serialize(txid.status());
+      response.SerializeTo(out, txid.status());
+      return;
     }
     case MessageType::kAdoptTxn: {
       auto request = AdoptTxnRequest::Deserialize(payload);
       if (!request.ok()) {
         *bad_frame = true;
-        return SerializeEmptyResponse(request.status());
+        SerializeEmptyResponseTo(out, request.status());
+        return;
       }
-      return SerializeEmptyResponse(node_.AdoptTransaction(request->txid));
+      SerializeEmptyResponseTo(out, node_.AdoptTransaction(request->txid));
+      return;
     }
     case MessageType::kGet: {
       auto request = GetRequest::Deserialize(payload);
       if (!request.ok()) {
         *bad_frame = true;
-        return SerializeEmptyResponse(request.status());
+        SerializeEmptyResponseTo(out, request.status());
+        return;
       }
       auto read = node_.GetVersioned(request->txid, request->key);
       GetResponse response;
       if (read.ok()) {
         response.read = std::move(read).value();
       }
-      return response.Serialize(read.status());
+      response.SerializeTo(out, read.status());
+      return;
     }
     case MessageType::kMultiGet: {
       auto request = MultiGetRequest::Deserialize(payload);
       if (!request.ok()) {
         *bad_frame = true;
-        return SerializeEmptyResponse(request.status());
+        SerializeEmptyResponseTo(out, request.status());
+        return;
       }
       auto reads = node_.MultiGet(request->txid, request->keys);
       MultiGetResponse response;
       if (reads.ok()) {
         response.reads = std::move(reads).value();
       }
-      return response.Serialize(reads.status());
+      response.SerializeTo(out, reads.status());
+      return;
     }
     case MessageType::kPut: {
       auto request = PutRequest::Deserialize(payload);
       if (!request.ok()) {
         *bad_frame = true;
-        return SerializeEmptyResponse(request.status());
+        SerializeEmptyResponseTo(out, request.status());
+        return;
       }
-      return SerializeEmptyResponse(
-          node_.Put(request->txid, request->key, std::move(request->value)));
+      SerializeEmptyResponseTo(out,
+                               node_.Put(request->txid, request->key, std::move(request->value)));
+      return;
     }
     case MessageType::kPutBatch: {
       auto request = PutBatchRequest::Deserialize(payload);
       if (!request.ok()) {
         *bad_frame = true;
-        return SerializeEmptyResponse(request.status());
+        SerializeEmptyResponseTo(out, request.status());
+        return;
       }
       for (WriteOp& op : request->ops) {
         const Status status = node_.Put(request->txid, op.key, std::move(op.value));
         if (!status.ok()) {
-          return SerializeEmptyResponse(status);
+          SerializeEmptyResponseTo(out, status);
+          return;
         }
       }
-      return SerializeEmptyResponse(Status::Ok());
+      SerializeEmptyResponseTo(out, Status::Ok());
+      return;
     }
     case MessageType::kCommit: {
       auto request = CommitRequest::Deserialize(payload);
       if (!request.ok()) {
         *bad_frame = true;
-        return SerializeEmptyResponse(request.status());
+        SerializeEmptyResponseTo(out, request.status());
+        return;
       }
       auto id = node_.CommitTransaction(request->txid);
       CommitResponse response;
       if (id.ok()) {
         response.id = *id;
       }
-      return response.Serialize(id.status());
+      response.SerializeTo(out, id.status());
+      return;
     }
     case MessageType::kAbort: {
       auto request = AbortRequest::Deserialize(payload);
       if (!request.ok()) {
         *bad_frame = true;
-        return SerializeEmptyResponse(request.status());
+        SerializeEmptyResponseTo(out, request.status());
+        return;
       }
-      return SerializeEmptyResponse(node_.AbortTransaction(request->txid));
+      SerializeEmptyResponseTo(out, node_.AbortTransaction(request->txid));
+      return;
     }
     case MessageType::kApplyCommits: {
       auto request = ApplyCommitsRequest::Deserialize(payload);
       if (!request.ok()) {
         *bad_frame = true;
-        return SerializeEmptyResponse(request.status());
+        SerializeEmptyResponseTo(out, request.status());
+        return;
       }
       {
         obs::TraceSpan span(obs::TraceContext{trace_id}, "RemoteApply", node_.node_id());
@@ -832,35 +874,41 @@ std::string AftServiceServer::HandleRequest(MessageType type, const std::string&
       }
       ApplyCommitsResponse response;
       response.applied = request->records.size();
-      return response.Serialize(Status::Ok());
+      response.SerializeTo(out, Status::Ok());
+      return;
     }
     case MessageType::kGetMetrics: {
       auto request = GetMetricsRequest::Deserialize(payload);
       if (!request.ok()) {
         *bad_frame = true;
-        return SerializeEmptyResponse(request.status());
+        SerializeEmptyResponseTo(out, request.status());
+        return;
       }
       GetMetricsResponse response;
       response.text = obs::MetricsRegistry::Global().Exposition();
-      return response.Serialize(Status::Ok());
+      response.SerializeTo(out, Status::Ok());
+      return;
     }
     case MessageType::kPing: {
       auto request = PingRequest::Deserialize(payload);
       if (!request.ok()) {
         *bad_frame = true;
-        return SerializeEmptyResponse(request.status());
+        SerializeEmptyResponseTo(out, request.status());
+        return;
       }
       PingResponse response;
       response.node_id = node_.node_id();
       const Status status = node_.alive()
           ? Status::Ok()
           : Status::Unavailable("aft node " + node_.node_id() + " is down");
-      return response.Serialize(status);
+      response.SerializeTo(out, status);
+      return;
     }
     default:
       *bad_frame = true;
-      return SerializeEmptyResponse(Status::InvalidArgument(
+      SerializeEmptyResponseTo(out, Status::InvalidArgument(
           "unhandled message type " + std::to_string(static_cast<int>(type))));
+      return;
   }
 }
 

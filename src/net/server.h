@@ -151,10 +151,11 @@ class AftServiceServer {
 
   void AcceptLoop();
   void ServeConnection(Connection* conn);
-  // Decodes + dispatches one request, returns the response payload (encoded
-  // status + body) or an error when the connection must be dropped.
-  std::string HandleRequest(MessageType type, const std::string& payload, uint64_t trace_id,
-                            bool* bad_frame);
+  // Decodes + dispatches one request; the response payload (encoded status +
+  // body) is appended into `out` as arena segments — the frame layer sends
+  // them with writev, no flat-string coalescing on the response path.
+  void HandleRequest(MessageType type, const std::string& payload, uint64_t trace_id,
+                     bool* bad_frame, ArenaWriter& out);
   // Joins finished handler threads / reaps closed event connections (called
   // opportunistically per accept).
   void ReapFinished();
@@ -171,7 +172,7 @@ class AftServiceServer {
   void DispatchRequest(const std::shared_ptr<EventConnection>& conn, uint64_t seq,
                        MessageType type, std::string payload, uint64_t trace_id);
   void QueueResponse(const std::shared_ptr<EventConnection>& conn, uint64_t seq,
-                     std::string bytes);
+                     FrameBytes frame);
   // Returns false when the connection died mid-flush.
   bool FlushEventConnection(EventLoop* loop, const std::shared_ptr<EventConnection>& conn);
   void UpdateInterest(EventLoop* loop, const std::shared_ptr<EventConnection>& conn);

@@ -155,6 +155,78 @@ Result<size_t> Socket::SendSome(const char* data, size_t len) {
   }
 }
 
+Result<size_t> Socket::SendSomeV(const struct iovec* iov, size_t iovcnt) {
+  if (!valid()) {
+    return Status::Unavailable("send on closed socket");
+  }
+  if (iovcnt > IOV_MAX) {
+    iovcnt = IOV_MAX;
+  }
+  msghdr msg{};
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = iovcnt;
+  while (true) {
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n >= 0) {
+      return static_cast<size_t>(n);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Timeout("send would block");
+    }
+    if (errno == EPIPE || errno == ECONNRESET || errno == ENOTCONN) {
+      return Status::Unavailable(Errno("peer closed connection"));
+    }
+    return Status::Internal(Errno("sendmsg"));
+  }
+}
+
+Status Socket::SendAllV(const struct iovec* iov, size_t iovcnt) {
+  size_t index = 0;   // first iovec not fully sent
+  size_t offset = 0;  // bytes of iov[index] already sent
+  while (index < iovcnt) {
+    // Window of unsent iovecs, the first adjusted for the partial send.
+    struct iovec window[64];
+    size_t wcount = 0;
+    for (size_t i = index; i < iovcnt && wcount < 64; ++i, ++wcount) {
+      window[wcount] = iov[i];
+      if (i == index) {
+        window[wcount].iov_base = static_cast<char*>(window[wcount].iov_base) + offset;
+        window[wcount].iov_len -= offset;
+      }
+    }
+    auto sent = SendSomeV(window, wcount);
+    if (!sent.ok()) {
+      if (sent.status().code() == StatusCode::kTimeout) {
+        // Blocking-socket deadline (SO_SNDTIMEO): same mapping as SendAll.
+        return Status::Timeout("send deadline exceeded");
+      }
+      return sent.status();
+    }
+    size_t n = *sent;
+    while (n > 0 && index < iovcnt) {
+      const size_t left = iov[index].iov_len - offset;
+      if (n < left) {
+        offset += n;
+        n = 0;
+      } else {
+        n -= left;
+        ++index;
+        offset = 0;
+      }
+    }
+    // Step over exhausted (including zero-length) iovecs so the next window
+    // always starts with real bytes — a window of empties would spin forever.
+    while (index < iovcnt && offset == iov[index].iov_len) {
+      ++index;
+      offset = 0;
+    }
+  }
+  return Status::Ok();
+}
+
 Status Socket::SetNonBlocking(bool enabled) {
   const int flags = fcntl(fd_, F_GETFL, 0);
   if (flags < 0) {

@@ -14,6 +14,8 @@
 #ifndef SRC_NET_SOCKET_H_
 #define SRC_NET_SOCKET_H_
 
+#include <sys/uio.h>
+
 #include <cstdint>
 #include <string>
 
@@ -67,6 +69,16 @@ class Socket {
   //   * kInternal     — anything else.
   Result<size_t> RecvSome(char* data, size_t len);
   Result<size_t> SendSome(const char* data, size_t len);
+
+  // Scatter-gather variants (sendmsg with MSG_NOSIGNAL): the zero-copy path
+  // hands frame header + arena payload segments to the kernel as iovecs, so
+  // a multi-segment frame costs one syscall and no coalescing copy.
+  // SendSomeV is the single-shot non-blocking form (same error mapping as
+  // SendSome); SendAllV loops until every byte of every iovec is out,
+  // windowing past the kernel's per-call IOV_MAX. Both clamp `iovcnt`
+  // internally; SendAllV does not modify the caller's array.
+  Result<size_t> SendSomeV(const struct iovec* iov, size_t iovcnt);
+  Status SendAllV(const struct iovec* iov, size_t iovcnt);
 
   // Switches the fd between blocking (the default) and non-blocking mode.
   Status SetNonBlocking(bool enabled);

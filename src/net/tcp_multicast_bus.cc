@@ -112,7 +112,7 @@ void TcpMulticastBus::KillEndpoint(const AftNode* node) {
   peer->connected = false;
 }
 
-Status TcpMulticastBus::DeliverTo(Peer& peer, const std::string& request, uint64_t trace_id) {
+Status TcpMulticastBus::DeliverTo(Peer& peer, const FrameBytes& frame) {
   MutexLock lock(peer.send_mu);
   if (!peer.connected) {
     auto socket = TcpConnect(peer.server->endpoint(), options_.connect_timeout);
@@ -125,7 +125,7 @@ Status TcpMulticastBus::DeliverTo(Peer& peer, const std::string& request, uint64
     (void)peer.socket.SetRecvTimeout(options_.rpc_timeout);
     peer.connected = true;
   }
-  Status status = WriteFrame(peer.socket, MessageType::kApplyCommits, request, trace_id);
+  Status status = WriteFrameBytes(peer.socket, frame);
   if (status.ok()) {
     auto frame = ReadFrame(peer.socket);
     if (!frame.ok()) {
@@ -160,7 +160,13 @@ void TcpMulticastBus::RunOnce() {
   // which must see every commit.
   struct Outgoing {
     Peer* sender;
-    std::vector<CommitRecordPtr> records;
+    size_t record_count = 0;
+    // The sender's pruned stream pre-encoded ONCE as the length-prefixed
+    // record sequence of the ApplyCommits body (everything after the leading
+    // count). Receivers share these bytes: a per-receiver payload is the
+    // total count plus the other senders' chunks, so each record is encoded
+    // exactly once per round no matter how many peers receive it.
+    std::string chunk;
     // First sampled trace among the drained commits (0 = none): carried on
     // the coalesced frame so the remote apply joins the commit's trace.
     obs::TraceContext trace;
@@ -188,17 +194,23 @@ void TcpMulticastBus::RunOnce() {
     metrics_.records_broadcast->Increment(out.size());
     metrics_.records_pruned->Increment(unpruned.size() - out.size());
     if (!out.empty()) {
-      outgoing.push_back(Outgoing{sender.get(), std::move(out), trace});
+      BinaryWriter chunk;
+      for (const CommitRecordPtr& record : out) {
+        chunk.PutString(record->Serialize());
+      }
+      outgoing.push_back(Outgoing{sender.get(), out.size(), std::move(chunk).TakeData(), trace});
     }
   }
   if (outgoing.empty()) {
     return;
   }
   // Phase 2 — coalesce per receiver: every other sender's pruned stream in
-  // one batched ApplyCommits frame, encoded once per receiver.
+  // one batched ApplyCommits frame. The per-sender chunks were encoded in
+  // phase 1; assembling a receiver's payload is a count prefix plus chunk
+  // appends into arena segments — no record is re-serialized here.
   struct Delivery {
     std::shared_ptr<Peer> receiver;
-    std::string payload;
+    FrameBytes frame;
     size_t record_count = 0;
     obs::TraceContext trace;
   };
@@ -207,22 +219,41 @@ void TcpMulticastBus::RunOnce() {
     if (!receiver->node->alive()) {
       continue;
     }
-    ApplyCommitsRequest request;
+    size_t record_count = 0;
     obs::TraceContext trace;
     for (const Outgoing& out : outgoing) {
       if (out.sender == receiver.get()) {
         continue;
       }
-      request.records.insert(request.records.end(), out.records.begin(), out.records.end());
+      record_count += out.record_count;
       if (!trace.sampled()) {
         trace = out.trace;
       }
     }
-    if (request.records.empty()) {
+    if (record_count == 0) {
       continue;
     }
-    metrics_.batch_records->Observe(static_cast<double>(request.records.size()));
-    deliveries.push_back(Delivery{receiver, request.Serialize(), request.records.size(), trace});
+    ArenaWriter payload;
+    payload.PutU32(static_cast<uint32_t>(record_count));
+    for (const Outgoing& out : outgoing) {
+      if (out.sender != receiver.get()) {
+        payload.PutBytes(out.chunk.data(), out.chunk.size());
+      }
+    }
+    auto sealed = SealFrame(MessageType::kApplyCommits, std::move(payload).TakeBuffer(),
+                            trace.trace_id);
+    if (!sealed.ok()) {
+      // Only reachable past the 64 MiB frame cap; the records stay queued on
+      // no one (same no-retry contract as a failed delivery — §4.2's storage
+      // scan is the recovery path).
+      stats_.delivery_errors.fetch_add(1, std::memory_order_relaxed);
+      metrics_.delivery_errors->Increment();
+      AFT_LOG(Warn) << "tcp bus: cannot seal gossip frame for "
+                    << receiver->node->node_id() << ": " << sealed.status().ToString();
+      continue;
+    }
+    metrics_.batch_records->Observe(static_cast<double>(record_count));
+    deliveries.push_back(Delivery{receiver, std::move(*sealed), record_count, trace});
   }
   if (deliveries.empty()) {
     return;
@@ -236,8 +267,7 @@ void TcpMulticastBus::RunOnce() {
     Delivery& delivery = deliveries[i];
     obs::TraceSpan span(delivery.trace, "GossipBroadcast", delivery.receiver->node->node_id());
     span.AddArg("records", std::to_string(delivery.record_count));
-    const Status delivered = DeliverTo(*delivery.receiver, delivery.payload,
-                                       delivery.trace.trace_id);
+    const Status delivered = DeliverTo(*delivery.receiver, delivery.frame);
     if (!delivered.ok()) {
       stats_.delivery_errors.fetch_add(1, std::memory_order_relaxed);
       metrics_.delivery_errors->Increment();

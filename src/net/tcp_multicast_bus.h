@@ -85,10 +85,11 @@ class TcpMulticastBus : public MulticastBus {
     bool connected GUARDED_BY(send_mu) = false;
   };
 
-  // Sends one ApplyCommits RPC to `peer`'s server and awaits the ack.
-  // Serialized per peer under peer.send_mu. A non-zero `trace_id` rides the
-  // frame header so the receiver's RemoteApply span joins the trace.
-  Status DeliverTo(Peer& peer, const std::string& request, uint64_t trace_id);
+  // Sends one sealed ApplyCommits frame to `peer`'s server and awaits the
+  // ack. Serialized per peer under peer.send_mu. The trace id (if any) was
+  // baked into the frame at seal time so the receiver's RemoteApply span
+  // joins the trace.
+  Status DeliverTo(Peer& peer, const FrameBytes& frame);
 
   const TcpMulticastBusOptions options_;
 

@@ -23,6 +23,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -110,11 +111,14 @@ class Tracer {
 // destruction. All methods are no-ops when the context is not sampled.
 class TraceSpan {
  public:
-  TraceSpan(const TraceContext& ctx, std::string name, std::string node = "")
+  // Views, not strings: an unsampled span must not copy its name — commit
+  // spans run once per transaction and some names outgrow the small-string
+  // buffer. The strings are materialized only on the sampled path.
+  TraceSpan(const TraceContext& ctx, std::string_view name, std::string_view node = {})
       : trace_id_(ctx.trace_id) {
     if (trace_id_ != 0) {
-      name_ = std::move(name);
-      node_ = std::move(node);
+      name_ = std::string(name);
+      node_ = std::string(node);
       start_us_ = Tracer::NowMicros();
     }
   }

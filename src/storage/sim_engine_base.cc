@@ -148,7 +148,7 @@ Result<std::string> SimEngineBase::GetRange(const std::string& key, uint64_t off
   return value->substr(offset, length);
 }
 
-Status SimEngineBase::Put(const std::string& key, const std::string& value) {
+Status SimEngineBase::Put(std::string key, std::string value) {
   counters_.puts.fetch_add(1, std::memory_order_relaxed);
   counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
   counters_.bytes_written.fetch_add(value.size(), std::memory_order_relaxed);
@@ -156,7 +156,7 @@ Status SimEngineBase::Put(const std::string& key, const std::string& value) {
   if (ShouldFail()) {
     return Status::Unavailable("transient storage error (injected)");
   }
-  map_.Put(key, value, clock_.Now());
+  map_.Put(std::move(key), std::move(value), clock_.Now());
   return Status::Ok();
 }
 
@@ -216,6 +216,53 @@ Status SimEngineBase::BatchPut(std::span<const WriteOp> ops) {
   return IoExecutor::Shared().ParallelFor(chunks, [this, ops, limit](size_t c) {
     const size_t start = c * limit;
     return PutBatchChunk(ops.subspan(start, std::min(limit, ops.size() - start)));
+  });
+}
+
+Status SimEngineBase::PutBatchChunkConsume(std::span<WriteOp> chunk) {
+  counters_.batch_puts.fetch_add(1, std::memory_order_relaxed);
+  counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
+  uint64_t bytes = 0;
+  for (const WriteOp& op : chunk) {
+    bytes += op.value.size();
+  }
+  counters_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  Charge(profile_.batch_base, bytes, op_latency_batch_);
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    Charge(profile_.batch_per_item);
+  }
+  if (ShouldFail()) {
+    return Status::Unavailable("transient storage error (injected)");
+  }
+  const TimePoint now = clock_.Now();
+  for (WriteOp& op : chunk) {
+    map_.Put(std::move(op.key), std::move(op.value), now);
+  }
+  return Status::Ok();
+}
+
+Status SimEngineBase::BatchPutConsume(std::span<WriteOp> ops) {
+  if (ops.empty()) {
+    return Status::Ok();
+  }
+  if (!SupportsBatchPut()) {
+    if (ops.size() == 1) {
+      // Inline fast path: the executor runs n==1 inline anyway, so skip its
+      // std::function wrapper. Still the virtual Put, so interception holds.
+      return Put(std::move(ops[0].key), std::move(ops[0].value));
+    }
+    return IoExecutor::Shared().ParallelFor(ops.size(), [this, ops](size_t i) {
+      return Put(std::move(ops[i].key), std::move(ops[i].value));
+    });
+  }
+  const size_t limit = MaxBatchSize();
+  if (ops.size() <= limit) {
+    return PutBatchChunkConsume(ops);
+  }
+  const size_t chunks = (ops.size() + limit - 1) / limit;
+  return IoExecutor::Shared().ParallelFor(chunks, [this, ops, limit](size_t c) {
+    const size_t start = c * limit;
+    return PutBatchChunkConsume(ops.subspan(start, std::min(limit, ops.size() - start)));
   });
 }
 

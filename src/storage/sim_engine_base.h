@@ -59,7 +59,7 @@ class SimEngineBase : public StorageEngine {
   // Concurrent per-key Gets on the shared IoExecutor (a real client fans
   // out parallel requests); k keys cost ~one get-latency sample, not k.
   std::vector<Result<std::string>> MultiGet(std::span<const std::string> keys) override;
-  Status Put(const std::string& key, const std::string& value) override;
+  Status Put(std::string key, std::string value) override;
   // Multi-op writes dispatch concurrently on the shared IoExecutor: engines
   // without a batch API issue per-key Puts in parallel, batch engines issue
   // their MaxBatchSize() chunks in parallel. Like the real APIs, the batch
@@ -67,6 +67,13 @@ class SimEngineBase : public StorageEngine {
   // parallel writes cannot be recalled) and the first error by op index is
   // returned.
   Status BatchPut(std::span<const WriteOp> ops) override;
+  // Consuming variant: identical charging and dispatch, but key/value move
+  // through into the backing map. Single-chunk batches skip the executor's
+  // std::function indirection entirely (the executor runs n==1 inline
+  // anyway), which keeps the commit flush allocation-free. Per-key dispatch
+  // still goes through the virtual Put so subclass interception (fault
+  // injection in tests) keeps working.
+  Status BatchPutConsume(std::span<WriteOp> ops) override;
   Status Delete(const std::string& key) override;
   Status BatchDelete(std::span<const std::string> keys) override;
   Result<std::vector<std::string>> List(const std::string& prefix) override;
@@ -103,6 +110,8 @@ class SimEngineBase : public StorageEngine {
 
   // One batched API call covering `chunk` (size <= MaxBatchSize()).
   Status PutBatchChunk(std::span<const WriteOp> chunk);
+  // Same charging, but moves each op's key/value into the backing map.
+  Status PutBatchChunkConsume(std::span<WriteOp> chunk);
   Status DeleteBatchChunk(std::span<const std::string> chunk);
 
   // The timestamp this read observes the store at: `Now()` for consistent

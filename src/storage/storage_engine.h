@@ -70,14 +70,25 @@ class StorageEngine {
   // of k.
   virtual std::vector<Result<std::string>> MultiGet(std::span<const std::string> keys);
 
-  // Durably writes `key = value`, overwriting any previous value.
-  virtual Status Put(const std::string& key, const std::string& value) = 0;
+  // Durably writes `key = value`, overwriting any previous value. Parameters
+  // are by-value: the storage boundary owns the bytes, so callers on the
+  // commit hot path move their buffers straight through into the engine
+  // instead of handing it strings to copy.
+  virtual Status Put(std::string key, std::string value) = 0;
 
   // Writes a set of keys. Engines with native batch support (DynamoDB)
   // charge one batched API call per MaxBatchSize() chunk; engines without
   // (S3, cluster-mode Redis across shards) degrade to sequential puts.
   // The batch is NOT atomic — exactly like BatchWriteItem.
   virtual Status BatchPut(std::span<const WriteOp> ops) = 0;
+
+  // BatchPut that consumes the ops: the engine may move each key/value out
+  // (the span's strings are left valid-but-unspecified). The commit flush
+  // path uses this so payload bytes transfer into the engine without a copy.
+  // The default copies via BatchPut for engines that do not care.
+  virtual Status BatchPutConsume(std::span<WriteOp> ops) {
+    return BatchPut(std::span<const WriteOp>(ops.data(), ops.size()));
+  }
 
   // Deletes `key`. Deleting a missing key is OK (idempotent).
   virtual Status Delete(const std::string& key) = 0;

@@ -22,13 +22,13 @@ const VersionedMap::Shard& VersionedMap::ShardFor(const std::string& key) const 
   return *shards_[std::hash<std::string>{}(key) % shards_.size()];
 }
 
-void VersionedMap::Put(const std::string& key, const std::string& value, TimePoint now) {
+void VersionedMap::Put(std::string key, std::string value, TimePoint now) {
   Shard& shard = ShardFor(key);
   MutexLock lock(shard.mu);
-  auto& history = shard.data[key];
-  history.push_back(Entry{value, now});
-  if (history.size() > history_depth_) {
-    history.erase(history.begin(), history.end() - static_cast<long>(history_depth_));
+  auto& history = shard.data[std::move(key)];
+  history.push_back(Entry{std::move(value), now});
+  while (history.size() > history_depth_) {
+    history.erase(history.begin());
   }
 }
 
@@ -80,8 +80,8 @@ void VersionedMap::Delete(const std::string& key, TimePoint now) {
     return;
   }
   it->second.push_back(Entry{std::nullopt, now});
-  if (it->second.size() > history_depth_) {
-    it->second.erase(it->second.begin(), it->second.end() - static_cast<long>(history_depth_));
+  while (it->second.size() > history_depth_) {
+    it->second.erase(it->second.begin());
   }
   // If the whole history is tombstones we can drop the key eagerly; this
   // keeps List() and memory usage honest for GC-heavy workloads.

@@ -19,6 +19,8 @@
 
 #include "src/common/clock.h"
 #include "src/common/mutex.h"
+#include "src/common/pool_allocator.h"
+#include "src/common/small_vector.h"
 
 namespace aft {
 
@@ -40,8 +42,10 @@ class VersionedMap {
   // version list used for stale reads.
   explicit VersionedMap(size_t num_shards = 16, size_t history_depth = 8);
 
-  // Writes `key = value` at time `now`.
-  void Put(const std::string& key, const std::string& value, TimePoint now);
+  // Writes `key = value` at time `now`. By-value: hot callers move exact-
+  // sized buffers straight into the map (a fresh key's string and first
+  // history entry land inline / pooled without a copy).
+  void Put(std::string key, std::string value, TimePoint now);
 
   // Returns the value visible at time `as_of` (the newest entry written at
   // or before `as_of`); nullopt if the key did not exist then. `was_stale`
@@ -71,9 +75,16 @@ class VersionedMap {
     std::optional<std::string> value;  // nullopt == tombstone.
     TimePoint write_time;
   };
+  // AFT's own data never overwrites a key (§3.3), so the history of almost
+  // every key is exactly one entry — stored inline in the map node. Tree
+  // nodes recycle through a per-shard pool, so steady-state Put/Delete churn
+  // stops hitting the global heap.
+  using History = SmallVector<Entry, 1>;
+  using ShardMap = std::map<std::string, History, std::less<>,
+                            PoolAllocator<std::pair<const std::string, History>>>;
   struct Shard {
     mutable Mutex mu;
-    std::map<std::string, std::vector<Entry>> data GUARDED_BY(mu);
+    ShardMap data GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const std::string& key);

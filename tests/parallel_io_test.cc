@@ -162,7 +162,7 @@ class RendezvousEngine final : public PerKeyEngine {
  public:
   RendezvousEngine(Clock& clock, size_t expected) : PerKeyEngine(clock), expected_(expected) {}
 
-  Status Put(const std::string& key, const std::string& value) override {
+  Status Put(std::string key, std::string value) override {
     if (key.compare(0, 2, kVersionPrefix) == 0) {
       std::unique_lock<std::mutex> lock(mu_);
       ++arrived_;
@@ -171,7 +171,7 @@ class RendezvousEngine final : public PerKeyEngine {
         ++rendezvous_;
       }
     }
-    return PerKeyEngine::Put(key, value);
+    return PerKeyEngine::Put(std::move(key), std::move(value));
   }
 
   size_t rendezvous() {
@@ -208,12 +208,12 @@ class PoisonedEngine final : public PerKeyEngine {
  public:
   using PerKeyEngine::PerKeyEngine;
 
-  Status Put(const std::string& key, const std::string& value) override {
+  Status Put(std::string key, std::string value) override {
     if (!poison_.empty() && key.find(poison_) != std::string::npos) {
       attempted_poison_puts_.fetch_add(1);
       return Status::Unavailable("injected write failure for " + key);
     }
-    return PerKeyEngine::Put(key, value);
+    return PerKeyEngine::Put(std::move(key), std::move(value));
   }
 
   void Poison(std::string marker) { poison_ = std::move(marker); }

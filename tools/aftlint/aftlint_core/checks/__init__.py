@@ -3,13 +3,14 @@ runner can emit (suppression comments and --checks use the emitted names)."""
 
 from __future__ import annotations
 
-from . import decoder_bounds, lock_order, loop_blocking, observability
+from . import decoder_bounds, hot_alloc, lock_order, loop_blocking, observability
 
 CHECKS = {
     "lock-order": lock_order.run,
     "decoder-bounds": decoder_bounds.run,
     "loop-blocking": loop_blocking.run,
     "observability": observability.run,
+    "hot-alloc": hot_alloc.run,
 }
 
 EMITTED = {
@@ -17,6 +18,7 @@ EMITTED = {
     "decoder-bounds": ["decoder-bounds"],
     "loop-blocking": ["loop-blocking"],
     "observability": ["obs-metric-name", "obs-rpc-coverage", "obs-hot-log"],
+    "hot-alloc": ["hot-alloc"],
 }
 
 ALL_FINDING_NAMES = sorted(n for names in EMITTED.values() for n in names)

@@ -1,0 +1,105 @@
+"""hot-alloc: no per-iteration heap allocation inside a `// aftlint: hot` loop.
+
+The PR-7 rule backing the zero-copy commit pipeline: a loop marked
+`// aftlint: hot` runs once per request (frame parse, writev flush, version
+flush), so one heap allocation inside it is a per-request allocation — the
+exact regression the allocations/txn bench gate measures. The marker is the
+contract; this check machine-enforces it at the source level:
+
+  * constructing a `std::string` (named or temporary) inside the loop —
+    decode in place over a `std::string_view`, or build into a scratch
+    buffer reserved OUTSIDE the loop;
+  * `push_back`/`emplace_back` on a container with no visible
+    `reserve`/`Reserve` call earlier in the file — amortized growth
+    reallocates mid-loop (a reserve anywhere before the call site counts:
+    the textual backend cannot scope it to the function, and the safe
+    direction for a gate that people must live with is fewer false
+    positives);
+  * naked `new`, `make_unique`, `make_shared` — unconditionally heap.
+
+A genuinely cold site inside a hot loop (error/teardown path that runs once
+and then the connection dies) carries
+`// aftlint-allow(hot-alloc): <why this path is cold>`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .. import config
+from ..findings import CheckContext
+from ..source import SourceFile
+
+CHECK = "hot-alloc"
+
+_PUSH_RE = re.compile(r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*(?:push_back|emplace_back)\s*\(")
+
+
+def run(ctx: CheckContext) -> None:
+    patterns = [(re.compile(p), why) for p, why in config.HOT_ALLOC_PATTERNS]
+    for path, src in sorted(ctx.files.items()):
+        for body_off, body in _hot_loop_bodies(src):
+            for pat, why in patterns:
+                for m in pat.finditer(body):
+                    ctx.report(CHECK, path, src.line_of(body_off + m.start()), why)
+            for m in _PUSH_RE.finditer(body):
+                recv = m.group(1)
+                if _reserved_before(src, recv, body_off + m.start()):
+                    continue
+                ctx.report(
+                    CHECK,
+                    path,
+                    src.line_of(body_off + m.start()),
+                    f"push_back on '{recv}' inside a hot loop with no prior "
+                    f"{recv}.reserve(): amortized growth reallocates on the hot path",
+                )
+
+
+def _reserved_before(src: SourceFile, recv: str, call_off: int) -> bool:
+    pat = re.compile(rf"\b{re.escape(recv)}\s*(?:\.|->)\s*[rR]eserve\s*\(")
+    m = pat.search(src.masked, 0, call_off)
+    return m is not None
+
+
+def _hot_loop_bodies(src: SourceFile) -> list[tuple[int, str]]:
+    """(offset, masked body) of the loop statement each hot marker covers.
+
+    Same marker-to-loop mapping as the obs-hot-log check: the marker applies
+    to the next `for`/`while`/`do` within the following 3 lines; a marker
+    with no loop is obs-hot-log's finding, not ours.
+    """
+    if not src.hot_marks:
+        return []
+    lines = src.masked.split("\n")
+    line_offsets = [0]
+    for ln in lines:
+        line_offsets.append(line_offsets[-1] + len(ln) + 1)
+    bodies: list[tuple[int, str]] = []
+    for mark in sorted(src.hot_marks):
+        loop_off = None
+        for cand in range(mark, min(mark + 3, len(lines))):
+            seg = src.masked[line_offsets[cand - 1] : line_offsets[min(cand + 2, len(lines)) - 1]]
+            lm = re.search(r"\b(for|while|do)\b", seg)
+            if lm:
+                loop_off = line_offsets[cand - 1] + lm.start()
+                break
+        if loop_off is None:
+            continue
+        brace = src.masked.find("{", loop_off)
+        if brace < 0:
+            continue
+        end = _match_brace(src.masked, brace)
+        bodies.append((brace, src.masked[brace:end]))
+    return bodies
+
+
+def _match_brace(text: str, open_off: int) -> int:
+    depth = 0
+    for j in range(open_off, len(text)):
+        if text[j] == "{":
+            depth += 1
+        elif text[j] == "}":
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(text)

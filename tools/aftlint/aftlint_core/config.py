@@ -96,6 +96,36 @@ BLOCKING_ALLOWED_NAMES = [
     r"\bepoll_wait\s*\(",  # the loop's one legitimate blocking point
 ]
 
+# ---- hot-alloc ---------------------------------------------------------------
+
+# Allocation spellings flagged inside `// aftlint: hot` loops. Matched
+# against masked text (no string literals / comments). push_back/emplace_back
+# are handled separately so the checker can look for a prior reserve().
+HOT_ALLOC_PATTERNS = [
+    (
+        r"\bstd::string\s+[A-Za-z_]\w*\s*[;={(]",
+        "std::string constructed inside a hot loop: decode in place "
+        "(string_view) or hoist a reused scratch buffer out of the loop",
+    ),
+    (
+        r"\bstd::string\s*[({]",
+        "std::string temporary inside a hot loop: decode in place "
+        "(string_view) or hoist a reused scratch buffer out of the loop",
+    ),
+    (
+        r"\bnew\b(?!\s*\()",
+        "naked new inside a hot loop: allocate outside or use the pool",
+    ),
+    (
+        r"\bmake_unique\s*<",
+        "make_unique inside a hot loop allocates per iteration",
+    ),
+    (
+        r"\bmake_shared\s*<",
+        "make_shared inside a hot loop allocates per iteration",
+    ),
+]
+
 # ---- observability -----------------------------------------------------------
 
 # Metric name grammar (docs/OBSERVABILITY.md): aft_<subsystem>_<name>[_unit],

@@ -1,0 +1,29 @@
+// Fixture: heap allocations inside `// aftlint: hot` loops — string
+// construction, unreserved push_back, naked new, make_unique/make_shared.
+// Not compiled.
+
+void ParseLoopAllocatesStrings(const Buffer& inbuf) {
+  // aftlint: hot
+  while (HasFrame(inbuf)) {
+    std::string key = NextKey(inbuf);  // aftlint-expect(hot-alloc)
+    Handle(std::string(NextValue(inbuf)));  // aftlint-expect(hot-alloc)
+  }
+}
+
+void FlushLoopGrowsUnreserved(const Queue& frames) {
+  std::vector<Span> spans;
+  // aftlint: hot
+  for (const Frame& frame : frames) {
+    spans.push_back(frame.Span());  // aftlint-expect(hot-alloc)
+  }
+}
+
+void CommitLoopHeapAllocates(const WriteSet& writes) {
+  // aftlint: hot
+  for (const Write& write : writes) {
+    auto* raw = new Record(write);  // aftlint-expect(hot-alloc)
+    auto owned = std::make_unique<Record>(write);  // aftlint-expect(hot-alloc)
+    auto shared = std::make_shared<Record>(write);  // aftlint-expect(hot-alloc)
+    Sink(raw, owned, shared);
+  }
+}

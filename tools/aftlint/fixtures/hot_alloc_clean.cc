@@ -1,0 +1,42 @@
+// Fixture: hot loops that honor the no-allocation contract — in-place
+// string_view decode, a reserved vector, pooled storage, and one documented
+// cold path under an allow. Not compiled.
+
+void ParseLoopDecodesInPlace(const Buffer& inbuf) {
+  // aftlint: hot
+  while (HasFrame(inbuf)) {
+    std::string_view key = NextKeyView(inbuf);
+    Handle(key);
+  }
+}
+
+void FlushLoopReservesFirst(const Queue& frames) {
+  std::vector<Span> spans;
+  spans.reserve(frames.size());
+  // aftlint: hot
+  for (const Frame& frame : frames) {
+    spans.push_back(frame.Span());
+  }
+}
+
+void CommitLoopUsesScratch(const WriteSet& writes, BinaryWriter& scratch) {
+  // aftlint: hot
+  for (const Write& write : writes) {
+    scratch.Clear();
+    EncodeWrite(scratch, write);
+    Sink(scratch.data());
+  }
+}
+
+void TeardownInsideHotLoop(const Queue& frames) {
+  // aftlint: hot
+  for (const Frame& frame : frames) {
+    if (!frame.Valid()) {
+      // aftlint-allow(hot-alloc): teardown path — runs once, connection dies
+      std::string detail = Describe(frame);
+      Fail(detail);
+      return;
+    }
+    Forward(frame);
+  }
+}

@@ -17,22 +17,33 @@
 # healthy transport sits near 3x even in smoke runs. Zero matching row pairs
 # is an error — a gate that silently compares nothing is worse than no gate.
 #
-# Usage: tools/bench_gate.sh CURRENT.json [MIN_SPEEDUP] [MIN_CLIENTS]
+# A second, absolute gate covers allocation count: bench_net's
+# "inproc commit" row carries allocs_per_txn — heap allocations per commit
+# on the measuring thread. Unlike ops/sec this IS machine-independent (the
+# code path allocates what it allocates), so it gates against a checked-in
+# ceiling. The zero-copy commit pipeline (PR 7) brought it from ~39 to ~6;
+# the ceiling holds the line just above the measured value so a single
+# reintroduced per-commit allocation fails visibly.
+#
+# Usage: tools/bench_gate.sh CURRENT.json [MIN_SPEEDUP] [MIN_CLIENTS] [MAX_ALLOCS]
 #
 #   MIN_SPEEDUP   geomean (pipelined / baseline) ops-per-sec floor,
 #                 default 1.5.
 #   MIN_CLIENTS   only rows with at least this many clients count,
 #                 default 16.
+#   MAX_ALLOCS    allocations-per-txn ceiling on the "inproc commit" row,
+#                 default 8.0.
 
 set -euo pipefail
 
-if [[ $# -lt 1 || $# -gt 3 ]]; then
-  echo "usage: tools/bench_gate.sh CURRENT.json [MIN_SPEEDUP] [MIN_CLIENTS]" >&2
+if [[ $# -lt 1 || $# -gt 4 ]]; then
+  echo "usage: tools/bench_gate.sh CURRENT.json [MIN_SPEEDUP] [MIN_CLIENTS] [MAX_ALLOCS]" >&2
   exit 2
 fi
 CURRENT="$1"
 MIN_SPEEDUP="${2:-1.5}"
 MIN_CLIENTS="${3:-16}"
+MAX_ALLOCS="${4:-8.0}"
 
 if [[ ! -f "$CURRENT" ]]; then
   echo "bench_gate: no such file: $CURRENT" >&2
@@ -76,5 +87,27 @@ sed -nE 's/.*"row":"tput ([^"]*)".*"txn_per_s":([0-9.]+).*/\1\t\2/p' "$CURRENT" 
     }
     printf "bench_gate: PASS — geomean pipelined-vs-baseline speedup x%.2f over %d rows (floor x%.2f)\n",
            geomean, n, floor;
+  }
+'
+
+# ---- allocations-per-commit ceiling -----------------------------------------
+# The file may hold several appended runs; the LAST "inproc commit" row is
+# the current one. Missing row (or a bench binary built without the counter)
+# is an error for the same reason as zero throughput pairs above.
+sed -nE 's/.*"row":"inproc commit".*"allocs_per_txn":([0-9.]+).*/\1/p' "$CURRENT" \
+  | awk -v ceiling="$MAX_ALLOCS" '
+  { last = $1 + 0; n++ }
+  END {
+    if (n == 0) {
+      print "bench_gate: no \"inproc commit\" allocs_per_txn row found" > "/dev/stderr";
+      exit 1;
+    }
+    if (last > ceiling) {
+      printf "bench_gate: FAIL — %.1f allocations/txn on the in-proc commit path exceeds the %.1f ceiling\n",
+             last, ceiling > "/dev/stderr";
+      exit 1;
+    }
+    printf "bench_gate: PASS — %.1f allocations/txn on the in-proc commit path (ceiling %.1f)\n",
+           last, ceiling;
   }
 '
