@@ -1,0 +1,40 @@
+#include "src/common/crc32.h"
+
+#include <array>
+
+namespace aft {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Begin() { return 0xFFFFFFFFu; }
+
+uint32_t Crc32Feed(uint32_t state, const void* data, size_t len) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    state = (state >> 8) ^ kTable[(state ^ bytes[i]) & 0xFFu];
+  }
+  return state;
+}
+
+uint32_t Crc32End(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+uint32_t Crc32(std::string_view data) {
+  return Crc32End(Crc32Feed(Crc32Begin(), data.data(), data.size()));
+}
+
+}  // namespace aft

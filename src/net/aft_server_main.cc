@@ -10,7 +10,10 @@
 //
 // Flags:
 //   --port N        listen port (default 7654; 0 = kernel-assigned, printed)
-//   --engine E      dynamo | redis (default dynamo)
+//   --engine E      s3 | dynamo | redis | local (default dynamo). `local` is
+//                   the durable WAL-backed engine and requires --data-dir;
+//                   on restart it recovers its state from the log.
+//   --data-dir D    data directory for --engine local (created if missing)
 //   --node-id ID    node identifier used in commit records (default aft-0)
 //   --threading M   thread | event (default: AFT_NET_THREADING env var, then
 //                   event) — thread-per-connection vs. epoll event loop; see
@@ -45,8 +48,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/metrics_http.h"
 #include "src/obs/trace.h"
-#include "src/storage/sim_dynamo.h"
-#include "src/storage/sim_redis.h"
+#include "src/storage/engine_factory.h"
 
 namespace {
 
@@ -58,9 +60,9 @@ void HandleSignal(int) { g_shutdown = 1; }
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--port N] [--engine dynamo|redis] [--node-id ID] "
-               "[--threading thread|event] [--metrics-port N] [--trace-sample N] "
-               "[--smoke-traffic N]\n",
+               "usage: %s [--port N] [--engine s3|dynamo|redis|local] [--data-dir D] "
+               "[--node-id ID] [--threading thread|event] [--metrics-port N] "
+               "[--trace-sample N] [--smoke-traffic N]\n",
                argv0);
 }
 
@@ -71,6 +73,7 @@ int main(int argc, char** argv) {
 
   uint16_t port = 7654;
   std::string engine = "dynamo";
+  std::string data_dir;
   std::string node_id = "aft-0";
   net::ServerThreading threading = net::DefaultServerThreading();
   int metrics_port = -1;  // -1 = exporter disabled; 0 = kernel-assigned.
@@ -86,11 +89,12 @@ int main(int argc, char** argv) {
       port = static_cast<uint16_t>(std::atoi(v));
     } else if (arg == "--engine") {
       const char* v = next();
-      if (v == nullptr || (std::strcmp(v, "dynamo") != 0 && std::strcmp(v, "redis") != 0)) {
-        Usage(argv[0]);
-        return 2;
-      }
+      if (v == nullptr) { Usage(argv[0]); return 2; }
       engine = v;
+    } else if (arg == "--data-dir") {
+      const char* v = next();
+      if (v == nullptr) { Usage(argv[0]); return 2; }
+      data_dir = v;
     } else if (arg == "--node-id") {
       const char* v = next();
       if (v == nullptr) { Usage(argv[0]); return 2; }
@@ -126,12 +130,14 @@ int main(int argc, char** argv) {
   obs::Tracer::Global().SetSampleEveryN(trace_sample);
 
   RealClock& clock = RealClock::Default();
-  std::unique_ptr<StorageEngine> storage;
-  if (engine == "redis") {
-    storage = std::make_unique<SimRedis>(clock);
-  } else {
-    storage = std::make_unique<SimDynamo>(clock);
+  EngineFactoryConfig engine_config;
+  engine_config.data_dir = data_dir;
+  auto storage_or = MakeStorageEngine(engine, clock, engine_config);
+  if (!storage_or.ok()) {
+    std::fprintf(stderr, "aft-server: %s\n", storage_or.status().ToString().c_str());
+    return 2;
   }
+  std::unique_ptr<StorageEngine> storage = std::move(*storage_or);
 
   AftNode node(node_id, *storage, clock);
   if (!node.Start().ok()) {

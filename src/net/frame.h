@@ -41,6 +41,7 @@
 #include <string_view>
 
 #include "src/common/arena.h"
+#include "src/common/crc32.h"
 #include "src/common/status.h"
 #include "src/net/socket.h"
 
@@ -90,13 +91,17 @@ bool IsKnownMessageType(MessageType type);
 std::string_view MessageTypeName(MessageType type);
 
 // CRC-32 (IEEE reflected polynomial 0xEDB88320), the Ethernet/zip checksum.
-uint32_t Crc32(std::string_view data);
+// The implementation lives in src/common/crc32.h (shared with the durable
+// WAL's record framing); these aliases keep existing net call sites intact.
+inline uint32_t Crc32(std::string_view data) { return ::aft::Crc32(data); }
 
 // Streaming variant for payloads held as segment chains: feed spans in order,
 // no coalescing. `Crc32End(Crc32Feed(Crc32Begin(), d, n))` == `Crc32({d,n})`.
-uint32_t Crc32Begin();
-uint32_t Crc32Feed(uint32_t state, const void* data, size_t len);
-uint32_t Crc32End(uint32_t state);
+inline uint32_t Crc32Begin() { return ::aft::Crc32Begin(); }
+inline uint32_t Crc32Feed(uint32_t state, const void* data, size_t len) {
+  return ::aft::Crc32Feed(state, data, len);
+}
+inline uint32_t Crc32End(uint32_t state) { return ::aft::Crc32End(state); }
 
 struct Frame {
   MessageType type = MessageType::kPing;

@@ -1,0 +1,32 @@
+#include "src/storage/engine_factory.h"
+
+#include "src/storage/sim_dynamo.h"
+#include "src/storage/sim_redis.h"
+#include "src/storage/sim_s3.h"
+
+namespace aft {
+
+Result<std::unique_ptr<StorageEngine>> MakeStorageEngine(std::string_view name, Clock& clock,
+                                                         const EngineFactoryConfig& config) {
+  if (name == "s3") {
+    return std::unique_ptr<StorageEngine>(std::make_unique<SimS3>(clock));
+  }
+  if (name == "dynamo") {
+    return std::unique_ptr<StorageEngine>(std::make_unique<SimDynamo>(clock));
+  }
+  if (name == "redis") {
+    return std::unique_ptr<StorageEngine>(std::make_unique<SimRedis>(clock));
+  }
+  if (name == "local") {
+    if (config.data_dir.empty()) {
+      return Status::InvalidArgument("--engine local needs --data-dir");
+    }
+    AFT_ASSIGN_OR_RETURN(std::unique_ptr<LocalEngine> engine,
+                         LocalEngine::Open(config.data_dir, config.local));
+    return std::unique_ptr<StorageEngine>(std::move(engine));
+  }
+  return Status::InvalidArgument("unknown storage engine '" + std::string(name) +
+                                 "' (s3 | dynamo | redis | local)");
+}
+
+}  // namespace aft

@@ -1,0 +1,31 @@
+// Engine selection by name, shared by aft_server's --engine flag, benches
+// and tests.
+
+#ifndef SRC_STORAGE_ENGINE_FACTORY_H_
+#define SRC_STORAGE_ENGINE_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/storage/local_engine.h"
+#include "src/storage/storage_engine.h"
+
+namespace aft {
+
+struct EngineFactoryConfig {
+  // Required for the "local" engine; ignored by the simulated ones.
+  std::string data_dir;
+  LocalEngineOptions local;
+};
+
+// Known names: "s3", "dynamo", "redis" (simulated; driven by `clock`) and
+// "local" (durable WAL engine under config.data_dir; real time).
+Result<std::unique_ptr<StorageEngine>> MakeStorageEngine(std::string_view name, Clock& clock,
+                                                         const EngineFactoryConfig& config = {});
+
+}  // namespace aft
+
+#endif  // SRC_STORAGE_ENGINE_FACTORY_H_

@@ -1,0 +1,245 @@
+// Append-only write-ahead log backing the durable LocalEngine.
+//
+// Layout (docs/PROTOCOLS.md, "Durability contract"): a WAL directory holds a
+// sequence of log files
+//
+//     wal-000001.log            rotation outputs (generation 0)
+//     wal-000003.c1.log         compaction outputs (generation >= 1)
+//
+// ordered by (seq, generation). A compaction output re-asserts the live
+// prefix of the log, so it sorts AFTER every file it replaced and BEFORE
+// every file written since (see wal_recovery.h for why replay stays correct
+// through a crash at any point of that protocol).
+//
+// Every record is CRC-framed:
+//
+//     offset  size  field
+//     0       4     payload length (bytes; <= kMaxRecordPayload)
+//     4       4     CRC-32 (IEEE 802.3, src/common/crc32.h) of the payload
+//     8       ...   payload
+//
+// and the payload is src/common/serde.h encoding:
+//
+//     u8  op               1 = put, 2 = delete
+//     u32 key length       | PutString(key)
+//     ..  key bytes        |
+//     u32 value length     | PutString(value), puts only
+//     ..  value bytes      |
+//
+// The value bytes therefore sit contiguously at a known offset inside the
+// file, which is what lets the engine's index serve reads with one pread and
+// no framing overhead.
+//
+// Write path: `AppendBatch` encodes record *metadata* (headers, ops, keys,
+// value length prefixes) into a pooled SegmentBuffer (the PR-7 arena) and
+// scatter-gathers metadata spans + the caller's value buffers into ONE
+// writev(2) per batch — value bytes are never copied into the log's buffers,
+// they go caller-memory -> kernel directly. Durability is group-committed: a
+// background flusher issues one fdatasync(2) covering every record appended
+// since the last sync, and `Sync(lsn)` parks callers on a waiter-batching
+// latch until the durable LSN passes theirs. One fsync acknowledges every
+// concurrent committer (the classic group commit).
+//
+// Thread safety: any number of threads may call AppendBatch/Sync
+// concurrently. Lock order inside the WAL is append_mu_ -> flush_mu_; no
+// caller-visible callback runs under either.
+
+#ifndef SRC_STORAGE_WAL_H_
+#define SRC_STORAGE_WAL_H_
+
+#include <sys/uio.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/common/arena.h"
+#include "src/common/clock.h"
+#include "src/common/mutex.h"
+#include "src/common/serde.h"
+#include "src/common/status.h"
+
+namespace aft {
+namespace wal {
+
+inline constexpr size_t kRecordHeaderSize = 8;
+// Guard against corrupt / hostile length fields during replay: a record
+// longer than this is treated as corruption, never allocated.
+inline constexpr uint32_t kMaxRecordPayload = 256u << 20;  // 256 MiB
+
+enum class RecordOp : uint8_t {
+  kPut = 1,
+  kDelete = 2,
+};
+
+// A file's identity: rotation sequence number plus compaction generation,
+// packed so that numeric order == replay order. Generation 0 = a rotation
+// output, >= 1 = a compaction output replacing files up to `seq`.
+inline constexpr uint32_t kMaxCompactionGen = (1u << 10) - 1;
+inline uint64_t MakeFileKey(uint32_t seq, uint32_t gen) {
+  return (static_cast<uint64_t>(seq) << 10) | gen;
+}
+inline uint32_t FileSeq(uint64_t file_key) { return static_cast<uint32_t>(file_key >> 10); }
+inline uint32_t FileGen(uint64_t file_key) { return static_cast<uint32_t>(file_key & kMaxCompactionGen); }
+
+// "wal-000007.log" / "wal-000007.c2.log".
+std::string WalFileName(uint64_t file_key);
+std::string WalFilePath(const std::string& dir, uint64_t file_key);
+// Parses a directory entry name; returns false for non-WAL files (including
+// the *.tmp staging files compaction writes).
+bool ParseWalFileName(std::string_view name, uint64_t* file_key);
+
+// Decoded view of one record payload; views alias the caller's buffer.
+struct RecordView {
+  RecordOp op = RecordOp::kPut;
+  std::string_view key;
+  std::string_view value;  // empty for deletes
+};
+
+// Parses a record payload (the bytes after the 8-byte header). Returns false
+// on malformed input — wrong op, truncated key/value, trailing garbage.
+bool DecodeRecordPayload(std::string_view payload, RecordView* out);
+
+// Serialized size of a record, header included.
+inline uint64_t PutRecordBytes(size_t key_len, size_t value_len) {
+  return kRecordHeaderSize + 1 + 4 + key_len + 4 + value_len;
+}
+inline uint64_t DeleteRecordBytes(size_t key_len) { return kRecordHeaderSize + 1 + 4 + key_len; }
+// Offset of the value bytes relative to the record start (header included).
+inline uint64_t ValueOffsetInRecord(size_t key_len) {
+  return kRecordHeaderSize + 1 + 4 + key_len + 4;
+}
+
+// Appends one complete record (header + payload) to `out`. The buffered,
+// copying encoder — used by compaction and tests; the hot path in
+// Wal::AppendBatch produces byte-identical output without copying values.
+void AppendRecordTo(BinaryWriter& out, RecordOp op, std::string_view key, std::string_view value);
+
+// fsync(2) on the directory itself: makes created/renamed/unlinked file
+// NAMES durable. Required after every directory-level mutation of the log.
+Status FsyncDir(const std::string& dir);
+
+}  // namespace wal
+
+struct WalOptions {
+  // Rotate the active file once it exceeds this size (checked after each
+  // batch; one batch may overshoot).
+  uint64_t max_log_bytes = 64ull << 20;
+  // Group-commit accumulation window: after being woken, the flusher waits
+  // this long for more appends to pile in before issuing the fdatasync.
+  // Zero = sync as soon as there is anything to sync (concurrency alone
+  // forms the batch; lowest latency).
+  Duration flush_interval = Duration::zero();
+  // When false, Sync() returns as soon as the bytes are written (page cache
+  // only, no fdatasync). For measuring fsync cost and for tests that do not
+  // crash the machine; kill -9 durability is unaffected (the page cache
+  // survives process death), power loss is not. Default on.
+  bool fdatasync = true;
+  // Arena pool for record metadata; nullptr = the process-wide pool.
+  BufferPool* pool = nullptr;
+};
+
+// The append side of the log. Recovery (wal_recovery.h) runs BEFORE a Wal is
+// opened; Open always starts a fresh active file at `first_seq` so a torn
+// tail from a previous run is never appended into.
+class Wal {
+ public:
+  struct AppendOp {
+    wal::RecordOp op = wal::RecordOp::kPut;
+    std::string_view key;
+    std::string_view value;  // must stay alive until AppendBatch returns
+  };
+
+  // Where one appended op landed, for the engine's index.
+  struct AppendedLoc {
+    uint64_t file_key = 0;
+    uint64_t value_offset = 0;  // absolute file offset of the value bytes
+    uint32_t value_len = 0;
+    uint64_t record_bytes = 0;  // full record size (header included)
+  };
+
+  struct Stats {
+    uint64_t batches = 0;
+    uint64_t records = 0;
+    uint64_t bytes_appended = 0;
+    uint64_t fsyncs = 0;
+    uint64_t rotations = 0;
+    uint64_t sync_waiters_released = 0;  // across all fsyncs (batch size source)
+  };
+
+  static Result<std::unique_ptr<Wal>> Open(std::string dir, uint32_t first_seq,
+                                           WalOptions options = {});
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Appends one record per op with a single writev; fills locs[0..ops.size())
+  // and returns the batch-end LSN to pass to Sync(). All records of a batch
+  // land in the same file. On a write error the WAL is poisoned (every later
+  // append fails too): a torn record may sit at the tail, and appending past
+  // it would make replay drop the new records silently.
+  Result<uint64_t> AppendBatch(std::span<const AppendOp> ops, AppendedLoc* locs);
+
+  // Blocks until every byte appended at or before `lsn` is durable.
+  Status Sync(uint64_t lsn);
+
+  // Fsyncs and freezes the active file and opens a fresh one; returns the
+  // frozen file's key. Compaction calls this so the compactable set is
+  // always a closed prefix of the log.
+  Result<uint64_t> Rotate();
+
+  uint64_t active_file_key() const;
+  uint64_t active_size() const;
+  const std::string& dir() const { return dir_; }
+  Stats stats() const;
+
+ private:
+  Wal(std::string dir, WalOptions options);
+
+  Status OpenActiveLocked(uint32_t seq) REQUIRES(append_mu_);
+  Status RotateLocked(uint64_t* frozen_key) REQUIRES(append_mu_);
+  void FlusherMain();
+
+  const std::string dir_;
+  const WalOptions options_;
+
+  // Append state: one appender at a time builds + writes its batch.
+  mutable Mutex append_mu_;
+  int active_fd_ GUARDED_BY(append_mu_) = -1;
+  uint64_t active_key_ GUARDED_BY(append_mu_) = 0;
+  uint64_t active_size_ GUARDED_BY(append_mu_) = 0;
+  uint64_t lsn_base_ GUARDED_BY(append_mu_) = 0;  // global LSN of active file start
+  bool poisoned_ GUARDED_BY(append_mu_) = false;
+  // Reused per-batch scratch (amortized allocation-free appends).
+  SegmentBuffer meta_ GUARDED_BY(append_mu_);
+  std::vector<char> headers_ GUARDED_BY(append_mu_);
+  std::vector<struct iovec> iov_ GUARDED_BY(append_mu_);
+
+  // Group-commit latch. (sync_fd_, appended_lsn_) are always written as a
+  // pair right after the bytes hit sync_fd_, and rotation fsyncs a file
+  // before retiring it, so fdatasync(sync_fd_) covering appended_lsn_ makes
+  // everything at or below appended_lsn_ durable.
+  mutable Mutex flush_mu_;
+  CondVar flush_cv_;       // wakes the flusher
+  CondVar durable_cv_;     // wakes Sync waiters
+  CondVar fsync_done_cv_;  // rotation waits for an in-flight fsync on the fd it retires
+  uint64_t appended_lsn_ GUARDED_BY(flush_mu_) = 0;
+  uint64_t durable_lsn_ GUARDED_BY(flush_mu_) = 0;
+  int sync_fd_ GUARDED_BY(flush_mu_) = -1;
+  int fsync_inflight_fd_ GUARDED_BY(flush_mu_) = -1;
+  size_t sync_waiters_ GUARDED_BY(flush_mu_) = 0;
+  bool sync_failed_ GUARDED_BY(flush_mu_) = false;
+  bool stop_ GUARDED_BY(flush_mu_) = false;
+  Stats stats_ GUARDED_BY(flush_mu_);
+
+  std::thread flusher_;
+};
+
+}  // namespace aft
+
+#endif  // SRC_STORAGE_WAL_H_

@@ -1,0 +1,75 @@
+// Crash recovery for the WAL (src/storage/wal.h): scan the log directory in
+// replay order and re-apply every intact record.
+//
+// Recovery rules (docs/PROTOCOLS.md, "Durability contract"):
+//
+//   1. Files replay in (seq, generation) order; records within a file replay
+//      front to back. Later records supersede earlier ones for the same key.
+//   2. `*.tmp` staging files (a compaction that crashed before its rename)
+//      are deleted before replay — the rename is compaction's commit point.
+//   3. The FIRST bad record (bad length, bad CRC, malformed payload, or a
+//      torn tail shorter than its header) ends recovery for the whole log:
+//      the file is truncated at the bad record's offset and every LATER file
+//      is deleted. Nothing after the bad record is replayed.
+//
+// Rule 3 is what upholds AFT's commit-visibility invariant through a crash.
+// The engine appends a transaction's data records strictly before its commit
+// record and fsyncs in between (the §3.3 write-ordering barrier), so on disk
+// every commit record sits AFTER the data it covers. Replaying only an
+// intact prefix therefore can never surface a commit record whose data
+// writes were lost. Replaying past a corrupt record could.
+
+#ifndef SRC_STORAGE_WAL_RECOVERY_H_
+#define SRC_STORAGE_WAL_RECOVERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/wal.h"
+
+namespace aft {
+
+struct WalFileInfo {
+  uint64_t file_key = 0;
+  std::string path;
+  uint64_t size = 0;
+};
+
+// Lists the directory's WAL files sorted in replay order. Deletes `*.tmp`
+// staging files as a side effect (rule 2) and fsyncs the directory when it
+// deleted any. Non-WAL file names are ignored.
+Result<std::vector<WalFileInfo>> ListWalFiles(const std::string& dir);
+
+// One replayed record. The key/value views alias a buffer reused between
+// callbacks — copy anything that must outlive the call.
+struct WalRecordEvent {
+  uint64_t file_key = 0;
+  wal::RecordOp op = wal::RecordOp::kPut;
+  std::string_view key;
+  std::string_view value;      // empty for deletes
+  uint64_t value_offset = 0;   // absolute offset of the value bytes in the file
+  uint64_t record_bytes = 0;   // full record size (header included)
+};
+
+struct WalReplayStats {
+  uint64_t files = 0;    // files replayed (dropped files not included)
+  uint64_t records = 0;
+  uint64_t bytes = 0;    // record bytes replayed
+  bool truncated = false;
+  uint64_t truncated_bytes = 0;  // discarded from the file with the bad record
+  uint64_t dropped_files = 0;    // later files deleted under rule 3
+  uint32_t max_seq = 0;          // highest file seq seen; next active = max_seq + 1
+};
+
+// Replays every intact record into `apply`, enforcing the rules above.
+// Truncation and deletions are themselves made durable (fdatasync the
+// truncated file, fsync the directory) before this returns.
+Result<WalReplayStats> ReplayWal(const std::string& dir,
+                                 const std::function<void(const WalRecordEvent&)>& apply);
+
+}  // namespace aft
+
+#endif  // SRC_STORAGE_WAL_RECOVERY_H_

@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 
 #include "src/core/aft_node.h"
+#include "src/storage/local_engine.h"
 #include "src/storage/sim_dynamo.h"
 #include "src/storage/sim_redis.h"
 #include "src/storage/sim_s3.h"
@@ -15,9 +18,10 @@
 namespace aft {
 namespace {
 
-enum class EngineKind { kS3, kDynamo, kRedis };
+enum class EngineKind { kS3, kDynamo, kRedis, kLocal };
 
-std::unique_ptr<StorageEngine> MakeEngine(EngineKind kind, Clock& clock) {
+std::unique_ptr<StorageEngine> MakeEngine(EngineKind kind, Clock& clock,
+                                          std::string* local_dir) {
   switch (kind) {
     case EngineKind::kS3: {
       SimS3Options options;
@@ -32,13 +36,31 @@ std::unique_ptr<StorageEngine> MakeEngine(EngineKind kind, Clock& clock) {
     }
     case EngineKind::kRedis:
       return std::make_unique<SimRedis>(clock);
+    case EngineKind::kLocal: {
+      // The durable engine runs against real files in a throwaway directory;
+      // it ignores the simulated clock (real I/O has real latency).
+      char tmpl[] = "/tmp/aft_matrix_XXXXXX";
+      char* dir = ::mkdtemp(tmpl);
+      EXPECT_NE(dir, nullptr);
+      *local_dir = dir;
+      auto engine = LocalEngine::Open(dir);
+      EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+      return std::move(*engine);
+    }
   }
   return nullptr;
 }
 
 class AftEngineMatrixTest : public ::testing::TestWithParam<EngineKind> {
  protected:
-  AftEngineMatrixTest() : engine_(MakeEngine(GetParam(), clock_)) {}
+  AftEngineMatrixTest() : engine_(MakeEngine(GetParam(), clock_, &local_dir_)) {}
+  ~AftEngineMatrixTest() override {
+    engine_.reset();
+    if (!local_dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(local_dir_, ec);
+    }
+  }
 
   std::unique_ptr<AftNode> MakeNode(const std::string& id) {
     auto node = std::make_unique<AftNode>(id, *engine_, clock_, AftNodeOptions{});
@@ -47,6 +69,7 @@ class AftEngineMatrixTest : public ::testing::TestWithParam<EngineKind> {
   }
 
   SimClock clock_;
+  std::string local_dir_;
   std::unique_ptr<StorageEngine> engine_;
 };
 
@@ -162,7 +185,7 @@ TEST_P(AftEngineMatrixTest, ManySmallTransactionsStaysConsistent) {
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, AftEngineMatrixTest,
                          ::testing::Values(EngineKind::kS3, EngineKind::kDynamo,
-                                           EngineKind::kRedis),
+                                           EngineKind::kRedis, EngineKind::kLocal),
                          [](const ::testing::TestParamInfo<EngineKind>& param_info) {
                            switch (param_info.param) {
                              case EngineKind::kS3:
@@ -171,6 +194,8 @@ INSTANTIATE_TEST_SUITE_P(AllEngines, AftEngineMatrixTest,
                                return "Dynamo";
                              case EngineKind::kRedis:
                                return "Redis";
+                             case EngineKind::kLocal:
+                               return "Local";
                            }
                            return "Unknown";
                          });

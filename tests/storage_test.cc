@@ -2,10 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/core/aft_node.h"
+#include "src/core/records.h"
+#include "src/storage/local_engine.h"
 #include "src/storage/sim_dynamo.h"
 #include "src/storage/sim_engine_base.h"
 #include "src/storage/sim_redis.h"
@@ -105,7 +110,7 @@ TEST(VersionedMapTest, FullyTombstonedKeysDisappear) {
 
 // ---- Engine basics (parameterized over all three engines) -------------------------
 
-enum class EngineKind { kS3, kDynamo, kRedis };
+enum class EngineKind { kS3, kDynamo, kRedis, kLocal };
 
 class EngineTest : public ::testing::TestWithParam<EngineKind> {
  protected:
@@ -120,11 +125,30 @@ class EngineTest : public ::testing::TestWithParam<EngineKind> {
       case EngineKind::kRedis:
         engine_ = std::make_unique<SimRedis>(clock_, FastRedis());
         break;
+      case EngineKind::kLocal: {
+        char tmpl[] = "/tmp/aft_storage_XXXXXX";
+        const char* dir = ::mkdtemp(tmpl);
+        EXPECT_NE(dir, nullptr);
+        local_dir_ = dir == nullptr ? "" : dir;
+        auto engine = LocalEngine::Open(local_dir_);
+        EXPECT_TRUE(engine.ok());
+        engine_ = std::move(*engine);
+        break;
+      }
+    }
+  }
+
+  ~EngineTest() override {
+    engine_.reset();
+    if (!local_dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(local_dir_, ec);
     }
   }
 
   SimClock clock_;
   std::unique_ptr<StorageEngine> engine_;
+  std::string local_dir_;
 };
 
 TEST_P(EngineTest, GetMissingKeyIsNotFound) {
@@ -221,7 +245,7 @@ TEST_P(EngineTest, ConcurrentWritersDoNotCorrupt) {
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, EngineTest,
                          ::testing::Values(EngineKind::kS3, EngineKind::kDynamo,
-                                           EngineKind::kRedis),
+                                           EngineKind::kRedis, EngineKind::kLocal),
                          [](const ::testing::TestParamInfo<EngineKind>& param_info) {
                            switch (param_info.param) {
                              case EngineKind::kS3:
@@ -230,6 +254,8 @@ INSTANTIATE_TEST_SUITE_P(AllEngines, EngineTest,
                                return "Dynamo";
                              case EngineKind::kRedis:
                                return "Redis";
+                             case EngineKind::kLocal:
+                               return "Local";
                            }
                            return "Unknown";
                          });
@@ -390,6 +416,154 @@ TEST(SimRedisTest, ReadsAreNeverStale) {
     EXPECT_EQ(*redis.Get("k"), std::to_string(i));
   }
   EXPECT_EQ(redis.counters().stale_reads.load(), 0u);
+}
+
+// ---- LocalEngine (the durable WAL-backed engine) ------------------------------------
+
+class LocalEngineTest : public ::testing::Test {
+ protected:
+  LocalEngineTest() {
+    char tmpl[] = "/tmp/aft_local_XXXXXX";
+    const char* dir = ::mkdtemp(tmpl);
+    EXPECT_NE(dir, nullptr);
+    dir_ = dir == nullptr ? "" : dir;
+    auto engine = LocalEngine::Open(dir_);
+    EXPECT_TRUE(engine.ok());
+    engine_ = std::move(*engine);
+  }
+  ~LocalEngineTest() override {
+    engine_.reset();
+    if (!dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir_, ec);
+    }
+  }
+
+  std::string dir_;
+  std::unique_ptr<LocalEngine> engine_;
+};
+
+TEST_F(LocalEngineTest, GetRangeReadsOnlyTheRequestedWindow) {
+  std::string value(4096, '\0');
+  for (size_t i = 0; i < value.size(); ++i) {
+    value[i] = static_cast<char>('a' + i % 26);
+  }
+  ASSERT_TRUE(engine_->Put("big", value).ok());
+  auto window = engine_->GetRange("big", 1000, 64);
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ(*window, value.substr(1000, 64));
+  // The native pread path reads exactly the window, not the whole value.
+  const uint64_t before = engine_->counters().bytes_read.load();
+  ASSERT_TRUE(engine_->GetRange("big", 0, 16).ok());
+  EXPECT_EQ(engine_->counters().bytes_read.load() - before, 16u);
+}
+
+TEST_F(LocalEngineTest, MultiGetMixesHitsAndMisses) {
+  ASSERT_TRUE(engine_->Put("a", "1").ok());
+  ASSERT_TRUE(engine_->Put("c", "3").ok());
+  // More keys than the sequential cutover so the IoExecutor path runs too.
+  std::vector<std::string> keys;
+  for (int i = 0; i < 12; ++i) {
+    keys.push_back(i % 3 == 0 ? "a" : (i % 3 == 1 ? "b" : "c"));
+  }
+  auto results = engine_->MultiGet(keys);
+  ASSERT_EQ(results.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i] == "b") {
+      EXPECT_TRUE(results[i].status().IsNotFound()) << i;
+    } else {
+      ASSERT_TRUE(results[i].ok()) << i;
+      EXPECT_EQ(*results[i], keys[i] == "a" ? "1" : "3");
+    }
+  }
+}
+
+TEST_F(LocalEngineTest, BatchPutConsumeRoundTrips) {
+  std::vector<WriteOp> ops;
+  for (int i = 0; i < 32; ++i) {
+    ops.push_back(WriteOp{"key" + std::to_string(i), std::string(100, 'a' + i % 26)});
+  }
+  std::vector<WriteOp> copy = ops;
+  ASSERT_TRUE(engine_->BatchPutConsume(copy).ok());
+  for (const WriteOp& op : ops) {
+    auto value = engine_->Get(op.key);
+    ASSERT_TRUE(value.ok()) << op.key;
+    EXPECT_EQ(*value, op.value);
+  }
+}
+
+TEST_F(LocalEngineTest, InjectedFailureFailsOnlyThatOp) {
+  engine_->SetWriteFailureInjector([](std::string_view key) {
+    return key == "bad" ? Status::Unavailable("injected") : Status::Ok();
+  });
+  std::vector<WriteOp> ops{{"good1", "v"}, {"bad", "v"}, {"good2", "v"}};
+  const Status status = engine_->BatchPut(ops);
+  EXPECT_TRUE(status.IsUnavailable());
+  // Non-atomic batch semantics (BatchWriteItem): the other ops landed.
+  EXPECT_TRUE(engine_->Get("good1").ok());
+  EXPECT_TRUE(engine_->Get("good2").ok());
+  EXPECT_TRUE(engine_->Get("bad").status().IsNotFound());
+  engine_->SetWriteFailureInjector(nullptr);
+  EXPECT_TRUE(engine_->Put("bad", "v").ok());
+}
+
+// The §3.3 commit barrier over the durable engine, with the failure injected
+// BELOW AFT (at the storage write) and the aftermath checked ON DISK: a
+// partially flushed transaction must leave no commit record — not in the
+// running engine, and not after a crash-equivalent reopen. The versions that
+// did land survive recovery as orphans for the fault manager's sweep.
+TEST_F(LocalEngineTest, PartialFlushFailureWritesNoCommitRecordEvenAfterReopen) {
+  engine_->SetWriteFailureInjector([](std::string_view key) {
+    return key.find("/k3/") != std::string_view::npos
+               ? Status::Unavailable("injected write failure")
+               : Status::Ok();
+  });
+
+  RealClock& clock = RealClock::Default();
+  const std::vector<std::string> keys = {"k0", "k1", "k2", "k3", "k4", "k5"};
+  {
+    AftNode node("n0", *engine_, clock);
+    ASSERT_TRUE(node.Start().ok());
+    auto txid = node.StartTransaction();
+    ASSERT_TRUE(txid.ok());
+    for (const std::string& key : keys) {
+      ASSERT_TRUE(node.Put(*txid, key, "payload-" + key).ok());
+    }
+    const auto committed = node.CommitTransaction(*txid);
+    ASSERT_FALSE(committed.ok());
+    EXPECT_TRUE(committed.status().IsUnavailable());
+
+    // Barrier holds in the running engine: no commit record, five orphans.
+    auto commit_keys = engine_->List(kCommitPrefix);
+    ASSERT_TRUE(commit_keys.ok());
+    EXPECT_TRUE(commit_keys->empty());
+    auto version_keys = engine_->List(kVersionPrefix);
+    ASSERT_TRUE(version_keys.ok());
+    EXPECT_EQ(version_keys->size(), keys.size() - 1);
+
+    // No partial reads: a fresh node over the same store sees nothing.
+    AftNode fresh("n1", *engine_, clock);
+    ASSERT_TRUE(fresh.Start().ok());
+    auto reader = fresh.StartTransaction();
+    ASSERT_TRUE(reader.ok());
+    for (const std::string& key : keys) {
+      auto read = fresh.Get(*reader, key);
+      ASSERT_TRUE(read.ok()) << key;
+      EXPECT_FALSE(read->has_value()) << "partial commit visible at " << key;
+    }
+  }
+
+  // Crash-equivalent reopen: replay the WAL from disk. The durable state
+  // must agree — no commit record ever reached the log.
+  engine_.reset();
+  auto reopened = LocalEngine::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  auto commit_keys = (*reopened)->List(kCommitPrefix);
+  ASSERT_TRUE(commit_keys.ok());
+  EXPECT_TRUE(commit_keys->empty());
+  auto version_keys = (*reopened)->List(kVersionPrefix);
+  ASSERT_TRUE(version_keys.ok());
+  EXPECT_EQ(version_keys->size(), keys.size() - 1);
 }
 
 }  // namespace

@@ -51,6 +51,8 @@ DECODER_FILES = [
     "src/net/server.cc",
     "src/net/tcp_multicast_bus.cc",
     "src/core/records.cc",
+    "src/storage/wal.cc",
+    "src/storage/wal_recovery.cc",
 ]
 
 # ---- loop-blocking -----------------------------------------------------------

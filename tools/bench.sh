@@ -35,7 +35,7 @@ done
 
 BUILD_DIR="${AFT_BENCH_BUILD_DIR:-build}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
-BENCHES=(bench_fig3_end_to_end bench_fig6_txn_length bench_fig7_single_node bench_parallel_io bench_net)
+BENCHES=(bench_fig3_end_to_end bench_fig6_txn_length bench_fig7_single_node bench_parallel_io bench_net bench_local_engine)
 
 if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo

@@ -91,23 +91,28 @@ sed -nE 's/.*"row":"tput ([^"]*)".*"txn_per_s":([0-9.]+).*/\1\t\2/p' "$CURRENT" 
 '
 
 # ---- allocations-per-commit ceiling -----------------------------------------
-# The file may hold several appended runs; the LAST "inproc commit" row is
-# the current one. Missing row (or a bench binary built without the counter)
-# is an error for the same reason as zero throughput pairs above.
-sed -nE 's/.*"row":"inproc commit".*"allocs_per_txn":([0-9.]+).*/\1/p' "$CURRENT" \
-  | awk -v ceiling="$MAX_ALLOCS" '
-  { last = $1 + 0; n++ }
-  END {
-    if (n == 0) {
-      print "bench_gate: no \"inproc commit\" allocs_per_txn row found" > "/dev/stderr";
-      exit 1;
+# The file may hold several appended runs; the LAST row of each kind is the
+# current one. Missing row (or a bench binary built without the counter) is
+# an error for the same reason as zero throughput pairs above. Two commit
+# paths are held to the same ceiling: "inproc commit" (bench_net, simulated
+# engine) and "local commit" (bench_local_engine, the durable WAL engine —
+# real writev + fdatasync must not cost heap allocations either).
+for row in "inproc commit" "local commit"; do
+  sed -nE 's/.*"row":"'"$row"'".*"allocs_per_txn":([0-9.]+).*/\1/p' "$CURRENT" \
+    | awk -v ceiling="$MAX_ALLOCS" -v row="$row" '
+    { last = $1 + 0; n++ }
+    END {
+      if (n == 0) {
+        printf "bench_gate: no \"%s\" allocs_per_txn row found\n", row > "/dev/stderr";
+        exit 1;
+      }
+      if (last > ceiling) {
+        printf "bench_gate: FAIL — %.1f allocations/txn on the %s path exceeds the %.1f ceiling\n",
+               last, row, ceiling > "/dev/stderr";
+        exit 1;
+      }
+      printf "bench_gate: PASS — %.1f allocations/txn on the %s path (ceiling %.1f)\n",
+             last, row, ceiling;
     }
-    if (last > ceiling) {
-      printf "bench_gate: FAIL — %.1f allocations/txn on the in-proc commit path exceeds the %.1f ceiling\n",
-             last, ceiling > "/dev/stderr";
-      exit 1;
-    }
-    printf "bench_gate: PASS — %.1f allocations/txn on the in-proc commit path (ceiling %.1f)\n",
-           last, ceiling;
-  }
-'
+  '
+done

@@ -10,7 +10,9 @@
 # Each leg runs the full suite under the event-loop server default, then
 # re-runs the socket-heavy suites (net + cluster) with
 # AFT_NET_THREADING=thread so both server models are covered per leg —
-# the same 2-D matrix ci.yml expands into separate jobs.
+# the same 2-D matrix ci.yml expands into separate jobs — and finally
+# hammers the WAL crash-recovery harness (kill -9 children, timing varies)
+# a few extra times under the leg's sanitizer.
 
 set -u
 cd "$(dirname "$0")/.."
@@ -23,7 +25,8 @@ leg() {  # leg <name> <build-dir> <extra cmake args...>
   if cmake -B "$dir" -S . "$@" > /dev/null \
      && cmake --build "$dir" -j "$JOBS" 2>&1 | tail -5 \
      && (cd "$dir" && AFT_NET_THREADING=event ctest --output-on-failure -j "$JOBS") \
-     && (cd "$dir" && AFT_NET_THREADING=thread ctest --output-on-failure -R 'net_test|cluster_test|serde_compat_test'); then
+     && (cd "$dir" && AFT_NET_THREADING=thread ctest --output-on-failure -R 'net_test|cluster_test|serde_compat_test') \
+     && (cd "$dir" && ctest --output-on-failure -R 'wal_recovery_test' --repeat until-fail:3); then
     echo "[PASS] $name"
   else
     echo "[FAIL] $name"
