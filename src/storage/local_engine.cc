@@ -199,13 +199,19 @@ LocalEngine::~LocalEngine() {
 }
 
 Status LocalEngine::EnsureFileLocked(uint64_t file_key) {
-  FileState& state = files_[file_key];
+  auto [it, inserted] = files_.try_emplace(file_key);
+  FileState& state = it->second;
   if (state.handle != nullptr) {
     return Status::Ok();
   }
   const std::string path = wal::WalFilePath(data_dir_, file_key);
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
+    if (inserted) {
+      // Don't strand a handle-less FileState: compaction treats every
+      // files_ entry as a readable input.
+      files_.erase(it);
+    }
     return ErrnoStatus("open " + path + " for reads");
   }
   state.handle = std::make_shared<FileHandle>();
@@ -273,11 +279,19 @@ Status LocalEngine::ApplyWrites(std::span<const Wal::AppendOp> ops) {
     return first_error;
   }
   locs.resize(accepted.size());
-  auto lsn = wal_->AppendBatch(std::span<const Wal::AppendOp>(accepted), locs.data());
-  if (!lsn.ok()) {
-    return lsn.status();
-  }
+  uint64_t batch_lsn = 0;
   {
+    // Shared hold spans append -> index publication so compaction's
+    // exclusive snapshot can never observe this batch's records appended
+    // but not yet indexed (it would unlink their file; see inflight_mu_).
+    // Released before Sync: durability needs no coordination with
+    // compaction, and fsync waits dominate write latency.
+    ReaderMutexLock gate(inflight_mu_);
+    auto lsn = wal_->AppendBatch(std::span<const Wal::AppendOp>(accepted), locs.data());
+    if (!lsn.ok()) {
+      return lsn.status();
+    }
+    batch_lsn = *lsn;
     WriterMutexLock lock(index_mu_);
     for (size_t i = 0; i < accepted.size(); ++i) {
       AFT_RETURN_IF_ERROR(EnsureFileLocked(locs[i].file_key));
@@ -285,27 +299,17 @@ Status LocalEngine::ApplyWrites(std::span<const Wal::AppendOp> ops) {
       ApplyIndexOp(accepted[i].op, accepted[i].key, loc, locs[i].record_bytes);
     }
   }
-  AFT_RETURN_IF_ERROR(wal_->Sync(*lsn));
+  AFT_RETURN_IF_ERROR(wal_->Sync(batch_lsn));
   return first_error;
 }
 
-Result<std::string> LocalEngine::PreadValue(const Locator& loc, uint64_t offset,
-                                            uint64_t length) {
-  std::shared_ptr<FileHandle> handle;
-  {
-    ReaderMutexLock lock(index_mu_);
-    auto it = files_.find(loc.file_key);
-    if (it == files_.end() || it->second.handle == nullptr) {
-      return Status::Internal("index references unknown wal file " +
-                              wal::WalFileName(loc.file_key));
-    }
-    handle = it->second.handle;
-  }
+Result<std::string> LocalEngine::PreadValue(const FileHandle& handle, const Locator& loc,
+                                            uint64_t offset, uint64_t length) {
   std::string value;
   value.resize(length);
   size_t done = 0;
   while (done < length) {
-    const ssize_t n = ::pread(handle->fd, value.data() + done, length - done,
+    const ssize_t n = ::pread(handle.fd, value.data() + done, length - done,
                               static_cast<off_t>(loc.value_offset + offset + done));
     if (n < 0) {
       if (errno == EINTR) {
@@ -322,20 +326,37 @@ Result<std::string> LocalEngine::PreadValue(const Locator& loc, uint64_t offset,
   return value;
 }
 
+Status LocalEngine::ResolveLocked(const std::string& key, Locator* loc,
+                                  std::shared_ptr<FileHandle>* handle) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return Status::NotFound(key);
+  }
+  *loc = it->second;
+  auto fit = files_.find(loc->file_key);
+  if (fit == files_.end() || fit->second.handle == nullptr) {
+    return Status::Internal("index references unknown wal file " +
+                            wal::WalFileName(loc->file_key));
+  }
+  *handle = fit->second.handle;
+  return Status::Ok();
+}
+
 Result<std::string> LocalEngine::Get(const std::string& key) {
   counters_.gets.fetch_add(1, std::memory_order_relaxed);
   counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
   LatencyTimer timer(op_latency_get_);
   Locator loc;
+  std::shared_ptr<FileHandle> handle;
   {
+    // Locator and handle resolve under ONE lock acquisition: compaction
+    // repoints the index and retires input files atomically under the writer
+    // lock, so splitting the lookup would let a concurrent pass invalidate
+    // the locator between the two steps.
     ReaderMutexLock lock(index_mu_);
-    auto it = index_.find(key);
-    if (it == index_.end()) {
-      return Status::NotFound(key);
-    }
-    loc = it->second;
+    AFT_RETURN_IF_ERROR(ResolveLocked(key, &loc, &handle));
   }
-  return PreadValue(loc, 0, loc.value_len);
+  return PreadValue(*handle, loc, 0, loc.value_len);
 }
 
 Result<std::string> LocalEngine::GetRange(const std::string& key, uint64_t offset,
@@ -344,18 +365,15 @@ Result<std::string> LocalEngine::GetRange(const std::string& key, uint64_t offse
   counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
   LatencyTimer timer(op_latency_get_);
   Locator loc;
+  std::shared_ptr<FileHandle> handle;
   {
     ReaderMutexLock lock(index_mu_);
-    auto it = index_.find(key);
-    if (it == index_.end()) {
-      return Status::NotFound(key);
-    }
-    loc = it->second;
+    AFT_RETURN_IF_ERROR(ResolveLocked(key, &loc, &handle));
   }
   if (offset > loc.value_len) {
     return Status::InvalidArgument("range offset beyond object size");
   }
-  return PreadValue(loc, offset, std::min<uint64_t>(length, loc.value_len - offset));
+  return PreadValue(*handle, loc, offset, std::min<uint64_t>(length, loc.value_len - offset));
 }
 
 std::vector<Result<std::string>> LocalEngine::MultiGet(std::span<const std::string> keys) {
@@ -495,8 +513,6 @@ Status LocalEngine::MaybeCompact(bool force) {
     compaction_running_ = true;
   }
   const Status status = [&]() -> Status {
-    const uint64_t active_key = wal_->active_file_key();
-
     // Snapshot the frozen set and (under the shared lock) the live entries
     // pointing into it. Values are pread AFTER the lock drops — frozen
     // records are immutable, and the repoint step below tolerates entries
@@ -504,16 +520,30 @@ Status LocalEngine::MaybeCompact(bool force) {
     struct LiveEntry {
       std::string key;
       Locator old_loc;
-      uint64_t out_offset = 0;  // value offset in the compacted file
+      std::shared_ptr<FileHandle> handle;  // pins the input file for the pread
+      uint64_t out_offset = 0;             // value offset in the compacted file
     };
     std::vector<LiveEntry> live;
     std::vector<uint64_t> inputs;
     uint64_t input_bytes = 0;
     uint64_t input_dead = 0;
     {
+      // Exclusive gate: wait out every write that has appended but not yet
+      // indexed, and hold off new ones while inputs are chosen. Combined
+      // with the sequence guard below this makes the selection exact — no
+      // frozen input can be hiding records the index has not published.
+      WriterMutexLock gate(inflight_mu_);
       ReaderMutexLock lock(index_mu_);
+      // The active key MUST be read while index_mu_ is held: files_ cannot
+      // gain entries while we hold the shared lock, and any file already in
+      // files_ was active strictly before the key we read here. A pre-lock
+      // snapshot races with rotation — a write could index the new active
+      // file and this loop would select the file the WAL is appending to.
+      // Guard on the sequence number (not just key equality) so every file
+      // at or past the active slot is excluded outright.
+      const uint32_t active_seq = wal::FileSeq(wal_->active_file_key());
       for (const auto& [file_key, state] : files_) {
-        if (file_key == active_key) {
+        if (wal::FileSeq(file_key) >= active_seq) {
           continue;
         }
         inputs.push_back(file_key);
@@ -531,7 +561,8 @@ Status LocalEngine::MaybeCompact(bool force) {
       }
       for (const auto& [key, loc] : index_) {
         if (std::binary_search(inputs.begin(), inputs.end(), loc.file_key)) {
-          live.push_back(LiveEntry{std::string(std::string_view(key)), loc, 0});
+          live.push_back(LiveEntry{std::string(std::string_view(key)), loc,
+                                   files_.find(loc.file_key)->second.handle, 0});
         }
       }
     }
@@ -561,7 +592,7 @@ Status LocalEngine::MaybeCompact(bool force) {
     uint64_t out_offset = 0;
     uint64_t out_bytes = 0;
     for (LiveEntry& entry : live) {
-      auto value = PreadValue(entry.old_loc, 0, entry.old_loc.value_len);
+      auto value = PreadValue(*entry.handle, entry.old_loc, 0, entry.old_loc.value_len);
       if (!value.ok()) {
         return fail(value.status());
       }

@@ -164,7 +164,15 @@ class LocalEngine final : public StorageEngine {
   // Registers a file the index is about to reference (opens its read fd).
   Status EnsureFileLocked(uint64_t file_key) REQUIRES(index_mu_);
 
-  Result<std::string> PreadValue(const Locator& loc, uint64_t offset, uint64_t length);
+  // Resolves a key to its locator AND the (refcounted) read handle of the
+  // file it lives in, in one critical section — compaction repoints/retires
+  // atomically under the writer lock, so the pair is only coherent when
+  // looked up together.
+  Status ResolveLocked(const std::string& key, Locator* loc,
+                       std::shared_ptr<FileHandle>* handle) REQUIRES_SHARED(index_mu_);
+
+  Result<std::string> PreadValue(const FileHandle& handle, const Locator& loc, uint64_t offset,
+                                 uint64_t length);
 
   void CompactorMain();
   // One compaction pass over the current frozen set; no-op when `force` is
@@ -188,6 +196,16 @@ class LocalEngine final : public StorageEngine {
   using IndexMap = std::map<IndexKey, Locator, IndexKeyLess,
                             PoolAllocator<std::pair<const IndexKey, Locator>>>;
 
+  // Barrier between in-flight writes and compaction's input selection. A
+  // writer holds it SHARED from its WAL append through its index
+  // publication; compaction holds it EXCLUSIVE (briefly) while snapshotting
+  // inputs. Without it, a batch whose append froze the file (rotation fires
+  // inside AppendBatch) but whose index update has not run yet is invisible
+  // to the snapshot — compaction would select and unlink a file holding
+  // records the index is about to reference. Writes starting after the
+  // snapshot land at or past the active sequence, which the snapshot
+  // excludes, so they need no gate. Acquired before index_mu_.
+  mutable SharedMutex inflight_mu_;
   mutable SharedMutex index_mu_;
   std::shared_ptr<MemoryPool> index_pool_ = std::make_shared<MemoryPool>();
   IndexMap index_ GUARDED_BY(index_mu_){

@@ -126,15 +126,19 @@ uint32_t RecordPayloadCrc(RecordOp op, std::string_view key, std::string_view va
   return Crc32End(crc);
 }
 
-uint32_t RecordPayloadLen(RecordOp op, std::string_view key, std::string_view value) {
-  return static_cast<uint32_t>(1 + 4 + key.size() +
-                               (op == RecordOp::kPut ? 4 + value.size() : 0));
+// 64-bit on purpose: a key+value totaling more than 4 GiB must arrive at the
+// kMaxRecordPayload check un-wrapped. Callers validate against the limit
+// before narrowing to the 32-bit wire field.
+uint64_t RecordPayloadLen(RecordOp op, std::string_view key, std::string_view value) {
+  return 1ull + 4 + key.size() + (op == RecordOp::kPut ? 4 + value.size() : 0);
 }
 
 }  // namespace
 
 void AppendRecordTo(BinaryWriter& out, RecordOp op, std::string_view key, std::string_view value) {
-  out.PutU32(RecordPayloadLen(op, key, value));
+  // Callers only re-encode records that already passed AppendBatch's
+  // kMaxRecordPayload check, so the narrowing below cannot wrap.
+  out.PutU32(static_cast<uint32_t>(RecordPayloadLen(op, key, value)));
   out.PutU32(RecordPayloadCrc(op, key, value));
   out.PutU8(static_cast<uint8_t>(op));
   out.PutString(key);
@@ -268,15 +272,16 @@ Result<uint64_t> Wal::AppendBatch(std::span<const AppendOp> ops, AppendedLoc* lo
   uint64_t cursor = active_size_;
   for (size_t i = 0; i < ops.size(); ++i) {
     const AppendOp& op = ops[i];
-    const uint32_t payload_len = wal::RecordPayloadLen(op.op, op.key, op.value);
+    const uint64_t payload_len = wal::RecordPayloadLen(op.op, op.key, op.value);
     if (payload_len > wal::kMaxRecordPayload) {
       return Status::InvalidArgument("wal record payload of " + std::to_string(payload_len) +
                                      " bytes exceeds the " +
                                      std::to_string(wal::kMaxRecordPayload) + "-byte limit");
     }
+    const uint32_t payload_len32 = static_cast<uint32_t>(payload_len);
     const uint32_t crc = wal::RecordPayloadCrc(op.op, op.key, op.value);
     char* header = headers_.data() + i * wal::kRecordHeaderSize;
-    std::memcpy(header, &payload_len, 4);
+    std::memcpy(header, &payload_len32, 4);
     std::memcpy(header + 4, &crc, 4);
 
     const uint8_t opb = static_cast<uint8_t>(op.op);

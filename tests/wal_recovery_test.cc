@@ -22,6 +22,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -399,6 +400,89 @@ TEST(WalRecoveryTest, GroupCommitSharesFsyncsAcrossWriters) {
   // The point of group commit: one fdatasync acknowledges many writers.
   EXPECT_LT(stats.fsyncs, stats.records);
   EXPECT_GE(stats.sync_waiters_released, stats.records);
+}
+
+// Regression for two compaction races: (1) a rotation racing the
+// pre-compaction snapshot must never let the pass select — and unlink — the
+// file the WAL is actively appending to (acked writes would vanish on
+// replay, and later appends would fail); (2) a reader resolving a live key
+// while compaction repoints the index under it must never see a spurious
+// error. Tiny files keep the WAL rotating constantly so both windows stay
+// hot while CompactNow passes run back to back.
+TEST(WalRecoveryTest, CompactionRacesWritersAndReadersSafely) {
+  TempDir dir;
+  LocalEngineOptions options;
+  options.max_log_bytes = 2048;  // rotate every dozen-odd records
+  options.start_compaction_thread = false;
+  options.fdatasync = false;  // no crash here; clean close flushes everything
+  auto engine = LocalEngine::Open(dir.path(), options);
+  ASSERT_TRUE(engine.ok());
+
+  // Keys the reader thread hammers; written up front, never superseded.
+  constexpr int kStableKeys = 16;
+  for (int i = 0; i < kStableKeys; ++i) {
+    ASSERT_TRUE((*engine)->Put("stable-" + std::to_string(i), std::string(100, 's')).ok());
+  }
+
+  // Writers are BOUNDED (not run-until-stopped): every file they roll keeps
+  // an open read fd until a compaction pass absorbs it, so an unbounded
+  // writer can outrun the compaction loop below into fd exhaustion.
+  std::atomic<bool> stop{false};
+  std::atomic<int> writers_done{0};
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 1500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kWriters; ++t) {
+    workers.emplace_back([&, t] {
+      // Overwrites feed compaction dead bytes; every ack must survive replay.
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        const std::string key = "w" + std::to_string(t) + "-" + std::to_string(i % 32);
+        const Status put = (*engine)->Put(key, std::string(120, static_cast<char>('a' + t)));
+        EXPECT_TRUE(put.ok()) << put.message();
+        if (!put.ok()) {
+          break;
+        }
+      }
+      writers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  workers.emplace_back([&] {
+    for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      auto value = (*engine)->Get("stable-" + std::to_string(i % kStableKeys));
+      EXPECT_TRUE(value.ok()) << value.status().message();
+      if (!value.ok()) {
+        return;
+      }
+    }
+  });
+  // Compact continuously while the writers churn, so every pass races live
+  // appends, rotations, and reads.
+  Status compact_status = Status::Ok();
+  while (writers_done.load(std::memory_order_acquire) < kWriters) {
+    compact_status = (*engine)->CompactNow();
+    if (!compact_status.ok()) {
+      break;
+    }
+  }
+  if (compact_status.ok()) {
+    // At least one pass even if the writers outran the loop, and a final
+    // absorb of everything they left behind.
+    compact_status = (*engine)->CompactNow();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  ASSERT_TRUE(compact_status.ok()) << compact_status.message();
+  EXPECT_GE((*engine)->compactions(), 1u);
+
+  // Every acknowledged write is still there, both live and after a replay.
+  const std::map<std::string, std::string> before = Snapshot(**engine);
+  EXPECT_GE(before.size(), static_cast<size_t>(kStableKeys));
+  engine->reset();
+  auto reopened = LocalEngine::Open(dir.path(), options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(Snapshot(**reopened), before);
 }
 
 // ---- kill -9 crash harness --------------------------------------------------
