@@ -153,6 +153,30 @@ inline void EmitJsonRowAllocs(const std::string& bench, const std::string& row,
   std::fflush(sink);
 }
 
+// Like EmitJsonRow, with the measured fsyncs-per-transaction attached as an
+// extra "fsyncs_per_txn" field (the local-engine batch-fusion figure).
+inline void EmitJsonRowFsyncs(const std::string& bench, const std::string& row,
+                              double p50_ms, double p99_ms, double throughput_tps,
+                              uint64_t completed, double fsyncs_per_txn) {
+  static std::FILE* sink = []() -> std::FILE* {
+    const char* path = std::getenv("AFT_BENCH_JSON");
+    if (path == nullptr || path[0] == '\0') {
+      return nullptr;
+    }
+    return std::fopen(path, "a");
+  }();
+  if (sink == nullptr) {
+    return;
+  }
+  std::fprintf(sink,
+               "{\"bench\":\"%s\",\"row\":\"%s\",\"p50_ms\":%.3f,"
+               "\"p99_ms\":%.3f,\"txn_per_s\":%.2f,\"completed\":%llu,"
+               "\"fsyncs_per_txn\":%.3f}\n",
+               bench.c_str(), row.c_str(), p50_ms, p99_ms, throughput_tps,
+               static_cast<unsigned long long>(completed), fsyncs_per_txn);
+  std::fflush(sink);
+}
+
 }  // namespace bench
 }  // namespace aft
 

@@ -160,6 +160,59 @@ void RunGroupCommitSweep(LocalEngine& engine, long ops_per_writer) {
   }
 }
 
+// N closed-loop committers through ONE AftNode over the engine: full AFT
+// transactions instead of raw puts. The protocol-level commit batcher
+// (src/core/commit_batcher.h) fuses every queued member's data versions AND
+// commit record into one WAL append with one group-committed fsync per
+// round, so fsyncs/txn falls toward 1/batch-size — below the 0.13 the
+// WAL-level latch alone measured at 16 writers (PR 8), because one fused
+// round now covers whole transactions, not single puts.
+void RunAftCommitSweep(LocalEngine& engine, long ops_per_writer) {
+  RealClock& clock = RealClock::Default();
+  AftNodeOptions node_options;
+  node_options.service_cores = 0;  // Measure real I/O fusion, not simulated CPU.
+  AftNode node("bench-local-batch", engine, clock, node_options);
+  Check(node.Start(), "batch node Start");
+  for (int writers : {1, 4, 16}) {
+    const Wal::Stats before = engine.wal_stats();
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    LatencyRecorder lat;
+    Mutex lat_mu;
+    for (int w = 0; w < writers; ++w) {
+      threads.emplace_back([&, w] {
+        LatencyRecorder local;
+        const std::string value(128, 'a');
+        for (long i = 0; i < ops_per_writer; ++i) {
+          const auto op_start = std::chrono::steady_clock::now();
+          auto txid = node.StartTransaction();
+          Check(txid.status(), "sweep StartTransaction");
+          Check(node.Put(*txid, "aft-w" + std::to_string(w), value), "sweep Put");
+          Check(node.CommitTransaction(*txid).status(), "sweep Commit");
+          local.RecordMillis(WallMs(op_start));
+        }
+        MutexLock lock(lat_mu);
+        lat.Merge(local);
+      });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+    const double elapsed_ms = WallMs(start);
+    const Wal::Stats after = engine.wal_stats();
+    const uint64_t ops = static_cast<uint64_t>(writers) * ops_per_writer;
+    const uint64_t fsyncs = after.fsyncs - before.fsyncs;
+    const double tput = elapsed_ms > 0 ? 1000.0 * ops / elapsed_ms : 0;
+    const double fsyncs_per_txn = ops > 0 ? static_cast<double>(fsyncs) / ops : 0;
+    const LatencySummary s = lat.Summarize();
+    std::printf(
+        "  aft commit %2dw        p50 %7.3f ms   p99 %7.3f ms   %8.0f txn/s   %.3f fsyncs/txn\n",
+        writers, s.median_ms, s.p99_ms, tput, fsyncs_per_txn);
+    bench::EmitJsonRowFsyncs("local_engine", "aft commit " + std::to_string(writers) + "w",
+                             s.median_ms, s.p99_ms, tput, ops, fsyncs_per_txn);
+  }
+}
+
 // Crash-recovery speed: reopen the directory every row above wrote into and
 // time the full replay (index rebuild included).
 void RunReopenReplay(const std::string& dir) {
@@ -217,6 +270,7 @@ int main() {
       allocs_per_txn = RunCommit(node, std::max<long>(reps, 64));
     }
     RunGroupCommitSweep(**engine, tput_ops);
+    RunAftCommitSweep(**engine, tput_ops);
   }
   RunReopenReplay(dir);
 

@@ -55,10 +55,15 @@ class MulticastBus {
 
   virtual ~MulticastBus() {
     // Concrete destructors are required to have called Stop() already (the
-    // final drain needs their RunOnce). If one forgot, still join the thread
-    // — without the drain — so we never destruct with a live loop.
-    if (running_.exchange(false) && thread_.joinable()) {
-      thread_.join();
+    // final drain needs their RunOnce). If one forgot, still join the
+    // threads — without the drain — so we never destruct with a live loop.
+    if (running_.exchange(false)) {
+      {
+        MutexLock lock(nudge_mu_);
+        nudge_stop_ = true;
+        nudge_cv_.NotifyAll();
+      }
+      JoinThreads();
     }
   }
 
@@ -78,6 +83,21 @@ class MulticastBus {
   // Disables supersedence pruning (ablation bench).
   void set_pruning_enabled(bool enabled) { pruning_enabled_.store(enabled); }
 
+  // Commit-round nudge (src/core/commit_batcher.h): wakes the nudge
+  // dispatcher into an immediate coalesced gossip round instead of letting
+  // the round's records wait out `interval`. Nudges arriving while a round
+  // is executing coalesce into ONE follow-up round. No-op while the bus is
+  // not started — tests that drive RunOnce by hand keep their exact round
+  // and record counts.
+  void NotifyCommitBatch() {
+    if (!running_.load(std::memory_order_acquire)) {
+      return;
+    }
+    MutexLock lock(nudge_mu_);
+    ++nudges_;
+    nudge_cv_.NotifyOne();
+  }
+
   // Background driver. Concrete destructors MUST call Stop() before their
   // members are torn down (the loop calls the virtual RunOnce).
   void Start() {
@@ -85,16 +105,25 @@ class MulticastBus {
     if (!running_.compare_exchange_strong(expected, true)) {
       return;
     }
+    {
+      MutexLock lock(nudge_mu_);
+      nudge_stop_ = false;
+      handled_ = nudges_;  // Nudges from before Start are stale; drop them.
+    }
     thread_ = std::thread([this] { Loop(); });
+    nudge_thread_ = std::thread([this] { NudgeLoop(); });
   }
 
   void Stop() {
     if (!running_.exchange(false)) {
       return;
     }
-    if (thread_.joinable()) {
-      thread_.join();
+    {
+      MutexLock lock(nudge_mu_);
+      nudge_stop_ = true;
+      nudge_cv_.NotifyAll();
     }
+    JoinThreads();
     // Final drain so no committed record is stranded in a node's pending list.
     RunOnce();
   }
@@ -115,13 +144,56 @@ class MulticastBus {
       if (!running_.load()) {
         return;
       }
-      RunOnce();
+      SerializedRunOnce();
+    }
+  }
+
+  // Dispatcher for commit-round nudges. Runs no clock sleeps of its own
+  // (SimClock-safe): it parks on the condvar until NotifyCommitBatch and
+  // snapshots the nudge counter before each round, so any number of nudges
+  // that arrived while a round was in flight collapse into one more round.
+  void NudgeLoop() {
+    MutexLock lock(nudge_mu_);
+    while (true) {
+      while (nudges_ == handled_ && !nudge_stop_) {
+        nudge_cv_.Wait(lock);
+      }
+      if (nudge_stop_) {
+        return;
+      }
+      handled_ = nudges_;
+      lock.Unlock();
+      SerializedRunOnce();
+      lock.Lock();
+    }
+  }
+
+  // Interval rounds and nudged rounds must not interleave: RunOnce drains
+  // per-node pending lists and bumps stats that assume one round at a time.
+  void SerializedRunOnce() {
+    MutexLock lock(round_mu_);
+    RunOnce();
+  }
+
+  void JoinThreads() {
+    if (nudge_thread_.joinable()) {
+      nudge_thread_.join();
+    }
+    if (thread_.joinable()) {
+      thread_.join();
     }
   }
 
   std::atomic<bool> pruning_enabled_{true};
   std::atomic<bool> running_{false};
   std::thread thread_;
+  std::thread nudge_thread_;
+  Mutex round_mu_;
+  Mutex nudge_mu_;
+  CondVar nudge_cv_;
+  uint64_t nudges_ GUARDED_BY(nudge_mu_) = 0;
+  uint64_t handled_ GUARDED_BY(nudge_mu_) = 0;
+  bool nudge_stop_ GUARDED_BY(nudge_mu_) = false;
 };
 
 // The original in-process implementation: peers exchange records by direct

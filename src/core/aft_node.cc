@@ -28,7 +28,11 @@ AftNode::AftNode(std::string node_id, StorageEngine& storage, Clock& clock, AftN
       options_(std::move(options)),
       data_cache_(options_.data_cache_bytes),
       throttle_(clock, options_.service_cores,
-                options_.service_time.Scaled(storage.client_cpu_factor())) {
+                options_.service_time.Scaled(storage.client_cpu_factor())),
+      batcher_(node_id_, storage,
+               [this](std::span<CommitBatcher::Pending* const> committed) {
+                 PublishCommittedRound(committed);
+               }) {
   auto& reg = obs::MetricsRegistry::Global();
   const obs::MetricLabels labels = {{"node", node_id_}};
   metrics_.txns_started =
@@ -673,6 +677,82 @@ Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
   const TxnId commit_id(clock_.WallTimeMicros(), txid);
   txn->commit_id = commit_id;
 
+  // Batched path: concurrent committers coalesce into shared storage rounds
+  // (src/core/commit_batcher.h) — one merged data flush, one §3.3 barrier,
+  // one batched record write, with per-transaction poisoning. The legacy
+  // per-transaction sequence below remains for the packed layout (its
+  // segment flush mutates txn state mid-write), for crash-point tests
+  // (they pin the exact legacy write order), and when batching is off.
+  if (options_.enable_commit_batching && !options_.packed_layout && !options_.crash_hook) {
+    // Prepare this transaction's commit unit under its lock: exactly the
+    // writes the unbatched flush would issue, plus the serialized record.
+    // The dirty set is NOT cleared yet — a failed round drops the
+    // transaction back to kRunning with its buffer intact, and a retry
+    // re-prepares the same unit (version keys are uuid-addressed, so the
+    // rewrite is idempotent).
+    const auto cowritten = std::views::keys(txn->write_buffer);
+    const size_t value_base_bytes =
+        record_detail::kRecordHeaderBytes + EncodedStringVectorBytes(cowritten) + 4;
+    SmallVector<WriteOp, 8> ops;
+    ops.reserve(txn->dirty.size());
+    for (const auto& [key, payload] : txn->write_buffer) {
+      if (!txn->dirty.contains(key)) {
+        continue;
+      }
+      BinaryWriter w;
+      w.Reserve(value_base_bytes + payload.size());
+      EncodeVersionedValueFields(w, commit_id, cowritten, payload);
+      ops.push_back(WriteOp{VersionStorageKey(key, txn->uuid), std::move(w).TakeData()});
+    }
+    std::vector<std::string> write_set_keys;
+    write_set_keys.reserve(txn->write_buffer.size());
+    for (const auto& [key, payload] : txn->write_buffer) {
+      write_set_keys.push_back(key);
+    }
+    auto record = std::allocate_shared<const CommitRecord>(
+        record_alloc_, CommitRecord{commit_id, std::move(write_set_keys), 0, {}});
+    CommitBatcher::Pending pending;
+    pending.data_ops = std::span<WriteOp>(ops.data(), ops.size());
+    pending.commit_record = WriteOp{CommitStorageKey(commit_id), record->Serialize()};
+    pending.record = record;
+    pending.trace = txn->trace;
+
+    Status committed;
+    {
+      // The round — data flush, §3.3 barrier, record write, possibly fused
+      // with batch-mates — runs outside the transaction lock so committers
+      // prepared on other threads can join it and the leader can publish.
+      // While unlocked the transaction sits in kCommitting, which rejects
+      // every concurrent mutation of it.
+      obs::TraceSpan round_span(txn->trace, "CommitRound", node_id_);
+      lock.Unlock();
+      committed = batcher_.Commit(pending);
+      lock.Lock();
+    }
+    if (!committed.ok()) {
+      txn->status = TxnStatus::kRunning;  // Buffer and dirty set intact; retry or abort.
+      return committed;
+    }
+
+    // Step 3: local visibility. The round leader's publisher already staged
+    // the record (and trace) for broadcast.
+    txn->dirty.clear();
+    if (commits_.Add(record)) {
+      index_.AddCommit(*record);
+    }
+    for (const auto& [key, payload] : txn->write_buffer) {
+      data_cache_.Put(VersionStorageKey(key, txid), payload);
+    }
+    commits_.NoteLocalCommit(commit_id);
+    txn->status = TxnStatus::kCommitted;
+    UnpinReads(*txn);
+    txn->reads_from.clear();
+    lock.Unlock();
+
+    FinishCommittedTransaction(txid, commit_id);
+    return commit_id;
+  }
+
   if (MaybeCrash(CrashPoint::kBeforeDataWrite)) {
     return Status::Unavailable("node crashed");
   }
@@ -750,8 +830,13 @@ Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
   txn->reads_from.clear();
   lock.Unlock();
 
+  FinishCommittedTransaction(txid, commit_id);
+  return commit_id;
+}
+
+void AftNode::FinishCommittedTransaction(const Uuid& txid, const TxnId& commit_id) {
   {
-    MutexLock clock_guard(committed_mu_);
+    MutexLock lock(committed_mu_);
     committed_uuids_[txid] = commit_id;
     committed_order_.push_back(txid);
     if (committed_order_.size() > options_.committed_uuid_memory) {
@@ -766,11 +851,30 @@ Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
     }
   }
   {
-    MutexLock tlock(txns_mu_);
+    MutexLock lock(txns_mu_);
     txns_.erase(txid);
   }
   metrics_.txns_committed->Increment();
-  return commit_id;
+}
+
+void AftNode::PublishCommittedRound(std::span<CommitBatcher::Pending* const> committed) {
+  {
+    MutexLock lock(broadcast_mu_);
+    for (CommitBatcher::Pending* member : committed) {
+      pending_broadcast_.push_back(member->record);
+      pending_broadcast_traces_.push_back(member->trace);
+    }
+  }
+  // One nudge for the whole round: the gossip bus runs a single coalesced
+  // broadcast covering every member.
+  if (has_batch_listener_.load(std::memory_order_acquire)) {
+    batch_listener_();
+  }
+}
+
+void AftNode::SetCommitBatchListener(std::function<void()> listener) {
+  batch_listener_ = std::move(listener);
+  has_batch_listener_.store(static_cast<bool>(batch_listener_), std::memory_order_release);
 }
 
 void AftNode::DrainRecentCommits(std::vector<CommitRecordPtr>* pruned,

@@ -25,6 +25,7 @@
 #include "src/common/pool_allocator.h"
 #include "src/common/status.h"
 #include "src/common/throttle.h"
+#include "src/core/commit_batcher.h"
 #include "src/core/commit_set_cache.h"
 #include "src/core/data_cache.h"
 #include "src/core/key_version_index.h"
@@ -92,6 +93,16 @@ struct AftNodeOptions {
   // How many (uuid -> commit id) entries to remember for idempotent commit
   // retries.
   size_t committed_uuid_memory = 65536;
+
+  // Cross-transaction commit batching (src/core/commit_batcher.h):
+  // concurrent CommitTransaction calls coalesce into shared storage rounds
+  // — one merged data flush, one §3.3 barrier, one batched commit-record
+  // write — with per-transaction poisoning. A lone committer takes a solo
+  // fast path identical to the unbatched sequence. Automatically bypassed
+  // for the packed layout (its segment flush mutates per-txn state
+  // mid-write) and when a crash_hook is installed (the crash-point tests
+  // pin the exact legacy write sequence).
+  bool enable_commit_batching = true;
 
   // Fault-injection hook: return true to crash the node at this point.
   std::function<bool(CrashPoint)> crash_hook;
@@ -204,6 +215,13 @@ class AftNode {
   // superseded records are skipped (§4.1).
   void ApplyRemoteCommits(const std::vector<CommitRecordPtr>& records);
 
+  // Registers a callback fired once per commit round (by the round leader,
+  // no node locks held) right after the round's records were staged for
+  // broadcast. The cluster layer uses it to nudge the gossip bus into an
+  // immediate coalesced round instead of waiting out the multicast
+  // interval. Set-once, before traffic starts; pass nullptr never.
+  void SetCommitBatchListener(std::function<void()> listener);
+
   // ---- Garbage collection (§5) ----------------------------------------------
   // One local metadata GC sweep; returns the number of records removed.
   size_t RunLocalGcOnce();
@@ -252,11 +270,18 @@ class AftNode {
   // `record` supplies the locators needed for the packed layout.
   Result<std::string> ReadVersionPayload(const std::string& key, const TxnId& version,
                                          const CommitRecordPtr& record);
+  // Batcher round publisher: stages every committed member's record (and
+  // trace) for broadcast under ONE broadcast_mu_ hold, then fires the batch
+  // listener once for the whole round.
+  void PublishCommittedRound(std::span<CommitBatcher::Pending* const> committed);
   // True when some running transaction has read from `id` (GC guard, §5.1).
   // O(1) via the read pin table.
   bool AnyRunningTransactionReadsFrom(const TxnId& id);
   // Releases the transaction's read pins (commit/abort epilogue).
   void UnpinReads(const TransactionState& txn) REQUIRES(txn.mu);
+  // Shared post-commit bookkeeping (no locks held on entry): idempotence
+  // memory, transaction-table erase, counters.
+  void FinishCommittedTransaction(const Uuid& txid, const TxnId& commit_id);
   void BackgroundLoop();
   bool MaybeCrash(CrashPoint point);
 
@@ -301,6 +326,13 @@ class AftNode {
   Mutex broadcast_mu_;
   std::vector<CommitRecordPtr> pending_broadcast_ GUARDED_BY(broadcast_mu_);
   std::vector<obs::TraceContext> pending_broadcast_traces_ GUARDED_BY(broadcast_mu_);
+
+  // Group commit across transactions (see enable_commit_batching). The
+  // listener is read lock-free on the commit hot path: the flag is only
+  // ever set once, before traffic, so the std::function itself is stable.
+  CommitBatcher batcher_;
+  std::function<void()> batch_listener_;
+  std::atomic<bool> has_batch_listener_{false};
 
   // Registry-backed instruments, looked up once at construction (labels:
   // {node=node_id_}). Counters/histograms are owned by the global registry;

@@ -1,0 +1,105 @@
+// Cross-transaction commit batching: group commit at the AFT protocol layer.
+//
+// CommitTransaction's storage cost is two serialized rounds against the
+// shared engine — flush the data versions, then (after the §3.3 barrier)
+// write the commit record. Under concurrency every transaction pays both
+// rounds by itself. The batcher coalesces them the way the WAL's group
+// commit coalesces fsyncs (latch-and-piggyback): the first committer
+// through becomes the round LEADER and executes the storage rounds for
+// everyone queued behind it; followers park on a condvar and wake with
+// their verdict already decided. Batches form adaptively — while a round
+// is in flight new arrivals queue, and whatever depth accumulated by round
+// completion IS the next batch. No timer, so a lone committer pays zero
+// added latency: the solo fast path never touches the queue and its
+// storage sequence (see StorageEngine::CommitUnits) is exactly the legacy
+// unbatched commit.
+//
+// Per-transaction semantics are preserved, not averaged: unit-level §3.3
+// ordering (a member's record is written only after ALL of that member's
+// data is durable) and per-unit poisoning (one member's failed flush
+// aborts that member alone — its record is never written — while its
+// batch-mates commit).
+
+#ifndef SRC_CORE_COMMIT_BATCHER_H_
+#define SRC_CORE_COMMIT_BATCHER_H_
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "src/common/mutex.h"
+#include "src/common/small_vector.h"
+#include "src/common/status.h"
+#include "src/core/commit_set_cache.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/storage/storage_engine.h"
+
+namespace aft {
+
+class CommitBatcher {
+ public:
+  // One transaction's contribution to a round, fully prepared by the caller
+  // (under its transaction lock) before submission. The batcher owns the
+  // struct from Commit() entry until Commit() returns; `data_ops` and
+  // `commit_record` may be consumed by the storage engine either way.
+  struct Pending {
+    std::span<WriteOp> data_ops;  // serialized version objects
+    WriteOp commit_record;        // commit-set key + serialized record
+    CommitRecordPtr record;       // in-memory record, for the publisher
+    obs::TraceContext trace;      // transaction's trace, follows into gossip
+    Status result;                // verdict, written by the round leader
+    bool done = false;            // round-completion flag (batcher mutex)
+  };
+
+  // Invoked by the round leader — with no batcher lock held — once per
+  // round that committed anything, with exactly the members whose commit
+  // records were durably written. The node stages them for broadcast under
+  // one lock hold and nudges the gossip bus once for the whole round.
+  using RoundPublisher = std::function<void(std::span<Pending* const> committed)>;
+
+  CommitBatcher(const std::string& node_id, StorageEngine& storage, RoundPublisher publisher);
+
+  CommitBatcher(const CommitBatcher&) = delete;
+  CommitBatcher& operator=(const CommitBatcher&) = delete;
+
+  // Commits `pending` as part of some round (possibly alone) and returns
+  // its individual verdict; blocks until the round containing it completes.
+  // On failure the member's commit record was NOT written, so the caller's
+  // transaction stays retryable.
+  Status Commit(Pending& pending);
+
+ private:
+  // Executes one merged storage round for `members`. No batcher lock held:
+  // the engine call is the slow part, and running it unlatched is what lets
+  // the next batch form meanwhile.
+  void ExecuteRound(std::span<Pending* const> members);
+
+  // Stamps the legacy per-phase lifecycle spans ("CommitFlush",
+  // "CommitRecordWrite") over [start_us, end_us] for every sampled member.
+  // The fused round persists data versions and commit records in one engine
+  // call, so both stages share the round's window; keeping the stage names
+  // keeps sampled traces readable by the same consumers as unbatched runs.
+  void RecordRoundSpans(std::span<Pending* const> members, uint64_t start_us,
+                        uint64_t end_us) const;
+
+  const std::string node_id_;
+  StorageEngine& storage_;
+  const RoundPublisher publisher_;
+
+  Mutex mu_;
+  CondVar cv_;
+  // True while a leader is off executing a round; arrivals queue behind it.
+  bool round_in_flight_ GUARDED_BY(mu_) = false;
+  SmallVector<Pending*, 16> queue_ GUARDED_BY(mu_);
+
+  // aft_commit_batch_* families (docs/OBSERVABILITY.md), labeled {node=}.
+  obs::Histogram* batch_size_;
+  obs::Counter* rounds_;
+  obs::Counter* leader_commits_;
+  obs::Counter* follower_commits_;
+};
+
+}  // namespace aft
+
+#endif  // SRC_CORE_COMMIT_BATCHER_H_

@@ -29,6 +29,10 @@
 //                   endpoint, paced ~10ms apart (default 0 = none). Gives a
 //                   metrics scraper something non-zero and monotone to watch;
 //                   used by the CI metrics smoke.
+//   --commit-batching on|off  cross-transaction commit batching (group
+//                   commit at the AFT layer; default on). "off" pins the
+//                   legacy one-round-trip-set-per-transaction sequence —
+//                   the baseline the bench gate compares against.
 //
 // SIGINT / SIGTERM trigger a clean shutdown: stop accepting, drain handler
 // threads, stop the node's background sweeps, exit 0.
@@ -62,7 +66,7 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--engine s3|dynamo|redis|local] [--data-dir D] "
                "[--node-id ID] [--threading thread|event] [--metrics-port N] "
-               "[--trace-sample N] [--smoke-traffic N]\n",
+               "[--trace-sample N] [--smoke-traffic N] [--commit-batching on|off]\n",
                argv0);
 }
 
@@ -79,6 +83,7 @@ int main(int argc, char** argv) {
   int metrics_port = -1;  // -1 = exporter disabled; 0 = kernel-assigned.
   uint64_t trace_sample = 0;
   uint64_t smoke_traffic = 0;
+  bool commit_batching = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -121,6 +126,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) { Usage(argv[0]); return 2; }
       smoke_traffic = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--commit-batching") {
+      const char* v = next();
+      if (v != nullptr && std::strcmp(v, "on") == 0) {
+        commit_batching = true;
+      } else if (v != nullptr && std::strcmp(v, "off") == 0) {
+        commit_batching = false;
+      } else {
+        Usage(argv[0]);
+        return 2;
+      }
     } else {
       Usage(argv[0]);
       return arg == "--help" ? 0 : 2;
@@ -139,7 +154,9 @@ int main(int argc, char** argv) {
   }
   std::unique_ptr<StorageEngine> storage = std::move(*storage_or);
 
-  AftNode node(node_id, *storage, clock);
+  AftNodeOptions node_options;
+  node_options.enable_commit_batching = commit_batching;
+  AftNode node(node_id, *storage, clock, node_options);
   if (!node.Start().ok()) {
     std::fprintf(stderr, "aft-server: failed to start node\n");
     return 1;

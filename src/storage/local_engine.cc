@@ -259,7 +259,6 @@ Status LocalEngine::ApplyWrites(std::span<const Wal::AppendOp> ops) {
   // Reused per-thread scratch keeps the steady-state commit path free of
   // allocations (the alloc-count bench asserts this).
   static thread_local std::vector<Wal::AppendOp> accepted;
-  static thread_local std::vector<Wal::AppendedLoc> locs;
   accepted.clear();
   Status first_error = Status::Ok();
   if (has_injector_.load(std::memory_order_acquire)) {
@@ -278,7 +277,13 @@ Status LocalEngine::ApplyWrites(std::span<const Wal::AppendOp> ops) {
   if (accepted.empty()) {
     return first_error;
   }
-  locs.resize(accepted.size());
+  AFT_RETURN_IF_ERROR(AppendIndexSync(std::span<const Wal::AppendOp>(accepted)));
+  return first_error;
+}
+
+Status LocalEngine::AppendIndexSync(std::span<const Wal::AppendOp> ops) {
+  static thread_local std::vector<Wal::AppendedLoc> locs;
+  locs.resize(ops.size());
   uint64_t batch_lsn = 0;
   {
     // Shared hold spans append -> index publication so compaction's
@@ -287,20 +292,19 @@ Status LocalEngine::ApplyWrites(std::span<const Wal::AppendOp> ops) {
     // Released before Sync: durability needs no coordination with
     // compaction, and fsync waits dominate write latency.
     ReaderMutexLock gate(inflight_mu_);
-    auto lsn = wal_->AppendBatch(std::span<const Wal::AppendOp>(accepted), locs.data());
+    auto lsn = wal_->AppendBatch(ops, locs.data());
     if (!lsn.ok()) {
       return lsn.status();
     }
     batch_lsn = *lsn;
     WriterMutexLock lock(index_mu_);
-    for (size_t i = 0; i < accepted.size(); ++i) {
+    for (size_t i = 0; i < ops.size(); ++i) {
       AFT_RETURN_IF_ERROR(EnsureFileLocked(locs[i].file_key));
       const Locator loc{locs[i].file_key, locs[i].value_offset, locs[i].value_len};
-      ApplyIndexOp(accepted[i].op, accepted[i].key, loc, locs[i].record_bytes);
+      ApplyIndexOp(ops[i].op, ops[i].key, loc, locs[i].record_bytes);
     }
   }
-  AFT_RETURN_IF_ERROR(wal_->Sync(batch_lsn));
-  return first_error;
+  return wal_->Sync(batch_lsn);
 }
 
 Result<std::string> LocalEngine::PreadValue(const FileHandle& handle, const Locator& loc,
@@ -419,6 +423,88 @@ Status LocalEngine::BatchPut(std::span<const WriteOp> ops) {
   }
   counters_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
   return ApplyWrites(std::span<const Wal::AppendOp>(wal_ops));
+}
+
+void LocalEngine::CommitUnits(std::span<CommitUnit> units, std::span<Status> results) {
+  for (Status& r : results) {
+    r = Status::Ok();
+  }
+  if (units.empty()) {
+    return;
+  }
+  counters_.batch_puts.fetch_add(1, std::memory_order_relaxed);
+  counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
+  LatencyTimer timer(op_latency_batch_);
+  // Fuse every unit into one ordered op vector: [unit data ops..., unit
+  // record] per unit. The record trails its data in the log, so
+  // prefix-truncating replay can never keep a record whose data was torn
+  // away — the §3.3 barrier, paid once per BATCH as a single fsync below.
+  static thread_local std::vector<Wal::AppendOp> fused;
+  fused.clear();
+  size_t max_ops = 0;
+  for (const CommitUnit& unit : units) {
+    max_ops += unit.data_ops.size() + 1;
+  }
+  fused.reserve(max_ops);
+  uint64_t bytes = 0;
+  const bool injecting = has_injector_.load(std::memory_order_acquire);
+  // aftlint: hot
+  for (size_t u = 0; u < units.size(); ++u) {
+    CommitUnit& unit = units[u];
+    for (const WriteOp& op : unit.data_ops) {
+      if (injecting) {
+        Status verdict;
+        {
+          MutexLock lock(injector_mu_);
+          verdict = injector_ ? injector_(op.key) : Status::Ok();
+        }
+        if (!verdict.ok()) {
+          // Poison THIS unit only. Its already-accepted data ops still
+          // append (non-atomic batch semantics — in-flight writes cannot be
+          // recalled) but stay invisible: the record that would reference
+          // them is withheld below.
+          if (results[u].ok()) {
+            results[u] = std::move(verdict);
+          }
+          continue;
+        }
+      }
+      fused.push_back(Wal::AppendOp{wal::RecordOp::kPut, op.key, op.value});
+      bytes += op.value.size();
+    }
+    if (!results[u].ok()) {
+      continue;
+    }
+    if (injecting) {
+      Status verdict;
+      {
+        MutexLock lock(injector_mu_);
+        verdict = injector_ ? injector_(unit.commit_record.key) : Status::Ok();
+      }
+      if (!verdict.ok()) {
+        results[u] = std::move(verdict);
+        continue;
+      }
+    }
+    fused.push_back(
+        Wal::AppendOp{wal::RecordOp::kPut, unit.commit_record.key, unit.commit_record.value});
+    bytes += unit.commit_record.value.size();
+  }
+  counters_.puts.fetch_add(fused.size(), std::memory_order_relaxed);
+  counters_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  if (fused.empty()) {
+    return;
+  }
+  const Status applied = AppendIndexSync(std::span<const Wal::AppendOp>(fused));
+  if (!applied.ok()) {
+    // The append (or its sync) is all-or-nothing for the batch: no unit's
+    // record was acknowledged, so every surviving unit fails.
+    for (Status& r : results) {
+      if (r.ok()) {
+        r = applied;
+      }
+    }
+  }
 }
 
 Status LocalEngine::BatchPutConsume(std::span<WriteOp> ops) {

@@ -96,6 +96,16 @@ class LocalEngine final : public StorageEngine {
   // caller's buffers into the kernel via writev and are never copied into
   // engine memory at all. Both batch entry points share that path.
   Status BatchPutConsume(std::span<WriteOp> ops) override;
+  // Fused group commit: the whole batch — every unit's data versions
+  // followed by that unit's commit record — rides ONE WAL append (one
+  // writev) and ONE group-committed fsync. Per-unit §3.3 ordering falls out
+  // of batch append order plus prefix-truncating replay: a unit's record is
+  // appended after its data, so a record that survives recovery implies its
+  // data survived. A unit whose write the injector rejects is poisoned: its
+  // record is withheld from the batch (already-accepted data ops still
+  // append — non-atomic batch semantics — and stay invisible orphans) while
+  // its batch-mates commit.
+  void CommitUnits(std::span<CommitUnit> units, std::span<Status> results) override;
   Status Delete(const std::string& key) override;
   Status BatchDelete(std::span<const std::string> keys) override;
   Result<std::vector<std::string>> List(const std::string& prefix) override;
@@ -155,6 +165,10 @@ class LocalEngine final : public StorageEngine {
   // The one write path: injector filtering, WAL append (one writev), index
   // update, group-commit sync. `api_calls` charging differs per entry point.
   Status ApplyWrites(std::span<const Wal::AppendOp> ops);
+  // The shared tail of every write: one AppendBatch under the compaction
+  // gate, index publication, one Sync. Callers have already run the
+  // injector over `ops`.
+  Status AppendIndexSync(std::span<const Wal::AppendOp> ops);
 
   // Index mutation for one applied op; does the dead-byte accounting.
   void ApplyIndexOp(wal::RecordOp op, std::string_view key, const Locator& loc,

@@ -68,6 +68,38 @@ SimEngineBase::SimEngineBase(std::string name, Clock& clock, EngineLatencyProfil
        counters_.transient_faults);
 }
 
+void SimEngineBase::SetMaxConcurrentRequests(size_t n) {
+  MutexLock lock(pool_mu_);
+  pool_limit_ = n;
+  pool_limit_hint_.store(n, std::memory_order_relaxed);
+  pool_cv_.NotifyAll();
+}
+
+SimEngineBase::ConnectionSlot::ConnectionSlot(SimEngineBase& engine) : engine_(engine) {
+  if (engine_.pool_limit_hint_.load(std::memory_order_relaxed) == 0) {
+    return;  // Unbounded pool: no slot accounting at all.
+  }
+  MutexLock lock(engine_.pool_mu_);
+  // Re-check under the lock — the limit may have been cleared meanwhile.
+  if (engine_.pool_limit_ == 0) {
+    return;
+  }
+  while (engine_.pool_in_use_ >= engine_.pool_limit_ && engine_.pool_limit_ != 0) {
+    engine_.pool_cv_.Wait(lock);
+  }
+  ++engine_.pool_in_use_;
+  acquired_ = true;
+}
+
+SimEngineBase::ConnectionSlot::~ConnectionSlot() {
+  if (!acquired_) {
+    return;
+  }
+  MutexLock lock(engine_.pool_mu_);
+  --engine_.pool_in_use_;
+  engine_.pool_cv_.NotifyOne();
+}
+
 void SimEngineBase::Charge(const LatencyModel& model, uint64_t bytes, obs::Histogram* latency) {
   const Duration d = model.Sample(ThreadLocalRng(), bytes);
   if (latency != nullptr) {
@@ -112,6 +144,7 @@ TimePoint SimEngineBase::SampleReadAsOf(const std::string& key) {
 }
 
 Result<std::string> SimEngineBase::Get(const std::string& key) {
+  ConnectionSlot slot(*this);
   counters_.gets.fetch_add(1, std::memory_order_relaxed);
   counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
   Charge(profile_.get, 0, op_latency_get_);
@@ -129,6 +162,7 @@ Result<std::string> SimEngineBase::Get(const std::string& key) {
 
 Result<std::string> SimEngineBase::GetRange(const std::string& key, uint64_t offset,
                                             uint64_t length) {
+  ConnectionSlot slot(*this);
   counters_.gets.fetch_add(1, std::memory_order_relaxed);
   counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
   Charge(profile_.get, length, op_latency_get_);
@@ -149,6 +183,7 @@ Result<std::string> SimEngineBase::GetRange(const std::string& key, uint64_t off
 }
 
 Status SimEngineBase::Put(std::string key, std::string value) {
+  ConnectionSlot slot(*this);
   counters_.puts.fetch_add(1, std::memory_order_relaxed);
   counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
   counters_.bytes_written.fetch_add(value.size(), std::memory_order_relaxed);
@@ -176,6 +211,7 @@ std::vector<Result<std::string>> SimEngineBase::MultiGet(std::span<const std::st
 }
 
 Status SimEngineBase::PutBatchChunk(std::span<const WriteOp> chunk) {
+  ConnectionSlot slot(*this);
   counters_.batch_puts.fetch_add(1, std::memory_order_relaxed);
   counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
   uint64_t bytes = 0;
@@ -220,6 +256,7 @@ Status SimEngineBase::BatchPut(std::span<const WriteOp> ops) {
 }
 
 Status SimEngineBase::PutBatchChunkConsume(std::span<WriteOp> chunk) {
+  ConnectionSlot slot(*this);
   counters_.batch_puts.fetch_add(1, std::memory_order_relaxed);
   counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
   uint64_t bytes = 0;
@@ -266,7 +303,47 @@ Status SimEngineBase::BatchPutConsume(std::span<WriteOp> ops) {
   });
 }
 
+void SimEngineBase::BatchPutEach(std::span<WriteOp> ops, std::span<Status> statuses) {
+  if (ops.empty()) {
+    return;
+  }
+  if (!SupportsBatchPut()) {
+    if (ops.size() == 1) {
+      statuses[0] = Put(std::move(ops[0].key), std::move(ops[0].value));
+      return;
+    }
+    // Per-key PUTs in parallel, each op's own outcome recorded positionally.
+    // The per-op misses live in `statuses`, never the executor's latch.
+    (void)IoExecutor::Shared().ParallelFor(ops.size(), [this, ops, statuses](size_t i) {
+      statuses[i] = Put(std::move(ops[i].key), std::move(ops[i].value));
+      return Status::Ok();
+    });
+    return;
+  }
+  const size_t limit = MaxBatchSize();
+  if (ops.size() <= limit) {
+    const Status chunk_status = PutBatchChunkConsume(ops);
+    for (Status& s : statuses) {
+      s = chunk_status;
+    }
+    return;
+  }
+  const size_t chunks = (ops.size() + limit - 1) / limit;
+  // Chunk outcomes fan out to every op in the chunk: a failed batch API
+  // call fails all of its items, exactly like BatchWriteItem.
+  (void)IoExecutor::Shared().ParallelFor(chunks, [this, ops, statuses, limit](size_t c) {
+    const size_t start = c * limit;
+    const size_t n = std::min(limit, ops.size() - start);
+    const Status chunk_status = PutBatchChunkConsume(ops.subspan(start, n));
+    for (size_t i = start; i < start + n; ++i) {
+      statuses[i] = chunk_status;
+    }
+    return Status::Ok();
+  });
+}
+
 Status SimEngineBase::Delete(const std::string& key) {
+  ConnectionSlot slot(*this);
   counters_.deletes.fetch_add(1, std::memory_order_relaxed);
   counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
   Charge(profile_.erase, 0, op_latency_delete_);
@@ -278,6 +355,7 @@ Status SimEngineBase::Delete(const std::string& key) {
 }
 
 Status SimEngineBase::DeleteBatchChunk(std::span<const std::string> chunk) {
+  ConnectionSlot slot(*this);
   counters_.deletes.fetch_add(chunk.size(), std::memory_order_relaxed);
   counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
   Charge(profile_.batch_base, 0, op_latency_batch_);
@@ -305,6 +383,7 @@ Status SimEngineBase::BatchDelete(std::span<const std::string> keys) {
 }
 
 Result<std::vector<std::string>> SimEngineBase::List(const std::string& prefix) {
+  ConnectionSlot slot(*this);
   counters_.lists.fetch_add(1, std::memory_order_relaxed);
   counters_.api_calls.fetch_add(1, std::memory_order_relaxed);
   Charge(profile_.list, 0, op_latency_list_);

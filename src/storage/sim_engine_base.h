@@ -10,6 +10,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/latency.h"
+#include "src/common/mutex.h"
 #include "src/common/rng.h"
 #include "src/obs/metrics.h"
 #include "src/storage/storage_engine.h"
@@ -52,6 +53,16 @@ class SimEngineBase : public StorageEngine {
     fault_probability_.store(probability, std::memory_order_relaxed);
   }
 
+  // Models the client SDK's bounded connection pool: at most `n` API calls
+  // may be in flight against this engine simultaneously; extra callers
+  // queue for a free slot, exactly like callers of a saturated HTTP
+  // connection pool. 0 (the default) = unbounded, which preserves the
+  // historical behaviour of every existing bench and test. A bounded pool
+  // is the shared resource that makes cross-transaction commit batching
+  // pay on the simulated engines: k concurrent transactions issuing one
+  // merged call pass the pool once instead of k times.
+  void SetMaxConcurrentRequests(size_t n);
+
   Result<std::string> Get(const std::string& key) override;
   // Native ranged read: charges the get latency for `length` bytes only.
   Result<std::string> GetRange(const std::string& key, uint64_t offset,
@@ -74,6 +85,11 @@ class SimEngineBase : public StorageEngine {
   // still goes through the virtual Put so subclass interception (fault
   // injection in tests) keeps working.
   Status BatchPutConsume(std::span<WriteOp> ops) override;
+  // Per-op-outcome variant feeding CommitUnits: same concurrent dispatch as
+  // BatchPutConsume, but each op's (or its chunk's) status lands in
+  // `statuses` so one transaction's failed write poisons only that
+  // transaction, never its batch-mates.
+  void BatchPutEach(std::span<WriteOp> ops, std::span<Status> statuses) override;
   Status Delete(const std::string& key) override;
   Status BatchDelete(std::span<const std::string> keys) override;
   Result<std::vector<std::string>> List(const std::string& prefix) override;
@@ -128,9 +144,31 @@ class SimEngineBase : public StorageEngine {
   VersionedMap map_;
   StorageCounters counters_;
 
+  // RAII pool slot around one charged API call. No-op while the pool is
+  // unbounded (one relaxed atomic load), so the default configuration adds
+  // nothing to the hot path.
+  class ConnectionSlot {
+   public:
+    explicit ConnectionSlot(SimEngineBase& engine);
+    ~ConnectionSlot();
+    ConnectionSlot(const ConnectionSlot&) = delete;
+    ConnectionSlot& operator=(const ConnectionSlot&) = delete;
+
+   private:
+    SimEngineBase& engine_;
+    bool acquired_ = false;
+  };
+
  private:
   const std::string name_;
   std::atomic<double> fault_probability_{0.0};
+  // Connection pool (see SetMaxConcurrentRequests). `pool_limit_hint_`
+  // mirrors the guarded limit so the unbounded fast path never locks.
+  std::atomic<size_t> pool_limit_hint_{0};
+  Mutex pool_mu_;
+  CondVar pool_cv_;
+  size_t pool_limit_ GUARDED_BY(pool_mu_) = 0;
+  size_t pool_in_use_ GUARDED_BY(pool_mu_) = 0;
   // Callback metrics wrapping `counters_` ({engine=name_} labels); values
   // are read from this instance's atomics at exposition time.
   std::vector<obs::ScopedMetricCallback> metric_callbacks_;

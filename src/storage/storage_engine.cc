@@ -1,0 +1,87 @@
+#include "src/storage/storage_engine.h"
+
+#include <utility>
+
+#include "src/common/small_vector.h"
+
+namespace aft {
+
+void StorageEngine::BatchPutEach(std::span<WriteOp> ops, std::span<Status> statuses) {
+  for (size_t i = 0; i < ops.size(); ++i) {
+    statuses[i] = Put(std::move(ops[i].key), std::move(ops[i].value));
+  }
+}
+
+void StorageEngine::CommitUnits(std::span<CommitUnit> units, std::span<Status> results) {
+  for (Status& r : results) {
+    r = Status::Ok();
+  }
+  if (units.empty()) {
+    return;
+  }
+  if (units.size() == 1) {
+    // Solo fast path: identical to the legacy unbatched commit sequence
+    // (data flush, then the record once the flush is acknowledged), so a
+    // single writer pays no batching overhead — and no extra allocations.
+    Status flushed = BatchPutConsume(units[0].data_ops);
+    if (!flushed.ok()) {
+      results[0] = std::move(flushed);
+      return;
+    }
+    results[0] = Put(std::move(units[0].commit_record.key),
+                     std::move(units[0].commit_record.value));
+    return;
+  }
+
+  // Round 1: every unit's data versions in one merged write. `owner` maps
+  // each flattened op back to its unit so a per-op failure poisons exactly
+  // that unit.
+  SmallVector<WriteOp, 16> flat;
+  SmallVector<size_t, 16> owner;
+  for (size_t u = 0; u < units.size(); ++u) {
+    for (WriteOp& op : units[u].data_ops) {
+      flat.push_back(std::move(op));
+      owner.push_back(u);
+    }
+  }
+  SmallVector<Status, 16> op_status;
+  op_status.reserve(flat.size());
+  for (size_t i = 0; i < flat.size(); ++i) {
+    op_status.push_back(Status::Ok());
+  }
+  BatchPutEach(std::span<WriteOp>(flat.data(), flat.size()),
+               std::span<Status>(op_status.data(), op_status.size()));
+  for (size_t i = 0; i < op_status.size(); ++i) {
+    if (!op_status[i].ok() && results[owner[i]].ok()) {
+      results[owner[i]] = std::move(op_status[i]);
+    }
+  }
+
+  // Round 2: commit records of the surviving units only. BatchPutEach
+  // returns after every round-1 write completed (the engines' batch calls
+  // are synchronous), so this round starts strictly after each survivor's
+  // data is durable — the §3.3 barrier, paid once for the whole batch.
+  SmallVector<WriteOp, 16> records;
+  SmallVector<size_t, 16> record_owner;
+  for (size_t u = 0; u < units.size(); ++u) {
+    if (results[u].ok()) {
+      records.push_back(std::move(units[u].commit_record));
+      record_owner.push_back(u);
+    }
+  }
+  if (records.empty()) {
+    return;
+  }
+  SmallVector<Status, 16> record_status;
+  record_status.reserve(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    record_status.push_back(Status::Ok());
+  }
+  BatchPutEach(std::span<WriteOp>(records.data(), records.size()),
+               std::span<Status>(record_status.data(), record_status.size()));
+  for (size_t i = 0; i < record_status.size(); ++i) {
+    results[record_owner[i]] = std::move(record_status[i]);
+  }
+}
+
+}  // namespace aft

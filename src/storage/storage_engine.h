@@ -32,6 +32,15 @@ struct WriteOp {
   std::string value;
 };
 
+// One transaction's contribution to a fused commit round: its data-version
+// writes plus the commit record that makes them visible. CommitUnits()
+// persists many units in shared storage rounds while preserving the §3.3
+// write-ordering guarantee PER UNIT (see below).
+struct CommitUnit {
+  std::span<WriteOp> data_ops;  // version/segment objects; may be consumed
+  WriteOp commit_record;        // commit-set key + serialized record; may be consumed
+};
+
 // Cumulative operation counters, readable while the engine is in use.
 struct StorageCounters {
   std::atomic<uint64_t> gets{0};
@@ -89,6 +98,31 @@ class StorageEngine {
   virtual Status BatchPutConsume(std::span<WriteOp> ops) {
     return BatchPut(std::span<const WriteOp>(ops.data(), ops.size()));
   }
+
+  // Like BatchPutConsume, but reports a PER-OP outcome into `statuses`
+  // (statuses.size() == ops.size()) instead of collapsing to the first
+  // error, and never short-circuits: every op is attempted. Engines with a
+  // chunked batch API report the chunk's outcome for each op in it (a
+  // failed BatchWriteItem call fails all items of that request). The
+  // default issues sequential consuming Puts.
+  virtual void BatchPutEach(std::span<WriteOp> ops, std::span<Status> statuses);
+
+  // Cross-transaction group commit: persists `units` in (at most) two
+  // merged rounds — one for every unit's data ops, then one for the commit
+  // records of the units whose data all landed — filling results[i] per
+  // unit (results.size() == units.size()). The §3.3 ordering holds PER
+  // UNIT: unit i's commit record is written only after ALL of unit i's
+  // data ops were durably acknowledged. A unit with any failed data op is
+  // POISONED — results[i] carries the first error and its commit record is
+  // never written — without failing batch-mates; stray data versions a
+  // poisoned unit did land are invisible orphans (no record references
+  // them) left to the fault manager's sweep. Ops may be consumed like
+  // BatchPutConsume. A single-unit call degenerates to exactly the legacy
+  // unbatched commit (one BatchPutConsume + one Put), so the solo fast
+  // path costs nothing extra. Engines may override to fuse the rounds
+  // further — the local engine rides a whole batch on one WAL append and
+  // one group-committed fsync.
+  virtual void CommitUnits(std::span<CommitUnit> units, std::span<Status> results);
 
   // Deletes `key`. Deleting a missing key is OK (idempotent).
   virtual Status Delete(const std::string& key) = 0;

@@ -17,7 +17,11 @@
 # healthy transport sits near 3x even in smoke runs. Zero matching row pairs
 # is an error — a gate that silently compares nothing is worse than no gate.
 #
-# A second, absolute gate covers allocation count: bench_net's
+# A second within-run gate holds the cross-transaction commit-batching win
+# (bench_net's "tput zipf batched|unbatched" rows): geomean batched/unbatched
+# ops-per-sec at >= MIN_CLIENTS must also clear MIN_SPEEDUP.
+#
+# A third, absolute gate covers allocation count: bench_net's
 # "inproc commit" row carries allocs_per_txn — heap allocations per commit
 # on the measuring thread. Unlike ops/sec this IS machine-independent (the
 # code path allocates what it allocates), so it gates against a checked-in
@@ -86,6 +90,48 @@ sed -nE 's/.*"row":"tput ([^"]*)".*"txn_per_s":([0-9.]+).*/\1\t\2/p' "$CURRENT" 
       exit 1;
     }
     printf "bench_gate: PASS — geomean pipelined-vs-baseline speedup x%.2f over %d rows (floor x%.2f)\n",
+           geomean, n, floor;
+  }
+'
+
+# ---- commit-batching speedup -------------------------------------------------
+# Third gate, same within-run-ratio philosophy as the first: bench_net runs
+# the Zipfian hot-key RMW closed loop twice in the same process — commit
+# batching off ("unbatched": the legacy two-rounds-per-transaction protocol)
+# and on ("batched": fused CommitUnits rounds, src/core/commit_batcher.h) —
+# over the same bounded-pool simulated engine. The geomean of the per-client-
+# count batched/unbatched ops-per-sec ratios at >= MIN_CLIENTS must clear
+# MIN_SPEEDUP. A batcher that stops fusing (every round solo) pulls the ratio
+# to ~1.0x; the healthy batcher sits near 2x at 16 clients. Zero row pairs is
+# an error, as above.
+sed -nE 's/.*"row":"tput zipf (batched|unbatched) ([0-9]+)c".*"txn_per_s":([0-9.]+).*/\1\t\2\t\3/p' "$CURRENT" \
+  | awk -F '\t' -v floor="$MIN_SPEEDUP" -v min_clients="$MIN_CLIENTS" '
+  {
+    clients = $2 + 0;
+    if (clients < min_clients) { next }
+    # Several appended runs may repeat a row; last one wins, as in gate 1.
+    if ($1 == "batched") { batched[clients] = $3 + 0 } else { unbatched[clients] = $3 + 0 }
+  }
+  END {
+    for (c in batched) {
+      if (!(c in unbatched) || unbatched[c] <= 0) { continue }
+      ratio = batched[c] / unbatched[c];
+      n++;
+      log_sum += log(ratio);
+      printf "%-7s zipf/%sc %28.0f -> %10.0f ops/s  (x%.2f vs unbatched)\n",
+             (ratio < floor ? "slow" : "ok"), c, unbatched[c], batched[c], ratio;
+    }
+    if (n == 0) {
+      print "bench_gate: no batched/unbatched zipf throughput row pairs found" > "/dev/stderr";
+      exit 1;
+    }
+    geomean = exp(log_sum / n);
+    if (geomean < floor) {
+      printf "bench_gate: FAIL — geomean batched-vs-unbatched commit speedup x%.2f is below x%.2f (%d rows)\n",
+             geomean, floor, n > "/dev/stderr";
+      exit 1;
+    }
+    printf "bench_gate: PASS — geomean batched-vs-unbatched commit speedup x%.2f over %d rows (floor x%.2f)\n",
            geomean, n, floor;
   }
 '

@@ -69,6 +69,8 @@ if [ "$smoke_ok" = 1 ]; then
       '^# TYPE aft_node_commit_latency_ms histogram' \
       '^aft_node_data_cache_hits_total' \
       '^aft_commit_set_cache_lookup_' \
+      '^aft_commit_batch_rounds_total' \
+      '^aft_commit_batch_size_bucket' \
       '^aft_net_requests_inflight' \
       '^aft_storage_api_calls_total' \
       '^aft_gossip_\|^aft_net_rpc_latency_ms_bucket'; do
