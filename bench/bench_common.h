@@ -122,8 +122,8 @@ inline void EmitJsonRow(const std::string& bench, const std::string& row,
     return;
   }
   std::fprintf(sink,
-               "{\"bench\":\"%s\",\"row\":\"%s\",\"p50_ms\":%.3f,"
-               "\"p99_ms\":%.3f,\"txn_per_s\":%.2f,\"completed\":%llu}\n",
+               "{\"bench\":\"%s\",\"row\":\"%s\",\"p50_ms\":%.4f,"
+               "\"p99_ms\":%.4f,\"txn_per_s\":%.2f,\"completed\":%llu}\n",
                bench.c_str(), row.c_str(), p50_ms, p99_ms, throughput_tps,
                static_cast<unsigned long long>(completed));
   std::fflush(sink);
@@ -145,8 +145,8 @@ inline void EmitJsonRowAllocs(const std::string& bench, const std::string& row,
     return;
   }
   std::fprintf(sink,
-               "{\"bench\":\"%s\",\"row\":\"%s\",\"p50_ms\":%.3f,"
-               "\"p99_ms\":%.3f,\"txn_per_s\":%.2f,\"completed\":%llu,"
+               "{\"bench\":\"%s\",\"row\":\"%s\",\"p50_ms\":%.4f,"
+               "\"p99_ms\":%.4f,\"txn_per_s\":%.2f,\"completed\":%llu,"
                "\"allocs_per_txn\":%.1f}\n",
                bench.c_str(), row.c_str(), p50_ms, p99_ms, throughput_tps,
                static_cast<unsigned long long>(completed), allocs_per_txn);
@@ -169,8 +169,8 @@ inline void EmitJsonRowFsyncs(const std::string& bench, const std::string& row,
     return;
   }
   std::fprintf(sink,
-               "{\"bench\":\"%s\",\"row\":\"%s\",\"p50_ms\":%.3f,"
-               "\"p99_ms\":%.3f,\"txn_per_s\":%.2f,\"completed\":%llu,"
+               "{\"bench\":\"%s\",\"row\":\"%s\",\"p50_ms\":%.4f,"
+               "\"p99_ms\":%.4f,\"txn_per_s\":%.2f,\"completed\":%llu,"
                "\"fsyncs_per_txn\":%.3f}\n",
                bench.c_str(), row.c_str(), p50_ms, p99_ms, throughput_tps,
                static_cast<unsigned long long>(completed), fsyncs_per_txn);

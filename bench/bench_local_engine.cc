@@ -39,6 +39,7 @@
 // Count heap allocations on the measuring thread (allocs/txn column).
 #define AFT_BENCH_COUNT_ALLOCS
 #include "bench/bench_common.h"
+#include "bench/stage_breakdown.h"
 #include "src/common/clock.h"
 #include "src/common/stats.h"
 #include "src/core/aft_node.h"
@@ -173,6 +174,7 @@ void RunAftCommitSweep(LocalEngine& engine, long ops_per_writer) {
   node_options.service_cores = 0;  // Measure real I/O fusion, not simulated CPU.
   AftNode node("bench-local-batch", engine, clock, node_options);
   Check(node.Start(), "batch node Start");
+  bench::StageBreakdown breakdown("local_engine", "bench-local-batch");
   for (int writers : {1, 4, 16}) {
     const Wal::Stats before = engine.wal_stats();
     const auto start = std::chrono::steady_clock::now();
@@ -210,6 +212,7 @@ void RunAftCommitSweep(LocalEngine& engine, long ops_per_writer) {
         writers, s.median_ms, s.p99_ms, tput, fsyncs_per_txn);
     bench::EmitJsonRowFsyncs("local_engine", "aft commit " + std::to_string(writers) + "w",
                              s.median_ms, s.p99_ms, tput, ops, fsyncs_per_txn);
+    breakdown.Report("aft commit " + std::to_string(writers) + "w");
   }
 }
 
@@ -262,12 +265,14 @@ int main() {
       RealClock& clock = RealClock::Default();
       AftNode node("bench-local", **engine, clock);
       Check(node.Start(), "node Start");
+      bench::StageBreakdown breakdown("local_engine", "bench-local");
       // Floor the alloc-measured loop at 64 commits even in smoke mode
       // (AFT_BENCH_REQUESTS=3): the handful of one-time pool/freelist
       // growth allocations right after warmup would otherwise swamp a
       // 3-sample per-txn average. Commits are sub-millisecond, so this
       // costs ~25 ms.
       allocs_per_txn = RunCommit(node, std::max<long>(reps, 64));
+      breakdown.Report("local commit");
     }
     RunGroupCommitSweep(**engine, tput_ops);
     RunAftCommitSweep(**engine, tput_ops);

@@ -32,6 +32,7 @@
 // Count heap allocations on the measuring thread (allocs/txn columns).
 #define AFT_BENCH_COUNT_ALLOCS
 #include "bench/bench_common.h"
+#include "bench/stage_breakdown.h"
 #include "src/common/stats.h"
 #include "src/core/aft_node.h"
 #include "src/net/client.h"
@@ -418,7 +419,9 @@ int main() {
     Check(node.CommitTransaction(*txid).status(), "seed Commit");
   }
 
+  bench::StageBreakdown breakdown("net", "bench-net");
   RunInProcCommit(node, reps);
+  breakdown.Report("inproc commit");
   RunTcpCommit(client, reps);
   for (size_t keys : {1, 5, 10}) {
     RunMultiGet(node, client, keys, reps);
@@ -426,7 +429,9 @@ int main() {
 
   const long tput_ops =
       bench::GetEnvLong("AFT_BENCH_TPUT_OPS", reps < 200 ? reps : 200);
+  breakdown.Report("tcp commit");  // Window: the TCP commit rows above.
   RunThroughputSweep(node, tput_ops);
+  breakdown.Report("tput commit");
   RunCommitBatchingSweep(tput_ops);
 
   std::printf("\n  server: %llu requests over %llu connections\n",

@@ -26,6 +26,7 @@
 #include "src/common/clock.h"
 #include "src/common/mutex.h"
 #include "src/core/aft_node.h"
+#include "src/obs/health.h"
 
 namespace aft {
 
@@ -112,9 +113,18 @@ class MulticastBus {
     }
     thread_ = std::thread([this] { Loop(); });
     nudge_thread_ = std::thread([this] { NudgeLoop(); });
+    // /readyz gossip_live: live exactly while the background driver runs.
+    // Released in Stop, so a bus that was never started (or a test driving
+    // RunOnce by hand) contributes no check.
+    gossip_ready_ = obs::RegisterReadyCheck("gossip_live", [this] {
+      return std::make_pair(
+          running_.load(std::memory_order_acquire),
+          "rounds=" + std::to_string(stats_.rounds.load(std::memory_order_relaxed)));
+    });
   }
 
   void Stop() {
+    gossip_ready_.Release();
     if (!running_.exchange(false)) {
       return;
     }
@@ -186,6 +196,7 @@ class MulticastBus {
 
   std::atomic<bool> pruning_enabled_{true};
   std::atomic<bool> running_{false};
+  obs::ScopedReadyCheck gossip_ready_;
   std::thread thread_;
   std::thread nudge_thread_;
   Mutex round_mu_;

@@ -1,0 +1,116 @@
+#include "src/common/contention.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "src/common/mutex.h"
+
+namespace aft {
+namespace contention {
+
+namespace detail {
+std::atomic<uint32_t> g_sample_every_n{0};
+std::atomic<bool> g_stage_timing{true};
+}  // namespace detail
+
+void SetSampleEveryN(uint32_t n) {
+  detail::g_sample_every_n.store(n, std::memory_order_relaxed);
+}
+
+uint32_t SampleEveryN() { return detail::g_sample_every_n.load(std::memory_order_relaxed); }
+
+void SetStageTiming(bool enabled) {
+  detail::g_stage_timing.store(enabled, std::memory_order_relaxed);
+}
+
+const char* SiteKindName(SiteKind kind) {
+  return kind == SiteKind::kLock ? "lock" : "queue";
+}
+
+uint64_t SiteSnapshot::ApproxQuantileNs(double q) const {
+  if (contended == 0) {
+    return 0;
+  }
+  const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(contended - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < ContentionSite::kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      return uint64_t{1} << (i + 1);  // bucket upper bound
+    }
+  }
+  return max_wait_ns;
+}
+
+namespace {
+
+// Registry internals. The map mutex is UNNAMED on purpose: a named mutex
+// inside the registry that backs named mutexes would recurse through
+// GetSite. Lookups happen at site-caching time only, never per-acquisition.
+struct RegistryState {
+  Mutex mu;
+  std::unordered_map<std::string, std::unique_ptr<ContentionSite>> sites GUARDED_BY(mu);
+};
+
+RegistryState& State() {
+  static RegistryState* state = new RegistryState();  // leaked: site pointers outlive exit
+  return *state;
+}
+
+}  // namespace
+
+ContentionRegistry& ContentionRegistry::Global() {
+  static ContentionRegistry* registry = new ContentionRegistry();
+  return *registry;
+}
+
+ContentionSite* ContentionRegistry::GetSite(const std::string& name, SiteKind kind) {
+  RegistryState& state = State();
+  MutexLock lock(state.mu);
+  auto it = state.sites.find(name);
+  if (it == state.sites.end()) {
+    it = state.sites.emplace(name, std::make_unique<ContentionSite>(name, kind)).first;
+  }
+  return it->second.get();
+}
+
+std::vector<SiteSnapshot> ContentionRegistry::Snapshot() const {
+  std::vector<SiteSnapshot> out;
+  {
+    RegistryState& state = State();
+    MutexLock lock(state.mu);
+    out.reserve(state.sites.size());
+    for (const auto& [name, site] : state.sites) {
+      SiteSnapshot snap;
+      snap.name = name;
+      snap.kind = site->kind();
+      snap.samples = site->samples();
+      snap.contended = site->contended();
+      snap.total_wait_ns = site->total_wait_ns();
+      snap.max_wait_ns = site->max_wait_ns();
+      for (int i = 0; i < ContentionSite::kNumBuckets; ++i) {
+        snap.buckets[i] = site->bucket(i);
+      }
+      out.push_back(std::move(snap));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SiteSnapshot& a, const SiteSnapshot& b) {
+    if (a.total_wait_ns != b.total_wait_ns) {
+      return a.total_wait_ns > b.total_wait_ns;
+    }
+    return a.name < b.name;
+  });
+  return out;
+}
+
+ContentionSite* LockSite(const char* name) {
+  return ContentionRegistry::Global().GetSite(name, SiteKind::kLock);
+}
+
+ContentionSite* QueueSite(const char* name) {
+  return ContentionRegistry::Global().GetSite(name, SiteKind::kQueue);
+}
+
+}  // namespace contention
+}  // namespace aft

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <limits>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "src/common/mutex.h"
@@ -22,17 +24,53 @@ size_t SharedWidthFromEnv() {
   return 32;
 }
 
+// Per-thread accumulator for ParallelFor's completion-latch wait; consumed
+// by the commit path to attribute the §3.3 barrier stage.
+thread_local uint64_t tl_latch_wait_ns = 0;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
 }  // namespace
 
-IoExecutor::IoExecutor(size_t num_threads) : pool_(num_threads) {}
+IoExecutor::IoExecutor(size_t num_threads, const char* name) : pool_(num_threads) {
+  if (name != nullptr) {
+    queue_site_ = contention::QueueSite((std::string(name) + ".queue").c_str());
+    run_site_ = contention::QueueSite((std::string(name) + ".run").c_str());
+  }
+}
 
 void IoExecutor::Shutdown() { pool_.Shutdown(); }
 
-bool IoExecutor::Submit(std::function<void()> task) { return pool_.Submit(std::move(task)); }
+bool IoExecutor::Submit(std::function<void()> task) {
+  // Sampled tasks are rewrapped to clock queue wait and run time; the
+  // unsampled path hands the task straight through (no extra allocation,
+  // no clock reads).
+  if (queue_site_ != nullptr && contention::ShouldSample()) {
+    const uint64_t submitted_ns = NowNs();
+    return pool_.Submit(
+        [qs = queue_site_, rs = run_site_, submitted_ns, task = std::move(task)] {
+          const uint64_t started_ns = NowNs();
+          qs->RecordWait(started_ns - submitted_ns);
+          task();
+          rs->RecordWait(NowNs() - started_ns);
+        });
+  }
+  return pool_.Submit(std::move(task));
+}
 
 IoExecutor& IoExecutor::Shared() {
-  static IoExecutor* shared = new IoExecutor(SharedWidthFromEnv());
+  static IoExecutor* shared = new IoExecutor(SharedWidthFromEnv(), "io_shared");
   return *shared;
+}
+
+uint64_t IoExecutor::ConsumeLatchWaitNanos() {
+  const uint64_t v = tl_latch_wait_ns;
+  tl_latch_wait_ns = 0;
+  return v;
 }
 
 Status IoExecutor::ParallelFor(size_t n, const std::function<Status(size_t)>& fn,
@@ -94,8 +132,17 @@ Status IoExecutor::ParallelFor(size_t n, const std::function<Status(size_t)>& fn
   drain(*state, fn, n);
 
   MutexLock lock(state->mu);
-  while (state->remaining > 0) {
-    state->done_cv.Wait(lock);
+  if (state->remaining > 0) {
+    // Completion latch: our own items are done but helpers still hold
+    // claimed ones — this wait IS the §3.3 barrier's straggler time.
+    const bool timed = contention::StageTimingEnabled();
+    const uint64_t wait_start_ns = timed ? NowNs() : 0;
+    do {
+      state->done_cv.Wait(lock);
+    } while (state->remaining > 0);
+    if (timed) {
+      tl_latch_wait_ns += NowNs() - wait_start_ns;
+    }
   }
   return state->first_error;
 }

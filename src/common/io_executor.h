@@ -35,8 +35,10 @@
 #define SRC_COMMON_IO_EXECUTOR_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
+#include "src/common/contention.h"
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 
@@ -47,7 +49,12 @@ class IoExecutor {
   // Spawns `num_threads` helper workers. Helpers mostly sleep on simulated
   // storage latency, so the width can comfortably exceed the hardware
   // thread count.
-  explicit IoExecutor(size_t num_threads);
+  //
+  // A non-null `name` enrolls the executor in the contention profiler:
+  // sampled Submit() tasks record queue wait (submit → first instruction)
+  // into "<name>.queue" and run time into "<name>.run". Unnamed executors
+  // and unsampled tasks pay one pointer compare.
+  explicit IoExecutor(size_t num_threads, const char* name = nullptr);
 
   IoExecutor(const IoExecutor&) = delete;
   IoExecutor& operator=(const IoExecutor&) = delete;
@@ -79,8 +86,17 @@ class IoExecutor {
   // destruction.
   static IoExecutor& Shared();
 
+  // Nanoseconds THIS thread spent in ParallelFor's final completion wait
+  // (the §3.3 barrier: data writes issued, waiting for stragglers) since the
+  // last call; reading resets the accumulator. The commit path brackets its
+  // flush with consume-before / consume-after to attribute the barrier
+  // stage. Only accumulates while contention::StageTimingEnabled().
+  static uint64_t ConsumeLatchWaitNanos();
+
  private:
   ThreadPool pool_;
+  contention::ContentionSite* queue_site_ = nullptr;
+  contention::ContentionSite* run_site_ = nullptr;
 };
 
 }  // namespace aft

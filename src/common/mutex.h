@@ -1,9 +1,9 @@
 // Annotated mutex wrappers for Clang Thread Safety Analysis.
 //
-// Thin, zero-overhead shims over the std synchronization primitives that
-// carry the capability annotations from thread_annotations.h, so that
-// GUARDED_BY(mu_) fields and REQUIRES(mu_) functions are machine-checked
-// under -Wthread-safety. On GCC everything compiles to the plain std types.
+// Thin shims over the std synchronization primitives that carry the
+// capability annotations from thread_annotations.h, so that GUARDED_BY(mu_)
+// fields and REQUIRES(mu_) functions are machine-checked under
+// -Wthread-safety. On GCC everything compiles to the plain std types.
 //
 // Idiom:
 //
@@ -22,6 +22,16 @@
 // explicit `while (!predicate) cv_.Wait(lock);` loops — predicate *lambdas*
 // passed into std::condition_variable::wait are opaque to the analysis, the
 // inline loop condition is not.
+//
+// Contention profiling: a mutex constructed with a name (or a cached
+// contention::ContentionSite*) participates in the sampled lock-wait
+// profiler — 1-in-N acquisitions are timed (try_lock first, so an
+// uncontended sampled acquisition records zero wait without touching the
+// clock) and feed /debug/contention. An UNNAMED mutex pays exactly one null
+// pointer compare per acquisition; a named mutex with sampling disabled
+// (the default) additionally pays one relaxed atomic load. bench_obs gates
+// both. Lock names follow `layer.object` (e.g. "node.committed",
+// "wal.append") — aftlint checks the grammar.
 
 #ifndef SRC_COMMON_MUTEX_H_
 #define SRC_COMMON_MUTEX_H_
@@ -31,6 +41,7 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "src/common/contention.h"
 #include "src/common/thread_annotations.h"
 
 namespace aft {
@@ -38,39 +49,77 @@ namespace aft {
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  // Named participation in the contention profiler. The const char* form
+  // does a registry lookup — fine for long-lived members; per-object hot
+  // construction (e.g. TransactionState) passes a cached site instead.
+  explicit Mutex(const char* name) : site_(contention::LockSite(name)) {}
+  explicit Mutex(contention::ContentionSite* site) : site_(site) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
+  void Lock() ACQUIRE() {
+    if (site_ != nullptr && contention::ShouldSample()) {
+      contention::TimedAcquire(
+          site_, [this] { return mu_.try_lock(); }, [this] { mu_.lock(); });
+    } else {
+      mu_.lock();
+    }
+  }
   void Unlock() RELEASE() { mu_.unlock(); }
   bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
 
  private:
   friend class MutexLock;
   std::mutex mu_;
+  contention::ContentionSite* site_ = nullptr;
 };
 
 // Reader/writer lock; "writer" = exclusive capability, "reader" = shared.
+// Shared and exclusive waits feed the same named site.
 class CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  explicit SharedMutex(const char* name) : site_(contention::LockSite(name)) {}
+  explicit SharedMutex(contention::ContentionSite* site) : site_(site) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
+  void Lock() ACQUIRE() {
+    if (site_ != nullptr && contention::ShouldSample()) {
+      contention::TimedAcquire(
+          site_, [this] { return mu_.try_lock(); }, [this] { mu_.lock(); });
+    } else {
+      mu_.lock();
+    }
+  }
   void Unlock() RELEASE() { mu_.unlock(); }
-  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void LockShared() ACQUIRE_SHARED() {
+    if (site_ != nullptr && contention::ShouldSample()) {
+      contention::TimedAcquire(
+          site_, [this] { return mu_.try_lock_shared(); }, [this] { mu_.lock_shared(); });
+    } else {
+      mu_.lock_shared();
+    }
+  }
   void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
 
  private:
   std::shared_mutex mu_;
+  contention::ContentionSite* site_ = nullptr;
 };
 
 // RAII exclusive lock over Mutex. Backed by std::unique_lock so a CondVar
 // can release/reacquire it while waiting.
 class SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_, std::defer_lock) {
+    if (mu.site_ != nullptr && contention::ShouldSample()) {
+      contention::TimedAcquire(
+          mu.site_, [this] { return lock_.try_lock(); }, [this] { lock_.lock(); });
+    } else {
+      lock_.lock();
+    }
+  }
   ~MutexLock() RELEASE() = default;
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
@@ -78,7 +127,8 @@ class SCOPED_CAPABILITY MutexLock {
   // Early release (std::unique_lock semantics: the destructor then no-ops).
   void Unlock() RELEASE() { lock_.unlock(); }
   // Re-acquire after an early release (the drop-lock-around-blocking-I/O
-  // idiom used by the pipelined client's reader).
+  // idiom used by the pipelined client's reader). Reacquisitions are not
+  // sampled — the profiler attributes a scope's wait to its construction.
   void Lock() ACQUIRE() { lock_.lock(); }
 
  private:

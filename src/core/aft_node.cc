@@ -1,10 +1,12 @@
 #include "src/core/aft_node.h"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <ranges>
 #include <span>
 
+#include "src/common/contention.h"
 #include "src/common/io_executor.h"
 #include "src/common/logging.h"
 #include "src/common/small_vector.h"
@@ -18,6 +20,12 @@ namespace {
 // selection, so the select-fetch-revalidate cycle retries a bounded number
 // of times before giving up with kAborted.
 constexpr int kReadStabilizeAttempts = 8;
+
+using StageClock = std::chrono::steady_clock;
+
+double StageSecondsSince(StageClock::time_point start) {
+  return std::chrono::duration<double>(StageClock::now() - start).count();
+}
 
 }  // namespace
 
@@ -65,6 +73,7 @@ AftNode::AftNode(std::string node_id, StorageEngine& storage, Clock& clock, AftN
   metrics_.read_walk_depth = reg.GetHistogram(
       "aft_node_read_walk_depth", "Algorithm-1 candidate versions examined per read",
       ExponentialBoundaries(1, 2, 8), labels);
+  metrics_.stages = CommitStageHistograms::ForNode(node_id_);
 
   metric_callbacks_.push_back(reg.RegisterCallback(
       "aft_node_data_cache_hits_total", "Data cache hits", obs::CallbackType::kCounter, labels,
@@ -667,7 +676,17 @@ Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
   throttle_.Charge(ThreadLocalRng(), 2.0);
   obs::ScopedHistogramTimer commit_timer(metrics_.commit_latency_ms);
   obs::TraceSpan commit_span(txn->trace, "Commit", node_id_);
+  // Stage attribution (aft_commit_stage_seconds): every commit that runs
+  // with stage timing on observes exact (not sampled) per-stage durations;
+  // their sum reconciles against commit_latency_ms, which starts above.
+  const bool attrib = contention::StageTimingEnabled();
+  // txn_lock_wait opens at the e2e timer's own clock reading — one fewer
+  // clock read per commit, and the stage nests inside the commit_latency_ms
+  // window by construction.
   MutexLock lock(txn->mu);
+  if (attrib) {
+    metrics_.stages.txn_lock_wait->Observe(StageSecondsSince(commit_timer.start()));
+  }
   if (txn->status != TxnStatus::kRunning) {
     return Status::FailedPrecondition("transaction is not running");
   }
@@ -767,7 +786,21 @@ Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
   Status flushed;
   {
     obs::TraceSpan flush_span(txn->trace, "CommitFlush", node_id_);
-    flushed = FlushVersions(*txn, commit_id, /*final_flush=*/true);
+    if (attrib) {
+      // Same decomposition CommitUnits applies on the batched path: flush
+      // wall minus the executor's completion-latch wait is data_flush, the
+      // latch wait itself is the §3.3 barrier (stragglers only).
+      IoExecutor::ConsumeLatchWaitNanos();
+      const auto flush_start = StageClock::now();
+      flushed = FlushVersions(*txn, commit_id, /*final_flush=*/true);
+      const double flush_wall_s = StageSecondsSince(flush_start);
+      const double barrier_s =
+          static_cast<double>(IoExecutor::ConsumeLatchWaitNanos()) * 1e-9;
+      metrics_.stages.data_flush->Observe(flush_wall_s - barrier_s);
+      metrics_.stages.barrier->Observe(barrier_s);
+    } else {
+      flushed = FlushVersions(*txn, commit_id, /*final_flush=*/true);
+    }
   }
   if (!flushed.ok()) {
     txn->status = TxnStatus::kRunning;  // Let the client retry or abort.
@@ -798,7 +831,11 @@ Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
   Status committed;
   {
     obs::TraceSpan record_span(txn->trace, "CommitRecordWrite", node_id_);
+    const auto record_start = attrib ? StageClock::now() : StageClock::time_point{};
     committed = storage_.Put(CommitStorageKey(commit_id), record->Serialize());
+    if (attrib) {
+      metrics_.stages.record_write->Observe(StageSecondsSince(record_start));
+    }
   }
   if (!committed.ok()) {
     txn->status = TxnStatus::kRunning;
@@ -821,9 +858,15 @@ Result<TxnId> AftNode::CommitTransaction(const Uuid& txid) {
   }
   commits_.NoteLocalCommit(commit_id);
   {
-    MutexLock block(broadcast_mu_);
-    pending_broadcast_.push_back(record);
-    pending_broadcast_traces_.push_back(txn->trace);
+    const auto publish_start = attrib ? StageClock::now() : StageClock::time_point{};
+    {
+      MutexLock block(broadcast_mu_);
+      pending_broadcast_.push_back(record);
+      pending_broadcast_traces_.push_back(txn->trace);
+    }
+    if (attrib) {
+      metrics_.stages.gossip_publish->Observe(StageSecondsSince(publish_start));
+    }
   }
   txn->status = TxnStatus::kCommitted;
   UnpinReads(*txn);

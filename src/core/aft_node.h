@@ -295,13 +295,13 @@ class AftNode {
   std::thread background_;
 
   // Transaction table.
-  mutable Mutex txns_mu_;
+  mutable Mutex txns_mu_{"node.txns"};
   std::unordered_map<Uuid, TxnPtr> txns_ GUARDED_BY(txns_mu_);
 
   // Idempotent-commit memory: uuid -> commit id, bounded FIFO. Pooled nodes:
   // the steady-state insert+evict churn recycles blocks instead of hitting
   // the heap once per commit.
-  Mutex committed_mu_;
+  Mutex committed_mu_{"node.committed"};
   std::unordered_map<Uuid, TxnId, std::hash<Uuid>, std::equal_to<Uuid>,
                      PoolAllocator<std::pair<const Uuid, TxnId>>>
       committed_uuids_ GUARDED_BY(committed_mu_);
@@ -323,7 +323,7 @@ class AftNode {
   // broadcast_mu_. Local GC will not drop records still pending broadcast.
   // pending_broadcast_traces_ carries each record's trace context (parallel
   // vector) so a sampled transaction can be followed into the gossip round.
-  Mutex broadcast_mu_;
+  Mutex broadcast_mu_{"node.broadcast"};
   std::vector<CommitRecordPtr> pending_broadcast_ GUARDED_BY(broadcast_mu_);
   std::vector<obs::TraceContext> pending_broadcast_traces_ GUARDED_BY(broadcast_mu_);
 
@@ -353,6 +353,11 @@ class AftNode {
     obs::Histogram* commit_latency_ms;
     obs::Histogram* read_latency_ms;
     obs::Histogram* read_walk_depth;
+    // aft_commit_stage_seconds children (shared with batcher_ — same
+    // registry keys). The node observes txn_lock_wait on every commit and
+    // the storage/publish stages on the legacy unbatched path; the batcher
+    // observes the queue and round stages on the batched path.
+    CommitStageHistograms stages;
   };
   Instruments metrics_;
   std::vector<obs::ScopedMetricCallback> metric_callbacks_;

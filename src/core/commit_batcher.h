@@ -37,6 +37,25 @@
 
 namespace aft {
 
+// The aft_commit_stage_seconds{node=,stage=} family: one histogram child per
+// commit-path stage. Stages are DISJOINT slices of one transaction's
+// end-to-end commit latency (aft_node_commit_latency_ms), so per-commit
+// stage observations sum to (at most) the e2e time — the reconciliation
+// contract in docs/OBSERVABILITY.md. Exactly one of the queue_wait_* stages
+// applies per commit, keyed by the transaction's batch role. Registered
+// find-or-create, so the node and its batcher share children.
+struct CommitStageHistograms {
+  obs::Histogram* txn_lock_wait;        // acquiring the transaction's lock
+  obs::Histogram* queue_wait_leader;    // batcher queue, txn led its round
+  obs::Histogram* queue_wait_follower;  // batcher queue, txn piggybacked
+  obs::Histogram* data_flush;           // data-version round, minus barrier
+  obs::Histogram* barrier;              // §3.3 straggler wait
+  obs::Histogram* record_write;         // commit-record round / WAL fsync
+  obs::Histogram* gossip_publish;       // staging the round for broadcast
+
+  static CommitStageHistograms ForNode(const std::string& node_id);
+};
+
 class CommitBatcher {
  public:
   // One transaction's contribution to a round, fully prepared by the caller
@@ -50,6 +69,7 @@ class CommitBatcher {
     obs::TraceContext trace;      // transaction's trace, follows into gossip
     Status result;                // verdict, written by the round leader
     bool done = false;            // round-completion flag (batcher mutex)
+    uint64_t enqueued_ns = 0;     // steady ns at enqueue; 0 = solo, never queued
   };
 
   // Invoked by the round leader — with no batcher lock held — once per
@@ -70,10 +90,12 @@ class CommitBatcher {
   Status Commit(Pending& pending);
 
  private:
-  // Executes one merged storage round for `members`. No batcher lock held:
-  // the engine call is the slow part, and running it unlatched is what lets
-  // the next batch form meanwhile.
-  void ExecuteRound(std::span<Pending* const> members);
+  // Executes one merged storage round for `members`; `leader` is the member
+  // whose thread runs the round (it observes the queue_wait_leader stage,
+  // the rest queue_wait_follower). No batcher lock held: the engine call is
+  // the slow part, and running it unlatched is what lets the next batch
+  // form meanwhile.
+  void ExecuteRound(std::span<Pending* const> members, const Pending* leader);
 
   // Stamps the legacy per-phase lifecycle spans ("CommitFlush",
   // "CommitRecordWrite") over [start_us, end_us] for every sampled member.
@@ -83,11 +105,20 @@ class CommitBatcher {
   void RecordRoundSpans(std::span<Pending* const> members, uint64_t start_us,
                         uint64_t end_us) const;
 
+  // Per-member stage attribution for one executed round: observes the
+  // round's CommitStageProfile (plus the publish time) into the
+  // aft_commit_stage_seconds children for EVERY member, and emits Stage*
+  // child trace spans for sampled members. `round_start_ns` is steady-clock
+  // (queue-wait math), `span_start_us` is tracer-clock (span layout).
+  void ObserveRoundStages(std::span<Pending* const> members, const CommitStageProfile& profile,
+                          double publish_s, uint64_t round_start_ns,
+                          uint64_t span_start_us) const;
+
   const std::string node_id_;
   StorageEngine& storage_;
   const RoundPublisher publisher_;
 
-  Mutex mu_;
+  Mutex mu_{"batcher.queue"};
   CondVar cv_;
   // True while a leader is off executing a round; arrivals queue behind it.
   bool round_in_flight_ GUARDED_BY(mu_) = false;
@@ -98,6 +129,7 @@ class CommitBatcher {
   obs::Counter* rounds_;
   obs::Counter* leader_commits_;
   obs::Counter* follower_commits_;
+  CommitStageHistograms stages_;
 };
 
 }  // namespace aft

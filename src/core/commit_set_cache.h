@@ -86,7 +86,13 @@ class CommitSetCache {
   // entry, so at steady state the churn recycles pool blocks instead of
   // allocating per commit.
   struct Shard {
-    mutable SharedMutex mu;
+    // One shared site across shards: the profiler ranks the cache as a
+    // whole, per-shard series would be noise.
+    static contention::ContentionSite* ContentionSiteFor() {
+      static contention::ContentionSite* site = contention::LockSite("commit_cache.shard");
+      return site;
+    }
+    mutable SharedMutex mu{ContentionSiteFor()};
     std::unordered_map<TxnId, CommitRecordPtr, std::hash<TxnId>, std::equal_to<TxnId>,
                        PoolAllocator<std::pair<const TxnId, CommitRecordPtr>>>
         records GUARDED_BY(mu);
@@ -103,7 +109,7 @@ class CommitSetCache {
   mutable std::atomic<uint64_t> lookup_hits_{0};
   mutable std::atomic<uint64_t> lookup_misses_{0};
 
-  mutable Mutex recent_mu_;
+  mutable Mutex recent_mu_{"commit_cache.recent"};
   std::vector<TxnId> recent_commits_ GUARDED_BY(recent_mu_);
 };
 

@@ -41,6 +41,14 @@ struct ReadSetEntry {
 struct TransactionState {
   explicit TransactionState(Uuid id, TimePoint start) : uuid(id), start_time(start) {}
 
+  // All transactions share ONE contention site ("txn.state") — per-object
+  // sites would flood the registry, and the cached function-static keeps
+  // transaction construction free of registry lookups.
+  static contention::ContentionSite* ContentionSiteFor() {
+    static contention::ContentionSite* site = contention::LockSite("txn.state");
+    return site;
+  }
+
   const Uuid uuid;
   const TimePoint start_time;
 
@@ -51,7 +59,7 @@ struct TransactionState {
   // Guards everything below. Ops of one transaction are logically sequential
   // (a linear composition of functions), but retries after failures can
   // briefly overlap with the original attempt.
-  mutable Mutex mu;
+  mutable Mutex mu{ContentionSiteFor()};
 
   TxnStatus status GUARDED_BY(mu) = TxnStatus::kRunning;
 

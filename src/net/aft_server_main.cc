@@ -33,6 +33,15 @@
 //                   commit at the AFT layer; default on). "off" pins the
 //                   legacy one-round-trip-set-per-transaction sequence —
 //                   the baseline the bench gate compares against.
+//   --contention-sample N  sample every Nth lock/queue acquisition into the
+//                   contention profiler (default 64; 0 = off, 1 = every).
+//                   Results surface on /debug/contention and as the
+//                   aft_lock_* metric families.
+//
+// Every flag (and the env defaults it consulted) is echoed to /varz on the
+// metrics exporter, so scrape-side tooling can tell node configurations
+// apart; /readyz aggregates engine_recovered / server_accepting / node_alive
+// (plus gossip_live on clustered binaries).
 //
 // SIGINT / SIGTERM trigger a clean shutdown: stop accepting, drain handler
 // threads, stop the node's background sweeps, exit 0.
@@ -46,9 +55,11 @@
 #include <thread>
 
 #include "src/common/clock.h"
+#include "src/common/contention.h"
 #include "src/core/aft_node.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
 #include "src/obs/metrics_http.h"
 #include "src/obs/trace.h"
@@ -66,7 +77,8 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--engine s3|dynamo|redis|local] [--data-dir D] "
                "[--node-id ID] [--threading thread|event] [--metrics-port N] "
-               "[--trace-sample N] [--smoke-traffic N] [--commit-batching on|off]\n",
+               "[--trace-sample N] [--smoke-traffic N] [--commit-batching on|off] "
+               "[--contention-sample N]\n",
                argv0);
 }
 
@@ -84,6 +96,8 @@ int main(int argc, char** argv) {
   uint64_t trace_sample = 0;
   uint64_t smoke_traffic = 0;
   bool commit_batching = true;
+  // Cheap enough to leave on by default (1/64 sampling; see bench_obs).
+  uint32_t contention_sample = 64;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -136,6 +150,10 @@ int main(int argc, char** argv) {
         Usage(argv[0]);
         return 2;
       }
+    } else if (arg == "--contention-sample") {
+      const char* v = next();
+      if (v == nullptr) { Usage(argv[0]); return 2; }
+      contention_sample = static_cast<uint32_t>(std::atoll(v));
     } else {
       Usage(argv[0]);
       return arg == "--help" ? 0 : 2;
@@ -143,6 +161,26 @@ int main(int argc, char** argv) {
   }
 
   obs::Tracer::Global().SetSampleEveryN(trace_sample);
+  contention::SetSampleEveryN(contention_sample);
+
+  // /varz flag echo: every flag value as resolved, plus the env defaults the
+  // resolution consulted. Scrape-side tooling (aft_top, the CI smoke) reads
+  // these to tell node configurations apart without parsing command lines.
+  const char* env_threading = std::getenv("AFT_NET_THREADING");
+  const char* env_io_threads = std::getenv("AFT_IO_THREADS");
+  obs::SetVarz("flag.port", std::to_string(port));
+  obs::SetVarz("flag.engine", engine);
+  obs::SetVarz("flag.data_dir", data_dir.empty() ? "(none)" : data_dir);
+  obs::SetVarz("flag.node_id", node_id);
+  obs::SetVarz("flag.threading",
+               threading == net::ServerThreading::kEventLoop ? "event" : "thread");
+  obs::SetVarz("flag.metrics_port", std::to_string(metrics_port));
+  obs::SetVarz("flag.trace_sample", std::to_string(trace_sample));
+  obs::SetVarz("flag.smoke_traffic", std::to_string(smoke_traffic));
+  obs::SetVarz("flag.commit_batching", commit_batching ? "on" : "off");
+  obs::SetVarz("flag.contention_sample", std::to_string(contention_sample));
+  obs::SetVarz("env.AFT_NET_THREADING", env_threading != nullptr ? env_threading : "(unset)");
+  obs::SetVarz("env.AFT_IO_THREADS", env_io_threads != nullptr ? env_io_threads : "(unset)");
 
   RealClock& clock = RealClock::Default();
   EngineFactoryConfig engine_config;
@@ -153,6 +191,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::unique_ptr<StorageEngine> storage = std::move(*storage_or);
+  // Registered only after MakeStorageEngine returned ok — for --engine local
+  // that is after WAL replay, so /readyz says "recovered", not "constructed".
+  obs::ScopedReadyCheck engine_ready = obs::RegisterReadyCheck(
+      "engine_recovered", [engine] { return std::make_pair(true, engine); });
 
   AftNodeOptions node_options;
   node_options.enable_commit_batching = commit_batching;
@@ -171,6 +213,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "aft-server: %s\n", started.ToString().c_str());
     return 1;
   }
+  obs::ScopedReadyCheck server_ready =
+      obs::RegisterReadyCheck("server_accepting", [&server] {
+        return std::make_pair(server.running(), server.endpoint().ToString());
+      });
+  obs::ScopedReadyCheck node_ready = obs::RegisterReadyCheck(
+      "node_alive", [&node] { return std::make_pair(node.alive(), std::string()); });
   std::printf("aft-server: node %s (%s) listening on %s (%s mode)\n", node_id.c_str(),
               engine.c_str(), server.endpoint().ToString().c_str(),
               threading == net::ServerThreading::kEventLoop ? "event-loop" : "thread-per-conn");

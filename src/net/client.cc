@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "src/common/contention.h"
 #include "src/common/histogram.h"
 #include "src/common/io_executor.h"
 
@@ -216,15 +217,29 @@ Result<std::string> RemoteAftClient::CallOnce(Channel& channel, const FrameBytes
     }
     channel.ever_connected = true;
   }
-  // 2. Bounded pipelining: wait for an in-flight slot.
+  // 2. Bounded pipelining: wait for an in-flight slot. A sampled queue-
+  //    contention site: when the bounded pipeline is the bottleneck,
+  //    /debug/contention ranks "client.pipeline" against server-side locks.
   const size_t max_inflight = std::max<size_t>(options_.max_inflight, 1);
-  while (channel.connected && channel.waiters.size() >= max_inflight) {
-    const Duration left = TimeLeft(deadline);
-    if (left <= Duration::zero()) {
-      return Status::Timeout("call deadline exceeded awaiting pipeline slot to " +
-                             channel.endpoint.ToString());
+  if (channel.waiters.size() >= max_inflight) {
+    static contention::ContentionSite* const pipeline_site =
+        contention::QueueSite("client.pipeline");
+    const bool sampled = contention::ShouldSample();
+    const SteadyClock::time_point slot_wait_start = SteadyClock::now();
+    while (channel.connected && channel.waiters.size() >= max_inflight) {
+      const Duration left = TimeLeft(deadline);
+      if (left <= Duration::zero()) {
+        return Status::Timeout("call deadline exceeded awaiting pipeline slot to " +
+                               channel.endpoint.ToString());
+      }
+      channel.cv.WaitFor(lock, left);
     }
-    channel.cv.WaitFor(lock, left);
+    if (sampled) {
+      pipeline_site->RecordWait(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now() -
+                                                               slot_wait_start)
+              .count()));
+    }
   }
   if (!channel.connected) {
     return Status::Unavailable("connection to " + channel.endpoint.ToString() +

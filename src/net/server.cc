@@ -334,8 +334,10 @@ void AftServiceServer::ServeConnection(Connection* conn) {
 // ---- Event-loop mode --------------------------------------------------------
 
 Status AftServiceServer::StartEventLoops() {
+  // Named so the contention profiler exposes the pool's queue wait and run
+  // time as "net_workers.queue" / "net_workers.run" sites.
   workers_ = std::make_unique<IoExecutor>(
-      options_.num_workers > 0 ? options_.num_workers : 8);
+      options_.num_workers > 0 ? options_.num_workers : 8, "net_workers");
   size_t n = options_.num_event_loops;
   if (n == 0) {
     n = std::thread::hardware_concurrency();

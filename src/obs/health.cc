@@ -1,0 +1,224 @@
+#include "src/obs/health.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <unordered_set>
+
+#include "src/common/contention.h"
+#include "src/common/mutex.h"
+
+namespace aft {
+namespace obs {
+namespace {
+
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+struct VarzState {
+  Mutex mu;
+  std::map<std::string, std::string> values GUARDED_BY(mu);
+};
+
+VarzState& Varz() {
+  static VarzState* state = new VarzState();
+  return *state;
+}
+
+struct ReadyCheck {
+  std::string name;
+  ReadyCheckFn fn;
+};
+
+struct ReadyState {
+  Mutex mu;
+  uint64_t next_id GUARDED_BY(mu) = 1;
+  std::map<uint64_t, ReadyCheck> checks GUARDED_BY(mu);
+};
+
+ReadyState& Ready() {
+  static ReadyState* state = new ReadyState();
+  return *state;
+}
+
+std::string FormatNs(uint64_t ns) {
+  char buf[32];
+  if (ns >= 1000000000ull) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns) * 1e-9);
+  } else if (ns >= 1000000ull) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) * 1e-6);
+  } else if (ns >= 1000ull) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", static_cast<double>(ns) * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluns", static_cast<unsigned long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace
+
+void SetVarz(const std::string& key, const std::string& value) {
+  VarzState& state = Varz();
+  MutexLock lock(state.mu);
+  state.values[key] = value;
+}
+
+std::string RenderVarz() {
+  std::map<std::string, std::string> values;
+  {
+    VarzState& state = Varz();
+    MutexLock lock(state.mu);
+    values = state.values;
+  }
+  values["build.compiler"] = __VERSION__;
+#ifdef NDEBUG
+  values["build.mode"] = "release";
+#else
+  values["build.mode"] = "debug";
+#endif
+  values["proc.pid"] = std::to_string(::getpid());
+  const double uptime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - ProcessStart()).count();
+  char up[32];
+  std::snprintf(up, sizeof(up), "%.1f", uptime_s);
+  values["proc.uptime_s"] = up;
+
+  std::string out;
+  for (const auto& [key, value] : values) {
+    out += key;
+    out += ": ";
+    out += value;
+    out += "\n";
+  }
+  return out;
+}
+
+ScopedReadyCheck& ScopedReadyCheck::operator=(ScopedReadyCheck&& other) noexcept {
+  if (this != &other) {
+    Release();
+    id_ = other.id_;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void ScopedReadyCheck::Release() {
+  if (id_ == 0) {
+    return;
+  }
+  ReadyState& state = Ready();
+  MutexLock lock(state.mu);
+  state.checks.erase(id_);
+  id_ = 0;
+}
+
+ScopedReadyCheck RegisterReadyCheck(const std::string& name, ReadyCheckFn fn) {
+  ReadyState& state = Ready();
+  MutexLock lock(state.mu);
+  // Replace semantics: a re-registered name supersedes the old check (the
+  // superseded handle's Release then erases nothing that matters).
+  for (auto it = state.checks.begin(); it != state.checks.end();) {
+    it = it->second.name == name ? state.checks.erase(it) : std::next(it);
+  }
+  const uint64_t id = state.next_id++;
+  state.checks.emplace(id, ReadyCheck{name, std::move(fn)});
+  return ScopedReadyCheck(id);
+}
+
+ReadyReport CheckReady() {
+  // Copy the functions out so checks run without the registry lock (a check
+  // may itself take locks).
+  std::vector<ReadyCheck> checks;
+  {
+    ReadyState& state = Ready();
+    MutexLock lock(state.mu);
+    checks.reserve(state.checks.size());
+    for (const auto& [id, check] : state.checks) {
+      checks.push_back(check);
+    }
+  }
+  std::sort(checks.begin(), checks.end(),
+            [](const ReadyCheck& a, const ReadyCheck& b) { return a.name < b.name; });
+  ReadyReport report;
+  for (const ReadyCheck& check : checks) {
+    auto [ok, detail] = check.fn();
+    report.ready = report.ready && ok;
+    report.body += check.name;
+    report.body += ok ? ": ok" : ": FAIL";
+    if (!detail.empty()) {
+      report.body += " ";
+      report.body += detail;
+    }
+    report.body += "\n";
+  }
+  if (checks.empty()) {
+    report.body = "no checks registered\n";
+  }
+  return report;
+}
+
+std::string RenderContention() {
+  const auto sites = contention::ContentionRegistry::Global().Snapshot();
+  std::string out = "# contention sites, ranked by total sampled wait\n";
+  out += "# sample_every_n: " + std::to_string(contention::SampleEveryN()) +
+         (contention::SampleEveryN() == 0 ? " (profiler off)" : "") + "\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-28s %-5s %10s %10s %12s %10s %10s %10s\n", "site", "kind",
+                "samples", "contended", "total_wait", "max", "p50", "p99");
+  out += line;
+  for (const auto& site : sites) {
+    std::snprintf(line, sizeof(line), "%-28s %-5s %10llu %10llu %12s %10s %10s %10s\n",
+                  site.name.c_str(), contention::SiteKindName(site.kind),
+                  static_cast<unsigned long long>(site.samples),
+                  static_cast<unsigned long long>(site.contended),
+                  FormatNs(site.total_wait_ns).c_str(), FormatNs(site.max_wait_ns).c_str(),
+                  FormatNs(site.ApproxQuantileNs(0.5)).c_str(),
+                  FormatNs(site.ApproxQuantileNs(0.99)).c_str());
+    out += line;
+  }
+  return out;
+}
+
+void SyncContentionMetrics(MetricsRegistry& registry) {
+  // One-time (per site) callback registration; the callbacks read the
+  // site's atomics at scrape time. Handles are intentionally leaked into a
+  // static — sites live forever, and so does the bridge.
+  struct BridgeState {
+    Mutex mu;
+    std::unordered_set<std::string> bridged GUARDED_BY(mu);
+    std::vector<ScopedMetricCallback> handles GUARDED_BY(mu);
+  };
+  static BridgeState* state = new BridgeState();
+
+  const auto sites = contention::ContentionRegistry::Global().Snapshot();
+  MutexLock lock(state->mu);
+  for (const auto& snap : sites) {
+    if (!state->bridged.insert(snap.name).second) {
+      continue;
+    }
+    contention::ContentionSite* site = contention::ContentionRegistry::Global().GetSite(
+        snap.name, snap.kind);
+    const MetricLabels labels = {{"lock", snap.name},
+                                 {"kind", contention::SiteKindName(snap.kind)}};
+    state->handles.push_back(registry.RegisterCallback(
+        "aft_lock_wait_seconds_total", "Sampled wait accumulated at this site",
+        CallbackType::kCounter, labels,
+        [site] { return static_cast<double>(site->total_wait_ns()) * 1e-9; }));
+    state->handles.push_back(registry.RegisterCallback(
+        "aft_lock_wait_samples_total", "Sampled acquisitions at this site",
+        CallbackType::kCounter, labels,
+        [site] { return static_cast<double>(site->samples()); }));
+    state->handles.push_back(registry.RegisterCallback(
+        "aft_lock_contended_total", "Sampled acquisitions that blocked at this site",
+        CallbackType::kCounter, labels,
+        [site] { return static_cast<double>(site->contended()); }));
+  }
+}
+
+}  // namespace obs
+}  // namespace aft

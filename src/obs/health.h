@@ -1,0 +1,92 @@
+// Health, readiness and introspection surfaces behind the HTTP exporter:
+//
+//   /healthz            liveness: the process is up and serving (200 always)
+//   /readyz             readiness: every registered check passes (else 503)
+//   /varz               build info, uptime, and the flag/env echo the server
+//                       publishes via SetVarz — scrape-side tooling uses it
+//                       to tell node configurations apart
+//   /debug/contention   ranked lock/queue hot spots from the sampled
+//                       contention profiler (src/common/contention.h)
+//
+// Process-global registries (like MetricsRegistry): a server binary has one
+// health state no matter how many components report into it.
+
+#ifndef SRC_OBS_HEALTH_H_
+#define SRC_OBS_HEALTH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace aft {
+namespace obs {
+
+// ---- /varz -----------------------------------------------------------------
+
+// Publishes (or overwrites) one key in the /varz table. Values are free-form
+// one-line strings; keys render in sorted order.
+void SetVarz(const std::string& key, const std::string& value);
+
+// The /varz body: "key: value" lines — the published keys plus built-in
+// build.compiler, build.mode, proc.uptime_s and proc.pid.
+std::string RenderVarz();
+
+// ---- /readyz ---------------------------------------------------------------
+
+// A readiness check: returns {ready, detail}. Must be callable from the
+// exporter's accept thread at any time after registration.
+using ReadyCheckFn = std::function<std::pair<bool, std::string>()>;
+
+// RAII handle; destruction unregisters the check. Re-registering a live name
+// replaces the previous check (component restart semantics, mirroring
+// ScopedMetricCallback).
+class [[nodiscard]] ScopedReadyCheck {
+ public:
+  ScopedReadyCheck() = default;
+  explicit ScopedReadyCheck(uint64_t id) : id_(id) {}
+  ~ScopedReadyCheck() { Release(); }
+  ScopedReadyCheck(ScopedReadyCheck&& other) noexcept : id_(other.id_) { other.id_ = 0; }
+  ScopedReadyCheck& operator=(ScopedReadyCheck&& other) noexcept;
+  ScopedReadyCheck(const ScopedReadyCheck&) = delete;
+  ScopedReadyCheck& operator=(const ScopedReadyCheck&) = delete;
+
+  void Release();
+
+ private:
+  uint64_t id_ = 0;  // 0 = inert
+};
+
+ScopedReadyCheck RegisterReadyCheck(const std::string& name, ReadyCheckFn fn);
+
+struct ReadyReport {
+  bool ready = true;  // true iff every check passed (vacuously with none)
+  // One "name: ok|FAIL detail" line per check, sorted by name.
+  std::string body;
+};
+
+ReadyReport CheckReady();
+
+// ---- /debug/contention ------------------------------------------------------
+
+// Ranked (by total wait) plain-text table of every contention site: name,
+// kind, samples, contended count, total/max/p50/p99 wait. Includes the
+// current sampling rate header so a blank table is self-explanatory.
+std::string RenderContention();
+
+// Bridges contention sites into `registry` as callback counters —
+// aft_lock_wait_seconds_total / aft_lock_wait_samples_total /
+// aft_lock_contended_total, labeled {lock=<site>, kind=lock|queue} — so
+// plain /metrics scrapers (and aft_top) see lock waits without the debug
+// endpoint. Idempotent and cheap after the first call per site; the HTTP
+// exporter invokes it before each exposition so sites created since the
+// last scrape appear.
+void SyncContentionMetrics(MetricsRegistry& registry);
+
+}  // namespace obs
+}  // namespace aft
+
+#endif  // SRC_OBS_HEALTH_H_

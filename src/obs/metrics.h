@@ -160,6 +160,12 @@ class ScopedHistogramTimer {
   ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
   ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
 
+  // The instant the timer opened. Instrumentation nested inside the timed
+  // window can reuse this as its own start instead of re-reading the clock —
+  // stage attribution anchors txn_lock_wait here so the per-stage sum nests
+  // inside the end-to-end window by construction.
+  std::chrono::steady_clock::time_point start() const { return start_; }
+
  private:
   Histogram* histogram_;
   std::chrono::steady_clock::time_point start_;

@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/obs/health.h"
 
 namespace aft {
 namespace obs {
@@ -29,13 +30,19 @@ void SendAllBestEffort(int fd, const std::string& data) {
   }
 }
 
+// EVERY response — success or error — goes through here, so Content-Length
+// and Connection: close are consistent on all paths (clients like bash's
+// /dev/tcp scrape loop and aft_top read until EOF and rely on the header
+// pair; ObsHttpTest.ErrorResponsesCarryFramingHeaders pins this).
+// `extra_headers` carries per-response additions, e.g. 405's "Allow: GET".
 std::string HttpResponse(int code, const char* reason, const char* content_type,
-                         const std::string& body) {
+                         const std::string& body, const std::string& extra_headers = {}) {
   std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason + "\r\n";
   out += "Content-Type: ";
   out += content_type;
   out += "\r\n";
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += extra_headers;
   out += "Connection: close\r\n\r\n";
   out += body;
   return out;
@@ -124,25 +131,55 @@ void MetricsHttpServer::ServeConnection(int fd) {
     }
     request.append(buf, static_cast<size_t>(n));
   }
+  if (request.find("\r\n\r\n") == std::string::npos) {
+    // Headers never terminated within the cap: refuse rather than parse a
+    // truncated request line as if it were complete.
+    SendAllBestEffort(fd, HttpResponse(400, "Bad Request", "text/plain",
+                                       "request headers too large or malformed\n"));
+    return;
+  }
 
   const size_t line_end = request.find("\r\n");
   const std::string line = request.substr(0, line_end);
   if (line.rfind("GET ", 0) != 0) {
-    SendAllBestEffort(fd, HttpResponse(405, "Method Not Allowed", "text/plain", "GET only\n"));
+    SendAllBestEffort(fd, HttpResponse(405, "Method Not Allowed", "text/plain", "GET only\n",
+                                       "Allow: GET\r\n"));
     return;
   }
   const size_t path_start = 4;
   const size_t path_end = line.find(' ', path_start);
+  if (path_end == std::string::npos) {
+    SendAllBestEffort(fd,
+                      HttpResponse(400, "Bad Request", "text/plain", "malformed request line\n"));
+    return;
+  }
   const std::string path = line.substr(path_start, path_end - path_start);
 
   if (path == "/metrics" || path == "/") {
+    // Late-created contention sites bridge into the registry at scrape time.
+    SyncContentionMetrics(registry_);
     SendAllBestEffort(fd, HttpResponse(200, "OK", "text/plain; version=0.0.4",
                                        registry_.Exposition()));
   } else if (path == "/traces") {
     SendAllBestEffort(fd, HttpResponse(200, "OK", "application/json", tracer_.DumpJson()));
+  } else if (path == "/healthz") {
+    // Liveness: this thread answered, the process serves. Nothing deeper —
+    // that is /readyz's job.
+    SendAllBestEffort(fd, HttpResponse(200, "OK", "text/plain", "ok\n"));
+  } else if (path == "/readyz") {
+    const ReadyReport report = CheckReady();
+    SendAllBestEffort(fd, report.ready
+                              ? HttpResponse(200, "OK", "text/plain", report.body)
+                              : HttpResponse(503, "Service Unavailable", "text/plain",
+                                             report.body));
+  } else if (path == "/varz") {
+    SendAllBestEffort(fd, HttpResponse(200, "OK", "text/plain", RenderVarz()));
+  } else if (path == "/debug/contention") {
+    SendAllBestEffort(fd, HttpResponse(200, "OK", "text/plain", RenderContention()));
   } else {
-    SendAllBestEffort(fd, HttpResponse(404, "Not Found", "text/plain",
-                                       "try /metrics or /traces\n"));
+    SendAllBestEffort(
+        fd, HttpResponse(404, "Not Found", "text/plain",
+                         "try /metrics /traces /healthz /readyz /varz /debug/contention\n"));
   }
 }
 

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/common/contention.h"
 #include "src/common/histogram.h"
 #include "src/common/io_executor.h"
 #include "src/common/logging.h"
@@ -281,9 +282,13 @@ Status LocalEngine::ApplyWrites(std::span<const Wal::AppendOp> ops) {
   return first_error;
 }
 
-Status LocalEngine::AppendIndexSync(std::span<const Wal::AppendOp> ops) {
+Status LocalEngine::AppendIndexSync(std::span<const Wal::AppendOp> ops, double* append_s,
+                                    double* sync_s) {
   static thread_local std::vector<Wal::AppendedLoc> locs;
   locs.resize(ops.size());
+  const bool timed = append_s != nullptr;
+  const auto append_start =
+      timed ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
   uint64_t batch_lsn = 0;
   {
     // Shared hold spans append -> index publication so compaction's
@@ -303,6 +308,16 @@ Status LocalEngine::AppendIndexSync(std::span<const Wal::AppendOp> ops) {
       const Locator loc{locs[i].file_key, locs[i].value_offset, locs[i].value_len};
       ApplyIndexOp(ops[i].op, ops[i].key, loc, locs[i].record_bytes);
     }
+  }
+  if (timed) {
+    const auto sync_start = std::chrono::steady_clock::now();
+    *append_s = std::chrono::duration<double>(sync_start - append_start).count();
+    const Status synced = wal_->Sync(batch_lsn);
+    if (sync_s != nullptr) {
+      *sync_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - sync_start)
+                    .count();
+    }
+    return synced;
   }
   return wal_->Sync(batch_lsn);
 }
@@ -425,7 +440,8 @@ Status LocalEngine::BatchPut(std::span<const WriteOp> ops) {
   return ApplyWrites(std::span<const Wal::AppendOp>(wal_ops));
 }
 
-void LocalEngine::CommitUnits(std::span<CommitUnit> units, std::span<Status> results) {
+void LocalEngine::CommitUnits(std::span<CommitUnit> units, std::span<Status> results,
+                              CommitStageProfile* profile) {
   for (Status& r : results) {
     r = Status::Ok();
   }
@@ -495,7 +511,16 @@ void LocalEngine::CommitUnits(std::span<CommitUnit> units, std::span<Status> res
   if (fused.empty()) {
     return;
   }
-  const Status applied = AppendIndexSync(std::span<const Wal::AppendOp>(fused));
+  double* append_out = nullptr;
+  double* sync_out = nullptr;
+  if (profile != nullptr && contention::StageTimingEnabled()) {
+    // Fused-path stage mapping: append + index publish = data_flush, the
+    // group-committed fsync = record_write, barrier = 0 (see header).
+    append_out = &profile->data_flush_s;
+    sync_out = &profile->record_write_s;
+  }
+  const Status applied =
+      AppendIndexSync(std::span<const Wal::AppendOp>(fused), append_out, sync_out);
   if (!applied.ok()) {
     // The append (or its sync) is all-or-nothing for the batch: no unit's
     // record was acknowledged, so every surviving unit fails.

@@ -105,7 +105,12 @@ class LocalEngine final : public StorageEngine {
   // record is withheld from the batch (already-accepted data ops still
   // append — non-atomic batch semantics — and stay invisible orphans) while
   // its batch-mates commit.
-  void CommitUnits(std::span<CommitUnit> units, std::span<Status> results) override;
+  // Stage mapping for `profile` (fused path — see CommitStageProfile):
+  // data_flush = AppendBatch + index publication, record_write = the
+  // group-committed fsync (data and records become durable together),
+  // barrier = 0 (ordering rides batch append order, no separate wait).
+  void CommitUnits(std::span<CommitUnit> units, std::span<Status> results,
+                   CommitStageProfile* profile = nullptr) override;
   Status Delete(const std::string& key) override;
   Status BatchDelete(std::span<const std::string> keys) override;
   Result<std::vector<std::string>> List(const std::string& prefix) override;
@@ -167,8 +172,10 @@ class LocalEngine final : public StorageEngine {
   Status ApplyWrites(std::span<const Wal::AppendOp> ops);
   // The shared tail of every write: one AppendBatch under the compaction
   // gate, index publication, one Sync. Callers have already run the
-  // injector over `ops`.
-  Status AppendIndexSync(std::span<const Wal::AppendOp> ops);
+  // injector over `ops`. Non-null out-params receive the wall-clock split
+  // (append+index vs sync) for commit-stage attribution.
+  Status AppendIndexSync(std::span<const Wal::AppendOp> ops, double* append_s = nullptr,
+                         double* sync_s = nullptr);
 
   // Index mutation for one applied op; does the dead-byte accounting.
   void ApplyIndexOp(wal::RecordOp op, std::string_view key, const Locator& loc,
@@ -219,8 +226,8 @@ class LocalEngine final : public StorageEngine {
   // records the index is about to reference. Writes starting after the
   // snapshot land at or past the active sequence, which the snapshot
   // excludes, so they need no gate. Acquired before index_mu_.
-  mutable SharedMutex inflight_mu_;
-  mutable SharedMutex index_mu_;
+  mutable SharedMutex inflight_mu_{"engine.inflight"};
+  mutable SharedMutex index_mu_{"engine.index"};
   std::shared_ptr<MemoryPool> index_pool_ = std::make_shared<MemoryPool>();
   IndexMap index_ GUARDED_BY(index_mu_){
       IndexKeyLess{}, PoolAllocator<std::pair<const IndexKey, Locator>>(index_pool_)};

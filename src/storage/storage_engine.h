@@ -17,6 +17,7 @@
 #define SRC_STORAGE_STORAGE_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -39,6 +40,33 @@ struct WriteOp {
 struct CommitUnit {
   std::span<WriteOp> data_ops;  // version/segment objects; may be consumed
   WriteOp commit_record;        // commit-set key + serialized record; may be consumed
+};
+
+// Wall-clock decomposition of one CommitUnits call, in seconds. Stages are
+// DISJOINT — their sum is the storage portion of the call — so the commit
+// path can reconcile per-stage histograms against end-to-end latency:
+//   data_flush:   issuing + writing the merged data-version round, excluding
+//                 straggler wait (WAL engine: AppendBatch + index publish)
+//   barrier:      the §3.3 wait for in-flight data writes to be acknowledged
+//                 before any commit record may be written (WAL engine: 0 —
+//                 ordering rides the single fused append, see local_engine)
+//   record_write: the commit-record round (WAL engine: the group-committed
+//                 fsync, which is also what makes the data durable)
+// Filled only when a profile is passed AND contention::StageTimingEnabled().
+//
+// Boundary sharing keeps attribution near-free on µs-scale engines: a caller
+// that already read the clock at the instant the call began may pass that
+// reading in `start` (the engine then opens data_flush there instead of
+// taking its own), and an engine leaves its final clock reading in `end`
+// (set only when the record stage actually ran) so the caller can open the
+// following stage without re-reading the clock. Shared boundaries keep the
+// stages exactly contiguous, so they stay disjoint by construction.
+struct CommitStageProfile {
+  double data_flush_s = 0;
+  double barrier_s = 0;
+  double record_write_s = 0;
+  std::chrono::steady_clock::time_point start{};
+  std::chrono::steady_clock::time_point end{};
 };
 
 // Cumulative operation counters, readable while the engine is in use.
@@ -121,8 +149,10 @@ class StorageEngine {
   // unbatched commit (one BatchPutConsume + one Put), so the solo fast
   // path costs nothing extra. Engines may override to fuse the rounds
   // further — the local engine rides a whole batch on one WAL append and
-  // one group-committed fsync.
-  virtual void CommitUnits(std::span<CommitUnit> units, std::span<Status> results);
+  // one group-committed fsync. A non-null `profile` receives the per-stage
+  // wall-clock split documented on CommitStageProfile.
+  virtual void CommitUnits(std::span<CommitUnit> units, std::span<Status> results,
+                           CommitStageProfile* profile = nullptr);
 
   // Deletes `key`. Deleting a missing key is OK (idempotent).
   virtual Status Delete(const std::string& key) = 0;

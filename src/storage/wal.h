@@ -209,7 +209,7 @@ class Wal {
   const WalOptions options_;
 
   // Append state: one appender at a time builds + writes its batch.
-  mutable Mutex append_mu_;
+  mutable Mutex append_mu_{"wal.append"};
   int active_fd_ GUARDED_BY(append_mu_) = -1;
   uint64_t active_key_ GUARDED_BY(append_mu_) = 0;
   uint64_t active_size_ GUARDED_BY(append_mu_) = 0;
@@ -224,7 +224,7 @@ class Wal {
   // pair right after the bytes hit sync_fd_, and rotation fsyncs a file
   // before retiring it, so fdatasync(sync_fd_) covering appended_lsn_ makes
   // everything at or below appended_lsn_ durable.
-  mutable Mutex flush_mu_;
+  mutable Mutex flush_mu_{"wal.flush"};
   CondVar flush_cv_;       // wakes the flusher
   CondVar durable_cv_;     // wakes Sync waiters
   CondVar fsync_done_cv_;  // rotation waits for an in-flight fsync on the fd it retires

@@ -9,12 +9,15 @@
 #include <vector>
 
 #include "src/cluster/deployment.h"
+#include "src/common/contention.h"
 #include "src/common/histogram.h"
 #include "src/common/logging.h"
+#include "src/common/mutex.h"
 #include "src/common/stats.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
 #include "src/net/socket.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
 #include "src/obs/metrics_http.h"
 #include "src/obs/trace.h"
@@ -455,6 +458,118 @@ TEST(NetObsTest, HttpExporterServesMetricsAndTraces) {
 
   EXPECT_NE(get("GET /nope").find("404"), std::string::npos);
   EXPECT_NE(get("POST /metrics").find("405"), std::string::npos);
+
+  server.Stop();
+}
+
+// Sends `raw` verbatim and reads until EOF — the exporter speaks
+// Connection: close, so EOF delimits the response.
+std::string RawHttp(uint16_t port, const std::string& raw) {
+  auto socket = TcpConnect(NetEndpoint{"127.0.0.1", port}, std::chrono::seconds(2));
+  EXPECT_TRUE(socket.ok());
+  if (!socket.ok()) {
+    return "";
+  }
+  EXPECT_TRUE(socket->SendAll(raw.data(), raw.size()).ok());
+  (void)socket->SetRecvTimeout(std::chrono::seconds(2));
+  std::string response;
+  char buf[4096];
+  while (true) {
+    auto n = socket->RecvSome(buf, sizeof(buf));
+    if (!n.ok() || *n == 0) {
+      break;
+    }
+    response.append(buf, *n);
+  }
+  return response;
+}
+
+// Every response, success or error, must carry a correct Content-Length and
+// Connection: close — scrapers read to EOF and reuse nothing, and a missing
+// length on an error path desyncs pipelined clients (metrics_http.cc routes
+// every path through one response builder; this test pins that).
+void ExpectFramed(const std::string& response, const std::string& expect_status) {
+  EXPECT_NE(response.find(expect_status), std::string::npos) << response;
+  EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos) << response;
+  const size_t cl = response.find("Content-Length: ");
+  ASSERT_NE(cl, std::string::npos) << response;
+  const size_t body_start = response.find("\r\n\r\n");
+  ASSERT_NE(body_start, std::string::npos) << response;
+  const size_t declared = std::stoul(response.substr(cl + 16));
+  EXPECT_EQ(response.size() - (body_start + 4), declared) << response;
+}
+
+TEST(ObsHttpTest, ErrorResponsesCarryFramingHeaders) {
+  MetricsHttpServer server(MetricsRegistry::Global(), Tracer::Global());
+  ASSERT_TRUE(server.Start(0).ok());
+
+  ExpectFramed(RawHttp(server.port(), "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n"),
+               "404 Not Found");
+  const std::string method_not_allowed =
+      RawHttp(server.port(), "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  ExpectFramed(method_not_allowed, "405 Method Not Allowed");
+  EXPECT_NE(method_not_allowed.find("Allow: GET\r\n"), std::string::npos);
+  // Request line with no second space: malformed.
+  ExpectFramed(RawHttp(server.port(), "GET /metrics\r\n\r\n"), "400 Bad Request");
+  // Headers that never terminate within the exporter's 8 KiB cap.
+  ExpectFramed(RawHttp(server.port(),
+                       "GET /metrics HTTP/1.1\r\nX-Pad: " + std::string(9000, 'a')),
+               "400 Bad Request");
+
+  server.Stop();
+}
+
+TEST(ObsHttpTest, HealthSurfaceEndpoints) {
+  MetricsHttpServer server(MetricsRegistry::Global(), Tracer::Global());
+  ASSERT_TRUE(server.Start(0).ok());
+  auto get = [&](const std::string& path) {
+    return RawHttp(server.port(), "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n");
+  };
+
+  // Liveness always answers ok.
+  const std::string healthz = get("/healthz");
+  ExpectFramed(healthz, "200 OK");
+  EXPECT_NE(healthz.find("ok\n"), std::string::npos);
+
+  // Readiness: vacuously ready, then a failing check flips to 503, and
+  // releasing the check restores 200.
+  EXPECT_NE(get("/readyz").find("200 OK"), std::string::npos);
+  {
+    obs::ScopedReadyCheck failing = obs::RegisterReadyCheck(
+        "test_gate", [] { return std::make_pair(false, std::string("not yet")); });
+    const std::string not_ready = get("/readyz");
+    ExpectFramed(not_ready, "503 Service Unavailable");
+    EXPECT_NE(not_ready.find("test_gate: FAIL not yet"), std::string::npos);
+
+    obs::ScopedReadyCheck passing = obs::RegisterReadyCheck(
+        "test_ok", [] { return std::make_pair(true, std::string()); });
+    const std::string mixed = get("/readyz");
+    EXPECT_NE(mixed.find("503"), std::string::npos);  // One FAIL fails the whole.
+    EXPECT_NE(mixed.find("test_ok: ok"), std::string::npos);
+  }
+  EXPECT_NE(get("/readyz").find("200 OK"), std::string::npos);
+
+  // /varz renders published keys plus the build/process built-ins.
+  obs::SetVarz("test.flag", "42");
+  const std::string varz = get("/varz");
+  ExpectFramed(varz, "200 OK");
+  EXPECT_NE(varz.find("test.flag: 42"), std::string::npos);
+  EXPECT_NE(varz.find("build.mode: "), std::string::npos);
+  EXPECT_NE(varz.find("proc.uptime_s: "), std::string::npos);
+
+  // /debug/contention renders the ranked site table (the named mutex below
+  // guarantees at least one row exists).
+  Mutex named("test.http_surface");
+  { MutexLock lock(named); }
+  const std::string contention = get("/debug/contention");
+  ExpectFramed(contention, "200 OK");
+  EXPECT_NE(contention.find("contention sites"), std::string::npos);
+  EXPECT_NE(contention.find("test.http_surface"), std::string::npos);
+
+  // The contention bridge: scraping /metrics exposes per-site counters.
+  const std::string metrics = get("/metrics");
+  EXPECT_NE(metrics.find("aft_lock_wait_seconds_total"), std::string::npos);
+  EXPECT_NE(metrics.find("lock=\"test.http_surface\""), std::string::npos);
 
   server.Stop();
 }

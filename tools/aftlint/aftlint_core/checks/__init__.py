@@ -17,7 +17,13 @@ EMITTED = {
     "lock-order": ["lock-order"],
     "decoder-bounds": ["decoder-bounds"],
     "loop-blocking": ["loop-blocking"],
-    "observability": ["obs-metric-name", "obs-rpc-coverage", "obs-hot-log"],
+    "observability": [
+        "obs-metric-name",
+        "obs-rpc-coverage",
+        "obs-hot-log",
+        "obs-stage-label",
+        "obs-site-name",
+    ],
     "hot-alloc": ["hot-alloc"],
 }
 

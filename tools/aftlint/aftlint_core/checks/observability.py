@@ -14,6 +14,16 @@
     Logging takes a global mutex and formats a stream; on a hot loop that
     is a throughput cliff. Teardown-path logs inside a hot loop carry
     `// aftlint-allow(obs-hot-log): <reason>`.
+  * obs-stage-label   — every literal `stage` label value on
+    aft_commit_stage_seconds comes from the canonical commit-stage
+    vocabulary (config.STAGE_LABEL_VALUES): the stages are disjoint nested
+    slices of the end-to-end commit, so an ad-hoc stage name is either a
+    typo or an undocumented protocol change.
+  * obs-site-name     — contention-site names follow the `layer.object`
+    grammar: literals passed to LockSite/QueueSite and to named
+    Mutex/SharedMutex constructions must match config.SITE_NAME_RE, and a
+    named IoExecutor takes a single lower-snake segment (its sites get
+    `.queue` / `.run` appended).
 """
 
 from __future__ import annotations
@@ -27,9 +37,29 @@ from ..source import SourceFile, string_literals
 NAME_CHECK = "obs-metric-name"
 RPC_CHECK = "obs-rpc-coverage"
 HOT_CHECK = "obs-hot-log"
+STAGE_CHECK = "obs-stage-label"
+SITE_CHECK = "obs-site-name"
 
 _FAMILY_RE = re.compile(r"^aft[A-Za-z0-9_]*$")
 _GRAMMAR_RE = re.compile("^" + config.METRIC_NAME_RE + "$")
+
+# Literal stage-label spellings: an inline label pair, and the registration
+# helper idiom `stage("data_flush", ...)` in files that register the family.
+_STAGE_PAIR_RE = re.compile(r'\{\s*"stage"\s*,\s*"([^"]*)"')
+_STAGE_HELPER_RE = re.compile(r'\bstage\s*\(\s*"([^"]*)"')
+
+# Literal contention-site spellings: cached-site initializers and named
+# mutex constructions (member brace-init or local paren-init).
+_SITE_RES = [
+    re.compile(r'\b(?:LockSite|QueueSite)\s*\(\s*"([^"]*)"'),
+    re.compile(r'\b(?:Mutex|SharedMutex)\s+\w+\s*[({]\s*"([^"]*)"'),
+]
+# A named executor: the literal after the width argument. Covers direct
+# construction (`IoExecutor pool(4, "x")`), new-expressions, and
+# make_unique<IoExecutor>(...).
+_EXEC_RE = re.compile(r'\bIoExecutor\s*>?\s*(?:\w+\s*)?\(\s*[^";{}]*?,\s*"([^"]*)"')
+_SITE_GRAMMAR_RE = re.compile("^" + config.SITE_NAME_RE + "$")
+_EXEC_GRAMMAR_RE = re.compile("^" + config.EXECUTOR_NAME_RE + "$")
 
 
 def run(ctx: CheckContext) -> None:
@@ -37,6 +67,8 @@ def run(ctx: CheckContext) -> None:
     enum_site: tuple[str, int] | None = None
     for path, src in sorted(ctx.files.items()):
         _check_metric_names(ctx, path, src)
+        _check_stage_labels(ctx, path, src)
+        _check_site_names(ctx, path, src)
         _check_hot_loops(ctx, path, src)
         m = re.search(
             rf"enum\s+class\s+{config.RPC_DISPATCH['enum']}\b[^{{]*\{{([^}}]*)\}}", src.masked
@@ -84,6 +116,61 @@ def _check_metric_names(ctx: CheckContext, path: str, src: SourceFile) -> None:
                 path,
                 line,
                 f"'{lit}' ends in _total but is not registered as a counter",
+            )
+
+
+def _in_code(src: SourceFile, off: int) -> bool:
+    """True when the raw-text offset is real code (masking turns comments and
+    literal contents into spaces, so a commented-out example never matches)."""
+    return off < len(src.masked) and src.masked[off] != " "
+
+
+def _check_stage_labels(ctx: CheckContext, path: str, src: SourceFile) -> None:
+    vocab = set(config.STAGE_LABEL_VALUES)
+    registers_family = "aft_commit_stage_seconds" in src.text
+    for regex, needs_family in ((_STAGE_PAIR_RE, False), (_STAGE_HELPER_RE, True)):
+        if needs_family and not registers_family:
+            continue
+        for m in regex.finditer(src.text):
+            if not _in_code(src, m.start()):
+                continue
+            value = m.group(1)
+            if value not in vocab:
+                ctx.report(
+                    STAGE_CHECK,
+                    path,
+                    src.line_of(m.start(1)),
+                    f"stage label '{value}' is not in the commit-stage vocabulary "
+                    f"({', '.join(config.STAGE_LABEL_VALUES)}); the stages are disjoint "
+                    f"slices of the commit — new ones go through the docs table",
+                )
+
+
+def _check_site_names(ctx: CheckContext, path: str, src: SourceFile) -> None:
+    for regex in _SITE_RES:
+        for m in regex.finditer(src.text):
+            if not _in_code(src, m.start()):
+                continue
+            name = m.group(1)
+            if not _SITE_GRAMMAR_RE.match(name):
+                ctx.report(
+                    SITE_CHECK,
+                    path,
+                    src.line_of(m.start(1)),
+                    f"contention site '{name}' violates the layer.object grammar "
+                    f"({config.SITE_NAME_RE})",
+                )
+    for m in _EXEC_RE.finditer(src.text):
+        if not _in_code(src, m.start()):
+            continue
+        name = m.group(1)
+        if not _EXEC_GRAMMAR_RE.match(name):
+            ctx.report(
+                SITE_CHECK,
+                path,
+                src.line_of(m.start(1)),
+                f"executor name '{name}' must be one lower-snake segment — its "
+                f"contention sites are derived as <name>.queue / <name>.run",
             )
 
 

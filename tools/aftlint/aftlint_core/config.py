@@ -140,6 +140,28 @@ METRIC_REGISTRATION_FNS = ["GetCounter", "GetGauge", "GetHistogram", "RegisterCa
 # Counter names must end in one of these (Prometheus conventions).
 COUNTER_SUFFIXES = ["_total"]
 
+# Commit-stage vocabulary (docs/OBSERVABILITY.md "Latency attribution"): the
+# only legal values for the `stage` label of aft_commit_stage_seconds. The
+# stages are disjoint nested slices of the end-to-end commit; a new stage is
+# a protocol change and must be added here AND to the docs table.
+STAGE_LABEL_VALUES = [
+    "txn_lock_wait",
+    "queue_wait_leader",
+    "queue_wait_follower",
+    "data_flush",
+    "barrier",
+    "record_write",
+    "gossip_publish",
+]
+
+# Contention-site name grammar (docs/OBSERVABILITY.md): `layer.object` —
+# lower-case snake segments joined by dots (wal.append, net_workers.queue).
+SITE_NAME_RE = r"[a-z0-9_]+(\.[a-z0-9_]+)+"
+
+# Executor names feed "<name>.queue" / "<name>.run" site names, so they are a
+# single lower-snake segment with no dots.
+EXECUTOR_NAME_RE = r"[a-z0-9_]+"
+
 # The file that dispatches every RPC and must time each method.
 RPC_DISPATCH = {
     "enum": "MessageType",

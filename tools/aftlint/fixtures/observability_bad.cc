@@ -17,3 +17,12 @@ void HotLoopWithLog(int n) {
     AFT_LOG(Info) << "iteration " << i;  // aftlint-expect(obs-hot-log)
   }
 }
+
+void RegisterBadStagesAndSites(MetricsRegistry& reg, const std::string& node) {
+  reg.GetHistogram("aft_commit_stage_seconds", "stage histogram", Boundaries(),
+                   {{"node", node}, {"stage", "flush_wait"}});  // aftlint-expect(obs-stage-label)
+  Mutex flat_name{"commitlock"};  // aftlint-expect(obs-site-name)
+  SharedMutex camel_name("Engine.Index");  // aftlint-expect(obs-site-name)
+  contention::QueueSite("justonesegment");  // aftlint-expect(obs-site-name)
+  IoExecutor pool(4, "net.workers");  // aftlint-expect(obs-site-name)
+}

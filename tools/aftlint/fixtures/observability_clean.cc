@@ -27,3 +27,13 @@ void HotLoopWithTeardownLog() {
     Stop();
   }
 }
+
+void RegisterGoodStagesAndSites(MetricsRegistry& reg, const std::string& node) {
+  reg.GetHistogram("aft_commit_stage_seconds", "stage histogram", Boundaries(),
+                   {{"node", node}, {"stage", "data_flush"}});
+  Mutex commit_mu{"engine.commit"};
+  SharedMutex index_mu("engine.index");
+  contention::QueueSite("client.pipeline");
+  IoExecutor pool(4, "net_workers");
+  // A commented example like Mutex bad{"NotChecked"} must stay invisible.
+}

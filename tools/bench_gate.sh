@@ -21,7 +21,11 @@
 # (bench_net's "tput zipf batched|unbatched" rows): geomean batched/unbatched
 # ops-per-sec at >= MIN_CLIENTS must also clear MIN_SPEEDUP.
 #
-# A third, absolute gate covers allocation count: bench_net's
+# A third within-run gate bounds latency-attribution overhead (bench_obs's
+# "commit attribution off|on" rows): attribution-on p50 commit latency must
+# stay within MAX_ATTR_RATIO (env, default 1.05) of attribution-off.
+#
+# A fourth, absolute gate covers allocation count: bench_net's
 # "inproc commit" row carries allocs_per_txn — heap allocations per commit
 # on the measuring thread. Unlike ops/sec this IS machine-independent (the
 # code path allocates what it allocates), so it gates against a checked-in
@@ -133,6 +137,38 @@ sed -nE 's/.*"row":"tput zipf (batched|unbatched) ([0-9]+)c".*"txn_per_s":([0-9.
     }
     printf "bench_gate: PASS — geomean batched-vs-unbatched commit speedup x%.2f over %d rows (floor x%.2f)\n",
            geomean, n, floor;
+  }
+'
+
+# ---- attribution overhead ----------------------------------------------------
+# Latency attribution (the per-stage aft_commit_stage_seconds decomposition)
+# ships always-on, so its cost is gated like a regression: bench_obs runs the
+# same CPU-bound 4-op commit loop with stage timing off and on in one process
+# ("commit attribution off|on" rows, best-of-3 each) and attribution-on p50
+# commit latency must stay within MAX_ATTR_RATIO of attribution-off (default
+# 1.05 — at most 5% slower) plus 2 µs of absolute slack for timer/scheduler
+# granularity at the µs commit scale of the zero-latency engine. p50 rather
+# than throughput: the within-run median is far less exposed to scheduler
+# noise on small CI runners, while a real regression (attribution suddenly
+# costing tens of µs) still fails loudly. Same within-run philosophy as
+# gates 1-2.
+MAX_ATTR_RATIO="${MAX_ATTR_RATIO:-1.05}"
+sed -nE 's/.*"row":"commit attribution (off|on)".*"p50_ms":([0-9.]+).*"txn_per_s":([0-9.]+).*/\1\t\2\t\3/p' "$CURRENT" \
+  | awk -F '\t' -v ceil="$MAX_ATTR_RATIO" '
+  { if ($1 == "off") { off = $2 + 0; off_tps = $3 + 0 } else { on = $2 + 0; on_tps = $3 + 0 } }  # last run wins
+  END {
+    if (off == 0 || on == 0) {
+      print "bench_gate: no commit attribution on/off row pair found" > "/dev/stderr";
+      exit 1;
+    }
+    limit = off * ceil + 0.002;
+    if (on > limit) {
+      printf "bench_gate: FAIL — attribution-on p50 %.4f ms exceeds %.4f ms (off p50 %.4f ms x%.2f + 2 µs)\n",
+             on, limit, off, ceil > "/dev/stderr";
+      exit 1;
+    }
+    printf "bench_gate: PASS — attribution-on p50 %.4f ms vs off %.4f ms (ceiling %.4f ms; tput %.0f -> %.0f txn/s)\n",
+           on, off, limit, off_tps, on_tps;
   }
 '
 

@@ -38,9 +38,11 @@ leg "RelWithDebInfo" build-ci-rel -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
 # Metrics smoke: boot the real binary with the HTTP exporter on a
 # kernel-assigned port, drive real wire traffic through it
-# (--smoke-traffic), and scrape /metrics + /traces over bash's /dev/tcp
-# (the exporter answers one request per connection, Connection: close).
-# Asserts the key families are present and the commit counter is monotone.
+# (--smoke-traffic), and scrape /metrics + /traces + the health surface
+# (/healthz /readyz /varz) over bash's /dev/tcp (the exporter answers one
+# request per connection, Connection: close). Asserts the key families —
+# including the per-stage commit decomposition — are present, the flag echo
+# works, and the commit counter is monotone.
 printf '\n==== CI leg: metrics smoke ====\n'
 smoke_log="$(mktemp)"
 build-ci-rel/src/net/aft_server --port 0 --metrics-port 0 --trace-sample 1 \
@@ -71,12 +73,21 @@ if [ "$smoke_ok" = 1 ]; then
       '^aft_commit_set_cache_lookup_' \
       '^aft_commit_batch_rounds_total' \
       '^aft_commit_batch_size_bucket' \
+      '^aft_commit_stage_seconds_bucket{[^}]*stage="data_flush"' \
+      '^aft_commit_stage_seconds_bucket{[^}]*stage="record_write"' \
       '^aft_net_requests_inflight' \
       '^aft_storage_api_calls_total' \
       '^aft_gossip_\|^aft_net_rpc_latency_ms_bucket'; do
     grep -q "$family" "$smoke_log.scrape" || { echo "  missing: $family"; smoke_ok=0; }
   done
   scrape /traces | grep -q '^\[' || smoke_ok=0
+  # Health surface: liveness always 200, readiness 200 once the node booted
+  # (gossip idle counts as live on a single-node cluster), /varz echoes every
+  # CLI flag as resolved.
+  scrape /healthz | grep -q '^ok' || { echo "  /healthz not ok"; smoke_ok=0; }
+  scrape /readyz | grep -q '200 OK' || { echo "  /readyz not ready"; smoke_ok=0; }
+  scrape /varz | grep -q '^flag.smoke_traffic: 1000' \
+    || { echo "  /varz missing flag echo"; smoke_ok=0; }
   # Monotone under load: the commit counter must strictly increase.
   before="$(committed)"
   after="$before"
